@@ -1,0 +1,92 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//! Run with `cargo bench -p ppm-bench --bench ablations`.
+
+use ppm_bench::ablate;
+use ppm_simnet::time::SimDuration;
+
+fn main() {
+    let seed = 1986;
+
+    println!("== Ablation 1: handler-process reuse (paper §6) ==");
+    let r = ablate::handler_reuse(seed);
+    println!(
+        "  one-hop stop, cold pool (forks):      {:>7.1} ms",
+        r.cold_ms
+    );
+    println!(
+        "  one-hop stop, warm pool (reuse):      {:>7.1} ms",
+        r.warm_ms
+    );
+    println!(
+        "  one-hop stop, reuse disabled, repeat: {:>7.1} ms",
+        r.no_reuse_repeat_ms
+    );
+    println!(
+        "  reuse speedup on repeated requests: {:.1}x",
+        r.no_reuse_repeat_ms / r.warm_ms
+    );
+
+    println!();
+    println!("== Ablation 2: route learning from broadcast replies (paper §4) ==");
+    for enabled in [true, false] {
+        let rl = ablate::route_learning(enabled, seed);
+        println!(
+            "  learning {}: control of 2-distant process {:>7.1} ms, new channel built: {}",
+            if enabled { "on " } else { "off" },
+            rl.control_ms,
+            rl.new_channel_built
+        );
+    }
+
+    println!();
+    println!("== Ablation 3: pmd registry in stable storage (paper §5) ==");
+    for stable in [false, true] {
+        let p = ablate::pmd_stable(stable, seed);
+        println!(
+            "  stable storage {}: duplicate LPMs after pmd crash = {}, existing LPM found = {}",
+            if stable { "on " } else { "off" },
+            p.duplicate_lpms,
+            p.found_existing
+        );
+    }
+
+    println!();
+    println!("== Ablation 4: broadcast stamp retention window (paper §4) ==");
+    for (label, window) in [
+        ("60 s (default)  ", SimDuration::from_secs(60)),
+        ("60 ms (too short)", SimDuration::from_millis(60)),
+    ] {
+        // Seed chosen so the duplicate spread straddles the short window
+        // (the effect depends on wave timing; see the ablate unit tests).
+        let w = ablate::bcast_window(window, 8);
+        println!(
+            "  window {label}: wave processings = {} (ideal {}), duplicates suppressed = {}",
+            w.processings, w.remote_hosts, w.suppressed
+        );
+    }
+
+    println!();
+    println!("== Ablation 5: recovery-file walk vs name-server CCS (paper §5) ==");
+    for ns in [false, true] {
+        let r = ablate::recovery_comparison(ns, seed);
+        println!(
+            "  {}: re-election after CCS crash in {:>5.1} simulated s",
+            if ns {
+                "name server  "
+            } else {
+                ".recovery file"
+            },
+            r.reelection_secs
+        );
+    }
+
+    println!();
+    println!("== Ablation 6: on-demand topology vs full mesh (paper §4) ==");
+    for (label, mesh) in [("star (on demand)", false), ("full mesh", true)] {
+        let d = ablate::density(5, mesh, seed);
+        println!(
+            "  {label:<18}: sibling channels = {:>2}, global snapshot = {:>6.1} ms",
+            d.channels, d.snapshot_ms
+        );
+    }
+}

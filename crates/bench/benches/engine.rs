@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the substrate itself: event-engine
+//! throughput, protocol codec speed, and end-to-end simulated operations
+//! per wall-clock second. These measure the *simulator*, not the paper's
+//! system — they answer "how fast can this reproduction run experiments".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ppm_core::config::PpmConfig;
+use ppm_core::harness::PpmHarness;
+use ppm_proto::codec::Wire;
+use ppm_proto::msg::{ControlAction, Msg, Op};
+use ppm_proto::types::Route;
+use ppm_simnet::engine::Engine;
+use ppm_simnet::time::SimDuration;
+use ppm_simnet::topology::CpuClass;
+use ppm_simos::ids::Uid;
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new();
+            for i in 0..10_000u64 {
+                e.schedule(SimDuration::from_micros(i % 997), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = e.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            acc
+        })
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = Msg::Req {
+        id: 42,
+        user: 100,
+        dest: "ucbarpa".into(),
+        op: Op::Control {
+            pid: 7,
+            action: ControlAction::Stop,
+        },
+        route: Route::from_origin("calder"),
+        hops_left: 8,
+    };
+    let bytes = msg.to_bytes();
+    c.bench_function("codec_encode_control_req", |b| b.iter(|| msg.to_bytes()));
+    c.bench_function("codec_decode_control_req", |b| {
+        b.iter(|| Msg::from_bytes(&bytes).expect("decodes"))
+    });
+}
+
+fn build_world() -> PpmHarness {
+    PpmHarness::builder()
+        .host("a", CpuClass::Vax780)
+        .host("b", CpuClass::Vax750)
+        .link("a", "b")
+        .user(Uid(100), 0x1986, &["a"], PpmConfig::default())
+        .build()
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("sim_remote_spawn_e2e", |b| {
+        b.iter_batched(
+            build_world,
+            |mut ppm| {
+                ppm.spawn_remote("a", Uid(100), "b", "job", None, None)
+                    .expect("spawn");
+                ppm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("sim_idle_minute", |b| {
+        b.iter_batched(
+            build_world,
+            |mut ppm| {
+                ppm.run_for(SimDuration::from_secs(60));
+                ppm
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_codec, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates Figures 1–5 of the paper from live runs.
+//! Run with `cargo bench -p ppm-bench --bench paper_figures`.
+
+use ppm_bench::figures;
+
+fn main() {
+    let seed = 1986;
+    for (i, art) in [
+        figures::figure1(seed),
+        figures::figure2(seed),
+        figures::figure3(seed),
+        figures::figure4(seed),
+        figures::figure5(),
+    ]
+    .iter()
+    .enumerate()
+    {
+        println!("=====================================================================");
+        let _ = i;
+        println!("{art}");
+    }
+}

@@ -1,0 +1,29 @@
+//! The tens-of-nodes stress test the paper deferred ("we have yet to
+//! stress test our implementation").
+//! Run with `cargo bench -p ppm-bench --bench scale`.
+
+use ppm_bench::scale::{sweep, Shape};
+
+fn main() {
+    let seed = 1986;
+    println!("Scale sweep: global snapshot and far-host control vs PPM size");
+    println!("(one managed process per non-origin host; cold handler pools)\n");
+    for shape in [Shape::Star, Shape::Chain] {
+        println!("sibling graph: {}", shape.label());
+        println!(
+            "{:>6} {:>14} {:>8} {:>18}",
+            "hosts", "snapshot ms", "procs", "far control ms"
+        );
+        let sizes: &[usize] = match shape {
+            Shape::Star => &[2, 4, 8, 16, 24, 32],
+            Shape::Chain => &[2, 4, 8, 12, 16],
+        };
+        for p in sweep(shape, sizes, seed) {
+            println!(
+                "{:>6} {:>14.1} {:>8} {:>18.1}",
+                p.hosts, p.snapshot_ms, p.procs, p.control_far_ms
+            );
+        }
+        println!();
+    }
+}

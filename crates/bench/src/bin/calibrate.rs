@@ -1,0 +1,37 @@
+use ppm_bench::{table1, table2, table3, vs};
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_default();
+    if which.is_empty() || which == "t2" {
+        println!("== Table 2 ==");
+        for (action, hops, paper, cell) in table2::run(3, 1986) {
+            println!(
+                "{:<10} {} hops: {}",
+                action.label(),
+                hops,
+                vs(paper, cell.mean_ms)
+            );
+        }
+    }
+    if which.is_empty() || which == "t3" {
+        println!("== Table 3 ==");
+        for (id, paper, cell) in table3::run(3, 1986) {
+            println!(
+                "topology {id}: {} ({} procs)",
+                vs(Some(paper), cell.mean_ms),
+                cell.procs
+            );
+        }
+    }
+    if which == "t1" {
+        println!("== Table 1 ==");
+        for (cpu, label, paper, cell) in table1::run(1986) {
+            println!(
+                "{cpu:?} {label}: {} (la={:.2}, n={})",
+                vs(paper, cell.mean_ms),
+                cell.load_avg,
+                cell.samples
+            );
+        }
+    }
+}

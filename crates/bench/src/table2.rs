@@ -1,0 +1,272 @@
+//! Table 2 — elapsed time of process creation and termination events (ms)
+//! by topological distance.
+//!
+//! | action    | within host | one hop | two hops |
+//! |-----------|-------------|---------|----------|
+//! | create    | 77          | N/A     | N/A      |
+//! | stop      | 30          | 199     | 210      |
+//! | terminate | 30          | 199     | 210      |
+//!
+//! Method: a chain of hosts (`h0 — h1 — h2`); LPMs and sibling channels
+//! are warmed first (the paper excludes LPM creation and connection setup
+//! from these numbers), then the handler pools are allowed to drain so
+//! each measured request pays the paper's cold dispatcher→handler costs.
+//! Elapsed time is measured at the tool: request sent → reply received.
+
+use ppm_core::client::ToolStep;
+use ppm_core::config::PpmConfig;
+use ppm_core::harness::PpmHarness;
+use ppm_proto::msg::{ControlAction, Op};
+use ppm_simnet::time::SimDuration;
+use ppm_simnet::topology::CpuClass;
+use ppm_simos::ids::Uid;
+
+const USER: Uid = Uid(100);
+
+/// The three measured actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Process creation (defined within-host only in the paper's table).
+    Create,
+    /// SIGSTOP delivery.
+    Stop,
+    /// SIGKILL delivery.
+    Terminate,
+}
+
+impl Action {
+    /// Paper row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Action::Create => "create",
+            Action::Stop => "stop",
+            Action::Terminate => "terminate",
+        }
+    }
+}
+
+/// One measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Mean elapsed milliseconds.
+    pub mean_ms: f64,
+    /// Trials.
+    pub trials: usize,
+}
+
+fn chain(n: usize, seed: u64) -> PpmHarness {
+    let mut b = PpmHarness::builder().seed(seed);
+    let cpus = [CpuClass::Vax780, CpuClass::Vax750, CpuClass::Vax750];
+    for i in 0..n {
+        b = b.host(format!("h{i}"), cpus[i % cpus.len()]);
+    }
+    for i in 1..n {
+        b = b.link(format!("h{}", i - 1), format!("h{i}"));
+    }
+    b.user(USER, 0x1986, &["h0"], PpmConfig::default()).build()
+}
+
+/// Measures one action at the given topological distance, averaging over
+/// `trials` cold requests.
+pub fn measure(action: Action, hops: u32, trials: usize, seed: u64) -> Cell {
+    let n_hosts = hops as usize + 1;
+    let mut ppm = chain(n_hosts.max(1), seed);
+    let dest = format!("h{hops}");
+
+    // Warm the management fabric: LPMs on both ends plus the sibling
+    // channel, and one target process to control.
+    let target = ppm
+        .spawn_remote("h0", USER, &dest, "victim-0", None, None)
+        .expect("warm spawn");
+    let mut victim = target;
+
+    let mut total_ms = 0.0;
+    let mut done = 0usize;
+    for trial in 0..trials {
+        // Let handler pools drain so the measurement is cold (the warm
+        // path is the ablation bench's subject).
+        ppm.run_for(SimDuration::from_secs(25));
+        let op = match action {
+            Action::Create => Op::Spawn {
+                command: format!("created-{trial}"),
+                logical_parent: None,
+                lifetime_us: None,
+                work_us: 0,
+                cpu_bound: false,
+            },
+            Action::Stop => Op::Control {
+                pid: victim.pid,
+                action: ControlAction::Stop,
+            },
+            Action::Terminate => Op::Control {
+                pid: victim.pid,
+                action: ControlAction::Kill,
+            },
+        };
+        let outcome = ppm
+            .run_tool(
+                "h0",
+                USER,
+                vec![ToolStep::new(dest.clone(), op)],
+                SimDuration::from_secs(30),
+            )
+            .expect("tool runs");
+        assert!(outcome.error.is_none(), "{:?}", outcome.error);
+        let elapsed = outcome.elapsed(0).expect("one reply");
+        total_ms += elapsed.as_millis_f64();
+        done += 1;
+        // Replace the victim for the next trial (terminate kills it; a
+        // stopped victim still accepts further stops, but keep it fresh).
+        victim = ppm
+            .spawn_remote(
+                "h0",
+                USER,
+                &dest,
+                &format!("victim-{}", trial + 1),
+                None,
+                None,
+            )
+            .expect("respawn victim");
+    }
+    Cell {
+        mean_ms: total_ms / done as f64,
+        trials: done,
+    }
+}
+
+/// Remote-creation variants for reconciling the paper's internal
+/// discrepancy: its Table 2 marks remote creation N/A, but its text says
+/// "Remote process creation, once a connection between sibling managers
+/// exist, takes 177 milliseconds under lightly loaded conditions".
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteCreateVariants {
+    /// Both handler pools cold (fresh forks at both ends).
+    pub cold_ms: f64,
+    /// Remote pool warm (recently served another client), origin cold.
+    pub semi_warm_ms: f64,
+    /// Both pools warm (request repeated immediately).
+    pub warm_ms: f64,
+}
+
+/// Measures one-hop remote creation under three handler-pool regimes.
+pub fn measure_create_remote_variants(seed: u64) -> RemoteCreateVariants {
+    // h0 — h1 — h2: h0 is the measuring origin; h2 exists to warm h1's
+    // pool without touching h0's.
+    let mut ppm = chain(3, seed);
+    let create = |ppm: &mut PpmHarness, trial: usize| -> f64 {
+        let op = Op::Spawn {
+            command: format!("created-{trial}"),
+            logical_parent: None,
+            lifetime_us: None,
+            work_us: 0,
+            cpu_bound: false,
+        };
+        let outcome = ppm
+            .run_tool(
+                "h0",
+                USER,
+                vec![ToolStep::new("h1".to_string(), op)],
+                SimDuration::from_secs(30),
+            )
+            .expect("tool runs");
+        outcome.elapsed(0).expect("reply").as_millis_f64()
+    };
+    // Establish all channels (h0-h1 and h2-h1).
+    ppm.spawn_remote("h0", USER, "h1", "warmup-a", None, None)
+        .expect("warm");
+    ppm.spawn_remote("h2", USER, "h1", "warmup-b", None, None)
+        .expect("warm");
+
+    // Cold: drain both pools.
+    ppm.run_for(SimDuration::from_secs(25));
+    let cold_ms = create(&mut ppm, 0);
+
+    // Warm: repeat immediately (both pools warm).
+    let warm_ms = create(&mut ppm, 1);
+
+    // Semi-warm: drain everything, then have h2 exercise h1's pool just
+    // before h0's (cold-origin) request.
+    ppm.run_for(SimDuration::from_secs(25));
+    ppm.spawn_remote("h2", USER, "h1", "warm-remote", None, None)
+        .expect("warm remote");
+    let semi_warm_ms = create(&mut ppm, 2);
+
+    RemoteCreateVariants {
+        cold_ms,
+        semi_warm_ms,
+        warm_ms,
+    }
+}
+
+/// Paper values: (action, hops, ms); `None` marks N/A cells.
+pub const PAPER: &[(Action, u32, Option<f64>)] = &[
+    (Action::Create, 0, Some(77.0)),
+    (Action::Create, 1, None),
+    (Action::Create, 2, None),
+    (Action::Stop, 0, Some(30.0)),
+    (Action::Stop, 1, Some(199.0)),
+    (Action::Stop, 2, Some(210.0)),
+    (Action::Terminate, 0, Some(30.0)),
+    (Action::Terminate, 1, Some(199.0)),
+    (Action::Terminate, 2, Some(210.0)),
+];
+
+/// Runs the whole table (measuring the N/A creation cells too — the text
+/// quotes 177 ms for remote creation — but reporting them separately).
+pub fn run(trials: usize, seed: u64) -> Vec<(Action, u32, Option<f64>, Cell)> {
+    PAPER
+        .iter()
+        .map(|&(action, hops, paper)| (action, hops, paper, measure(action, hops, trials, seed)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_host_stop_is_about_30ms() {
+        let c = measure(Action::Stop, 0, 3, 11);
+        let rel = (c.mean_ms - 30.0).abs() / 30.0;
+        assert!(rel < 0.30, "measured {:.1}ms vs paper 30ms", c.mean_ms);
+    }
+
+    #[test]
+    fn remote_stop_is_vastly_more_expensive_than_local() {
+        let local = measure(Action::Stop, 0, 2, 3);
+        let remote = measure(Action::Stop, 1, 2, 3);
+        assert!(
+            remote.mean_ms > local.mean_ms * 4.0,
+            "local {:.1}ms remote {:.1}ms",
+            local.mean_ms,
+            remote.mean_ms
+        );
+    }
+
+    #[test]
+    fn remote_create_variants_reconcile_the_177ms_quote() {
+        let v = measure_create_remote_variants(17);
+        assert!(v.warm_ms < v.semi_warm_ms);
+        assert!(v.semi_warm_ms < v.cold_ms);
+        // The paper's 177 ms sits between our warm and cold measurements,
+        // closest to the remote-warm regime.
+        assert!(
+            (120.0..220.0).contains(&v.semi_warm_ms),
+            "semi-warm {:.0}ms should bracket the paper's 177ms",
+            v.semi_warm_ms
+        );
+    }
+
+    #[test]
+    fn second_hop_adds_roughly_wire_cost_only() {
+        let one = measure(Action::Terminate, 1, 2, 5);
+        let two = measure(Action::Terminate, 2, 2, 5);
+        let delta = two.mean_ms - one.mean_ms;
+        assert!(
+            (3.0..30.0).contains(&delta),
+            "one hop {:.1}ms, two hops {:.1}ms, delta {delta:.1}ms (paper: 11ms)",
+            one.mean_ms,
+            two.mean_ms
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Table 3 / Figure 5 — elapsed time to gather snapshot information over
+//! four PPM topologies, with six user processes per remote host.
+//!
+//! | topology | 1 | 2 | 3 | 4 |
+//! |----------|-----|-----|-----|-----|
+//! | time ms  | 205 | 225 | 461 | 507 |
+//!
+//! Figure 5's drawings are not in the text, so the topologies are
+//! reconstructed from the timings (see DESIGN.md): (1) root plus one
+//! remote; (2) root plus two remotes in a star — parallel gather, barely
+//! slower; (3) root plus two remotes in a chain — two sequential wave
+//! legs, about twice topology 1; (4) a chain of two plus a star leaf.
+
+use ppm_core::client::ToolStep;
+use ppm_core::config::PpmConfig;
+use ppm_core::harness::PpmHarness;
+use ppm_proto::msg::Op;
+use ppm_simnet::time::SimDuration;
+use ppm_simnet::topology::CpuClass;
+use ppm_simos::ids::Uid;
+
+const USER: Uid = Uid(100);
+
+/// One of the four snapshot topologies.
+#[derive(Debug, Clone)]
+pub struct SnapshotTopology {
+    /// Paper column (1–4).
+    pub id: u8,
+    /// Host names; index 0 is the root (snapshot originator).
+    pub hosts: Vec<&'static str>,
+    /// Physical links (also used to decide which sibling edges to build).
+    pub links: Vec<(&'static str, &'static str)>,
+    /// Sibling edges: (creator host, target host) — the creator runs a
+    /// tool that spawns processes on the target, establishing the PPM
+    /// channel in that direction.
+    pub siblings: Vec<(&'static str, &'static str)>,
+}
+
+/// The four reconstructed topologies of Figure 5.
+pub fn topologies() -> Vec<SnapshotTopology> {
+    vec![
+        SnapshotTopology {
+            id: 1,
+            hosts: vec!["root", "a"],
+            links: vec![("root", "a")],
+            siblings: vec![("root", "a")],
+        },
+        SnapshotTopology {
+            id: 2,
+            hosts: vec!["root", "a", "b"],
+            links: vec![("root", "a"), ("root", "b")],
+            siblings: vec![("root", "a"), ("root", "b")],
+        },
+        SnapshotTopology {
+            id: 3,
+            hosts: vec!["root", "a", "b"],
+            links: vec![("root", "a"), ("a", "b")],
+            siblings: vec![("root", "a"), ("a", "b")],
+        },
+        SnapshotTopology {
+            id: 4,
+            hosts: vec!["root", "a", "b", "c"],
+            links: vec![("root", "a"), ("a", "b"), ("root", "c")],
+            siblings: vec![("root", "a"), ("a", "b"), ("root", "c")],
+        },
+    ]
+}
+
+/// Paper values per topology id.
+pub const PAPER: &[(u8, f64)] = &[(1, 205.0), (2, 225.0), (3, 461.0), (4, 507.0)];
+
+/// One measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Mean elapsed ms of the distributed snapshot.
+    pub mean_ms: f64,
+    /// Trials.
+    pub trials: usize,
+    /// Processes reported per snapshot.
+    pub procs: usize,
+}
+
+/// ASCII rendition of a topology (the Figure 5 panel).
+pub fn render_topology(t: &SnapshotTopology) -> String {
+    let mut out = format!("topology {}:\n", t.id);
+    out.push_str("  hosts: ");
+    out.push_str(&t.hosts.join(", "));
+    out.push('\n');
+    for (a, b) in &t.siblings {
+        out.push_str(&format!("  {a} <===> {b}   (sibling LPM channel)\n"));
+    }
+    out
+}
+
+/// Builds the world for a topology: LPMs everywhere, six processes per
+/// remote host, sibling edges as specified, handler pools drained.
+pub fn build(t: &SnapshotTopology, seed: u64) -> PpmHarness {
+    let mut b = PpmHarness::builder().seed(seed);
+    let cpus = [
+        CpuClass::Vax780,
+        CpuClass::Vax750,
+        CpuClass::Vax750,
+        CpuClass::Vax750,
+    ];
+    for (i, h) in t.hosts.iter().enumerate() {
+        b = b.host(*h, cpus[i % cpus.len()]);
+    }
+    for (x, y) in &t.links {
+        b = b.link(*x, *y);
+    }
+    let mut ppm = b
+        .user(USER, 0x1986, &["root"], PpmConfig::default())
+        .build();
+
+    // "we transmitted between the appropriate LPMs information about six
+    // user processes in each of the remote machines"
+    for (creator, target) in &t.siblings {
+        for j in 0..6 {
+            ppm.spawn_remote(
+                creator,
+                USER,
+                target,
+                &format!("proc-{target}-{j}"),
+                None,
+                None,
+            )
+            .expect("populate remote host");
+        }
+    }
+    // Drain handler pools so the measured wave pays cold costs.
+    ppm.run_for(SimDuration::from_secs(25));
+    ppm
+}
+
+/// Measures one topology.
+pub fn measure(t: &SnapshotTopology, trials: usize, seed: u64) -> Cell {
+    let mut total = 0.0;
+    let mut procs = 0usize;
+    for k in 0..trials {
+        let mut ppm = build(t, seed + k as u64);
+        let outcome = ppm
+            .run_tool(
+                "root",
+                USER,
+                vec![ToolStep::new("*", Op::Snapshot)],
+                SimDuration::from_secs(30),
+            )
+            .expect("snapshot tool");
+        assert!(outcome.error.is_none(), "{:?}", outcome.error);
+        total += outcome.elapsed(0).expect("reply").as_millis_f64();
+        if let Some(ppm_proto::msg::Reply::Snapshot { procs: ps, .. }) = outcome.reply(0) {
+            procs = ps.len();
+        }
+    }
+    Cell {
+        mean_ms: total / trials as f64,
+        trials,
+        procs,
+    }
+}
+
+/// Runs the whole table.
+pub fn run(trials: usize, seed: u64) -> Vec<(u8, f64, Cell)> {
+    let topos = topologies();
+    PAPER
+        .iter()
+        .map(|&(id, paper)| {
+            let t = topos.iter().find(|t| t.id == id).expect("topology defined");
+            (id, paper, measure(t, trials, seed))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_close_to_single_but_chain_is_much_slower() {
+        let topos = topologies();
+        let t1 = measure(&topos[0], 2, 21);
+        let t2 = measure(&topos[1], 2, 21);
+        let t3 = measure(&topos[2], 2, 21);
+        // Parallel star: within ~25% of the single-remote time.
+        assert!(
+            t2.mean_ms < t1.mean_ms * 1.35,
+            "t1={:.0} t2={:.0}",
+            t1.mean_ms,
+            t2.mean_ms
+        );
+        // Chain: much slower (paper ratio is 461/205 ≈ 2.25).
+        assert!(
+            t3.mean_ms > t1.mean_ms * 1.6,
+            "t1={:.0} t3={:.0}",
+            t1.mean_ms,
+            t3.mean_ms
+        );
+    }
+
+    #[test]
+    fn snapshots_cover_all_remote_processes() {
+        let topos = topologies();
+        let c = measure(&topos[3], 1, 5);
+        // Topology 4: 3 remote hosts × 6 procs = 18.
+        assert_eq!(c.procs, 18, "all slices merged");
+    }
+
+    #[test]
+    fn topology_rendering_mentions_every_edge() {
+        let topos = topologies();
+        let art = render_topology(&topos[3]);
+        assert!(art.contains("root <===> a"));
+        assert!(art.contains("a <===> b"));
+        assert!(art.contains("root <===> c"));
+    }
+}

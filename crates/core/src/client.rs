@@ -1,0 +1,294 @@
+//! The tool-side client library.
+//!
+//! "A library of subroutines handles most interactions with the PPM, so
+//! that user-written programs may easily make use of PPM's capabilities."
+//! [`Tool`] is that library wrapped in a runnable program: it locates (or
+//! creates) the user's local LPM through the Figure-2 chain, authenticates,
+//! plays a script of requests, records every reply with its timing into a
+//! shared [`ToolOutcome`], and exits.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ppm_proto::codec::Wire;
+use ppm_proto::msg::{Msg, Op, Reply};
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simos::ids::ConnId;
+use ppm_simos::program::{ConnEvent, Program};
+use ppm_simos::sys::Sys;
+
+use crate::auth::UserCred;
+use crate::config::PpmConfig;
+use crate::locator::{ChanProgress, HelloIdentity, LpmChannel};
+
+/// One scripted request: destination host (or `"*"`) and operation.
+#[derive(Debug, Clone)]
+pub struct ToolStep {
+    /// Destination host name, or `"*"` for a broadcast.
+    pub dest: String,
+    /// The operation.
+    pub op: Op,
+}
+
+impl ToolStep {
+    /// Convenience constructor.
+    pub fn new(dest: impl Into<String>, op: Op) -> Self {
+        ToolStep {
+            dest: dest.into(),
+            op,
+        }
+    }
+}
+
+/// What the tool observed, shared with the test/benchmark driver.
+#[derive(Debug, Clone, Default)]
+pub struct ToolOutcome {
+    /// Replies in script order, with the time each arrived.
+    pub replies: Vec<(Reply, SimTime)>,
+    /// When each request was sent.
+    pub sent_at: Vec<SimTime>,
+    /// Fatal error, if the tool could not complete.
+    pub error: Option<String>,
+    /// The tool finished its script (successfully or not).
+    pub done: bool,
+    /// When the tool started running.
+    pub started_at: Option<SimTime>,
+    /// When the channel to the LPM was ready.
+    pub connected_at: Option<SimTime>,
+    /// Whether this request created the LPM.
+    pub created_lpm: bool,
+}
+
+impl ToolOutcome {
+    /// Elapsed time from request send to reply for step `i`.
+    pub fn elapsed(&self, i: usize) -> Option<SimDuration> {
+        let (_, at) = self.replies.get(i)?;
+        let sent = *self.sent_at.get(i)?;
+        Some(at.saturating_since(sent))
+    }
+
+    /// The reply of step `i`, if it arrived.
+    pub fn reply(&self, i: usize) -> Option<&Reply> {
+        self.replies.get(i).map(|(r, _)| r)
+    }
+}
+
+/// Shared handle to a tool's outcome.
+pub type ToolHandle = Rc<RefCell<ToolOutcome>>;
+
+/// A scripted PPM tool process.
+pub struct Tool {
+    cred: UserCred,
+    cfg: PpmConfig,
+    script: Vec<ToolStep>,
+    outcome: ToolHandle,
+    chan: Option<LpmChannel>,
+    conn: Option<ConnId>,
+    step: usize,
+    next_id: u64,
+    deadline: SimDuration,
+}
+
+impl std::fmt::Debug for Tool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tool")
+            .field("user", &self.cred.uid)
+            .field("steps", &self.script.len())
+            .field("step", &self.step)
+            .finish()
+    }
+}
+
+const RETRY_TOKEN: u64 = 1;
+const DEADLINE_TOKEN: u64 = 2;
+
+impl Tool {
+    /// Creates a tool with a script; results land in the returned handle.
+    pub fn new(cred: UserCred, cfg: PpmConfig, script: Vec<ToolStep>) -> (Self, ToolHandle) {
+        let outcome: ToolHandle = Rc::new(RefCell::new(ToolOutcome::default()));
+        let tool = Tool {
+            cred,
+            cfg,
+            script,
+            outcome: Rc::clone(&outcome),
+            chan: None,
+            conn: None,
+            step: 0,
+            next_id: 1,
+            deadline: SimDuration::from_secs(120),
+        };
+        (tool, outcome)
+    }
+
+    /// Overrides the give-up deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    fn fail(&mut self, sys: &mut Sys<'_>, why: String) {
+        {
+            let mut o = self.outcome.borrow_mut();
+            o.error = Some(why);
+            o.done = true;
+        }
+        sys.exit(1);
+    }
+
+    fn send_step(&mut self, sys: &mut Sys<'_>) {
+        let Some(conn) = self.conn else { return };
+        if self.step >= self.script.len() {
+            {
+                let mut o = self.outcome.borrow_mut();
+                o.done = true;
+            }
+            let _ = sys.close(conn);
+            sys.exit(0);
+            return;
+        }
+        let ToolStep { dest, op } = self.script[self.step].clone();
+        let id = self.next_id;
+        self.next_id += 1;
+        let msg = Msg::Req {
+            id,
+            user: self.cred.uid.0,
+            dest,
+            op,
+            route: ppm_proto::types::Route::default(),
+            hops_left: self.cfg.max_hops,
+        };
+        self.outcome.borrow_mut().sent_at.push(sys.now());
+        if sys.send(conn, msg.to_bytes()).is_err() {
+            self.fail(sys, "send to LPM failed".to_string());
+        }
+    }
+
+    fn apply_progress(&mut self, sys: &mut Sys<'_>, progress: ChanProgress) {
+        match progress {
+            ChanProgress::Pending => {}
+            ChanProgress::RetryAfter(d) => {
+                sys.set_timer(d, RETRY_TOKEN);
+            }
+            ChanProgress::Ready { conn, created, .. } => {
+                self.conn = Some(conn);
+                {
+                    let mut o = self.outcome.borrow_mut();
+                    o.connected_at = Some(sys.now());
+                    o.created_lpm = created;
+                }
+                self.send_step(sys);
+            }
+            ChanProgress::Failed(e) => {
+                self.fail(sys, format!("cannot reach LPM: {e}"));
+            }
+        }
+    }
+}
+
+impl Program for Tool {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        self.outcome.borrow_mut().started_at = Some(sys.now());
+        let deadline = self.deadline;
+        sys.set_timer(deadline, DEADLINE_TOKEN);
+        let identity = HelloIdentity {
+            user: self.cred.uid.0,
+            host: sys.host_name().to_string(),
+            is_tool: true,
+            ccs: String::new(),
+            epoch: 0,
+            proof: self.cred.proof(),
+        };
+        let target = sys.host();
+        let retry = self.cfg.connect_retry;
+        let attempts = self.cfg.connect_attempts;
+        self.chan = Some(LpmChannel::start(sys, target, identity, retry, attempts));
+    }
+
+    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+        if self.conn == Some(conn) {
+            if matches!(event, ConnEvent::Closed) && !self.outcome.borrow().done {
+                self.fail(sys, "LPM closed the connection".to_string());
+            }
+            return;
+        }
+        if let Some(chan) = &mut self.chan {
+            if chan.owns(conn) {
+                let progress = chan.on_conn_event(sys, event);
+                self.apply_progress(sys, progress);
+            }
+        }
+    }
+
+    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+        if self.conn == Some(conn) {
+            match Msg::from_bytes(&data) {
+                Ok(Msg::Resp { reply, .. }) => {
+                    self.outcome.borrow_mut().replies.push((reply, sys.now()));
+                    self.step += 1;
+                    self.send_step(sys);
+                }
+                Ok(other) => {
+                    // Announcements etc. are not replies; ignore.
+                    let _ = other;
+                }
+                Err(_) => self.fail(sys, "undecodable reply".to_string()),
+            }
+            return;
+        }
+        if let Some(chan) = &mut self.chan {
+            if chan.owns(conn) {
+                let progress = chan.on_message(sys, data);
+                self.apply_progress(sys, progress);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
+        match token {
+            RETRY_TOKEN => {
+                if let Some(chan) = &mut self.chan {
+                    if !chan.is_terminal() {
+                        let progress = chan.retry(sys);
+                        self.apply_progress(sys, progress);
+                    }
+                }
+            }
+            DEADLINE_TOKEN if !self.outcome.borrow().done => {
+                self.fail(sys, "tool deadline exceeded".to_string());
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &str {
+        "ppm-tool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_simos::ids::Uid;
+
+    #[test]
+    fn outcome_elapsed_math() {
+        let mut o = ToolOutcome::default();
+        o.sent_at.push(SimTime::from_millis(10));
+        o.replies.push((Reply::Ok, SimTime::from_millis(40)));
+        assert_eq!(o.elapsed(0), Some(SimDuration::from_millis(30)));
+        assert_eq!(o.elapsed(1), None);
+        assert!(matches!(o.reply(0), Some(Reply::Ok)));
+    }
+
+    #[test]
+    fn tool_construction_shares_outcome() {
+        let (tool, handle) = Tool::new(
+            UserCred::new(Uid(1), 2),
+            PpmConfig::default(),
+            vec![ToolStep::new("a", Op::Ping)],
+        );
+        assert!(!handle.borrow().done);
+        assert_eq!(tool.script.len(), 1);
+    }
+}

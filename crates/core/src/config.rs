@@ -1,0 +1,200 @@
+//! PPM tunables.
+
+use ppm_simnet::time::SimDuration;
+use ppm_simos::events::TraceFlags;
+
+/// Constants governing LPM behaviour. CPU costs are nominal values for an
+//  idle VAX 11/780 and are scaled by host class and load at run time.
+///
+/// The cost constants are calibrated so the regenerated Table 2 lands on
+/// the paper's numbers (77 ms within-host create; 30 / 199 / 210 ms
+/// stop-or-kill at 0 / 1 / 2 hops) — see `ppm-bench`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PpmConfig {
+    /// Dispatcher cost to pick up and classify one incoming request.
+    pub dispatch_cost: SimDuration,
+    /// Cost of a local process-control action (beyond the kill syscall).
+    pub control_cost: SimDuration,
+    /// Cost to gather the local snapshot slice (base).
+    pub snapshot_base_cost: SimDuration,
+    /// Additional snapshot cost per reported process.
+    pub snapshot_per_proc_cost: SimDuration,
+    /// Bookkeeping cost of creating a process on behalf of a request.
+    pub spawn_bookkeeping_cost: SimDuration,
+    /// Cost of other local operations (history, rusage, files, triggers).
+    pub misc_op_cost: SimDuration,
+    /// Cost to merge one broadcast part at the originator.
+    pub merge_cost: SimDuration,
+    /// Forking a fresh handler process (dispatcher → handler hand-off).
+    pub handler_fork_cost: SimDuration,
+    /// Handing a request to an already-idle handler.
+    pub handler_reuse_cost: SimDuration,
+    /// Idle handlers are reaped after this long.
+    pub handler_idle_ttl: SimDuration,
+    /// Maximum resident handlers per LPM.
+    pub handler_max: usize,
+    /// Reuse idle handlers instead of forking per request (the paper's
+    /// optimization; disabled only for ablation).
+    pub handler_reuse: bool,
+
+    /// LPM lingers this long after its last managed process and tool
+    /// disappear ("LPMs have a time-to-live period").
+    pub lpm_ttl: SimDuration,
+    /// An orphaned LPM (no CCS contact) kills the user's local processes
+    /// and exits after this long ("a time-to-die interval exists").
+    pub time_to_die: SimDuration,
+    /// Low-frequency probe interval toward higher-priority recovery hosts.
+    pub probe_interval: SimDuration,
+    /// Delay between reconnection attempts during recovery.
+    pub reconnect_interval: SimDuration,
+
+    /// Retention window for seen broadcast stamps ("the appropriate time
+    /// window for retaining old broadcast requests is a configuration
+    /// parameter").
+    pub bcast_window: SimDuration,
+    /// Give up waiting for broadcast completion after this long.
+    pub bcast_timeout: SimDuration,
+    /// Relay budget for directed requests.
+    pub max_hops: u8,
+    /// Give up on a directed request after this long.
+    pub req_timeout: SimDuration,
+
+    /// Retry interval while connecting to a booting daemon/LPM.
+    pub connect_retry: SimDuration,
+    /// Maximum connect attempts before reporting failure.
+    pub connect_attempts: u32,
+
+    /// Housekeeping timer period (TTL checks, window GC, handler reaping).
+    pub housekeeping_interval: SimDuration,
+
+    /// How long exited processes stay visible in snapshots after their
+    /// whole local subtree has died.
+    pub dead_retention: SimDuration,
+    /// History ring capacity.
+    pub history_cap: usize,
+    /// Exited-process statistics retention.
+    pub rusage_cap: usize,
+    /// Default tracing granularity applied when adopting.
+    pub default_trace_flags: TraceFlags,
+    /// Learn routes from broadcast replies ("allows quick routing of
+    /// messages affecting processes in topologically distant hosts").
+    pub route_learning: bool,
+    /// How the CCS is located during recovery.
+    pub recovery_policy: RecoveryPolicy,
+}
+
+impl Default for PpmConfig {
+    fn default() -> Self {
+        PpmConfig {
+            dispatch_cost: SimDuration::from_micros(3_200),
+            control_cost: SimDuration::from_micros(24_700),
+            snapshot_base_cost: SimDuration::from_micros(11_000),
+            snapshot_per_proc_cost: SimDuration::from_micros(800),
+            spawn_bookkeeping_cost: SimDuration::from_micros(23_700),
+            misc_op_cost: SimDuration::from_micros(8_000),
+            merge_cost: SimDuration::from_micros(21_000),
+            handler_fork_cost: SimDuration::from_micros(77_500),
+            handler_reuse_cost: SimDuration::from_micros(3_500),
+            handler_idle_ttl: SimDuration::from_secs(20),
+            handler_max: 16,
+            handler_reuse: true,
+
+            lpm_ttl: SimDuration::from_secs(300),
+            time_to_die: SimDuration::from_secs(600),
+            probe_interval: SimDuration::from_secs(10),
+            reconnect_interval: SimDuration::from_secs(2),
+
+            bcast_window: SimDuration::from_secs(60),
+            bcast_timeout: SimDuration::from_secs(10),
+            max_hops: 8,
+            req_timeout: SimDuration::from_secs(10),
+
+            connect_retry: SimDuration::from_micros(20_000),
+            connect_attempts: 30,
+
+            housekeeping_interval: SimDuration::from_secs(1),
+
+            dead_retention: SimDuration::from_secs(600),
+            history_cap: 4096,
+            rusage_cap: 1024,
+            default_trace_flags: TraceFlags::ALL,
+            route_learning: true,
+            recovery_policy: RecoveryPolicy::RecoveryFile,
+        }
+    }
+}
+
+impl PpmConfig {
+    /// A configuration with short recovery timers, for failure tests that
+    /// should converge in simulated seconds rather than minutes.
+    pub fn fast_recovery() -> Self {
+        PpmConfig {
+            lpm_ttl: SimDuration::from_secs(30),
+            time_to_die: SimDuration::from_secs(20),
+            probe_interval: SimDuration::from_secs(2),
+            reconnect_interval: SimDuration::from_millis(500),
+            req_timeout: SimDuration::from_secs(3),
+            bcast_timeout: SimDuration::from_secs(3),
+            ..Default::default()
+        }
+    }
+}
+
+/// How LPMs locate their crash coordinator site.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Walk the user's `.recovery` host list (the paper's implementation).
+    #[default]
+    RecoveryFile,
+    /// Query the pmd of a designated name-server host — Section 5's
+    /// alternative: "LPMs would query the name server for a CCS. The
+    /// mechanism based on .recovery files would not be needed."
+    NameServer {
+        /// The administrator-designated name-server host.
+        host: String,
+    },
+}
+
+/// Well-known port of the process manager daemon.
+pub const PMD_PORT: ppm_simos::ids::Port = ppm_simos::ids::Port(3);
+
+/// Service name under which pmd is registered with inetd.
+pub const PMD_SERVICE: &str = "pmd";
+
+/// Base of the per-user LPM accept-port range: an LPM for uid `u` accepts
+/// on `LPM_PORT_BASE + u`.
+pub const LPM_PORT_BASE: u16 = 1000;
+
+/// The accept port of a user's LPM on any host.
+pub fn lpm_port(uid: ppm_simos::ids::Uid) -> ppm_simos::ids::Port {
+    ppm_simos::ids::Port(LPM_PORT_BASE.wrapping_add(uid.0 as u16))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_simos::ids::Uid;
+
+    #[test]
+    fn default_costs_are_ordered_sensibly() {
+        let c = PpmConfig::default();
+        assert!(c.handler_fork_cost > c.handler_reuse_cost);
+        assert!(c.dispatch_cost < c.control_cost);
+        assert!(c.time_to_die > c.probe_interval);
+        assert!(c.handler_max > 0);
+    }
+
+    #[test]
+    fn fast_recovery_shrinks_timers_only() {
+        let fast = PpmConfig::fast_recovery();
+        let slow = PpmConfig::default();
+        assert!(fast.time_to_die < slow.time_to_die);
+        assert_eq!(fast.handler_fork_cost, slow.handler_fork_cost);
+    }
+
+    #[test]
+    fn lpm_ports_are_per_user() {
+        assert_ne!(lpm_port(Uid(100)), lpm_port(Uid(101)));
+        assert_eq!(lpm_port(Uid(100)).0, 1100);
+    }
+}

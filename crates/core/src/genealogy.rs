@@ -1,0 +1,325 @@
+//! The LPM's local genealogy: the slice of the user's computation tree on
+//! one host.
+//!
+//! "A computation is considered to be a group of processes that have a
+//! common logical ancestor. Under the PPM the processes form a (logical)
+//! tree that may span a number of machines." Each LPM tracks its local
+//! processes; cross-host edges are recorded as *logical parent* links on
+//! remotely-created processes. "We chose to retain exit information while
+//! there are children alive, and for the display of a genealogical
+//! distributed computation snapshot we mark the process as exited."
+
+use std::collections::HashMap;
+
+use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
+
+/// One tracked process.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Local pid.
+    pub pid: u32,
+    /// Local parent pid (1 = no managed local parent).
+    pub ppid: u32,
+    /// Logical parent on another host, when created remotely.
+    pub logical_parent: Option<Gpid>,
+    /// Command name.
+    pub command: String,
+    /// Last known state.
+    pub state: WireProcState,
+    /// Creation time (µs).
+    pub started_us: u64,
+    /// CPU consumed (µs), as of the last kernel report.
+    pub cpu_us: u64,
+    /// Whether the LPM adopted it (vs. merely observed).
+    pub adopted: bool,
+    /// Local children pids.
+    pub children: Vec<u32>,
+    /// When the process died (µs), if it has.
+    pub dead_at: Option<u64>,
+}
+
+/// The per-host genealogy store.
+#[derive(Debug, Clone, Default)]
+pub struct Genealogy {
+    host: String,
+    nodes: HashMap<u32, Node>,
+}
+
+impl Genealogy {
+    /// Creates an empty genealogy for `host`.
+    pub fn new(host: impl Into<String>) -> Self {
+        Genealogy {
+            host: host.into(),
+            nodes: HashMap::new(),
+        }
+    }
+
+    /// Number of tracked processes (live and retained-dead).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of live tracked processes.
+    pub fn live_count(&self) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| n.state != WireProcState::Dead)
+            .count()
+    }
+
+    /// Begins tracking a process.
+    pub fn track(
+        &mut self,
+        pid: u32,
+        ppid: u32,
+        logical_parent: Option<Gpid>,
+        command: impl Into<String>,
+        started_us: u64,
+        adopted: bool,
+    ) {
+        let node = Node {
+            pid,
+            ppid,
+            logical_parent,
+            command: command.into(),
+            state: WireProcState::Embryo,
+            started_us,
+            cpu_us: 0,
+            adopted,
+            children: Vec::new(),
+            dead_at: None,
+        };
+        self.nodes.insert(pid, node);
+        // Never self-link: a pid can equal its recorded ppid when a pid
+        // value is recycled after pruning; linking it to itself would put
+        // a cycle in the tree.
+        if ppid != pid {
+            if let Some(parent) = self.nodes.get_mut(&ppid) {
+                if !parent.children.contains(&pid) {
+                    parent.children.push(pid);
+                }
+            }
+        }
+    }
+
+    /// Whether `pid` is tracked.
+    pub fn contains(&self, pid: u32) -> bool {
+        self.nodes.contains_key(&pid)
+    }
+
+    /// Immutable access to a node.
+    pub fn get(&self, pid: u32) -> Option<&Node> {
+        self.nodes.get(&pid)
+    }
+
+    /// Updates a node's state; no-op for untracked pids.
+    pub fn set_state(&mut self, pid: u32, state: WireProcState) {
+        if let Some(n) = self.nodes.get_mut(&pid) {
+            n.state = state;
+        }
+    }
+
+    /// Updates a node's command (on exec) and marks it running.
+    pub fn set_exec(&mut self, pid: u32, command: impl Into<String>) {
+        if let Some(n) = self.nodes.get_mut(&pid) {
+            n.command = command.into();
+            n.state = WireProcState::Running;
+        }
+    }
+
+    /// Updates CPU usage.
+    pub fn set_cpu(&mut self, pid: u32, cpu_us: u64) {
+        if let Some(n) = self.nodes.get_mut(&pid) {
+            n.cpu_us = cpu_us;
+        }
+    }
+
+    /// Marks a node dead at `now_us` (retained while relatives need it;
+    /// see [`Genealogy::prune`]).
+    pub fn mark_dead_at(&mut self, pid: u32, cpu_us: u64, now_us: u64) {
+        if let Some(n) = self.nodes.get_mut(&pid) {
+            n.state = WireProcState::Dead;
+            n.cpu_us = cpu_us;
+            n.dead_at = Some(now_us);
+        }
+    }
+
+    /// Marks a node dead with no timestamp bookkeeping (tests).
+    pub fn mark_dead(&mut self, pid: u32, cpu_us: u64) {
+        self.mark_dead_at(pid, cpu_us, 0);
+    }
+
+    /// Drops dead nodes that have no live local descendants *and* have
+    /// been dead longer than `retention_us` — the inverse of Section 2's
+    /// "retain exit information while there are children alive". A dead
+    /// node with living children is retained regardless of age, so
+    /// snapshots can mark it exited.
+    ///
+    /// Returns how many nodes were pruned.
+    pub fn prune_older_than(&mut self, now_us: u64, retention_us: u64) -> usize {
+        // Iterate to a fixed point: removing a dead leaf may make its dead
+        // parent prunable.
+        let mut pruned = 0;
+        loop {
+            let mut victims: Vec<u32> = self
+                .nodes
+                .values()
+                .filter(|n| {
+                    n.state == WireProcState::Dead
+                        && n.dead_at
+                            .is_some_and(|d| now_us.saturating_sub(d) >= retention_us)
+                        && n.children.iter().all(|c| !self.nodes.contains_key(c))
+                })
+                .map(|n| n.pid)
+                .collect();
+            if victims.is_empty() {
+                return pruned;
+            }
+            victims.sort_unstable();
+            for pid in victims {
+                self.nodes.remove(&pid);
+                pruned += 1;
+            }
+            // Unlink removed children from surviving parents' lists.
+            let existing: Vec<u32> = self.nodes.keys().copied().collect();
+            for pid in existing {
+                let children: Vec<u32> = self.nodes[&pid]
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|c| self.nodes.contains_key(c))
+                    .collect();
+                self.nodes.get_mut(&pid).expect("exists").children = children;
+            }
+        }
+    }
+
+    /// Immediate prune (no retention) — used by tests.
+    pub fn prune(&mut self) -> usize {
+        self.prune_older_than(u64::MAX / 2, 0)
+    }
+
+    /// The snapshot slice this LPM reports: every tracked process as a
+    /// [`ProcRecord`], in pid order.
+    pub fn snapshot(&self) -> Vec<ProcRecord> {
+        let mut pids: Vec<u32> = self.nodes.keys().copied().collect();
+        pids.sort_unstable();
+        pids.into_iter()
+            .map(|pid| {
+                let n = &self.nodes[&pid];
+                ProcRecord {
+                    gpid: Gpid::new(self.host.clone(), n.pid),
+                    ppid: n.ppid,
+                    logical_parent: n.logical_parent.clone(),
+                    command: n.command.clone(),
+                    state: n.state,
+                    started_us: n.started_us,
+                    cpu_us: n.cpu_us,
+                    adopted: n.adopted,
+                }
+            })
+            .collect()
+    }
+
+    /// Local descendants of `pid` (not including `pid`), pid order.
+    pub fn descendants(&self, pid: u32) -> Vec<u32> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut stack = vec![pid];
+        while let Some(p) = stack.pop() {
+            if let Some(n) = self.nodes.get(&p) {
+                for &c in &n.children {
+                    // `seen` guards against pid-recycling cycles.
+                    if self.nodes.contains_key(&c) && c != pid && seen.insert(c) {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g() -> Genealogy {
+        Genealogy::new("a")
+    }
+
+    #[test]
+    fn track_links_parents() {
+        let mut t = g();
+        t.track(10, 1, None, "sh", 0, true);
+        t.track(11, 10, None, "cc", 0, true);
+        t.track(12, 10, None, "as", 0, true);
+        assert_eq!(t.get(10).unwrap().children, vec![11, 12]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.descendants(10), vec![11, 12]);
+    }
+
+    #[test]
+    fn exec_and_state_updates() {
+        let mut t = g();
+        t.track(10, 1, None, "sh", 5, true);
+        assert_eq!(t.get(10).unwrap().state, WireProcState::Embryo);
+        t.set_exec(10, "make");
+        assert_eq!(t.get(10).unwrap().state, WireProcState::Running);
+        assert_eq!(t.get(10).unwrap().command, "make");
+        t.set_state(10, WireProcState::Stopped);
+        assert_eq!(t.get(10).unwrap().state, WireProcState::Stopped);
+        t.set_cpu(10, 1234);
+        assert_eq!(t.get(10).unwrap().cpu_us, 1234);
+    }
+
+    #[test]
+    fn dead_parent_retained_while_children_alive() {
+        let mut t = g();
+        t.track(10, 1, None, "sh", 0, true);
+        t.track(11, 10, None, "cc", 0, true);
+        t.mark_dead(10, 99);
+        assert_eq!(t.prune(), 0, "dead parent with live child is retained");
+        assert_eq!(t.get(10).unwrap().state, WireProcState::Dead);
+        // Child dies too: both prunable (child first, then parent).
+        t.mark_dead(11, 5);
+        assert_eq!(t.prune(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn prune_unlinks_children_lists() {
+        let mut t = g();
+        t.track(10, 1, None, "sh", 0, true);
+        t.track(11, 10, None, "cc", 0, true);
+        t.mark_dead(11, 0);
+        assert_eq!(t.prune(), 1);
+        assert!(t.get(10).unwrap().children.is_empty());
+        assert_eq!(t.live_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_pid_ordered_with_gpids() {
+        let mut t = g();
+        t.track(12, 1, None, "b", 0, true);
+        t.track(10, 1, Some(Gpid::new("other", 7)), "a", 0, false);
+        let s = t.snapshot();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].gpid, Gpid::new("a", 10));
+        assert_eq!(s[0].logical_parent, Some(Gpid::new("other", 7)));
+        assert!(!s[0].adopted);
+        assert_eq!(s[1].gpid, Gpid::new("a", 12));
+    }
+
+    #[test]
+    fn descendants_of_leaf_is_empty() {
+        let mut t = g();
+        t.track(10, 1, None, "sh", 0, true);
+        assert!(t.descendants(10).is_empty());
+        assert!(t.descendants(999).is_empty());
+    }
+}

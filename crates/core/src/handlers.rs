@@ -1,0 +1,251 @@
+//! The dispatcher's handler-process pool.
+//!
+//! Section 6: "The LPM is, itself, a multi-process program. It consists of
+//! a main dispatcher process, and some number of handler processes. ...
+//! Since process creation in UNIX is relatively expensive, processes that
+//! have handled a request may be given further requests, rather than
+//! simply creating new processes."
+//!
+//! The pool models exactly that cost structure: acquiring a handler costs
+//! a fork when none is idle, or a cheap hand-off when one is. The
+//! fork-vs-reuse counters feed the ablation bench.
+
+use ppm_simnet::time::{SimDuration, SimTime};
+
+/// Identifier of one handler process within an LPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HandlerId(pub u32);
+
+/// Outcome of an acquisition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Acquired {
+    /// Which handler.
+    pub id: HandlerId,
+    /// Dispatch cost: fork or reuse.
+    pub cost: SimDuration,
+    /// Whether a fork was needed.
+    pub forked: bool,
+}
+
+/// Pool statistics for ablation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Handlers forked over the LPM lifetime.
+    pub forks: u64,
+    /// Requests served by an idle handler.
+    pub reuses: u64,
+    /// Idle handlers reaped by TTL expiry.
+    pub reaped: u64,
+}
+
+/// The handler pool.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_core::handlers::HandlerPool;
+/// use ppm_simnet::time::{SimDuration, SimTime};
+///
+/// let mut pool = HandlerPool::new(
+///     SimDuration::from_millis(70), // fork
+///     SimDuration::from_millis(4),  // reuse
+///     SimDuration::from_secs(20),   // idle ttl
+///     8,
+/// );
+/// let first = pool.acquire(SimTime::ZERO);
+/// assert!(first.forked, "cold pool forks");
+/// pool.release(first.id, SimTime::from_secs(1));
+/// let second = pool.acquire(SimTime::from_secs(2));
+/// assert!(!second.forked, "idle handlers are given further requests");
+/// ```
+#[derive(Debug, Clone)]
+pub struct HandlerPool {
+    idle: Vec<(HandlerId, SimTime)>,
+    busy: Vec<HandlerId>,
+    next: u32,
+    fork_cost: SimDuration,
+    reuse_cost: SimDuration,
+    idle_ttl: SimDuration,
+    max: usize,
+    reuse_enabled: bool,
+    stats: PoolStats,
+}
+
+impl HandlerPool {
+    /// Creates a pool with the given cost model.
+    pub fn new(
+        fork_cost: SimDuration,
+        reuse_cost: SimDuration,
+        idle_ttl: SimDuration,
+        max: usize,
+    ) -> Self {
+        HandlerPool {
+            idle: Vec::new(),
+            busy: Vec::new(),
+            next: 1,
+            fork_cost,
+            reuse_cost,
+            idle_ttl,
+            max: max.max(1),
+            reuse_enabled: true,
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Disables reuse: every request forks (the ablation baseline).
+    pub fn set_reuse_enabled(&mut self, enabled: bool) {
+        self.reuse_enabled = enabled;
+    }
+
+    /// Acquires a handler for a request at time `now`.
+    ///
+    /// When the pool is saturated (`max` busy handlers), the request is
+    /// still served (the dispatcher queues behind a busy handler) — at
+    /// reuse cost plus one full fork cost of queueing delay, a coarse
+    /// model of waiting for the next free handler.
+    pub fn acquire(&mut self, now: SimTime) -> Acquired {
+        if self.reuse_enabled {
+            if let Some((id, _)) = self.idle.pop() {
+                self.busy.push(id);
+                self.stats.reuses += 1;
+                return Acquired {
+                    id,
+                    cost: self.reuse_cost,
+                    forked: false,
+                };
+            }
+        } else {
+            self.idle.clear();
+        }
+        let _ = now;
+        if self.busy.len() >= self.max {
+            // Saturated: wait for a handler to come free.
+            let id = self.busy[0];
+            self.stats.reuses += 1;
+            return Acquired {
+                id,
+                cost: self.fork_cost + self.reuse_cost,
+                forked: false,
+            };
+        }
+        let id = HandlerId(self.next);
+        self.next += 1;
+        self.busy.push(id);
+        self.stats.forks += 1;
+        Acquired {
+            id,
+            cost: self.fork_cost,
+            forked: true,
+        }
+    }
+
+    /// Returns a handler to the idle list.
+    pub fn release(&mut self, id: HandlerId, now: SimTime) {
+        if let Some(pos) = self.busy.iter().position(|&b| b == id) {
+            self.busy.remove(pos);
+            if self.reuse_enabled {
+                self.idle.push((id, now));
+            }
+        }
+    }
+
+    /// Reaps handlers idle longer than the TTL. Returns how many died.
+    pub fn reap_idle(&mut self, now: SimTime) -> usize {
+        let ttl = self.idle_ttl;
+        let before = self.idle.len();
+        self.idle
+            .retain(|(_, since)| now.saturating_since(*since) < ttl);
+        let reaped = before - self.idle.len();
+        self.stats.reaped += reaped as u64;
+        reaped
+    }
+
+    /// Live handlers (busy + idle).
+    pub fn live(&self) -> usize {
+        self.busy.len() + self.idle.len()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> HandlerPool {
+        HandlerPool::new(
+            SimDuration::from_millis(70),
+            SimDuration::from_millis(4),
+            SimDuration::from_secs(20),
+            4,
+        )
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn first_acquire_forks_then_reuses() {
+        let mut p = pool();
+        let a = p.acquire(t(0));
+        assert!(a.forked);
+        assert_eq!(a.cost, SimDuration::from_millis(70));
+        p.release(a.id, t(1));
+        let b = p.acquire(t(2));
+        assert!(!b.forked);
+        assert_eq!(b.id, a.id);
+        assert_eq!(b.cost, SimDuration::from_millis(4));
+        assert_eq!(p.stats().forks, 1);
+        assert_eq!(p.stats().reuses, 1);
+    }
+
+    #[test]
+    fn concurrent_requests_fork_up_to_max() {
+        let mut p = pool();
+        let ids: Vec<_> = (0..4).map(|_| p.acquire(t(0))).collect();
+        assert!(ids.iter().all(|a| a.forked));
+        assert_eq!(p.live(), 4);
+        // Fifth queues behind a busy handler at penalty cost.
+        let fifth = p.acquire(t(0));
+        assert!(!fifth.forked);
+        assert!(fifth.cost > SimDuration::from_millis(70));
+        assert_eq!(p.live(), 4);
+    }
+
+    #[test]
+    fn idle_handlers_are_reaped_after_ttl() {
+        let mut p = pool();
+        let a = p.acquire(t(0));
+        p.release(a.id, t(1));
+        assert_eq!(p.reap_idle(t(10)), 0, "within TTL");
+        assert_eq!(p.reap_idle(t(30)), 1, "past TTL");
+        assert_eq!(p.live(), 0);
+        assert_eq!(p.stats().reaped, 1);
+        // Next acquire forks again.
+        assert!(p.acquire(t(31)).forked);
+    }
+
+    #[test]
+    fn disabling_reuse_always_forks() {
+        let mut p = pool();
+        p.set_reuse_enabled(false);
+        let a = p.acquire(t(0));
+        p.release(a.id, t(0));
+        let b = p.acquire(t(0));
+        assert!(a.forked && b.forked);
+        assert_ne!(a.id, b.id);
+        assert_eq!(p.stats().forks, 2);
+        assert_eq!(p.stats().reuses, 0);
+    }
+
+    #[test]
+    fn release_of_unknown_handler_is_harmless() {
+        let mut p = pool();
+        p.release(HandlerId(99), t(0));
+        assert_eq!(p.live(), 0);
+    }
+}

@@ -1,0 +1,480 @@
+//! A synchronous driver around the simulated PPM.
+//!
+//! Tests, examples and benchmarks all need the same scaffolding: a world
+//! with hosts and links, the pmd service registered, user accounts with
+//! `.recovery` lists, and a way to run a tool script and wait for its
+//! outcome. [`PpmHarness`] packages that. It plays the role of the user at
+//! the terminal — everything it does goes through the same tools, daemons
+//! and protocols a real user of the paper's system would exercise.
+
+use std::rc::Rc;
+
+use ppm_proto::msg::{ControlAction, Op, Reply};
+use ppm_proto::types::{Gpid, HistoryRecord, ProcRecord, RusageRecord};
+use ppm_simnet::latency::LatencyModel;
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::topology::{CpuClass, HostId, HostSpec};
+use ppm_simos::config::OsConfig;
+use ppm_simos::ids::{Pid, Uid};
+use ppm_simos::program::SpawnSpec;
+use ppm_simos::world::World;
+
+use crate::auth::UserCred;
+use crate::client::{Tool, ToolHandle, ToolOutcome, ToolStep};
+use crate::config::{PpmConfig, PMD_PORT, PMD_SERVICE};
+use crate::pmd::{Pmd, PmdOptions};
+use crate::users::{UserDirectory, UserEntry};
+
+/// Builder for a [`PpmHarness`].
+pub struct HarnessBuilder {
+    seed: u64,
+    os: OsConfig,
+    latency: LatencyModel,
+    pmd_options: PmdOptions,
+    hosts: Vec<HostSpec>,
+    links: Vec<(String, String)>,
+    users: UserDirectory,
+}
+
+impl Default for HarnessBuilder {
+    fn default() -> Self {
+        HarnessBuilder {
+            seed: 1986,
+            os: OsConfig::default(),
+            latency: LatencyModel::default(),
+            pmd_options: PmdOptions::default(),
+            hosts: Vec::new(),
+            links: Vec::new(),
+            users: UserDirectory::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for HarnessBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HarnessBuilder")
+            .field("seed", &self.seed)
+            .field("hosts", &self.hosts.len())
+            .field("links", &self.links.len())
+            .field("users", &self.users.len())
+            .finish()
+    }
+}
+
+impl HarnessBuilder {
+    /// Sets the world seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides OS constants.
+    pub fn os_config(mut self, os: OsConfig) -> Self {
+        self.os = os;
+        self
+    }
+
+    /// Overrides the latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Configures pmd (stable storage ablation).
+    pub fn pmd_options(mut self, options: PmdOptions) -> Self {
+        self.pmd_options = options;
+        self
+    }
+
+    /// Adds a host.
+    pub fn host(mut self, name: impl Into<String>, cpu: CpuClass) -> Self {
+        self.hosts.push(HostSpec::new(name, cpu));
+        self
+    }
+
+    /// Adds an undirected link between two named hosts.
+    pub fn link(mut self, a: impl Into<String>, b: impl Into<String>) -> Self {
+        self.links.push((a.into(), b.into()));
+        self
+    }
+
+    /// Adds a user account with a `.recovery` list and PPM config.
+    pub fn user(mut self, uid: Uid, secret: u64, recovery: &[&str], config: PpmConfig) -> Self {
+        self.users.insert(UserEntry {
+            cred: UserCred::new(uid, secret),
+            recovery: recovery.iter().map(|s| s.to_string()).collect(),
+            config,
+        });
+        self
+    }
+
+    /// Builds the world: hosts, links, daemons, accounts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link references an unknown host name.
+    pub fn build(self) -> PpmHarness {
+        let mut world = World::with_config(self.os, self.latency, self.seed);
+        let users = self.users.into_shared();
+        let pmd_users = Rc::clone(&users);
+        let pmd_options = self.pmd_options;
+        world.register_service(
+            PMD_SERVICE,
+            PMD_PORT,
+            Box::new(move |_host| Box::new(Pmd::new(Rc::clone(&pmd_users), PMD_PORT, pmd_options))),
+        );
+        let mut ids = Vec::new();
+        for spec in self.hosts {
+            ids.push(world.add_host(spec));
+        }
+        for (a, b) in self.links {
+            let ai = world
+                .core()
+                .host_by_name(&a)
+                .unwrap_or_else(|| panic!("link references unknown host {a:?}"));
+            let bi = world
+                .core()
+                .host_by_name(&b)
+                .unwrap_or_else(|| panic!("link references unknown host {b:?}"));
+            world.add_link(ai, bi);
+        }
+        // Let daemons boot.
+        world.run_for(SimDuration::from_millis(50));
+        PpmHarness { world, users }
+    }
+}
+
+/// Errors surfaced by the synchronous harness operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HarnessError {
+    /// The tool reported a failure.
+    Tool(String),
+    /// The LPM answered with an error reply.
+    Lpm(String),
+    /// The tool never finished within the wait budget.
+    Timeout,
+    /// The account is not in the directory.
+    UnknownUser,
+    /// A host name did not resolve.
+    UnknownHost(String),
+    /// The reply had an unexpected shape for the request.
+    UnexpectedReply,
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Tool(s) => write!(f, "tool failed: {s}"),
+            HarnessError::Lpm(s) => write!(f, "lpm error: {s}"),
+            HarnessError::Timeout => f.write_str("tool did not finish in time"),
+            HarnessError::UnknownUser => f.write_str("unknown user"),
+            HarnessError::UnknownHost(h) => write!(f, "unknown host {h}"),
+            HarnessError::UnexpectedReply => f.write_str("unexpected reply shape"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
+
+/// The assembled simulation plus conveniences.
+pub struct PpmHarness {
+    world: World,
+    users: Rc<UserDirectory>,
+}
+
+impl std::fmt::Debug for PpmHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PpmHarness")
+            .field("world", &self.world)
+            .field("users", &self.users.len())
+            .finish()
+    }
+}
+
+impl PpmHarness {
+    /// Starts a builder.
+    pub fn builder() -> HarnessBuilder {
+        HarnessBuilder::default()
+    }
+
+    /// The world, for inspection.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// The world, mutable (fault injection, load hooks).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Runs the world forward.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Resolves a host name.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownHost`].
+    pub fn host(&self, name: &str) -> Result<HostId, HarnessError> {
+        self.world
+            .core()
+            .host_by_name(name)
+            .ok_or_else(|| HarnessError::UnknownHost(name.to_string()))
+    }
+
+    fn entry(&self, uid: Uid) -> Result<UserEntry, HarnessError> {
+        self.users
+            .get(uid)
+            .cloned()
+            .ok_or(HarnessError::UnknownUser)
+    }
+
+    /// Spawns a user process directly on a host (as if from a login
+    /// shell), outside PPM control until adopted.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownHost`] or the spawn failure as a tool error.
+    pub fn spawn_login_process(
+        &mut self,
+        host: &str,
+        uid: Uid,
+        spec: SpawnSpec,
+    ) -> Result<Pid, HarnessError> {
+        let h = self.host(host)?;
+        self.world
+            .spawn_user(h, uid, spec)
+            .map_err(|e| HarnessError::Tool(e.to_string()))
+    }
+
+    /// Launches a tool process on `host` running `script`; returns its
+    /// outcome handle immediately (asynchronous).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownUser`] / [`HarnessError::UnknownHost`].
+    pub fn launch_tool(
+        &mut self,
+        host: &str,
+        uid: Uid,
+        script: Vec<ToolStep>,
+    ) -> Result<ToolHandle, HarnessError> {
+        let h = self.host(host)?;
+        let entry = self.entry(uid)?;
+        let (tool, handle) = Tool::new(entry.cred, entry.config.clone(), script);
+        self.world
+            .spawn_user(h, uid, SpawnSpec::new("ppm-tool", Box::new(tool)))
+            .map_err(|e| HarnessError::Tool(e.to_string()))?;
+        Ok(handle)
+    }
+
+    /// Runs a tool script to completion (bounded by `wait`), returning the
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Timeout`] if the tool does not finish, or the
+    /// launch errors of [`PpmHarness::launch_tool`].
+    pub fn run_tool(
+        &mut self,
+        host: &str,
+        uid: Uid,
+        script: Vec<ToolStep>,
+        wait: SimDuration,
+    ) -> Result<ToolOutcome, HarnessError> {
+        let handle = self.launch_tool(host, uid, script)?;
+        let deadline = self.world.now() + wait;
+        while self.world.now() < deadline {
+            if handle.borrow().done {
+                break;
+            }
+            self.world.run_for(SimDuration::from_millis(20));
+        }
+        let outcome = handle.borrow().clone();
+        if !outcome.done {
+            return Err(HarnessError::Timeout);
+        }
+        Ok(outcome)
+    }
+
+    fn one_reply(
+        &mut self,
+        host: &str,
+        uid: Uid,
+        dest: &str,
+        op: Op,
+        wait: SimDuration,
+    ) -> Result<Reply, HarnessError> {
+        let outcome = self.run_tool(host, uid, vec![ToolStep::new(dest, op)], wait)?;
+        if let Some(err) = outcome.error {
+            return Err(HarnessError::Tool(err));
+        }
+        match outcome.replies.into_iter().next() {
+            Some((Reply::Err { code, detail }, _)) => {
+                Err(HarnessError::Lpm(format!("{code:?}: {detail}")))
+            }
+            Some((reply, _)) => Ok(reply),
+            None => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Default wait budget for synchronous convenience calls.
+    const WAIT: SimDuration = SimDuration::from_secs(60);
+
+    /// Takes a snapshot: `dest` is a host name or `"*"` for the whole
+    /// computation.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn snapshot(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+    ) -> Result<Vec<ProcRecord>, HarnessError> {
+        match self.one_reply(from_host, uid, dest, Op::Snapshot, Self::WAIT)? {
+            Reply::Snapshot { procs, .. } => Ok(procs),
+            _ => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Adopts a process into the user's PPM.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn adopt(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+        pid: u32,
+        flags: u8,
+    ) -> Result<(), HarnessError> {
+        match self.one_reply(from_host, uid, dest, Op::Adopt { pid, flags }, Self::WAIT)? {
+            Reply::Ok => Ok(()),
+            _ => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Controls a (possibly remote) process.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn control(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        target: &Gpid,
+        action: ControlAction,
+    ) -> Result<(), HarnessError> {
+        let op = Op::Control {
+            pid: target.pid,
+            action,
+        };
+        match self.one_reply(from_host, uid, &target.host.clone(), op, Self::WAIT)? {
+            Reply::Ok => Ok(()),
+            _ => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Creates a process on a remote host through the PPM.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn spawn_remote(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+        command: &str,
+        logical_parent: Option<Gpid>,
+        lifetime: Option<SimDuration>,
+    ) -> Result<Gpid, HarnessError> {
+        let op = Op::Spawn {
+            command: command.to_string(),
+            logical_parent,
+            lifetime_us: lifetime.map(|d| d.as_micros()),
+            work_us: 0,
+            cpu_bound: false,
+        };
+        match self.one_reply(from_host, uid, dest, op, Self::WAIT)? {
+            Reply::Spawned { gpid } => Ok(gpid),
+            _ => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Fetches exited-process statistics.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn rusage(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+        pid: Option<u32>,
+    ) -> Result<Vec<RusageRecord>, HarnessError> {
+        match self.one_reply(from_host, uid, dest, Op::Rusage { pid }, Self::WAIT)? {
+            Reply::Rusage { records } => Ok(records),
+            _ => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Fetches history events.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn history(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+        since: SimTime,
+        max: u16,
+    ) -> Result<Vec<HistoryRecord>, HarnessError> {
+        let op = Op::History {
+            since_us: since.as_micros(),
+            max,
+        };
+        match self.one_reply(from_host, uid, dest, op, Self::WAIT)? {
+            Reply::History { events } => Ok(events),
+            _ => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Fetches the LPM status on a host.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn status(&mut self, from_host: &str, uid: Uid, dest: &str) -> Result<Reply, HarnessError> {
+        self.one_reply(from_host, uid, dest, Op::Status, Self::WAIT)
+    }
+
+    /// Fetches the LPM internal counters on a host.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn lpm_stats(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+    ) -> Result<Reply, HarnessError> {
+        self.one_reply(from_host, uid, dest, Op::Stats, Self::WAIT)
+    }
+}

@@ -1,0 +1,192 @@
+//! LPM history: the event log and exited-process statistics.
+//!
+//! "The LPMs gather and preserve local information about user process
+//! activities, accept parameters that determine the amount of process
+//! events recorded" (Section 2). History is the substrate for the
+//! resource-statistics tool and for history-dependent triggers.
+
+use std::collections::VecDeque;
+
+use ppm_proto::types::{Gpid, HistoryRecord, RusageRecord};
+use ppm_simnet::time::SimTime;
+
+/// Bounded event log plus exited-process statistics.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_core::history::History;
+/// use ppm_proto::types::Gpid;
+/// use ppm_simnet::time::SimTime;
+///
+/// let mut h = History::new(100, 10);
+/// h.record(SimTime::from_millis(5), Gpid::new("a", 9), "exec", "troff");
+/// h.record(SimTime::from_millis(9), Gpid::new("a", 9), "exit", "code 0");
+/// let events = h.query(6_000, 100); // at or after 6 ms
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(events[0].kind, "exit");
+/// ```
+#[derive(Debug, Clone)]
+pub struct History {
+    events: VecDeque<HistoryRecord>,
+    exited: VecDeque<RusageRecord>,
+    events_cap: usize,
+    exited_cap: usize,
+    dropped: u64,
+}
+
+impl History {
+    /// Creates an empty history with the given capacities.
+    pub fn new(events_cap: usize, exited_cap: usize) -> Self {
+        History {
+            events: VecDeque::new(),
+            exited: VecDeque::new(),
+            events_cap: events_cap.max(1),
+            exited_cap: exited_cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event.
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        gpid: Gpid,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.events.push_back(HistoryRecord {
+            at_us: at.as_micros(),
+            gpid,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
+        while self.events.len() > self.events_cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Appends an exited-process statistics record.
+    pub fn record_exit(&mut self, record: RusageRecord) {
+        self.exited.push_back(record);
+        while self.exited.len() > self.exited_cap {
+            self.exited.pop_front();
+        }
+    }
+
+    /// Events at or after `since_us`, oldest first, at most `max`.
+    pub fn query(&self, since_us: u64, max: usize) -> Vec<HistoryRecord> {
+        self.events
+            .iter()
+            .filter(|e| e.at_us >= since_us)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// Statistics of exited processes, oldest first; `pid` filters.
+    pub fn exited(&self, pid: Option<u32>) -> Vec<RusageRecord> {
+        self.exited
+            .iter()
+            .filter(|r| pid.is_none_or(|p| r.gpid.pid == p))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<&HistoryRecord> {
+        self.events.back()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(h: &mut History, t: u64, pid: u32, kind: &str) {
+        h.record(SimTime::from_micros(t), Gpid::new("a", pid), kind, "");
+    }
+
+    #[test]
+    fn records_and_queries_by_time() {
+        let mut h = History::new(100, 10);
+        rec(&mut h, 10, 1, "fork");
+        rec(&mut h, 20, 1, "exec");
+        rec(&mut h, 30, 1, "exit");
+        assert_eq!(h.len(), 3);
+        let q = h.query(20, 100);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].kind, "exec");
+        assert_eq!(h.query(0, 1).len(), 1);
+        assert_eq!(h.last().unwrap().kind, "exit");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut h = History::new(2, 10);
+        rec(&mut h, 1, 1, "a");
+        rec(&mut h, 2, 1, "b");
+        rec(&mut h, 3, 1, "c");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.dropped(), 1);
+        assert_eq!(h.query(0, 10)[0].kind, "b");
+    }
+
+    #[test]
+    fn exited_records_filter_by_pid() {
+        let mut h = History::new(10, 10);
+        for pid in [5u32, 6, 5] {
+            h.record_exit(RusageRecord {
+                gpid: Gpid::new("a", pid),
+                command: "x".into(),
+                exited_us: 0,
+                status: 0,
+                cpu_us: 1,
+                msgs: 0,
+                bytes: 0,
+                files: 0,
+                forks: 0,
+            });
+        }
+        assert_eq!(h.exited(None).len(), 3);
+        assert_eq!(h.exited(Some(5)).len(), 2);
+        assert_eq!(h.exited(Some(9)).len(), 0);
+    }
+
+    #[test]
+    fn exited_capacity_bounded() {
+        let mut h = History::new(10, 2);
+        for i in 0..5u32 {
+            h.record_exit(RusageRecord {
+                gpid: Gpid::new("a", i),
+                command: "x".into(),
+                exited_us: i as u64,
+                status: 0,
+                cpu_us: 0,
+                msgs: 0,
+                bytes: 0,
+                files: 0,
+                forks: 0,
+            });
+        }
+        let left = h.exited(None);
+        assert_eq!(left.len(), 2);
+        assert_eq!(left[0].gpid.pid, 3);
+    }
+}

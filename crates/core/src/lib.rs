@@ -1,0 +1,66 @@
+//! # ppm-core — the Personal Process Manager
+//!
+//! A Rust reproduction of the PPM of Cabrera, Sechrest and Cáceres
+//! (*The Administration of Distributed Computations in a Networked
+//! Environment*, ICDCS 1986), running on the simulated networked Berkeley
+//! UNIX of `ppm-simos`.
+//!
+//! The pieces, mapped to the paper:
+//!
+//! * [`lpm`] — the local process manager: dispatcher + handler pool,
+//!   kernel socket, sibling channels, broadcast echo wave, adoption,
+//!   remote process creation, history, triggers, crash recovery.
+//! * [`pmd`] — the per-host process manager daemon (trusted name server),
+//!   started on demand by inetd; optional stable-storage registry.
+//! * [`locator`] — the LPM-creation chain of Figure 2 as a client state
+//!   machine, shared by tools and sibling LPMs.
+//! * [`auth`] — user-level masquerade prevention (Section 3).
+//! * [`genealogy`] / [`history`] / [`trigger_engine`] — the logical
+//!   process tree, event history, and history-dependent triggers.
+//! * [`handlers`] — the dispatcher/handler-process cost model (Section 6).
+//! * [`client`] / [`harness`] — the tool library of Section 6 and a
+//!   synchronous driver for tests, examples and benchmarks.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppm_core::config::PpmConfig;
+//! use ppm_core::harness::PpmHarness;
+//! use ppm_simnet::topology::CpuClass;
+//! use ppm_simos::ids::Uid;
+//!
+//! let mut ppm = PpmHarness::builder()
+//!     .host("calder", CpuClass::Vax780)
+//!     .host("ucbarpa", CpuClass::Vax750)
+//!     .link("calder", "ucbarpa")
+//!     .user(Uid(100), 0xBEEF, &["calder"], PpmConfig::default())
+//!     .build();
+//!
+//! // Create a remote process through the PPM and snapshot it.
+//! let gpid = ppm.spawn_remote("calder", Uid(100), "ucbarpa", "troff", None, None)?;
+//! assert_eq!(gpid.host, "ucbarpa");
+//! let procs = ppm.snapshot("calder", Uid(100), "*")?;
+//! assert!(procs.iter().any(|p| p.gpid == gpid));
+//! # Ok::<(), ppm_core::harness::HarnessError>(())
+//! ```
+
+pub mod auth;
+pub mod client;
+pub mod config;
+pub mod genealogy;
+pub mod handlers;
+pub mod harness;
+pub mod history;
+pub mod locator;
+pub mod lpm;
+pub mod pmd;
+pub mod trigger_engine;
+pub mod users;
+
+pub use auth::{Authenticator, UserCred};
+pub use client::{Tool, ToolHandle, ToolOutcome, ToolStep};
+pub use config::{lpm_port, PpmConfig, PMD_PORT, PMD_SERVICE};
+pub use harness::{HarnessBuilder, HarnessError, PpmHarness};
+pub use lpm::{Lpm, LpmStats};
+pub use pmd::{Pmd, PmdOptions};
+pub use users::{UserDirectory, UserEntry};

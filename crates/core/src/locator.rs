@@ -1,0 +1,538 @@
+//! The LPM-creation chain of Figure 2, as a reusable client state machine.
+//!
+//! Both tools and sibling LPMs need an authenticated channel to a user's
+//! LPM on some host. Getting one takes the paper's four steps plus the
+//! handshake:
+//!
+//! 1. connect to the target's **inetd** and request the `pmd` service;
+//! 2. inetd starts **pmd** if necessary and returns its port;
+//! 3. connect to pmd and send [`Msg::CreateLpm`]; pmd creates the LPM if
+//!    necessary "after verifying that there is no LPM for that user in
+//!    that host";
+//! 4. pmd returns the **accept address**; connect to it and exchange
+//!    [`Msg::Hello`]/[`Msg::HelloAck`] to authenticate the channel.
+//!
+//! Daemons may still be booting when we connect, so refused connections
+//! are retried — the owner of the machine schedules the retry timer.
+
+use bytes::Bytes;
+use ppm_proto::codec::Wire;
+use ppm_proto::msg::Msg;
+use ppm_simnet::time::SimDuration;
+use ppm_simnet::topology::HostId;
+use ppm_simnet::trace::TraceCategory;
+use ppm_simos::ids::{ConnId, Port};
+use ppm_simos::inetd;
+use ppm_simos::program::{ConnEvent, SysError};
+use ppm_simos::sys::Sys;
+
+use crate::config::PMD_SERVICE;
+
+/// Identity material the channel presents in its `Hello`.
+#[derive(Debug, Clone)]
+pub struct HelloIdentity {
+    /// Acting user.
+    pub user: u32,
+    /// Caller's host name.
+    pub host: String,
+    /// True for tools, false for sibling LPMs.
+    pub is_tool: bool,
+    /// Caller's CCS view.
+    pub ccs: String,
+    /// Caller's CCS epoch.
+    pub epoch: u64,
+    /// Authentication proof.
+    pub proof: u64,
+}
+
+/// Progress report returned by every event fed to the channel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChanProgress {
+    /// Still working; nothing for the owner to do.
+    Pending,
+    /// Transient failure (daemon booting); call
+    /// [`LpmChannel::retry`] after this delay.
+    RetryAfter(SimDuration),
+    /// Channel established and authenticated.
+    Ready {
+        /// The authenticated connection to the LPM.
+        conn: ConnId,
+        /// Whether this request created the LPM.
+        created: bool,
+        /// The LPM's CCS view from its `HelloAck`.
+        peer_ccs: String,
+        /// The LPM's CCS epoch.
+        peer_epoch: u64,
+    },
+    /// Permanent failure.
+    Failed(SysError),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Step {
+    ToInetd,
+    AwaitPmdPort,
+    ToPmd,
+    AwaitLpmAddr,
+    ToLpm,
+    AwaitAck,
+    Done,
+    Dead,
+}
+
+/// The state machine. The owner routes events for connections the channel
+/// [`owns`](LpmChannel::owns) into [`on_conn_event`](Self::on_conn_event) /
+/// [`on_message`](Self::on_message), and calls [`retry`](Self::retry) when
+/// a `RetryAfter` delay elapses.
+#[derive(Debug)]
+pub struct LpmChannel {
+    target: HostId,
+    identity: HelloIdentity,
+    step: Step,
+    conn: Option<ConnId>,
+    pmd_port: Option<Port>,
+    lpm_port: Option<Port>,
+    created: bool,
+    attempts_left: u32,
+    retry_delay: SimDuration,
+}
+
+impl LpmChannel {
+    /// Starts the chain toward `target`.
+    pub fn start(
+        sys: &mut Sys<'_>,
+        target: HostId,
+        identity: HelloIdentity,
+        retry_delay: SimDuration,
+        attempts: u32,
+    ) -> Self {
+        let mut chan = LpmChannel {
+            target,
+            identity,
+            step: Step::ToInetd,
+            conn: None,
+            pmd_port: None,
+            lpm_port: None,
+            created: false,
+            attempts_left: attempts.max(1),
+            retry_delay,
+        };
+        chan.connect_current(sys);
+        chan
+    }
+
+    /// The host this channel targets.
+    pub fn target(&self) -> HostId {
+        self.target
+    }
+
+    /// Whether `conn` belongs to this channel.
+    pub fn owns(&self, conn: ConnId) -> bool {
+        self.conn == Some(conn)
+    }
+
+    /// The connection the channel is currently using, if any. Owners
+    /// re-register this after every progress report so events route back.
+    pub fn current_conn(&self) -> Option<ConnId> {
+        self.conn
+    }
+
+    /// True once the channel reached a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.step, Step::Done | Step::Dead)
+    }
+
+    fn connect_current(&mut self, sys: &mut Sys<'_>) {
+        let port = match self.step {
+            Step::ToInetd => Port::INETD,
+            Step::ToPmd => self.pmd_port.expect("pmd port known at ToPmd"),
+            Step::ToLpm => self.lpm_port.expect("lpm port known at ToLpm"),
+            _ => return,
+        };
+        self.conn = sys.connect(self.target, port).ok();
+        if self.conn.is_none() {
+            self.step = Step::Dead;
+        }
+    }
+
+    /// Re-attempts the current step after a `RetryAfter`.
+    pub fn retry(&mut self, sys: &mut Sys<'_>) -> ChanProgress {
+        if self.is_terminal() {
+            return ChanProgress::Failed(SysError::ConnectionClosed);
+        }
+        self.connect_current(sys);
+        match self.step {
+            Step::ToInetd | Step::ToPmd | Step::ToLpm if self.conn.is_some() => {
+                ChanProgress::Pending
+            }
+            _ => self.fail(SysError::HostDown),
+        }
+    }
+
+    fn fail(&mut self, err: SysError) -> ChanProgress {
+        self.step = Step::Dead;
+        ChanProgress::Failed(err)
+    }
+
+    fn bounce(&mut self) -> ChanProgress {
+        if self.attempts_left == 0 {
+            return self.fail(SysError::ConnectionRefused);
+        }
+        self.attempts_left -= 1;
+        ChanProgress::RetryAfter(self.retry_delay)
+    }
+
+    /// Feeds a connection event for an owned connection.
+    pub fn on_conn_event(&mut self, sys: &mut Sys<'_>, ev: ConnEvent) -> ChanProgress {
+        match (self.step, ev) {
+            (Step::ToInetd, ConnEvent::Established) => {
+                let conn = self.conn.expect("owned conn");
+                if sys.send(conn, inetd::request(PMD_SERVICE)).is_err() {
+                    return self.bounce();
+                }
+                self.step = Step::AwaitPmdPort;
+                ChanProgress::Pending
+            }
+            (Step::ToPmd, ConnEvent::Established) => {
+                let conn = self.conn.expect("owned conn");
+                let msg = Msg::CreateLpm {
+                    user: self.identity.user,
+                };
+                if sys.send(conn, msg.to_bytes()).is_err() {
+                    return self.bounce();
+                }
+                self.step = Step::AwaitLpmAddr;
+                ChanProgress::Pending
+            }
+            (Step::ToLpm, ConnEvent::Established) => {
+                let conn = self.conn.expect("owned conn");
+                let id = &self.identity;
+                let hello = Msg::Hello {
+                    user: id.user,
+                    host: id.host.clone(),
+                    is_tool: id.is_tool,
+                    ccs: id.ccs.clone(),
+                    epoch: id.epoch,
+                    proof: id.proof,
+                };
+                if sys.send(conn, hello.to_bytes()).is_err() {
+                    return self.bounce();
+                }
+                self.step = Step::AwaitAck;
+                ChanProgress::Pending
+            }
+            (_, ConnEvent::Failed(SysError::ConnectionRefused)) => {
+                // Daemon still booting: retry, like TCP SYN retransmission.
+                self.bounce()
+            }
+            (_, ConnEvent::Failed(err)) => self.fail(err),
+            (_, ConnEvent::Closed) => {
+                if self.step == Step::Done {
+                    ChanProgress::Pending
+                } else {
+                    self.fail(SysError::ConnectionClosed)
+                }
+            }
+            _ => ChanProgress::Pending,
+        }
+    }
+
+    /// Feeds a message arriving on an owned connection.
+    pub fn on_message(&mut self, sys: &mut Sys<'_>, data: Bytes) -> ChanProgress {
+        match self.step {
+            Step::AwaitPmdPort => {
+                let conn = self.conn.expect("owned conn");
+                match inetd::parse_reply(&data) {
+                    Ok(port) => {
+                        let _ = sys.close(conn);
+                        self.pmd_port = Some(port);
+                        self.step = Step::ToPmd;
+                        self.connect_current(sys);
+                        ChanProgress::Pending
+                    }
+                    Err(e) => self.fail(e),
+                }
+            }
+            Step::AwaitLpmAddr => {
+                let conn = self.conn.expect("owned conn");
+                match Msg::from_bytes(&data) {
+                    Ok(Msg::LpmAddr { port, created, .. }) => {
+                        let _ = sys.close(conn);
+                        self.lpm_port = Some(Port(port));
+                        self.created = created;
+                        sys.trace(
+                            TraceCategory::Daemon,
+                            format!(
+                                "locator: pmd returned accept address :{port} (created={created})"
+                            ),
+                        );
+                        self.step = Step::ToLpm;
+                        self.connect_current(sys);
+                        ChanProgress::Pending
+                    }
+                    Ok(Msg::NoLpm { .. }) => self.fail(SysError::PermissionDenied),
+                    _ => self.fail(SysError::InvalidArgument),
+                }
+            }
+            Step::AwaitAck => match Msg::from_bytes(&data) {
+                Ok(Msg::HelloAck {
+                    ok: true,
+                    ccs,
+                    epoch,
+                    ..
+                }) => {
+                    self.step = Step::Done;
+                    ChanProgress::Ready {
+                        conn: self.conn.expect("owned conn"),
+                        created: self.created,
+                        peer_ccs: ccs,
+                        peer_epoch: epoch,
+                    }
+                }
+                Ok(Msg::HelloAck { ok: false, .. }) => self.fail(SysError::PermissionDenied),
+                _ => self.fail(SysError::InvalidArgument),
+            },
+            _ => ChanProgress::Pending,
+        }
+    }
+}
+
+/// Progress of a [`PmdExchange`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmdProgress {
+    /// Still working.
+    Pending,
+    /// Transient failure; call [`PmdExchange::retry`] after this delay.
+    RetryAfter(SimDuration),
+    /// The pmd answered.
+    Answer(Msg),
+    /// Permanent failure.
+    Failed(SysError),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PmdStep {
+    ToInetd,
+    AwaitPort,
+    ToPmd,
+    AwaitAnswer,
+    Done,
+    Dead,
+}
+
+/// A one-shot exchange with a (possibly remote) pmd: locate it through
+/// inetd, send one message, return the answer. Used by the name-server
+/// CCS policy of Section 5 ("LPMs would query the name server for a
+/// CCS"), where pmd plays the name server it already is for LPM creation.
+#[derive(Debug)]
+pub struct PmdExchange {
+    target: HostId,
+    request: Msg,
+    step: PmdStep,
+    conn: Option<ConnId>,
+    pmd_port: Option<Port>,
+    attempts_left: u32,
+    retry_delay: SimDuration,
+}
+
+impl PmdExchange {
+    /// Starts the exchange toward `target`'s pmd.
+    pub fn start(
+        sys: &mut Sys<'_>,
+        target: HostId,
+        request: Msg,
+        retry_delay: SimDuration,
+        attempts: u32,
+    ) -> Self {
+        let mut x = PmdExchange {
+            target,
+            request,
+            step: PmdStep::ToInetd,
+            conn: None,
+            pmd_port: None,
+            attempts_left: attempts.max(1),
+            retry_delay,
+        };
+        x.connect_current(sys);
+        x
+    }
+
+    /// Whether `conn` belongs to this exchange.
+    pub fn owns(&self, conn: ConnId) -> bool {
+        self.conn == Some(conn)
+    }
+
+    /// The connection currently in use.
+    pub fn current_conn(&self) -> Option<ConnId> {
+        self.conn
+    }
+
+    /// True once finished (successfully or not).
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.step, PmdStep::Done | PmdStep::Dead)
+    }
+
+    fn connect_current(&mut self, sys: &mut Sys<'_>) {
+        let port = match self.step {
+            PmdStep::ToInetd => Port::INETD,
+            PmdStep::ToPmd => self.pmd_port.expect("port known"),
+            _ => return,
+        };
+        self.conn = sys.connect(self.target, port).ok();
+        if self.conn.is_none() {
+            self.step = PmdStep::Dead;
+        }
+    }
+
+    fn bounce(&mut self) -> PmdProgress {
+        if self.attempts_left == 0 {
+            self.step = PmdStep::Dead;
+            return PmdProgress::Failed(SysError::ConnectionRefused);
+        }
+        self.attempts_left -= 1;
+        PmdProgress::RetryAfter(self.retry_delay)
+    }
+
+    /// Re-attempts the current step.
+    pub fn retry(&mut self, sys: &mut Sys<'_>) -> PmdProgress {
+        if self.is_terminal() {
+            return PmdProgress::Failed(SysError::ConnectionClosed);
+        }
+        self.connect_current(sys);
+        if self.conn.is_some() {
+            PmdProgress::Pending
+        } else {
+            self.step = PmdStep::Dead;
+            PmdProgress::Failed(SysError::HostDown)
+        }
+    }
+
+    /// Feeds a connection event for an owned connection.
+    pub fn on_conn_event(&mut self, sys: &mut Sys<'_>, ev: ConnEvent) -> PmdProgress {
+        match (self.step, ev) {
+            (PmdStep::ToInetd, ConnEvent::Established) => {
+                let conn = self.conn.expect("owned");
+                if sys.send(conn, inetd::request(PMD_SERVICE)).is_err() {
+                    return self.bounce();
+                }
+                self.step = PmdStep::AwaitPort;
+                PmdProgress::Pending
+            }
+            (PmdStep::ToPmd, ConnEvent::Established) => {
+                let conn = self.conn.expect("owned");
+                if sys.send(conn, self.request.to_bytes()).is_err() {
+                    return self.bounce();
+                }
+                self.step = PmdStep::AwaitAnswer;
+                PmdProgress::Pending
+            }
+            (_, ConnEvent::Failed(SysError::ConnectionRefused)) => self.bounce(),
+            (_, ConnEvent::Failed(err)) => {
+                self.step = PmdStep::Dead;
+                PmdProgress::Failed(err)
+            }
+            (_, ConnEvent::Closed) if self.step != PmdStep::Done => {
+                self.step = PmdStep::Dead;
+                PmdProgress::Failed(SysError::ConnectionClosed)
+            }
+            _ => PmdProgress::Pending,
+        }
+    }
+
+    /// Feeds a message arriving on an owned connection.
+    pub fn on_message(&mut self, sys: &mut Sys<'_>, data: Bytes) -> PmdProgress {
+        match self.step {
+            PmdStep::AwaitPort => match inetd::parse_reply(&data) {
+                Ok(port) => {
+                    let conn = self.conn.expect("owned");
+                    let _ = sys.close(conn);
+                    self.pmd_port = Some(port);
+                    self.step = PmdStep::ToPmd;
+                    self.connect_current(sys);
+                    PmdProgress::Pending
+                }
+                Err(e) => {
+                    self.step = PmdStep::Dead;
+                    PmdProgress::Failed(e)
+                }
+            },
+            PmdStep::AwaitAnswer => match Msg::from_bytes(&data) {
+                Ok(answer) => {
+                    let conn = self.conn.expect("owned");
+                    let _ = sys.close(conn);
+                    self.step = PmdStep::Done;
+                    PmdProgress::Answer(answer)
+                }
+                Err(_) => {
+                    self.step = PmdStep::Dead;
+                    PmdProgress::Failed(SysError::InvalidArgument)
+                }
+            },
+            _ => PmdProgress::Pending,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The channel is exercised end-to-end in the LPM/harness integration
+    //! tests; here we check the pure state transitions that need no world.
+    use super::*;
+
+    fn identity() -> HelloIdentity {
+        HelloIdentity {
+            user: 100,
+            host: "a".into(),
+            is_tool: true,
+            ccs: "a".into(),
+            epoch: 0,
+            proof: 1,
+        }
+    }
+
+    #[test]
+    fn bounce_counts_down_then_fails() {
+        let mut chan = LpmChannel {
+            target: HostId(0),
+            identity: identity(),
+            step: Step::ToInetd,
+            conn: Some(ConnId(1)),
+            pmd_port: None,
+            lpm_port: None,
+            created: false,
+            attempts_left: 2,
+            retry_delay: SimDuration::from_millis(20),
+        };
+        assert_eq!(
+            chan.bounce(),
+            ChanProgress::RetryAfter(SimDuration::from_millis(20))
+        );
+        assert_eq!(
+            chan.bounce(),
+            ChanProgress::RetryAfter(SimDuration::from_millis(20))
+        );
+        assert_eq!(
+            chan.bounce(),
+            ChanProgress::Failed(SysError::ConnectionRefused)
+        );
+        assert!(chan.is_terminal());
+    }
+
+    #[test]
+    fn ownership_is_per_conn() {
+        let chan = LpmChannel {
+            target: HostId(3),
+            identity: identity(),
+            step: Step::ToInetd,
+            conn: Some(ConnId(9)),
+            pmd_port: None,
+            lpm_port: None,
+            created: false,
+            attempts_left: 1,
+            retry_delay: SimDuration::from_millis(20),
+        };
+        assert!(chan.owns(ConnId(9)));
+        assert!(!chan.owns(ConnId(8)));
+        assert_eq!(chan.target(), HostId(3));
+    }
+}

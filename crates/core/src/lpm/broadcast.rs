@@ -1,0 +1,512 @@
+//! The broadcast echo wave over the sibling graph.
+//!
+//! Section 4: "Because our on-demand communication topology is designed to
+//! produce low-connectivity graphs, we have to pay a price for broadcast
+//! requests. The PPM uses a graph covering algorithm. A scheme for not
+//! retransmitting old broadcast requests has been implemented using a
+//! signed timestamp in which the name of the originating host appears. ...
+//! All data returned to the originator of a broadcast request includes the
+//! message's source-destination route."
+//!
+//! Implementation: a Chang-style echo wave. The originator sends the
+//! stamped request to all siblings; each first-time receiver answers with
+//! its local slice ([`Msg::BcastResp`]), forwards to its other siblings,
+//! relays their answers upstream, and sends [`Msg::BcastDone`] when its
+//! subtree is exhausted. Duplicates (identified by the signed stamp within
+//! the retention window) are answered with an immediate `BcastDone`.
+
+use std::collections::BTreeSet;
+
+use ppm_proto::msg::{ErrCode, Msg, Op, Reply};
+use ppm_proto::types::{Route, Stamp};
+use ppm_simnet::time::SimTime;
+use ppm_simnet::trace::TraceCategory;
+use ppm_simos::ids::ConnId;
+use ppm_simos::sys::Sys;
+
+use super::{BcastState, Lpm, ReplyTo, TimerPurpose};
+
+/// Which operations may be broadcast (`dest = "*"`).
+fn broadcastable(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Snapshot | Op::Rusage { .. } | Op::History { .. } | Op::Ping
+    )
+}
+
+impl Lpm {
+    /// Originates a broadcast for request `req_id` (whose dest is `"*"`).
+    pub(crate) fn begin_broadcast(&mut self, sys: &mut Sys<'_>, req_id: u64) {
+        let (user, op) = {
+            let r = &self.reqs[&req_id];
+            (r.user, r.op.clone())
+        };
+        if !broadcastable(&op) {
+            self.finish_with_error(
+                sys,
+                req_id,
+                ErrCode::BadRequest,
+                &format!("{} cannot be broadcast", op.kind()),
+            );
+            return;
+        }
+        self.bcast_seq += 1;
+        let now = sys.now();
+        let stamp = Stamp::signed(
+            self.host.clone(),
+            self.bcast_seq,
+            now.as_micros(),
+            self.auth.stamp_secret(),
+        );
+        let key = stamp.key();
+        self.seen.insert(key.clone(), now);
+        self.stats.bcasts_originated += 1;
+
+        let forward_targets: Vec<String> = self.siblings.keys().cloned().collect();
+        let forwarded = forward_targets.is_empty();
+        let state = BcastState {
+            stamp: stamp.clone(),
+            op: op.clone(),
+            user,
+            upstream: None,
+            reply_req: Some(req_id),
+            parts: Vec::new(),
+            pending_children: BTreeSet::new(),
+            local_done: false,
+            done_sent: false,
+            forward_handler: None,
+            respond_handler: None,
+            forward_targets,
+            forwarded,
+            relay_queue: Vec::new(),
+            route_in: Route::from_origin(self.host.clone()),
+            merge_queue: Vec::new(),
+            merges_outstanding: 0,
+            merge_free_at: SimTime::ZERO,
+            timeout_token: None,
+        };
+        self.bcasts.insert(key.clone(), state);
+        sys.trace(
+            TraceCategory::Broadcast,
+            format!(
+                "originate {}#{} ({}) targets {:?}",
+                key.0,
+                key.1,
+                op.kind(),
+                self.bcasts[&key].forward_targets
+            ),
+        );
+
+        // Local slice: the originator's dispatcher gathers it directly.
+        self.begin_local_slice(sys, &key, user, op, false);
+
+        // Downstream wave: a handler carries the fan-out and blocks on it.
+        let has_targets = !self.bcasts[&key].forward_targets.is_empty();
+        if has_targets {
+            let (h, d) = self.acquire_handler(sys);
+            if let Some(b) = self.bcasts.get_mut(&key) {
+                b.forward_handler = Some(h);
+            }
+            self.arm(sys, d, TimerPurpose::BcastForward(key.clone()));
+        }
+        let timeout = self.cfg.bcast_timeout;
+        let tok = self.arm(sys, timeout, TimerPurpose::BcastTimeout(key.clone()));
+        if let Some(b) = self.bcasts.get_mut(&key) {
+            b.timeout_token = Some(tok);
+        }
+    }
+
+    /// Creates the internal sub-request that gathers this host's slice.
+    fn begin_local_slice(
+        &mut self,
+        sys: &mut Sys<'_>,
+        key: &(String, u64),
+        user: u32,
+        op: Op,
+        with_handler: bool,
+    ) {
+        let id = self.alloc_internal_id();
+        let reply_to = ReplyTo::BcastLocal { key: key.clone() };
+        let mut req = super::ReqState {
+            user,
+            dest: self.host.clone(),
+            op: op.clone(),
+            reply_to,
+            phase: super::ReqPhase::OpCost,
+            handler: None,
+            sent_conn: None,
+            hops_left: 0,
+            route: Route::from_origin(self.host.clone()),
+            timeout_token: None,
+            spawn_pid: None,
+        };
+        if with_handler {
+            let (h, d) = self.acquire_handler(sys);
+            req.handler = Some(h);
+            req.phase = super::ReqPhase::HandlerForLocal;
+            self.reqs.insert(id, req);
+            self.arm(sys, d, TimerPurpose::ReqStep(id));
+        } else {
+            let cost = self.op_cost(&op);
+            let d = sys.scale_cost(cost);
+            self.reqs.insert(id, req);
+            self.arm(sys, d, TimerPurpose::ReqStep(id));
+        }
+    }
+
+    /// A broadcast request arrived from sibling `from_host`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn handle_bcast(
+        &mut self,
+        sys: &mut Sys<'_>,
+        conn: ConnId,
+        from_host: &str,
+        stamp: Stamp,
+        user: u32,
+        op: Op,
+        route: Route,
+    ) {
+        if !stamp.verify(self.auth.stamp_secret()) {
+            self.note(
+                sys,
+                format!("broadcast with bad stamp from {from_host}; ignored"),
+            );
+            return;
+        }
+        let key = stamp.key();
+        if self.seen.contains_key(&key) || self.bcasts.contains_key(&key) {
+            // Old request within the retention window — or a wave still in
+            // progress, which counts as seen regardless of the window.
+            self.stats.bcasts_suppressed += 1;
+            sys.trace(
+                TraceCategory::Broadcast,
+                format!("suppress duplicate {}#{} from {from_host}", key.0, key.1),
+            );
+            let _ = self.send_msg(sys, conn, &Msg::BcastDone { stamp });
+            return;
+        }
+        let now = sys.now();
+        self.seen.insert(key.clone(), now);
+        self.stats.bcasts_forwarded += 1;
+
+        // Graph cover: forward to every sibling except the sender and any
+        // host the request already visited.
+        let forward_targets: Vec<String> = self
+            .siblings
+            .keys()
+            .filter(|h| h.as_str() != from_host && !route.contains(h))
+            .cloned()
+            .collect();
+        let forwarded = forward_targets.is_empty();
+        let state = BcastState {
+            stamp: stamp.clone(),
+            op: op.clone(),
+            user,
+            upstream: Some(conn),
+            reply_req: None,
+            parts: Vec::new(),
+            pending_children: BTreeSet::new(),
+            local_done: false,
+            done_sent: false,
+            forward_handler: None,
+            respond_handler: None,
+            forward_targets,
+            forwarded,
+            relay_queue: Vec::new(),
+            route_in: route,
+            merge_queue: Vec::new(),
+            merges_outstanding: 0,
+            merge_free_at: SimTime::ZERO,
+            timeout_token: None,
+        };
+        self.bcasts.insert(key.clone(), state);
+        sys.trace(
+            TraceCategory::Broadcast,
+            format!(
+                "receive {}#{} from {from_host}, forward to {:?}",
+                key.0, key.1, self.bcasts[&key].forward_targets
+            ),
+        );
+
+        // Respond-task first (a handler gathers and answers), then the
+        // forward-task — the dispatcher serializes the two hand-offs.
+        self.begin_local_slice(sys, &key, user, op, true);
+        let has_targets = !self.bcasts[&key].forward_targets.is_empty();
+        if has_targets {
+            let (h, d) = self.acquire_handler(sys);
+            if let Some(b) = self.bcasts.get_mut(&key) {
+                b.forward_handler = Some(h);
+            }
+            self.arm(sys, d, TimerPurpose::BcastForward(key.clone()));
+        }
+        let timeout = self.cfg.bcast_timeout;
+        let tok = self.arm(sys, timeout, TimerPurpose::BcastTimeout(key.clone()));
+        if let Some(b) = self.bcasts.get_mut(&key) {
+            b.timeout_token = Some(tok);
+        }
+    }
+
+    /// The forward handler is ready: send the wave downstream.
+    pub(crate) fn bcast_forward_ready(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+        let Some(b) = self.bcasts.get(key) else {
+            return;
+        };
+        let stamp = b.stamp.clone();
+        let user = b.user;
+        let op = b.op.clone();
+        let mut route = b.route_in.clone();
+        route.push(self.host.clone());
+        let targets = b.forward_targets.clone();
+        sys.trace(
+            TraceCategory::Broadcast,
+            format!("forward {}#{} -> {targets:?}", key.0, key.1),
+        );
+        for host in targets {
+            let Some(&conn) = self.siblings.get(&host) else {
+                continue;
+            };
+            let msg = Msg::Bcast {
+                stamp: stamp.clone(),
+                user,
+                op: op.clone(),
+                route: route.clone(),
+            };
+            if self.send_msg(sys, conn, &msg).is_ok() {
+                if let Some(b) = self.bcasts.get_mut(key) {
+                    b.pending_children.insert(host);
+                }
+            }
+        }
+        if let Some(b) = self.bcasts.get_mut(key) {
+            b.forwarded = true;
+        }
+        self.maybe_complete(sys, key);
+    }
+
+    /// The local slice finished gathering.
+    pub(crate) fn bcast_local_complete(
+        &mut self,
+        sys: &mut Sys<'_>,
+        key: &(String, u64),
+        reply: Reply,
+    ) {
+        let Some(b) = self.bcasts.get_mut(key) else {
+            return;
+        };
+        b.local_done = true;
+        sys.trace(
+            TraceCategory::Broadcast,
+            format!("local slice done {}#{}", key.0, key.1),
+        );
+        let b = self.bcasts.get_mut(key).expect("checked");
+        match b.upstream {
+            None => b.parts.push(reply),
+            Some(upstream) => {
+                let mut route = b.route_in.clone();
+                route.push(self.host.clone());
+                let msg = Msg::BcastResp {
+                    stamp: b.stamp.clone(),
+                    host: self.host.clone(),
+                    reply,
+                    route,
+                };
+                let _ = self.send_msg(sys, upstream, &msg);
+            }
+        }
+        self.maybe_complete(sys, key);
+    }
+
+    /// A downstream host's answer arrived.
+    pub(crate) fn handle_bcast_resp(
+        &mut self,
+        sys: &mut Sys<'_>,
+        _conn: ConnId,
+        stamp: Stamp,
+        resp_host: String,
+        reply: Reply,
+        route: Route,
+    ) {
+        let key = stamp.key();
+        sys.trace(
+            TraceCategory::Broadcast,
+            format!(
+                "part from {resp_host} for {}#{} (route {route})",
+                key.0, key.1
+            ),
+        );
+        let Some(b) = self.bcasts.get(&key) else {
+            return;
+        };
+        match b.upstream {
+            None => {
+                // Originator: learn the route, then merge (merges serialize).
+                self.learn_route(&route);
+                let now = sys.now();
+                let cost = sys.scale_cost(self.cfg.merge_cost);
+                let b = self.bcasts.get_mut(&key).expect("checked");
+                b.merge_queue.push((resp_host, reply, route));
+                b.merges_outstanding += 1;
+                let start = if b.merge_free_at > now {
+                    b.merge_free_at
+                } else {
+                    now
+                };
+                let ready = start + cost;
+                b.merge_free_at = ready;
+                let delay = ready.saturating_since(now);
+                self.arm(sys, delay, TimerPurpose::BcastMerge(key));
+            }
+            Some(upstream) => {
+                // Relay upstream; a handler carries the relay.
+                let msg = Msg::BcastResp {
+                    stamp,
+                    host: resp_host,
+                    reply,
+                    route,
+                };
+                let (h, d) = self.acquire_handler(sys);
+                let b = self.bcasts.get_mut(&key).expect("checked");
+                b.relay_queue.push((msg, Some(h), upstream));
+                self.arm(sys, d, TimerPurpose::BcastMerge(key));
+            }
+        }
+    }
+
+    /// A merge (originator) or relay (intermediate) slot completed.
+    pub(crate) fn bcast_merge_slot(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+        let Some(b) = self.bcasts.get_mut(key) else {
+            return;
+        };
+        if b.upstream.is_none() {
+            if b.merges_outstanding > 0 {
+                b.merges_outstanding -= 1;
+            }
+            if !b.merge_queue.is_empty() {
+                let (_host, reply, _route) = b.merge_queue.remove(0);
+                b.parts.push(reply);
+            }
+            self.maybe_complete(sys, key);
+        } else if !b.relay_queue.is_empty() {
+            let (msg, handler, upstream) = b.relay_queue.remove(0);
+            let _ = self.send_msg(sys, upstream, &msg);
+            self.release_handler(sys, handler);
+            self.maybe_complete(sys, key);
+        }
+    }
+
+    /// A child subtree reported completion (or its channel broke).
+    pub(crate) fn bcast_child_done(&mut self, sys: &mut Sys<'_>, key: &(String, u64), child: &str) {
+        if let Some(b) = self.bcasts.get_mut(key) {
+            b.pending_children.remove(child);
+        }
+        self.maybe_complete(sys, key);
+    }
+
+    /// The wave safety timeout fired.
+    pub(crate) fn bcast_timeout(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+        let Some(b) = self.bcasts.get_mut(key) else {
+            return;
+        };
+        if !b.pending_children.is_empty() || !b.forwarded {
+            let missing: Vec<String> = b.pending_children.iter().cloned().collect();
+            b.pending_children.clear();
+            b.forwarded = true;
+            b.timeout_token = None;
+            self.note(
+                sys,
+                format!(
+                    "broadcast {}#{} timed out waiting for {missing:?}",
+                    key.0, key.1
+                ),
+            );
+        }
+        self.maybe_complete(sys, key);
+    }
+
+    /// Checks whether this LPM's participation in the wave is complete.
+    fn maybe_complete(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+        let Some(b) = self.bcasts.get(key) else {
+            return;
+        };
+        let quiesced = b.local_done
+            && b.forwarded
+            && b.pending_children.is_empty()
+            && b.merge_queue.is_empty()
+            && b.relay_queue.is_empty()
+            && b.merges_outstanding == 0;
+        if !quiesced {
+            return;
+        }
+        if b.upstream.is_none() {
+            // Originator: merge parts into the final reply.
+            let b = self.bcasts.remove(key).expect("checked");
+            if let Some(tok) = b.timeout_token {
+                self.timers.remove(&tok);
+            }
+            self.release_handler(sys, b.forward_handler);
+            sys.trace(
+                TraceCategory::Broadcast,
+                format!("finalize {}#{} with {} parts", key.0, key.1, b.parts.len()),
+            );
+            let combined = combine(&b.op, b.parts);
+            if let Some(req_id) = b.reply_req {
+                self.finish_req(sys, req_id, combined);
+            }
+        } else if !b.done_sent {
+            let b = self.bcasts.get_mut(key).expect("checked");
+            b.done_sent = true;
+            let upstream = b.upstream.expect("relay");
+            let stamp = b.stamp.clone();
+            let forward_handler = b.forward_handler.take();
+            let respond_handler = b.respond_handler.take();
+            let timeout_token = b.timeout_token.take();
+            let _ = self.send_msg(sys, upstream, &Msg::BcastDone { stamp });
+            if let Some(tok) = timeout_token {
+                self.timers.remove(&tok);
+            }
+            self.release_handler(sys, forward_handler);
+            self.release_handler(sys, respond_handler);
+            self.bcasts.remove(key);
+        }
+    }
+}
+
+/// Merges broadcast parts into one reply.
+fn combine(op: &Op, parts: Vec<Reply>) -> Reply {
+    match op {
+        Op::Snapshot => {
+            let mut procs = Vec::new();
+            for p in parts {
+                if let Reply::Snapshot { procs: mut ps, .. } = p {
+                    procs.append(&mut ps);
+                }
+            }
+            procs.sort_by(|a, b| (&a.gpid.host, a.gpid.pid).cmp(&(&b.gpid.host, b.gpid.pid)));
+            Reply::Snapshot {
+                host: "*".to_string(),
+                procs,
+            }
+        }
+        Op::Rusage { .. } => {
+            let mut records = Vec::new();
+            for p in parts {
+                if let Reply::Rusage { records: mut rs } = p {
+                    records.append(&mut rs);
+                }
+            }
+            records.sort_by_key(|r| r.exited_us);
+            Reply::Rusage { records }
+        }
+        Op::History { .. } => {
+            let mut events = Vec::new();
+            for p in parts {
+                if let Reply::History { events: mut es } = p {
+                    events.append(&mut es);
+                }
+            }
+            events.sort_by_key(|e| e.at_us);
+            Reply::History { events }
+        }
+        _ => Reply::Pong,
+    }
+}

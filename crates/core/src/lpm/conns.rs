@@ -1,0 +1,323 @@
+//! LPM connection management: hellos, sibling channels, outboxes.
+//!
+//! "The LPMs are able to perform authentication when channels are
+//! created, rather than upon every request. ... The local LPM will create
+//! a remote LPM when one is required, and maintain communication with the
+//! remote LPM when this is possible."
+
+use ppm_proto::msg::Msg;
+use ppm_simnet::trace::TraceCategory;
+use ppm_simos::ids::ConnId;
+use ppm_simos::program::{ConnEvent, SysError};
+use ppm_simos::sys::Sys;
+
+use crate::locator::{ChanProgress, HelloIdentity, LpmChannel};
+
+use super::{ChanPurpose, ChannelSlot, ConnRole, Lpm, TimerPurpose};
+
+/// Result of asking for a sibling connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SiblingStatus {
+    /// Use this connection now.
+    Connected(ConnId),
+    /// A channel is being established; queue in the outbox.
+    Pending,
+    /// The host cannot be reached (unknown name).
+    Unavailable,
+}
+
+impl Lpm {
+    // ---- accept side ------------------------------------------------------
+
+    /// First message on an accepted connection must be an authenticating
+    /// `Hello` (Figure 3's "secure reliable communication channel").
+    pub(crate) fn handle_hello(&mut self, sys: &mut Sys<'_>, conn: ConnId, msg: Msg) {
+        let Msg::Hello {
+            user,
+            host,
+            is_tool,
+            ccs,
+            epoch,
+            proof,
+        } = msg
+        else {
+            // Protocol violation before authentication: drop the channel.
+            self.conns.remove(&conn);
+            let _ = sys.close(conn);
+            return;
+        };
+        let ok = self.auth.check_hello(user, proof);
+        if !ok {
+            self.stats.auth_failures += 1;
+            self.note(
+                sys,
+                format!("hello from {host} rejected (user {user}): bad proof"),
+            );
+            let nak = Msg::HelloAck {
+                host: self.host.clone(),
+                ok: false,
+                ccs: self.ccs.clone(),
+                epoch: self.epoch,
+            };
+            let _ = self.send_msg(sys, conn, &nak);
+            self.conns.remove(&conn);
+            let _ = sys.close(conn);
+            return;
+        }
+        // Adopt the caller's CCS view if fresher, before acking with ours.
+        self.consider_ccs(sys, &ccs, epoch);
+        if is_tool {
+            self.conns.insert(conn, ConnRole::Tool);
+            self.ttl_deadline = None;
+        } else {
+            self.conns.insert(conn, ConnRole::Sibling(host.clone()));
+            self.siblings.entry(host.clone()).or_insert(conn);
+            sys.trace(
+                TraceCategory::Lpm,
+                format!("sibling channel accepted from {host}"),
+            );
+        }
+        let ack = Msg::HelloAck {
+            host: self.host.clone(),
+            ok: true,
+            ccs: self.ccs.clone(),
+            epoch: self.epoch,
+        };
+        let _ = self.send_msg(sys, conn, &ack);
+        // Contact from a healthy sibling ends orphanhood.
+        if !is_tool {
+            self.recovered_contact(sys);
+        }
+    }
+
+    // ---- initiating channels ----------------------------------------------
+
+    /// Ensures a sibling connection toward `host`, starting a channel if
+    /// needed.
+    pub(crate) fn ensure_sibling(&mut self, sys: &mut Sys<'_>, host: &str) -> SiblingStatus {
+        if let Some(&conn) = self.siblings.get(host) {
+            return SiblingStatus::Connected(conn);
+        }
+        if self.channels.contains_key(host) {
+            return SiblingStatus::Pending;
+        }
+        match self.start_channel(sys, host, ChanPurpose::Sibling) {
+            true => SiblingStatus::Pending,
+            false => SiblingStatus::Unavailable,
+        }
+    }
+
+    /// Starts a channel toward `host` for `purpose`. Returns `false` when
+    /// the host name does not resolve.
+    pub(crate) fn start_channel(
+        &mut self,
+        sys: &mut Sys<'_>,
+        host: &str,
+        purpose: ChanPurpose,
+    ) -> bool {
+        let Ok(target) = sys.resolve_host(host) else {
+            return false;
+        };
+        let identity = HelloIdentity {
+            user: self.auth.uid().0,
+            host: self.host.clone(),
+            is_tool: false,
+            ccs: self.ccs.clone(),
+            epoch: self.epoch,
+            proof: self.auth.proof(),
+        };
+        let retry = self.cfg.connect_retry;
+        let attempts = self.cfg.connect_attempts;
+        let chan = LpmChannel::start(sys, target, identity, retry, attempts);
+        self.channels
+            .insert(host.to_string(), ChannelSlot { chan, purpose });
+        self.reindex_channel(host);
+        true
+    }
+
+    /// Routes a connection event that may belong to a channel.
+    pub(crate) fn channel_conn_event(
+        &mut self,
+        sys: &mut Sys<'_>,
+        host: &str,
+        conn: ConnId,
+        event: ConnEvent,
+    ) {
+        let Some(slot) = self.channels.get_mut(host) else {
+            self.chan_conns.remove(&conn);
+            return;
+        };
+        if !slot.chan.owns(conn) {
+            self.chan_conns.remove(&conn);
+            return;
+        }
+        let progress = slot.chan.on_conn_event(sys, event);
+        self.apply_channel_progress(sys, host, progress);
+    }
+
+    /// Routes a message that may belong to a channel.
+    pub(crate) fn channel_message(
+        &mut self,
+        sys: &mut Sys<'_>,
+        host: &str,
+        conn: ConnId,
+        data: bytes::Bytes,
+    ) {
+        let Some(slot) = self.channels.get_mut(host) else {
+            self.chan_conns.remove(&conn);
+            return;
+        };
+        if !slot.chan.owns(conn) {
+            self.chan_conns.remove(&conn);
+            return;
+        }
+        let progress = slot.chan.on_message(sys, data);
+        self.apply_channel_progress(sys, host, progress);
+    }
+
+    /// A `ChannelRetry` timer fired.
+    pub(crate) fn channel_retry(&mut self, sys: &mut Sys<'_>, host: &str) {
+        self.chan_retry_armed.remove(host);
+        let Some(slot) = self.channels.get_mut(host) else {
+            return;
+        };
+        let progress = slot.chan.retry(sys);
+        self.apply_channel_progress(sys, host, progress);
+    }
+
+    /// Registers the channel's current connection id so events route back.
+    ///
+    /// `LpmChannel` opens a fresh connection per step, so the owner must
+    /// re-register after every progress report.
+    fn reindex_channel(&mut self, host: &str) {
+        let Some(slot) = self.channels.get(host) else {
+            return;
+        };
+        if let Some(conn) = slot.chan.current_conn() {
+            self.chan_conns.insert(conn, host.to_string());
+        }
+    }
+
+    fn apply_channel_progress(&mut self, sys: &mut Sys<'_>, host: &str, progress: ChanProgress) {
+        match progress {
+            ChanProgress::Pending => {
+                self.reindex_channel(host);
+            }
+            ChanProgress::RetryAfter(delay) => {
+                if self.chan_retry_armed.insert(host.to_string()) {
+                    self.arm(sys, delay, TimerPurpose::ChannelRetry(host.to_string()));
+                }
+            }
+            ChanProgress::Ready {
+                conn,
+                created,
+                peer_ccs,
+                peer_epoch,
+            } => {
+                let slot = self.channels.remove(host).expect("channel exists");
+                self.chan_conns.remove(&conn);
+                self.conns.insert(conn, ConnRole::Sibling(host.to_string()));
+                self.siblings.entry(host.to_string()).or_insert(conn);
+                self.consider_ccs(sys, &peer_ccs, peer_epoch);
+                self.note(
+                    sys,
+                    format!("sibling channel to {host} ready (created={created})"),
+                );
+                self.recovered_contact(sys);
+                self.flush_outbox(sys, host, conn);
+                self.channel_purpose_done(sys, host, slot.purpose, true);
+            }
+            ChanProgress::Failed(err) => {
+                let slot = self.channels.remove(host);
+                self.note(sys, format!("channel to {host} failed: {err}"));
+                self.fail_outbox(sys, host, err);
+                if let Some(slot) = slot {
+                    self.channel_purpose_done(sys, host, slot.purpose, false);
+                }
+            }
+        }
+    }
+
+    fn flush_outbox(&mut self, sys: &mut Sys<'_>, host: &str, conn: ConnId) {
+        let Some(queued) = self.outbox.remove(host) else {
+            return;
+        };
+        for (msg, req_id) in queued {
+            if self.send_msg(sys, conn, &msg).is_err() {
+                if let Some(id) = req_id {
+                    self.finish_with_error(
+                        sys,
+                        id,
+                        ppm_proto::msg::ErrCode::HostDown,
+                        "sibling channel broke during flush",
+                    );
+                }
+            } else if let Some(id) = req_id {
+                self.mark_sent(sys, id, conn);
+            }
+        }
+    }
+
+    fn fail_outbox(&mut self, sys: &mut Sys<'_>, host: &str, err: SysError) {
+        let Some(queued) = self.outbox.remove(host) else {
+            return;
+        };
+        for (msg, req_id) in queued {
+            if let Some(id) = req_id {
+                let code = match err {
+                    SysError::HostDown => ppm_proto::msg::ErrCode::HostDown,
+                    _ => ppm_proto::msg::ErrCode::NoRoute,
+                };
+                self.finish_with_error(sys, id, code, &format!("cannot reach {host}: {err}"));
+            } else if let Msg::Bcast { stamp, .. } = msg {
+                // A broadcast child never came up: count it as done.
+                let key = stamp.key();
+                self.bcast_child_done(sys, &key, host);
+            }
+        }
+    }
+
+    // ---- connection loss ----------------------------------------------------
+
+    pub(crate) fn on_conn_closed(&mut self, sys: &mut Sys<'_>, conn: ConnId) {
+        let Some(role) = self.conns.remove(&conn) else {
+            return;
+        };
+        match role {
+            ConnRole::Tool | ConnRole::AwaitHello => {}
+            ConnRole::Sibling(host) => {
+                if self.siblings.get(&host) == Some(&conn) {
+                    self.siblings.remove(&host);
+                }
+                self.note(sys, format!("sibling channel to {host} lost"));
+                // Fail directed requests that were sent on this connection.
+                let mut victims: Vec<u64> = self
+                    .reqs
+                    .iter()
+                    .filter(|(_, r)| r.sent_conn == Some(conn))
+                    .map(|(&id, _)| id)
+                    .collect();
+                victims.sort_unstable();
+                for id in victims {
+                    self.finish_with_error(
+                        sys,
+                        id,
+                        ppm_proto::msg::ErrCode::HostDown,
+                        &format!("connection to {host} broke"),
+                    );
+                }
+                // Broadcasts waiting on this child complete without it.
+                let keys: Vec<(String, u64)> = self
+                    .bcasts
+                    .iter()
+                    .filter(|(_, b)| b.pending_children.contains(&host))
+                    .map(|(k, _)| k.clone())
+                    .collect();
+                for key in keys {
+                    self.bcast_child_done(sys, &key, &host);
+                }
+                self.on_sibling_lost(sys, &host);
+            }
+        }
+    }
+}

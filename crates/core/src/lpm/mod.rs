@@ -1,0 +1,724 @@
+//! The local process manager.
+//!
+//! "The personal process manager, PPM, is a distributed program
+//! implemented as a collection of user-level processes called local
+//! process managers, LPMs." One LPM runs per (user, host), created on
+//! demand by pmd. It is the process-creation server for the user's remote
+//! processes, the collector of kernel events for adopted processes, a
+//! sibling in the PPM communication graph, and a participant in crash
+//! recovery.
+//!
+//! Internally the LPM mirrors the paper's multi-process structure: a
+//! dispatcher classifies arriving messages; work that needs remote
+//! communication is handed to handler processes from a reusable pool
+//! ([`crate::handlers`]); handlers may block awaiting remote responses
+//! without stalling the dispatcher. Costs (dispatch, handler fork/reuse,
+//! per-operation work) are modelled explicitly so the regenerated Tables
+//! 2 and 3 reproduce the paper's timings.
+//!
+//! The implementation is split by concern:
+//! * [`mod@self`] — state, timers, and the [`Program`] event routing;
+//! * `conns` — hellos, sibling channels, outboxes;
+//! * `requests` — the staged request pipeline and local operations;
+//! * `broadcast` — the graph-covering echo wave of Section 4;
+//! * `recovery` — CCS seeking, probing, time-to-die (Section 5);
+//! * `kernel_ev` — kernel event ingestion: genealogy, history, triggers.
+
+mod broadcast;
+mod conns;
+mod kernel_ev;
+mod recovery;
+mod requests;
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bytes::Bytes;
+use ppm_proto::codec::Wire;
+use ppm_proto::msg::{Msg, Op, Reply};
+use ppm_proto::types::{Route, Stamp};
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::trace::TraceCategory;
+use ppm_simos::ids::{ConnId, Port};
+use ppm_simos::program::{ConnEvent, KernelMsg, Program, SysError};
+use ppm_simos::signal::{ExitStatus, Signal};
+use ppm_simos::sys::Sys;
+
+use crate::auth::Authenticator;
+use crate::config::{lpm_port, PpmConfig};
+use crate::genealogy::Genealogy;
+use crate::handlers::{HandlerId, HandlerPool};
+use crate::history::History;
+use crate::locator::{LpmChannel, PmdExchange};
+use crate::trigger_engine::TriggerEngine;
+use crate::users::UserEntry;
+
+/// Role of an accepted or established connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ConnRole {
+    /// Accepted; awaiting the authenticating `Hello`.
+    AwaitHello,
+    /// An authenticated tool.
+    Tool,
+    /// An authenticated sibling LPM on the named host.
+    Sibling(String),
+}
+
+/// Why a channel toward a host is being established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChanPurpose {
+    /// Ordinary sibling connection (requests queued in the outbox).
+    Sibling,
+    /// Recovery: trying recovery-list candidate at this rank.
+    Seek { rank: usize },
+    /// Recovery: probing a higher-priority host while acting as CCS.
+    Probe,
+}
+
+pub(crate) struct ChannelSlot {
+    pub chan: LpmChannel,
+    pub purpose: ChanPurpose,
+}
+
+/// Where a finished request's reply goes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ReplyTo {
+    /// A tool on a local connection; reply with the tool's own id.
+    Tool { conn: ConnId, external_id: u64 },
+    /// A sibling that sent us this request (to execute or relay).
+    Sibling {
+        conn: ConnId,
+        external_id: u64,
+        route_in: Route,
+    },
+    /// Self-originated (trigger action); log failures, drop successes.
+    Internal,
+    /// The local slice of a broadcast.
+    BcastLocal { key: (String, u64) },
+}
+
+/// Pipeline stage of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqPhase {
+    /// Classifying (dispatch cost running).
+    Dispatch,
+    /// Waiting for a handler before local execution.
+    HandlerForLocal,
+    /// Waiting for a handler before a remote send.
+    HandlerForRemote,
+    /// Operation cost running; effects apply when it fires.
+    OpCost,
+    /// Sent to a remote LPM; awaiting its `Resp`.
+    Sent,
+    /// Waiting for a sibling channel to come up.
+    AwaitChannel,
+    /// Spawn performed; awaiting the child's exec kernel event.
+    AwaitSpawn,
+    /// Delegated to the broadcast machinery.
+    BcastWait,
+}
+
+#[derive(Debug)]
+pub(crate) struct ReqState {
+    pub user: u32,
+    pub dest: String,
+    pub op: Op,
+    pub reply_to: ReplyTo,
+    pub phase: ReqPhase,
+    pub handler: Option<HandlerId>,
+    pub sent_conn: Option<ConnId>,
+    pub hops_left: u8,
+    pub route: Route,
+    pub timeout_token: Option<u64>,
+    pub spawn_pid: Option<u32>,
+}
+
+/// State of one broadcast this LPM participates in.
+#[derive(Debug)]
+pub(crate) struct BcastState {
+    pub stamp: Stamp,
+    pub op: Op,
+    pub user: u32,
+    /// `None` at the originator, else the upstream sibling connection.
+    pub upstream: Option<ConnId>,
+    /// Internal request to finish with the merged reply (originator only).
+    pub reply_req: Option<u64>,
+    /// Accumulated parts (originator only).
+    pub parts: Vec<Reply>,
+    /// Hosts we forwarded to and still owe us a `BcastDone`.
+    pub pending_children: BTreeSet<String>,
+    /// The local slice finished.
+    pub local_done: bool,
+    /// The `BcastDone` has been sent upstream (non-originator).
+    pub done_sent: bool,
+    /// Handler blocked on the downstream wave, if any.
+    pub forward_handler: Option<HandlerId>,
+    /// Handler that gathered and sent the local slice; it blocks until
+    /// this node's whole participation completes (non-originator).
+    pub respond_handler: Option<HandlerId>,
+    /// Hosts the wave will be forwarded to (decided at receipt).
+    pub forward_targets: Vec<String>,
+    /// The downstream forward has been performed (or none was needed).
+    pub forwarded: bool,
+    /// Upstream relays waiting for their handler slot:
+    /// `(message, handler, upstream conn)`.
+    pub relay_queue: Vec<(Msg, Option<HandlerId>, ConnId)>,
+    /// Route the request had when it reached us.
+    pub route_in: Route,
+    /// Replies waiting for their merge slot (originator only).
+    pub merge_queue: Vec<(String, Reply, Route)>,
+    /// Merge work in flight.
+    pub merges_outstanding: u32,
+    /// When merging can next start (serializes merge costs).
+    pub merge_free_at: SimTime,
+    pub timeout_token: Option<u64>,
+}
+
+/// What an armed timer means when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TimerPurpose {
+    Housekeeping,
+    /// Continue the staged pipeline of a request.
+    ReqStep(u64),
+    /// A directed request timed out.
+    ReqTimeout(u64),
+    /// Retry a channel (daemon booting).
+    ChannelRetry(String),
+    /// The forward handler of a broadcast is ready; send downstream.
+    BcastForward((String, u64)),
+    /// One merge slot finished; apply the next queued part.
+    BcastMerge((String, u64)),
+    /// Broadcast wave safety timeout.
+    BcastTimeout((String, u64)),
+    /// Recovery: probe higher-priority hosts.
+    Probe,
+    /// Recovery: retry the seek loop.
+    SeekRetry,
+    /// Recovery: orphan time-to-die expired.
+    TimeToDie,
+    /// Name-server CCS query retry (daemon booting).
+    NsRetry,
+}
+
+/// Recovery mode (Section 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum RecovMode {
+    Normal,
+    /// Walking the `.recovery` list.
+    Seeking {
+        rank: usize,
+    },
+    /// No recovery host reachable; counting down time-to-die.
+    Orphan {
+        deadline: SimTime,
+    },
+}
+
+/// Externally visible LPM counters (tests and tools).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpmStats {
+    /// Requests that entered the pipeline.
+    pub requests: u64,
+    /// Broadcasts originated.
+    pub bcasts_originated: u64,
+    /// Broadcasts forwarded.
+    pub bcasts_forwarded: u64,
+    /// Duplicate broadcasts suppressed by the stamp window.
+    pub bcasts_suppressed: u64,
+    /// Directed requests relayed for other LPMs.
+    pub relays: u64,
+    /// Requests answered from a route-cache relay instead of a new channel.
+    pub route_cache_hits: u64,
+    /// Hello authentication failures.
+    pub auth_failures: u64,
+}
+
+/// The LPM program.
+pub struct Lpm {
+    pub(crate) cfg: PpmConfig,
+    pub(crate) auth: Authenticator,
+    pub(crate) recovery_list: Vec<String>,
+
+    pub(crate) host: String,
+    pub(crate) accept_port: Port,
+    pub(crate) started_at: SimTime,
+
+    pub(crate) conns: HashMap<ConnId, ConnRole>,
+    pub(crate) siblings: BTreeMap<String, ConnId>,
+    pub(crate) channels: BTreeMap<String, ChannelSlot>,
+    pub(crate) chan_conns: HashMap<ConnId, String>,
+    pub(crate) chan_retry_armed: BTreeSet<String>,
+    pub(crate) outbox: BTreeMap<String, Vec<(Msg, Option<u64>)>>,
+    pub(crate) route_cache: BTreeMap<String, String>,
+
+    pub(crate) next_internal: u64,
+    pub(crate) reqs: HashMap<u64, ReqState>,
+    pub(crate) spawn_waits: HashMap<u32, u64>,
+
+    pub(crate) bcast_seq: u64,
+    pub(crate) seen: HashMap<(String, u64), SimTime>,
+    pub(crate) bcasts: HashMap<(String, u64), BcastState>,
+
+    pub(crate) tree: Genealogy,
+    pub(crate) history: History,
+    pub(crate) triggers: TriggerEngine,
+    pub(crate) pool: HandlerPool,
+    /// The dispatcher serializes handler hand-offs (forking is done by the
+    /// dispatcher process in the paper's design).
+    pub(crate) dispatcher_free_at: SimTime,
+
+    pub(crate) ccs: String,
+    pub(crate) epoch: u64,
+    pub(crate) recov: RecovMode,
+    pub(crate) ttl_deadline: Option<SimTime>,
+    pub(crate) probe_armed: bool,
+    pub(crate) ttd_armed: bool,
+    /// The immovable time-to-die deadline, set when contact was first
+    /// lost; cleared on any recovery.
+    pub(crate) orphan_deadline: Option<SimTime>,
+    pub(crate) last_keepalive: SimTime,
+    /// In-flight name-server CCS query (NameServer recovery policy).
+    pub(crate) ns_query: Option<PmdExchange>,
+
+    pub(crate) next_token: u64,
+    pub(crate) timers: HashMap<u64, TimerPurpose>,
+
+    pub(crate) stats: LpmStats,
+}
+
+impl std::fmt::Debug for Lpm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lpm")
+            .field("host", &self.host)
+            .field("user", &self.auth.uid())
+            .field("siblings", &self.siblings.keys().collect::<Vec<_>>())
+            .field("ccs", &self.ccs)
+            .field("epoch", &self.epoch)
+            .field("tracked", &self.tree.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Lpm {
+    /// Creates an LPM for a user account (pmd calls this).
+    pub fn new(entry: &UserEntry) -> Self {
+        Lpm {
+            cfg: entry.config.clone(),
+            auth: Authenticator::new(entry.cred),
+            recovery_list: entry.recovery.clone(),
+            host: String::new(),
+            accept_port: lpm_port(entry.cred.uid),
+            started_at: SimTime::ZERO,
+            conns: HashMap::new(),
+            siblings: BTreeMap::new(),
+            channels: BTreeMap::new(),
+            chan_conns: HashMap::new(),
+            chan_retry_armed: BTreeSet::new(),
+            outbox: BTreeMap::new(),
+            route_cache: BTreeMap::new(),
+            next_internal: 0,
+            reqs: HashMap::new(),
+            spawn_waits: HashMap::new(),
+            bcast_seq: 0,
+            seen: HashMap::new(),
+            bcasts: HashMap::new(),
+            tree: Genealogy::default(),
+            history: History::new(entry.config.history_cap, entry.config.rusage_cap),
+            triggers: TriggerEngine::new(),
+            pool: {
+                let mut pool = HandlerPool::new(
+                    entry.config.handler_fork_cost,
+                    entry.config.handler_reuse_cost,
+                    entry.config.handler_idle_ttl,
+                    entry.config.handler_max,
+                );
+                pool.set_reuse_enabled(entry.config.handler_reuse);
+                pool
+            },
+            dispatcher_free_at: SimTime::ZERO,
+            ccs: String::new(),
+            epoch: 0,
+            recov: RecovMode::Normal,
+            ttl_deadline: None,
+            probe_armed: false,
+            ttd_armed: false,
+            orphan_deadline: None,
+            last_keepalive: SimTime::ZERO,
+            ns_query: None,
+            next_token: 1,
+            timers: HashMap::new(),
+            stats: LpmStats::default(),
+        }
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> LpmStats {
+        self.stats
+    }
+
+    // ---- small shared helpers -------------------------------------------
+
+    pub(crate) fn arm(&mut self, sys: &mut Sys<'_>, d: SimDuration, purpose: TimerPurpose) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, purpose);
+        sys.set_timer(d, token);
+        token
+    }
+
+    pub(crate) fn send_msg(
+        &mut self,
+        sys: &mut Sys<'_>,
+        conn: ConnId,
+        msg: &Msg,
+    ) -> Result<(), SysError> {
+        sys.send(conn, msg.to_bytes())
+    }
+
+    pub(crate) fn alloc_internal_id(&mut self) -> u64 {
+        self.next_internal += 1;
+        // Globally unique: salt the counter with the host name so relayed
+        // ids from different originators cannot collide.
+        let mut salt: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in self.host.bytes() {
+            salt ^= b as u64;
+            salt = salt.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        (salt & 0xFFFF_FFFF) << 32 | self.next_internal
+    }
+
+    /// Acquires a handler; hand-offs serialize through the dispatcher.
+    /// Returns the handler and the delay until it is ready for work.
+    pub(crate) fn acquire_handler(&mut self, sys: &mut Sys<'_>) -> (HandlerId, SimDuration) {
+        let now = sys.now();
+        let acq = self.pool.acquire(now);
+        let base = if self.dispatcher_free_at > now {
+            self.dispatcher_free_at
+        } else {
+            now
+        };
+        // Scale the nominal handler cost by CPU class and load, like any
+        // CPU-bound activity.
+        let scaled = sys.scale_cost(acq.cost);
+        let ready = base + scaled;
+        self.dispatcher_free_at = ready;
+        (acq.id, ready.saturating_since(now))
+    }
+
+    pub(crate) fn release_handler(&mut self, sys: &mut Sys<'_>, handler: Option<HandlerId>) {
+        if let Some(h) = handler {
+            let now = sys.now();
+            self.pool.release(h, now);
+        }
+    }
+
+    pub(crate) fn note(&mut self, sys: &mut Sys<'_>, text: String) {
+        sys.trace(TraceCategory::Lpm, text);
+    }
+
+    pub(crate) fn note_recovery(&mut self, sys: &mut Sys<'_>, text: String) {
+        sys.trace(TraceCategory::Recovery, text);
+    }
+
+    fn housekeeping(&mut self, sys: &mut Sys<'_>) {
+        let now = sys.now();
+        self.pool.reap_idle(now);
+        // Broadcast stamp retention window.
+        let window = self.cfg.bcast_window;
+        self.seen.retain(|_, at| now.saturating_since(*at) < window);
+        let retention = self.cfg.dead_retention;
+        self.tree
+            .prune_older_than(now.as_micros(), retention.as_micros());
+        self.ttl_check(sys, now);
+        self.recovery_housekeeping(sys);
+        let interval = self.cfg.housekeeping_interval;
+        self.arm(sys, interval, TimerPurpose::Housekeeping);
+    }
+
+    fn ttl_check(&mut self, sys: &mut Sys<'_>, now: SimTime) {
+        let have_tools = self.conns.values().any(|r| *r == ConnRole::Tool);
+        let ccs_hold = self.ccs == self.host && !self.siblings.is_empty();
+        let active = self.tree.live_count() > 0
+            || have_tools
+            || ccs_hold
+            || !self.bcasts.is_empty()
+            || self.reqs.values().any(|r| r.phase != ReqPhase::BcastWait);
+        if active {
+            self.ttl_deadline = None;
+            return;
+        }
+        match self.ttl_deadline {
+            None => {
+                let ttl = self.cfg.lpm_ttl;
+                self.ttl_deadline = Some(now + ttl);
+            }
+            Some(deadline) if now >= deadline => {
+                self.note(sys, "time-to-live expired; LPM exiting".to_string());
+                self.shutdown(sys, 0);
+            }
+            Some(_) => {}
+        }
+    }
+
+    pub(crate) fn shutdown(&mut self, sys: &mut Sys<'_>, code: i32) {
+        let conns: Vec<ConnId> = self.conns.keys().copied().collect();
+        let mut conns = conns;
+        conns.sort_unstable();
+        for c in conns {
+            let _ = sys.close(c);
+        }
+        sys.exit(code);
+    }
+}
+
+impl Program for Lpm {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        self.host = sys.host_name().to_string();
+        self.started_at = sys.now();
+        self.tree = Genealogy::new(self.host.clone());
+        if sys.listen(self.accept_port).is_err() {
+            // Another LPM already serves this user here. This happens when
+            // pmd lost its registry (the pmd-crash failure mode of
+            // Section 5) and spawned a duplicate; the duplicate yields.
+            sys.trace(
+                TraceCategory::Lpm,
+                format!(
+                    "duplicate LPM for {} on {}; exiting",
+                    self.auth.uid(),
+                    self.host
+                ),
+            );
+            sys.exit(1);
+            return;
+        }
+        sys.register_kernel_socket();
+        // Initial CCS: the top of the recovery list, or this host. Under
+        // the name-server policy the authoritative answer comes from the
+        // name server; this host stands in until it arrives.
+        self.ccs = match &self.cfg.recovery_policy {
+            crate::config::RecoveryPolicy::RecoveryFile => self
+                .recovery_list
+                .first()
+                .cloned()
+                .unwrap_or_else(|| self.host.clone()),
+            crate::config::RecoveryPolicy::NameServer { .. } => self.host.clone(),
+        };
+        if matches!(
+            self.cfg.recovery_policy,
+            crate::config::RecoveryPolicy::NameServer { .. }
+        ) {
+            self.begin_ns_query(sys, None);
+        }
+        let interval = self.cfg.housekeeping_interval;
+        self.arm(sys, interval, TimerPurpose::Housekeeping);
+        self.note(
+            sys,
+            format!(
+                "LPM up for {} on {} (accept {}, ccs {})",
+                self.auth.uid(),
+                self.host,
+                self.accept_port,
+                self.ccs
+            ),
+        );
+    }
+
+    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+        // Channel-owned connections are routed to their state machines.
+        if let Some(host) = self.chan_conns.get(&conn).cloned() {
+            self.channel_conn_event(sys, &host, conn, event);
+            return;
+        }
+        if self.ns_query.as_ref().is_some_and(|x| x.owns(conn)) {
+            self.ns_conn_event(sys, event);
+            return;
+        }
+        match event {
+            ConnEvent::Accepted { .. } => {
+                self.conns.insert(conn, ConnRole::AwaitHello);
+            }
+            ConnEvent::Closed => self.on_conn_closed(sys, conn),
+            ConnEvent::Established | ConnEvent::Failed(_) => {
+                // Non-channel outbound connections do not exist; ignore.
+            }
+        }
+    }
+
+    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+        if let Some(host) = self.chan_conns.get(&conn).cloned() {
+            self.channel_message(sys, &host, conn, data);
+            return;
+        }
+        if self.ns_query.as_ref().is_some_and(|x| x.owns(conn)) {
+            self.ns_message(sys, data);
+            return;
+        }
+        let Ok(msg) = Msg::from_bytes(&data) else {
+            self.note(sys, format!("undecodable message on {conn}; dropping"));
+            if self.conns.get(&conn) == Some(&ConnRole::AwaitHello) {
+                // Protocol violation before authentication: hang up.
+                self.conns.remove(&conn);
+                let _ = sys.close(conn);
+            }
+            return;
+        };
+        match self.conns.get(&conn).cloned() {
+            Some(ConnRole::AwaitHello) => self.handle_hello(sys, conn, msg),
+            Some(ConnRole::Tool) => self.handle_tool_msg(sys, conn, msg),
+            Some(ConnRole::Sibling(host)) => self.handle_sibling_msg(sys, conn, &host, msg),
+            None => {
+                // Message on an unknown connection (e.g. raced with close).
+            }
+        }
+    }
+
+    fn on_kernel_event(&mut self, sys: &mut Sys<'_>, msg: KernelMsg) {
+        self.ingest_kernel_event(sys, msg);
+    }
+
+    fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
+        let Some(purpose) = self.timers.remove(&token) else {
+            return; // cancelled
+        };
+        match purpose {
+            TimerPurpose::Housekeeping => self.housekeeping(sys),
+            TimerPurpose::ReqStep(id) => self.req_step(sys, id),
+            TimerPurpose::ReqTimeout(id) => self.req_timeout(sys, id),
+            TimerPurpose::ChannelRetry(host) => self.channel_retry(sys, &host),
+            TimerPurpose::BcastForward(key) => self.bcast_forward_ready(sys, &key),
+            TimerPurpose::BcastMerge(key) => self.bcast_merge_slot(sys, &key),
+            TimerPurpose::BcastTimeout(key) => self.bcast_timeout(sys, &key),
+            TimerPurpose::Probe => self.probe_tick(sys),
+            TimerPurpose::SeekRetry => self.seek_retry(sys),
+            TimerPurpose::TimeToDie => self.time_to_die(sys),
+            TimerPurpose::NsRetry => self.ns_retry(sys),
+        }
+    }
+
+    fn on_child_exit(&mut self, sys: &mut Sys<'_>, child: ppm_simos::ids::Pid, status: ExitStatus) {
+        // Child exits also arrive as kernel Exit events (the LPM traces
+        // its children); this hook only logs the reaping.
+        let _ = (sys, child, status);
+    }
+
+    fn on_signal(&mut self, sys: &mut Sys<'_>, signal: Signal) -> ppm_simos::program::SigAction {
+        if signal == Signal::Term || signal == Signal::Hup {
+            self.shutdown(sys, 1);
+        }
+        ppm_simos::program::SigAction::Handled
+    }
+
+    fn name(&self) -> &str {
+        "lpm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! White-box tests of the LPM's pure logic; protocol behaviour is
+    //! covered by the crate's integration suites.
+    use super::*;
+    use crate::auth::UserCred;
+    use ppm_simos::ids::Uid;
+
+    fn lpm() -> Lpm {
+        let entry = UserEntry {
+            cred: UserCred::new(Uid(100), 7),
+            recovery: vec!["home".into(), "work".into()],
+            config: PpmConfig::default(),
+        };
+        let mut l = Lpm::new(&entry);
+        l.host = "here".to_string();
+        l
+    }
+
+    #[test]
+    fn internal_ids_are_unique_and_host_salted() {
+        let mut a = lpm();
+        let mut ids = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            assert!(ids.insert(a.alloc_internal_id()));
+        }
+        let mut b = lpm();
+        b.host = "elsewhere".to_string();
+        assert_ne!(
+            a.alloc_internal_id() >> 32,
+            b.alloc_internal_id() >> 32,
+            "different hosts use different id spaces"
+        );
+    }
+
+    #[test]
+    fn op_costs_scale_with_tracked_processes() {
+        let mut l = lpm();
+        let empty = l.op_cost(&Op::Snapshot);
+        for pid in 10..20 {
+            l.tree.track(pid, 1, None, "p", 0, true);
+        }
+        let ten = l.op_cost(&Op::Snapshot);
+        assert!(ten > empty);
+        let per_proc = l.cfg.snapshot_per_proc_cost.as_micros();
+        assert_eq!(ten.as_micros() - empty.as_micros(), 10 * per_proc);
+        // Control costs more than dispatch; ping is nearly free.
+        assert!(l.op_cost(&Op::Ping) < l.cfg.dispatch_cost);
+        assert!(
+            l.op_cost(&Op::Control {
+                pid: 1,
+                action: ppm_proto::msg::ControlAction::Stop
+            }) > l.cfg.dispatch_cost
+        );
+    }
+
+    #[test]
+    fn route_learning_extracts_next_hops() {
+        let mut l = lpm();
+        let mut route = Route::from_origin("here");
+        route.push("mid");
+        route.push("far");
+        route.push("farther");
+        l.learn_route(&route);
+        assert_eq!(l.route_cache.get("far").map(String::as_str), Some("mid"));
+        assert_eq!(
+            l.route_cache.get("farther").map(String::as_str),
+            Some("mid")
+        );
+        assert!(
+            !l.route_cache.contains_key("mid"),
+            "direct neighbours are not cached"
+        );
+
+        // Routes not originating here are ignored.
+        let mut foreign = Route::from_origin("other");
+        foreign.push("x");
+        foreign.push("y");
+        l.learn_route(&foreign);
+        assert!(!l.route_cache.contains_key("y"));
+
+        // Existing entries are not overwritten (first route wins).
+        let mut second = Route::from_origin("here");
+        second.push("alt");
+        second.push("z");
+        second.push("far");
+        l.learn_route(&second);
+        assert_eq!(l.route_cache.get("far").map(String::as_str), Some("mid"));
+    }
+
+    #[test]
+    fn route_learning_disabled_by_config() {
+        let mut l = lpm();
+        l.cfg.route_learning = false;
+        let mut route = Route::from_origin("here");
+        route.push("mid");
+        route.push("far");
+        l.learn_route(&route);
+        assert!(l.route_cache.is_empty());
+    }
+
+    #[test]
+    fn lpm_debug_is_informative() {
+        let l = lpm();
+        let s = format!("{l:?}");
+        assert!(s.contains("here"));
+        assert!(s.contains("100"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Crash recovery: the crash coordinator site machinery of Section 5.
+//!
+//! "At all times in normal operation, one LPM has the distinguished role
+//! of being the crash coordinator site, CCS. ... The crash of a host (or a
+//! LPM) in the network results in LPMs trying to establish connections
+//! with the (known) CCS. If the CCS were found to be down ... the LPM that
+//! has detected the failure would try to connect in descending order of
+//! priority with the hosts listed in the user's .recovery file. If none of
+//! these hosts is available, a time-to-die interval exists that tells the
+//! LPM when to exit after having terminated all of the user's processes in
+//! that host. ... those new CCSs that are not at the top of the list keep
+//! probing, at a low frequency, the hosts higher on the list."
+
+use ppm_proto::msg::Msg;
+use ppm_proto::types::Gpid;
+use ppm_simos::ids::Pid;
+use ppm_simos::signal::Signal;
+use ppm_simos::sys::Sys;
+
+use crate::config::RecoveryPolicy;
+use crate::locator::{PmdExchange, PmdProgress};
+use ppm_simos::program::ConnEvent;
+
+use super::{ChanPurpose, Lpm, RecovMode, TimerPurpose};
+
+impl Lpm {
+    // ---- CCS view management ------------------------------------------------
+
+    /// Considers adopting another LPM's CCS view. Higher epochs win; equal
+    /// epochs prefer the higher-priority (earlier `.recovery`) host.
+    pub(crate) fn consider_ccs(&mut self, sys: &mut Sys<'_>, ccs: &str, epoch: u64) {
+        if ccs.is_empty() {
+            return;
+        }
+        let adopt = match epoch.cmp(&self.epoch) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                ccs != self.ccs && self.rank_of(ccs) < self.rank_of(&self.ccs)
+            }
+        };
+        if adopt {
+            self.ccs = ccs.to_string();
+            self.epoch = epoch;
+            self.note_recovery(sys, format!("adopted CCS {ccs} (epoch {epoch})"));
+            self.after_ccs_change(sys);
+        }
+    }
+
+    fn rank_of(&self, host: &str) -> usize {
+        self.recovery_list
+            .iter()
+            .position(|h| h == host)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn after_ccs_change(&mut self, sys: &mut Sys<'_>) {
+        // Leaving orphanhood if we were there.
+        if matches!(
+            self.recov,
+            RecovMode::Orphan { .. } | RecovMode::Seeking { .. }
+        ) {
+            self.recov = RecovMode::Normal;
+        }
+        // If we are the acting CCS but not the top-priority host, probe
+        // upward at low frequency.
+        self.maybe_arm_probe(sys);
+    }
+
+    fn maybe_arm_probe(&mut self, sys: &mut Sys<'_>) {
+        if matches!(self.cfg.recovery_policy, RecoveryPolicy::NameServer { .. }) {
+            // Assignments are stable until the name server reassigns;
+            // there is no priority list to probe upward.
+            return;
+        }
+        let acting_ccs = self.ccs == self.host;
+        let top_priority = self.rank_of(&self.host) == 0 || self.recovery_list.is_empty();
+        if acting_ccs && !top_priority && !self.probe_armed {
+            self.probe_armed = true;
+            let d = self.cfg.probe_interval;
+            self.arm(sys, d, TimerPurpose::Probe);
+        }
+    }
+
+    /// Announces the current CCS view on all sibling channels.
+    pub(crate) fn announce_ccs(&mut self, sys: &mut Sys<'_>) {
+        let msg = Msg::CcsAnnounce {
+            user: self.auth.uid().0,
+            ccs: self.ccs.clone(),
+            epoch: self.epoch,
+        };
+        let conns: Vec<_> = self.siblings.values().copied().collect();
+        for conn in conns {
+            let _ = self.send_msg(sys, conn, &msg);
+        }
+    }
+
+    // ---- failure detection entry points --------------------------------------
+
+    /// A sibling connection was lost: Section 5's trigger for recovery.
+    pub(crate) fn on_sibling_lost(&mut self, sys: &mut Sys<'_>, host: &str) {
+        if matches!(self.recov, RecovMode::Seeking { .. }) {
+            return; // already walking the list
+        }
+        if host == self.ccs {
+            self.note_recovery(sys, format!("lost contact with CCS {host}; seeking"));
+            self.start_seek(sys);
+        } else if self.ccs != self.host && !self.siblings.contains_key(&self.ccs) {
+            // Re-establish contact with the CCS on any failure.
+            let ccs = self.ccs.clone();
+            let _ = self.start_channel_if_absent(sys, &ccs, ChanPurpose::Sibling);
+        }
+    }
+
+    fn start_channel_if_absent(
+        &mut self,
+        sys: &mut Sys<'_>,
+        host: &str,
+        purpose: ChanPurpose,
+    ) -> bool {
+        if self.siblings.contains_key(host) || self.channels.contains_key(host) {
+            return true;
+        }
+        self.start_channel(sys, host, purpose)
+    }
+
+    /// Locates a new CCS: walks the `.recovery` list, or asks the name
+    /// server, per the configured policy.
+    pub(crate) fn start_seek(&mut self, sys: &mut Sys<'_>) {
+        match self.cfg.recovery_policy.clone() {
+            RecoveryPolicy::RecoveryFile => {
+                self.recov = RecovMode::Seeking { rank: 0 };
+                self.try_seek_candidate(sys);
+            }
+            RecoveryPolicy::NameServer { .. } => {
+                self.recov = RecovMode::Seeking { rank: 0 };
+                let dead = Some(self.ccs.clone()).filter(|c| !c.is_empty());
+                self.begin_ns_query(sys, dead);
+            }
+        }
+    }
+
+    // ---- name-server CCS policy (Section 5 alternative) ---------------------
+
+    /// Starts (or restarts) a CCS query toward the name server's pmd.
+    pub(crate) fn begin_ns_query(&mut self, sys: &mut Sys<'_>, dead: Option<String>) {
+        let RecoveryPolicy::NameServer { host } = self.cfg.recovery_policy.clone() else {
+            return;
+        };
+        let Ok(target) = sys.resolve_host(&host) else {
+            self.enter_orphanhood(sys);
+            return;
+        };
+        let request = ppm_proto::msg::Msg::CcsQuery {
+            user: self.auth.uid().0,
+            claimant: self.host.clone(),
+            dead,
+        };
+        let retry = self.cfg.connect_retry;
+        let attempts = self.cfg.connect_attempts;
+        let x = PmdExchange::start(sys, target, request, retry, attempts);
+        self.ns_query = Some(x);
+    }
+
+    /// Routes a connection event into the in-flight name-server exchange.
+    pub(crate) fn ns_conn_event(&mut self, sys: &mut Sys<'_>, ev: ConnEvent) {
+        let Some(mut x) = self.ns_query.take() else {
+            return;
+        };
+        let progress = x.on_conn_event(sys, ev);
+        self.ns_query = Some(x);
+        self.apply_ns_progress(sys, progress);
+    }
+
+    /// Routes a message into the in-flight name-server exchange.
+    pub(crate) fn ns_message(&mut self, sys: &mut Sys<'_>, data: bytes::Bytes) {
+        let Some(mut x) = self.ns_query.take() else {
+            return;
+        };
+        let progress = x.on_message(sys, data);
+        self.ns_query = Some(x);
+        self.apply_ns_progress(sys, progress);
+    }
+
+    /// The NsRetry timer fired.
+    pub(crate) fn ns_retry(&mut self, sys: &mut Sys<'_>) {
+        let Some(mut x) = self.ns_query.take() else {
+            return;
+        };
+        if x.is_terminal() {
+            return;
+        }
+        let progress = x.retry(sys);
+        self.ns_query = Some(x);
+        self.apply_ns_progress(sys, progress);
+    }
+
+    fn apply_ns_progress(&mut self, sys: &mut Sys<'_>, progress: PmdProgress) {
+        match progress {
+            PmdProgress::Pending => {}
+            PmdProgress::RetryAfter(d) => {
+                self.arm(sys, d, TimerPurpose::NsRetry);
+            }
+            PmdProgress::Answer(ppm_proto::msg::Msg::CcsInfo { ccs, epoch, .. }) => {
+                self.ns_query = None;
+                if epoch >= self.epoch {
+                    let changed = self.ccs != ccs || self.epoch != epoch;
+                    self.ccs = ccs.clone();
+                    self.epoch = epoch;
+                    if changed {
+                        self.note_recovery(
+                            sys,
+                            format!("name server assigned CCS {ccs} (epoch {epoch})"),
+                        );
+                        self.announce_ccs(sys);
+                    }
+                }
+                self.recov = RecovMode::Normal;
+                self.orphan_deadline = None;
+                // Keep a channel to the coordinator so its failure is
+                // observable.
+                if self.ccs != self.host && !self.siblings.contains_key(&self.ccs) {
+                    let ccs = self.ccs.clone();
+                    let _ = self.start_channel_if_absent(sys, &ccs, ChanPurpose::Sibling);
+                }
+            }
+            PmdProgress::Answer(_) => {
+                self.ns_query = None;
+                self.enter_orphanhood(sys);
+            }
+            PmdProgress::Failed(err) => {
+                self.ns_query = None;
+                self.note_recovery(sys, format!("name server unreachable: {err}"));
+                self.enter_orphanhood(sys);
+            }
+        }
+    }
+
+    fn try_seek_candidate(&mut self, sys: &mut Sys<'_>) {
+        let RecovMode::Seeking { rank } = self.recov else {
+            return;
+        };
+        let candidates: Vec<String> = if self.recovery_list.is_empty() {
+            vec![self.host.clone()]
+        } else {
+            self.recovery_list.clone()
+        };
+        if rank >= candidates.len() {
+            self.enter_orphanhood(sys);
+            return;
+        }
+        let candidate = candidates[rank].clone();
+        if candidate == self.host {
+            self.become_ccs(sys);
+            return;
+        }
+        if self.siblings.contains_key(&candidate) {
+            // Already connected: adopt it directly.
+            self.adopt_candidate(sys, &candidate);
+            return;
+        }
+        if !self.start_channel_if_absent(sys, &candidate, ChanPurpose::Seek { rank }) {
+            // Unresolvable name; next candidate.
+            self.recov = RecovMode::Seeking { rank: rank + 1 };
+            self.try_seek_candidate(sys);
+        }
+    }
+
+    fn adopt_candidate(&mut self, sys: &mut Sys<'_>, candidate: &str) {
+        self.epoch += 1;
+        self.ccs = candidate.to_string();
+        self.recov = RecovMode::Normal;
+        self.orphan_deadline = None;
+        self.note_recovery(
+            sys,
+            format!("recovered: CCS is {candidate} (epoch {})", self.epoch),
+        );
+        self.announce_ccs(sys);
+        self.maybe_arm_probe(sys);
+    }
+
+    /// This LPM assumes the CCS role.
+    pub(crate) fn become_ccs(&mut self, sys: &mut Sys<'_>) {
+        self.epoch += 1;
+        self.ccs = self.host.clone();
+        self.recov = RecovMode::Normal;
+        self.orphan_deadline = None;
+        self.note_recovery(sys, format!("acting as CCS (epoch {})", self.epoch));
+        self.announce_ccs(sys);
+        self.maybe_arm_probe(sys);
+    }
+
+    /// Outcome of a channel started for recovery purposes.
+    pub(crate) fn channel_purpose_done(
+        &mut self,
+        sys: &mut Sys<'_>,
+        host: &str,
+        purpose: ChanPurpose,
+        success: bool,
+    ) {
+        match purpose {
+            ChanPurpose::Sibling => {}
+            ChanPurpose::Seek { rank } => {
+                if !matches!(self.recov, RecovMode::Seeking { rank: r } if r == rank) {
+                    return; // stale
+                }
+                if success {
+                    self.adopt_candidate(sys, host);
+                } else {
+                    self.recov = RecovMode::Seeking { rank: rank + 1 };
+                    self.try_seek_candidate(sys);
+                }
+            }
+            ChanPurpose::Probe => {
+                if success {
+                    // A higher-priority host answered: it resumes as CCS.
+                    self.adopt_candidate(sys, host);
+                }
+                // Failure: keep probing at the next tick.
+            }
+        }
+    }
+
+    // ---- orphanhood and time-to-die ------------------------------------------
+
+    fn enter_orphanhood(&mut self, sys: &mut Sys<'_>) {
+        let now = sys.now();
+        let ttd = self.cfg.time_to_die;
+        // The deadline is set once, when contact is first lost; failed
+        // retries do not push it back.
+        let deadline = match self.orphan_deadline {
+            Some(deadline) => deadline,
+            None => {
+                let deadline = now + ttd;
+                self.orphan_deadline = Some(deadline);
+                self.note_recovery(
+                    sys,
+                    format!("no recovery host reachable; time-to-die at {deadline}"),
+                );
+                deadline
+            }
+        };
+        self.recov = RecovMode::Orphan { deadline };
+        if !self.ttd_armed {
+            self.ttd_armed = true;
+            let remaining = deadline.saturating_since(now);
+            self.arm(sys, remaining, TimerPurpose::TimeToDie);
+        }
+        let retry = self.cfg.reconnect_interval;
+        self.arm(sys, retry, TimerPurpose::SeekRetry);
+    }
+
+    /// Contact with a healthy sibling or the CCS ends orphanhood: "a LPM
+    /// not in contact with a CCS resumes the normal mode of operation if
+    /// it manages to connect to the CCS at any future retry, or gets a
+    /// communication request from a LPM in contact with a valid CCS."
+    pub(crate) fn recovered_contact(&mut self, sys: &mut Sys<'_>) {
+        if matches!(self.recov, RecovMode::Orphan { .. }) {
+            self.recov = RecovMode::Normal;
+            self.note_recovery(
+                sys,
+                "contact re-established; normal operation resumed".to_string(),
+            );
+        }
+        self.orphan_deadline = None;
+    }
+
+    /// Periodic retry while orphaned.
+    pub(crate) fn seek_retry(&mut self, sys: &mut Sys<'_>) {
+        if matches!(self.recov, RecovMode::Orphan { .. }) {
+            self.start_seek(sys);
+        }
+    }
+
+    /// The time-to-die deadline fired.
+    pub(crate) fn time_to_die(&mut self, sys: &mut Sys<'_>) {
+        self.ttd_armed = false;
+        // Still disconnected? (Seeking counts: the walk is failing.)
+        let Some(deadline) = self.orphan_deadline else {
+            return;
+        };
+        if matches!(self.recov, RecovMode::Normal) {
+            return;
+        }
+        if sys.now() < deadline {
+            let remaining = deadline.saturating_since(sys.now());
+            self.ttd_armed = true;
+            self.arm(sys, remaining, TimerPurpose::TimeToDie);
+            return;
+        }
+        self.note_recovery(
+            sys,
+            "time-to-die expired: terminating local processes and exiting".to_string(),
+        );
+        // "the appropriate action is to close down all the activities."
+        let snapshot = self.tree.snapshot();
+        let at = sys.now();
+        for rec in snapshot {
+            if rec.state != ppm_proto::types::WireProcState::Dead {
+                let _ = sys.kill(Pid(rec.gpid.pid), Signal::Kill);
+                self.history.record(
+                    at,
+                    Gpid::new(self.host.clone(), rec.gpid.pid),
+                    "ttd-kill",
+                    "killed at time-to-die",
+                );
+            }
+        }
+        self.shutdown(sys, 2);
+    }
+
+    /// Low-frequency probe of higher-priority recovery hosts.
+    pub(crate) fn probe_tick(&mut self, sys: &mut Sys<'_>) {
+        self.probe_armed = false;
+        if self.ccs != self.host {
+            return; // no longer acting CCS
+        }
+        let my_rank = self.rank_of(&self.host);
+        let higher: Vec<String> = self
+            .recovery_list
+            .iter()
+            .take(my_rank.min(self.recovery_list.len()))
+            .cloned()
+            .collect();
+        if higher.is_empty() {
+            return;
+        }
+        for host in higher {
+            if let Some(&conn) = self.siblings.get(&host) {
+                // Connected: ask directly whether it is back.
+                let probe = Msg::Probe {
+                    user: self.auth.uid().0,
+                    from: self.host.clone(),
+                };
+                let _ = self.send_msg(sys, conn, &probe);
+            } else {
+                let _ = self.start_channel_if_absent(sys, &host, ChanPurpose::Probe);
+            }
+        }
+        self.maybe_arm_probe(sys);
+    }
+
+    /// A probed host answered.
+    pub(crate) fn handle_probe_ack(
+        &mut self,
+        sys: &mut Sys<'_>,
+        from: &str,
+        ccs: &str,
+        epoch: u64,
+    ) {
+        self.consider_ccs(sys, ccs, epoch);
+        // The probed host is alive; if it outranks the current CCS, it
+        // resumes the coordinator role.
+        if self.ccs == self.host && self.rank_of(from) < self.rank_of(&self.host) {
+            self.adopt_candidate(sys, from);
+        }
+    }
+
+    /// Housekeeping hook: keep the probe timer alive while acting CCS,
+    /// and keepalive the CCS channel so partitions are discovered — a
+    /// break is only observable on send, like TCP.
+    pub(crate) fn recovery_housekeeping(&mut self, sys: &mut Sys<'_>) {
+        self.maybe_arm_probe(sys);
+        let now = sys.now();
+        let interval = self.cfg.probe_interval;
+        if self.ccs != self.host && now.saturating_since(self.last_keepalive) >= interval {
+            if let Some(&conn) = self.siblings.get(&self.ccs.clone()) {
+                self.last_keepalive = now;
+                let probe = Msg::Probe {
+                    user: self.auth.uid().0,
+                    from: self.host.clone(),
+                };
+                let _ = self.send_msg(sys, conn, &probe);
+            }
+        }
+    }
+}

@@ -1,0 +1,722 @@
+//! The request pipeline: dispatch, handler hand-off, local execution,
+//! remote forwarding, replies and timeouts.
+
+use ppm_proto::msg::{ControlAction, ErrCode, Msg, Op, Reply};
+use ppm_proto::types::{FileRecord, Gpid, Route};
+use ppm_simnet::time::SimDuration;
+use ppm_simos::events::TraceFlags;
+use ppm_simos::fd::FdKind;
+use ppm_simos::ids::{ConnId, Pid};
+use ppm_simos::program::{SpawnSpec, SysError};
+use ppm_simos::signal::Signal;
+use ppm_simos::sys::Sys;
+use ppm_simos::workload::Worker;
+
+use super::{conns::SiblingStatus, Lpm, ReplyTo, ReqPhase, ReqState, TimerPurpose};
+
+impl Lpm {
+    // ---- entry points -------------------------------------------------------
+
+    /// A message arrived from an authenticated tool.
+    pub(crate) fn handle_tool_msg(&mut self, sys: &mut Sys<'_>, conn: ConnId, msg: Msg) {
+        match msg {
+            Msg::Req {
+                id,
+                user,
+                dest,
+                op,
+                route: _,
+                hops_left,
+            } => {
+                let reply_to = ReplyTo::Tool {
+                    conn,
+                    external_id: id,
+                };
+                self.begin_request(sys, user, dest, op, reply_to, hops_left);
+            }
+            other => {
+                self.note(
+                    sys,
+                    format!("unexpected {} from tool; ignoring", other.kind()),
+                );
+            }
+        }
+    }
+
+    /// A message arrived from an authenticated sibling.
+    pub(crate) fn handle_sibling_msg(
+        &mut self,
+        sys: &mut Sys<'_>,
+        conn: ConnId,
+        host: &str,
+        msg: Msg,
+    ) {
+        // Any live sibling traffic counts as contact for recovery purposes.
+        self.recovered_contact(sys);
+        match msg {
+            Msg::Req {
+                id,
+                user,
+                dest,
+                op,
+                route,
+                hops_left,
+            } => {
+                let mut route_in = route;
+                route_in.push(self.host.clone());
+                let reply_to = ReplyTo::Sibling {
+                    conn,
+                    external_id: id,
+                    route_in,
+                };
+                if hops_left == 0 && dest != self.host && dest != "*" {
+                    // Refuse immediately: relay budget exhausted and the
+                    // request is not for us.
+                    let id_int = self.alloc_internal_id();
+                    self.reqs.insert(
+                        id_int,
+                        ReqState {
+                            user,
+                            dest,
+                            op,
+                            reply_to,
+                            phase: ReqPhase::Dispatch,
+                            handler: None,
+                            sent_conn: None,
+                            hops_left: 0,
+                            route: Route::from_origin(self.host.clone()),
+                            timeout_token: None,
+                            spawn_pid: None,
+                        },
+                    );
+                    self.finish_with_error(sys, id_int, ErrCode::NoRoute, "hop budget exhausted");
+                    return;
+                }
+                self.begin_request(sys, user, dest, op, reply_to, hops_left.saturating_sub(1));
+            }
+            Msg::Resp { id, reply, route } => self.handle_resp(sys, id, reply, route),
+            Msg::Bcast {
+                stamp,
+                user,
+                op,
+                route,
+            } => self.handle_bcast(sys, conn, host, stamp, user, op, route),
+            Msg::BcastResp {
+                stamp,
+                host: resp_host,
+                reply,
+                route,
+            } => self.handle_bcast_resp(sys, conn, stamp, resp_host, reply, route),
+            Msg::BcastDone { stamp } => {
+                let key = stamp.key();
+                self.bcast_child_done(sys, &key, host);
+            }
+            Msg::CcsAnnounce { ccs, epoch, .. } => {
+                self.consider_ccs(sys, &ccs, epoch);
+            }
+            Msg::Probe { .. } => {
+                let ack = Msg::ProbeAck {
+                    from: self.host.clone(),
+                    ccs: self.ccs.clone(),
+                    epoch: self.epoch,
+                };
+                let _ = self.send_msg(sys, conn, &ack);
+            }
+            Msg::ProbeAck { from, ccs, epoch } => {
+                self.handle_probe_ack(sys, &from, &ccs, epoch);
+            }
+            other => {
+                self.note(
+                    sys,
+                    format!("unexpected {} from sibling {host}", other.kind()),
+                );
+            }
+        }
+    }
+
+    // ---- pipeline -------------------------------------------------------------
+
+    /// Enters a request into the staged pipeline.
+    pub(crate) fn begin_request(
+        &mut self,
+        sys: &mut Sys<'_>,
+        user: u32,
+        dest: String,
+        op: Op,
+        reply_to: ReplyTo,
+        hops_left: u8,
+    ) {
+        self.stats.requests += 1;
+        let id = self.alloc_internal_id();
+        let route = Route::from_origin(self.host.clone());
+        self.reqs.insert(
+            id,
+            ReqState {
+                user,
+                dest,
+                op,
+                reply_to,
+                phase: ReqPhase::Dispatch,
+                handler: None,
+                sent_conn: None,
+                hops_left,
+                route,
+                timeout_token: None,
+                spawn_pid: None,
+            },
+        );
+        let d = sys.scale_cost(self.cfg.dispatch_cost);
+        self.arm(sys, d, TimerPurpose::ReqStep(id));
+    }
+
+    /// A `ReqStep` timer fired: advance the pipeline.
+    pub(crate) fn req_step(&mut self, sys: &mut Sys<'_>, id: u64) {
+        let Some(req) = self.reqs.get(&id) else {
+            return;
+        };
+        match req.phase {
+            ReqPhase::Dispatch => self.route_request(sys, id),
+            ReqPhase::HandlerForLocal => {
+                let cost = self.op_cost(&self.reqs[&id].op);
+                let d = sys.scale_cost(cost);
+                if let Some(r) = self.reqs.get_mut(&id) {
+                    r.phase = ReqPhase::OpCost;
+                }
+                self.arm(sys, d, TimerPurpose::ReqStep(id));
+            }
+            ReqPhase::HandlerForRemote => self.send_remote(sys, id),
+            ReqPhase::OpCost => self.exec_local(sys, id),
+            ReqPhase::Sent
+            | ReqPhase::AwaitChannel
+            | ReqPhase::AwaitSpawn
+            | ReqPhase::BcastWait => {
+                // Spurious (stale timer); the request advances on messages.
+            }
+        }
+    }
+
+    /// After dispatch: local, broadcast, or remote?
+    fn route_request(&mut self, sys: &mut Sys<'_>, id: u64) {
+        let (dest, from_sibling) = {
+            let r = &self.reqs[&id];
+            (
+                r.dest.clone(),
+                matches!(r.reply_to, ReplyTo::Sibling { .. }),
+            )
+        };
+        if dest == "*" {
+            if let Some(r) = self.reqs.get_mut(&id) {
+                r.phase = ReqPhase::BcastWait;
+            }
+            self.begin_broadcast(sys, id);
+        } else if dest == self.host {
+            if from_sibling {
+                // Requests from siblings are handed to a handler process.
+                let (h, delay) = self.acquire_handler(sys);
+                if let Some(r) = self.reqs.get_mut(&id) {
+                    r.handler = Some(h);
+                    r.phase = ReqPhase::HandlerForLocal;
+                }
+                self.arm(sys, delay, TimerPurpose::ReqStep(id));
+            } else {
+                let cost = self.op_cost(&self.reqs[&id].op);
+                let d = sys.scale_cost(cost);
+                if let Some(r) = self.reqs.get_mut(&id) {
+                    r.phase = ReqPhase::OpCost;
+                }
+                self.arm(sys, d, TimerPurpose::ReqStep(id));
+            }
+        } else {
+            // Remote: a handler carries the exchange and blocks on it.
+            if matches!(self.reqs[&id].reply_to, ReplyTo::Sibling { .. }) {
+                self.stats.relays += 1;
+            }
+            let (h, delay) = self.acquire_handler(sys);
+            if let Some(r) = self.reqs.get_mut(&id) {
+                r.handler = Some(h);
+                r.phase = ReqPhase::HandlerForRemote;
+            }
+            self.arm(sys, delay, TimerPurpose::ReqStep(id));
+        }
+    }
+
+    /// Nominal cost of performing an operation locally.
+    pub(crate) fn op_cost(&self, op: &Op) -> SimDuration {
+        match op {
+            Op::Control { .. } => self.cfg.control_cost,
+            Op::Snapshot => {
+                let n = self.tree.len() as u64;
+                SimDuration::from_micros(
+                    self.cfg.snapshot_base_cost.as_micros()
+                        + self.cfg.snapshot_per_proc_cost.as_micros() * n,
+                )
+            }
+            Op::Spawn { .. } => self.cfg.spawn_bookkeeping_cost,
+            Op::Ping | Op::Status => SimDuration::from_micros(500),
+            _ => self.cfg.misc_op_cost,
+        }
+    }
+
+    // ---- remote sends -----------------------------------------------------------
+
+    fn send_remote(&mut self, sys: &mut Sys<'_>, id: u64) {
+        let dest = self.reqs[&id].dest.clone();
+        // Direct sibling connection?
+        if let Some(&conn) = self.siblings.get(&dest) {
+            self.forward_req(sys, id, conn);
+            return;
+        }
+        // Learned route through an existing sibling?
+        if self.cfg.route_learning {
+            if let Some(next) = self.route_cache.get(&dest).cloned() {
+                if let Some(&conn) = self.siblings.get(&next) {
+                    self.stats.route_cache_hits += 1;
+                    self.forward_req(sys, id, conn);
+                    return;
+                }
+            }
+        }
+        // Establish a direct channel (the expensive path: Figure 2 chain).
+        match self.ensure_sibling(sys, &dest) {
+            SiblingStatus::Connected(conn) => self.forward_req(sys, id, conn),
+            SiblingStatus::Pending => {
+                let msg = self.req_wire_msg(id);
+                self.outbox.entry(dest).or_default().push((msg, Some(id)));
+                if let Some(r) = self.reqs.get_mut(&id) {
+                    r.phase = ReqPhase::AwaitChannel;
+                }
+            }
+            SiblingStatus::Unavailable => {
+                self.finish_with_error(sys, id, ErrCode::NoRoute, "unknown host");
+            }
+        }
+    }
+
+    fn req_wire_msg(&self, id: u64) -> Msg {
+        let r = &self.reqs[&id];
+        let mut route = r.route.clone();
+        route.push(self.host.clone());
+        Msg::Req {
+            id,
+            user: r.user,
+            dest: r.dest.clone(),
+            op: r.op.clone(),
+            route,
+            hops_left: r.hops_left,
+        }
+    }
+
+    fn forward_req(&mut self, sys: &mut Sys<'_>, id: u64, conn: ConnId) {
+        let msg = self.req_wire_msg(id);
+        match self.send_msg(sys, conn, &msg) {
+            Ok(()) => self.mark_sent(sys, id, conn),
+            Err(e) => {
+                self.finish_with_error(sys, id, ErrCode::HostDown, &format!("send failed: {e}"));
+            }
+        }
+    }
+
+    /// Records that a request went out on `conn` and arms its timeout.
+    pub(crate) fn mark_sent(&mut self, sys: &mut Sys<'_>, id: u64, conn: ConnId) {
+        let timeout = self.cfg.req_timeout;
+        let token = self.arm(sys, timeout, TimerPurpose::ReqTimeout(id));
+        if let Some(r) = self.reqs.get_mut(&id) {
+            r.phase = ReqPhase::Sent;
+            r.sent_conn = Some(conn);
+            r.timeout_token = Some(token);
+        }
+    }
+
+    /// A `Resp` arrived for a request we sent (or relayed).
+    fn handle_resp(&mut self, sys: &mut Sys<'_>, id: u64, reply: Reply, route: Route) {
+        if !self.reqs.contains_key(&id) {
+            return; // timed out or duplicate
+        }
+        self.learn_route(&route);
+        self.finish_req(sys, id, reply);
+    }
+
+    /// Route learning: a reply's source-destination route teaches us the
+    /// next hop toward every host on it.
+    pub(crate) fn learn_route(&mut self, route: &Route) {
+        if !self.cfg.route_learning {
+            return;
+        }
+        // route = [me, hop1, hop2, ..., responder]
+        if route.origin() != Some(self.host.as_str()) {
+            return;
+        }
+        let hops = &route.0;
+        if hops.len() < 3 {
+            return; // direct; nothing to learn
+        }
+        let next = hops[1].clone();
+        for dest in &hops[2..] {
+            self.route_cache
+                .entry(dest.clone())
+                .or_insert_with(|| next.clone());
+        }
+    }
+
+    /// A directed request timed out.
+    pub(crate) fn req_timeout(&mut self, sys: &mut Sys<'_>, id: u64) {
+        if self.reqs.contains_key(&id) {
+            self.finish_with_error(sys, id, ErrCode::Timeout, "no response");
+        }
+    }
+
+    // ---- local execution ----------------------------------------------------------
+
+    /// Op-cost elapsed: apply the operation's effects.
+    fn exec_local(&mut self, sys: &mut Sys<'_>, id: u64) {
+        let op = self.reqs[&id].op.clone();
+        let reply = match op {
+            Op::Ping => Some(Reply::Pong),
+            Op::Status => Some(self.status_reply(sys)),
+            Op::Control { pid, action } => Some(self.do_control(sys, pid, action)),
+            Op::Spawn {
+                command,
+                logical_parent,
+                lifetime_us,
+                work_us,
+                cpu_bound,
+            } => self.do_spawn(
+                sys,
+                id,
+                command,
+                logical_parent,
+                lifetime_us,
+                work_us,
+                cpu_bound,
+            ),
+            Op::Snapshot => Some(Reply::Snapshot {
+                host: self.host.clone(),
+                procs: self.tree.snapshot(),
+            }),
+            Op::Rusage { pid } => Some(Reply::Rusage {
+                records: self.history.exited(pid),
+            }),
+            Op::History { since_us, max } => Some(Reply::History {
+                events: self.history.query(since_us, max as usize),
+            }),
+            Op::OpenFiles { pid } => Some(self.do_open_files(sys, pid)),
+            Op::Adopt { pid, flags } => Some(self.do_adopt(sys, pid, flags)),
+            Op::SetTraceFlags { pid, flags } => Some(
+                match sys.set_trace_flags(Pid(pid), TraceFlags::from_bits(flags)) {
+                    Ok(()) => Reply::Ok,
+                    Err(e) => err_reply(e),
+                },
+            ),
+            Op::AddTrigger { spec } => {
+                self.triggers.add(spec);
+                Some(Reply::Ok)
+            }
+            Op::DelTrigger { id: tid } => Some(if self.triggers.remove(tid) {
+                Reply::Ok
+            } else {
+                Reply::Err {
+                    code: ErrCode::NotFound,
+                    detail: format!("no trigger {tid}"),
+                }
+            }),
+            Op::ListTriggers => Some(Reply::Triggers {
+                entries: self.triggers.list().to_vec(),
+            }),
+            Op::Stats => {
+                let pool = self.pool.stats();
+                Some(Reply::Stats {
+                    requests: self.stats.requests,
+                    bcasts: (
+                        self.stats.bcasts_originated,
+                        self.stats.bcasts_forwarded,
+                        self.stats.bcasts_suppressed,
+                    ),
+                    relays: self.stats.relays,
+                    route_cache_hits: self.stats.route_cache_hits,
+                    auth_failures: self.stats.auth_failures,
+                    handlers: (pool.forks, pool.reuses, pool.reaped),
+                })
+            }
+        };
+        match reply {
+            Some(reply) => self.finish_req(sys, id, reply),
+            None => {
+                // Spawn: reply deferred until the child's exec event.
+                if let Some(r) = self.reqs.get_mut(&id) {
+                    r.phase = ReqPhase::AwaitSpawn;
+                }
+            }
+        }
+    }
+
+    pub(crate) fn status_reply(&self, sys: &Sys<'_>) -> Reply {
+        Reply::Status {
+            host: self.host.clone(),
+            load_milli: (sys.load_avg() * 1000.0) as u32,
+            managed: self.tree.live_count() as u32,
+            siblings: self.siblings.keys().cloned().collect(),
+            ccs: self.ccs.clone(),
+            epoch: self.epoch,
+        }
+    }
+
+    fn do_control(&mut self, sys: &mut Sys<'_>, pid: u32, action: ControlAction) -> Reply {
+        let signal = match action {
+            ControlAction::Stop => Signal::Stop,
+            ControlAction::Foreground | ControlAction::Background => Signal::Cont,
+            ControlAction::Kill => Signal::Kill,
+            ControlAction::Signal(n) => match Signal::from_number(n) {
+                Some(s) => s,
+                None => {
+                    return Reply::Err {
+                        code: ErrCode::BadRequest,
+                        detail: format!("unknown signal {n}"),
+                    }
+                }
+            },
+        };
+        let verb = match action {
+            ControlAction::Stop => "stop",
+            ControlAction::Foreground => "foreground",
+            ControlAction::Background => "background",
+            ControlAction::Kill => "kill",
+            ControlAction::Signal(_) => "signal",
+        };
+        match sys.kill(Pid(pid), signal) {
+            Ok(()) => {
+                let at = sys.now();
+                self.history.record(
+                    at,
+                    Gpid::new(self.host.clone(), pid),
+                    verb,
+                    signal.to_string(),
+                );
+                Reply::Ok
+            }
+            Err(e) => err_reply(e),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn do_spawn(
+        &mut self,
+        sys: &mut Sys<'_>,
+        id: u64,
+        command: String,
+        logical_parent: Option<Gpid>,
+        lifetime_us: Option<u64>,
+        work_us: u64,
+        cpu_bound: bool,
+    ) -> Option<Reply> {
+        let spec = match lifetime_us {
+            Some(life) => SpawnSpec::new(
+                command.clone(),
+                Box::new(Worker::new(
+                    SimDuration::from_micros(life),
+                    SimDuration::from_micros(work_us),
+                )),
+            )
+            .cpu_bound(cpu_bound),
+            None => SpawnSpec::inert(command.clone()).cpu_bound(cpu_bound),
+        };
+        let pid = match sys.spawn(spec) {
+            Ok(pid) => pid,
+            Err(e) => return Some(err_reply(e)),
+        };
+        let flags = self.cfg.default_trace_flags;
+        if let Err(e) = sys.adopt(pid, flags) {
+            return Some(err_reply(e));
+        }
+        // Tree: link locally when the logical parent is here, otherwise
+        // record the cross-host logical edge.
+        let (ppid, logical) = match &logical_parent {
+            Some(g) if g.host == self.host => (g.pid, None),
+            other => (1, other.clone()),
+        };
+        let now = sys.now();
+        self.tree
+            .track(pid.0, ppid, logical, command.clone(), now.as_micros(), true);
+        self.history.record(
+            now,
+            Gpid::new(self.host.clone(), pid.0),
+            "create",
+            format!("spawned {command} for request"),
+        );
+        self.spawn_waits.insert(pid.0, id);
+        if let Some(r) = self.reqs.get_mut(&id) {
+            r.spawn_pid = Some(pid.0);
+        }
+        None
+    }
+
+    fn do_adopt(&mut self, sys: &mut Sys<'_>, pid: u32, flags: u8) -> Reply {
+        let flags = TraceFlags::from_bits(flags);
+        match sys.adopt(Pid(pid), flags) {
+            Ok(()) => {}
+            Err(e) => return err_reply(e),
+        }
+        let now = sys.now();
+        // Track the target and all its live same-user descendants
+        // ("Adoption allows the LPM to keep track of a process and its
+        // descendants").
+        let mine = sys.user_processes(sys.uid());
+        let mut frontier = vec![pid];
+        let mut members = vec![pid];
+        while let Some(p) = frontier.pop() {
+            for info in mine.iter().filter(|i| i.ppid.0 == p && i.pid.0 != p) {
+                if !members.contains(&info.pid.0) {
+                    members.push(info.pid.0);
+                    frontier.push(info.pid.0);
+                }
+            }
+        }
+        members.sort_unstable();
+        for m in members {
+            if m != pid {
+                let _ = sys.adopt(Pid(m), flags);
+            }
+            if !self.tree.contains(m) {
+                if let Some(info) = sys.proc_info(Pid(m)) {
+                    self.tree.track(
+                        m,
+                        info.ppid.0,
+                        None,
+                        info.command.clone(),
+                        info.started_at.as_micros(),
+                        true,
+                    );
+                    self.tree.set_exec(m, info.command);
+                    self.tree.set_cpu(m, info.rusage.cpu.as_micros());
+                }
+            }
+        }
+        self.history.record(
+            now,
+            Gpid::new(self.host.clone(), pid),
+            "adopt",
+            format!("flags {flags}"),
+        );
+        Reply::Ok
+    }
+
+    fn do_open_files(&mut self, sys: &mut Sys<'_>, pid: u32) -> Reply {
+        match sys.open_fds(Pid(pid)) {
+            Ok(entries) => Reply::Files {
+                entries: entries
+                    .into_iter()
+                    .map(|(fd, kind)| {
+                        let detail = match &kind {
+                            FdKind::File { path, mode } => format!("{path} ({mode})"),
+                            FdKind::Socket { conn } => format!("stream {conn}"),
+                            FdKind::Listener { port } => format!("listening {port}"),
+                            FdKind::KernelSocket => "kernel event socket".to_string(),
+                        };
+                        FileRecord {
+                            fd: fd.0,
+                            kind: kind.kind_name().to_string(),
+                            detail,
+                        }
+                    })
+                    .collect(),
+            },
+            Err(e) => err_reply(e),
+        }
+    }
+
+    // ---- completion ------------------------------------------------------------
+
+    /// Completes a request with a reply, releasing its resources.
+    pub(crate) fn finish_req(&mut self, sys: &mut Sys<'_>, id: u64, reply: Reply) {
+        let Some(req) = self.reqs.remove(&id) else {
+            return;
+        };
+        if let Some(tok) = req.timeout_token {
+            self.timers.remove(&tok);
+        }
+        if let Some(pid) = req.spawn_pid {
+            self.spawn_waits.remove(&pid);
+        }
+        // A relay's respond handler blocks until the node's whole wave
+        // participation completes ("handler processes may block while
+        // waiting for a response from a remote process"); it is parked in
+        // the broadcast state rather than released here.
+        let mut handler = req.handler;
+        if let ReplyTo::BcastLocal { key } = &req.reply_to {
+            if let Some(b) = self.bcasts.get_mut(key) {
+                if b.upstream.is_some() {
+                    b.respond_handler = handler.take();
+                }
+            }
+        }
+        self.release_handler(sys, handler);
+        match req.reply_to {
+            ReplyTo::Tool { conn, external_id } => {
+                let msg = Msg::Resp {
+                    id: external_id,
+                    reply,
+                    route: req.route,
+                };
+                let _ = self.send_msg(sys, conn, &msg);
+            }
+            ReplyTo::Sibling {
+                conn,
+                external_id,
+                route_in,
+            } => {
+                let msg = Msg::Resp {
+                    id: external_id,
+                    reply,
+                    route: route_in,
+                };
+                let _ = self.send_msg(sys, conn, &msg);
+            }
+            ReplyTo::Internal => {
+                if let Reply::Err { code, detail } = reply {
+                    let at = sys.now();
+                    self.history.record(
+                        at,
+                        Gpid::new(self.host.clone(), 0),
+                        "internal-error",
+                        format!("{code:?}: {detail}"),
+                    );
+                }
+            }
+            ReplyTo::BcastLocal { key } => {
+                self.bcast_local_complete(sys, &key, reply);
+            }
+        }
+    }
+
+    /// Completes a request with an error.
+    pub(crate) fn finish_with_error(
+        &mut self,
+        sys: &mut Sys<'_>,
+        id: u64,
+        code: ErrCode,
+        detail: &str,
+    ) {
+        self.finish_req(
+            sys,
+            id,
+            Reply::Err {
+                code,
+                detail: detail.to_string(),
+            },
+        );
+    }
+}
+
+/// Maps a syscall error onto a wire error reply.
+pub(crate) fn err_reply(e: SysError) -> Reply {
+    let code = match e {
+        SysError::NoSuchProcess => ErrCode::NoSuchProcess,
+        SysError::PermissionDenied | SysError::AlreadyTraced => ErrCode::Permission,
+        SysError::NoSuchHost | SysError::Unreachable => ErrCode::NoRoute,
+        SysError::HostDown => ErrCode::HostDown,
+        _ => ErrCode::Internal,
+    };
+    Reply::Err {
+        code,
+        detail: e.to_string(),
+    }
+}

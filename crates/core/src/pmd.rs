@@ -1,0 +1,282 @@
+//! The process manager daemon.
+//!
+//! One pmd per host, started on demand by inetd. "This daemon proceeds
+//! then to create the LPM, and returns the accept address after verifying
+//! that there is no LPM for that user in that host. ... It serves as a
+//! trusted name server for the creation of LPMs."
+//!
+//! The paper notes (Section 5) that pmd state lost in a pmd-only crash
+//! breaks the mechanism, and suggests keeping it in stable storage; that
+//! hardening "has not been implemented" there — here it is available
+//! behind [`PmdOptions::stable_storage`] and ablated in `ppm-bench`.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use ppm_proto::codec::{Dec, Enc, Wire};
+use ppm_proto::msg::Msg;
+use ppm_simnet::trace::TraceCategory;
+use ppm_simos::ids::{ConnId, Pid, Port, Uid};
+use ppm_simos::program::{Program, SpawnSpec};
+use ppm_simos::sys::Sys;
+
+use crate::config::lpm_port;
+use crate::lpm::Lpm;
+use crate::users::UserDirectory;
+
+/// Stable-storage key of the pmd registry.
+const REGISTRY_KEY: &str = "pmd.registry";
+/// Stable-storage key of the name-server CCS assignments.
+const CCS_KEY: &str = "pmd.ccs";
+
+/// Pmd behaviour switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PmdOptions {
+    /// Persist the `user → LPM` registry to the host's stable storage so
+    /// a pmd-only crash does not lose track of live LPMs.
+    pub stable_storage: bool,
+}
+
+/// The daemon program.
+pub struct Pmd {
+    users: Rc<UserDirectory>,
+    options: PmdOptions,
+    registry: HashMap<u32, (Pid, Port)>,
+    /// Name-server role: per-user CCS assignment (Section 5 alternative).
+    ccs_registry: HashMap<u32, (String, u64)>,
+    port: Port,
+    requests_served: u64,
+}
+
+impl std::fmt::Debug for Pmd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pmd")
+            .field("options", &self.options)
+            .field("registry", &self.registry)
+            .field("requests_served", &self.requests_served)
+            .finish()
+    }
+}
+
+impl Pmd {
+    /// Creates a pmd that accepts on `port` and consults `users`.
+    pub fn new(users: Rc<UserDirectory>, port: Port, options: PmdOptions) -> Self {
+        Pmd {
+            users,
+            options,
+            registry: HashMap::new(),
+            ccs_registry: HashMap::new(),
+            port,
+            requests_served: 0,
+        }
+    }
+
+    fn persist(&mut self, sys: &mut Sys<'_>) {
+        if !self.options.stable_storage {
+            return;
+        }
+        let mut enc = Enc::new();
+        let mut entries: Vec<(u32, Pid, Port)> = self
+            .registry
+            .iter()
+            .map(|(&u, &(pid, port))| (u, pid, port))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        enc.seq(&entries, |e, (u, pid, port)| {
+            e.u32(*u);
+            e.u32(pid.0);
+            e.u16(port.0);
+        });
+        sys.stable_put(REGISTRY_KEY, enc.into_bytes());
+    }
+
+    fn restore(&mut self, sys: &mut Sys<'_>) {
+        if !self.options.stable_storage {
+            return;
+        }
+        let Some(raw) = sys.stable_get(REGISTRY_KEY) else {
+            return;
+        };
+        let mut dec = Dec::new(&raw);
+        let Ok(entries) = dec.seq(|d| Ok((d.u32()?, d.u32()?, d.u16()?))) else {
+            return;
+        };
+        for (uid, pid, port) in entries {
+            // Validate: pid must still be a live LPM process. Stale entries
+            // (e.g. written before a host crash) are dropped.
+            let live = sys
+                .proc_info(Pid(pid))
+                .is_some_and(|p| p.state.is_alive() && p.command.starts_with("lpm"));
+            if live {
+                self.registry.insert(uid, (Pid(pid), Port(port)));
+            }
+        }
+        if !self.registry.is_empty() {
+            sys.trace(
+                TraceCategory::Daemon,
+                format!(
+                    "pmd: restored {} LPM registrations from stable storage",
+                    self.registry.len()
+                ),
+            );
+        }
+    }
+
+    fn persist_ccs(&mut self, sys: &mut Sys<'_>) {
+        if !self.options.stable_storage {
+            return;
+        }
+        let mut enc = Enc::new();
+        let mut entries: Vec<(u32, String, u64)> = self
+            .ccs_registry
+            .iter()
+            .map(|(&u, (h, e))| (u, h.clone(), *e))
+            .collect();
+        entries.sort_unstable_by_key(|e| e.0);
+        enc.seq(&entries, |e, (u, h, ep)| {
+            e.u32(*u);
+            e.str(h);
+            e.u64(*ep);
+        });
+        sys.stable_put(CCS_KEY, enc.into_bytes());
+    }
+
+    fn restore_ccs(&mut self, sys: &mut Sys<'_>) {
+        if !self.options.stable_storage {
+            return;
+        }
+        let Some(raw) = sys.stable_get(CCS_KEY) else {
+            return;
+        };
+        let mut dec = Dec::new(&raw);
+        if let Ok(entries) = dec.seq(|d| Ok((d.u32()?, d.str()?, d.u64()?))) {
+            for (u, h, e) in entries {
+                self.ccs_registry.insert(u, (h, e));
+            }
+        }
+    }
+
+    /// The name-server role: answer (and when needed, reassign) the CCS
+    /// for a user. A dead report matching the current assignment, or no
+    /// assignment at all, promotes the claimant.
+    fn assign_ccs(
+        &mut self,
+        sys: &mut Sys<'_>,
+        user: u32,
+        claimant: String,
+        dead: Option<String>,
+    ) -> (String, u64) {
+        let reassign = match self.ccs_registry.get(&user) {
+            None => true,
+            Some((current, _)) => dead.as_deref() == Some(current.as_str()),
+        };
+        if reassign {
+            let epoch = self.ccs_registry.get(&user).map(|(_, e)| *e).unwrap_or(0) + 1;
+            sys.trace(
+                TraceCategory::Daemon,
+                format!("pmd(ns): CCS for uid {user} -> {claimant} (epoch {epoch})"),
+            );
+            self.ccs_registry.insert(user, (claimant, epoch));
+            self.persist_ccs(sys);
+        }
+        self.ccs_registry.get(&user).cloned().expect("just ensured")
+    }
+
+    fn live_lpm(&self, sys: &Sys<'_>, user: u32) -> Option<Port> {
+        let &(pid, port) = self.registry.get(&user)?;
+        let alive = sys
+            .proc_info(pid)
+            .is_some_and(|p| p.state.is_alive() && p.command.starts_with("lpm"));
+        alive.then_some(port)
+    }
+
+    fn create_lpm(&mut self, sys: &mut Sys<'_>, user: u32) -> Option<(Port, bool)> {
+        if let Some(port) = self.live_lpm(sys, user) {
+            return Some((port, false));
+        }
+        let entry = self.users.get(Uid(user))?.clone();
+        let port = lpm_port(Uid(user));
+        let program = Lpm::new(&entry);
+        let spec = SpawnSpec::new(format!("lpm-{user}"), Box::new(program));
+        let pid = sys.spawn_as(Uid(user), spec).ok()?;
+        self.registry.insert(user, (pid, port));
+        self.persist(sys);
+        sys.trace(
+            TraceCategory::Daemon,
+            format!("pmd: created LPM pid {pid} for uid {user} (accept {port})"),
+        );
+        Some((port, true))
+    }
+}
+
+impl Program for Pmd {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        sys.listen(self.port)
+            .expect("pmd port free (inetd singleton)");
+        self.restore(sys);
+        self.restore_ccs(sys);
+    }
+
+    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+        self.requests_served += 1;
+        let reply = match Msg::from_bytes(&data) {
+            Ok(Msg::CreateLpm { user }) => match self.create_lpm(sys, user) {
+                Some((port, created)) => Msg::LpmAddr {
+                    user,
+                    port: port.0,
+                    created,
+                },
+                None => Msg::NoLpm { user },
+            },
+            Ok(Msg::QueryLpm { user }) => match self.live_lpm(sys, user) {
+                Some(port) => Msg::LpmAddr {
+                    user,
+                    port: port.0,
+                    created: false,
+                },
+                None => Msg::NoLpm { user },
+            },
+            Ok(Msg::CcsQuery {
+                user,
+                claimant,
+                dead,
+            }) => {
+                let (ccs, epoch) = self.assign_ccs(sys, user, claimant, dead);
+                Msg::CcsInfo { user, ccs, epoch }
+            }
+            _ => return, // not pmd protocol; drop
+        };
+        let _ = sys.send(conn, reply.to_bytes());
+    }
+
+    fn name(&self) -> &str {
+        "pmd"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_do_not_persist() {
+        assert!(!PmdOptions::default().stable_storage);
+    }
+
+    #[test]
+    fn registry_encoding_roundtrips() {
+        // The persistence format: seq of (u32 uid, u32 pid, u16 port).
+        let entries = vec![(100u32, 7u32, 1100u16), (200, 9, 1200)];
+        let mut enc = Enc::new();
+        enc.seq(&entries, |e, (u, p, port)| {
+            e.u32(*u);
+            e.u32(*p);
+            e.u16(*port);
+        });
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        let back = dec.seq(|d| Ok((d.u32()?, d.u32()?, d.u16()?))).unwrap();
+        assert_eq!(back, entries);
+    }
+}

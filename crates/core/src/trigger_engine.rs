@@ -1,0 +1,213 @@
+//! Evaluation of history-dependent triggers.
+//!
+//! The LPM feeds every kernel/history event through the engine; matches
+//! yield [`Firing`]s whose actions the LPM then executes (deliver a
+//! signal, note history, kill a subtree). This is the "history dependent
+//! events can be set by users to trigger process state changes" mechanism.
+
+use ppm_proto::triggers::{TriggerAction, TriggerSpec};
+
+/// One event as seen by the engine.
+#[derive(Debug, Clone, Copy)]
+pub struct TriggerEvent<'a> {
+    /// Event kind ("exit", "stop", "fork", "exec", "signal", ...).
+    pub kind: &'a str,
+    /// Local pid the event concerns.
+    pub pid: u32,
+    /// Command of that process, if known.
+    pub command: &'a str,
+    /// CPU the process has consumed so far (µs).
+    pub cpu_us: u64,
+}
+
+/// A matched trigger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Firing {
+    /// Which trigger fired.
+    pub trigger_id: u32,
+    /// The action to execute.
+    pub action: TriggerAction,
+}
+
+/// The per-LPM trigger store and matcher.
+#[derive(Debug, Clone, Default)]
+pub struct TriggerEngine {
+    triggers: Vec<TriggerSpec>,
+    fired_total: u64,
+}
+
+impl TriggerEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        TriggerEngine::default()
+    }
+
+    /// Registers a trigger; an existing trigger with the same id is
+    /// replaced.
+    pub fn add(&mut self, spec: TriggerSpec) {
+        self.remove(spec.id);
+        self.triggers.push(spec);
+        self.triggers.sort_by_key(|t| t.id);
+    }
+
+    /// Removes a trigger by id. Returns whether it existed.
+    pub fn remove(&mut self, id: u32) -> bool {
+        let before = self.triggers.len();
+        self.triggers.retain(|t| t.id != id);
+        before != self.triggers.len()
+    }
+
+    /// Registered triggers, id order.
+    pub fn list(&self) -> &[TriggerSpec] {
+        &self.triggers
+    }
+
+    /// Number of registered triggers.
+    pub fn len(&self) -> usize {
+        self.triggers.len()
+    }
+
+    /// True when no triggers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Total firings over the engine lifetime.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+
+    /// Feeds one event through; returns the actions to execute, in
+    /// trigger-id order. One-shot triggers are removed after matching.
+    pub fn on_event(&mut self, ev: TriggerEvent<'_>) -> Vec<Firing> {
+        let mut firings = Vec::new();
+        let mut spent = Vec::new();
+        for t in &self.triggers {
+            let p = &t.pattern;
+            let kind_ok = p.kind.is_empty() || p.kind == ev.kind;
+            let pid_ok = p.pid.is_none_or(|pid| pid == ev.pid);
+            let cmd_ok = p
+                .command_prefix
+                .as_deref()
+                .is_none_or(|pre| ev.command.starts_with(pre));
+            let cpu_ok = p.min_cpu_us.is_none_or(|min| ev.cpu_us >= min);
+            if kind_ok && pid_ok && cmd_ok && cpu_ok {
+                firings.push(Firing {
+                    trigger_id: t.id,
+                    action: t.action.clone(),
+                });
+                if t.once {
+                    spent.push(t.id);
+                }
+            }
+        }
+        for id in spent {
+            self.remove(id);
+        }
+        self.fired_total += firings.len() as u64;
+        firings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_proto::triggers::EventPattern;
+    use ppm_proto::types::Gpid;
+
+    fn spec(id: u32, pattern: EventPattern, once: bool) -> TriggerSpec {
+        TriggerSpec {
+            id,
+            pattern,
+            action: TriggerAction::Notify {
+                note: format!("t{id}"),
+            },
+            once,
+        }
+    }
+
+    fn ev<'a>(kind: &'a str, pid: u32, command: &'a str, cpu_us: u64) -> TriggerEvent<'a> {
+        TriggerEvent {
+            kind,
+            pid,
+            command,
+            cpu_us,
+        }
+    }
+
+    #[test]
+    fn kind_and_pid_matching() {
+        let mut e = TriggerEngine::new();
+        e.add(spec(1, EventPattern::kind("exit").with_pid(9), false));
+        assert!(e.on_event(ev("exit", 8, "cc", 0)).is_empty());
+        assert!(e.on_event(ev("stop", 9, "cc", 0)).is_empty());
+        let f = e.on_event(ev("exit", 9, "cc", 0));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].trigger_id, 1);
+        assert_eq!(e.fired_total(), 1);
+    }
+
+    #[test]
+    fn empty_kind_matches_any() {
+        let mut e = TriggerEngine::new();
+        e.add(spec(1, EventPattern::default(), false));
+        assert_eq!(e.on_event(ev("fork", 1, "x", 0)).len(), 1);
+        assert_eq!(e.on_event(ev("exit", 2, "y", 0)).len(), 1);
+    }
+
+    #[test]
+    fn command_prefix_and_cpu_threshold() {
+        let mut e = TriggerEngine::new();
+        e.add(spec(
+            1,
+            EventPattern::kind("")
+                .with_command_prefix("troff")
+                .with_min_cpu_us(1_000_000),
+            false,
+        ));
+        assert!(e.on_event(ev("exec", 1, "cc", 2_000_000)).is_empty());
+        assert!(e.on_event(ev("exec", 1, "troff", 10)).is_empty());
+        assert_eq!(e.on_event(ev("exec", 1, "troff-out", 1_500_000)).len(), 1);
+    }
+
+    #[test]
+    fn once_triggers_are_consumed() {
+        let mut e = TriggerEngine::new();
+        e.add(spec(5, EventPattern::kind("exit"), true));
+        assert_eq!(e.on_event(ev("exit", 1, "x", 0)).len(), 1);
+        assert!(e.is_empty());
+        assert!(e.on_event(ev("exit", 1, "x", 0)).is_empty());
+    }
+
+    #[test]
+    fn add_replaces_same_id_and_list_is_sorted() {
+        let mut e = TriggerEngine::new();
+        e.add(spec(2, EventPattern::kind("a"), false));
+        e.add(spec(1, EventPattern::kind("b"), false));
+        e.add(spec(2, EventPattern::kind("c"), false));
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.list()[0].id, 1);
+        assert_eq!(e.list()[1].pattern.kind, "c");
+        assert!(e.remove(1));
+        assert!(!e.remove(1));
+    }
+
+    #[test]
+    fn multiple_triggers_fire_in_id_order() {
+        let mut e = TriggerEngine::new();
+        e.add(spec(3, EventPattern::kind("exit"), false));
+        e.add(spec(1, EventPattern::kind("exit"), false));
+        e.add(TriggerSpec {
+            id: 2,
+            pattern: EventPattern::kind("exit"),
+            action: TriggerAction::Signal {
+                target: Gpid::new("a", 9),
+                signal: 9,
+            },
+            once: false,
+        });
+        let f = e.on_event(ev("exit", 1, "x", 0));
+        let ids: Vec<u32> = f.iter().map(|f| f.trigger_id).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

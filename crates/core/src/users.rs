@@ -1,0 +1,99 @@
+//! The network user directory.
+//!
+//! Models the administrative assumptions of Section 4: "It is the
+//! responsibility of network system administrators to have consistent
+//! password files across machines that trust each other." Every host sees
+//! the same directory: credentials (the password file), the `.recovery`
+//! host list from each user's home directory, and the user's PPM
+//! configuration.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ppm_simos::ids::Uid;
+
+use crate::auth::UserCred;
+use crate::config::PpmConfig;
+
+/// Per-user account data replicated on every host.
+#[derive(Debug, Clone)]
+pub struct UserEntry {
+    /// Credentials.
+    pub cred: UserCred,
+    /// The `.recovery` file: hosts in decreasing CCS priority order.
+    pub recovery: Vec<String>,
+    /// The user's PPM configuration.
+    pub config: PpmConfig,
+}
+
+/// The directory shared by all pmds and tools (single-threaded world, so
+/// an `Rc` clone per daemon is the sharing mechanism).
+#[derive(Debug, Default)]
+pub struct UserDirectory {
+    users: HashMap<u32, UserEntry>,
+}
+
+impl UserDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        UserDirectory::default()
+    }
+
+    /// Adds (or replaces) a user.
+    pub fn insert(&mut self, entry: UserEntry) {
+        self.users.insert(entry.cred.uid.0, entry);
+    }
+
+    /// Looks a user up.
+    pub fn get(&self, uid: Uid) -> Option<&UserEntry> {
+        self.users.get(&uid.0)
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no accounts exist.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Wraps the directory for sharing with daemon factories.
+    pub fn into_shared(self) -> Rc<UserDirectory> {
+        Rc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut d = UserDirectory::new();
+        assert!(d.is_empty());
+        d.insert(UserEntry {
+            cred: UserCred::new(Uid(100), 7),
+            recovery: vec!["home".into()],
+            config: PpmConfig::default(),
+        });
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(Uid(100)).unwrap().recovery, vec!["home".to_string()]);
+        assert!(d.get(Uid(101)).is_none());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut d = UserDirectory::new();
+        for secret in [1u64, 2] {
+            d.insert(UserEntry {
+                cred: UserCred::new(Uid(100), secret),
+                recovery: vec![],
+                config: PpmConfig::default(),
+            });
+        }
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get(Uid(100)).unwrap().cred.secret, 2);
+    }
+}

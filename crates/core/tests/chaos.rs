@@ -1,0 +1,274 @@
+//! Randomized fault-injection ("chaos") runs.
+//!
+//! Seeded random interleavings of user operations (remote creation,
+//! control, snapshots, history) with faults (host crashes, restarts,
+//! partitions, pmd/LPM kills). The assertions are liveness and sanity,
+//! not specific outcomes: every operation either succeeds or fails with
+//! a clean error; the world never panics; snapshots never report
+//! processes from dead hosts; and after the dust settles the PPM still
+//! serves requests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ppm_core::client::ToolStep;
+use ppm_core::config::PpmConfig;
+use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_proto::msg::{ControlAction, Op};
+use ppm_proto::types::Gpid;
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::topology::CpuClass;
+use ppm_simos::ids::Uid;
+use ppm_simos::signal::Signal;
+
+const USER: Uid = Uid(100);
+const HOSTS: [&str; 4] = ["h0", "h1", "h2", "h3"];
+
+fn harness(seed: u64) -> PpmHarness {
+    let mut b = PpmHarness::builder().seed(seed);
+    for (i, h) in HOSTS.iter().enumerate() {
+        b = b.host(
+            *h,
+            if i % 2 == 0 {
+                CpuClass::Vax780
+            } else {
+                CpuClass::Sun2
+            },
+        );
+    }
+    // Ring plus one chord: stays connected under any single link failure.
+    b = b
+        .link("h0", "h1")
+        .link("h1", "h2")
+        .link("h2", "h3")
+        .link("h3", "h0")
+        .link("h0", "h2");
+    b.user(USER, 0xC4A05, &["h0", "h1"], PpmConfig::fast_recovery())
+        .build()
+}
+
+/// One chaos episode: random ops + faults for `steps` rounds.
+fn run_episode(seed: u64, steps: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ppm = harness(seed);
+    let mut live_procs: Vec<Gpid> = Vec::new();
+    let mut downed: Vec<&str> = Vec::new();
+    let mut cut_links: Vec<(&str, &str)> = Vec::new();
+
+    let up_host = |rng: &mut StdRng, downed: &Vec<&str>| -> Option<&'static str> {
+        let ups: Vec<&str> = HOSTS
+            .iter()
+            .filter(|h| !downed.contains(h))
+            .copied()
+            .collect();
+        if ups.is_empty() {
+            None
+        } else {
+            Some(ups[rng.gen_range(0..ups.len())])
+        }
+    };
+
+    for step in 0..steps {
+        let dice = rng.gen_range(0..100);
+        match dice {
+            // ---- user operations -------------------------------------
+            0..=34 => {
+                // Remote creation between two up hosts.
+                let (Some(from), Some(to)) =
+                    (up_host(&mut rng, &downed), up_host(&mut rng, &downed))
+                else {
+                    continue;
+                };
+                match ppm.spawn_remote(from, USER, to, &format!("job-{step}"), None, None) {
+                    Ok(g) => live_procs.push(g),
+                    Err(HarnessError::UnknownHost(_)) => panic!("hosts are static"),
+                    Err(_) => {} // clean failure under faults is fine
+                }
+            }
+            35..=54 => {
+                // Control a random known process.
+                if live_procs.is_empty() {
+                    continue;
+                }
+                let Some(from) = up_host(&mut rng, &downed) else {
+                    continue;
+                };
+                let idx = rng.gen_range(0..live_procs.len());
+                let target = live_procs[idx].clone();
+                let action = match rng.gen_range(0..3) {
+                    0 => ControlAction::Stop,
+                    1 => ControlAction::Background,
+                    _ => ControlAction::Kill,
+                };
+                let res = ppm.control(from, USER, &target, action);
+                if matches!(action, ControlAction::Kill) && res.is_ok() {
+                    live_procs.remove(idx);
+                }
+            }
+            55..=64 => {
+                // Distributed snapshot; validate it.
+                let Some(from) = up_host(&mut rng, &downed) else {
+                    continue;
+                };
+                if let Ok(procs) = ppm.snapshot(from, USER, "*") {
+                    for p in &procs {
+                        assert!(
+                            !downed.contains(&p.gpid.host.as_str()),
+                            "snapshot reported {} from a crashed host",
+                            p.gpid
+                        );
+                    }
+                }
+            }
+            65..=69 => {
+                // History query.
+                let Some(from) = up_host(&mut rng, &downed) else {
+                    continue;
+                };
+                let _ = ppm.history(from, USER, from, SimTime::ZERO, 100);
+            }
+            // ---- faults ------------------------------------------------
+            70..=79 => {
+                // Crash a host (keep at least two up).
+                if downed.len() >= HOSTS.len() - 2 {
+                    continue;
+                }
+                let Some(victim) = up_host(&mut rng, &downed) else {
+                    continue;
+                };
+                let h = ppm.host(victim).unwrap();
+                ppm.world_mut()
+                    .schedule_crash(h, SimDuration::from_millis(1));
+                downed.push(victim);
+                live_procs.retain(|g| g.host != victim);
+            }
+            80..=86 => {
+                // Restart a downed host.
+                if let Some(victim) = downed.pop() {
+                    let h = ppm.host(victim).unwrap();
+                    ppm.world_mut()
+                        .schedule_restart(h, SimDuration::from_millis(1));
+                }
+            }
+            87..=92 => {
+                // Cut or heal one link.
+                let links = [
+                    ("h0", "h1"),
+                    ("h1", "h2"),
+                    ("h2", "h3"),
+                    ("h3", "h0"),
+                    ("h0", "h2"),
+                ];
+                let l = links[rng.gen_range(0..links.len())];
+                let a = ppm.host(l.0).unwrap();
+                let b = ppm.host(l.1).unwrap();
+                if let Some(pos) = cut_links.iter().position(|&c| c == l) {
+                    cut_links.remove(pos);
+                    ppm.world_mut()
+                        .schedule_link(a, b, true, SimDuration::from_millis(1));
+                } else {
+                    cut_links.push(l);
+                    ppm.world_mut()
+                        .schedule_link(a, b, false, SimDuration::from_millis(1));
+                }
+            }
+            93..=96 => {
+                // Kill a pmd or an LPM outright (process-level failure).
+                let Some(victim) = up_host(&mut rng, &downed) else {
+                    continue;
+                };
+                let h = ppm.host(victim).unwrap();
+                let daemon = ppm
+                    .world()
+                    .core()
+                    .kernel(h)
+                    .processes()
+                    .find(|p| (p.command == "pmd" || p.command.starts_with("lpm")) && p.is_alive())
+                    .map(|p| p.pid);
+                if let Some(pid) = daemon {
+                    let _ = ppm
+                        .world_mut()
+                        .post_signal(Uid::ROOT, (h, pid), Signal::Kill);
+                }
+            }
+            _ => {
+                // Let time pass.
+                ppm.run_for(SimDuration::from_secs(rng.gen_range(1..5)));
+            }
+        }
+        ppm.run_for(SimDuration::from_millis(rng.gen_range(50..500)));
+    }
+
+    // Settle: heal everything and verify the PPM still works end to end.
+    for l in cut_links {
+        let a = ppm.host(l.0).unwrap();
+        let b = ppm.host(l.1).unwrap();
+        ppm.world_mut()
+            .schedule_link(a, b, true, SimDuration::from_millis(1));
+    }
+    for victim in downed {
+        let h = ppm.host(victim).unwrap();
+        ppm.world_mut()
+            .schedule_restart(h, SimDuration::from_millis(1));
+    }
+    ppm.run_for(SimDuration::from_secs(30));
+
+    let g = ppm
+        .spawn_remote("h0", USER, "h3", "after-the-storm", None, None)
+        .expect("PPM recovered and serves requests");
+    let procs = ppm
+        .snapshot("h0", USER, "*")
+        .expect("snapshot works after recovery");
+    assert!(procs.iter().any(|p| p.gpid == g));
+    let outcome = ppm
+        .run_tool(
+            "h0",
+            USER,
+            vec![ToolStep::new("h3", Op::Ping)],
+            SimDuration::from_secs(30),
+        )
+        .expect("ping works after recovery");
+    assert!(outcome.error.is_none());
+}
+
+#[test]
+fn chaos_episode_seed_1() {
+    run_episode(0xC4A0_5000 + 1, 40);
+}
+
+#[test]
+fn chaos_episode_seed_2() {
+    run_episode(0xC4A0_5000 + 2, 40);
+}
+
+#[test]
+fn chaos_episode_seed_3() {
+    run_episode(0xC4A0_5000 + 3, 40);
+}
+
+#[test]
+fn chaos_episode_seed_4() {
+    run_episode(0xC4A0_5000 + 4, 60);
+}
+
+#[test]
+fn chaos_episode_seed_5() {
+    run_episode(0xC4A0_5000 + 5, 60);
+}
+
+/// Chaos episodes are reproducible: the same seed yields the same final
+/// simulated clock.
+#[test]
+fn chaos_is_deterministic() {
+    let clock = |seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ppm = harness(seed);
+        for _ in 0..10 {
+            let to = HOSTS[rng.gen_range(0..HOSTS.len())];
+            let _ = ppm.spawn_remote("h0", USER, to, "j", None, None);
+            ppm.run_for(SimDuration::from_millis(rng.gen_range(50..500)));
+        }
+        ppm.now()
+    };
+    assert_eq!(clock(42), clock(42));
+}

@@ -1,0 +1,854 @@
+//! End-to-end tests of the PPM over the simulated network: LPM creation,
+//! adoption, genealogy, distributed control, remote creation, snapshots,
+//! history, statistics and triggers — the failure-free operation of
+//! Sections 2–4 and 6.
+
+use ppm_core::client::ToolStep;
+use ppm_core::config::PpmConfig;
+use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_proto::msg::{ControlAction, Op, Reply};
+use ppm_proto::triggers::{EventPattern, TriggerAction, TriggerSpec};
+use ppm_proto::types::{Gpid, WireProcState};
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::topology::CpuClass;
+use ppm_simos::events::TraceFlags;
+use ppm_simos::ids::Uid;
+use ppm_simos::process::ProcState;
+use ppm_simos::program::SpawnSpec;
+use ppm_simos::workload::TreeSpawner;
+
+const USER: Uid = Uid(100);
+const SECRET: u64 = 0x1986;
+
+/// Three Berkeley-ish hosts in a line: calder — ucbarpa — kim.
+fn three_hosts() -> PpmHarness {
+    PpmHarness::builder()
+        .host("calder", CpuClass::Vax780)
+        .host("ucbarpa", CpuClass::Vax750)
+        .host("kim", CpuClass::Sun2)
+        .link("calder", "ucbarpa")
+        .link("ucbarpa", "kim")
+        .user(USER, SECRET, &["calder", "ucbarpa"], PpmConfig::default())
+        .build()
+}
+
+#[test]
+fn lpm_created_ab_initio_via_inetd_and_pmd() {
+    let mut ppm = three_hosts();
+    let outcome = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new("calder", Op::Ping)],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    assert!(outcome.error.is_none());
+    assert!(outcome.created_lpm, "first contact creates the LPM");
+    assert!(matches!(outcome.reply(0), Some(Reply::Pong)));
+
+    // The Figure-2 chain is visible in the trace: pmd service start and
+    // LPM creation on calder.
+    let trace = ppm.world().core().trace().render(None);
+    assert!(trace.contains("service pmd started"), "inetd started pmd");
+    assert!(trace.contains("created LPM"), "pmd created the LPM");
+
+    // Second tool run finds the existing LPM.
+    let outcome2 = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new("calder", Op::Ping)],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    assert!(!outcome2.created_lpm, "LPM persists between tool sessions");
+}
+
+#[test]
+fn adoption_tracks_existing_process_tree() {
+    let mut ppm = three_hosts();
+    // A login-session process tree outside PPM control: root + 2 + 4.
+    let root = ppm
+        .spawn_login_process(
+            "calder",
+            USER,
+            SpawnSpec::new(
+                "make",
+                Box::new(TreeSpawner::new(2, 2, SimDuration::from_secs(600))),
+            ),
+        )
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(2));
+
+    ppm.adopt("calder", USER, "calder", root.0, TraceFlags::ALL.bits())
+        .unwrap();
+    let procs = ppm.snapshot("calder", USER, "calder").unwrap();
+    assert_eq!(
+        procs.len(),
+        7,
+        "root and all descendants adopted: {procs:?}"
+    );
+    assert!(procs.iter().all(|p| p.adopted));
+    // Genealogy is intact: exactly two children of the root.
+    let children = procs.iter().filter(|p| p.ppid == root.0).count();
+    assert_eq!(children, 2);
+}
+
+#[test]
+fn adoption_of_other_users_process_is_denied() {
+    let mut ppm = PpmHarness::builder()
+        .host("calder", CpuClass::Vax780)
+        .user(USER, SECRET, &["calder"], PpmConfig::default())
+        .user(Uid(200), 77, &["calder"], PpmConfig::default())
+        .build();
+    let other = ppm
+        .spawn_login_process("calder", Uid(200), SpawnSpec::inert("secret-job"))
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(1));
+    let err = ppm
+        .adopt("calder", USER, "calder", other.0, TraceFlags::ALL.bits())
+        .unwrap_err();
+    assert!(
+        matches!(err, HarnessError::Lpm(ref s) if s.contains("Permission")),
+        "{err}"
+    );
+}
+
+#[test]
+fn remote_process_creation_and_logical_parent() {
+    let mut ppm = three_hosts();
+    // Local anchor process, adopted.
+    let anchor = ppm
+        .spawn_login_process("calder", USER, SpawnSpec::inert("master"))
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(1));
+    ppm.adopt("calder", USER, "calder", anchor.0, TraceFlags::ALL.bits())
+        .unwrap();
+
+    let logical_parent = Some(Gpid::new("calder", anchor.0));
+    let child = ppm
+        .spawn_remote(
+            "calder",
+            USER,
+            "ucbarpa",
+            "worker",
+            logical_parent.clone(),
+            None,
+        )
+        .unwrap();
+    assert_eq!(child.host, "ucbarpa");
+
+    let procs = ppm.snapshot("calder", USER, "*").unwrap();
+    let rec = procs
+        .iter()
+        .find(|p| p.gpid == child)
+        .expect("remote child visible");
+    assert_eq!(rec.logical_parent, logical_parent);
+    assert_eq!(rec.state, WireProcState::Running);
+    assert_eq!(rec.command, "worker");
+}
+
+#[test]
+fn control_across_machine_boundaries_stop_continue_kill() {
+    let mut ppm = three_hosts();
+    // kim is two physical hops from calder.
+    let gpid = ppm
+        .spawn_remote("calder", USER, "kim", "job", None, None)
+        .unwrap();
+    let kim = ppm.host("kim").unwrap();
+    let pid = ppm_simos::ids::Pid(gpid.pid);
+
+    ppm.control("calder", USER, &gpid, ControlAction::Stop)
+        .unwrap();
+    ppm.run_for(SimDuration::from_millis(200));
+    assert_eq!(
+        ppm.world().core().kernel(kim).get(pid).unwrap().state,
+        ProcState::Stopped
+    );
+
+    ppm.control("calder", USER, &gpid, ControlAction::Background)
+        .unwrap();
+    ppm.run_for(SimDuration::from_millis(200));
+    assert_eq!(
+        ppm.world().core().kernel(kim).get(pid).unwrap().state,
+        ProcState::Running
+    );
+
+    ppm.control("calder", USER, &gpid, ControlAction::Kill)
+        .unwrap();
+    ppm.run_for(SimDuration::from_millis(200));
+    assert!(!ppm.world().core().kernel(kim).get(pid).unwrap().is_alive());
+
+    // The snapshot marks it dead (exit information retained).
+    let procs = ppm.snapshot("calder", USER, "kim").unwrap();
+    let rec = procs
+        .iter()
+        .find(|p| p.gpid == gpid)
+        .expect("dead process still listed");
+    assert_eq!(rec.state, WireProcState::Dead);
+}
+
+#[test]
+fn control_of_unknown_pid_reports_no_such_process() {
+    let mut ppm = three_hosts();
+    let err = ppm
+        .control(
+            "calder",
+            USER,
+            &Gpid::new("ucbarpa", 9999),
+            ControlAction::Kill,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, HarnessError::Lpm(ref s) if s.contains("NoSuchProcess")),
+        "{err}"
+    );
+}
+
+#[test]
+fn snapshot_spanning_three_hosts_is_a_forest_with_exit_retention() {
+    let mut ppm = three_hosts();
+    let parent = ppm
+        .spawn_remote("calder", USER, "calder", "root-proc", None, None)
+        .unwrap();
+    let c1 = ppm
+        .spawn_remote(
+            "calder",
+            USER,
+            "ucbarpa",
+            "child-1",
+            Some(parent.clone()),
+            None,
+        )
+        .unwrap();
+    let c2 = ppm
+        .spawn_remote("calder", USER, "kim", "child-2", Some(parent.clone()), None)
+        .unwrap();
+
+    // Kill the logical root; children live on — the paper retains exit
+    // info while children are alive and marks the process as exited.
+    ppm.control("calder", USER, &parent, ControlAction::Kill)
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(1));
+
+    let procs = ppm.snapshot("calder", USER, "*").unwrap();
+    let root = procs
+        .iter()
+        .find(|p| p.gpid == parent)
+        .expect("dead root retained");
+    assert_eq!(root.state, WireProcState::Dead);
+    for c in [&c1, &c2] {
+        let rec = procs.iter().find(|p| p.gpid == *c).expect("children alive");
+        assert_eq!(rec.state, WireProcState::Running);
+        assert_eq!(rec.logical_parent.as_ref(), Some(&parent));
+    }
+}
+
+#[test]
+fn rusage_statistics_for_exited_processes() {
+    let mut ppm = three_hosts();
+    let gpid = ppm
+        .spawn_remote(
+            "calder",
+            USER,
+            "ucbarpa",
+            "short-job",
+            None,
+            Some(SimDuration::from_secs(2)),
+        )
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(5)); // job exits voluntarily
+
+    let records = ppm.rusage("calder", USER, "ucbarpa", None).unwrap();
+    let rec = records
+        .iter()
+        .find(|r| r.gpid == gpid)
+        .expect("exit record kept");
+    assert_eq!(rec.command, "short-job");
+    assert_eq!(rec.status, 0);
+    assert!(rec.exited_us > 0);
+
+    // Pid-filtered query.
+    let one = ppm
+        .rusage("calder", USER, "ucbarpa", Some(gpid.pid))
+        .unwrap();
+    assert_eq!(one.len(), 1);
+    let none = ppm.rusage("calder", USER, "ucbarpa", Some(424242)).unwrap();
+    assert!(none.is_empty());
+}
+
+#[test]
+fn history_records_lifecycle_events() {
+    let mut ppm = three_hosts();
+    let gpid = ppm
+        .spawn_remote("calder", USER, "ucbarpa", "traced", None, None)
+        .unwrap();
+    ppm.control("calder", USER, &gpid, ControlAction::Stop)
+        .unwrap();
+    ppm.control("calder", USER, &gpid, ControlAction::Foreground)
+        .unwrap();
+    ppm.control("calder", USER, &gpid, ControlAction::Kill)
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(1));
+
+    let events = ppm
+        .history("calder", USER, "ucbarpa", SimTime::ZERO, 500)
+        .unwrap();
+    let kinds: Vec<&str> = events
+        .iter()
+        .filter(|e| e.gpid == gpid)
+        .map(|e| e.kind.as_str())
+        .collect();
+    assert!(kinds.contains(&"exec"), "{kinds:?}");
+    assert!(kinds.contains(&"stop"), "{kinds:?}");
+    assert!(kinds.contains(&"cont"), "{kinds:?}");
+    assert!(kinds.contains(&"exit"), "{kinds:?}");
+    // Ordering: exec before exit.
+    let exec_pos = kinds.iter().position(|k| *k == "exec").unwrap();
+    let exit_pos = kinds.iter().position(|k| *k == "exit").unwrap();
+    assert!(exec_pos < exit_pos);
+}
+
+#[test]
+fn broadcast_history_merges_across_hosts() {
+    let mut ppm = three_hosts();
+    ppm.spawn_remote("calder", USER, "ucbarpa", "a", None, None)
+        .unwrap();
+    ppm.spawn_remote("calder", USER, "kim", "b", None, None)
+        .unwrap();
+    let events = ppm
+        .history("calder", USER, "*", SimTime::ZERO, 500)
+        .unwrap();
+    let hosts: std::collections::BTreeSet<&str> =
+        events.iter().map(|e| e.gpid.host.as_str()).collect();
+    assert!(
+        hosts.contains("ucbarpa") && hosts.contains("kim"),
+        "{hosts:?}"
+    );
+    // Merged stream is time-sorted.
+    assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+}
+
+#[test]
+fn triggers_fire_on_exit_and_notify() {
+    let mut ppm = three_hosts();
+    let gpid = ppm
+        .spawn_remote("calder", USER, "ucbarpa", "watched", None, None)
+        .unwrap();
+    let spec = TriggerSpec {
+        id: 7,
+        pattern: EventPattern::kind("exit").with_pid(gpid.pid),
+        action: TriggerAction::Notify {
+            note: "watched job finished".into(),
+        },
+        once: true,
+    };
+    let outcome = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new("ucbarpa", Op::AddTrigger { spec })],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    assert!(matches!(outcome.reply(0), Some(Reply::Ok)));
+
+    ppm.control("calder", USER, &gpid, ControlAction::Kill)
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(1));
+
+    let events = ppm
+        .history("calder", USER, "ucbarpa", SimTime::ZERO, 500)
+        .unwrap();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == "trigger" && e.detail.contains("watched job finished")),
+        "trigger notification recorded"
+    );
+}
+
+#[test]
+fn trigger_signals_a_remote_process_event_driven() {
+    let mut ppm = three_hosts();
+    // Two processes on different hosts; when A exits, B must be killed.
+    let a = ppm
+        .spawn_remote("calder", USER, "ucbarpa", "job-a", None, None)
+        .unwrap();
+    let b = ppm
+        .spawn_remote("calder", USER, "kim", "job-b", None, None)
+        .unwrap();
+    let spec = TriggerSpec {
+        id: 1,
+        pattern: EventPattern::kind("exit").with_pid(a.pid),
+        action: TriggerAction::Signal {
+            target: b.clone(),
+            signal: 9,
+        },
+        once: true,
+    };
+    ppm.run_tool(
+        "calder",
+        USER,
+        vec![ToolStep::new("ucbarpa", Op::AddTrigger { spec })],
+        SimDuration::from_secs(30),
+    )
+    .unwrap();
+
+    ppm.control("calder", USER, &a, ControlAction::Kill)
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(3));
+
+    let kim = ppm.host("kim").unwrap();
+    let alive = ppm
+        .world()
+        .core()
+        .kernel(kim)
+        .get(ppm_simos::ids::Pid(b.pid))
+        .unwrap()
+        .is_alive();
+    assert!(
+        !alive,
+        "exit of job-a triggered the kill of job-b across hosts"
+    );
+}
+
+#[test]
+fn list_and_delete_triggers() {
+    let mut ppm = three_hosts();
+    let mk = |id| Op::AddTrigger {
+        spec: TriggerSpec {
+            id,
+            pattern: EventPattern::kind("exit"),
+            action: TriggerAction::Notify {
+                note: format!("t{id}"),
+            },
+            once: false,
+        },
+    };
+    let outcome = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![
+                ToolStep::new("calder", mk(1)),
+                ToolStep::new("calder", mk(2)),
+                ToolStep::new("calder", Op::DelTrigger { id: 1 }),
+                ToolStep::new("calder", Op::ListTriggers),
+                ToolStep::new("calder", Op::DelTrigger { id: 99 }),
+            ],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    match outcome.reply(3) {
+        Some(Reply::Triggers { entries }) => {
+            assert_eq!(entries.len(), 1);
+            assert_eq!(entries[0].id, 2);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(
+        matches!(outcome.reply(4), Some(Reply::Err { .. })),
+        "deleting unknown trigger errs"
+    );
+}
+
+#[test]
+fn open_files_listing_shows_descriptors() {
+    let mut ppm = three_hosts();
+    let gpid = ppm
+        .spawn_remote("calder", USER, "ucbarpa", "editor", None, None)
+        .unwrap();
+    let outcome = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new("ucbarpa", Op::OpenFiles { pid: gpid.pid })],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    match outcome.reply(0) {
+        Some(Reply::Files { entries }) => {
+            // A plain worker has no descriptors; the call itself must work.
+            assert!(entries.is_empty());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // The LPM's own descriptor table shows the Figure-4 endpoint types.
+    let ucbarpa = ppm.host("ucbarpa").unwrap();
+    let lpm_pid = ppm
+        .world()
+        .core()
+        .kernel(ucbarpa)
+        .processes()
+        .find(|p| p.command.starts_with("lpm") && p.is_alive())
+        .map(|p| p.pid)
+        .expect("LPM running on ucbarpa");
+    let outcome = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new("ucbarpa", Op::OpenFiles { pid: lpm_pid.0 })],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    match outcome.reply(0) {
+        Some(Reply::Files { entries }) => {
+            let kinds: Vec<&str> = entries.iter().map(|e| e.kind.as_str()).collect();
+            assert!(kinds.contains(&"kernel"), "kernel socket: {kinds:?}");
+            assert!(kinds.contains(&"listener"), "accept socket: {kinds:?}");
+            assert!(kinds.contains(&"socket"), "tool/sibling sockets: {kinds:?}");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn status_reports_siblings_and_ccs() {
+    let mut ppm = three_hosts();
+    ppm.spawn_remote("calder", USER, "ucbarpa", "x", None, None)
+        .unwrap();
+    match ppm.status("calder", USER, "calder").unwrap() {
+        Reply::Status {
+            host,
+            siblings,
+            ccs,
+            ..
+        } => {
+            assert_eq!(host, "calder");
+            assert!(siblings.contains(&"ucbarpa".to_string()), "{siblings:?}");
+            assert_eq!(ccs, "calder", "top of the recovery list");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn tracing_granularity_is_user_settable() {
+    let mut ppm = three_hosts();
+    // Spawn, then restrict tracing to signals only.
+    let gpid = ppm
+        .spawn_remote("calder", USER, "ucbarpa", "quiet", None, None)
+        .unwrap();
+    let t0 = ppm.now();
+    let outcome = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new(
+                "ucbarpa",
+                Op::SetTraceFlags {
+                    pid: gpid.pid,
+                    flags: TraceFlags::SIGNALS.bits(),
+                },
+            )],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    assert!(matches!(outcome.reply(0), Some(Reply::Ok)));
+
+    // Kill it: the signal is reported (SIGNALS flag), and the exit event
+    // is suppressed (PROC flag cleared).
+    ppm.control("calder", USER, &gpid, ControlAction::Kill)
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(1));
+    let events = ppm.history("calder", USER, "ucbarpa", t0, 500).unwrap();
+    let mine: Vec<&str> = events
+        .iter()
+        .filter(|e| e.gpid == gpid)
+        .map(|e| e.kind.as_str())
+        .collect();
+    assert!(mine.contains(&"signal"), "{mine:?}");
+    assert!(
+        !mine.contains(&"exit"),
+        "exit suppressed at signal-only granularity: {mine:?}"
+    );
+}
+
+#[test]
+fn deterministic_runs_with_same_seed() {
+    let run = |seed: u64| {
+        let mut ppm = PpmHarness::builder()
+            .seed(seed)
+            .host("a", CpuClass::Vax780)
+            .host("b", CpuClass::Vax750)
+            .link("a", "b")
+            .user(USER, SECRET, &["a"], PpmConfig::default())
+            .build();
+        let g = ppm.spawn_remote("a", USER, "b", "j", None, None).unwrap();
+        let o = ppm
+            .run_tool(
+                "a",
+                USER,
+                vec![ToolStep::new("*", Op::Snapshot)],
+                SimDuration::from_secs(30),
+            )
+            .unwrap();
+        (g, o.replies.last().map(|(_, t)| *t), ppm.now())
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1, "identical reply timing for identical seeds");
+    let c = run(8);
+    assert!(a.1 != c.1 || a.0 != c.0, "different seed perturbs the run");
+}
+
+#[test]
+fn lpm_stats_expose_internal_counters() {
+    let mut ppm = three_hosts();
+    // Exercise the pipeline: two remote creations and one broadcast.
+    ppm.spawn_remote("calder", USER, "ucbarpa", "a", None, None)
+        .unwrap();
+    ppm.spawn_remote("calder", USER, "kim", "b", None, None)
+        .unwrap();
+    ppm.snapshot("calder", USER, "*").unwrap();
+
+    match ppm.lpm_stats("calder", USER, "calder").unwrap() {
+        Reply::Stats {
+            requests,
+            bcasts,
+            handlers,
+            ..
+        } => {
+            assert!(
+                requests >= 4,
+                "spawns + snapshot + stats itself: {requests}"
+            );
+            assert_eq!(bcasts.0, 1, "one broadcast originated");
+            assert!(handlers.0 >= 1, "remote legs forked handlers");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The remote LPM saw the wave but originated nothing.
+    match ppm.lpm_stats("calder", USER, "ucbarpa").unwrap() {
+        Reply::Stats { bcasts, .. } => {
+            assert_eq!(bcasts.0, 0);
+            assert_eq!(bcasts.1, 1, "participated in one broadcast");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn route_cache_hits_are_counted() {
+    // Chain with sibling edges calder-ucbarpa and ucbarpa-kim only; a
+    // broadcast teaches calder the route to kim, and a directed request
+    // then relays through ucbarpa (a route-cache hit at calder).
+    let mut ppm = three_hosts();
+    ppm.spawn_remote("calder", USER, "ucbarpa", "a", None, None)
+        .unwrap();
+    let far = ppm
+        .spawn_remote("ucbarpa", USER, "kim", "b", None, None)
+        .unwrap();
+    ppm.snapshot("calder", USER, "*").unwrap();
+    ppm.control("calder", USER, &far, ControlAction::Stop)
+        .unwrap();
+
+    match ppm.lpm_stats("calder", USER, "calder").unwrap() {
+        Reply::Stats {
+            route_cache_hits, ..
+        } => {
+            assert!(
+                route_cache_hits >= 1,
+                "directed request used the learned route"
+            );
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // The relay is counted at the intermediate LPM.
+    match ppm.lpm_stats("calder", USER, "ucbarpa").unwrap() {
+        Reply::Stats { relays, .. } => {
+            assert!(relays >= 1, "ucbarpa relayed for calder");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn hop_budget_limits_relaying_but_not_delivery() {
+    // Sibling edges calder-ucbarpa and ucbarpa-kim; requests from calder
+    // to kim must relay through ucbarpa once the route is learned.
+    let build = |max_hops: u8| {
+        let cfg = PpmConfig {
+            max_hops,
+            ..PpmConfig::default()
+        };
+        let mut ppm = PpmHarness::builder()
+            .host("calder", CpuClass::Vax780)
+            .host("ucbarpa", CpuClass::Vax750)
+            .host("kim", CpuClass::Sun2)
+            .link("calder", "ucbarpa")
+            .link("ucbarpa", "kim")
+            .user(USER, SECRET, &["calder"], cfg)
+            .build();
+        ppm.spawn_remote("calder", USER, "ucbarpa", "a", None, None)
+            .unwrap();
+        let far = ppm
+            .spawn_remote("ucbarpa", USER, "kim", "b", None, None)
+            .unwrap();
+        ppm.snapshot("calder", USER, "*").unwrap(); // teach the route
+        (ppm, far)
+    };
+
+    // Budget 1: one relay allowed; the request reaches kim.
+    let (mut ppm, far) = build(1);
+    ppm.control("calder", USER, &far, ControlAction::Stop)
+        .unwrap();
+
+    // Budget 0: the relay at ucbarpa refuses.
+    let (mut ppm, far) = build(0);
+    let err = ppm
+        .control("calder", USER, &far, ControlAction::Stop)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("NoRoute") || err.to_string().contains("hop"),
+        "{err}"
+    );
+
+    // Budget 0 does not block direct delivery to an adjacent sibling.
+    let (mut ppm, _) = build(0);
+    let near = ppm
+        .spawn_remote("calder", USER, "ucbarpa", "near", None, None)
+        .unwrap();
+    ppm.control("calder", USER, &near, ControlAction::Stop)
+        .unwrap();
+}
+
+#[test]
+fn concurrent_tools_are_all_served() {
+    let mut ppm = three_hosts();
+    ppm.spawn_remote("calder", USER, "ucbarpa", "job", None, None)
+        .unwrap();
+    // Three tools fire at once at the same LPM: a broadcast snapshot, a
+    // status query and a history query.
+    let h1 = ppm
+        .launch_tool("calder", USER, vec![ToolStep::new("*", Op::Snapshot)])
+        .unwrap();
+    let h2 = ppm
+        .launch_tool("calder", USER, vec![ToolStep::new("calder", Op::Status)])
+        .unwrap();
+    let h3 = ppm
+        .launch_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new(
+                "ucbarpa",
+                Op::History {
+                    since_us: 0,
+                    max: 50,
+                },
+            )],
+        )
+        .unwrap();
+    ppm.run_for(SimDuration::from_secs(20));
+    for (i, h) in [h1, h2, h3].iter().enumerate() {
+        let o = h.borrow().clone();
+        assert!(o.done, "tool {i} finished");
+        assert!(o.error.is_none(), "tool {i}: {:?}", o.error);
+        assert_eq!(o.replies.len(), 1, "tool {i}");
+    }
+}
+
+#[test]
+fn cpu_threshold_trigger_fires_end_to_end() {
+    let mut ppm = three_hosts();
+    // Install a trigger killing any "runaway" that burned >= 200 ms CPU.
+    let spec = TriggerSpec {
+        id: 9,
+        pattern: EventPattern::default()
+            .with_command_prefix("runaway")
+            .with_min_cpu_us(200_000),
+        action: TriggerAction::KillTree {
+            root: Gpid::new("ucbarpa", 0), // placeholder; replaced below
+        },
+        once: false,
+    };
+    // A modest job stays under the threshold; a hog exceeds it.
+    let modest = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new(
+                "ucbarpa",
+                Op::Spawn {
+                    command: "runaway-small".into(),
+                    logical_parent: None,
+                    lifetime_us: Some(60_000_000),
+                    work_us: 50_000,
+                    cpu_bound: false,
+                },
+            )],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    let modest_gpid = match modest.reply(0) {
+        Some(Reply::Spawned { gpid }) => gpid.clone(),
+        other => panic!("{other:?}"),
+    };
+    let hog = ppm
+        .run_tool(
+            "calder",
+            USER,
+            vec![ToolStep::new(
+                "ucbarpa",
+                Op::Spawn {
+                    command: "runaway-hog".into(),
+                    logical_parent: None,
+                    lifetime_us: Some(60_000_000),
+                    work_us: 400_000,
+                    cpu_bound: false,
+                },
+            )],
+            SimDuration::from_secs(30),
+        )
+        .unwrap();
+    let hog_gpid = match hog.reply(0) {
+        Some(Reply::Spawned { gpid }) => gpid.clone(),
+        other => panic!("{other:?}"),
+    };
+    // Register the trigger with the hog as its kill root: the cpu
+    // threshold is evaluated against the event's process, so the action
+    // fires only once the hog's accounted CPU crosses 200 ms.
+    let spec = TriggerSpec {
+        action: TriggerAction::Signal { target: hog_gpid.clone(), signal: 9 },
+        ..spec
+    };
+    ppm.run_tool(
+        "calder",
+        USER,
+        vec![ToolStep::new("ucbarpa", Op::AddTrigger { spec })],
+        SimDuration::from_secs(30),
+    )
+    .unwrap();
+
+    // Poke both processes so kernel events (with CPU accounting) flow.
+    ppm.control("calder", USER, &modest_gpid, ControlAction::Stop).unwrap();
+    ppm.control("calder", USER, &modest_gpid, ControlAction::Background).unwrap();
+    // The stop's own signal event can already fire the trigger, in which
+    // case the follow-up control races with the kill — tolerate that.
+    let _ = ppm.control("calder", USER, &hog_gpid, ControlAction::Stop);
+    let _ = ppm.control("calder", USER, &hog_gpid, ControlAction::Background);
+    ppm.run_for(SimDuration::from_secs(5));
+
+    let ucbarpa = ppm.host("ucbarpa").unwrap();
+    let hog_alive = ppm
+        .world()
+        .core()
+        .kernel(ucbarpa)
+        .get(ppm_simos::ids::Pid(hog_gpid.pid))
+        .unwrap()
+        .is_alive();
+    assert!(!hog_alive, "the hog crossed the CPU threshold and was killed");
+    // The modest job survives its own signals (its CPU stays under).
+    let modest_state = ppm
+        .world()
+        .core()
+        .kernel(ucbarpa)
+        .get(ppm_simos::ids::Pid(modest_gpid.pid))
+        .unwrap()
+        .state;
+    assert_eq!(modest_state, ProcState::Running);
+}

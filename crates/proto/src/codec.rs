@@ -1,0 +1,431 @@
+//! Binary wire codec.
+//!
+//! A small, explicit, length-checked binary format. The codec is
+//! hand-rolled (rather than derived from a serialization framework) for
+//! two reasons: the byte-exact message sizes feed the latency models —
+//! Table 1 is about a *112-byte* message — and the decoder must be robust
+//! against arbitrary bytes, since LPMs accept connections from the
+//! network.
+//!
+//! Conventions: integers are big-endian; strings are `u16` length-prefixed
+//! UTF-8; sequences are `u16` count-prefixed; options are a one-byte tag.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Input ended before the value was complete.
+    Truncated,
+    /// A tag byte had no corresponding variant.
+    BadTag {
+        /// Context description (which type was being decoded).
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// Decoding finished with bytes left over.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("message truncated"),
+            CodecError::BadTag { what, tag } => write!(f, "bad tag {tag} decoding {what}"),
+            CodecError::BadUtf8 => f.write_str("invalid utf-8 in string field"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl Error for CodecError {}
+
+/// Encoder: accumulates bytes.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Finishes encoding, yielding the bytes.
+    pub fn into_bytes(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16` big-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a `u32` big-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a `u64` big-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes an `i32` big-endian.
+    pub fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a length-prefixed string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string exceeds `u16::MAX` bytes (protocol fields are
+    /// short names and paths).
+    pub fn str(&mut self, s: &str) {
+        let len = u16::try_from(s.len()).expect("protocol string fits in u16");
+        self.u16(len);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes an `Option` with a one-byte presence tag.
+    pub fn opt<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+
+    /// Writes a count-prefixed sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence exceeds `u16::MAX` entries.
+    pub fn seq<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        let len = u16::try_from(items.len()).expect("protocol sequence fits in u16");
+        self.u16(len);
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// Decoder: a cursor over received bytes.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Creates a decoder over `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Fails unless all input was consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`].
+    pub fn finish(self) -> Result<(), CodecError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(CodecError::TrailingBytes(n)),
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn i32(&mut self) -> Result<i32, CodecError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a bool (any nonzero byte is true).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] or [`CodecError::BadUtf8`].
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u16()? as usize;
+        let raw = self.take(len)?;
+        std::str::from_utf8(raw)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Reads an `Option`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadTag`] for a tag other than 0 or 1, plus whatever
+    /// the element decoder returns.
+    pub fn opt<T>(
+        &mut self,
+        f: impl FnOnce(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Option<T>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(f(self)?)),
+            tag => Err(CodecError::BadTag {
+                what: "Option",
+                tag,
+            }),
+        }
+    }
+
+    /// Reads a count-prefixed sequence.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the element decoder returns.
+    pub fn seq<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, CodecError>,
+    ) -> Result<Vec<T>, CodecError> {
+        let n = self.u16()? as usize;
+        // Guard against absurd counts in hostile input: each element needs
+        // at least one byte.
+        if n > self.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(f(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Types that encode to / decode from the wire format.
+pub trait Wire: Sized {
+    /// Appends this value to the encoder.
+    fn encode(&self, enc: &mut Enc);
+
+    /// Reads one value from the decoder.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed input.
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes to a standalone byte string.
+    fn to_bytes(&self) -> Bytes {
+        let mut enc = Enc::new();
+        self.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Decodes from a complete byte string (no trailing bytes allowed).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on malformed input.
+    fn from_bytes(data: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Dec::new(data);
+        let v = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+
+    /// Encoded size in bytes.
+    fn wire_len(&self) -> usize {
+        let mut enc = Enc::new();
+        self.encode(&mut enc);
+        enc.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u16(300);
+        e.u32(70_000);
+        e.u64(1 << 40);
+        e.i32(-5);
+        e.bool(true);
+        e.bool(false);
+        let b = e.into_bytes();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 300);
+        assert_eq!(d.u32().unwrap(), 70_000);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.i32().unwrap(), -5);
+        assert!(d.bool().unwrap());
+        assert!(!d.bool().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn string_roundtrip_and_utf8_check() {
+        let mut e = Enc::new();
+        e.str("ucbvax ✓");
+        let b = e.into_bytes();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.str().unwrap(), "ucbvax ✓");
+
+        // corrupt the payload
+        let mut bad = b.to_vec();
+        let n = bad.len();
+        bad[n - 1] = 0xFF;
+        bad[n - 2] = 0xFF;
+        bad[n - 3] = 0xFF;
+        let mut d = Dec::new(&bad);
+        assert_eq!(d.str(), Err(CodecError::BadUtf8));
+    }
+
+    #[test]
+    fn option_roundtrip_and_bad_tag() {
+        let mut e = Enc::new();
+        e.opt(&Some(9u32), |e, v| e.u32(*v));
+        e.opt(&None::<u32>, |e, v| e.u32(*v));
+        let b = e.into_bytes();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.opt(|d| d.u32()).unwrap(), Some(9));
+        assert_eq!(d.opt(|d| d.u32()).unwrap(), None);
+
+        let mut d = Dec::new(&[9u8]);
+        assert!(matches!(d.opt(|d| d.u32()), Err(CodecError::BadTag { .. })));
+    }
+
+    #[test]
+    fn seq_roundtrip() {
+        let mut e = Enc::new();
+        e.seq(&[1u32, 2, 3], |e, v| e.u32(*v));
+        let b = e.into_bytes();
+        let mut d = Dec::new(&b);
+        assert_eq!(d.seq(|d| d.u32()).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn hostile_seq_count_is_rejected_early() {
+        // count claims 65535 elements but only 2 bytes follow
+        let data = [0xFFu8, 0xFF, 1, 2];
+        let mut d = Dec::new(&data);
+        assert_eq!(d.seq(|d| d.u32()), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let mut d = Dec::new(&[1u8]);
+        assert_eq!(d.u32(), Err(CodecError::Truncated));
+        let mut d = Dec::new(&[0u8, 5, b'a']);
+        assert_eq!(d.str(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let d = Dec::new(&[1u8, 2, 3]);
+        assert_eq!(d.finish(), Err(CodecError::TrailingBytes(3)));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(CodecError::Truncated.to_string(), "message truncated");
+        assert!(CodecError::BadTag {
+            what: "Msg",
+            tag: 9
+        }
+        .to_string()
+        .contains("Msg"));
+        assert!(CodecError::TrailingBytes(4).to_string().contains('4'));
+    }
+}

@@ -1,0 +1,1192 @@
+//! The PPM message vocabulary.
+//!
+//! Three protocol families share one [`Msg`] enum (they flow over the same
+//! kinds of stream connections):
+//!
+//! * the **pmd protocol** — LPM creation ab initio, Figure 2;
+//! * the **sibling/tool protocol** — authenticated `Hello` handshakes,
+//!   then request/reply ([`Msg::Req`]/[`Msg::Resp`]) and the broadcast
+//!   echo wave ([`Msg::Bcast`]/[`Msg::BcastResp`]/[`Msg::BcastDone`]);
+//! * the **recovery protocol** — CCS announcements and probes, Section 5.
+
+use crate::codec::{CodecError, Dec, Enc, Wire};
+use crate::triggers::TriggerSpec;
+use crate::types::{FileRecord, Gpid, HistoryRecord, ProcRecord, Route, RusageRecord, Stamp};
+
+/// Process-control verbs of the snapshot tool: "stop a process, execute it
+/// in the foreground, execute it in the background, kill it".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ControlAction {
+    /// Stop (SIGSTOP).
+    Stop,
+    /// Continue in the foreground.
+    Foreground,
+    /// Continue in the background.
+    Background,
+    /// Kill (SIGKILL).
+    Kill,
+    /// Deliver an arbitrary signal by number.
+    Signal(u8),
+}
+
+impl Wire for ControlAction {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            ControlAction::Stop => enc.u8(0),
+            ControlAction::Foreground => enc.u8(1),
+            ControlAction::Background => enc.u8(2),
+            ControlAction::Kill => enc.u8(3),
+            ControlAction::Signal(n) => {
+                enc.u8(4);
+                enc.u8(*n);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        match dec.u8()? {
+            0 => Ok(ControlAction::Stop),
+            1 => Ok(ControlAction::Foreground),
+            2 => Ok(ControlAction::Background),
+            3 => Ok(ControlAction::Kill),
+            4 => Ok(ControlAction::Signal(dec.u8()?)),
+            tag => Err(CodecError::BadTag {
+                what: "ControlAction",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Error codes carried in [`Reply::Err`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrCode {
+    /// Target process does not exist.
+    NoSuchProcess,
+    /// Permission denied (cross-user request).
+    Permission,
+    /// No route to the target host.
+    NoRoute,
+    /// Target host is down.
+    HostDown,
+    /// The responsible handler timed out.
+    Timeout,
+    /// Request malformed or inapplicable.
+    BadRequest,
+    /// Named entity not found.
+    NotFound,
+    /// Internal failure in the manager.
+    Internal,
+}
+
+impl Wire for ErrCode {
+    fn encode(&self, enc: &mut Enc) {
+        let tag = match self {
+            ErrCode::NoSuchProcess => 0,
+            ErrCode::Permission => 1,
+            ErrCode::NoRoute => 2,
+            ErrCode::HostDown => 3,
+            ErrCode::Timeout => 4,
+            ErrCode::BadRequest => 5,
+            ErrCode::NotFound => 6,
+            ErrCode::Internal => 7,
+        };
+        enc.u8(tag);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match dec.u8()? {
+            0 => ErrCode::NoSuchProcess,
+            1 => ErrCode::Permission,
+            2 => ErrCode::NoRoute,
+            3 => ErrCode::HostDown,
+            4 => ErrCode::Timeout,
+            5 => ErrCode::BadRequest,
+            6 => ErrCode::NotFound,
+            7 => ErrCode::Internal,
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "ErrCode",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Operations a tool (or a sibling acting for a tool) asks an LPM to
+/// perform on its host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Liveness check.
+    Ping,
+    /// LPM status: load, managed process count, sibling set.
+    Status,
+    /// Control a local process.
+    Control {
+        /// Target pid on the receiving LPM's host.
+        pid: u32,
+        /// What to do.
+        action: ControlAction,
+    },
+    /// Create a process on the receiving LPM's host (the LPM is "the
+    /// process creation server for a user's remote processes").
+    Spawn {
+        /// Command name.
+        command: String,
+        /// Logical parent in the user's computation tree.
+        logical_parent: Option<Gpid>,
+        /// Synthetic workload: lifetime before voluntary exit (µs);
+        /// `None` runs until signalled.
+        lifetime_us: Option<u64>,
+        /// Synthetic workload: CPU burst at start (µs).
+        work_us: u64,
+        /// Whether the process is CPU-bound while alive.
+        cpu_bound: bool,
+    },
+    /// Report all managed processes on this host (one snapshot slice).
+    Snapshot,
+    /// Report resource statistics of exited processes (all, or one pid).
+    Rusage {
+        /// Restrict to one pid.
+        pid: Option<u32>,
+    },
+    /// Report history events at or after `since_us`, newest last.
+    History {
+        /// Lower time bound (µs).
+        since_us: u64,
+        /// Maximum entries.
+        max: u16,
+    },
+    /// Report open descriptors of a local process.
+    OpenFiles {
+        /// Target pid.
+        pid: u32,
+    },
+    /// Adopt a local process (and descendants) with tracing flags.
+    Adopt {
+        /// Target pid.
+        pid: u32,
+        /// [`TraceFlags`](https://en.wikipedia.org/wiki/Ptrace)-style bits
+        /// (see `ppm-simos::events::TraceFlags`).
+        flags: u8,
+    },
+    /// Change the tracing granularity of an adopted process.
+    SetTraceFlags {
+        /// Target pid.
+        pid: u32,
+        /// New flag bits.
+        flags: u8,
+    },
+    /// Register a history-dependent trigger.
+    AddTrigger {
+        /// The trigger.
+        spec: TriggerSpec,
+    },
+    /// Remove a trigger by id.
+    DelTrigger {
+        /// Trigger id.
+        id: u32,
+    },
+    /// List registered triggers.
+    ListTriggers,
+    /// Report the LPM's internal counters (requests, broadcasts, relays,
+    /// handler pool activity) — introspection for tools and experiments.
+    Stats,
+}
+
+impl Op {
+    /// Short name for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::Ping => "ping",
+            Op::Status => "status",
+            Op::Control { .. } => "control",
+            Op::Spawn { .. } => "spawn",
+            Op::Snapshot => "snapshot",
+            Op::Rusage { .. } => "rusage",
+            Op::History { .. } => "history",
+            Op::OpenFiles { .. } => "files",
+            Op::Adopt { .. } => "adopt",
+            Op::SetTraceFlags { .. } => "traceflags",
+            Op::AddTrigger { .. } => "add-trigger",
+            Op::DelTrigger { .. } => "del-trigger",
+            Op::ListTriggers => "list-triggers",
+            Op::Stats => "stats",
+        }
+    }
+}
+
+impl Wire for Op {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            Op::Ping => enc.u8(0),
+            Op::Status => enc.u8(1),
+            Op::Control { pid, action } => {
+                enc.u8(2);
+                enc.u32(*pid);
+                action.encode(enc);
+            }
+            Op::Spawn {
+                command,
+                logical_parent,
+                lifetime_us,
+                work_us,
+                cpu_bound,
+            } => {
+                enc.u8(3);
+                enc.str(command);
+                enc.opt(logical_parent, |e, g| g.encode(e));
+                enc.opt(lifetime_us, |e, v| e.u64(*v));
+                enc.u64(*work_us);
+                enc.bool(*cpu_bound);
+            }
+            Op::Snapshot => enc.u8(4),
+            Op::Rusage { pid } => {
+                enc.u8(5);
+                enc.opt(pid, |e, v| e.u32(*v));
+            }
+            Op::History { since_us, max } => {
+                enc.u8(6);
+                enc.u64(*since_us);
+                enc.u16(*max);
+            }
+            Op::OpenFiles { pid } => {
+                enc.u8(7);
+                enc.u32(*pid);
+            }
+            Op::Adopt { pid, flags } => {
+                enc.u8(8);
+                enc.u32(*pid);
+                enc.u8(*flags);
+            }
+            Op::SetTraceFlags { pid, flags } => {
+                enc.u8(9);
+                enc.u32(*pid);
+                enc.u8(*flags);
+            }
+            Op::AddTrigger { spec } => {
+                enc.u8(10);
+                spec.encode(enc);
+            }
+            Op::DelTrigger { id } => {
+                enc.u8(11);
+                enc.u32(*id);
+            }
+            Op::ListTriggers => enc.u8(12),
+            Op::Stats => enc.u8(13),
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match dec.u8()? {
+            0 => Op::Ping,
+            1 => Op::Status,
+            2 => Op::Control {
+                pid: dec.u32()?,
+                action: ControlAction::decode(dec)?,
+            },
+            3 => Op::Spawn {
+                command: dec.str()?,
+                logical_parent: dec.opt(Gpid::decode)?,
+                lifetime_us: dec.opt(|d| d.u64())?,
+                work_us: dec.u64()?,
+                cpu_bound: dec.bool()?,
+            },
+            4 => Op::Snapshot,
+            5 => Op::Rusage {
+                pid: dec.opt(|d| d.u32())?,
+            },
+            6 => Op::History {
+                since_us: dec.u64()?,
+                max: dec.u16()?,
+            },
+            7 => Op::OpenFiles { pid: dec.u32()? },
+            8 => Op::Adopt {
+                pid: dec.u32()?,
+                flags: dec.u8()?,
+            },
+            9 => Op::SetTraceFlags {
+                pid: dec.u32()?,
+                flags: dec.u8()?,
+            },
+            10 => Op::AddTrigger {
+                spec: TriggerSpec::decode(dec)?,
+            },
+            11 => Op::DelTrigger { id: dec.u32()? },
+            12 => Op::ListTriggers,
+            13 => Op::Stats,
+            tag => return Err(CodecError::BadTag { what: "Op", tag }),
+        })
+    }
+}
+
+/// Replies to [`Op`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Success with no payload.
+    Ok,
+    /// Failure.
+    Err {
+        /// Machine-readable code.
+        code: ErrCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Ping answer.
+    Pong,
+    /// [`Op::Spawn`] result.
+    Spawned {
+        /// Identity of the new process.
+        gpid: Gpid,
+    },
+    /// One host's slice of a distributed snapshot.
+    Snapshot {
+        /// Reporting host.
+        host: String,
+        /// Managed processes on that host.
+        procs: Vec<ProcRecord>,
+    },
+    /// Exited-process statistics.
+    Rusage {
+        /// Records, oldest first.
+        records: Vec<RusageRecord>,
+    },
+    /// History slice.
+    History {
+        /// Events, oldest first.
+        events: Vec<HistoryRecord>,
+    },
+    /// Open descriptors of a process.
+    Files {
+        /// Entries in descriptor order.
+        entries: Vec<FileRecord>,
+    },
+    /// Registered triggers.
+    Triggers {
+        /// Entries in id order.
+        entries: Vec<TriggerSpec>,
+    },
+    /// LPM internal counters.
+    Stats {
+        /// Requests that entered the pipeline.
+        requests: u64,
+        /// Broadcasts originated / forwarded / suppressed.
+        bcasts: (u64, u64, u64),
+        /// Directed requests relayed for other LPMs.
+        relays: u64,
+        /// Requests answered via a learned route instead of a new channel.
+        route_cache_hits: u64,
+        /// Hello authentication failures.
+        auth_failures: u64,
+        /// Handler forks / reuses / reaped.
+        handlers: (u64, u64, u64),
+    },
+    /// LPM status.
+    Status {
+        /// Reporting host.
+        host: String,
+        /// Load average × 1000.
+        load_milli: u32,
+        /// Managed (adopted or created) live processes.
+        managed: u32,
+        /// Hosts with live sibling connections.
+        siblings: Vec<String>,
+        /// Current CCS host as this LPM believes it.
+        ccs: String,
+        /// CCS epoch (bumps on re-election).
+        epoch: u64,
+    },
+}
+
+impl Reply {
+    /// True for [`Reply::Err`].
+    pub fn is_err(&self) -> bool {
+        matches!(self, Reply::Err { .. })
+    }
+}
+
+impl Wire for Reply {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            Reply::Ok => enc.u8(0),
+            Reply::Err { code, detail } => {
+                enc.u8(1);
+                code.encode(enc);
+                enc.str(detail);
+            }
+            Reply::Pong => enc.u8(2),
+            Reply::Spawned { gpid } => {
+                enc.u8(3);
+                gpid.encode(enc);
+            }
+            Reply::Snapshot { host, procs } => {
+                enc.u8(4);
+                enc.str(host);
+                enc.seq(procs, |e, p| p.encode(e));
+            }
+            Reply::Rusage { records } => {
+                enc.u8(5);
+                enc.seq(records, |e, r| r.encode(e));
+            }
+            Reply::History { events } => {
+                enc.u8(6);
+                enc.seq(events, |e, r| r.encode(e));
+            }
+            Reply::Files { entries } => {
+                enc.u8(7);
+                enc.seq(entries, |e, r| r.encode(e));
+            }
+            Reply::Triggers { entries } => {
+                enc.u8(8);
+                enc.seq(entries, |e, r| r.encode(e));
+            }
+            Reply::Stats {
+                requests,
+                bcasts,
+                relays,
+                route_cache_hits,
+                auth_failures,
+                handlers,
+            } => {
+                enc.u8(10);
+                enc.u64(*requests);
+                enc.u64(bcasts.0);
+                enc.u64(bcasts.1);
+                enc.u64(bcasts.2);
+                enc.u64(*relays);
+                enc.u64(*route_cache_hits);
+                enc.u64(*auth_failures);
+                enc.u64(handlers.0);
+                enc.u64(handlers.1);
+                enc.u64(handlers.2);
+            }
+            Reply::Status {
+                host,
+                load_milli,
+                managed,
+                siblings,
+                ccs,
+                epoch,
+            } => {
+                enc.u8(9);
+                enc.str(host);
+                enc.u32(*load_milli);
+                enc.u32(*managed);
+                enc.seq(siblings, |e, s| e.str(s));
+                enc.str(ccs);
+                enc.u64(*epoch);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match dec.u8()? {
+            0 => Reply::Ok,
+            1 => Reply::Err {
+                code: ErrCode::decode(dec)?,
+                detail: dec.str()?,
+            },
+            2 => Reply::Pong,
+            3 => Reply::Spawned {
+                gpid: Gpid::decode(dec)?,
+            },
+            4 => Reply::Snapshot {
+                host: dec.str()?,
+                procs: dec.seq(ProcRecord::decode)?,
+            },
+            5 => Reply::Rusage {
+                records: dec.seq(RusageRecord::decode)?,
+            },
+            6 => Reply::History {
+                events: dec.seq(HistoryRecord::decode)?,
+            },
+            7 => Reply::Files {
+                entries: dec.seq(FileRecord::decode)?,
+            },
+            8 => Reply::Triggers {
+                entries: dec.seq(TriggerSpec::decode)?,
+            },
+            9 => Reply::Status {
+                host: dec.str()?,
+                load_milli: dec.u32()?,
+                managed: dec.u32()?,
+                siblings: dec.seq(|d| d.str())?,
+                ccs: dec.str()?,
+                epoch: dec.u64()?,
+            },
+            10 => Reply::Stats {
+                requests: dec.u64()?,
+                bcasts: (dec.u64()?, dec.u64()?, dec.u64()?),
+                relays: dec.u64()?,
+                route_cache_hits: dec.u64()?,
+                auth_failures: dec.u64()?,
+                handlers: (dec.u64()?, dec.u64()?, dec.u64()?),
+            },
+            tag => return Err(CodecError::BadTag { what: "Reply", tag }),
+        })
+    }
+}
+
+/// Everything that flows between tools, LPMs and pmds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ---- pmd protocol (Figure 2) ----------------------------------------
+    /// Step 3: create (or find) the user's LPM on this host.
+    CreateLpm {
+        /// Owning user.
+        user: u32,
+    },
+    /// Query without creating.
+    QueryLpm {
+        /// Owning user.
+        user: u32,
+    },
+    /// Step 4: the accept address of the user's LPM.
+    LpmAddr {
+        /// Owning user.
+        user: u32,
+        /// Accept port of the LPM.
+        port: u16,
+        /// True when the LPM was created by this request.
+        created: bool,
+    },
+    /// Negative answer to [`Msg::QueryLpm`].
+    NoLpm {
+        /// Owning user.
+        user: u32,
+    },
+
+    // ---- handshake on an LPM accept socket -------------------------------
+    /// First message on any connection to an LPM: who is calling.
+    Hello {
+        /// The user the caller claims to act for.
+        user: u32,
+        /// Caller's host name.
+        host: String,
+        /// True for tools, false for sibling LPMs.
+        is_tool: bool,
+        /// The caller's current CCS view (siblings propagate it).
+        ccs: String,
+        /// CCS epoch.
+        epoch: u64,
+        /// Keyed proof derived from the user's network secret.
+        proof: u64,
+    },
+    /// Handshake answer.
+    HelloAck {
+        /// Responder's host name.
+        host: String,
+        /// Whether authentication succeeded.
+        ok: bool,
+        /// Responder's CCS view.
+        ccs: String,
+        /// Responder's CCS epoch.
+        epoch: u64,
+    },
+
+    // ---- request / reply --------------------------------------------------
+    /// A directed request, possibly relayed along `route`.
+    Req {
+        /// Request id, unique at the origin.
+        id: u64,
+        /// Acting user.
+        user: u32,
+        /// Final destination host.
+        dest: String,
+        /// The operation.
+        op: Op,
+        /// Hosts traversed so far.
+        route: Route,
+        /// Remaining relay budget.
+        hops_left: u8,
+    },
+    /// Reply to [`Msg::Req`], relayed back along the reverse route.
+    Resp {
+        /// Request id.
+        id: u64,
+        /// The reply.
+        reply: Reply,
+        /// Full source→destination route the request took.
+        route: Route,
+    },
+
+    // ---- broadcast (graph-cover echo wave) ---------------------------------
+    /// A broadcast request propagating over the sibling graph.
+    Bcast {
+        /// Signed timestamp (dedup + authenticity).
+        stamp: Stamp,
+        /// Acting user.
+        user: u32,
+        /// Operation every LPM performs.
+        op: Op,
+        /// Hosts traversed so far.
+        route: Route,
+    },
+    /// One LPM's answer, relayed upstream toward the originator.
+    BcastResp {
+        /// Stamp of the request being answered.
+        stamp: Stamp,
+        /// Answering host.
+        host: String,
+        /// The reply.
+        reply: Reply,
+        /// Route the answer's request had taken.
+        route: Route,
+    },
+    /// Subtree-complete marker of the echo wave.
+    BcastDone {
+        /// Stamp of the completed request.
+        stamp: Stamp,
+    },
+
+    // ---- recovery (Section 5) ----------------------------------------------
+    /// CCS announcement / adoption of a new coordinator.
+    CcsAnnounce {
+        /// Acting user.
+        user: u32,
+        /// The coordinator host.
+        ccs: String,
+        /// Election epoch.
+        epoch: u64,
+    },
+    /// Liveness probe toward a (suspected) CCS.
+    Probe {
+        /// Acting user.
+        user: u32,
+        /// Prober's host.
+        from: String,
+    },
+    /// Probe answer.
+    ProbeAck {
+        /// Responder's host.
+        from: String,
+        /// Responder's CCS view.
+        ccs: String,
+        /// Responder's epoch.
+        epoch: u64,
+    },
+
+    // ---- name-server CCS assignment (Section 5's alternative) --------------
+    /// Ask the name-serving pmd for the user's CCS. `claimant` is the
+    /// querying LPM's host (assigned as CCS when none exists);
+    /// `dead` reports a CCS the querier observed failing, prompting
+    /// reassignment.
+    CcsQuery {
+        /// Acting user.
+        user: u32,
+        /// The querying LPM's host.
+        claimant: String,
+        /// A CCS host observed dead, if any.
+        dead: Option<String>,
+    },
+    /// The name server's answer.
+    CcsInfo {
+        /// Acting user.
+        user: u32,
+        /// Assigned coordinator host.
+        ccs: String,
+        /// Assignment epoch.
+        epoch: u64,
+    },
+}
+
+impl Msg {
+    /// Short name for traces.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Msg::CreateLpm { .. } => "create-lpm",
+            Msg::QueryLpm { .. } => "query-lpm",
+            Msg::LpmAddr { .. } => "lpm-addr",
+            Msg::NoLpm { .. } => "no-lpm",
+            Msg::Hello { .. } => "hello",
+            Msg::HelloAck { .. } => "hello-ack",
+            Msg::Req { .. } => "req",
+            Msg::Resp { .. } => "resp",
+            Msg::Bcast { .. } => "bcast",
+            Msg::BcastResp { .. } => "bcast-resp",
+            Msg::BcastDone { .. } => "bcast-done",
+            Msg::CcsAnnounce { .. } => "ccs-announce",
+            Msg::Probe { .. } => "probe",
+            Msg::ProbeAck { .. } => "probe-ack",
+            Msg::CcsQuery { .. } => "ccs-query",
+            Msg::CcsInfo { .. } => "ccs-info",
+        }
+    }
+}
+
+impl Wire for Msg {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            Msg::CreateLpm { user } => {
+                enc.u8(0);
+                enc.u32(*user);
+            }
+            Msg::QueryLpm { user } => {
+                enc.u8(1);
+                enc.u32(*user);
+            }
+            Msg::LpmAddr {
+                user,
+                port,
+                created,
+            } => {
+                enc.u8(2);
+                enc.u32(*user);
+                enc.u16(*port);
+                enc.bool(*created);
+            }
+            Msg::NoLpm { user } => {
+                enc.u8(3);
+                enc.u32(*user);
+            }
+            Msg::Hello {
+                user,
+                host,
+                is_tool,
+                ccs,
+                epoch,
+                proof,
+            } => {
+                enc.u8(4);
+                enc.u32(*user);
+                enc.str(host);
+                enc.bool(*is_tool);
+                enc.str(ccs);
+                enc.u64(*epoch);
+                enc.u64(*proof);
+            }
+            Msg::HelloAck {
+                host,
+                ok,
+                ccs,
+                epoch,
+            } => {
+                enc.u8(5);
+                enc.str(host);
+                enc.bool(*ok);
+                enc.str(ccs);
+                enc.u64(*epoch);
+            }
+            Msg::Req {
+                id,
+                user,
+                dest,
+                op,
+                route,
+                hops_left,
+            } => {
+                enc.u8(6);
+                enc.u64(*id);
+                enc.u32(*user);
+                enc.str(dest);
+                op.encode(enc);
+                route.encode(enc);
+                enc.u8(*hops_left);
+            }
+            Msg::Resp { id, reply, route } => {
+                enc.u8(7);
+                enc.u64(*id);
+                reply.encode(enc);
+                route.encode(enc);
+            }
+            Msg::Bcast {
+                stamp,
+                user,
+                op,
+                route,
+            } => {
+                enc.u8(8);
+                stamp.encode(enc);
+                enc.u32(*user);
+                op.encode(enc);
+                route.encode(enc);
+            }
+            Msg::BcastResp {
+                stamp,
+                host,
+                reply,
+                route,
+            } => {
+                enc.u8(9);
+                stamp.encode(enc);
+                enc.str(host);
+                reply.encode(enc);
+                route.encode(enc);
+            }
+            Msg::BcastDone { stamp } => {
+                enc.u8(10);
+                stamp.encode(enc);
+            }
+            Msg::CcsAnnounce { user, ccs, epoch } => {
+                enc.u8(11);
+                enc.u32(*user);
+                enc.str(ccs);
+                enc.u64(*epoch);
+            }
+            Msg::Probe { user, from } => {
+                enc.u8(12);
+                enc.u32(*user);
+                enc.str(from);
+            }
+            Msg::ProbeAck { from, ccs, epoch } => {
+                enc.u8(13);
+                enc.str(from);
+                enc.str(ccs);
+                enc.u64(*epoch);
+            }
+            Msg::CcsQuery {
+                user,
+                claimant,
+                dead,
+            } => {
+                enc.u8(14);
+                enc.u32(*user);
+                enc.str(claimant);
+                enc.opt(dead, |e, d| e.str(d));
+            }
+            Msg::CcsInfo { user, ccs, epoch } => {
+                enc.u8(15);
+                enc.u32(*user);
+                enc.str(ccs);
+                enc.u64(*epoch);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match dec.u8()? {
+            0 => Msg::CreateLpm { user: dec.u32()? },
+            1 => Msg::QueryLpm { user: dec.u32()? },
+            2 => Msg::LpmAddr {
+                user: dec.u32()?,
+                port: dec.u16()?,
+                created: dec.bool()?,
+            },
+            3 => Msg::NoLpm { user: dec.u32()? },
+            4 => Msg::Hello {
+                user: dec.u32()?,
+                host: dec.str()?,
+                is_tool: dec.bool()?,
+                ccs: dec.str()?,
+                epoch: dec.u64()?,
+                proof: dec.u64()?,
+            },
+            5 => Msg::HelloAck {
+                host: dec.str()?,
+                ok: dec.bool()?,
+                ccs: dec.str()?,
+                epoch: dec.u64()?,
+            },
+            6 => Msg::Req {
+                id: dec.u64()?,
+                user: dec.u32()?,
+                dest: dec.str()?,
+                op: Op::decode(dec)?,
+                route: Route::decode(dec)?,
+                hops_left: dec.u8()?,
+            },
+            7 => Msg::Resp {
+                id: dec.u64()?,
+                reply: Reply::decode(dec)?,
+                route: Route::decode(dec)?,
+            },
+            8 => Msg::Bcast {
+                stamp: Stamp::decode(dec)?,
+                user: dec.u32()?,
+                op: Op::decode(dec)?,
+                route: Route::decode(dec)?,
+            },
+            9 => Msg::BcastResp {
+                stamp: Stamp::decode(dec)?,
+                host: dec.str()?,
+                reply: Reply::decode(dec)?,
+                route: Route::decode(dec)?,
+            },
+            10 => Msg::BcastDone {
+                stamp: Stamp::decode(dec)?,
+            },
+            11 => Msg::CcsAnnounce {
+                user: dec.u32()?,
+                ccs: dec.str()?,
+                epoch: dec.u64()?,
+            },
+            12 => Msg::Probe {
+                user: dec.u32()?,
+                from: dec.str()?,
+            },
+            13 => Msg::ProbeAck {
+                from: dec.str()?,
+                ccs: dec.str()?,
+                epoch: dec.u64()?,
+            },
+            14 => Msg::CcsQuery {
+                user: dec.u32()?,
+                claimant: dec.str()?,
+                dead: dec.opt(|d| d.str())?,
+            },
+            15 => Msg::CcsInfo {
+                user: dec.u32()?,
+                ccs: dec.str()?,
+                epoch: dec.u64()?,
+            },
+            tag => return Err(CodecError::BadTag { what: "Msg", tag }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triggers::{EventPattern, TriggerAction};
+
+    fn sample_msgs() -> Vec<Msg> {
+        let stamp = Stamp::signed("origin", 5, 999, 7);
+        let mut route = Route::from_origin("a");
+        route.push("b");
+        vec![
+            Msg::CreateLpm { user: 100 },
+            Msg::QueryLpm { user: 100 },
+            Msg::LpmAddr {
+                user: 100,
+                port: 1099,
+                created: true,
+            },
+            Msg::NoLpm { user: 100 },
+            Msg::Hello {
+                user: 100,
+                host: "a".into(),
+                is_tool: false,
+                ccs: "home".into(),
+                epoch: 2,
+                proof: 0xABCD,
+            },
+            Msg::HelloAck {
+                host: "b".into(),
+                ok: true,
+                ccs: "home".into(),
+                epoch: 2,
+            },
+            Msg::Req {
+                id: 9,
+                user: 100,
+                dest: "c".into(),
+                op: Op::Control {
+                    pid: 33,
+                    action: ControlAction::Stop,
+                },
+                route: route.clone(),
+                hops_left: 4,
+            },
+            Msg::Resp {
+                id: 9,
+                reply: Reply::Ok,
+                route: route.clone(),
+            },
+            Msg::Bcast {
+                stamp: stamp.clone(),
+                user: 100,
+                op: Op::Snapshot,
+                route: route.clone(),
+            },
+            Msg::BcastResp {
+                stamp: stamp.clone(),
+                host: "b".into(),
+                reply: Reply::Snapshot {
+                    host: "b".into(),
+                    procs: vec![ProcRecord {
+                        gpid: Gpid::new("b", 8),
+                        ppid: 1,
+                        logical_parent: None,
+                        command: "cc".into(),
+                        state: crate::types::WireProcState::Running,
+                        started_us: 5,
+                        cpu_us: 6,
+                        adopted: true,
+                    }],
+                },
+                route: route.clone(),
+            },
+            Msg::BcastDone { stamp },
+            Msg::CcsAnnounce {
+                user: 100,
+                ccs: "home".into(),
+                epoch: 3,
+            },
+            Msg::Probe {
+                user: 100,
+                from: "b".into(),
+            },
+            Msg::ProbeAck {
+                from: "home".into(),
+                ccs: "home".into(),
+                epoch: 3,
+            },
+            Msg::CcsQuery {
+                user: 100,
+                claimant: "b".into(),
+                dead: Some("home".into()),
+            },
+            Msg::CcsQuery {
+                user: 100,
+                claimant: "b".into(),
+                dead: None,
+            },
+            Msg::CcsInfo {
+                user: 100,
+                ccs: "b".into(),
+                epoch: 4,
+            },
+        ]
+    }
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::Ping,
+            Op::Status,
+            Op::Control {
+                pid: 1,
+                action: ControlAction::Signal(15),
+            },
+            Op::Spawn {
+                command: "troff".into(),
+                logical_parent: Some(Gpid::new("a", 2)),
+                lifetime_us: Some(1_000_000),
+                work_us: 5_000,
+                cpu_bound: true,
+            },
+            Op::Snapshot,
+            Op::Rusage { pid: Some(4) },
+            Op::Rusage { pid: None },
+            Op::History {
+                since_us: 0,
+                max: 100,
+            },
+            Op::OpenFiles { pid: 7 },
+            Op::Adopt {
+                pid: 7,
+                flags: 0b1111,
+            },
+            Op::SetTraceFlags {
+                pid: 7,
+                flags: 0b0001,
+            },
+            Op::AddTrigger {
+                spec: TriggerSpec {
+                    id: 1,
+                    pattern: EventPattern::kind("exit").with_pid(9),
+                    action: TriggerAction::Notify {
+                        note: "done".into(),
+                    },
+                    once: true,
+                },
+            },
+            Op::DelTrigger { id: 1 },
+            Op::ListTriggers,
+            Op::Stats,
+        ]
+    }
+
+    #[test]
+    fn every_msg_roundtrips() {
+        for m in sample_msgs() {
+            let b = m.to_bytes();
+            assert_eq!(Msg::from_bytes(&b).unwrap(), m, "{}", m.kind());
+        }
+    }
+
+    #[test]
+    fn every_op_roundtrips() {
+        for op in sample_ops() {
+            let b = op.to_bytes();
+            assert_eq!(Op::from_bytes(&b).unwrap(), op, "{}", op.kind());
+        }
+    }
+
+    #[test]
+    fn every_reply_roundtrips() {
+        let replies = vec![
+            Reply::Ok,
+            Reply::Err {
+                code: ErrCode::Permission,
+                detail: "cross-user".into(),
+            },
+            Reply::Pong,
+            Reply::Spawned {
+                gpid: Gpid::new("a", 3),
+            },
+            Reply::Rusage { records: vec![] },
+            Reply::History { events: vec![] },
+            Reply::Files { entries: vec![] },
+            Reply::Triggers { entries: vec![] },
+            Reply::Stats {
+                requests: 10,
+                bcasts: (1, 2, 3),
+                relays: 4,
+                route_cache_hits: 5,
+                auth_failures: 6,
+                handlers: (7, 8, 9),
+            },
+            Reply::Status {
+                host: "a".into(),
+                load_milli: 1500,
+                managed: 7,
+                siblings: vec!["b".into(), "c".into()],
+                ccs: "home".into(),
+                epoch: 1,
+            },
+        ];
+        for r in replies {
+            let b = r.to_bytes();
+            assert_eq!(Reply::from_bytes(&b).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn reply_is_err() {
+        assert!(Reply::Err {
+            code: ErrCode::Timeout,
+            detail: String::new()
+        }
+        .is_err());
+        assert!(!Reply::Ok.is_err());
+    }
+
+    #[test]
+    fn err_code_bad_tag() {
+        assert!(matches!(
+            ErrCode::from_bytes(&[99]),
+            Err(CodecError::BadTag { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        // No input derived from these bytes should panic.
+        for len in 0..64usize {
+            let data: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let _ = Msg::from_bytes(&data);
+        }
+    }
+
+    #[test]
+    fn control_messages_are_paper_scale_small() {
+        // Table 2's control round trip assumes small messages; keep the
+        // wire format in that regime (~100-200 bytes for a routed stop).
+        let mut route = Route::from_origin("calder");
+        route.push("ucbarpa");
+        let m = Msg::Req {
+            id: 1,
+            user: 100,
+            dest: "ucbarpa".into(),
+            op: Op::Control {
+                pid: 99,
+                action: ControlAction::Stop,
+            },
+            route,
+            hops_left: 8,
+        };
+        let n = m.wire_len();
+        assert!(n < 200, "routed control request is {n} bytes");
+    }
+}

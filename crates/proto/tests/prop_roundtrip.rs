@@ -1,0 +1,357 @@
+//! Property tests: every generated protocol value survives an
+//! encode→decode roundtrip, and the decoder never panics on arbitrary
+//! bytes.
+
+use proptest::prelude::*;
+
+use ppm_proto::codec::Wire;
+use ppm_proto::msg::{ControlAction, ErrCode, Msg, Op, Reply};
+use ppm_proto::triggers::{EventPattern, TriggerAction, TriggerSpec};
+use ppm_proto::types::{
+    FileRecord, Gpid, HistoryRecord, ProcRecord, Route, RusageRecord, Stamp, WireProcState,
+};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,12}"
+}
+
+fn arb_gpid() -> impl Strategy<Value = Gpid> {
+    (arb_name(), any::<u32>()).prop_map(|(h, p)| Gpid::new(h, p))
+}
+
+fn arb_route() -> impl Strategy<Value = Route> {
+    prop::collection::vec(arb_name(), 0..5).prop_map(Route)
+}
+
+fn arb_stamp() -> impl Strategy<Value = Stamp> {
+    (arb_name(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(o, s, t, secret)| Stamp::signed(o, s, t, secret))
+}
+
+fn arb_state() -> impl Strategy<Value = WireProcState> {
+    prop_oneof![
+        Just(WireProcState::Running),
+        Just(WireProcState::Stopped),
+        Just(WireProcState::Dead),
+        Just(WireProcState::Embryo),
+    ]
+}
+
+fn arb_proc_record() -> impl Strategy<Value = ProcRecord> {
+    (
+        arb_gpid(),
+        any::<u32>(),
+        prop::option::of(arb_gpid()),
+        arb_name(),
+        arb_state(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(gpid, ppid, logical_parent, command, state, started_us, cpu_us, adopted)| {
+                ProcRecord {
+                    gpid,
+                    ppid,
+                    logical_parent,
+                    command,
+                    state,
+                    started_us,
+                    cpu_us,
+                    adopted,
+                }
+            },
+        )
+}
+
+fn arb_rusage_record() -> impl Strategy<Value = RusageRecord> {
+    (
+        arb_gpid(),
+        arb_name(),
+        any::<u64>(),
+        any::<i32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(gpid, command, exited_us, status, cpu_us, msgs, bytes, files, forks)| RusageRecord {
+                gpid,
+                command,
+                exited_us,
+                status,
+                cpu_us,
+                msgs,
+                bytes,
+                files,
+                forks,
+            },
+        )
+}
+
+fn arb_action() -> impl Strategy<Value = ControlAction> {
+    prop_oneof![
+        Just(ControlAction::Stop),
+        Just(ControlAction::Foreground),
+        Just(ControlAction::Background),
+        Just(ControlAction::Kill),
+        any::<u8>().prop_map(ControlAction::Signal),
+    ]
+}
+
+fn arb_trigger() -> impl Strategy<Value = TriggerSpec> {
+    let pattern = (
+        arb_name(),
+        prop::option::of(any::<u32>()),
+        prop::option::of(arb_name()),
+        prop::option::of(any::<u64>()),
+    )
+        .prop_map(|(kind, pid, command_prefix, min_cpu_us)| EventPattern {
+            kind,
+            pid,
+            command_prefix,
+            min_cpu_us,
+        });
+    let action = prop_oneof![
+        (arb_gpid(), any::<u8>())
+            .prop_map(|(target, signal)| TriggerAction::Signal { target, signal }),
+        arb_name().prop_map(|note| TriggerAction::Notify { note }),
+        arb_gpid().prop_map(|root| TriggerAction::KillTree { root }),
+    ];
+    (any::<u32>(), pattern, action, any::<bool>()).prop_map(|(id, pattern, action, once)| {
+        TriggerSpec {
+            id,
+            pattern,
+            action,
+            once,
+        }
+    })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Ping),
+        Just(Op::Status),
+        Just(Op::Snapshot),
+        Just(Op::ListTriggers),
+        (any::<u32>(), arb_action()).prop_map(|(pid, action)| Op::Control { pid, action }),
+        (
+            arb_name(),
+            prop::option::of(arb_gpid()),
+            prop::option::of(any::<u64>()),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(command, logical_parent, lifetime_us, work_us, cpu_bound)| Op::Spawn {
+                    command,
+                    logical_parent,
+                    lifetime_us,
+                    work_us,
+                    cpu_bound,
+                }
+            ),
+        prop::option::of(any::<u32>()).prop_map(|pid| Op::Rusage { pid }),
+        (any::<u64>(), any::<u16>()).prop_map(|(since_us, max)| Op::History { since_us, max }),
+        any::<u32>().prop_map(|pid| Op::OpenFiles { pid }),
+        (any::<u32>(), any::<u8>()).prop_map(|(pid, flags)| Op::Adopt { pid, flags }),
+        (any::<u32>(), any::<u8>()).prop_map(|(pid, flags)| Op::SetTraceFlags { pid, flags }),
+        arb_trigger().prop_map(|spec| Op::AddTrigger { spec }),
+        any::<u32>().prop_map(|id| Op::DelTrigger { id }),
+    ]
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    let err_code = prop_oneof![
+        Just(ErrCode::NoSuchProcess),
+        Just(ErrCode::Permission),
+        Just(ErrCode::NoRoute),
+        Just(ErrCode::HostDown),
+        Just(ErrCode::Timeout),
+        Just(ErrCode::BadRequest),
+        Just(ErrCode::NotFound),
+        Just(ErrCode::Internal),
+    ];
+    prop_oneof![
+        Just(Reply::Ok),
+        Just(Reply::Pong),
+        (err_code, arb_name()).prop_map(|(code, detail)| Reply::Err { code, detail }),
+        arb_gpid().prop_map(|gpid| Reply::Spawned { gpid }),
+        (arb_name(), prop::collection::vec(arb_proc_record(), 0..4))
+            .prop_map(|(host, procs)| Reply::Snapshot { host, procs }),
+        prop::collection::vec(arb_rusage_record(), 0..4)
+            .prop_map(|records| Reply::Rusage { records }),
+        prop::collection::vec(
+            (any::<u64>(), arb_gpid(), arb_name(), arb_name()).prop_map(
+                |(at_us, gpid, kind, detail)| HistoryRecord {
+                    at_us,
+                    gpid,
+                    kind,
+                    detail
+                }
+            ),
+            0..4
+        )
+        .prop_map(|events| Reply::History { events }),
+        prop::collection::vec(
+            (any::<u32>(), arb_name(), arb_name()).prop_map(|(fd, kind, detail)| FileRecord {
+                fd,
+                kind,
+                detail
+            }),
+            0..4
+        )
+        .prop_map(|entries| Reply::Files { entries }),
+        prop::collection::vec(arb_trigger(), 0..3).prop_map(|entries| Reply::Triggers { entries }),
+        (
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            prop::collection::vec(arb_name(), 0..4),
+            arb_name(),
+            any::<u64>()
+        )
+            .prop_map(
+                |(host, load_milli, managed, siblings, ccs, epoch)| Reply::Status {
+                    host,
+                    load_milli,
+                    managed,
+                    siblings,
+                    ccs,
+                    epoch,
+                }
+            ),
+    ]
+}
+
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    prop_oneof![
+        any::<u32>().prop_map(|user| Msg::CreateLpm { user }),
+        any::<u32>().prop_map(|user| Msg::QueryLpm { user }),
+        (any::<u32>(), any::<u16>(), any::<bool>()).prop_map(|(user, port, created)| {
+            Msg::LpmAddr {
+                user,
+                port,
+                created,
+            }
+        }),
+        any::<u32>().prop_map(|user| Msg::NoLpm { user }),
+        (
+            any::<u32>(),
+            arb_name(),
+            any::<bool>(),
+            arb_name(),
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(user, host, is_tool, ccs, epoch, proof)| Msg::Hello {
+                user,
+                host,
+                is_tool,
+                ccs,
+                epoch,
+                proof
+            }),
+        (arb_name(), any::<bool>(), arb_name(), any::<u64>()).prop_map(|(host, ok, ccs, epoch)| {
+            Msg::HelloAck {
+                host,
+                ok,
+                ccs,
+                epoch,
+            }
+        }),
+        (
+            any::<u64>(),
+            any::<u32>(),
+            arb_name(),
+            arb_op(),
+            arb_route(),
+            any::<u8>()
+        )
+            .prop_map(|(id, user, dest, op, route, hops_left)| Msg::Req {
+                id,
+                user,
+                dest,
+                op,
+                route,
+                hops_left
+            }),
+        (any::<u64>(), arb_reply(), arb_route()).prop_map(|(id, reply, route)| Msg::Resp {
+            id,
+            reply,
+            route
+        }),
+        (arb_stamp(), any::<u32>(), arb_op(), arb_route()).prop_map(|(stamp, user, op, route)| {
+            Msg::Bcast {
+                stamp,
+                user,
+                op,
+                route,
+            }
+        }),
+        (arb_stamp(), arb_name(), arb_reply(), arb_route()).prop_map(
+            |(stamp, host, reply, route)| Msg::BcastResp {
+                stamp,
+                host,
+                reply,
+                route
+            }
+        ),
+        arb_stamp().prop_map(|stamp| Msg::BcastDone { stamp }),
+        (any::<u32>(), arb_name(), any::<u64>()).prop_map(|(user, ccs, epoch)| Msg::CcsAnnounce {
+            user,
+            ccs,
+            epoch
+        }),
+        (any::<u32>(), arb_name()).prop_map(|(user, from)| Msg::Probe { user, from }),
+        (arb_name(), arb_name(), any::<u64>()).prop_map(|(from, ccs, epoch)| Msg::ProbeAck {
+            from,
+            ccs,
+            epoch
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn msg_roundtrips(msg in arb_msg()) {
+        let bytes = msg.to_bytes();
+        let back = Msg::from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn op_roundtrips(op in arb_op()) {
+        prop_assert_eq!(Op::from_bytes(&op.to_bytes()).expect("decodes"), op);
+    }
+
+    #[test]
+    fn reply_roundtrips(reply in arb_reply()) {
+        prop_assert_eq!(Reply::from_bytes(&reply.to_bytes()).expect("decodes"), reply);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Msg::from_bytes(&data);
+        let _ = Op::from_bytes(&data);
+        let _ = Reply::from_bytes(&data);
+    }
+
+    #[test]
+    fn wire_len_matches_encoding(msg in arb_msg()) {
+        prop_assert_eq!(msg.wire_len(), msg.to_bytes().len());
+    }
+
+    #[test]
+    fn stamp_signatures_bind_origin(origin in arb_name(), seq in any::<u64>(), at in any::<u64>(), secret in any::<u64>(), other in arb_name()) {
+        let stamp = Stamp::signed(origin.clone(), seq, at, secret);
+        prop_assert!(stamp.verify(secret));
+        if other != origin {
+            let mut forged = stamp.clone();
+            forged.origin = other;
+            prop_assert!(!forged.verify(secret));
+        }
+    }
+}

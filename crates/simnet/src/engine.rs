@@ -1,0 +1,275 @@
+//! The discrete-event engine.
+//!
+//! [`Engine`] is a priority queue of timestamped events, generic over the
+//! event payload. Ties at the same instant are broken by insertion order
+//! (a monotonically increasing sequence number), which makes runs fully
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier handed back by [`Engine::schedule`], usable to cancel the
+/// event before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop earliest-first.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_simnet::engine::Engine;
+/// use ppm_simnet::time::{SimDuration, SimTime};
+///
+/// let mut engine: Engine<&str> = Engine::new();
+/// engine.schedule(SimDuration::from_millis(5), "later");
+/// engine.schedule(SimDuration::from_millis(1), "sooner");
+///
+/// let (t, ev) = engine.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_millis(1), "sooner"));
+/// let (t, ev) = engine.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_millis(5), "later"));
+/// assert!(engine.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<E>>,
+    cancelled: std::collections::HashSet<u64>,
+    processed: u64,
+}
+
+impl<E> Default for Engine<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Engine<E> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// popped event (or zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events currently pending (including cancelled ones not
+    /// yet reaped).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` at an absolute instant.
+    ///
+    /// Instants earlier than the current time are clamped to "now" so a
+    /// handler can never make time flow backwards.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Timestamp of the next live event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.reap_cancelled();
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.reap_cancelled();
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue time went backwards");
+        self.now = s.at;
+        self.processed += 1;
+        Some((s.at, s.payload))
+    }
+
+    /// Pops the next live event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `at` without processing anything.
+    ///
+    /// Used at the end of a bounded run so `now()` reflects the horizon.
+    /// Instants in the past are ignored.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            self.now = at;
+        }
+    }
+
+    fn reap_cancelled(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(ms(30), 3);
+        e.schedule(ms(10), 1);
+        e.schedule(ms(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(e.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e: Engine<u32> = Engine::new();
+        for i in 0..10 {
+            e.schedule(ms(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relative_delays_accumulate_from_now() {
+        let mut e: Engine<&str> = Engine::new();
+        e.schedule(ms(10), "a");
+        e.pop();
+        e.schedule(ms(10), "b");
+        let (t, _) = e.pop().unwrap();
+        assert_eq!(t, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut e: Engine<&str> = Engine::new();
+        let keep = e.schedule(ms(1), "keep");
+        let drop_ = e.schedule(ms(2), "drop");
+        assert!(e.cancel(drop_));
+        assert!(!e.cancel(drop_), "double cancel returns false");
+        assert!(!e.cancel(EventId(999)), "unknown id returns false");
+        let got: Vec<&str> = std::iter::from_fn(|| e.pop().map(|(_, v)| v)).collect();
+        assert_eq!(got, vec!["keep"]);
+        let _ = keep;
+    }
+
+    #[test]
+    fn pop_until_respects_horizon() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule(ms(5), 1);
+        e.schedule(ms(15), 2);
+        assert_eq!(
+            e.pop_until(SimTime::from_millis(10)).map(|(_, v)| v),
+            Some(1)
+        );
+        assert_eq!(e.pop_until(SimTime::from_millis(10)), None);
+        assert_eq!(e.pending(), 1);
+    }
+
+    #[test]
+    fn schedule_at_clamps_to_now() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule(ms(10), 0);
+        e.pop();
+        e.schedule_at(SimTime::from_millis(1), 9);
+        let (t, v) = e.pop().unwrap();
+        assert_eq!(v, 9);
+        assert_eq!(
+            t,
+            SimTime::from_millis(10),
+            "past events fire now, not earlier"
+        );
+    }
+
+    #[test]
+    fn advance_to_moves_clock_forward_only() {
+        let mut e: Engine<u8> = Engine::new();
+        e.advance_to(SimTime::from_millis(50));
+        assert_eq!(e.now(), SimTime::from_millis(50));
+        e.advance_to(SimTime::from_millis(10));
+        assert_eq!(e.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut e: Engine<u8> = Engine::new();
+        e.schedule(ms(1), 1);
+        e.schedule(ms(2), 2);
+        assert_eq!(e.pending(), 2);
+        e.pop();
+        assert_eq!(e.events_processed(), 1);
+    }
+}

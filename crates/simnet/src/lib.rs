@@ -1,0 +1,44 @@
+//! # ppm-simnet — deterministic discrete-event substrate
+//!
+//! The foundation of the PPM reproduction: a deterministic discrete-event
+//! [`engine`], simulated [`time`], seeded [`rng`], a host/link
+//! [`topology`] with partitions and crashes, [`latency`] models calibrated
+//! to the paper's Tables 1–2, and a structured [`trace`] log.
+//!
+//! Nothing in this crate knows about UNIX or the PPM; it is the "physics"
+//! the higher layers run on. `ppm-simos` builds the simulated Berkeley
+//! UNIX hosts on top of it, and `ppm-core` builds the Personal Process
+//! Manager on top of that.
+//!
+//! ## Example
+//!
+//! ```
+//! use ppm_simnet::engine::Engine;
+//! use ppm_simnet::time::SimDuration;
+//! use ppm_simnet::topology::{CpuClass, HostSpec, Topology};
+//!
+//! // Two hosts, one link, one event.
+//! let mut topo = Topology::new();
+//! let a = topo.add_host(HostSpec::new("calder", CpuClass::Vax780));
+//! let b = topo.add_host(HostSpec::new("ucbarpa", CpuClass::Sun2));
+//! topo.add_link(a, b);
+//! assert_eq!(topo.hops(a, b), Some(1));
+//!
+//! let mut engine: Engine<&str> = Engine::new();
+//! engine.schedule(SimDuration::from_millis(1), "hello");
+//! assert_eq!(engine.pop().map(|(_, e)| e), Some("hello"));
+//! ```
+
+pub mod engine;
+pub mod latency;
+pub mod rng;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use engine::{Engine, EventId};
+pub use latency::LatencyModel;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use topology::{CpuClass, HostId, HostSpec, Topology};
+pub use trace::{TraceCategory, TraceEntry, TraceLog};

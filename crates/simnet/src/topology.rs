@@ -1,0 +1,393 @@
+//! Network topology: hosts, links, routes, partitions, crashes.
+//!
+//! The paper's environment is a set of machines (VAX 11/780, VAX 11/750,
+//! SUN II) joined by local-area links. Only two topological properties
+//! matter to the PPM's measured behaviour: the **hop count** between two
+//! hosts (Table 2 and Table 3 are keyed on it) and **reachability** (crash
+//! recovery in Section 5 is driven by partitions and host crashes). This
+//! module models exactly those.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Index of a host within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// CPU class of a host, after the three machine types of Table 1.
+///
+/// The class selects the constants of the load-dependent latency model in
+/// [`crate::latency`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CpuClass {
+    /// DEC VAX 11/780 — the fastest machine in the paper's testbed.
+    #[default]
+    Vax780,
+    /// DEC VAX 11/750.
+    Vax750,
+    /// SUN II workstation — slowest, degrades fastest under load.
+    Sun2,
+}
+
+impl CpuClass {
+    /// All classes, in the column order of Table 1.
+    pub const ALL: [CpuClass; 3] = [CpuClass::Vax780, CpuClass::Vax750, CpuClass::Sun2];
+
+    /// Relative CPU speed factor (VAX 11/780 ≡ 1.0). Higher is faster.
+    ///
+    /// Derived from the paper's Table 1 light-load column: the SUN II takes
+    /// ~1.15× the VAX time on the same message, and degrades faster.
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            CpuClass::Vax780 => 1.0,
+            CpuClass::Vax750 => 0.98,
+            CpuClass::Sun2 => 0.82,
+        }
+    }
+}
+
+impl fmt::Display for CpuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CpuClass::Vax780 => "VAX 11/780",
+            CpuClass::Vax750 => "VAX 11/750",
+            CpuClass::Sun2 => "SUN II",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static description of one host.
+#[derive(Debug, Clone)]
+pub struct HostSpec {
+    /// Network-unique host name, e.g. `"ucbvax"`.
+    pub name: String,
+    /// Hardware class.
+    pub cpu: CpuClass,
+}
+
+impl HostSpec {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, cpu: CpuClass) -> Self {
+        HostSpec {
+            name: name.into(),
+            cpu,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HostEntry {
+    spec: HostSpec,
+    up: bool,
+}
+
+/// The network graph.
+///
+/// Hosts are vertices; links are undirected edges. Links and hosts can be
+/// taken down to model partitions and crashes; routing (`hops`) only
+/// traverses live hosts and live links.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_simnet::topology::{CpuClass, HostSpec, Topology};
+///
+/// let mut topo = Topology::new();
+/// let a = topo.add_host(HostSpec::new("a", CpuClass::Vax780));
+/// let b = topo.add_host(HostSpec::new("b", CpuClass::Vax750));
+/// let c = topo.add_host(HostSpec::new("c", CpuClass::Sun2));
+/// topo.add_link(a, b);
+/// topo.add_link(b, c);
+/// assert_eq!(topo.hops(a, c), Some(2));
+/// topo.set_link_up(a, b, false);
+/// assert_eq!(topo.hops(a, c), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    hosts: Vec<HostEntry>,
+    by_name: HashMap<String, HostId>,
+    // adjacency: for each host, the set of (peer, link_up) entries
+    adj: Vec<Vec<(HostId, bool)>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a host (initially up) and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host with the same name already exists.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        assert!(
+            !self.by_name.contains_key(&spec.name),
+            "duplicate host name {:?}",
+            spec.name
+        );
+        let id = HostId(self.hosts.len() as u32);
+        self.by_name.insert(spec.name.clone(), id);
+        self.hosts.push(HostEntry { spec, up: true });
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds an undirected link between two hosts (initially up).
+    ///
+    /// Adding an existing link is a no-op. Self-links are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either id is unknown.
+    pub fn add_link(&mut self, a: HostId, b: HostId) {
+        assert!(a != b, "self-links are not allowed");
+        self.check(a);
+        self.check(b);
+        if !self.adj[a.0 as usize].iter().any(|(p, _)| *p == b) {
+            self.adj[a.0 as usize].push((b, true));
+            self.adj[b.0 as usize].push((a, true));
+        }
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// True when the topology has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Iterator over all host ids.
+    pub fn host_ids(&self) -> impl Iterator<Item = HostId> + '_ {
+        (0..self.hosts.len() as u32).map(HostId)
+    }
+
+    /// The spec of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown id.
+    pub fn spec(&self, id: HostId) -> &HostSpec {
+        &self.hosts[id.0 as usize].spec
+    }
+
+    /// Looks a host up by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Whether the host is currently up.
+    pub fn is_up(&self, id: HostId) -> bool {
+        self.hosts[id.0 as usize].up
+    }
+
+    /// Crashes or restarts a host.
+    pub fn set_host_up(&mut self, id: HostId, up: bool) {
+        self.check(id);
+        self.hosts[id.0 as usize].up = up;
+    }
+
+    /// Takes a link down (partition) or brings it back.
+    ///
+    /// Returns `false` if no such link exists.
+    pub fn set_link_up(&mut self, a: HostId, b: HostId, up: bool) -> bool {
+        let mut found = false;
+        for (p, live) in &mut self.adj[a.0 as usize] {
+            if *p == b {
+                *live = up;
+                found = true;
+            }
+        }
+        for (p, live) in &mut self.adj[b.0 as usize] {
+            if *p == a {
+                *live = up;
+            }
+        }
+        found
+    }
+
+    /// Whether a live link joins `a` and `b` directly.
+    pub fn link_up(&self, a: HostId, b: HostId) -> bool {
+        self.adj[a.0 as usize]
+            .iter()
+            .any(|(p, live)| *p == b && *live)
+    }
+
+    /// Minimum hop count between two live hosts over live links.
+    ///
+    /// Returns `Some(0)` when `a == b` (and `a` is up), `None` when
+    /// unreachable or either endpoint is down.
+    pub fn hops(&self, a: HostId, b: HostId) -> Option<u32> {
+        if !self.is_up(a) || !self.is_up(b) {
+            return None;
+        }
+        if a == b {
+            return Some(0);
+        }
+        // Plain BFS; host counts in this system are tens of nodes.
+        let mut dist: HashMap<HostId, u32> = HashMap::new();
+        dist.insert(a, 0);
+        let mut q = VecDeque::new();
+        q.push_back(a);
+        while let Some(u) = q.pop_front() {
+            let du = dist[&u];
+            for &(v, live) in &self.adj[u.0 as usize] {
+                if !live || !self.is_up(v) || dist.contains_key(&v) {
+                    continue;
+                }
+                if v == b {
+                    return Some(du + 1);
+                }
+                dist.insert(v, du + 1);
+                q.push_back(v);
+            }
+        }
+        None
+    }
+
+    /// All hosts reachable from `a` (including `a` itself, if up).
+    pub fn reachable_from(&self, a: HostId) -> Vec<HostId> {
+        if !self.is_up(a) {
+            return Vec::new();
+        }
+        let mut seen = vec![a];
+        let mut q = VecDeque::from([a]);
+        while let Some(u) = q.pop_front() {
+            for &(v, live) in &self.adj[u.0 as usize] {
+                if live && self.is_up(v) && !seen.contains(&v) {
+                    seen.push(v);
+                    q.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    fn check(&self, id: HostId) {
+        assert!((id.0 as usize) < self.hosts.len(), "unknown host {id}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> (Topology, Vec<HostId>) {
+        let mut t = Topology::new();
+        let ids: Vec<HostId> = (0..n)
+            .map(|i| t.add_host(HostSpec::new(format!("h{i}"), CpuClass::Vax780)))
+            .collect();
+        for w in ids.windows(2) {
+            t.add_link(w[0], w[1]);
+        }
+        (t, ids)
+    }
+
+    #[test]
+    fn hop_counts_on_a_chain() {
+        let (t, ids) = chain(4);
+        assert_eq!(t.hops(ids[0], ids[0]), Some(0));
+        assert_eq!(t.hops(ids[0], ids[1]), Some(1));
+        assert_eq!(t.hops(ids[0], ids[3]), Some(3));
+    }
+
+    #[test]
+    fn bfs_finds_shortest_path_not_any_path() {
+        let (mut t, ids) = chain(4);
+        t.add_link(ids[0], ids[3]); // shortcut
+        assert_eq!(t.hops(ids[0], ids[3]), Some(1));
+    }
+
+    #[test]
+    fn link_partition_breaks_routing() {
+        let (mut t, ids) = chain(3);
+        assert!(t.set_link_up(ids[0], ids[1], false));
+        assert_eq!(t.hops(ids[0], ids[2]), None);
+        assert!(t.set_link_up(ids[0], ids[1], true));
+        assert_eq!(t.hops(ids[0], ids[2]), Some(2));
+    }
+
+    #[test]
+    fn setting_unknown_link_returns_false() {
+        let (mut t, ids) = chain(3);
+        assert!(!t.set_link_up(ids[0], ids[2], false));
+    }
+
+    #[test]
+    fn crashed_host_is_not_routable_through() {
+        let (mut t, ids) = chain(3);
+        t.set_host_up(ids[1], false);
+        assert_eq!(t.hops(ids[0], ids[2]), None);
+        assert_eq!(t.hops(ids[0], ids[1]), None);
+        t.set_host_up(ids[1], true);
+        assert_eq!(t.hops(ids[0], ids[2]), Some(2));
+    }
+
+    #[test]
+    fn reachable_from_respects_partitions() {
+        let (mut t, ids) = chain(4);
+        t.set_link_up(ids[1], ids[2], false);
+        let mut r = t.reachable_from(ids[0]);
+        r.sort();
+        assert_eq!(r, vec![ids[0], ids[1]]);
+        assert_eq!(t.reachable_from(ids[3]).len(), 2);
+    }
+
+    #[test]
+    fn reachable_from_downed_host_is_empty() {
+        let (mut t, ids) = chain(2);
+        t.set_host_up(ids[0], false);
+        assert!(t.reachable_from(ids[0]).is_empty());
+    }
+
+    #[test]
+    fn host_lookup_by_name() {
+        let (t, ids) = chain(2);
+        assert_eq!(t.host_by_name("h1"), Some(ids[1]));
+        assert_eq!(t.host_by_name("nope"), None);
+        assert_eq!(t.spec(ids[0]).name, "h0");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate host name")]
+    fn duplicate_names_panic() {
+        let mut t = Topology::new();
+        t.add_host(HostSpec::new("x", CpuClass::Vax780));
+        t.add_host(HostSpec::new("x", CpuClass::Sun2));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-links")]
+    fn self_link_panics() {
+        let mut t = Topology::new();
+        let a = t.add_host(HostSpec::new("x", CpuClass::Vax780));
+        t.add_link(a, a);
+    }
+
+    #[test]
+    fn duplicate_link_is_noop() {
+        let (mut t, ids) = chain(2);
+        t.add_link(ids[0], ids[1]);
+        assert_eq!(t.reachable_from(ids[0]).len(), 2);
+        // taking the (single) link down severs them even after re-add
+        t.set_link_up(ids[0], ids[1], false);
+        assert_eq!(t.reachable_from(ids[0]).len(), 1);
+    }
+
+    #[test]
+    fn cpu_class_display_and_speed() {
+        assert_eq!(CpuClass::Sun2.to_string(), "SUN II");
+        assert!(CpuClass::Vax780.speed_factor() > CpuClass::Sun2.speed_factor());
+    }
+}

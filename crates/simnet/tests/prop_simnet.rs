@@ -1,0 +1,186 @@
+//! Property tests for the discrete-event engine and the topology.
+
+use proptest::prelude::*;
+
+use ppm_simnet::engine::Engine;
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::topology::{CpuClass, HostSpec, Topology};
+
+// ---- engine ---------------------------------------------------------------
+
+proptest! {
+    /// Events pop in nondecreasing time order regardless of insertion
+    /// order, and ties preserve insertion order.
+    #[test]
+    fn engine_pops_sorted_and_stable(delays in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut engine: Engine<usize> = Engine::new();
+        for (i, &d) in delays.iter().enumerate() {
+            engine.schedule(SimDuration::from_micros(d), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, idx)) = engine.pop() {
+            popped.push((t, idx));
+        }
+        prop_assert_eq!(popped.len(), delays.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stable tie-break by insertion order");
+            }
+        }
+        // Every event popped at exactly its scheduled time.
+        for (t, idx) in popped {
+            prop_assert_eq!(t, SimTime::from_micros(delays[idx]));
+        }
+    }
+
+    /// Cancellation removes exactly the cancelled events.
+    #[test]
+    fn engine_cancellation_is_exact(
+        delays in prop::collection::vec(0u64..1000, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut engine: Engine<usize> = Engine::new();
+        let ids: Vec<_> = delays
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| engine.schedule(SimDuration::from_micros(d), i))
+            .collect();
+        let mut expected: Vec<usize> = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(engine.cancel(*id));
+            } else {
+                expected.push(i);
+            }
+        }
+        let mut got: Vec<usize> = Vec::new();
+        while let Some((_, idx)) = engine.pop() {
+            got.push(idx);
+        }
+        got.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Interleaved scheduling never lets the clock move backwards.
+    #[test]
+    fn engine_clock_is_monotone(ops in prop::collection::vec((0u64..500, any::<bool>()), 1..200)) {
+        let mut engine: Engine<u64> = Engine::new();
+        let mut last = SimTime::ZERO;
+        for (d, pop_now) in ops {
+            engine.schedule(SimDuration::from_micros(d), d);
+            if pop_now {
+                if let Some((t, _)) = engine.pop() {
+                    prop_assert!(t >= last);
+                    last = t;
+                }
+            }
+        }
+        while let Some((t, _)) = engine.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+    }
+}
+
+// ---- topology ---------------------------------------------------------------
+
+/// Reference all-pairs shortest paths (Floyd–Warshall).
+fn reference_hops(n: usize, edges: &[(usize, usize)], up: &[bool]) -> Vec<Vec<Option<u32>>> {
+    const INF: u32 = u32::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        if up[i] {
+            row[i] = 0;
+        }
+    }
+    for &(a, b) in edges {
+        if up[a] && up[b] {
+            d[a][b] = d[a][b].min(1);
+            d[b][a] = d[b][a].min(1);
+        }
+    }
+    for k in 0..n {
+        if !up[k] {
+            continue;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k].saturating_add(d[k][j]);
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d.into_iter()
+        .map(|row| row.into_iter().map(|v| (v < INF).then_some(v)).collect())
+        .collect()
+}
+
+proptest! {
+    /// BFS hop counts agree with Floyd–Warshall on random graphs with
+    /// random host outages.
+    #[test]
+    fn hops_match_reference(
+        n in 2usize..10,
+        edge_bits in prop::collection::vec(any::<bool>(), 45),
+        up_bits in prop::collection::vec(any::<bool>(), 10),
+    ) {
+        let mut topo = Topology::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| topo.add_host(HostSpec::new(format!("h{i}"), CpuClass::Vax780)))
+            .collect();
+        let mut edges = Vec::new();
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if *edge_bits.get(k).unwrap_or(&false) {
+                    topo.add_link(ids[i], ids[j]);
+                    edges.push((i, j));
+                }
+                k += 1;
+            }
+        }
+        let up: Vec<bool> = (0..n).map(|i| *up_bits.get(i).unwrap_or(&true)).collect();
+        for (i, &u) in up.iter().enumerate() {
+            topo.set_host_up(ids[i], u);
+        }
+        let expect = reference_hops(n, &edges, &up);
+        for i in 0..n {
+            for j in 0..n {
+                let got = topo.hops(ids[i], ids[j]);
+                prop_assert_eq!(got, expect[i][j], "hops({},{})", i, j);
+            }
+        }
+    }
+
+    /// `reachable_from` is exactly the set of hosts with a finite hop count.
+    #[test]
+    fn reachability_matches_hops(
+        n in 2usize..9,
+        edge_bits in prop::collection::vec(any::<bool>(), 36),
+    ) {
+        let mut topo = Topology::new();
+        let ids: Vec<_> = (0..n)
+            .map(|i| topo.add_host(HostSpec::new(format!("h{i}"), CpuClass::Sun2)))
+            .collect();
+        let mut k = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if *edge_bits.get(k).unwrap_or(&false) {
+                    topo.add_link(ids[i], ids[j]);
+                }
+                k += 1;
+            }
+        }
+        for &src in &ids {
+            let reach = topo.reachable_from(src);
+            for &dst in &ids {
+                let reachable = topo.hops(src, dst).is_some();
+                prop_assert_eq!(reach.contains(&dst), reachable);
+            }
+        }
+    }
+}

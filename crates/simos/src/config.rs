@@ -1,0 +1,83 @@
+//! Tunable constants of the simulated OS.
+
+use ppm_simnet::time::SimDuration;
+
+/// Cost and timing constants of the simulated kernel and network stack.
+///
+/// The defaults are nominal values for an idle VAX 11/780 (the reference
+/// machine of the paper's Table 1); the world scales every CPU-bound cost
+/// by host class and current load via
+/// [`ppm_simnet::latency::LatencyModel::cpu_scale`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OsConfig {
+    /// Elapsed fork+exec time for a new process at idle on the reference
+    /// machine. Part of the paper's 77 ms within-host creation figure
+    /// (Table 2); the rest is LPM bookkeeping.
+    pub spawn_cost: SimDuration,
+    /// Boot time of per-host system daemons at host (re)start.
+    pub daemon_boot_cost: SimDuration,
+    /// Latency from `kill()` to signal delivery on the same host.
+    pub signal_latency: SimDuration,
+    /// Latency from a child's exit to the parent's SIGCHLD-style
+    /// notification.
+    pub child_exit_latency: SimDuration,
+    /// Size in bytes of the connection-handshake segments.
+    pub handshake_bytes: usize,
+    /// How long a sender takes to discover that an established connection
+    /// broke (peer crash or partition) — the TCP keepalive/retransmit
+    /// analogue.
+    pub break_detection: SimDuration,
+    /// How long a connection attempt to an unreachable host takes to fail.
+    pub connect_timeout: SimDuration,
+    /// Interval between load-average samples.
+    pub load_tick: SimDuration,
+    /// EWMA window of the load average (UNIX uses 60 s for `la1`).
+    pub load_window: SimDuration,
+    /// Fraction of latency jitter applied to CPU costs.
+    pub cost_jitter: f64,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig {
+            spawn_cost: SimDuration::from_micros(42_000),
+            daemon_boot_cost: SimDuration::from_micros(5_000),
+            signal_latency: SimDuration::from_micros(2_000),
+            child_exit_latency: SimDuration::from_micros(2_000),
+            handshake_bytes: 64,
+            break_detection: SimDuration::from_millis(400),
+            connect_timeout: SimDuration::from_millis(600),
+            load_tick: SimDuration::from_secs(1),
+            load_window: SimDuration::from_secs(60),
+            cost_jitter: 0.03,
+        }
+    }
+}
+
+impl OsConfig {
+    /// The EWMA coefficient for one load sample.
+    pub fn load_alpha(&self) -> f64 {
+        1.0 - (-(self.load_tick.as_secs_f64() / self.load_window.as_secs_f64())).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = OsConfig::default();
+        assert!(c.spawn_cost > SimDuration::ZERO);
+        assert!(c.break_detection > c.signal_latency);
+        assert!(c.load_window > c.load_tick);
+    }
+
+    #[test]
+    fn load_alpha_matches_unix_one_second_sample() {
+        let c = OsConfig::default();
+        let expected = 1.0 - (-1.0f64 / 60.0).exp();
+        assert!((c.load_alpha() - expected).abs() < 1e-12);
+        assert!(c.load_alpha() > 0.0 && c.load_alpha() < 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Identifier newtypes for the simulated OS layer.
+
+use std::fmt;
+
+/// A process id, unique within one host (like a UNIX pid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl Pid {
+    /// The init/system pseudo-process that owns per-host daemons.
+    pub const INIT: Pid = Pid(1);
+}
+
+/// A user id. Uid 0 is the superuser, as in UNIX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uid(pub u32);
+
+impl Uid {
+    /// The superuser.
+    pub const ROOT: Uid = Uid(0);
+
+    /// True for the superuser.
+    pub fn is_root(self) -> bool {
+        self == Uid::ROOT
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid{}", self.0)
+    }
+}
+
+/// A TCP-style port number on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Port(pub u16);
+
+impl Port {
+    /// Well-known port of the inet daemon on every host.
+    pub const INETD: Port = Port(1);
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ":{}", self.0)
+    }
+}
+
+/// World-unique identifier of one stream connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A file descriptor within one process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_compact() {
+        assert_eq!(Pid(42).to_string(), "42");
+        assert_eq!(Uid(7).to_string(), "uid7");
+        assert_eq!(Port(3).to_string(), ":3");
+        assert_eq!(ConnId(9).to_string(), "c9");
+        assert_eq!(Fd(2).to_string(), "fd2");
+    }
+
+    #[test]
+    fn root_detection() {
+        assert!(Uid::ROOT.is_root());
+        assert!(!Uid(100).is_root());
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(Pid::INIT, Pid(1));
+        assert_eq!(Port::INETD, Port(1));
+    }
+}

@@ -1,0 +1,409 @@
+//! The per-host kernel: process table, adoption, load average.
+//!
+//! This is the pure (event-free) part of the simulated 4.3BSD kernel. The
+//! [`crate::world::World`] drives it and turns its decisions into
+//! scheduled events.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+use ppm_simnet::time::SimTime;
+
+use crate::events::TraceFlags;
+use crate::ids::{Pid, Uid};
+use crate::process::{ProcState, Process};
+use crate::program::SysError;
+use crate::signal::ExitStatus;
+
+/// Maximum number of exited process entries retained per host before the
+/// oldest are evicted. LPMs keep longer-lived history themselves; the
+/// kernel only retains enough for "recently dead" queries.
+pub const EXITED_RETENTION: usize = 512;
+
+/// One host's kernel state.
+#[derive(Debug)]
+pub struct Kernel {
+    procs: HashMap<Pid, Process>,
+    exited_order: VecDeque<Pid>,
+    next_pid: u32,
+    load_avg: f64,
+    boot_count: u32,
+}
+
+impl Kernel {
+    /// Creates a freshly booted kernel containing only the init process.
+    pub fn new(now: SimTime) -> Self {
+        let mut k = Kernel {
+            procs: HashMap::new(),
+            exited_order: VecDeque::new(),
+            next_pid: 2,
+            load_avg: 0.0,
+            boot_count: 1,
+        };
+        let mut init = Process::new(Pid::INIT, Pid::INIT, Uid::ROOT, "init", now);
+        init.state = ProcState::Running;
+        k.procs.insert(Pid::INIT, init);
+        k
+    }
+
+    /// Wipes all state, as after a crash + reboot. Pids restart from 2;
+    /// nothing survives — matching the paper's "all process activities in
+    /// that host, obviously, cease".
+    pub fn reboot(&mut self, now: SimTime) {
+        let boots = self.boot_count + 1;
+        *self = Kernel::new(now);
+        self.boot_count = boots;
+    }
+
+    /// How many times this kernel has booted (1 = never crashed).
+    pub fn boot_count(&self) -> u32 {
+        self.boot_count
+    }
+
+    /// Allocates the next pid.
+    pub fn alloc_pid(&mut self) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        pid
+    }
+
+    /// Inserts a new process entry and links it under its parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pid is already present (allocator misuse).
+    pub fn insert(&mut self, proc: Process) {
+        let pid = proc.pid;
+        let ppid = proc.ppid;
+        assert!(
+            self.procs.insert(pid, proc).is_none(),
+            "pid {pid} already in process table"
+        );
+        if let Some(parent) = self.procs.get_mut(&ppid) {
+            parent.children.push(pid);
+            parent.rusage.forks += 1;
+        }
+    }
+
+    /// Immutable access to a process entry (alive or recently exited).
+    pub fn get(&self, pid: Pid) -> Option<&Process> {
+        self.procs.get(&pid)
+    }
+
+    /// Mutable access to a process entry.
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.get_mut(&pid)
+    }
+
+    /// Access to a live process, with a syscall-style error.
+    pub fn live(&self, pid: Pid) -> Result<&Process, SysError> {
+        match self.procs.get(&pid) {
+            Some(p) if p.is_alive() => Ok(p),
+            _ => Err(SysError::NoSuchProcess),
+        }
+    }
+
+    /// Mutable access to a live process, with a syscall-style error.
+    pub fn live_mut(&mut self, pid: Pid) -> Result<&mut Process, SysError> {
+        match self.procs.get_mut(&pid) {
+            Some(p) if p.is_alive() => Ok(p),
+            _ => Err(SysError::NoSuchProcess),
+        }
+    }
+
+    /// All process entries, in pid order.
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        let mut pids: Vec<Pid> = self.procs.keys().copied().collect();
+        pids.sort_unstable();
+        pids.into_iter().map(move |pid| &self.procs[&pid])
+    }
+
+    /// Live processes owned by `uid`, in pid order.
+    pub fn user_processes(&self, uid: Uid) -> Vec<&Process> {
+        self.processes()
+            .filter(|p| p.uid == uid && p.is_alive())
+            .collect()
+    }
+
+    /// Marks a process exited, detaches it from the run queue, reparents
+    /// its live children to init, and records it in the retention ring.
+    ///
+    /// Returns the pids of the children that were reparented.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is not a live process (callers check first).
+    pub fn finish_exit(&mut self, pid: Pid, status: ExitStatus, now: SimTime) -> Vec<Pid> {
+        let children;
+        {
+            let p = self.procs.get_mut(&pid).expect("exiting pid exists");
+            assert!(p.is_alive(), "double exit of pid {pid}");
+            p.state = ProcState::Exited(status);
+            p.exited_at = Some(now);
+            p.cpu_bound = false;
+            children = std::mem::take(&mut p.children);
+        }
+        // Reparent live children to init.
+        for &c in &children {
+            if let Some(cp) = self.procs.get_mut(&c) {
+                cp.ppid = Pid::INIT;
+            }
+        }
+        if let Some(init) = self.procs.get_mut(&Pid::INIT) {
+            init.children.extend(children.iter().copied());
+        }
+        // Unlink from the (old) parent's child list.
+        let ppid = self.procs[&pid].ppid;
+        if let Some(parent) = self.procs.get_mut(&ppid) {
+            parent.children.retain(|&c| c != pid);
+        }
+        self.exited_order.push_back(pid);
+        while self.exited_order.len() > EXITED_RETENTION {
+            if let Some(old) = self.exited_order.pop_front() {
+                self.procs.remove(&old);
+            }
+        }
+        children
+    }
+
+    /// The adoption check and effect (the paper's extended `ptrace`):
+    /// `tracer_uid` adopts `target`, setting `flags`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SysError::NoSuchProcess`] — target not alive.
+    /// * [`SysError::PermissionDenied`] — "the adoption operations fail if
+    ///   the process and the PPM belong to different users".
+    /// * [`SysError::AlreadyTraced`] — a *different* manager already traces
+    ///   the target; re-adoption by the same manager just updates flags.
+    pub fn adopt(
+        &mut self,
+        target: Pid,
+        tracer: Pid,
+        tracer_uid: Uid,
+        flags: TraceFlags,
+    ) -> Result<(), SysError> {
+        let p = self.live_mut(target)?;
+        if p.uid != tracer_uid && !tracer_uid.is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        match p.tracer {
+            Some(t) if t != tracer => Err(SysError::AlreadyTraced),
+            _ => {
+                p.tracer = Some(tracer);
+                p.trace_flags = flags;
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of runnable entities for the load-average sample: running
+    /// CPU-bound processes plus processes currently busy with work.
+    pub fn runnable_count(&self, now: SimTime) -> usize {
+        self.procs
+            .values()
+            .filter(|p| p.state == ProcState::Running && (p.cpu_bound || p.busy_until > now))
+            .count()
+    }
+
+    /// Current load average (time-averaged CPU run-queue length — the
+    /// paper's `la`).
+    pub fn load_avg(&self) -> f64 {
+        self.load_avg
+    }
+
+    /// Applies one EWMA sample of the run-queue length.
+    pub fn update_load(&mut self, runnable: usize, alpha: f64) {
+        self.load_avg += (runnable as f64 - self.load_avg) * alpha.clamp(0.0, 1.0);
+    }
+
+    /// Forces the load average (testing/benchmark hook; real runs drive it
+    /// with CPU-bound workloads).
+    pub fn set_load_avg(&mut self, la: f64) {
+        self.load_avg = la.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signal::Signal;
+
+    fn kern() -> Kernel {
+        Kernel::new(SimTime::ZERO)
+    }
+
+    fn add(k: &mut Kernel, ppid: Pid, uid: Uid, cmd: &str) -> Pid {
+        let pid = k.alloc_pid();
+        let mut p = Process::new(pid, ppid, uid, cmd, SimTime::ZERO);
+        p.state = ProcState::Running;
+        k.insert(p);
+        pid
+    }
+
+    #[test]
+    fn boot_creates_init_only() {
+        let k = kern();
+        assert_eq!(k.processes().count(), 1);
+        assert_eq!(k.get(Pid::INIT).unwrap().command, "init");
+        assert_eq!(k.boot_count(), 1);
+    }
+
+    #[test]
+    fn pids_are_sequential_and_unique() {
+        let mut k = kern();
+        let a = k.alloc_pid();
+        let b = k.alloc_pid();
+        assert_ne!(a, b);
+        assert_eq!(b.0, a.0 + 1);
+    }
+
+    #[test]
+    fn insert_links_parent_and_counts_forks() {
+        let mut k = kern();
+        let a = add(&mut k, Pid::INIT, Uid(100), "sh");
+        let b = add(&mut k, a, Uid(100), "cc");
+        assert_eq!(k.get(a).unwrap().children, vec![b]);
+        assert_eq!(k.get(a).unwrap().rusage.forks, 1);
+        assert_eq!(k.get(b).unwrap().ppid, a);
+    }
+
+    #[test]
+    fn user_processes_filters_by_uid_and_liveness() {
+        let mut k = kern();
+        let a = add(&mut k, Pid::INIT, Uid(100), "sh");
+        let _b = add(&mut k, Pid::INIT, Uid(200), "other");
+        let c = add(&mut k, a, Uid(100), "cc");
+        k.finish_exit(c, ExitStatus::SUCCESS, SimTime::ZERO);
+        let mine: Vec<Pid> = k.user_processes(Uid(100)).iter().map(|p| p.pid).collect();
+        assert_eq!(mine, vec![a]);
+    }
+
+    #[test]
+    fn exit_reparents_children_to_init() {
+        let mut k = kern();
+        let a = add(&mut k, Pid::INIT, Uid(100), "sh");
+        let b = add(&mut k, a, Uid(100), "worker");
+        let orphans = k.finish_exit(a, ExitStatus::Code(1), SimTime::from_millis(5));
+        assert_eq!(orphans, vec![b]);
+        assert_eq!(k.get(b).unwrap().ppid, Pid::INIT);
+        assert!(k.get(Pid::INIT).unwrap().children.contains(&b));
+        let a_entry = k.get(a).unwrap();
+        assert_eq!(a_entry.state, ProcState::Exited(ExitStatus::Code(1)));
+        assert_eq!(a_entry.exited_at, Some(SimTime::from_millis(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double exit")]
+    fn double_exit_panics() {
+        let mut k = kern();
+        let a = add(&mut k, Pid::INIT, Uid(100), "sh");
+        k.finish_exit(a, ExitStatus::SUCCESS, SimTime::ZERO);
+        k.finish_exit(a, ExitStatus::SUCCESS, SimTime::ZERO);
+    }
+
+    #[test]
+    fn exited_entries_are_evicted_after_retention() {
+        let mut k = kern();
+        let first = add(&mut k, Pid::INIT, Uid(1), "p");
+        k.finish_exit(first, ExitStatus::SUCCESS, SimTime::ZERO);
+        for _ in 0..EXITED_RETENTION {
+            let p = add(&mut k, Pid::INIT, Uid(1), "p");
+            k.finish_exit(p, ExitStatus::SUCCESS, SimTime::ZERO);
+        }
+        assert!(k.get(first).is_none(), "oldest exited entry evicted");
+        // live + init entries never evicted
+        assert!(k.get(Pid::INIT).is_some());
+    }
+
+    #[test]
+    fn adopt_requires_same_user() {
+        let mut k = kern();
+        let target = add(&mut k, Pid::INIT, Uid(100), "job");
+        let lpm = add(&mut k, Pid::INIT, Uid(200), "lpm");
+        assert_eq!(
+            k.adopt(target, lpm, Uid(200), TraceFlags::ALL),
+            Err(SysError::PermissionDenied)
+        );
+        // root may adopt anyone
+        assert_eq!(k.adopt(target, lpm, Uid::ROOT, TraceFlags::ALL), Ok(()));
+    }
+
+    #[test]
+    fn adopt_sets_tracer_and_flags() {
+        let mut k = kern();
+        let target = add(&mut k, Pid::INIT, Uid(100), "job");
+        let lpm = add(&mut k, Pid::INIT, Uid(100), "lpm");
+        k.adopt(target, lpm, Uid(100), TraceFlags::PROC).unwrap();
+        let p = k.get(target).unwrap();
+        assert_eq!(p.tracer, Some(lpm));
+        assert_eq!(p.trace_flags, TraceFlags::PROC);
+    }
+
+    #[test]
+    fn adopt_by_second_manager_fails_but_readopt_updates() {
+        let mut k = kern();
+        let target = add(&mut k, Pid::INIT, Uid(100), "job");
+        let lpm1 = add(&mut k, Pid::INIT, Uid(100), "lpm1");
+        let lpm2 = add(&mut k, Pid::INIT, Uid(100), "lpm2");
+        k.adopt(target, lpm1, Uid(100), TraceFlags::PROC).unwrap();
+        assert_eq!(
+            k.adopt(target, lpm2, Uid(100), TraceFlags::ALL),
+            Err(SysError::AlreadyTraced)
+        );
+        k.adopt(target, lpm1, Uid(100), TraceFlags::ALL).unwrap();
+        assert_eq!(k.get(target).unwrap().trace_flags, TraceFlags::ALL);
+    }
+
+    #[test]
+    fn adopt_dead_process_fails() {
+        let mut k = kern();
+        let target = add(&mut k, Pid::INIT, Uid(100), "job");
+        k.finish_exit(target, ExitStatus::Signaled(Signal::Kill), SimTime::ZERO);
+        assert_eq!(
+            k.adopt(target, Pid(99), Uid(100), TraceFlags::ALL),
+            Err(SysError::NoSuchProcess)
+        );
+    }
+
+    #[test]
+    fn runnable_count_sees_cpu_bound_and_busy() {
+        let mut k = kern();
+        let a = add(&mut k, Pid::INIT, Uid(1), "busy");
+        k.get_mut(a).unwrap().cpu_bound = true;
+        let b = add(&mut k, Pid::INIT, Uid(1), "worker");
+        k.get_mut(b).unwrap().busy_until = SimTime::from_millis(10);
+        let c = add(&mut k, Pid::INIT, Uid(1), "idle");
+        let _ = c;
+        assert_eq!(k.runnable_count(SimTime::from_millis(5)), 2);
+        assert_eq!(k.runnable_count(SimTime::from_millis(20)), 1);
+        // stopped processes never count
+        k.get_mut(a).unwrap().state = ProcState::Stopped;
+        assert_eq!(k.runnable_count(SimTime::from_millis(5)), 1);
+    }
+
+    #[test]
+    fn load_average_converges_to_runnable_count() {
+        let mut k = kern();
+        let alpha = 1.0 - (-1.0f64 / 60.0).exp();
+        for _ in 0..600 {
+            k.update_load(3, alpha);
+        }
+        assert!((k.load_avg() - 3.0).abs() < 0.01, "la={}", k.load_avg());
+        for _ in 0..600 {
+            k.update_load(0, alpha);
+        }
+        assert!(k.load_avg() < 0.01);
+    }
+
+    #[test]
+    fn reboot_wipes_everything_but_counts_boots() {
+        let mut k = kern();
+        add(&mut k, Pid::INIT, Uid(1), "x");
+        k.set_load_avg(2.5);
+        k.reboot(SimTime::from_secs(10));
+        assert_eq!(k.processes().count(), 1);
+        assert_eq!(k.load_avg(), 0.0);
+        assert_eq!(k.boot_count(), 2);
+    }
+}

@@ -1,0 +1,466 @@
+//! The syscall surface available to programs.
+//!
+//! A [`Sys`] is handed to every [`crate::program::Program`] callback. It
+//! identifies the calling process and exposes the simulated kernel's
+//! system calls — spawn/exit/kill/adopt, stream sockets, timers, files,
+//! CPU accounting — plus read-only introspection (`ps`-style queries).
+
+use bytes::Bytes;
+use ppm_simnet::engine::EventId;
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::topology::{CpuClass, HostId};
+use ppm_simnet::trace::TraceCategory;
+
+use crate::events::TraceFlags;
+use crate::fd::{FdKind, OpenMode};
+use crate::ids::{ConnId, Fd, Pid, Port, Uid};
+use crate::process::{ProcInfo, Rusage};
+use crate::program::{ProcKey, SpawnSpec, SysError};
+use crate::signal::{ExitStatus, Signal};
+use crate::world::{SimEvent, WorldCore};
+
+/// Handle to a pending timer, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimerHandle(EventId);
+
+/// The syscall interface bound to one calling process.
+pub struct Sys<'a> {
+    core: &'a mut WorldCore,
+    key: ProcKey,
+}
+
+impl<'a> Sys<'a> {
+    pub(crate) fn new(core: &'a mut WorldCore, key: ProcKey) -> Self {
+        Sys { core, key }
+    }
+
+    // ---- identity and environment --------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// The calling process's host.
+    pub fn host(&self) -> HostId {
+        self.key.0
+    }
+
+    /// The calling process's host name.
+    pub fn host_name(&self) -> &str {
+        self.core.host_name(self.key.0)
+    }
+
+    /// The host's CPU class.
+    pub fn cpu_class(&self) -> CpuClass {
+        self.core.topology().spec(self.key.0).cpu
+    }
+
+    /// The calling process's pid.
+    pub fn pid(&self) -> Pid {
+        self.key.1
+    }
+
+    /// The calling process's uid.
+    pub fn uid(&self) -> Uid {
+        self.core
+            .kernel(self.key.0)
+            .get(self.key.1)
+            .map(|p| p.uid)
+            .unwrap_or(Uid::ROOT)
+    }
+
+    /// The host's current load average (`uptime`).
+    pub fn load_avg(&self) -> f64 {
+        self.core.kernel(self.key.0).load_avg()
+    }
+
+    /// Resolves a host name to an id (the simulated name service).
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::NoSuchHost`] when the name is unknown.
+    pub fn resolve_host(&self, name: &str) -> Result<HostId, SysError> {
+        self.core.host_by_name(name).ok_or(SysError::NoSuchHost)
+    }
+
+    /// All host names in the network (the simulated `/etc/hosts`).
+    pub fn known_hosts(&self) -> Vec<String> {
+        self.core
+            .topology()
+            .host_ids()
+            .map(|h| self.core.host_name(h).to_string())
+            .collect()
+    }
+
+    /// Records a trace entry attributed to this host.
+    pub fn trace(&mut self, category: TraceCategory, text: impl Into<String>) {
+        let host = self.key.0;
+        self.core.tracef(Some(host), category, text.into());
+    }
+
+    /// A uniformly distributed value in `[0, 1)` from the world RNG.
+    pub fn random_unit(&mut self) -> f64 {
+        self.core.rng.unit_f64()
+    }
+
+    // ---- process management --------------------------------------------
+
+    /// Forks and execs a child of the calling process.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::HostDown`] (only during in-flight crash handling).
+    pub fn spawn(&mut self, spec: SpawnSpec) -> Result<Pid, SysError> {
+        let uid = self.uid();
+        self.core.spawn(self.key.0, self.key.1, uid, spec, None)
+    }
+
+    /// Forks and execs a child *owned by another user* — the setuid spawn
+    /// pmd uses to create a user's LPM. Root only.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::PermissionDenied`] for non-root callers.
+    pub fn spawn_as(&mut self, uid: Uid, spec: SpawnSpec) -> Result<Pid, SysError> {
+        if !self.uid().is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        self.core.spawn(self.key.0, self.key.1, uid, spec, None)
+    }
+
+    /// Terminates the calling process with `code`.
+    pub fn exit(&mut self, code: i32) {
+        self.core.do_exit(self.key, ExitStatus::Code(code));
+    }
+
+    /// Sends a signal to a process on this host, with the caller's
+    /// credentials.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::NoSuchProcess`] or [`SysError::PermissionDenied`].
+    pub fn kill(&mut self, target: Pid, signal: Signal) -> Result<(), SysError> {
+        let uid = self.uid();
+        self.core.post_signal(uid, (self.key.0, target), signal)
+    }
+
+    /// Adopts a process (the extended `ptrace` of Section 4): the caller
+    /// becomes its tracer and receives kernel events per `flags`, for the
+    /// target and all its future descendants.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::kernel::Kernel::adopt`].
+    pub fn adopt(&mut self, target: Pid, flags: TraceFlags) -> Result<(), SysError> {
+        let uid = self.uid();
+        let tracer = self.key.1;
+        let host = self.key.0;
+        self.core
+            .kernel_mut(host)
+            .adopt(target, tracer, uid, flags)?;
+        self.trace(
+            TraceCategory::Lpm,
+            format!("adopted pid {target} with flags {flags}"),
+        );
+        Ok(())
+    }
+
+    /// Updates the tracing flags of an already-adopted process.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sys::adopt`].
+    pub fn set_trace_flags(&mut self, target: Pid, flags: TraceFlags) -> Result<(), SysError> {
+        self.adopt(target, flags)
+    }
+
+    /// Allocates the kernel socket descriptor (LPMs call this once; see
+    /// Figure 4 of the paper).
+    pub fn register_kernel_socket(&mut self) -> Fd {
+        let key = self.key;
+        let k = self.core.kernel_mut(key.0);
+        k.get_mut(key.1)
+            .expect("caller is alive")
+            .fds
+            .alloc(FdKind::KernelSocket)
+    }
+
+    /// `ps`-style info about one process on this host (any state).
+    pub fn proc_info(&self, pid: Pid) -> Option<ProcInfo> {
+        self.core.kernel(self.key.0).get(pid).map(ProcInfo::from)
+    }
+
+    /// Live processes of `uid` on this host, in pid order.
+    pub fn user_processes(&self, uid: Uid) -> Vec<ProcInfo> {
+        self.core
+            .kernel(self.key.0)
+            .user_processes(uid)
+            .into_iter()
+            .map(ProcInfo::from)
+            .collect()
+    }
+
+    /// Resource usage of a process on this host (live or recently exited).
+    pub fn rusage_of(&self, pid: Pid) -> Option<Rusage> {
+        self.core.kernel(self.key.0).get(pid).map(|p| p.rusage)
+    }
+
+    /// Marks the caller CPU-bound (contributes to the run queue while
+    /// running), or not.
+    pub fn set_cpu_bound(&mut self, yes: bool) {
+        let key = self.key;
+        if let Ok(p) = self.core.kernel_mut(key.0).live_mut(key.1) {
+            p.cpu_bound = yes;
+        }
+    }
+
+    /// Scales a nominal (idle reference machine) CPU cost to this host's
+    /// class and current load, with jitter — without consuming it. Used by
+    /// programs that model their own internal concurrency (the LPM's
+    /// handler processes run in parallel with its dispatcher).
+    pub fn scale_cost(&mut self, nominal: SimDuration) -> SimDuration {
+        self.core.scaled_cpu_cost(self.key.0, nominal)
+    }
+
+    /// Consumes CPU: the process is busy for the scaled cost (events queue
+    /// behind it) and the cost is added to its rusage. Returns the scaled
+    /// elapsed time.
+    pub fn consume_cpu(&mut self, nominal: SimDuration) -> SimDuration {
+        let key = self.key;
+        let scaled = self.core.scaled_cpu_cost(key.0, nominal);
+        let now = self.core.now();
+        if let Ok(p) = self.core.kernel_mut(key.0).live_mut(key.1) {
+            let from = if p.busy_until > now {
+                p.busy_until
+            } else {
+                now
+            };
+            p.busy_until = from + scaled;
+            p.rusage.cpu += scaled;
+        }
+        scaled
+    }
+
+    /// Accounts a received stream message against the caller and emits
+    /// the IPC kernel event if traced. Called by the world at actual
+    /// delivery time.
+    pub(crate) fn account_msg_received(&mut self, bytes: usize) {
+        let key = self.key;
+        if let Ok(p) = self.core.kernel_mut(key.0).live_mut(key.1) {
+            p.rusage.msgs_received += 1;
+            p.rusage.bytes_received += bytes as u64;
+        }
+        self.core
+            .emit_kernel_event(key.0, crate::events::KernelEvent::MsgReceived { pid: key.1, bytes });
+    }
+
+    // ---- timers ----------------------------------------------------------
+
+    /// Arms a one-shot timer; `token` comes back in
+    /// [`crate::program::Program::on_timer`].
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let id = self
+            .core
+            .engine
+            .schedule(delay, SimEvent::Timer(self.key, token));
+        TimerHandle(id)
+    }
+
+    /// Cancels a pending timer. Returns `false` if it already fired.
+    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.core.engine.cancel(handle.0)
+    }
+
+    // ---- networking ------------------------------------------------------
+
+    /// Binds a listener on `port`.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::PortInUse`].
+    pub fn listen(&mut self, port: Port) -> Result<(), SysError> {
+        self.core.listen(self.key, port)
+    }
+
+    /// Starts a connection to `host:port`. The outcome arrives later as a
+    /// [`crate::program::ConnEvent`].
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::NoSuchHost`] for an invalid host id.
+    pub fn connect(&mut self, host: HostId, port: Port) -> Result<ConnId, SysError> {
+        self.core.connect(self.key, host, port)
+    }
+
+    /// Sends bytes on an established connection.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::NotConnected`] or [`SysError::ConnectionClosed`].
+    pub fn send(&mut self, conn: ConnId, data: impl Into<Bytes>) -> Result<(), SysError> {
+        self.core.send(self.key, conn, data.into())
+    }
+
+    /// Closes a connection.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::NotConnected`] if the caller is not an endpoint.
+    pub fn close(&mut self, conn: ConnId) -> Result<(), SysError> {
+        self.core.close(self.key, conn)
+    }
+
+    /// Asks inetd's registry to ensure a service runs on this host.
+    /// Returns its pid and well-known port. Root only.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::PermissionDenied`] for non-root callers,
+    /// [`SysError::UnknownService`] for unregistered names.
+    pub fn spawn_service(&mut self, name: &str) -> Result<(Pid, Port), SysError> {
+        if !self.uid().is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        self.core.spawn_service(self.key.0, name)
+    }
+
+    // ---- stable storage ----------------------------------------------------
+
+    /// Writes a record to the host's stable storage (simulated disk).
+    /// Survives process exits and host crashes — the paper's suggested
+    /// hardening of pmd state ("could be stored in secondary (even
+    /// stable) storage so as to survive the daemon's possible failure
+    /// modes").
+    pub fn stable_put(&mut self, key: impl Into<String>, value: impl Into<Bytes>) {
+        self.core.stable_put(self.key.0, key.into(), value.into());
+    }
+
+    /// Reads a record from the host's stable storage.
+    pub fn stable_get(&self, key: &str) -> Option<Bytes> {
+        self.core.stable_get(self.key.0, key)
+    }
+
+    /// Deletes a record from the host's stable storage.
+    pub fn stable_del(&mut self, key: &str) {
+        self.core.stable_del(self.key.0, key);
+    }
+
+    // ---- files -----------------------------------------------------------
+
+    /// Opens a (simulated) file.
+    pub fn open(&mut self, path: impl Into<String>, mode: OpenMode) -> Fd {
+        let key = self.key;
+        let path = path.into();
+        let fd = {
+            let p = self
+                .core
+                .kernel_mut(key.0)
+                .live_mut(key.1)
+                .expect("caller is alive");
+            p.rusage.files_opened += 1;
+            p.fds.alloc(FdKind::File {
+                path: path.clone(),
+                mode,
+            })
+        };
+        self.core.emit_kernel_event(
+            key.0,
+            crate::events::KernelEvent::FileOpened { pid: key.1, path },
+        );
+        fd
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::BadFileDescriptor`].
+    pub fn close_fd(&mut self, fd: Fd) -> Result<(), SysError> {
+        let key = self.key;
+        let released = {
+            let p = self
+                .core
+                .kernel_mut(key.0)
+                .live_mut(key.1)
+                .map_err(|_| SysError::BadFileDescriptor)?;
+            p.fds.release(fd)
+        };
+        match released {
+            Some(FdKind::File { path, .. }) => {
+                self.core.emit_kernel_event(
+                    key.0,
+                    crate::events::KernelEvent::FileClosed { pid: key.1, path },
+                );
+                Ok(())
+            }
+            Some(FdKind::Socket { conn }) => {
+                let _ = self.core.close(key, conn);
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(SysError::BadFileDescriptor),
+        }
+    }
+
+    /// The descriptor table of a same-user (or any, for root) process on
+    /// this host — the data for the planned files/fd display tools.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::NoSuchProcess`] or [`SysError::PermissionDenied`].
+    pub fn open_fds(&self, pid: Pid) -> Result<Vec<(Fd, FdKind)>, SysError> {
+        let me = self.uid();
+        let p = self.core.kernel(self.key.0).live(pid)?;
+        if p.uid != me && !me.is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        Ok(p.fds.iter().map(|(fd, k)| (fd, k.clone())).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! `Sys` is exercised end-to-end in the world tests and the
+    //! integration suites; here we only check the pieces with no event
+    //! dependencies.
+    use super::*;
+    use crate::program::{Program, SpawnSpec};
+    use crate::world::World;
+    use ppm_simnet::topology::HostSpec;
+
+    struct Probe;
+    impl Program for Probe {
+        fn on_start(&mut self, sys: &mut Sys<'_>) {
+            assert_eq!(sys.host_name(), "a");
+            assert!(sys.pid().0 > 1);
+            assert_eq!(sys.uid(), Uid(7));
+            let fd = sys.open("/tmp/file", OpenMode::ReadWrite);
+            assert!(sys.close_fd(fd).is_ok());
+            assert!(sys.close_fd(fd).is_err());
+            let hosts = sys.known_hosts();
+            assert_eq!(hosts, vec!["a".to_string()]);
+            assert!(sys.resolve_host("a").is_ok());
+            assert!(sys.resolve_host("zzz").is_err());
+            let t = sys.set_timer(SimDuration::from_millis(5), 1);
+            assert!(sys.cancel_timer(t));
+            sys.exit(0);
+        }
+        fn name(&self) -> &str {
+            "probe"
+        }
+    }
+
+    #[test]
+    fn basic_syscalls_work_from_a_program() {
+        let mut w = World::new(5);
+        let a = w.add_host(HostSpec::new("a", CpuClass::Vax780));
+        let pid = w
+            .spawn_user(a, Uid(7), SpawnSpec::new("probe", Box::new(Probe)))
+            .unwrap();
+        w.run_for(SimDuration::from_millis(500));
+        let p = w.core().kernel(a).get(pid).unwrap();
+        assert!(!p.is_alive(), "probe exited cleanly");
+        assert_eq!(p.rusage.files_opened, 1);
+    }
+}

@@ -1,0 +1,364 @@
+//! Synthetic user workloads.
+//!
+//! The paper measures the PPM against real user activity on the Berkeley
+//! machines. These programs generate the equivalent synthetic activity:
+//! CPU-bound spinners to pin the load average into Table 1's buckets,
+//! process trees for genealogy snapshots, and chattering client/server
+//! pairs for the IPC-tracing tool.
+
+use bytes::Bytes;
+
+use ppm_simnet::time::SimDuration;
+use ppm_simnet::topology::HostId;
+
+use crate::ids::{ConnId, Port};
+use crate::program::{ConnEvent, Program, SpawnSpec};
+use crate::sys::Sys;
+
+/// A partially CPU-bound process: runnable for `duty` of each `period`.
+///
+/// `n` of these with duty `d` drive a host's load average toward `n·d`,
+/// which is how the Table 1 bench pins `la` to bucket midpoints like 1.5.
+#[derive(Debug, Clone)]
+pub struct DutyCycle {
+    /// Fraction of time runnable, in `[0, 1]`.
+    pub duty: f64,
+    /// Cycle period.
+    pub period: SimDuration,
+    on: bool,
+}
+
+impl DutyCycle {
+    /// Creates a duty-cycled spinner.
+    pub fn new(duty: f64, period: SimDuration) -> Self {
+        DutyCycle {
+            duty: duty.clamp(0.0, 1.0),
+            period,
+            on: false,
+        }
+    }
+
+    /// Phase length, dithered ±30% so populations of spinners do not
+    /// phase-lock with the kernel's load sampler.
+    fn phase(&self, on: bool, sys: &mut Sys<'_>) -> SimDuration {
+        let nominal = if on {
+            self.period.mul_f64(self.duty)
+        } else {
+            self.period.mul_f64(1.0 - self.duty)
+        };
+        nominal.mul_f64(0.7 + 0.6 * sys.random_unit())
+    }
+}
+
+impl Program for DutyCycle {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        self.on = true;
+        sys.set_cpu_bound(true);
+        let d = self.phase(true, sys);
+        sys.set_timer(d, 0);
+    }
+
+    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+        self.on = !self.on;
+        sys.set_cpu_bound(self.on);
+        let d = self.phase(self.on, sys);
+        sys.set_timer(d, 0);
+    }
+
+    fn name(&self) -> &str {
+        "dutycycle"
+    }
+}
+
+/// A process that does some work and exits after `lifetime`.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// How long the process lives.
+    pub lifetime: SimDuration,
+    /// Nominal CPU consumed in one burst at start.
+    pub work: SimDuration,
+    /// Exit code on completion.
+    pub exit_code: i32,
+}
+
+impl Worker {
+    /// A worker living `lifetime` with a single CPU burst of `work`.
+    pub fn new(lifetime: SimDuration, work: SimDuration) -> Self {
+        Worker {
+            lifetime,
+            work,
+            exit_code: 0,
+        }
+    }
+}
+
+impl Program for Worker {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        if !self.work.is_zero() {
+            sys.consume_cpu(self.work);
+        }
+        sys.set_timer(self.lifetime, 0);
+    }
+
+    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+        sys.exit(self.exit_code);
+    }
+
+    fn name(&self) -> &str {
+        "worker"
+    }
+}
+
+/// Spawns a tree of [`Worker`]s: `fanout` children per node, `depth`
+/// levels. The roots of the snapshot workloads in Table 3 are trees like
+/// this ("six user processes in each of the remote machines").
+#[derive(Debug, Clone)]
+pub struct TreeSpawner {
+    /// Children per node.
+    pub fanout: usize,
+    /// Levels below this node (0 = leaf).
+    pub depth: usize,
+    /// Lifetime of every node once its subtree is spawned.
+    pub lifetime: SimDuration,
+}
+
+impl TreeSpawner {
+    /// Creates a spawner for a `fanout`-ary tree of `depth` levels.
+    pub fn new(fanout: usize, depth: usize, lifetime: SimDuration) -> Self {
+        TreeSpawner {
+            fanout,
+            depth,
+            lifetime,
+        }
+    }
+
+    /// Total processes a tree rooted here will create (including itself).
+    pub fn total_nodes(&self) -> usize {
+        // fanout^0 + fanout^1 + ... + fanout^depth
+        let mut total = 1usize;
+        let mut level = 1usize;
+        for _ in 0..self.depth {
+            level *= self.fanout;
+            total += level;
+        }
+        total
+    }
+}
+
+impl Program for TreeSpawner {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        if self.depth > 0 {
+            for i in 0..self.fanout {
+                let child = TreeSpawner::new(self.fanout, self.depth - 1, self.lifetime);
+                let _ = sys.spawn(SpawnSpec::new(
+                    format!("tree-d{}-{}", self.depth - 1, i),
+                    Box::new(child),
+                ));
+            }
+        }
+        sys.set_timer(self.lifetime, 0);
+    }
+
+    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+        sys.exit(0);
+    }
+
+    fn name(&self) -> &str {
+        "tree"
+    }
+}
+
+/// A server that echoes every message back on the same connection.
+#[derive(Debug, Clone)]
+pub struct EchoServer {
+    /// Port to listen on.
+    pub port: Port,
+}
+
+impl Program for EchoServer {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        let _ = sys.listen(self.port);
+    }
+
+    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+        let _ = sys.send(conn, data);
+    }
+
+    fn name(&self) -> &str {
+        "echod"
+    }
+}
+
+/// A client that connects to an [`EchoServer`] and exchanges `rounds`
+/// messages of `msg_bytes` bytes, then exits.
+#[derive(Debug, Clone)]
+pub struct Chatter {
+    /// Server host.
+    pub server: HostId,
+    /// Server port.
+    pub port: Port,
+    /// Message payload size.
+    pub msg_bytes: usize,
+    /// Round trips to perform.
+    pub rounds: u32,
+    done: u32,
+    conn: Option<ConnId>,
+}
+
+impl Chatter {
+    /// Creates a chatter for `rounds` echoes of `msg_bytes` each.
+    pub fn new(server: HostId, port: Port, msg_bytes: usize, rounds: u32) -> Self {
+        Chatter {
+            server,
+            port,
+            msg_bytes,
+            rounds,
+            done: 0,
+            conn: None,
+        }
+    }
+
+    fn payload(&self) -> Bytes {
+        Bytes::from(vec![0x55u8; self.msg_bytes])
+    }
+}
+
+impl Program for Chatter {
+    fn on_start(&mut self, sys: &mut Sys<'_>) {
+        self.conn = sys.connect(self.server, self.port).ok();
+    }
+
+    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+        match event {
+            ConnEvent::Established if Some(conn) == self.conn => {
+                let p = self.payload();
+                let _ = sys.send(conn, p);
+            }
+            ConnEvent::Failed(_) | ConnEvent::Closed => sys.exit(1),
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, _data: Bytes) {
+        self.done += 1;
+        if self.done >= self.rounds {
+            let _ = sys.close(conn);
+            sys.exit(0);
+        } else {
+            let p = self.payload();
+            let _ = sys.send(conn, p);
+        }
+    }
+
+    fn name(&self) -> &str {
+        "chatter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Uid;
+    use crate::process::ProcState;
+    use crate::world::World;
+    use ppm_simnet::topology::{CpuClass, HostSpec};
+
+    fn world() -> (World, HostId, HostId) {
+        let mut w = World::new(99);
+        let a = w.add_host(HostSpec::new("a", CpuClass::Vax780));
+        let b = w.add_host(HostSpec::new("b", CpuClass::Vax750));
+        w.add_link(a, b);
+        (w, a, b)
+    }
+
+    #[test]
+    fn duty_cycle_pins_load_average() {
+        let (mut w, a, _) = world();
+        for _ in 0..3 {
+            w.spawn_user(
+                a,
+                Uid(1),
+                SpawnSpec::new(
+                    "spin",
+                    Box::new(DutyCycle::new(0.5, SimDuration::from_millis(200))),
+                ),
+            )
+            .unwrap();
+        }
+        w.run_for(SimDuration::from_secs(400));
+        let la = w.core().kernel(a).load_avg();
+        assert!(
+            (1.2..1.8).contains(&la),
+            "3 half-duty spinners ≈ 1.5, got {la}"
+        );
+    }
+
+    #[test]
+    fn worker_consumes_cpu_and_exits() {
+        let (mut w, a, _) = world();
+        let pid = w
+            .spawn_user(
+                a,
+                Uid(1),
+                SpawnSpec::new(
+                    "job",
+                    Box::new(Worker::new(
+                        SimDuration::from_millis(500),
+                        SimDuration::from_millis(40),
+                    )),
+                ),
+            )
+            .unwrap();
+        w.run_for(SimDuration::from_secs(2));
+        let p = w.core().kernel(a).get(pid).unwrap();
+        assert!(matches!(p.state, ProcState::Exited(_)));
+        assert!(p.rusage.cpu >= SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn tree_spawner_builds_full_tree() {
+        let (mut w, a, _) = world();
+        let spec = TreeSpawner::new(2, 2, SimDuration::from_secs(30));
+        assert_eq!(spec.total_nodes(), 7);
+        let root = w
+            .spawn_user(a, Uid(1), SpawnSpec::new("tree-root", Box::new(spec)))
+            .unwrap();
+        w.run_for(SimDuration::from_secs(5));
+        let kern = w.core().kernel(a);
+        let mine = kern.user_processes(Uid(1));
+        assert_eq!(mine.len(), 7, "root + 2 + 4 nodes alive");
+        // Genealogy: root has exactly two children.
+        assert_eq!(kern.get(root).unwrap().children.len(), 2);
+    }
+
+    #[test]
+    fn chatter_and_echo_exchange_messages() {
+        let (mut w, a, b) = world();
+        w.spawn_user(
+            b,
+            Uid(1),
+            SpawnSpec::new("echod", Box::new(EchoServer { port: Port(40) })),
+        )
+        .unwrap();
+        w.run_for(SimDuration::from_millis(300));
+        let c = w
+            .spawn_user(
+                a,
+                Uid(1),
+                SpawnSpec::new("chat", Box::new(Chatter::new(b, Port(40), 100, 5))),
+            )
+            .unwrap();
+        w.run_for(SimDuration::from_secs(5));
+        let p = w.core().kernel(a).get(c).unwrap();
+        assert_eq!(
+            p.state,
+            ProcState::Exited(crate::signal::ExitStatus::Code(0))
+        );
+        assert_eq!(p.rusage.msgs_sent, 5);
+        assert_eq!(p.rusage.msgs_received, 5);
+        // Connection stats captured both directions.
+        let conn = w.core().connections().next().unwrap();
+        assert_eq!(conn.stats.msgs_to_server, 5);
+        assert_eq!(conn.stats.msgs_to_client, 5);
+    }
+}

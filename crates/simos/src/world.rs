@@ -1,0 +1,1400 @@
+//! The simulation world: hosts, kernels, wires, and the event loop.
+//!
+//! [`World`] owns everything: the discrete-event engine, the topology, one
+//! [`Kernel`] per host, all live connections, and the [`Program`] objects
+//! attached to processes. Its event loop pops one event at a time, mutates
+//! kernel/network state, and invokes at most one program handler — so a
+//! run with a given seed is exactly reproducible.
+//!
+//! Programs never call each other directly: every interaction (message,
+//! signal, child exit, kernel event) becomes a scheduled event, mirroring
+//! the paper's message-based LPM design.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use bytes::Bytes;
+use ppm_simnet::engine::Engine;
+use ppm_simnet::latency::LatencyModel;
+use ppm_simnet::rng::SimRng;
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::topology::{HostId, HostSpec, Topology};
+use ppm_simnet::trace::{TraceCategory, TraceLog};
+
+use crate::config::OsConfig;
+use crate::events::{KernelEvent, TraceFlags};
+use crate::fd::FdKind;
+use crate::ids::{ConnId, Pid, Port, Uid};
+use crate::kernel::Kernel;
+use crate::net::{ConnState, Connection};
+use crate::process::{ProcState, Process};
+use crate::program::{ConnEvent, KernelMsg, ProcKey, Program, SigAction, SpawnSpec, SysError};
+use crate::signal::{ExitStatus, Signal};
+use crate::sys::Sys;
+
+/// Factory producing a fresh service program instance for a host, used by
+/// inetd to start daemons (pmd) on demand.
+pub type ServiceFactory = Box<dyn Fn(HostId) -> Box<dyn Program>>;
+
+pub(crate) struct ServiceEntry {
+    pub port: Port,
+    pub factory: ServiceFactory,
+}
+
+pub(crate) struct HostState {
+    pub kernel: Kernel,
+    pub listeners: HashMap<Port, Pid>,
+    pub services: HashMap<String, Pid>,
+    /// Simulated disk: survives process exits *and* host crashes.
+    pub stable: HashMap<String, Bytes>,
+}
+
+/// Events flowing through the engine. Internal to the crate; programs see
+/// the typed callbacks of [`Program`] instead.
+#[derive(Debug, Clone)]
+pub(crate) enum SimEvent {
+    Start(ProcKey),
+    Timer(ProcKey, u64),
+    Deliver {
+        conn: ConnId,
+        to: ProcKey,
+        data: Bytes,
+    },
+    ConnEstablish {
+        conn: ConnId,
+    },
+    ConnFailed {
+        conn: ConnId,
+        to: ProcKey,
+        reason: SysError,
+    },
+    ConnClosedNotify {
+        conn: ConnId,
+        to: ProcKey,
+    },
+    KernelMsg {
+        to: ProcKey,
+        msg: KernelMsg,
+    },
+    SignalDeliver {
+        to: ProcKey,
+        signal: Signal,
+    },
+    ChildExit {
+        parent: ProcKey,
+        child: Pid,
+        status: ExitStatus,
+    },
+    LoadTick(HostId),
+    HostCrash(HostId),
+    HostRestart(HostId),
+    LinkSet(HostId, HostId, bool),
+}
+
+/// Everything in the world except the program objects. Syscalls (via
+/// [`Sys`]) operate on this; the [`World`] wrapper owns the programs and
+/// runs the loop.
+pub struct WorldCore {
+    pub(crate) engine: Engine<SimEvent>,
+    pub(crate) topo: Topology,
+    pub(crate) latency: LatencyModel,
+    pub(crate) rng: SimRng,
+    pub(crate) trace: TraceLog,
+    pub(crate) config: OsConfig,
+    pub(crate) hosts: Vec<HostState>,
+    pub(crate) conns: HashMap<ConnId, Connection>,
+    pub(crate) next_conn: u64,
+    pub(crate) services: HashMap<String, ServiceEntry>,
+    pub(crate) pending_programs: Vec<(ProcKey, Box<dyn Program>)>,
+}
+
+impl WorldCore {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// The network topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The OS constants in force.
+    pub fn os_config(&self) -> &OsConfig {
+        &self.config
+    }
+
+    /// The trace log.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable trace log (to toggle recording or clear).
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// The kernel of a host.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown host id.
+    pub fn kernel(&self, host: HostId) -> &Kernel {
+        &self.hosts[host.0 as usize].kernel
+    }
+
+    /// Mutable kernel of a host (benchmark hooks such as
+    /// [`Kernel::set_load_avg`]).
+    pub fn kernel_mut(&mut self, host: HostId) -> &mut Kernel {
+        &mut self.hosts[host.0 as usize].kernel
+    }
+
+    /// Looks a host up by name.
+    pub fn host_by_name(&self, name: &str) -> Option<HostId> {
+        self.topo.host_by_name(name)
+    }
+
+    /// The name of a host.
+    pub fn host_name(&self, host: HostId) -> &str {
+        &self.topo.spec(host).name
+    }
+
+    /// All connections (for the IPC-statistics tool and tests).
+    pub fn connections(&self) -> impl Iterator<Item = &Connection> {
+        let mut ids: Vec<ConnId> = self.conns.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(move |id| &self.conns[&id])
+    }
+
+    /// One connection by id.
+    pub fn connection(&self, id: ConnId) -> Option<&Connection> {
+        self.conns.get(&id)
+    }
+
+    pub(crate) fn tracef(&mut self, host: Option<HostId>, cat: TraceCategory, text: String) {
+        let now = self.engine.now();
+        self.trace.record(now, host, cat, text);
+    }
+
+    fn host(&self, id: HostId) -> &HostState {
+        &self.hosts[id.0 as usize]
+    }
+
+    fn host_mut(&mut self, id: HostId) -> &mut HostState {
+        &mut self.hosts[id.0 as usize]
+    }
+
+    pub(crate) fn host_up(&self, id: HostId) -> bool {
+        self.topo.is_up(id)
+    }
+
+    /// True when the process exists and is alive.
+    pub fn is_alive(&self, key: ProcKey) -> bool {
+        self.host_up(key.0)
+            && self
+                .host(key.0)
+                .kernel
+                .get(key.1)
+                .is_some_and(|p| p.is_alive())
+    }
+
+    /// Scales a nominal (idle reference machine) CPU cost to this host's
+    /// class and current load, with jitter.
+    pub(crate) fn scaled_cpu_cost(&mut self, host: HostId, nominal: SimDuration) -> SimDuration {
+        let cpu = self.topo.spec(host).cpu;
+        let la = self.host(host).kernel.load_avg();
+        let scaled = nominal.mul_f64(self.latency.cpu_scale(cpu, la));
+        let jitter = self.config.cost_jitter;
+        self.rng.jitter(scaled, jitter)
+    }
+
+    // ---- process management -------------------------------------------
+
+    /// Creates a process on `host` under `parent`. Returns its pid; the
+    /// program (if any) starts after the fork+exec delay.
+    pub(crate) fn spawn(
+        &mut self,
+        host: HostId,
+        parent: Pid,
+        uid: Uid,
+        spec: SpawnSpec,
+        cost_override: Option<SimDuration>,
+    ) -> Result<Pid, SysError> {
+        if !self.host_up(host) {
+            return Err(SysError::HostDown);
+        }
+        let now = self.now();
+        let pid = self.host_mut(host).kernel.alloc_pid();
+        let mut proc = Process::new(pid, parent, uid, spec.command.clone(), now);
+        proc.cpu_bound = spec.cpu_bound;
+        // Descendant tracking: a traced parent's children are traced by the
+        // same LPM with the same flags ("Adoption allows the LPM to keep
+        // track of a process and its descendants").
+        let (inherit_tracer, inherit_flags, parent_traced) = {
+            let k = &self.host(host).kernel;
+            match k.get(parent).filter(|p| p.is_alive()) {
+                Some(pp) => (pp.tracer, pp.trace_flags, pp.is_adopted()),
+                None => (None, TraceFlags::NONE, false),
+            }
+        };
+        proc.tracer = inherit_tracer;
+        proc.trace_flags = inherit_flags;
+        self.host_mut(host).kernel.insert(proc);
+        if parent_traced {
+            self.emit_kernel_event(host, KernelEvent::Fork { parent, child: pid });
+        }
+        let cost = match cost_override {
+            Some(c) => c,
+            None => {
+                let nominal = self.config.spawn_cost;
+                self.scaled_cpu_cost(host, nominal)
+            }
+        };
+        self.engine.schedule(cost, SimEvent::Start((host, pid)));
+        if let Some(program) = spec.program {
+            self.pending_programs.push(((host, pid), program));
+        }
+        self.tracef(
+            Some(host),
+            TraceCategory::Kernel,
+            format!(
+                "fork+exec pid {pid} ({}) by {parent}, ready in {cost}",
+                spec.command
+            ),
+        );
+        Ok(pid)
+    }
+
+    /// Starts a registered service on `host` if not already running.
+    /// Returns its pid and well-known port.
+    pub(crate) fn spawn_service(
+        &mut self,
+        host: HostId,
+        name: &str,
+    ) -> Result<(Pid, Port), SysError> {
+        if !self.host_up(host) {
+            return Err(SysError::HostDown);
+        }
+        let port = match self.services.get(name) {
+            Some(e) => e.port,
+            None => return Err(SysError::UnknownService),
+        };
+        if let Some(&pid) = self.host(host).services.get(name) {
+            if self.is_alive((host, pid)) {
+                return Ok((pid, port));
+            }
+        }
+        let program = (self.services[name].factory)(host);
+        let spec = SpawnSpec::new(name.to_string(), program);
+        let pid = self.spawn(host, Pid::INIT, Uid::ROOT, spec, None)?;
+        self.host_mut(host).services.insert(name.to_string(), pid);
+        self.tracef(
+            Some(host),
+            TraceCategory::Daemon,
+            format!("service {name} started as pid {pid} (port {port})"),
+        );
+        Ok((pid, port))
+    }
+
+    /// Terminates a process: exit bookkeeping, kernel event, connection
+    /// teardown, parent notification.
+    pub(crate) fn do_exit(&mut self, key: ProcKey, status: ExitStatus) {
+        let (host, pid) = key;
+        if !self.host_up(host) || !self.is_alive(key) {
+            return;
+        }
+        let now = self.now();
+        let orphans = self.host_mut(host).kernel.finish_exit(pid, status, now);
+        let _ = orphans;
+        let (rusage, ppid) = {
+            let p = self.host(host).kernel.get(pid).expect("just exited");
+            (p.rusage, p.ppid)
+        };
+        self.tracef(
+            Some(host),
+            TraceCategory::Kernel,
+            format!("pid {pid} {status}"),
+        );
+        self.emit_kernel_event(
+            host,
+            KernelEvent::Exit {
+                pid,
+                status,
+                rusage,
+            },
+        );
+        // Tear down listeners and service registrations owned by the process.
+        {
+            let hs = self.host_mut(host);
+            hs.listeners.retain(|_, &mut owner| owner != pid);
+            hs.services.retain(|_, &mut owner| owner != pid);
+        }
+        // Close connections with this process as an endpoint.
+        let mut ids: Vec<ConnId> = self
+            .conns
+            .values()
+            .filter(|c| c.state != ConnState::Closed && c.touches_proc(host, pid))
+            .map(|c| c.id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            self.break_conn(id, key);
+        }
+        // Notify the parent program, if it is alive and interested.
+        if ppid != pid && self.is_alive((host, ppid)) {
+            let delay = self.config.child_exit_latency;
+            self.engine.schedule(
+                delay,
+                SimEvent::ChildExit {
+                    parent: (host, ppid),
+                    child: pid,
+                    status,
+                },
+            );
+        }
+    }
+
+    /// Emits a kernel event about a process on `host` toward its tracer,
+    /// subject to the tracing flags, with Table 1 latency.
+    pub(crate) fn emit_kernel_event(&mut self, host: HostId, ev: KernelEvent) {
+        let pid = ev.pid();
+        let (tracer, flags) = match self.host(host).kernel.get(pid) {
+            Some(p) => (p.tracer, p.trace_flags),
+            None => return,
+        };
+        let Some(tracer) = tracer else { return };
+        if !flags.contains(ev.required_flag()) {
+            return;
+        }
+        if tracer == pid {
+            return; // an LPM does not report itself to itself
+        }
+        if !self.is_alive((host, tracer)) {
+            return;
+        }
+        let cpu = self.topo.spec(host).cpu;
+        let la = self.host(host).kernel.load_avg();
+        let base = self.latency.kernel_msg(cpu, la, ev.wire_size());
+        let jf = self.latency.jitter_fraction;
+        let delay = self.rng.jitter(base, jf);
+        let now = self.now();
+        self.tracef(
+            Some(host),
+            TraceCategory::Kernel,
+            format!(
+                "event {} pid {pid} -> lpm {tracer} ({} bytes, {delay})",
+                ev.kind(),
+                ev.wire_size()
+            ),
+        );
+        self.engine.schedule(
+            delay,
+            SimEvent::KernelMsg {
+                to: (host, tracer),
+                msg: KernelMsg {
+                    event: ev,
+                    queued_at: now,
+                },
+            },
+        );
+    }
+
+    /// Posts a signal from `from_uid` to a process (local or remote host —
+    /// the kernel side; permission is checked here).
+    pub(crate) fn post_signal(
+        &mut self,
+        from_uid: Uid,
+        target: ProcKey,
+        signal: Signal,
+    ) -> Result<(), SysError> {
+        if !self.host_up(target.0) {
+            return Err(SysError::HostDown);
+        }
+        let p = self.host(target.0).kernel.live(target.1)?;
+        if p.uid != from_uid && !from_uid.is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        let delay = self.config.signal_latency;
+        let jf = self.config.cost_jitter;
+        let delay = self.rng.jitter(delay, jf);
+        self.engine
+            .schedule(delay, SimEvent::SignalDeliver { to: target, signal });
+        Ok(())
+    }
+
+    // ---- networking ----------------------------------------------------
+
+    /// Binds a listener.
+    pub(crate) fn listen(&mut self, key: ProcKey, port: Port) -> Result<(), SysError> {
+        let (host, pid) = key;
+        if !self.host_up(host) {
+            return Err(SysError::HostDown);
+        }
+        if self.host(host).listeners.contains_key(&port) {
+            return Err(SysError::PortInUse);
+        }
+        self.host_mut(host).listeners.insert(port, pid);
+        if let Ok(p) = self.host_mut(host).kernel.live_mut(pid) {
+            p.fds.alloc(FdKind::Listener { port });
+        }
+        self.tracef(
+            Some(host),
+            TraceCategory::Net,
+            format!("pid {pid} listening on {port}"),
+        );
+        Ok(())
+    }
+
+    /// Initiates a connection; completion is reported via `ConnEvent`.
+    pub(crate) fn connect(
+        &mut self,
+        from: ProcKey,
+        target: HostId,
+        port: Port,
+    ) -> Result<ConnId, SysError> {
+        if (target.0 as usize) >= self.hosts.len() {
+            return Err(SysError::NoSuchHost);
+        }
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        let now = self.now();
+        let reach = self.route_state(from.0, target);
+        match reach {
+            RouteState::HostDown | RouteState::Unreachable => {
+                // SYN goes nowhere; timeout later.
+                let reason = if matches!(reach, RouteState::HostDown) {
+                    SysError::HostDown
+                } else {
+                    SysError::Unreachable
+                };
+                let delay = self.config.connect_timeout;
+                // Connection record kept so a late close() is harmless.
+                let mut c = Connection::new(id, from, (target, Pid::INIT), port, now);
+                c.state = ConnState::Closed;
+                c.stats.closed_at = Some(now);
+                self.conns.insert(id, c);
+                self.engine.schedule(
+                    delay,
+                    SimEvent::ConnFailed {
+                        conn: id,
+                        to: from,
+                        reason,
+                    },
+                );
+                Ok(id)
+            }
+            RouteState::Hops(hops) => {
+                let server_pid = match self.host(target).listeners.get(&port) {
+                    Some(&pid) => pid,
+                    None => {
+                        // RST: refused after one round trip.
+                        let rtt = self.rtt(hops, self.config.handshake_bytes);
+                        let mut c = Connection::new(id, from, (target, Pid::INIT), port, now);
+                        c.state = ConnState::Closed;
+                        c.stats.closed_at = Some(now);
+                        self.conns.insert(id, c);
+                        self.engine.schedule(
+                            rtt,
+                            SimEvent::ConnFailed {
+                                conn: id,
+                                to: from,
+                                reason: SysError::ConnectionRefused,
+                            },
+                        );
+                        return Ok(id);
+                    }
+                };
+                let c = Connection::new(id, from, (target, server_pid), port, now);
+                self.conns.insert(id, c);
+                if let Ok(p) = self.host_mut(from.0).kernel.live_mut(from.1) {
+                    p.fds.alloc(FdKind::Socket { conn: id });
+                }
+                let rtt = self.rtt(hops, self.config.handshake_bytes);
+                self.engine
+                    .schedule(rtt, SimEvent::ConnEstablish { conn: id });
+                self.tracef(
+                    Some(from.0),
+                    TraceCategory::Net,
+                    format!(
+                        "pid {} connecting to {}{port} ({hops} hops, {id})",
+                        from.1,
+                        self.host_name(target)
+                    ),
+                );
+                Ok(id)
+            }
+        }
+    }
+
+    fn rtt(&mut self, hops: u32, bytes: usize) -> SimDuration {
+        let one_way = self.latency.wire(hops, bytes);
+        let jf = self.latency.jitter_fraction;
+        let d = SimDuration::from_micros(one_way.as_micros() * 2);
+        self.rng.jitter(d, jf)
+    }
+
+    /// Sends bytes on an established connection. Returns `Ok` when the
+    /// local write succeeds (TCP semantics); breakage discovered later is
+    /// reported via a `Closed` event.
+    pub(crate) fn send(
+        &mut self,
+        from: ProcKey,
+        conn: ConnId,
+        data: Bytes,
+    ) -> Result<(), SysError> {
+        let (peer, state) = match self.conns.get(&conn) {
+            Some(c) if c.has_endpoint(from) => (c.peer_of(from).expect("endpoint"), c.state),
+            Some(_) => return Err(SysError::NotConnected),
+            None => return Err(SysError::NotConnected),
+        };
+        match state {
+            ConnState::Connecting => return Err(SysError::NotConnected),
+            ConnState::Closed => return Err(SysError::ConnectionClosed),
+            ConnState::Established => {}
+        }
+        let len = data.len();
+        // Sender-side accounting and tracing.
+        {
+            let k = &mut self.host_mut(from.0).kernel;
+            if let Ok(p) = k.live_mut(from.1) {
+                p.rusage.msgs_sent += 1;
+                p.rusage.bytes_sent += len as u64;
+            }
+        }
+        self.emit_kernel_event(
+            from.0,
+            KernelEvent::MsgSent {
+                pid: from.1,
+                bytes: len,
+            },
+        );
+        let reach = self.route_state(from.0, peer.0);
+        let hops = match reach {
+            RouteState::Hops(h) => h,
+            RouteState::HostDown | RouteState::Unreachable => {
+                // Write succeeds locally; breakage surfaces after the
+                // detection interval.
+                let jf = self.config.cost_jitter;
+                let base = self.config.break_detection;
+                let delay = self.rng.jitter(base, jf);
+                self.mark_closed(conn);
+                self.engine
+                    .schedule(delay, SimEvent::ConnClosedNotify { conn, to: from });
+                self.tracef(
+                    Some(from.0),
+                    TraceCategory::Net,
+                    format!("send on {conn} lost (peer unreachable); breakage pending"),
+                );
+                return Ok(());
+            }
+        };
+        let jf = self.latency.jitter_fraction;
+        let base = self.latency.wire(hops, len);
+        let delay = self.rng.jitter(base, jf);
+        let c = self.conns.get_mut(&conn).expect("checked above");
+        let dir = c.record_send(from, len);
+        let mut arrival = self.engine.now() + delay;
+        if arrival < c.next_arrival[dir] {
+            arrival = c.next_arrival[dir];
+        }
+        c.next_arrival[dir] = arrival + SimDuration::from_micros(1);
+        self.engine.schedule_at(
+            arrival,
+            SimEvent::Deliver {
+                conn,
+                to: peer,
+                data,
+            },
+        );
+        Ok(())
+    }
+
+    /// Closes a connection from one side; the peer is notified. Like a
+    /// TCP FIN, the notification is ordered after data already in flight
+    /// toward the peer.
+    pub(crate) fn close(&mut self, from: ProcKey, conn: ConnId) -> Result<(), SysError> {
+        let (peer, state, dir_floor) = match self.conns.get(&conn) {
+            Some(c) if c.has_endpoint(from) => {
+                let peer = c.peer_of(from).expect("endpoint");
+                let dir = if peer == c.server { 1 } else { 0 };
+                (peer, c.state, c.next_arrival[dir])
+            }
+            _ => return Err(SysError::NotConnected),
+        };
+        if state == ConnState::Closed {
+            return Ok(());
+        }
+        self.mark_closed(conn);
+        if let RouteState::Hops(hops) = self.route_state(from.0, peer.0) {
+            let jf = self.latency.jitter_fraction;
+            let base = self.latency.wire(hops, 32);
+            let delay = self.rng.jitter(base, jf);
+            let mut at = self.engine.now() + delay;
+            if at < dir_floor {
+                at = dir_floor;
+            }
+            self.engine
+                .schedule_at(at, SimEvent::ConnClosedNotify { conn, to: peer });
+        }
+        Ok(())
+    }
+
+    /// Marks a connection closed and schedules a close notification to the
+    /// peer of `dead_end`'s counterpart (used on process exit).
+    fn break_conn(&mut self, conn: ConnId, dead_end: ProcKey) {
+        let peer = {
+            let c = &self.conns[&conn];
+            c.peer_of(dead_end)
+        };
+        self.mark_closed(conn);
+        if let Some(peer) = peer {
+            if let RouteState::Hops(hops) = self.route_state(dead_end.0, peer.0) {
+                let jf = self.latency.jitter_fraction;
+                let base = self.latency.wire(hops, 32);
+                let delay = self.rng.jitter(base, jf);
+                self.engine
+                    .schedule(delay, SimEvent::ConnClosedNotify { conn, to: peer });
+            }
+        }
+    }
+
+    pub(crate) fn mark_closed(&mut self, conn: ConnId) {
+        let now = self.now();
+        if let Some(c) = self.conns.get_mut(&conn) {
+            if c.state != ConnState::Closed {
+                c.state = ConnState::Closed;
+                c.stats.closed_at = Some(now);
+            }
+        }
+    }
+
+    fn route_state(&self, a: HostId, b: HostId) -> RouteState {
+        if !self.host_up(b) {
+            return RouteState::HostDown;
+        }
+        match self.topo.hops(a, b) {
+            Some(h) => RouteState::Hops(h),
+            None => RouteState::Unreachable,
+        }
+    }
+
+    pub(crate) fn take_pending_programs(&mut self) -> Vec<(ProcKey, Box<dyn Program>)> {
+        std::mem::take(&mut self.pending_programs)
+    }
+
+    // ---- stable storage -------------------------------------------------
+
+    pub(crate) fn stable_put(&mut self, host: HostId, key: String, value: Bytes) {
+        self.host_mut(host).stable.insert(key, value);
+    }
+
+    pub(crate) fn stable_get(&self, host: HostId, key: &str) -> Option<Bytes> {
+        self.host(host).stable.get(key).cloned()
+    }
+
+    pub(crate) fn stable_del(&mut self, host: HostId, key: &str) {
+        self.host_mut(host).stable.remove(key);
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RouteState {
+    Hops(u32),
+    HostDown,
+    Unreachable,
+}
+
+/// The complete simulation: [`WorldCore`] plus the program objects.
+pub struct World {
+    core: WorldCore,
+    programs: HashMap<ProcKey, Box<dyn Program>>,
+    /// Events deferred because their target process was stopped.
+    deferred: HashMap<ProcKey, Vec<SimEvent>>,
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.core.now())
+            .field("hosts", &self.core.hosts.len())
+            .field("programs", &self.programs.len())
+            .field("connections", &self.core.conns.len())
+            .field("pending_events", &self.core.engine.pending())
+            .finish()
+    }
+}
+
+impl World {
+    /// Creates an empty world with default config and the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(OsConfig::default(), LatencyModel::default(), seed)
+    }
+
+    /// Creates a world with explicit OS constants and latency model.
+    pub fn with_config(config: OsConfig, latency: LatencyModel, seed: u64) -> Self {
+        World {
+            core: WorldCore {
+                engine: Engine::new(),
+                topo: Topology::new(),
+                latency,
+                rng: SimRng::seed_from(seed),
+                trace: TraceLog::new(),
+                config,
+                hosts: Vec::new(),
+                conns: HashMap::new(),
+                next_conn: 1,
+                services: HashMap::new(),
+                pending_programs: Vec::new(),
+            },
+            programs: HashMap::new(),
+            deferred: HashMap::new(),
+        }
+    }
+
+    /// Shared state accessor.
+    pub fn core(&self) -> &WorldCore {
+        &self.core
+    }
+
+    /// Mutable shared state accessor (benchmark hooks, trace control).
+    pub fn core_mut(&mut self) -> &mut WorldCore {
+        &mut self.core
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Registers a service so inetd can start it on any host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the service name or port is already registered.
+    pub fn register_service(
+        &mut self,
+        name: impl Into<String>,
+        port: Port,
+        factory: ServiceFactory,
+    ) {
+        let name = name.into();
+        assert!(
+            !self.core.services.contains_key(&name),
+            "service {name:?} already registered"
+        );
+        assert!(
+            !self.core.services.values().any(|e| e.port == port),
+            "service port {port} already registered"
+        );
+        self.core
+            .services
+            .insert(name, ServiceEntry { port, factory });
+    }
+
+    /// Adds a host running the standard daemons (inetd) and returns its id.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        let id = self.core.topo.add_host(spec);
+        self.core.hosts.push(HostState {
+            kernel: Kernel::new(self.core.now()),
+            listeners: HashMap::new(),
+            services: HashMap::new(),
+            stable: HashMap::new(),
+        });
+        self.boot_daemons(id);
+        let tick = self.core.config.load_tick;
+        self.core.engine.schedule(tick, SimEvent::LoadTick(id));
+        id
+    }
+
+    fn boot_daemons(&mut self, host: HostId) {
+        let boot = self.core.config.daemon_boot_cost;
+        let spec = SpawnSpec::new("inetd", Box::new(crate::inetd::Inetd::new()));
+        self.core
+            .spawn(host, Pid::INIT, Uid::ROOT, spec, Some(boot))
+            .expect("host is up during boot");
+        self.drain_pending();
+    }
+
+    /// Adds an undirected link.
+    pub fn add_link(&mut self, a: HostId, b: HostId) {
+        self.core.topo.add_link(a, b);
+    }
+
+    /// Spawns a user process (as if from a login shell) with `Pid::INIT`
+    /// as parent. Returns the pid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysError::HostDown`] if the host is down.
+    pub fn spawn_user(&mut self, host: HostId, uid: Uid, spec: SpawnSpec) -> Result<Pid, SysError> {
+        let pid = self.core.spawn(host, Pid::INIT, uid, spec, None)?;
+        self.drain_pending();
+        Ok(pid)
+    }
+
+    /// Schedules a host crash at `delay` from now.
+    pub fn schedule_crash(&mut self, host: HostId, delay: SimDuration) {
+        self.core.engine.schedule(delay, SimEvent::HostCrash(host));
+    }
+
+    /// Schedules a host restart at `delay` from now.
+    pub fn schedule_restart(&mut self, host: HostId, delay: SimDuration) {
+        self.core
+            .engine
+            .schedule(delay, SimEvent::HostRestart(host));
+    }
+
+    /// Schedules a link state change (partition / heal) at `delay` from now.
+    pub fn schedule_link(&mut self, a: HostId, b: HostId, up: bool, delay: SimDuration) {
+        self.core
+            .engine
+            .schedule(delay, SimEvent::LinkSet(a, b, up));
+    }
+
+    /// Sends a signal "from outside" (e.g. a test acting as the user at a
+    /// terminal) with the given credentials.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the kernel's permission and liveness checks.
+    pub fn post_signal(
+        &mut self,
+        from_uid: Uid,
+        target: ProcKey,
+        signal: Signal,
+    ) -> Result<(), SysError> {
+        self.core.post_signal(from_uid, target, signal)
+    }
+
+    /// Runs until the event queue is quiet at or before `horizon`, then
+    /// advances the clock to `horizon`.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some((_, ev)) = self.core.engine.pop_until(horizon) {
+            self.dispatch(ev);
+        }
+        self.core.engine.advance_to(horizon);
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let horizon = self.core.now() + d;
+        self.run_until(horizon);
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.core.engine.pop() {
+            Some((_, ev)) => {
+                self.dispatch(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn drain_pending(&mut self) {
+        for (key, program) in self.core.take_pending_programs() {
+            self.programs.insert(key, program);
+        }
+    }
+
+    /// Invokes a program callback with syscall access, honouring busy and
+    /// stopped states, and reaping the program if its process died.
+    fn with_program(
+        &mut self,
+        key: ProcKey,
+        reschedule: Option<SimEvent>,
+        f: impl FnOnce(&mut dyn Program, &mut Sys<'_>),
+    ) {
+        if !self.core.is_alive(key) {
+            return;
+        }
+        // Stopped processes accumulate events until continued.
+        let state = self.core.hosts[key.0 .0 as usize]
+            .kernel
+            .get(key.1)
+            .map(|p| (p.state, p.busy_until));
+        if let Some((state, busy_until)) = state {
+            if state == ProcState::Stopped {
+                if let Some(ev) = reschedule {
+                    self.deferred.entry(key).or_default().push(ev);
+                }
+                return;
+            }
+            if busy_until > self.core.now() {
+                if let Some(ev) = reschedule {
+                    self.core.engine.schedule_at(busy_until, ev);
+                    return;
+                }
+            }
+        }
+        let Some(mut program) = self.programs.remove(&key) else {
+            return;
+        };
+        {
+            let mut sys = Sys::new(&mut self.core, key);
+            f(program.as_mut(), &mut sys);
+        }
+        if self.core.is_alive(key) {
+            self.programs.insert(key, program);
+        }
+        self.drain_pending();
+        self.reap_dead_programs();
+    }
+
+    fn reap_dead_programs(&mut self) {
+        // Cheap incremental reap: drop programs whose process is gone.
+        // (Programs are only removed here and in crash handling, so scan
+        // only when the map is small relative to the pending queue — in
+        // practice key-by-key removal below suffices.)
+        let dead: Vec<ProcKey> = self
+            .programs
+            .keys()
+            .filter(|k| !self.core.is_alive(**k))
+            .copied()
+            .collect();
+        let mut dead = dead;
+        dead.sort_unstable();
+        for k in dead {
+            self.programs.remove(&k);
+            self.deferred.remove(&k);
+        }
+    }
+
+    fn dispatch(&mut self, ev: SimEvent) {
+        match ev {
+            SimEvent::Start(key) => {
+                if !self.core.is_alive(key) {
+                    return;
+                }
+                let (host, pid) = key;
+                let command = {
+                    let p = self.core.hosts[host.0 as usize]
+                        .kernel
+                        .get_mut(pid)
+                        .expect("alive");
+                    p.state = ProcState::Running;
+                    p.command.clone()
+                };
+                self.core
+                    .emit_kernel_event(host, KernelEvent::Exec { pid, command });
+                self.with_program(key, None, |p, sys| p.on_start(sys));
+            }
+            SimEvent::Timer(key, token) => {
+                let resched = SimEvent::Timer(key, token);
+                self.with_program(key, Some(resched), |p, sys| p.on_timer(sys, token));
+            }
+            SimEvent::Deliver { conn, to, data } => {
+                // Data already on the wire is delivered even if the
+                // connection closed meanwhile (TCP delivers data queued
+                // before a FIN); only never-established connections drop.
+                let alive_conn = self
+                    .core
+                    .conns
+                    .get(&conn)
+                    .is_some_and(|c| c.state != ConnState::Connecting);
+                if !alive_conn {
+                    return;
+                }
+                if !self.core.is_alive(to) {
+                    return;
+                }
+                // Accounting happens on actual handling (inside the
+                // closure), so busy/stopped deferral cannot double-count.
+                let resched = SimEvent::Deliver {
+                    conn,
+                    to,
+                    data: data.clone(),
+                };
+                self.with_program(to, Some(resched), |p, sys| {
+                    sys.account_msg_received(data.len());
+                    p.on_message(sys, conn, data)
+                });
+            }
+            SimEvent::ConnEstablish { conn } => self.handle_establish(conn),
+            SimEvent::ConnFailed { conn, to, reason } => {
+                self.with_program(to, None, |p, sys| {
+                    p.on_conn_event(sys, conn, ConnEvent::Failed(reason))
+                });
+            }
+            SimEvent::ConnClosedNotify { conn, to } => {
+                self.core.mark_closed(conn);
+                self.with_program(to, None, |p, sys| {
+                    p.on_conn_event(sys, conn, ConnEvent::Closed)
+                });
+            }
+            SimEvent::KernelMsg { to, msg } => {
+                let resched = SimEvent::KernelMsg {
+                    to,
+                    msg: msg.clone(),
+                };
+                self.with_program(to, Some(resched), |p, sys| p.on_kernel_event(sys, msg));
+            }
+            SimEvent::SignalDeliver { to, signal } => self.handle_signal(to, signal),
+            SimEvent::ChildExit {
+                parent,
+                child,
+                status,
+            } => {
+                self.with_program(parent, None, |p, sys| p.on_child_exit(sys, child, status));
+            }
+            SimEvent::LoadTick(host) => {
+                if !self.core.host_up(host) {
+                    return;
+                }
+                let now = self.core.now();
+                let alpha = self.core.config.load_alpha();
+                let k = &mut self.core.hosts[host.0 as usize].kernel;
+                let runnable = k.runnable_count(now);
+                k.update_load(runnable, alpha);
+                let tick = self.core.config.load_tick;
+                self.core.engine.schedule(tick, SimEvent::LoadTick(host));
+            }
+            SimEvent::HostCrash(host) => self.handle_crash(host),
+            SimEvent::HostRestart(host) => self.handle_restart(host),
+            SimEvent::LinkSet(a, b, up) => {
+                self.core.topo.set_link_up(a, b, up);
+                self.core.tracef(
+                    None,
+                    TraceCategory::Net,
+                    format!(
+                        "link {} <-> {} {}",
+                        self.core.host_name(a),
+                        self.core.host_name(b),
+                        if up { "up" } else { "down" }
+                    ),
+                );
+            }
+        }
+    }
+
+    fn handle_establish(&mut self, conn: ConnId) {
+        let (client, server, port, state) = match self.core.conns.get(&conn) {
+            Some(c) => (c.client, c.server, c.port, c.state),
+            None => return,
+        };
+        if state != ConnState::Connecting {
+            return;
+        }
+        // Re-validate: server process must still be alive and listening,
+        // and the route must still exist.
+        let still_listening = self.core.host_up(server.0)
+            && self.core.hosts[server.0 .0 as usize].listeners.get(&port) == Some(&server.1)
+            && self.core.is_alive(server);
+        let routed = self.core.topo.hops(client.0, server.0).is_some();
+        if !still_listening || !routed {
+            self.core.mark_closed(conn);
+            let reason = if routed {
+                SysError::ConnectionRefused
+            } else {
+                SysError::Unreachable
+            };
+            self.with_program(client, None, |p, sys| {
+                p.on_conn_event(sys, conn, ConnEvent::Failed(reason))
+            });
+            return;
+        }
+        let now = self.core.now();
+        if let Some(c) = self.core.conns.get_mut(&conn) {
+            c.state = ConnState::Established;
+            c.stats.established_at = Some(now);
+        }
+        if let Ok(p) = self.core.hosts[server.0 .0 as usize]
+            .kernel
+            .live_mut(server.1)
+        {
+            p.fds.alloc(FdKind::Socket { conn });
+        }
+        self.core.tracef(
+            Some(server.0),
+            TraceCategory::Net,
+            format!(
+                "{conn} established {}:{} -> {}{port}",
+                self.core.host_name(client.0),
+                client.1,
+                self.core.host_name(server.0),
+            ),
+        );
+        self.with_program(server, None, |p, sys| {
+            p.on_conn_event(sys, conn, ConnEvent::Accepted { peer: client, port })
+        });
+        self.with_program(client, None, |p, sys| {
+            p.on_conn_event(sys, conn, ConnEvent::Established)
+        });
+    }
+
+    fn handle_signal(&mut self, to: ProcKey, signal: Signal) {
+        if !self.core.is_alive(to) {
+            return;
+        }
+        let (host, pid) = to;
+        {
+            let k = &mut self.core.hosts[host.0 as usize].kernel;
+            if let Ok(p) = k.live_mut(pid) {
+                p.rusage.signals_received += 1;
+            }
+        }
+        self.core
+            .emit_kernel_event(host, KernelEvent::SignalDelivered { pid, signal });
+        self.core.tracef(
+            Some(host),
+            TraceCategory::Kernel,
+            format!("{signal} delivered to pid {pid}"),
+        );
+        match signal {
+            Signal::Stop => {
+                let k = &mut self.core.hosts[host.0 as usize].kernel;
+                if let Ok(p) = k.live_mut(pid) {
+                    if p.state == ProcState::Running {
+                        p.state = ProcState::Stopped;
+                        self.core
+                            .emit_kernel_event(host, KernelEvent::Stopped { pid });
+                    }
+                }
+            }
+            Signal::Cont => {
+                let was_stopped = {
+                    let k = &mut self.core.hosts[host.0 as usize].kernel;
+                    match k.live_mut(pid) {
+                        Ok(p) if p.state == ProcState::Stopped => {
+                            p.state = ProcState::Running;
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                if was_stopped {
+                    self.core
+                        .emit_kernel_event(host, KernelEvent::Continued { pid });
+                    if let Some(evs) = self.deferred.remove(&to) {
+                        for ev in evs {
+                            self.core.engine.schedule(SimDuration::ZERO, ev);
+                        }
+                    }
+                }
+            }
+            Signal::Kill => {
+                self.core.do_exit(to, ExitStatus::Signaled(Signal::Kill));
+                self.reap_dead_programs();
+            }
+            other => {
+                // Catchable: give the program a chance, else default.
+                let mut action = SigAction::Default;
+                if self.programs.contains_key(&to) {
+                    let mut taken = self.programs.remove(&to).expect("checked");
+                    {
+                        let mut sys = Sys::new(&mut self.core, to);
+                        action = taken.on_signal(&mut sys, other);
+                    }
+                    if self.core.is_alive(to) {
+                        self.programs.insert(to, taken);
+                    }
+                    self.drain_pending();
+                }
+                if action == SigAction::Default
+                    && other.is_fatal_by_default()
+                    && self.core.is_alive(to)
+                {
+                    self.core.do_exit(to, ExitStatus::Signaled(other));
+                }
+                self.reap_dead_programs();
+            }
+        }
+    }
+
+    fn handle_crash(&mut self, host: HostId) {
+        if !self.core.host_up(host) {
+            return;
+        }
+        self.core.topo.set_host_up(host, false);
+        self.core
+            .tracef(Some(host), TraceCategory::Net, "host crashed".to_string());
+        // Break all connections touching the host; survivors learn after
+        // the detection interval.
+        let mut ids: Vec<ConnId> = self
+            .core
+            .conns
+            .values()
+            .filter(|c| c.state != ConnState::Closed && c.touches_host(host))
+            .map(|c| c.id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (client, server) = {
+                let c = &self.core.conns[&id];
+                (c.client, c.server)
+            };
+            self.core.mark_closed(id);
+            let survivor = if client.0 == host { server } else { client };
+            if survivor.0 != host && self.core.host_up(survivor.0) {
+                let jf = self.core.config.cost_jitter;
+                let base = self.core.config.break_detection;
+                let delay = self.core.rng.jitter(base, jf);
+                self.core.engine.schedule(
+                    delay,
+                    SimEvent::ConnClosedNotify {
+                        conn: id,
+                        to: survivor,
+                    },
+                );
+            }
+        }
+        // All local process activity ceases; nothing is notified locally.
+        let hs = &mut self.core.hosts[host.0 as usize];
+        hs.listeners.clear();
+        hs.services.clear();
+        self.reap_dead_programs_on(host);
+    }
+
+    fn reap_dead_programs_on(&mut self, host: HostId) {
+        let mut keys: Vec<ProcKey> = self
+            .programs
+            .keys()
+            .filter(|k| k.0 == host)
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        for k in keys {
+            self.programs.remove(&k);
+            self.deferred.remove(&k);
+        }
+    }
+
+    fn handle_restart(&mut self, host: HostId) {
+        if self.core.host_up(host) {
+            return;
+        }
+        self.core.topo.set_host_up(host, true);
+        let now = self.core.now();
+        self.core.hosts[host.0 as usize].kernel.reboot(now);
+        self.core
+            .tracef(Some(host), TraceCategory::Net, "host restarted".to_string());
+        self.boot_daemons(host);
+        let tick = self.core.config.load_tick;
+        self.core.engine.schedule(tick, SimEvent::LoadTick(host));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_simnet::topology::CpuClass;
+
+    fn two_hosts() -> (World, HostId, HostId) {
+        let mut w = World::new(11);
+        let a = w.add_host(HostSpec::new("a", CpuClass::Vax780));
+        let b = w.add_host(HostSpec::new("b", CpuClass::Vax750));
+        w.add_link(a, b);
+        (w, a, b)
+    }
+
+    #[test]
+    fn add_host_boots_inetd() {
+        let (mut w, a, _) = two_hosts();
+        w.run_for(SimDuration::from_millis(100));
+        let inetd = w
+            .core()
+            .kernel(a)
+            .processes()
+            .find(|p| p.command == "inetd")
+            .map(|p| p.pid);
+        assert!(inetd.is_some());
+        // inetd listens on its well-known port
+        assert!(w.core().hosts[a.0 as usize]
+            .listeners
+            .contains_key(&Port::INETD));
+    }
+
+    #[test]
+    fn spawn_user_creates_running_process_after_delay() {
+        let (mut w, a, _) = two_hosts();
+        let pid = w.spawn_user(a, Uid(100), SpawnSpec::inert("job")).unwrap();
+        assert_eq!(
+            w.core().kernel(a).get(pid).unwrap().state,
+            ProcState::Embryo
+        );
+        w.run_for(SimDuration::from_millis(200));
+        assert_eq!(
+            w.core().kernel(a).get(pid).unwrap().state,
+            ProcState::Running
+        );
+    }
+
+    #[test]
+    fn kill_terminates_and_stop_cont_toggle() {
+        let (mut w, a, _) = two_hosts();
+        let pid = w.spawn_user(a, Uid(100), SpawnSpec::inert("job")).unwrap();
+        w.run_for(SimDuration::from_millis(200));
+        w.post_signal(Uid(100), (a, pid), Signal::Stop).unwrap();
+        w.run_for(SimDuration::from_millis(50));
+        assert_eq!(
+            w.core().kernel(a).get(pid).unwrap().state,
+            ProcState::Stopped
+        );
+        w.post_signal(Uid(100), (a, pid), Signal::Cont).unwrap();
+        w.run_for(SimDuration::from_millis(50));
+        assert_eq!(
+            w.core().kernel(a).get(pid).unwrap().state,
+            ProcState::Running
+        );
+        w.post_signal(Uid(100), (a, pid), Signal::Kill).unwrap();
+        w.run_for(SimDuration::from_millis(50));
+        assert!(!w.core().is_alive((a, pid)));
+    }
+
+    #[test]
+    fn signal_permission_checked() {
+        let (mut w, a, _) = two_hosts();
+        let pid = w.spawn_user(a, Uid(100), SpawnSpec::inert("job")).unwrap();
+        w.run_for(SimDuration::from_millis(200));
+        assert_eq!(
+            w.post_signal(Uid(200), (a, pid), Signal::Kill),
+            Err(SysError::PermissionDenied)
+        );
+        assert!(w.post_signal(Uid::ROOT, (a, pid), Signal::Kill).is_ok());
+    }
+
+    #[test]
+    fn crash_kills_processes_and_restart_reboots() {
+        let (mut w, a, _) = two_hosts();
+        let pid = w.spawn_user(a, Uid(100), SpawnSpec::inert("job")).unwrap();
+        w.run_for(SimDuration::from_millis(200));
+        w.schedule_crash(a, SimDuration::from_millis(10));
+        w.run_for(SimDuration::from_millis(50));
+        assert!(!w.core().host_up(a));
+        assert!(!w.core().is_alive((a, pid)));
+        w.schedule_restart(a, SimDuration::from_millis(10));
+        w.run_for(SimDuration::from_millis(200));
+        assert!(w.core().host_up(a));
+        assert_eq!(w.core().kernel(a).boot_count(), 2);
+        // inetd is back
+        assert!(w.core().hosts[a.0 as usize]
+            .listeners
+            .contains_key(&Port::INETD));
+    }
+
+    #[test]
+    fn load_average_rises_with_cpu_bound_work() {
+        let (mut w, a, _) = two_hosts();
+        for _ in 0..2 {
+            w.spawn_user(a, Uid(1), SpawnSpec::inert("spin").cpu_bound(true))
+                .unwrap();
+        }
+        w.run_for(SimDuration::from_secs(300));
+        let la = w.core().kernel(a).load_avg();
+        assert!((1.8..2.2).contains(&la), "la={la}");
+    }
+
+    #[test]
+    fn world_debug_is_nonempty() {
+        let (w, _, _) = two_hosts();
+        let s = format!("{w:?}");
+        assert!(s.contains("World"));
+        assert!(s.contains("hosts"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Property tests for the simulated kernel: process-table invariants
+//! under random operation sequences, and world-level determinism.
+
+use proptest::prelude::*;
+
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simnet::topology::{CpuClass, HostSpec};
+use ppm_simos::ids::{Pid, Uid};
+use ppm_simos::kernel::Kernel;
+use ppm_simos::process::{ProcState, Process};
+use ppm_simos::program::SpawnSpec;
+use ppm_simos::signal::{ExitStatus, Signal};
+use ppm_simos::world::World;
+
+#[derive(Debug, Clone)]
+enum KernOp {
+    Spawn {
+        parent_idx: usize,
+        uid: u32,
+    },
+    Exit {
+        idx: usize,
+    },
+    Adopt {
+        target_idx: usize,
+        tracer_idx: usize,
+    },
+}
+
+fn arb_kern_ops() -> impl Strategy<Value = Vec<KernOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..30, 0u32..3).prop_map(|(parent_idx, uid)| KernOp::Spawn { parent_idx, uid }),
+            (0usize..30).prop_map(|idx| KernOp::Exit { idx }),
+            (0usize..30, 0usize..30).prop_map(|(target_idx, tracer_idx)| KernOp::Adopt {
+                target_idx,
+                tracer_idx
+            }),
+        ],
+        1..80,
+    )
+}
+
+proptest! {
+    /// Process-table invariants hold under any spawn/exit/adopt sequence:
+    /// parent-child links are mutual, live children have live entries,
+    /// exited processes never re-enter the run queue, and adoption never
+    /// crosses users.
+    #[test]
+    fn kernel_table_invariants(ops in arb_kern_ops()) {
+        let now = SimTime::ZERO;
+        let mut k = Kernel::new(now);
+        let mut pids: Vec<Pid> = Vec::new();
+        for op in ops {
+            match op {
+                KernOp::Spawn { parent_idx, uid } => {
+                    let ppid = pids
+                        .get(parent_idx % pids.len().max(1))
+                        .copied()
+                        .filter(|p| k.get(*p).is_some_and(|e| e.is_alive()))
+                        .unwrap_or(Pid::INIT);
+                    let pid = k.alloc_pid();
+                    let mut proc = Process::new(pid, ppid, Uid(uid), "p", now);
+                    proc.state = ProcState::Running;
+                    k.insert(proc);
+                    pids.push(pid);
+                }
+                KernOp::Exit { idx } => {
+                    if let Some(&pid) = pids.get(idx % pids.len().max(1)) {
+                        if k.get(pid).is_some_and(|e| e.is_alive()) {
+                            k.finish_exit(pid, ExitStatus::SUCCESS, now);
+                        }
+                    }
+                }
+                KernOp::Adopt { target_idx, tracer_idx } => {
+                    let (Some(&t), Some(&tr)) = (
+                        pids.get(target_idx % pids.len().max(1)),
+                        pids.get(tracer_idx % pids.len().max(1)),
+                    ) else {
+                        continue;
+                    };
+                    let tracer_uid = k.get(tr).map(|e| e.uid).unwrap_or(Uid(0));
+                    let res = k.adopt(t, tr, tracer_uid, ppm_simos::events::TraceFlags::ALL);
+                    if let Ok(()) = res {
+                        // Same-user or root only.
+                        let target_uid = k.get(t).expect("adopted").uid;
+                        prop_assert!(
+                            tracer_uid == target_uid || tracer_uid.is_root(),
+                            "cross-user adoption slipped through"
+                        );
+                    }
+                }
+            }
+            // Invariants after every op.
+            for p in k.processes() {
+                for &c in &p.children {
+                    let child = k.get(c);
+                    prop_assert!(child.is_some(), "dangling child {c}");
+                    let child = child.expect("checked");
+                    prop_assert!(child.is_alive(), "dead child {c} still linked");
+                    prop_assert_eq!(child.ppid, p.pid, "ppid backlink broken");
+                }
+                if !p.is_alive() {
+                    prop_assert!(!p.cpu_bound, "exited process on the run queue");
+                    prop_assert!(p.exited_at.is_some());
+                }
+            }
+        }
+        // Runnable count never exceeds live processes.
+        let live = k.processes().filter(|p| p.is_alive()).count();
+        prop_assert!(k.runnable_count(now) <= live);
+    }
+
+    /// World determinism: identical seeds and identical scripted worlds
+    /// produce identical trace lengths and clocks; different seeds are
+    /// allowed to differ.
+    #[test]
+    fn world_replay_is_exact(seed in any::<u64>(), jobs in 1usize..6) {
+        let run = |seed: u64| {
+            let mut w = World::new(seed);
+            let a = w.add_host(HostSpec::new("a", CpuClass::Vax780));
+            let b = w.add_host(HostSpec::new("b", CpuClass::Sun2));
+            w.add_link(a, b);
+            for i in 0..jobs {
+                let host = if i % 2 == 0 { a } else { b };
+                w.spawn_user(host, Uid(1), SpawnSpec::inert(format!("j{i}"))).expect("spawn");
+            }
+            w.run_for(SimDuration::from_secs(5));
+            (
+                w.core().trace().entries().len(),
+                w.now(),
+                w.core().kernel(a).processes().count(),
+            )
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Signal permission: a non-root user can never signal another user's
+    /// process, for any signal.
+    #[test]
+    fn cross_user_signals_always_denied(signal_no in 0u8..32, other_uid in 2u32..100) {
+        let Some(signal) = Signal::from_number(signal_no) else {
+            return Ok(());
+        };
+        let mut w = World::new(1);
+        let a = w.add_host(HostSpec::new("a", CpuClass::Vax780));
+        let pid = w.spawn_user(a, Uid(1), SpawnSpec::inert("mine")).expect("spawn");
+        w.run_for(SimDuration::from_millis(200));
+        let res = w.post_signal(Uid(other_uid), (a, pid), signal);
+        prop_assert!(res.is_err());
+        prop_assert!(w.core().is_alive((a, pid)));
+    }
+}

@@ -1,0 +1,211 @@
+//! Whole-computation operations.
+//!
+//! The paper's introduction motivates "user facilities for locating the
+//! execution sites of a distributed computation and broadcasting, say, a
+//! software interrupt to stop execution". This tool implements exactly
+//! that: locate every member of the computation rooted at a process
+//! (via a distributed snapshot and the assembled forest), then deliver a
+//! control action to each member through the PPM.
+
+use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_proto::msg::ControlAction;
+use ppm_proto::types::{Gpid, WireProcState};
+use ppm_simos::ids::Uid;
+
+use crate::forest::Forest;
+
+/// Where the members of a computation execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComputationSites {
+    /// The root.
+    pub root: Gpid,
+    /// Every live member (root included, when alive), sorted.
+    pub members: Vec<Gpid>,
+    /// The distinct hosts involved, sorted.
+    pub hosts: Vec<String>,
+}
+
+/// Locates the live members of the computation rooted at `root`.
+///
+/// # Errors
+///
+/// Snapshot errors as [`HarnessError`]; an unknown root yields an empty
+/// member list rather than an error (the computation may have ended).
+pub fn locate(
+    ppm: &mut PpmHarness,
+    from_host: &str,
+    uid: Uid,
+    root: &Gpid,
+) -> Result<ComputationSites, HarnessError> {
+    let records = ppm.snapshot(from_host, uid, "*")?;
+    let forest = Forest::build(records);
+    let mut members = Vec::new();
+    if forest.get(root).is_some() {
+        for (_, node) in forest.walk(root) {
+            if node.record.state != WireProcState::Dead {
+                members.push(node.record.gpid.clone());
+            }
+        }
+    }
+    members.sort();
+    let mut hosts: Vec<String> = members.iter().map(|g| g.host.clone()).collect();
+    hosts.sort();
+    hosts.dedup();
+    Ok(ComputationSites {
+        root: root.clone(),
+        members,
+        hosts,
+    })
+}
+
+/// Delivers `action` to every live member of the computation rooted at
+/// `root` — the "broadcast a software interrupt" facility. Returns how
+/// many members were signalled.
+///
+/// Members that disappear between the locating snapshot and the delivery
+/// are skipped (their error is tolerated); other errors propagate.
+///
+/// # Errors
+///
+/// Snapshot/tool failures as [`HarnessError`].
+pub fn signal_computation(
+    ppm: &mut PpmHarness,
+    from_host: &str,
+    uid: Uid,
+    root: &Gpid,
+    action: ControlAction,
+) -> Result<usize, HarnessError> {
+    let sites = locate(ppm, from_host, uid, root)?;
+    let mut delivered = 0;
+    for member in &sites.members {
+        match ppm.control(from_host, uid, member, action) {
+            Ok(()) => delivered += 1,
+            Err(HarnessError::Lpm(ref s)) if s.contains("NoSuchProcess") => {
+                // Raced with the process's own exit; consistent with the
+                // paper's on-demand, best-effort administration.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(delivered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_core::config::PpmConfig;
+    use ppm_simnet::time::SimDuration;
+    use ppm_simnet::topology::CpuClass;
+    use ppm_simos::process::ProcState;
+
+    const USER: Uid = Uid(100);
+
+    fn harness() -> PpmHarness {
+        PpmHarness::builder()
+            .host("a", CpuClass::Vax780)
+            .host("b", CpuClass::Vax750)
+            .host("c", CpuClass::Sun2)
+            .link("a", "b")
+            .link("b", "c")
+            .user(USER, 7, &["a"], PpmConfig::default())
+            .build()
+    }
+
+    fn build_computation(ppm: &mut PpmHarness) -> (Gpid, Vec<Gpid>) {
+        let root = ppm
+            .spawn_remote("a", USER, "a", "root", None, None)
+            .unwrap();
+        let w1 = ppm
+            .spawn_remote("a", USER, "b", "w1", Some(root.clone()), None)
+            .unwrap();
+        let w2 = ppm
+            .spawn_remote("a", USER, "c", "w2", Some(root.clone()), None)
+            .unwrap();
+        let w3 = ppm
+            .spawn_remote("a", USER, "c", "w3", Some(w2.clone()), None)
+            .unwrap();
+        (root.clone(), vec![root, w1, w2, w3])
+    }
+
+    #[test]
+    fn locate_finds_all_execution_sites() {
+        let mut ppm = harness();
+        let (root, members) = build_computation(&mut ppm);
+        // An unrelated process must not be included.
+        ppm.spawn_remote("a", USER, "b", "unrelated", None, None)
+            .unwrap();
+
+        let sites = locate(&mut ppm, "a", USER, &root).unwrap();
+        assert_eq!(sites.hosts, vec!["a", "b", "c"]);
+        let mut expect = members.clone();
+        expect.sort();
+        assert_eq!(sites.members, expect);
+    }
+
+    #[test]
+    fn stop_interrupt_reaches_every_member() {
+        let mut ppm = harness();
+        let (root, members) = build_computation(&mut ppm);
+        let n = signal_computation(&mut ppm, "a", USER, &root, ControlAction::Stop).unwrap();
+        assert_eq!(n, members.len());
+        ppm.run_for(SimDuration::from_millis(500));
+        for m in &members {
+            let host = ppm.host(&m.host).unwrap();
+            let state = ppm
+                .world()
+                .core()
+                .kernel(host)
+                .get(ppm_simos::ids::Pid(m.pid))
+                .unwrap()
+                .state;
+            assert_eq!(state, ProcState::Stopped, "{m}");
+        }
+        // And resume it.
+        let n = signal_computation(&mut ppm, "a", USER, &root, ControlAction::Background).unwrap();
+        assert_eq!(n, members.len());
+        ppm.run_for(SimDuration::from_millis(500));
+        let host = ppm.host(&members[1].host).unwrap();
+        assert_eq!(
+            ppm.world()
+                .core()
+                .kernel(host)
+                .get(ppm_simos::ids::Pid(members[1].pid))
+                .unwrap()
+                .state,
+            ProcState::Running
+        );
+    }
+
+    #[test]
+    fn kill_terminates_the_whole_computation() {
+        let mut ppm = harness();
+        let (root, members) = build_computation(&mut ppm);
+        let n = signal_computation(&mut ppm, "a", USER, &root, ControlAction::Kill).unwrap();
+        assert_eq!(n, members.len());
+        ppm.run_for(SimDuration::from_secs(1));
+        for m in &members {
+            let host = ppm.host(&m.host).unwrap();
+            assert!(
+                !ppm.world()
+                    .core()
+                    .kernel(host)
+                    .get(ppm_simos::ids::Pid(m.pid))
+                    .unwrap()
+                    .is_alive(),
+                "{m}"
+            );
+        }
+        // A later locate returns no live members.
+        let sites = locate(&mut ppm, "a", USER, &root).unwrap();
+        assert!(sites.members.is_empty());
+    }
+
+    #[test]
+    fn locate_of_unknown_root_is_empty() {
+        let mut ppm = harness();
+        build_computation(&mut ppm);
+        let sites = locate(&mut ppm, "a", USER, &Gpid::new("b", 4242)).unwrap();
+        assert!(sites.members.is_empty());
+        assert!(sites.hosts.is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! The display tool — first on Section 7's wish list ("In particular a
+//! display tool"). One call produces a dashboard of the user's entire
+//! PPM: per-host LPM status (load, managed processes, sibling channels,
+//! CCS view) plus the genealogical forest of the computations.
+
+use std::fmt::Write as _;
+
+use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_proto::msg::Reply;
+use ppm_simos::ids::Uid;
+
+use crate::forest::Forest;
+
+/// One host's row of the dashboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostStatus {
+    /// Host name.
+    pub host: String,
+    /// Load average × 1000.
+    pub load_milli: u32,
+    /// Managed live processes.
+    pub managed: u32,
+    /// Sibling channel peers.
+    pub siblings: Vec<String>,
+    /// CCS as this LPM sees it.
+    pub ccs: String,
+    /// CCS epoch.
+    pub epoch: u64,
+    /// Whether the host answered at all.
+    pub reachable: bool,
+}
+
+/// Collects per-host status for every host in the network, tolerating
+/// unreachable ones (they appear with `reachable = false`).
+///
+/// # Errors
+///
+/// Only infrastructure failures (tool could not run at all) propagate.
+pub fn gather_status(
+    ppm: &mut PpmHarness,
+    from_host: &str,
+    uid: Uid,
+) -> Result<Vec<HostStatus>, HarnessError> {
+    let hosts: Vec<String> = ppm
+        .world()
+        .core()
+        .topology()
+        .host_ids()
+        .map(|h| ppm.world().core().host_name(h).to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for host in hosts {
+        match ppm.status(from_host, uid, &host) {
+            Ok(Reply::Status {
+                host,
+                load_milli,
+                managed,
+                siblings,
+                ccs,
+                epoch,
+            }) => {
+                rows.push(HostStatus {
+                    host,
+                    load_milli,
+                    managed,
+                    siblings,
+                    ccs,
+                    epoch,
+                    reachable: true,
+                });
+            }
+            Ok(_)
+            | Err(HarnessError::Lpm(_))
+            | Err(HarnessError::Tool(_))
+            | Err(HarnessError::Timeout) => {
+                rows.push(HostStatus {
+                    host: host.clone(),
+                    load_milli: 0,
+                    managed: 0,
+                    siblings: Vec::new(),
+                    ccs: String::new(),
+                    epoch: 0,
+                    reachable: false,
+                });
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders the full dashboard: status table plus computation forest.
+///
+/// # Errors
+///
+/// Propagates snapshot/tool failures.
+pub fn dashboard(ppm: &mut PpmHarness, from_host: &str, uid: Uid) -> Result<String, HarnessError> {
+    let rows = gather_status(ppm, from_host, uid)?;
+    let records = ppm.snapshot(from_host, uid, "*")?;
+    let forest = Forest::build(records);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "PPM display for {uid} (from {from_host})");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>6} {:>8}  {:<10} {:>5}  siblings",
+        "host", "load", "managed", "ccs", "epoch"
+    );
+    for r in &rows {
+        if r.reachable {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6.2} {:>8}  {:<10} {:>5}  {}",
+                r.host,
+                r.load_milli as f64 / 1000.0,
+                r.managed,
+                r.ccs,
+                r.epoch,
+                r.siblings.join(", ")
+            );
+        } else {
+            let _ = writeln!(out, "{:<12} {:>6}  (unreachable)", r.host, "-");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\ncomputations: {} tree(s), {} process(es) across {}",
+        forest.tree_count(),
+        forest.len(),
+        forest.hosts().join(", ")
+    );
+    for root in forest.roots() {
+        for (depth, node) in forest.walk(root) {
+            let _ = writeln!(
+                out,
+                "{}{} {} {} ({})",
+                "  ".repeat(depth + 1),
+                if depth == 0 { "*" } else { "-" },
+                node.record.gpid,
+                node.record.command,
+                node.record.state
+            );
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_core::config::PpmConfig;
+    use ppm_simnet::time::SimDuration;
+    use ppm_simnet::topology::CpuClass;
+
+    const USER: Uid = Uid(100);
+
+    #[test]
+    fn dashboard_covers_all_hosts_and_trees() {
+        let mut ppm = PpmHarness::builder()
+            .host("x", CpuClass::Vax780)
+            .host("y", CpuClass::Vax750)
+            .link("x", "y")
+            .user(USER, 7, &["x"], PpmConfig::default())
+            .build();
+        let root = ppm
+            .spawn_remote("x", USER, "x", "master", None, None)
+            .unwrap();
+        ppm.spawn_remote("x", USER, "y", "worker", Some(root), None)
+            .unwrap();
+
+        let out = dashboard(&mut ppm, "x", USER).unwrap();
+        assert!(out.contains("PPM display"));
+        assert!(out.contains("x "));
+        assert!(out.contains("y "));
+        assert!(out.contains("master"));
+        assert!(out.contains("1 tree(s)"));
+        assert!(out.contains("2 process(es)"));
+    }
+
+    #[test]
+    fn unreachable_hosts_are_marked() {
+        let mut ppm = PpmHarness::builder()
+            .host("x", CpuClass::Vax780)
+            .host("y", CpuClass::Vax750)
+            .link("x", "y")
+            .user(USER, 7, &["x"], PpmConfig::fast_recovery())
+            .build();
+        ppm.spawn_remote("x", USER, "y", "w", None, None).unwrap();
+        let y = ppm.host("y").unwrap();
+        ppm.world_mut()
+            .schedule_crash(y, SimDuration::from_millis(10));
+        ppm.run_for(SimDuration::from_secs(2));
+        let rows = gather_status(&mut ppm, "x", USER).unwrap();
+        let yrow = rows.iter().find(|r| r.host == "y").unwrap();
+        assert!(!yrow.reachable);
+        let xrow = rows.iter().find(|r| r.host == "x").unwrap();
+        assert!(xrow.reachable);
+    }
+}

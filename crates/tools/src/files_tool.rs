@@ -1,0 +1,130 @@
+//! Open-files and file-descriptor display — two more of Section 7's
+//! planned tools ("a tool for displaying the open and closed files of
+//! processes, a tool for displaying file descriptors").
+
+use std::fmt::Write as _;
+
+use ppm_proto::types::{FileRecord, HistoryRecord};
+
+/// Renders a descriptor table.
+pub fn render_fds(entries: &[FileRecord], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:>4}  {:<10} detail", "fd", "kind");
+    for e in entries {
+        let _ = writeln!(out, "{:>4}  {:<10} {}", e.fd, e.kind, e.detail);
+    }
+    let _ = writeln!(out, "{} descriptor(s)", entries.len());
+    out
+}
+
+/// One line of the opened/closed files report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEvent {
+    /// When (µs).
+    pub at_us: u64,
+    /// Which process.
+    pub gpid: String,
+    /// "open" or "close".
+    pub action: &'static str,
+    /// Path.
+    pub path: String,
+}
+
+/// Extracts file open/close activity from LPM history (requires the FILES
+/// tracing flag on the watched processes).
+pub fn file_events(history: &[HistoryRecord]) -> Vec<FileEvent> {
+    history
+        .iter()
+        .filter_map(|e| {
+            let action = match e.kind.as_str() {
+                "file-open" => "open",
+                "file-close" => "close",
+                _ => return None,
+            };
+            Some(FileEvent {
+                at_us: e.at_us,
+                gpid: e.gpid.to_string(),
+                action,
+                path: e.detail.clone(),
+            })
+        })
+        .collect()
+}
+
+/// Renders the opened/closed files report.
+pub fn render_file_events(events: &[FileEvent], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for e in events {
+        let _ = writeln!(
+            out,
+            "[{:>10.3}ms] {} {:<5} {}",
+            e.at_us as f64 / 1000.0,
+            e.gpid,
+            e.action,
+            e.path
+        );
+    }
+    let opens = events.iter().filter(|e| e.action == "open").count();
+    let closes = events.len() - opens;
+    let _ = writeln!(out, "{opens} open(s), {closes} close(s)");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_proto::types::Gpid;
+
+    #[test]
+    fn render_fd_table() {
+        let entries = vec![
+            FileRecord {
+                fd: 3,
+                kind: "kernel".into(),
+                detail: "kernel event socket".into(),
+            },
+            FileRecord {
+                fd: 4,
+                kind: "file".into(),
+                detail: "/etc/passwd (r)".into(),
+            },
+        ];
+        let out = render_fds(&entries, "fds of <a, 9>");
+        assert!(out.contains("fds of <a, 9>"));
+        assert!(out.contains("/etc/passwd"));
+        assert!(out.contains("2 descriptor(s)"));
+    }
+
+    #[test]
+    fn file_events_filter_history() {
+        let hist = vec![
+            HistoryRecord {
+                at_us: 1000,
+                gpid: Gpid::new("a", 5),
+                kind: "file-open".into(),
+                detail: "/tmp/x".into(),
+            },
+            HistoryRecord {
+                at_us: 2000,
+                gpid: Gpid::new("a", 5),
+                kind: "exit".into(),
+                detail: String::new(),
+            },
+            HistoryRecord {
+                at_us: 3000,
+                gpid: Gpid::new("a", 5),
+                kind: "file-close".into(),
+                detail: "/tmp/x".into(),
+            },
+        ];
+        let events = file_events(&hist);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].action, "open");
+        assert_eq!(events[1].action, "close");
+        let out = render_file_events(&events, "files");
+        assert!(out.contains("1 open(s), 1 close(s)"));
+        assert!(out.contains("/tmp/x"));
+    }
+}

@@ -1,0 +1,234 @@
+//! Assembling snapshot slices into the genealogical forest of Figure 1.
+//!
+//! Snapshot replies carry flat [`ProcRecord`]s from each host; this module
+//! links them into trees using local parent pids and cross-host logical
+//! parent edges, exactly the structure "a PPM may present the user when
+//! computations exist in three hosts".
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ppm_proto::types::{Gpid, ProcRecord};
+
+/// A node of the assembled forest.
+#[derive(Debug, Clone)]
+pub struct ForestNode {
+    /// The process.
+    pub record: ProcRecord,
+    /// Children, sorted by (host, pid).
+    pub children: Vec<Gpid>,
+}
+
+/// The assembled distributed genealogy.
+#[derive(Debug, Clone, Default)]
+pub struct Forest {
+    nodes: BTreeMap<Gpid, ForestNode>,
+    roots: Vec<Gpid>,
+}
+
+impl Forest {
+    /// Builds the forest from snapshot records.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
+    /// use ppm_tools::forest::Forest;
+    ///
+    /// let records = vec![
+    ///     ProcRecord {
+    ///         gpid: Gpid::new("calder", 10),
+    ///         ppid: 1,
+    ///         logical_parent: None,
+    ///         command: "master".into(),
+    ///         state: WireProcState::Running,
+    ///         started_us: 0,
+    ///         cpu_us: 0,
+    ///         adopted: true,
+    ///     },
+    ///     ProcRecord {
+    ///         gpid: Gpid::new("kim", 5),
+    ///         ppid: 1,
+    ///         logical_parent: Some(Gpid::new("calder", 10)),
+    ///         command: "worker".into(),
+    ///         state: WireProcState::Running,
+    ///         started_us: 0,
+    ///         cpu_us: 0,
+    ///         adopted: true,
+    ///     },
+    /// ];
+    /// let forest = Forest::build(records);
+    /// assert_eq!(forest.tree_count(), 1, "cross-host edge joins the trees");
+    /// assert_eq!(forest.hosts(), vec!["calder", "kim"]);
+    /// ```
+    pub fn build(records: Vec<ProcRecord>) -> Self {
+        let mut nodes: BTreeMap<Gpid, ForestNode> = records
+            .into_iter()
+            .map(|record| {
+                (
+                    record.gpid.clone(),
+                    ForestNode {
+                        record,
+                        children: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        let keys: Vec<Gpid> = nodes.keys().cloned().collect();
+        let mut non_roots: BTreeSet<Gpid> = BTreeSet::new();
+        for gpid in &keys {
+            let parent = {
+                let n = &nodes[gpid];
+                // Prefer the local parent when it is itself tracked, else
+                // the cross-host logical parent.
+                let local = Gpid::new(gpid.host.clone(), n.record.ppid);
+                if n.record.ppid > 1 && nodes.contains_key(&local) && &local != gpid {
+                    Some(local)
+                } else {
+                    n.record
+                        .logical_parent
+                        .clone()
+                        .filter(|lp| nodes.contains_key(lp) && lp != gpid)
+                }
+            };
+            if let Some(parent) = parent {
+                nodes
+                    .get_mut(&parent)
+                    .expect("checked")
+                    .children
+                    .push(gpid.clone());
+                non_roots.insert(gpid.clone());
+            }
+        }
+        for node in nodes.values_mut() {
+            node.children.sort();
+        }
+        let roots: Vec<Gpid> = keys
+            .into_iter()
+            .filter(|k| !non_roots.contains(k))
+            .collect();
+        Forest { nodes, roots }
+    }
+
+    /// Root processes, sorted.
+    pub fn roots(&self) -> &[Gpid] {
+        &self.roots
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the forest is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of trees (the paper's tree "may become a forest").
+    pub fn tree_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// A node by identity.
+    pub fn get(&self, gpid: &Gpid) -> Option<&ForestNode> {
+        self.nodes.get(gpid)
+    }
+
+    /// The hosts represented, sorted.
+    pub fn hosts(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self.nodes.keys().map(|g| g.host.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Depth-first walk of one tree, yielding `(depth, gpid)`.
+    pub fn walk<'a>(&'a self, root: &Gpid) -> Vec<(usize, &'a ForestNode)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(usize, Gpid)> = vec![(0, root.clone())];
+        while let Some((depth, gpid)) = stack.pop() {
+            if let Some(node) = self.nodes.get(&gpid) {
+                out.push((depth, node));
+                for child in node.children.iter().rev() {
+                    stack.push((depth + 1, child.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_proto::types::WireProcState;
+
+    fn rec(host: &str, pid: u32, ppid: u32, logical: Option<(&str, u32)>) -> ProcRecord {
+        ProcRecord {
+            gpid: Gpid::new(host, pid),
+            ppid,
+            logical_parent: logical.map(|(h, p)| Gpid::new(h, p)),
+            command: format!("cmd-{pid}"),
+            state: WireProcState::Running,
+            started_us: 0,
+            cpu_us: 0,
+            adopted: true,
+        }
+    }
+
+    #[test]
+    fn local_parent_links_win() {
+        let f = Forest::build(vec![rec("a", 10, 1, None), rec("a", 11, 10, None)]);
+        assert_eq!(f.tree_count(), 1);
+        assert_eq!(f.roots()[0], Gpid::new("a", 10));
+        assert_eq!(
+            f.get(&Gpid::new("a", 10)).unwrap().children,
+            vec![Gpid::new("a", 11)]
+        );
+    }
+
+    #[test]
+    fn cross_host_logical_edges_join_trees() {
+        let f = Forest::build(vec![
+            rec("a", 10, 1, None),
+            rec("b", 20, 1, Some(("a", 10))),
+            rec("c", 30, 1, Some(("b", 20))),
+        ]);
+        assert_eq!(f.tree_count(), 1, "one logical tree across three hosts");
+        let walk = f.walk(&Gpid::new("a", 10));
+        assert_eq!(walk.len(), 3);
+        assert_eq!(walk[0].0, 0);
+        assert_eq!(walk[1].0, 1);
+        assert_eq!(walk[2].0, 2);
+        assert_eq!(f.hosts(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn missing_parent_makes_a_forest() {
+        // The parent's host crashed: its record is absent.
+        let f = Forest::build(vec![
+            rec("b", 20, 1, Some(("gone", 10))),
+            rec("c", 30, 1, Some(("gone", 10))),
+        ]);
+        assert_eq!(f.tree_count(), 2, "orphans become separate trees");
+    }
+
+    #[test]
+    fn self_and_dangling_references_are_ignored() {
+        let mut r = rec("a", 10, 10, None);
+        r.logical_parent = Some(Gpid::new("a", 10));
+        let f = Forest::build(vec![r]);
+        assert_eq!(f.tree_count(), 1);
+        assert!(!f.is_empty());
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn children_are_sorted() {
+        let f = Forest::build(vec![
+            rec("a", 10, 1, None),
+            rec("b", 5, 1, Some(("a", 10))),
+            rec("a", 12, 10, None),
+        ]);
+        let children = &f.get(&Gpid::new("a", 10)).unwrap().children;
+        assert_eq!(children, &vec![Gpid::new("a", 12), Gpid::new("b", 5)]);
+    }
+}

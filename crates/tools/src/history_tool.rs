@@ -1,0 +1,93 @@
+//! The historical-data display tool (Section 7: "a historical data
+//! gathering tool"). Formats LPM history streams and computes simple
+//! per-kind and per-process activity profiles.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use ppm_proto::types::HistoryRecord;
+
+/// Renders a history stream chronologically.
+pub fn render(events: &[HistoryRecord], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for e in events {
+        let _ = writeln!(
+            out,
+            "[{:>12.3}ms] {:<20} {:<10} {}",
+            e.at_us as f64 / 1000.0,
+            e.gpid.to_string(),
+            e.kind,
+            e.detail
+        );
+    }
+    let _ = writeln!(out, "{} event(s)", events.len());
+    out
+}
+
+/// Event counts per kind, sorted by kind.
+pub fn kind_profile(events: &[HistoryRecord]) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for e in events {
+        *map.entry(e.kind.clone()).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Events per process, sorted by identity.
+pub fn process_profile(events: &[HistoryRecord]) -> BTreeMap<String, usize> {
+    let mut map = BTreeMap::new();
+    for e in events {
+        *map.entry(e.gpid.to_string()).or_insert(0) += 1;
+    }
+    map
+}
+
+/// Renders the per-kind profile.
+pub fn render_profile(events: &[HistoryRecord], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    for (kind, n) in kind_profile(events) {
+        let _ = writeln!(out, "{kind:<12} {n:>6}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_proto::types::Gpid;
+
+    fn ev(t: u64, pid: u32, kind: &str) -> HistoryRecord {
+        HistoryRecord {
+            at_us: t,
+            gpid: Gpid::new("h", pid),
+            kind: kind.into(),
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_is_chronological_text() {
+        let out = render(&[ev(1000, 1, "fork"), ev(2000, 1, "exit")], "log");
+        assert!(out.contains("log"));
+        assert!(out.contains("fork"));
+        assert!(out.contains("2 event(s)"));
+        let fork = out.find("fork").unwrap();
+        let exit = out.find("exit").unwrap();
+        assert!(fork < exit);
+    }
+
+    #[test]
+    fn profiles_count_correctly() {
+        let events = vec![ev(1, 1, "fork"), ev(2, 1, "exit"), ev(3, 2, "fork")];
+        let kinds = kind_profile(&events);
+        assert_eq!(kinds["fork"], 2);
+        assert_eq!(kinds["exit"], 1);
+        let procs = process_profile(&events);
+        assert_eq!(procs["<h, 1>"], 2);
+        assert_eq!(procs["<h, 2>"], 1);
+        let out = render_profile(&events, "profile");
+        assert!(out.contains("fork"));
+    }
+}

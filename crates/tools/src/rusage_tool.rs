@@ -1,0 +1,119 @@
+//! The exited-process resource-consumption statistics tool — the second
+//! of the paper's two implemented tools.
+
+use std::fmt::Write as _;
+
+use ppm_proto::types::RusageRecord;
+
+/// Aggregate over a set of exit records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RusageSummary {
+    /// Processes accounted.
+    pub count: usize,
+    /// Total CPU (µs).
+    pub total_cpu_us: u64,
+    /// Total messages.
+    pub total_msgs: u64,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Processes that ended by signal.
+    pub signalled: usize,
+}
+
+/// Computes the aggregate.
+pub fn summarize(records: &[RusageRecord]) -> RusageSummary {
+    RusageSummary {
+        count: records.len(),
+        total_cpu_us: records.iter().map(|r| r.cpu_us).sum(),
+        total_msgs: records.iter().map(|r| r.msgs).sum(),
+        total_bytes: records.iter().map(|r| r.bytes).sum(),
+        signalled: records.iter().filter(|r| r.status < 0).count(),
+    }
+}
+
+/// Renders the records as the tool's report table.
+pub fn render(records: &[RusageRecord], title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<22} {:<12} {:>10} {:>8} {:>8} {:>6} {:>6}  status",
+        "process", "command", "cpu(ms)", "msgs", "bytes", "files", "forks"
+    );
+    for r in records {
+        let status = if r.status <= -1000 {
+            format!("signal {}", -r.status - 1000)
+        } else {
+            format!("exit {}", r.status)
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:<12} {:>10.1} {:>8} {:>8} {:>6} {:>6}  {status}",
+            r.gpid.to_string(),
+            r.command,
+            r.cpu_us as f64 / 1000.0,
+            r.msgs,
+            r.bytes,
+            r.files,
+            r.forks,
+        );
+    }
+    let s = summarize(records);
+    let _ = writeln!(
+        out,
+        "total: {} process(es), {:.1} ms cpu, {} msgs, {} bytes, {} killed by signal",
+        s.count,
+        s.total_cpu_us as f64 / 1000.0,
+        s.total_msgs,
+        s.total_bytes,
+        s.signalled
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_proto::types::Gpid;
+
+    fn rec(pid: u32, cpu: u64, status: i32) -> RusageRecord {
+        RusageRecord {
+            gpid: Gpid::new("h", pid),
+            command: "c".into(),
+            exited_us: 0,
+            status,
+            cpu_us: cpu,
+            msgs: 2,
+            bytes: 100,
+            files: 1,
+            forks: 0,
+        }
+    }
+
+    #[test]
+    fn summary_totals() {
+        let s = summarize(&[rec(1, 1000, 0), rec(2, 2000, -1009)]);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_cpu_us, 3000);
+        assert_eq!(s.total_msgs, 4);
+        assert_eq!(s.total_bytes, 200);
+        assert_eq!(s.signalled, 1);
+    }
+
+    #[test]
+    fn render_formats_signals_and_exits() {
+        let out = render(&[rec(1, 1500, 0), rec(2, 0, -1009)], "stats");
+        assert!(out.contains("stats"));
+        assert!(out.contains("exit 0"));
+        assert!(out.contains("signal 9"));
+        assert!(out.contains("<h, 1>"));
+        assert!(out.contains("2 process(es)"));
+        assert!(out.contains("1 killed by signal"));
+    }
+
+    #[test]
+    fn empty_render() {
+        let out = render(&[], "none");
+        assert!(out.contains("0 process(es)"));
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the snapshot forest assembly: every record appears
+//! exactly once across the walks of all roots (no loss, no duplication,
+//! no infinite walks), for arbitrary — even inconsistent — inputs.
+
+use proptest::prelude::*;
+
+use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
+use ppm_tools::forest::Forest;
+
+fn arb_records() -> impl Strategy<Value = Vec<ProcRecord>> {
+    // Hosts and pids from tiny ranges to force collisions, self-references
+    // and dangling parents.
+    prop::collection::vec(
+        (
+            0u8..3,                               // host
+            1u32..12,                             // pid
+            0u32..12,                             // ppid
+            prop::option::of((0u8..3, 1u32..12)), // logical parent
+            prop::bool::ANY,                      // dead?
+        ),
+        0..25,
+    )
+    .prop_map(|rows| {
+        let mut seen = std::collections::BTreeSet::new();
+        rows.into_iter()
+            .filter_map(|(h, pid, ppid, lp, dead)| {
+                let gpid = Gpid::new(format!("h{h}"), pid);
+                // Snapshot slices never repeat a gpid.
+                if !seen.insert(gpid.clone()) {
+                    return None;
+                }
+                Some(ProcRecord {
+                    gpid,
+                    ppid,
+                    logical_parent: lp.map(|(lh, lpid)| Gpid::new(format!("h{lh}"), lpid)),
+                    command: format!("c{pid}"),
+                    state: if dead {
+                        WireProcState::Dead
+                    } else {
+                        WireProcState::Running
+                    },
+                    started_us: 0,
+                    cpu_us: 0,
+                    adopted: true,
+                })
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Walking all roots visits every node at most once in total, and
+    /// (for acyclic inputs) exactly once.
+    #[test]
+    fn forest_partitions_records(records in arb_records()) {
+        let n = records.len();
+        let forest = Forest::build(records);
+        prop_assert_eq!(forest.len(), n);
+
+        let mut visited = std::collections::BTreeSet::new();
+        for root in forest.roots() {
+            for (_, node) in forest.walk(root) {
+                // No duplicates across trees.
+                prop_assert!(
+                    visited.insert(node.record.gpid.clone()),
+                    "node {} visited twice",
+                    node.record.gpid
+                );
+            }
+        }
+        // Every visited node exists; visited ⊆ records. (Cycles formed by
+        // mutually-referencing logical parents are unreachable from roots
+        // and are legitimately not displayed.)
+        prop_assert!(visited.len() <= n);
+        // Roots themselves are always visited.
+        for root in forest.roots() {
+            prop_assert!(visited.contains(root));
+        }
+    }
+
+    /// Every node is either a root or the child of exactly one parent.
+    #[test]
+    fn forest_in_degree_is_at_most_one(records in arb_records()) {
+        let forest = Forest::build(records);
+        let mut in_degree: std::collections::BTreeMap<Gpid, usize> = Default::default();
+        let all: Vec<Gpid> = forest.roots().to_vec();
+        let mut stack = all;
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(g) = stack.pop() {
+            if !seen.insert(g.clone()) {
+                continue;
+            }
+            if let Some(node) = forest.get(&g) {
+                for c in &node.children {
+                    *in_degree.entry(c.clone()).or_insert(0) += 1;
+                    stack.push(c.clone());
+                }
+            }
+        }
+        for (g, d) in in_degree {
+            prop_assert!(d <= 1, "{g} has in-degree {d}");
+            prop_assert!(!forest.roots().contains(&g), "{g} is both root and child");
+        }
+    }
+}

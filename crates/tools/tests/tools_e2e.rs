@@ -1,0 +1,97 @@
+//! End-to-end exercises of the tool layer against a live simulated PPM:
+//! the SnapshotTool's four control verbs, the computation locator under
+//! churn, and dashboard/IPC reports on real data.
+
+use ppm_core::config::PpmConfig;
+use ppm_core::harness::PpmHarness;
+use ppm_proto::msg::ControlAction;
+use ppm_proto::types::WireProcState;
+use ppm_simnet::time::SimDuration;
+use ppm_simnet::topology::CpuClass;
+use ppm_simos::ids::{Pid, Uid};
+use ppm_tools::{computation, display, SnapshotTool};
+
+const USER: Uid = Uid(100);
+
+fn harness() -> PpmHarness {
+    PpmHarness::builder()
+        .host("a", CpuClass::Vax780)
+        .host("b", CpuClass::Vax750)
+        .link("a", "b")
+        .user(USER, 0x70015, &["a"], PpmConfig::default())
+        .build()
+}
+
+#[test]
+fn snapshot_tool_verbs_drive_remote_processes() {
+    let mut ppm = harness();
+    let g = ppm.spawn_remote("a", USER, "b", "victim", None, None).unwrap();
+    let b = ppm.host("b").unwrap();
+    let pid = Pid(g.pid);
+    let state = |ppm: &PpmHarness| ppm.world().core().kernel(b).get(pid).unwrap().state;
+
+    let mut tool = SnapshotTool::new(&mut ppm, "a", USER);
+    // show/stop/fg/bg/kill — the paper's built-in verbs, end to end.
+    let art = tool.show("*").unwrap();
+    assert!(art.contains("victim"));
+
+    tool.stop(&g).unwrap();
+    let art = tool.show("b").unwrap();
+    assert!(art.contains("[stopped]"), "{art}");
+
+    tool.foreground(&g).unwrap();
+    let art = tool.show("b").unwrap();
+    assert!(!art.contains("[stopped]"), "{art}");
+
+    tool.background(&g).unwrap();
+    tool.kill(&g).unwrap();
+    let art = tool.show("b").unwrap();
+    assert!(art.contains("[exited]"), "{art}");
+
+    drop(tool);
+    ppm.run_for(SimDuration::from_millis(200));
+    assert!(!state(&ppm).is_alive());
+}
+
+#[test]
+fn computation_locate_tracks_membership_changes() {
+    let mut ppm = harness();
+    let root = ppm.spawn_remote("a", USER, "a", "root", None, None).unwrap();
+    let w1 = ppm
+        .spawn_remote("a", USER, "b", "w1", Some(root.clone()), None)
+        .unwrap();
+    let w2 = ppm
+        .spawn_remote("a", USER, "b", "w2", Some(root.clone()), None)
+        .unwrap();
+
+    let sites = computation::locate(&mut ppm, "a", USER, &root).unwrap();
+    assert_eq!(sites.members.len(), 3);
+
+    // Kill one member: the located set shrinks accordingly.
+    ppm.control("a", USER, &w1, ControlAction::Kill).unwrap();
+    ppm.run_for(SimDuration::from_secs(1));
+    let sites = computation::locate(&mut ppm, "a", USER, &root).unwrap();
+    assert_eq!(sites.members.len(), 2);
+    assert!(sites.members.contains(&w2));
+    assert!(!sites.members.contains(&w1));
+
+    // The dead member is still *displayed* in the raw snapshot, marked
+    // exited — locate() only returns live members.
+    let procs = ppm.snapshot("a", USER, "*").unwrap();
+    let dead = procs.iter().find(|p| p.gpid == w1).expect("retained");
+    assert_eq!(dead.state, WireProcState::Dead);
+}
+
+#[test]
+fn dashboard_reflects_load_and_management_counts() {
+    let mut ppm = harness();
+    for i in 0..3 {
+        ppm.spawn_remote("a", USER, "b", &format!("job{i}"), None, None).unwrap();
+    }
+    let rows = display::gather_status(&mut ppm, "a", USER).unwrap();
+    let b_row = rows.iter().find(|r| r.host == "b").unwrap();
+    assert_eq!(b_row.managed, 3, "all three jobs managed on b");
+    assert!(b_row.reachable);
+    let a_row = rows.iter().find(|r| r.host == "a").unwrap();
+    assert!(a_row.siblings.contains(&"b".to_string()));
+}

@@ -1,0 +1,84 @@
+//! A distributed build pipeline under PPM administration.
+//!
+//! The paper's motivation: "users to program and run multiple-process
+//! applications that execute concurrently on several machines". This
+//! example plays a make-style coordinator that fans compile jobs out to
+//! every machine on the network, watches them through the PPM's history
+//! stream, and collects resource statistics when they finish.
+//!
+//! Run with: `cargo run --example distributed_pipeline`
+
+use ppm::core::config::PpmConfig;
+use ppm::core::harness::PpmHarness;
+use ppm::simnet::time::{SimDuration, SimTime};
+use ppm::simnet::topology::CpuClass;
+use ppm::simos::ids::Uid;
+use ppm::tools::{history_tool, rusage_tool, snapshot};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let user = Uid(100);
+    let hosts = ["calder", "ucbarpa", "kim", "dali", "matisse"];
+    let mut builder = PpmHarness::builder()
+        .host("calder", CpuClass::Vax780)
+        .host("ucbarpa", CpuClass::Vax750)
+        .host("kim", CpuClass::Sun2)
+        .host("dali", CpuClass::Vax750)
+        .host("matisse", CpuClass::Sun2)
+        .user(user, 0xC0FFEE, &["calder", "ucbarpa"], PpmConfig::default());
+    // A star LAN around calder plus one backbone link.
+    for h in &hosts[1..] {
+        builder = builder.link("calder", *h);
+    }
+    builder = builder.link("ucbarpa", "kim");
+    let mut ppm = builder.build();
+
+    // The coordinator process.
+    let coordinator = ppm.spawn_remote("calder", user, "calder", "dmake", None, None)?;
+    println!("coordinator {coordinator} started");
+
+    // Fan out one compile job per host, all logical children of the
+    // coordinator; each runs for a few simulated seconds.
+    let mut jobs = Vec::new();
+    for (i, host) in hosts.iter().enumerate() {
+        let lifetime = SimDuration::from_secs(3 + i as u64);
+        let job = ppm.spawn_remote(
+            "calder",
+            user,
+            host,
+            &format!("cc-unit{i}"),
+            Some(coordinator.clone()),
+            Some(lifetime),
+        )?;
+        println!("  dispatched {job} to {host} (lifetime {lifetime})");
+        jobs.push(job);
+    }
+
+    // Mid-build snapshot: the whole pipeline as one genealogical tree.
+    let procs = ppm.snapshot("calder", user, "*")?;
+    println!("\n{}", snapshot::render(procs, "pipeline in flight"));
+
+    // Let the build finish.
+    ppm.run_for(SimDuration::from_secs(12));
+
+    // Post-mortem: merged history of the whole computation...
+    let events = ppm.history("calder", user, "*", SimTime::ZERO, 500)?;
+    println!(
+        "{}",
+        history_tool::render_profile(&events, "event profile across all hosts")
+    );
+
+    // ...and per-host exit statistics gathered through the PPM.
+    let mut all = Vec::new();
+    for host in &hosts {
+        all.extend(ppm.rusage("calder", user, host, None)?);
+    }
+    println!("{}", rusage_tool::render(&all, "compile job statistics"));
+
+    let done = all.len();
+    assert_eq!(done, jobs.len(), "every compile job reported its exit");
+    println!(
+        "pipeline complete: {done}/{} jobs accounted for",
+        jobs.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Quickstart: bring up a three-host network, run a distributed
+//! computation under the PPM, and exercise tracking and control across
+//! machine boundaries.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ppm::core::config::PpmConfig;
+use ppm::core::harness::PpmHarness;
+use ppm::proto::msg::ControlAction;
+use ppm::proto::types::Gpid;
+use ppm::simnet::time::SimDuration;
+use ppm::simnet::topology::CpuClass;
+use ppm::simos::ids::Uid;
+use ppm::tools::snapshot::render;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let user = Uid(100);
+
+    // The paper's testbed flavour: two VAXen and a SUN on a LAN.
+    let mut ppm = PpmHarness::builder()
+        .host("calder", CpuClass::Vax780)
+        .host("ucbarpa", CpuClass::Vax750)
+        .host("kim", CpuClass::Sun2)
+        .link("calder", "ucbarpa")
+        .link("ucbarpa", "kim")
+        .user(user, 0xBEEF, &["calder", "ucbarpa"], PpmConfig::default())
+        .build();
+
+    // A logical root on calder with one remote child per other host.
+    // The first contact creates the whole management fabric on demand:
+    // inetd -> pmd -> LPM on every involved host (Figure 2).
+    let root = ppm.spawn_remote("calder", user, "calder", "simulate", None, None)?;
+    println!("created logical root {root}");
+    let child_a = ppm.spawn_remote(
+        "calder",
+        user,
+        "ucbarpa",
+        "worker-a",
+        Some(root.clone()),
+        None,
+    )?;
+    let child_b = ppm.spawn_remote("calder", user, "kim", "worker-b", Some(root.clone()), None)?;
+    println!("created remote children {child_a} and {child_b}");
+
+    // A distributed snapshot: one broadcast over the sibling graph.
+    let procs = ppm.snapshot("calder", user, "*")?;
+    println!("\n{}", render(procs, "snapshot after creation"));
+
+    // Control across machine boundaries: stop the kim worker (two
+    // physical hops away), check, continue it, then kill it.
+    ppm.control("calder", user, &child_b, ControlAction::Stop)?;
+    let procs = ppm.snapshot("calder", user, "*")?;
+    println!("{}", render(procs, "after stopping worker-b"));
+
+    ppm.control("calder", user, &child_b, ControlAction::Background)?;
+    ppm.control("calder", user, &child_b, ControlAction::Kill)?;
+    ppm.run_for(SimDuration::from_secs(1));
+    let procs = ppm.snapshot("calder", user, "*")?;
+    println!(
+        "{}",
+        render(procs, "after killing worker-b (exit info retained)")
+    );
+
+    // Exited-process statistics, the paper's second tool.
+    let records = ppm.rusage("calder", user, "kim", None)?;
+    println!(
+        "{}",
+        ppm::tools::rusage_tool::render(&records, "exited processes on kim")
+    );
+
+    let _ = Gpid::new("calder", 1); // (typed identities used throughout)
+    println!("simulated time elapsed: {}", ppm.now());
+    Ok(())
+}

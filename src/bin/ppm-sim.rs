@@ -1,0 +1,41 @@
+//! `ppm-sim` — run a PPM scenario file against the simulated network.
+//!
+//! ```console
+//! $ cargo run --bin ppm-sim -- scenarios/demo.ppm
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: ppm-sim <scenario-file>");
+        eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ppm-sim: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = match ppm::scenario::parse(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ppm-sim: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = String::new();
+    match ppm::scenario::execute(&scenario, &mut out) {
+        Ok(_) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            print!("{out}");
+            eprintln!("ppm-sim: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

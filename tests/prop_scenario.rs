@@ -1,0 +1,38 @@
+//! Property test: the scenario parser never panics and either yields a
+//! well-formed scenario or a line-numbered error, on arbitrary input.
+
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn parser_total_on_arbitrary_text(text in "[ -~\n]{0,500}") {
+        match ppm::scenario::parse(&text) {
+            Ok(sc) => {
+                prop_assert!(!sc.hosts.is_empty());
+                prop_assert!(!sc.users.is_empty());
+            }
+            Err(e) => {
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn parser_total_on_keyword_soup(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("host".to_string()), Just("link".to_string()),
+                Just("user".to_string()), Just("at".to_string()),
+                Just("run".to_string()), Just("spawn".to_string()),
+                Just("crash".to_string()), Just("1s".to_string()),
+                Just("a".to_string()), Just("100".to_string()),
+                Just("secret=1".to_string()), Just("$x".to_string()),
+                Just("\n".to_string()),
+            ],
+            0..60,
+        )
+    ) {
+        let text = words.join(" ");
+        let _ = ppm::scenario::parse(&text);
+    }
+}

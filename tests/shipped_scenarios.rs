@@ -1,0 +1,45 @@
+//! The scenario files shipped in `scenarios/` must always parse and
+//! execute — they are the first thing a new user runs.
+
+#[test]
+fn demo_scenario_parses_and_executes() {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/demo.ppm"))
+        .expect("scenarios/demo.ppm exists");
+    let sc = ppm::scenario::parse(&text).expect("demo parses");
+    assert!(sc.hosts.len() >= 3);
+    let mut out = String::new();
+    ppm::scenario::execute(&sc, &mut out).expect("demo executes");
+    assert!(out.contains("snapshot of *"), "{out}");
+    assert!(out.contains("killed"), "{out}");
+    assert!(out.contains("scenario complete"));
+}
+
+#[test]
+fn nameserver_scenario_parses_and_executes() {
+    let text =
+        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/nameserver.ppm"))
+            .expect("scenarios/nameserver.ppm exists");
+    let sc = ppm::scenario::parse(&text).expect("nameserver parses");
+    let mut out = String::new();
+    ppm::scenario::execute(&sc, &mut out).expect("nameserver executes");
+    // The crash of the assigned CCS is visible in the final dashboard:
+    // east is unreachable, the survivors carry on.
+    assert!(out.contains("(unreachable)"), "{out}");
+    assert!(out.contains("tester"), "{out}");
+}
+
+#[test]
+fn every_shipped_scenario_parses() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("scenarios dir") {
+        let path = entry.expect("entry").path();
+        if path.extension().and_then(|e| e.to_str()) == Some("ppm") {
+            let text = std::fs::read_to_string(&path).expect("readable");
+            ppm::scenario::parse(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+            seen += 1;
+        }
+    }
+    assert!(seen >= 2, "shipped scenarios present");
+}
