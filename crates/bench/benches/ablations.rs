@@ -56,12 +56,10 @@ fn main() {
         ("60 s (default)  ", SimDuration::from_secs(60)),
         ("60 ms (too short)", SimDuration::from_millis(60)),
     ] {
-        // Seed chosen so the duplicate spread straddles the short window
-        // (the effect depends on wave timing; see the ablate unit tests).
         let w = ablate::bcast_window(window, 8);
         println!(
-            "  window {label}: wave processings = {} (ideal {}), duplicates suppressed = {}",
-            w.processings, w.remote_hosts, w.suppressed
+            "  window {label}: wave processings = {} (ideal {}), duplicates suppressed = {}, stamps forgotten after settle = {}",
+            w.processings, w.remote_hosts, w.suppressed, w.stamps_purged
         );
     }
 

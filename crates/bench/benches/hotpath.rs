@@ -1,0 +1,44 @@
+//! Hot-path microbenchmarks: optimised implementations vs bench-local
+//! seed copies (see `ppm_bench::hotpath`).
+//!
+//! Run with `cargo bench -p ppm-bench --bench hotpath`; pass `--test`
+//! for a single-iteration smoke run (CI does this).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use ppm_bench::hotpath;
+
+const ENGINE_STEPS: usize = 4_000;
+const FANOUT: usize = 32;
+const PROCS: usize = 1_000;
+
+fn engine(c: &mut Criterion) {
+    c.bench_function("engine_hotpath", |b| {
+        b.iter(|| hotpath::engine_new(black_box(ENGINE_STEPS)))
+    });
+    c.bench_function("seed_engine_hotpath", |b| {
+        b.iter(|| hotpath::engine_seed(black_box(ENGINE_STEPS)))
+    });
+}
+
+fn codec(c: &mut Criterion) {
+    let msgs = hotpath::fanout_msgs(FANOUT);
+    c.bench_function("codec_roundtrip", |b| {
+        b.iter(|| hotpath::codec_new(black_box(&msgs)))
+    });
+    c.bench_function("seed_codec_roundtrip", |b| {
+        b.iter(|| hotpath::codec_seed(black_box(&msgs)))
+    });
+}
+
+fn genealogy(c: &mut Criterion) {
+    c.bench_function("genealogy_scale", |b| {
+        b.iter(|| hotpath::genealogy_new(black_box(PROCS)))
+    });
+    c.bench_function("seed_genealogy_scale", |b| {
+        b.iter(|| hotpath::genealogy_seed(black_box(PROCS)))
+    });
+}
+
+criterion_group!(benches, engine, codec, genealogy);
+criterion_main!(benches);

@@ -216,20 +216,27 @@ pub fn pmd_stable(stable_storage: bool, seed: u64) -> PmdStable {
 /// Broadcast retention-window ablation result.
 #[derive(Debug, Clone, Copy)]
 pub struct BcastWindow {
-    /// Duplicates suppressed by the stamp window (cheap: one `BcastDone`).
+    /// Duplicates suppressed (cheap: one `BcastDone`). While a wave is in
+    /// progress its `bcasts` entry suppresses copies regardless of the
+    /// window — the echo wave cannot complete at a host before that host's
+    /// duplicates have arrived — so this count is window-independent.
     pub suppressed: usize,
-    /// Full wave processings (gather + respond + forward). With a healthy
-    /// window each host processes once; a too-short window lets stale
-    /// stamps be reprocessed after their wave completed.
+    /// Full wave processings (gather + respond + forward); ideally one per
+    /// remote host.
     pub processings: usize,
     /// Hosts other than the originator (the ideal processing count).
     pub remote_hosts: usize,
+    /// Stamps forgotten after the wave settled. This is what the window
+    /// actually controls: a healthy window keeps completed-wave stamps
+    /// remembered (replays stay suppressed), a too-short window purges
+    /// them, reopening the door to reprocessing stale requests.
+    pub stamps_purged: usize,
 }
 
 /// A four-host full sibling mesh: every broadcast reaches each non-origin
-/// host several times. A healthy window suppresses the extra copies; a
-/// window shorter than the duplicate spread lets stale stamps be
-/// reprocessed once their original wave has completed.
+/// host several times. In-flight duplicates are suppressed by the active
+/// wave state; the retention window determines whether the stamps are still
+/// recognized after the wave completes.
 pub fn bcast_window(window: SimDuration, seed: u64) -> BcastWindow {
     let cfg = PpmConfig {
         bcast_window: window,
@@ -275,6 +282,9 @@ pub fn bcast_window(window: SimDuration, seed: u64) -> BcastWindow {
         )
         .expect("tool");
     assert!(outcome.error.is_none());
+    // Settle long enough for a too-short window to purge the wave's stamps
+    // but well inside the healthy (60 s) retention.
+    ppm.run_for(SimDuration::from_secs(5));
     let entries = &ppm.world().core().trace().entries()[mark..];
     let suppressed = entries
         .iter()
@@ -284,10 +294,16 @@ pub fn bcast_window(window: SimDuration, seed: u64) -> BcastWindow {
         .iter()
         .filter(|e| e.text.starts_with("receive "))
         .count();
+    let stamps_purged = entries
+        .iter()
+        .filter_map(|e| e.text.strip_prefix("stamp window purge "))
+        .filter_map(|n| n.parse::<usize>().ok())
+        .sum();
     BcastWindow {
         suppressed,
         processings,
         remote_hosts: hosts.len() - 1,
+        stamps_purged,
     }
 }
 
@@ -472,7 +488,7 @@ mod tests {
     }
 
     #[test]
-    fn healthy_window_suppresses_duplicates() {
+    fn healthy_window_retains_stamps() {
         let healthy = bcast_window(SimDuration::from_secs(60), 8);
         assert!(
             healthy.suppressed >= 1,
@@ -482,10 +498,18 @@ mod tests {
             healthy.processings, healthy.remote_hosts,
             "each host processes the wave exactly once: {healthy:?}"
         );
+        assert_eq!(
+            healthy.stamps_purged, 0,
+            "a healthy window outlives the run: {healthy:?}"
+        );
         let short = bcast_window(SimDuration::from_millis(60), 8);
+        assert_eq!(
+            short.processings, short.remote_hosts,
+            "in-flight duplicates are suppressed by the active wave: {short:?}"
+        );
         assert!(
-            short.processings > short.remote_hosts,
-            "a too-short window reprocesses stale stamps: {short:?}"
+            short.stamps_purged > 0,
+            "a too-short window forgets completed-wave stamps: {short:?}"
         );
     }
 

@@ -1,0 +1,103 @@
+//! Emits `BENCH_PR1.json`: median ns/op for each optimised hot path and
+//! its bench-local seed copy, measured in the same process and run.
+//!
+//! Usage: `cargo run --release -p ppm-bench --bin emit_bench`
+//! (from the repository root; the file is written to the working
+//! directory).
+
+use std::time::Instant;
+
+use ppm_bench::hotpath;
+
+/// Samples per benchmark; the median is reported.
+const SAMPLES: usize = 15;
+
+/// Runs `work` until it has consumed roughly this much wall time per
+/// sample, so fast workloads are timed over many iterations.
+const TARGET_SAMPLE_MS: u128 = 25;
+
+/// Median ns per call of `work`, over [`SAMPLES`] samples.
+fn median_ns(work: &mut dyn FnMut() -> u64) -> f64 {
+    // Calibrate: how many calls fill one sample?
+    let mut sink = 0u64;
+    let start = Instant::now();
+    let mut calls = 0u64;
+    while start.elapsed().as_millis() < TARGET_SAMPLE_MS / 5 {
+        sink = sink.wrapping_add(work());
+        calls += 1;
+    }
+    let per_sample = calls.max(1) * 5;
+
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                sink = sink.wrapping_add(work());
+            }
+            t.elapsed().as_nanos() as f64 / per_sample as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    std::hint::black_box(sink);
+    samples[samples.len() / 2]
+}
+
+struct Pair {
+    name: &'static str,
+    new_ns: f64,
+    seed_ns: f64,
+}
+
+impl Pair {
+    fn improvement_pct(&self) -> f64 {
+        (self.seed_ns - self.new_ns) / self.seed_ns * 100.0
+    }
+}
+
+fn main() {
+    let msgs = hotpath::fanout_msgs(32);
+    let pairs = [
+        Pair {
+            name: "engine_hotpath",
+            new_ns: median_ns(&mut || hotpath::engine_new(4_000)),
+            seed_ns: median_ns(&mut || hotpath::engine_seed(4_000)),
+        },
+        Pair {
+            name: "codec_roundtrip",
+            new_ns: median_ns(&mut || hotpath::codec_new(&msgs)),
+            seed_ns: median_ns(&mut || hotpath::codec_seed(&msgs)),
+        },
+        Pair {
+            name: "genealogy_scale",
+            new_ns: median_ns(&mut || hotpath::genealogy_new(1_000)),
+            seed_ns: median_ns(&mut || hotpath::genealogy_seed(1_000)),
+        },
+    ];
+
+    let mut json = String::from("{\n  \"benches\": {\n");
+    for (i, p) in pairs.iter().enumerate() {
+        let comma = if i + 1 < pairs.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    \"{}\": {{ \"new_median_ns\": {:.0}, \"seed_median_ns\": {:.0}, \
+             \"improvement_pct\": {:.1} }}{}\n",
+            p.name,
+            p.new_ns,
+            p.seed_ns,
+            p.improvement_pct(),
+            comma,
+        ));
+        println!(
+            "{:22} new {:>12.0} ns  seed {:>12.0} ns  ({:+.1}%)",
+            p.name,
+            p.new_ns,
+            p.seed_ns,
+            p.improvement_pct(),
+        );
+    }
+    json.push_str("  },\n  \"samples\": ");
+    json.push_str(&SAMPLES.to_string());
+    json.push_str(",\n  \"note\": \"median ns per workload call; seed_* are bench-local copies of the pre-PR implementations, measured in the same run\"\n}\n");
+
+    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
+    println!("wrote BENCH_PR1.json");
+}

@@ -7,6 +7,7 @@
 //! * [`table3`] — snapshot gathering over the four Figure 5 topologies;
 //! * [`figures`] — textual regenerations of Figures 1–5;
 //! * [`ablate`] — ablations of the design choices DESIGN.md calls out;
+//! * [`hotpath`] — paired new-vs-seed workloads for the optimised hot paths;
 //! * [`scale`] — the tens-of-nodes stress test the paper deferred.
 //!
 //! Every measurement is *simulated* milliseconds from the calibrated
@@ -14,6 +15,7 @@
 
 pub mod ablate;
 pub mod figures;
+pub mod hotpath;
 pub mod scale;
 pub mod table1;
 pub mod table2;

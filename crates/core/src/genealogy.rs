@@ -9,9 +9,8 @@
 //! there are children alive, and for the display of a genealogical
 //! distributed computation snapshot we mark the process as exited."
 
-use std::collections::HashMap;
-
 use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
+use ppm_simnet::hashx::{FastMap, FastSet};
 
 /// One tracked process.
 #[derive(Debug, Clone)]
@@ -39,10 +38,18 @@ pub struct Node {
 }
 
 /// The per-host genealogy store.
+///
+/// Lookup structure: a [`FastMap`] of nodes plus a maintained count of
+/// live (non-[`Dead`](WireProcState::Dead)) nodes, adjusted on every
+/// state transition so [`Genealogy::live_count`] is O(1) — it is polled
+/// on the snapshot and status paths for every request.
 #[derive(Debug, Clone, Default)]
 pub struct Genealogy {
     host: String,
-    nodes: HashMap<u32, Node>,
+    nodes: FastMap<u32, Node>,
+    /// Count of nodes whose `state != Dead`; kept in lockstep with every
+    /// mutation below.
+    live: usize,
 }
 
 impl Genealogy {
@@ -50,7 +57,8 @@ impl Genealogy {
     pub fn new(host: impl Into<String>) -> Self {
         Genealogy {
             host: host.into(),
-            nodes: HashMap::new(),
+            nodes: FastMap::default(),
+            live: 0,
         }
     }
 
@@ -64,12 +72,10 @@ impl Genealogy {
         self.nodes.is_empty()
     }
 
-    /// Number of live tracked processes.
+    /// Number of live tracked processes. O(1): maintained on every
+    /// state transition rather than scanned.
     pub fn live_count(&self) -> usize {
-        self.nodes
-            .values()
-            .filter(|n| n.state != WireProcState::Dead)
-            .count()
+        self.live
     }
 
     /// Begins tracking a process.
@@ -94,7 +100,14 @@ impl Genealogy {
             children: Vec::new(),
             dead_at: None,
         };
-        self.nodes.insert(pid, node);
+        // A recycled pid may overwrite a retained-dead node; only the
+        // replaced node's liveness (if any) leaves the count.
+        if let Some(old) = self.nodes.insert(pid, node) {
+            if old.state != WireProcState::Dead {
+                self.live -= 1;
+            }
+        }
+        self.live += 1;
         // Never self-link: a pid can equal its recorded ppid when a pid
         // value is recycled after pruning; linking it to itself would put
         // a cycle in the tree.
@@ -120,6 +133,11 @@ impl Genealogy {
     /// Updates a node's state; no-op for untracked pids.
     pub fn set_state(&mut self, pid: u32, state: WireProcState) {
         if let Some(n) = self.nodes.get_mut(&pid) {
+            match (n.state == WireProcState::Dead, state == WireProcState::Dead) {
+                (false, true) => self.live -= 1,
+                (true, false) => self.live += 1,
+                _ => {}
+            }
             n.state = state;
         }
     }
@@ -128,6 +146,9 @@ impl Genealogy {
     pub fn set_exec(&mut self, pid: u32, command: impl Into<String>) {
         if let Some(n) = self.nodes.get_mut(&pid) {
             n.command = command.into();
+            if n.state == WireProcState::Dead {
+                self.live += 1;
+            }
             n.state = WireProcState::Running;
         }
     }
@@ -143,6 +164,9 @@ impl Genealogy {
     /// see [`Genealogy::prune`]).
     pub fn mark_dead_at(&mut self, pid: u32, cpu_us: u64, now_us: u64) {
         if let Some(n) = self.nodes.get_mut(&pid) {
+            if n.state != WireProcState::Dead {
+                self.live -= 1;
+            }
             n.state = WireProcState::Dead;
             n.cpu_us = cpu_us;
             n.dead_at = Some(now_us);
@@ -160,43 +184,47 @@ impl Genealogy {
     /// node with living children is retained regardless of age, so
     /// snapshots can mark it exited.
     ///
+    /// True when `n` is dead, past retention, and has no tracked children.
+    fn prunable(&self, n: &Node, now_us: u64, retention_us: u64) -> bool {
+        n.state == WireProcState::Dead
+            && n.dead_at
+                .is_some_and(|d| now_us.saturating_sub(d) >= retention_us)
+            && n.children.iter().all(|c| !self.nodes.contains_key(c))
+    }
+
     /// Returns how many nodes were pruned.
     pub fn prune_older_than(&mut self, now_us: u64, retention_us: u64) -> usize {
-        // Iterate to a fixed point: removing a dead leaf may make its dead
-        // parent prunable.
+        // Cascade worklist: seed with every currently-prunable leaf, and
+        // each time a node is removed, unlink it from its parent's
+        // children list and re-test the parent — removing a dead leaf may
+        // make its dead parent prunable. One pass over the map plus
+        // O(log-ish) per removal, versus re-scanning every node (and
+        // rebuilding every children list) per fixed-point round.
         let mut pruned = 0;
-        loop {
-            let mut victims: Vec<u32> = self
-                .nodes
-                .values()
-                .filter(|n| {
-                    n.state == WireProcState::Dead
-                        && n.dead_at
-                            .is_some_and(|d| now_us.saturating_sub(d) >= retention_us)
-                        && n.children.iter().all(|c| !self.nodes.contains_key(c))
-                })
-                .map(|n| n.pid)
-                .collect();
-            if victims.is_empty() {
-                return pruned;
-            }
-            victims.sort_unstable();
-            for pid in victims {
-                self.nodes.remove(&pid);
-                pruned += 1;
-            }
-            // Unlink removed children from surviving parents' lists.
-            let existing: Vec<u32> = self.nodes.keys().copied().collect();
-            for pid in existing {
-                let children: Vec<u32> = self.nodes[&pid]
-                    .children
-                    .iter()
-                    .copied()
-                    .filter(|c| self.nodes.contains_key(c))
-                    .collect();
-                self.nodes.get_mut(&pid).expect("exists").children = children;
+        let mut work: Vec<u32> = self
+            .nodes
+            .values()
+            .filter(|n| self.prunable(n, now_us, retention_us))
+            .map(|n| n.pid)
+            .collect();
+        while let Some(pid) = work.pop() {
+            // A parent can be queued once per pruned child; the first
+            // removal wins and later pops find nothing.
+            let Some(node) = self.nodes.remove(&pid) else {
+                continue;
+            };
+            pruned += 1;
+            if node.ppid != pid {
+                if let Some(parent) = self.nodes.get_mut(&node.ppid) {
+                    parent.children.retain(|c| *c != pid);
+                    let parent = &self.nodes[&node.ppid];
+                    if self.prunable(parent, now_us, retention_us) {
+                        work.push(node.ppid);
+                    }
+                }
             }
         }
+        pruned
     }
 
     /// Immediate prune (no retention) — used by tests.
@@ -207,11 +235,11 @@ impl Genealogy {
     /// The snapshot slice this LPM reports: every tracked process as a
     /// [`ProcRecord`], in pid order.
     pub fn snapshot(&self) -> Vec<ProcRecord> {
-        let mut pids: Vec<u32> = self.nodes.keys().copied().collect();
-        pids.sort_unstable();
-        pids.into_iter()
-            .map(|pid| {
-                let n = &self.nodes[&pid];
+        let mut entries: Vec<&Node> = self.nodes.values().collect();
+        entries.sort_unstable_by_key(|n| n.pid);
+        entries
+            .into_iter()
+            .map(|n| {
                 ProcRecord {
                     gpid: Gpid::new(self.host.clone(), n.pid),
                     ppid: n.ppid,
@@ -228,19 +256,22 @@ impl Genealogy {
 
     /// Local descendants of `pid` (not including `pid`), pid order.
     pub fn descendants(&self, pid: u32) -> Vec<u32> {
-        let mut seen = std::collections::BTreeSet::new();
+        let mut seen: FastSet<u32> = FastSet::default();
+        let mut out: Vec<u32> = Vec::new();
         let mut stack = vec![pid];
         while let Some(p) = stack.pop() {
             if let Some(n) = self.nodes.get(&p) {
                 for &c in &n.children {
                     // `seen` guards against pid-recycling cycles.
                     if self.nodes.contains_key(&c) && c != pid && seen.insert(c) {
+                        out.push(c);
                         stack.push(c);
                     }
                 }
             }
         }
-        seen.into_iter().collect()
+        out.sort_unstable();
+        out
     }
 }
 
@@ -313,6 +344,66 @@ mod tests {
         assert_eq!(s[0].logical_parent, Some(Gpid::new("other", 7)));
         assert!(!s[0].adopted);
         assert_eq!(s[1].gpid, Gpid::new("a", 12));
+    }
+
+    #[test]
+    fn live_count_tracks_every_transition() {
+        let mut t = g();
+        let scan = |t: &Genealogy| {
+            (10..14)
+                .filter_map(|p| t.get(p))
+                .filter(|n| n.state != WireProcState::Dead)
+                .count()
+        };
+        t.track(10, 1, None, "sh", 0, true);
+        t.track(11, 10, None, "cc", 0, true);
+        t.track(12, 10, None, "as", 0, true);
+        assert_eq!(t.live_count(), 3);
+        t.mark_dead(11, 1);
+        assert_eq!(t.live_count(), scan(&t));
+        // Dead -> Running via set_state and set_exec both revive.
+        t.set_state(11, WireProcState::Running);
+        assert_eq!(t.live_count(), 3);
+        t.mark_dead(11, 1);
+        t.set_exec(11, "ld");
+        assert_eq!(t.live_count(), 3);
+        // Non-Dead transitions leave the count alone.
+        t.set_state(12, WireProcState::Stopped);
+        assert_eq!(t.live_count(), 3);
+        // Recycling a pid over a retained-dead node counts once.
+        t.mark_dead(12, 2);
+        t.track(12, 1, None, "new", 9, true);
+        assert_eq!(t.live_count(), 3);
+        assert_eq!(t.live_count(), scan(&t));
+    }
+
+    #[test]
+    fn prune_cascades_up_a_dead_chain() {
+        let mut t = g();
+        // 10 -> 11 -> ... -> 29, all dead: one prune drops the whole chain.
+        for i in 0..20u32 {
+            let pid = 10 + i;
+            let ppid = if i == 0 { 1 } else { 9 + i };
+            t.track(pid, ppid, None, "p", 0, true);
+        }
+        for pid in 10..30 {
+            t.mark_dead(pid, 0);
+        }
+        assert_eq!(t.prune(), 20);
+        assert!(t.is_empty());
+        assert_eq!(t.live_count(), 0);
+    }
+
+    #[test]
+    fn retention_window_keeps_recent_dead() {
+        let mut t = g();
+        t.track(10, 1, None, "sh", 0, true);
+        t.mark_dead_at(10, 7, 1_000);
+        // Dead only 500µs at now=1500 with 1000µs retention: kept.
+        assert_eq!(t.prune_older_than(1_500, 1_000), 0);
+        assert!(t.contains(10));
+        assert_eq!(t.prune_older_than(2_000, 1_000), 1);
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -18,6 +18,8 @@
 use bytes::Bytes;
 use ppm_proto::codec::Wire;
 use ppm_proto::msg::Msg;
+use ppm_proto::types::Route;
+use ppm_simnet::hashx::FastMap;
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::HostId;
 use ppm_simnet::trace::TraceCategory;
@@ -27,6 +29,113 @@ use ppm_simos::program::{ConnEvent, SysError};
 use ppm_simos::sys::Sys;
 
 use crate::config::PMD_SERVICE;
+
+/// A bounded next-hop cache learned from reply routes.
+///
+/// Establishing a direct sibling channel costs the full Figure 2 chain
+/// (inetd → pmd → LPM handshake); relaying through an already-connected
+/// sibling costs one message. The cache maps a destination host to the
+/// first hop of a route that reached it, keyed with the hot-path hasher —
+/// it is consulted on every remote send. First-learned routes win, and
+/// the cache stops learning at `cap` entries so a pathological topology
+/// cannot grow it without bound. Entries are only dropped wholesale via
+/// [`RouteCache::clear`], never evicted one by one, which keeps lookups
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    map: FastMap<String, String>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for RouteCache {
+    fn default() -> Self {
+        RouteCache::new(1024)
+    }
+}
+
+impl RouteCache {
+    /// Creates a cache that learns at most `cap` destinations.
+    pub fn new(cap: usize) -> Self {
+        RouteCache {
+            map: FastMap::default(),
+            cap,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the next hop toward `dest`, counting the hit or miss.
+    pub fn lookup(&mut self, dest: &str) -> Option<&str> {
+        match self.map.get(dest) {
+            Some(next) => {
+                self.hits += 1;
+                Some(next.as_str())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at the next hop toward `dest` without touching the counters.
+    pub fn get(&self, dest: &str) -> Option<&str> {
+        self.map.get(dest).map(String::as_str)
+    }
+
+    /// Whether a next hop is known for `dest`.
+    pub fn contains_key(&self, dest: &str) -> bool {
+        self.map.contains_key(dest)
+    }
+
+    /// Number of cached destinations.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been learned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (hits, misses) recorded by [`RouteCache::lookup`].
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Learns next hops from a reply's route, which must originate at
+    /// `self_host` (routes we did not source teach us nothing about our
+    /// own next hop). `route = [me, hop1, hop2, ..., responder]`; every
+    /// host past `hop1` becomes reachable via `hop1`. Direct neighbours
+    /// (`len < 3`) are never cached. First route wins.
+    pub fn learn(&mut self, route: &Route, self_host: &str) {
+        if route.origin() != Some(self_host) {
+            return;
+        }
+        let hops = &route.0;
+        if hops.len() < 3 {
+            return;
+        }
+        let next = &hops[1];
+        for dest in &hops[2..] {
+            if self.map.len() >= self.cap && !self.map.contains_key(dest) {
+                return;
+            }
+            self.map
+                .entry(dest.clone())
+                .or_insert_with(|| next.clone());
+        }
+    }
+
+    /// Forgets everything (counters included).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
 
 /// Identity material the channel presents in its `Hello`.
 #[derive(Debug, Clone)]
@@ -488,6 +597,45 @@ mod tests {
             epoch: 0,
             proof: 1,
         }
+    }
+
+    #[test]
+    fn route_cache_learns_and_counts() {
+        let mut c = RouteCache::new(8);
+        let mut route = Route::from_origin("here");
+        route.push("mid");
+        route.push("far");
+        c.learn(&route, "here");
+        assert_eq!(c.lookup("far"), Some("mid"));
+        assert_eq!(c.lookup("nowhere"), None);
+        assert_eq!(c.counters(), (1, 1));
+        // Peeking leaves the counters alone.
+        assert_eq!(c.get("far"), Some("mid"));
+        assert_eq!(c.counters(), (1, 1));
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.counters(), (0, 0));
+    }
+
+    #[test]
+    fn route_cache_caps_learning() {
+        let mut c = RouteCache::new(2);
+        for dest in ["d1", "d2", "d3"] {
+            let mut route = Route::from_origin("here");
+            route.push("mid");
+            route.push(dest);
+            c.learn(&route, "here");
+        }
+        assert_eq!(c.len(), 2, "third destination rejected at capacity");
+        assert!(c.contains_key("d1"));
+        assert!(c.contains_key("d2"));
+        assert!(!c.contains_key("d3"));
+        // Hosts already cached still refresh-no-op past the cap.
+        let mut again = Route::from_origin("here");
+        again.push("alt");
+        again.push("d1");
+        c.learn(&again, "here");
+        assert_eq!(c.get("d1"), Some("mid"), "first route wins");
     }
 
     #[test]

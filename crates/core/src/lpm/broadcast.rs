@@ -17,6 +17,7 @@
 
 use std::collections::BTreeSet;
 
+use ppm_proto::codec::Wire;
 use ppm_proto::msg::{ErrCode, Msg, Op, Reply};
 use ppm_proto::types::{Route, Stamp};
 use ppm_simnet::time::SimTime;
@@ -24,7 +25,7 @@ use ppm_simnet::trace::TraceCategory;
 use ppm_simos::ids::ConnId;
 use ppm_simos::sys::Sys;
 
-use super::{BcastState, Lpm, ReplyTo, TimerPurpose};
+use super::{BcastKey, BcastState, Lpm, ReplyTo, TimerPurpose};
 
 /// Which operations may be broadcast (`dest = "*"`).
 fn broadcastable(op: &Op) -> bool {
@@ -120,7 +121,7 @@ impl Lpm {
     fn begin_local_slice(
         &mut self,
         sys: &mut Sys<'_>,
-        key: &(String, u64),
+        key: &BcastKey,
         user: u32,
         op: Op,
         with_handler: bool,
@@ -247,7 +248,7 @@ impl Lpm {
     }
 
     /// The forward handler is ready: send the wave downstream.
-    pub(crate) fn bcast_forward_ready(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+    pub(crate) fn bcast_forward_ready(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
         let Some(b) = self.bcasts.get(key) else {
             return;
         };
@@ -261,17 +262,20 @@ impl Lpm {
             TraceCategory::Broadcast,
             format!("forward {}#{} -> {targets:?}", key.0, key.1),
         );
+        // The wave body is identical for every sibling: encode the message
+        // once and fan out cheap shared-buffer clones of the bytes.
+        let msg = Msg::Bcast {
+            stamp,
+            user,
+            op,
+            route,
+        };
+        let wire = msg.to_bytes();
         for host in targets {
             let Some(&conn) = self.siblings.get(&host) else {
                 continue;
             };
-            let msg = Msg::Bcast {
-                stamp: stamp.clone(),
-                user,
-                op: op.clone(),
-                route: route.clone(),
-            };
-            if self.send_msg(sys, conn, &msg).is_ok() {
+            if sys.send(conn, wire.clone()).is_ok() {
                 if let Some(b) = self.bcasts.get_mut(key) {
                     b.pending_children.insert(host);
                 }
@@ -287,7 +291,7 @@ impl Lpm {
     pub(crate) fn bcast_local_complete(
         &mut self,
         sys: &mut Sys<'_>,
-        key: &(String, u64),
+        key: &BcastKey,
         reply: Reply,
     ) {
         let Some(b) = self.bcasts.get_mut(key) else {
@@ -373,7 +377,7 @@ impl Lpm {
     }
 
     /// A merge (originator) or relay (intermediate) slot completed.
-    pub(crate) fn bcast_merge_slot(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+    pub(crate) fn bcast_merge_slot(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
         let Some(b) = self.bcasts.get_mut(key) else {
             return;
         };
@@ -395,7 +399,7 @@ impl Lpm {
     }
 
     /// A child subtree reported completion (or its channel broke).
-    pub(crate) fn bcast_child_done(&mut self, sys: &mut Sys<'_>, key: &(String, u64), child: &str) {
+    pub(crate) fn bcast_child_done(&mut self, sys: &mut Sys<'_>, key: &BcastKey, child: &str) {
         if let Some(b) = self.bcasts.get_mut(key) {
             b.pending_children.remove(child);
         }
@@ -403,7 +407,7 @@ impl Lpm {
     }
 
     /// The wave safety timeout fired.
-    pub(crate) fn bcast_timeout(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+    pub(crate) fn bcast_timeout(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
         let Some(b) = self.bcasts.get_mut(key) else {
             return;
         };
@@ -424,7 +428,7 @@ impl Lpm {
     }
 
     /// Checks whether this LPM's participation in the wave is complete.
-    fn maybe_complete(&mut self, sys: &mut Sys<'_>, key: &(String, u64)) {
+    fn maybe_complete(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
         let Some(b) = self.bcasts.get(key) else {
             return;
         };

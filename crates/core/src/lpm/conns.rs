@@ -13,7 +13,7 @@ use ppm_simos::sys::Sys;
 
 use crate::locator::{ChanProgress, HelloIdentity, LpmChannel};
 
-use super::{ChanPurpose, ChannelSlot, ConnRole, Lpm, TimerPurpose};
+use super::{BcastKey, ChanPurpose, ChannelSlot, ConnRole, Lpm, TimerPurpose};
 
 /// Result of asking for a sibling connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +70,7 @@ impl Lpm {
             self.conns.insert(conn, ConnRole::Tool);
             self.ttl_deadline = None;
         } else {
-            self.conns.insert(conn, ConnRole::Sibling(host.clone()));
+            self.conns.insert(conn, ConnRole::Sibling(host.as_str().into()));
             self.siblings.entry(host.clone()).or_insert(conn);
             sys.trace(
                 TraceCategory::Lpm,
@@ -194,7 +194,7 @@ impl Lpm {
             return;
         };
         if let Some(conn) = slot.chan.current_conn() {
-            self.chan_conns.insert(conn, host.to_string());
+            self.chan_conns.insert(conn, host.into());
         }
     }
 
@@ -216,7 +216,7 @@ impl Lpm {
             } => {
                 let slot = self.channels.remove(host).expect("channel exists");
                 self.chan_conns.remove(&conn);
-                self.conns.insert(conn, ConnRole::Sibling(host.to_string()));
+                self.conns.insert(conn, ConnRole::Sibling(host.into()));
                 self.siblings.entry(host.to_string()).or_insert(conn);
                 self.consider_ccs(sys, &peer_ccs, peer_epoch);
                 self.note(
@@ -286,8 +286,9 @@ impl Lpm {
         match role {
             ConnRole::Tool | ConnRole::AwaitHello => {}
             ConnRole::Sibling(host) => {
-                if self.siblings.get(&host) == Some(&conn) {
-                    self.siblings.remove(&host);
+                let host: &str = &host;
+                if self.siblings.get(host) == Some(&conn) {
+                    self.siblings.remove(host);
                 }
                 self.note(sys, format!("sibling channel to {host} lost"));
                 // Fail directed requests that were sent on this connection.
@@ -307,16 +308,16 @@ impl Lpm {
                     );
                 }
                 // Broadcasts waiting on this child complete without it.
-                let keys: Vec<(String, u64)> = self
+                let keys: Vec<BcastKey> = self
                     .bcasts
                     .iter()
-                    .filter(|(_, b)| b.pending_children.contains(&host))
+                    .filter(|(_, b)| b.pending_children.contains(host))
                     .map(|(k, _)| k.clone())
                     .collect();
                 for key in keys {
-                    self.bcast_child_done(sys, &key, &host);
+                    self.bcast_child_done(sys, &key, host);
                 }
-                self.on_sibling_lost(sys, &host);
+                self.on_sibling_lost(sys, host);
             }
         }
     }

@@ -31,11 +31,13 @@ mod recovery;
 mod requests;
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use bytes::Bytes;
 use ppm_proto::codec::Wire;
 use ppm_proto::msg::{Msg, Op, Reply};
 use ppm_proto::types::{Route, Stamp};
+use ppm_simnet::hashx::FastMap;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simnet::trace::TraceCategory;
 use ppm_simos::ids::{ConnId, Port};
@@ -48,11 +50,14 @@ use crate::config::{lpm_port, PpmConfig};
 use crate::genealogy::Genealogy;
 use crate::handlers::{HandlerId, HandlerPool};
 use crate::history::History;
-use crate::locator::{LpmChannel, PmdExchange};
+use crate::locator::{LpmChannel, PmdExchange, RouteCache};
 use crate::trigger_engine::TriggerEngine;
 use crate::users::UserEntry;
 
 /// Role of an accepted or established connection.
+///
+/// Cloned on every dispatched message, so the sibling host name is an
+/// `Arc<str>`: the per-message cost is a reference-count bump.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum ConnRole {
     /// Accepted; awaiting the authenticating `Hello`.
@@ -60,7 +65,7 @@ pub(crate) enum ConnRole {
     /// An authenticated tool.
     Tool,
     /// An authenticated sibling LPM on the named host.
-    Sibling(String),
+    Sibling(Arc<str>),
 }
 
 /// Why a channel toward a host is being established.
@@ -79,6 +84,11 @@ pub(crate) struct ChannelSlot {
     pub purpose: ChanPurpose,
 }
 
+/// Deduplication key of one broadcast wave: `(origin host, origin seq)`.
+/// The origin is the stamp's shared `Arc<str>`, so keys clone by bumping
+/// a reference count rather than copying the host name on every hop.
+pub(crate) type BcastKey = (Arc<str>, u64);
+
 /// Where a finished request's reply goes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum ReplyTo {
@@ -93,7 +103,7 @@ pub(crate) enum ReplyTo {
     /// Self-originated (trigger action); log failures, drop successes.
     Internal,
     /// The local slice of a broadcast.
-    BcastLocal { key: (String, u64) },
+    BcastLocal { key: BcastKey },
 }
 
 /// Pipeline stage of a request.
@@ -184,11 +194,11 @@ pub(crate) enum TimerPurpose {
     /// Retry a channel (daemon booting).
     ChannelRetry(String),
     /// The forward handler of a broadcast is ready; send downstream.
-    BcastForward((String, u64)),
+    BcastForward(BcastKey),
     /// One merge slot finished; apply the next queued part.
-    BcastMerge((String, u64)),
+    BcastMerge(BcastKey),
     /// Broadcast wave safety timeout.
-    BcastTimeout((String, u64)),
+    BcastTimeout(BcastKey),
     /// Recovery: probe higher-priority hosts.
     Probe,
     /// Recovery: retry the seek loop.
@@ -245,18 +255,18 @@ pub struct Lpm {
     pub(crate) conns: HashMap<ConnId, ConnRole>,
     pub(crate) siblings: BTreeMap<String, ConnId>,
     pub(crate) channels: BTreeMap<String, ChannelSlot>,
-    pub(crate) chan_conns: HashMap<ConnId, String>,
+    pub(crate) chan_conns: HashMap<ConnId, Arc<str>>,
     pub(crate) chan_retry_armed: BTreeSet<String>,
     pub(crate) outbox: BTreeMap<String, Vec<(Msg, Option<u64>)>>,
-    pub(crate) route_cache: BTreeMap<String, String>,
+    pub(crate) route_cache: RouteCache,
 
     pub(crate) next_internal: u64,
     pub(crate) reqs: HashMap<u64, ReqState>,
     pub(crate) spawn_waits: HashMap<u32, u64>,
 
     pub(crate) bcast_seq: u64,
-    pub(crate) seen: HashMap<(String, u64), SimTime>,
-    pub(crate) bcasts: HashMap<(String, u64), BcastState>,
+    pub(crate) seen: FastMap<BcastKey, SimTime>,
+    pub(crate) bcasts: FastMap<BcastKey, BcastState>,
 
     pub(crate) tree: Genealogy,
     pub(crate) history: History,
@@ -315,13 +325,13 @@ impl Lpm {
             chan_conns: HashMap::new(),
             chan_retry_armed: BTreeSet::new(),
             outbox: BTreeMap::new(),
-            route_cache: BTreeMap::new(),
+            route_cache: RouteCache::default(),
             next_internal: 0,
             reqs: HashMap::new(),
             spawn_waits: HashMap::new(),
             bcast_seq: 0,
-            seen: HashMap::new(),
-            bcasts: HashMap::new(),
+            seen: FastMap::default(),
+            bcasts: FastMap::default(),
             tree: Genealogy::default(),
             history: History::new(entry.config.history_cap, entry.config.rusage_cap),
             triggers: TriggerEngine::new(),
@@ -425,7 +435,17 @@ impl Lpm {
         self.pool.reap_idle(now);
         // Broadcast stamp retention window.
         let window = self.cfg.bcast_window;
+        let before = self.seen.len();
         self.seen.retain(|_, at| now.saturating_since(*at) < window);
+        let purged = before - self.seen.len();
+        if purged > 0 {
+            // A purged stamp is no longer recognized: a replayed copy of
+            // that wave would be reprocessed from scratch.
+            sys.trace(
+                TraceCategory::Broadcast,
+                format!("stamp window purge {purged}"),
+            );
+        }
         let retention = self.cfg.dead_retention;
         self.tree
             .prune_older_than(now.as_micros(), retention.as_micros());
@@ -677,9 +697,9 @@ mod tests {
         route.push("far");
         route.push("farther");
         l.learn_route(&route);
-        assert_eq!(l.route_cache.get("far").map(String::as_str), Some("mid"));
+        assert_eq!(l.route_cache.get("far"), Some("mid"));
         assert_eq!(
-            l.route_cache.get("farther").map(String::as_str),
+            l.route_cache.get("farther"),
             Some("mid")
         );
         assert!(
@@ -700,7 +720,7 @@ mod tests {
         second.push("z");
         second.push("far");
         l.learn_route(&second);
-        assert_eq!(l.route_cache.get("far").map(String::as_str), Some("mid"));
+        assert_eq!(l.route_cache.get("far"), Some("mid"));
     }
 
     #[test]

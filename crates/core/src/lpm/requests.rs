@@ -268,8 +268,8 @@ impl Lpm {
         }
         // Learned route through an existing sibling?
         if self.cfg.route_learning {
-            if let Some(next) = self.route_cache.get(&dest).cloned() {
-                if let Some(&conn) = self.siblings.get(&next) {
+            if let Some(next) = self.route_cache.lookup(&dest) {
+                if let Some(&conn) = self.siblings.get(next) {
                     self.stats.route_cache_hits += 1;
                     self.forward_req(sys, id, conn);
                     return;
@@ -337,25 +337,13 @@ impl Lpm {
     }
 
     /// Route learning: a reply's source-destination route teaches us the
-    /// next hop toward every host on it.
+    /// next hop toward every host on it (see
+    /// [`RouteCache::learn`](crate::locator::RouteCache::learn)).
     pub(crate) fn learn_route(&mut self, route: &Route) {
         if !self.cfg.route_learning {
             return;
         }
-        // route = [me, hop1, hop2, ..., responder]
-        if route.origin() != Some(self.host.as_str()) {
-            return;
-        }
-        let hops = &route.0;
-        if hops.len() < 3 {
-            return; // direct; nothing to learn
-        }
-        let next = hops[1].clone();
-        for dest in &hops[2..] {
-            self.route_cache
-                .entry(dest.clone())
-                .or_insert_with(|| next.clone());
-        }
+        self.route_cache.learn(route, &self.host);
     }
 
     /// A directed request timed out.

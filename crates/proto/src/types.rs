@@ -2,6 +2,7 @@
 //! record types carried in replies.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::codec::{CodecError, Dec, Enc, Wire};
 
@@ -54,8 +55,10 @@ impl Wire for Gpid {
 /// (host-level masquerade was explicitly out of scope there too).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Stamp {
-    /// Originating host name.
-    pub origin: String,
+    /// Originating host name. Shared (`Arc<str>`) because a stamp is
+    /// cloned on every hop of the echo wave and keyed into the
+    /// seen/active maps — the hot paths clone a pointer, not the string.
+    pub origin: Arc<str>,
     /// Per-origin sequence number.
     pub seq: u64,
     /// Origination time, microseconds of simulated time.
@@ -77,7 +80,7 @@ impl Stamp {
     const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
 
     /// Creates a stamp signed with `secret`.
-    pub fn signed(origin: impl Into<String>, seq: u64, at_us: u64, secret: u64) -> Self {
+    pub fn signed(origin: impl Into<Arc<str>>, seq: u64, at_us: u64, secret: u64) -> Self {
         let origin = origin.into();
         let sig = Self::compute_sig(&origin, seq, at_us, secret);
         Stamp {
@@ -101,9 +104,9 @@ impl Stamp {
     }
 
     /// The deduplication key (origin, seq) — `at_us` only drives window
-    /// expiry.
-    pub fn key(&self) -> (String, u64) {
-        (self.origin.clone(), self.seq)
+    /// expiry. Cloning the key is a reference-count bump.
+    pub fn key(&self) -> (Arc<str>, u64) {
+        (Arc::clone(&self.origin), self.seq)
     }
 }
 
@@ -117,7 +120,7 @@ impl Wire for Stamp {
 
     fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
         Ok(Stamp {
-            origin: dec.str()?,
+            origin: dec.str()?.into(),
             seq: dec.u64()?,
             at_us: dec.u64()?,
             sig: dec.u64()?,
@@ -427,7 +430,7 @@ mod tests {
     fn stamp_roundtrip_and_key() {
         let s = Stamp::signed("a", 9, 55, 1);
         assert_eq!(Stamp::from_bytes(&s.to_bytes()).unwrap(), s);
-        assert_eq!(s.key(), ("a".to_string(), 9));
+        assert_eq!(s.key(), ("a".into(), 9));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use ppm_proto::codec::Wire;
+use ppm_proto::codec::{decode_batch, encode_batch, frames, Dec, Enc, Wire};
 use ppm_proto::msg::{ControlAction, ErrCode, Msg, Op, Reply};
 use ppm_proto::triggers::{EventPattern, TriggerAction, TriggerSpec};
 use ppm_proto::types::{
@@ -344,13 +344,81 @@ proptest! {
         prop_assert_eq!(msg.wire_len(), msg.to_bytes().len());
     }
 
+    /// A length-prefixed batch roundtrips, and the lazy frame iterator
+    /// walks exactly the same messages without decoding them eagerly.
+    #[test]
+    fn batch_roundtrips_and_frames_agree(msgs in prop::collection::vec(arb_msg(), 0..8)) {
+        let wire = encode_batch(&msgs);
+        prop_assert_eq!(decode_batch::<Msg>(&wire).expect("batch decodes"), msgs.clone());
+        let mut walked = Vec::new();
+        for frame in frames(&wire).expect("frame header") {
+            walked.push(Msg::from_bytes(frame.expect("frame bounds")).expect("frame decodes"));
+        }
+        prop_assert_eq!(walked, msgs);
+    }
+
+    /// The batch decoder and frame iterator reject arbitrary bytes
+    /// without panicking, including truncations of valid batches.
+    #[test]
+    fn batch_decoder_never_panics_on_garbage(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        msgs in prop::collection::vec(arb_msg(), 0..4),
+        cut in any::<u16>(),
+    ) {
+        let _ = decode_batch::<Msg>(&data);
+        if let Ok(iter) = frames(&data) {
+            for frame in iter {
+                let _ = frame;
+            }
+        }
+        // Truncated valid batches must error, never panic or hang.
+        let wire = encode_batch(&msgs);
+        if !wire.is_empty() {
+            let cut = usize::from(cut) % wire.len();
+            let _ = decode_batch::<Msg>(&wire[..cut]);
+        }
+    }
+
+    /// The pooled steady-state encoder emits byte-identical output to a
+    /// fresh single-use buffer, even when reused back to back.
+    #[test]
+    fn pooled_encoder_matches_fresh(msgs in prop::collection::vec(arb_msg(), 1..6)) {
+        for msg in &msgs {
+            let mut fresh = Enc::new();
+            msg.encode(&mut fresh);
+            let mut pooled = Enc::pooled();
+            msg.encode(&mut pooled);
+            prop_assert_eq!(pooled.into_bytes(), fresh.into_bytes());
+        }
+    }
+
+    /// Borrowed string decoding (`str_ref`) sees exactly the bytes the
+    /// owned path does, from the same cursor positions.
+    #[test]
+    fn borrowed_str_decode_matches_owned(strings in prop::collection::vec("[ -~]{0,40}", 0..8)) {
+        let mut enc = Enc::new();
+        for s in &strings {
+            enc.str(s);
+        }
+        let wire = enc.into_bytes();
+
+        let mut owned = Dec::new(&wire);
+        let mut borrowed = Dec::new(&wire);
+        for s in &strings {
+            prop_assert_eq!(&owned.str().expect("owned decodes"), s);
+            prop_assert_eq!(borrowed.str_ref().expect("borrowed decodes"), s.as_str());
+        }
+        owned.finish().expect("owned consumed all");
+        borrowed.finish().expect("borrowed consumed all");
+    }
+
     #[test]
     fn stamp_signatures_bind_origin(origin in arb_name(), seq in any::<u64>(), at in any::<u64>(), secret in any::<u64>(), other in arb_name()) {
         let stamp = Stamp::signed(origin.clone(), seq, at, secret);
         prop_assert!(stamp.verify(secret));
         if other != origin {
             let mut forged = stamp.clone();
-            forged.origin = other;
+            forged.origin = other.into();
             prop_assert!(!forged.verify(secret));
         }
     }

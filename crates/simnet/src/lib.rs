@@ -30,6 +30,7 @@
 //! ```
 
 pub mod engine;
+pub mod hashx;
 pub mod latency;
 pub mod rng;
 pub mod time;

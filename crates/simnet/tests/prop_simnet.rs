@@ -84,6 +84,113 @@ proptest! {
     }
 }
 
+// ---- engine vs reference model --------------------------------------------
+
+/// A deliberately naive event queue: a flat vector scanned linearly for
+/// the minimum `(time, seq)` pair. Trivially correct, O(n) everywhere.
+struct ModelQueue {
+    now: u64,
+    next_seq: u64,
+    pending: Vec<(u64, u64, u64)>, // (at_us, seq, payload)
+}
+
+impl ModelQueue {
+    fn new() -> Self {
+        ModelQueue {
+            now: 0,
+            next_seq: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    fn schedule(&mut self, delay_us: u64, payload: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push((self.now + delay_us, seq, payload));
+        seq
+    }
+
+    fn cancel(&mut self, seq: u64) -> bool {
+        match self.pending.iter().position(|&(_, s, _)| s == seq) {
+            Some(i) => {
+                self.pending.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(at, seq, _))| (at, seq))?
+            .0;
+        let (at, _, payload) = self.pending.swap_remove(best);
+        self.now = at;
+        Some((at, payload))
+    }
+}
+
+proptest! {
+    /// The indexed heap is observationally equivalent to the naive model
+    /// under arbitrary interleavings of schedule / cancel / pop —
+    /// including cancels aimed at already-fired and already-cancelled
+    /// events.
+    #[test]
+    fn engine_matches_reference_model(
+        ops in prop::collection::vec((0u8..8, 0u64..2_000, any::<u16>()), 1..300)
+    ) {
+        let mut engine: Engine<u64> = Engine::new();
+        let mut model = ModelQueue::new();
+        // Every id ever issued, fired or not: cancels draw from here so
+        // they regularly target dead ids.
+        let mut engine_ids = Vec::new();
+        let mut model_ids = Vec::new();
+
+        for (kind, delay, pick) in ops {
+            match kind {
+                // Schedule (weight 3/8).
+                0..=2 => {
+                    let payload = delay ^ u64::from(pick);
+                    engine_ids.push(engine.schedule(SimDuration::from_micros(delay), payload));
+                    model_ids.push(model.schedule(delay, payload));
+                }
+                // Cancel a previously issued id (weight 3/8).
+                3..=5 => {
+                    if !engine_ids.is_empty() {
+                        let k = usize::from(pick) % engine_ids.len();
+                        prop_assert_eq!(
+                            engine.cancel(engine_ids[k]),
+                            model.cancel(model_ids[k]),
+                            "cancel verdicts diverge"
+                        );
+                    }
+                }
+                // Pop (weight 2/8).
+                _ => {
+                    let got = engine.pop().map(|(t, v)| (t.as_micros(), v));
+                    prop_assert_eq!(got, model.pop(), "pop streams diverge");
+                }
+            }
+            prop_assert_eq!(engine.pending(), model.pending.len());
+            prop_assert_eq!(engine.now().as_micros(), model.now);
+        }
+
+        // Drain both to the end.
+        loop {
+            let got = engine.pop().map(|(t, v)| (t.as_micros(), v));
+            let want = model.pop();
+            prop_assert_eq!(got, want, "drain diverges");
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert_eq!(engine.pending(), 0);
+    }
+}
+
 // ---- topology ---------------------------------------------------------------
 
 /// Reference all-pairs shortest paths (Floyd–Warshall).

@@ -190,7 +190,10 @@ impl Program for EchoServer {
 }
 
 /// A client that connects to an [`EchoServer`] and exchanges `rounds`
-/// messages of `msg_bytes` bytes, then exits.
+/// messages of `msg_bytes` bytes, then exits. If an echo does not arrive
+/// within a retransmit interval the payload is sent again — so a broken
+/// path always surfaces at the client as a failed send, whichever
+/// direction the in-flight message was traveling when the path died.
 #[derive(Debug, Clone)]
 pub struct Chatter {
     /// Server host.
@@ -204,6 +207,9 @@ pub struct Chatter {
     done: u32,
     conn: Option<ConnId>,
 }
+
+/// Idle time after which [`Chatter`] retransmits its payload.
+const CHATTER_RETRY: SimDuration = SimDuration::from_secs(1);
 
 impl Chatter {
     /// Creates a chatter for `rounds` echoes of `msg_bytes` each.
@@ -221,6 +227,18 @@ impl Chatter {
     fn payload(&self) -> Bytes {
         Bytes::from(vec![0x55u8; self.msg_bytes])
     }
+
+    /// Sends the round's payload and arms a retransmit timer keyed to the
+    /// current round; an echo advancing `done` stales the timer. A send
+    /// that errors means the connection is already dead: exit.
+    fn send_round(&mut self, sys: &mut Sys<'_>, conn: ConnId) {
+        let p = self.payload();
+        if sys.send(conn, p).is_err() {
+            sys.exit(1);
+            return;
+        }
+        sys.set_timer(CHATTER_RETRY, self.done as u64);
+    }
 }
 
 impl Program for Chatter {
@@ -230,10 +248,7 @@ impl Program for Chatter {
 
     fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
         match event {
-            ConnEvent::Established if Some(conn) == self.conn => {
-                let p = self.payload();
-                let _ = sys.send(conn, p);
-            }
+            ConnEvent::Established if Some(conn) == self.conn => self.send_round(sys, conn),
             ConnEvent::Failed(_) | ConnEvent::Closed => sys.exit(1),
             _ => {}
         }
@@ -245,8 +260,17 @@ impl Program for Chatter {
             let _ = sys.close(conn);
             sys.exit(0);
         } else {
-            let p = self.payload();
-            let _ = sys.send(conn, p);
+            self.send_round(sys, conn);
+        }
+    }
+
+    fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
+        // Still waiting on the echo for the round this timer was armed in:
+        // retransmit. A send over a dead path reports the breakage.
+        if token == self.done as u64 {
+            if let Some(conn) = self.conn {
+                self.send_round(sys, conn);
+            }
         }
     }
 

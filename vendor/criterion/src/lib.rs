@@ -1,0 +1,232 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the benchmarking API subset the workspace uses:
+//! [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: a short warm-up to size the batch,
+//! then a fixed number of timed samples whose median ns/iter is printed.
+//! No statistics beyond the median, no HTML reports, no comparison to
+//! saved baselines. CLI: a positional substring filters benchmark names,
+//! `--test` runs each benchmark once as a smoke check, and other
+//! harness-ish flags (`--bench`, `--nocapture`, ...) are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-value hint preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; this stand-in runs every
+/// variant with per-iteration setup, so the variants differ only in name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    /// Total measured time across all timed iterations.
+    elapsed: Duration,
+    /// Number of timed iterations performed.
+    iters: u64,
+    /// Run exactly one iteration (`--test` smoke mode).
+    smoke: bool,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.smoke {
+            black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        let n = calibrate(|| {
+            black_box(routine());
+        });
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = n;
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.smoke {
+            black_box(routine(setup()));
+            self.iters = 1;
+            return;
+        }
+        let n = calibrate_batched(&mut setup, &mut routine);
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..n {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iters = n;
+    }
+}
+
+/// Picks an iteration count that keeps one sample in roughly the
+/// 10–50 ms range so short routines aren't dominated by timer noise.
+fn calibrate(mut routine: impl FnMut()) -> u64 {
+    let start = Instant::now();
+    routine();
+    let one = start.elapsed().max(Duration::from_nanos(20));
+    let target = Duration::from_millis(20);
+    ((target.as_nanos() / one.as_nanos()).clamp(1, 2_000_000)) as u64
+}
+
+fn calibrate_batched<I, O>(setup: &mut impl FnMut() -> I, routine: &mut impl FnMut(I) -> O) -> u64 {
+    let input = setup();
+    let start = Instant::now();
+    black_box(routine(input));
+    let one = start.elapsed().max(Duration::from_nanos(20));
+    let target = Duration::from_millis(20);
+    ((target.as_nanos() / one.as_nanos()).clamp(1, 100_000)) as u64
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                s if s.starts_with("--") => {} // harness flags: ignore
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { filter, smoke }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as the benchmark `id` (subject to the CLI filter) and
+    /// prints its median ns/iter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if self.smoke {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                smoke: true,
+            };
+            f(&mut b);
+            println!("{id:<40} ok (smoke)");
+            return self;
+        }
+        const SAMPLES: usize = 11;
+        let mut per_iter_ns: Vec<u128> = Vec::with_capacity(SAMPLES);
+        // Warm-up sample, discarded.
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke: false,
+        };
+        f(&mut b);
+        for _ in 0..SAMPLES {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+                smoke: false,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                per_iter_ns.push(b.elapsed.as_nanos() / b.iters as u128);
+            }
+        }
+        per_iter_ns.sort_unstable();
+        let median = per_iter_ns.get(per_iter_ns.len() / 2).copied().unwrap_or(0);
+        println!("{id:<40} median {median:>12} ns/iter");
+        self
+    }
+}
+
+/// Groups benchmark functions under one name, mirroring the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_iters() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke: false,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.iters >= 1);
+
+        let mut b2 = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke: false,
+        };
+        b2.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b2.iters >= 1);
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+            smoke: true,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+    }
+}
