@@ -42,6 +42,8 @@ fn bench_codec(c: &mut Criterion) {
         },
         route: Route::from_origin("calder"),
         hops_left: 8,
+        deadline_us: 45_000_000,
+        attempt: 0,
     };
     let bytes = msg.to_bytes();
     c.bench_function("codec_encode_control_req", |b| b.iter(|| msg.to_bytes()));

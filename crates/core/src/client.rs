@@ -8,6 +8,7 @@
 //! shared [`ToolOutcome`], and exits.
 
 use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
 use std::rc::Rc;
 
 use bytes::Bytes;
@@ -88,6 +89,17 @@ pub struct Tool {
     step: usize,
     next_id: u64,
     deadline: SimDuration,
+    /// How many requests may be in flight at once (1 = lock-step).
+    pipeline: usize,
+    /// Per-request deadline stamped on the wire; `None` lets the LPM
+    /// apply its configured default.
+    step_deadline: Option<SimDuration>,
+    /// Wire id → script index of requests awaiting a reply.
+    inflight: HashMap<u64, usize>,
+    /// Replies that arrived ahead of an earlier outstanding step.
+    reordered: BTreeMap<usize, (Reply, SimTime)>,
+    /// Next script index to flush into `outcome.replies`.
+    flushed: usize,
 }
 
 impl std::fmt::Debug for Tool {
@@ -117,6 +129,11 @@ impl Tool {
             step: 0,
             next_id: 1,
             deadline: SimDuration::from_secs(120),
+            pipeline: 1,
+            step_deadline: None,
+            inflight: HashMap::new(),
+            reordered: BTreeMap::new(),
+            flushed: 0,
         };
         (tool, outcome)
     }
@@ -124,6 +141,21 @@ impl Tool {
     /// Overrides the give-up deadline.
     pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
         self.deadline = deadline;
+        self
+    }
+
+    /// Allows up to `window` requests in flight at once on the LPM
+    /// connection. Replies are matched by wire id, so they may arrive out
+    /// of script order; the outcome still records them in script order.
+    pub fn with_pipeline(mut self, window: usize) -> Self {
+        self.pipeline = window.max(1);
+        self
+    }
+
+    /// Stamps each request with an absolute deadline `d` from its send
+    /// time, propagated (and decayed) through relays.
+    pub fn with_step_deadline(mut self, d: SimDuration) -> Self {
+        self.step_deadline = Some(d);
         self
     }
 
@@ -136,31 +168,53 @@ impl Tool {
         sys.exit(1);
     }
 
-    fn send_step(&mut self, sys: &mut Sys<'_>) {
+    /// Sends script steps until the pipeline window is full, and exits
+    /// once every step has been sent and answered.
+    fn pump(&mut self, sys: &mut Sys<'_>) {
         let Some(conn) = self.conn else { return };
-        if self.step >= self.script.len() {
+        while self.step < self.script.len() && self.inflight.len() < self.pipeline {
+            let ToolStep { dest, op } = self.script[self.step].clone();
+            let id = self.next_id;
+            self.next_id += 1;
+            let deadline_us = self
+                .step_deadline
+                .map_or(0, |d| (sys.now() + d).as_micros());
+            let msg = Msg::Req {
+                id,
+                user: self.cred.uid.0,
+                dest,
+                op,
+                route: ppm_proto::types::Route::default(),
+                hops_left: self.cfg.max_hops,
+                deadline_us,
+                attempt: 0,
+            };
+            self.inflight.insert(id, self.step);
+            self.outcome.borrow_mut().sent_at.push(sys.now());
+            self.step += 1;
+            if sys.send(conn, msg.to_bytes()).is_err() {
+                self.fail(sys, "send to LPM failed".to_string());
+                return;
+            }
+        }
+        if self.step >= self.script.len() && self.inflight.is_empty() {
             {
                 let mut o = self.outcome.borrow_mut();
                 o.done = true;
             }
             let _ = sys.close(conn);
             sys.exit(0);
-            return;
         }
-        let ToolStep { dest, op } = self.script[self.step].clone();
-        let id = self.next_id;
-        self.next_id += 1;
-        let msg = Msg::Req {
-            id,
-            user: self.cred.uid.0,
-            dest,
-            op,
-            route: ppm_proto::types::Route::default(),
-            hops_left: self.cfg.max_hops,
-        };
-        self.outcome.borrow_mut().sent_at.push(sys.now());
-        if sys.send(conn, msg.to_bytes()).is_err() {
-            self.fail(sys, "send to LPM failed".to_string());
+    }
+
+    /// Records a reply for script index `idx`, flushing any contiguous run
+    /// into the outcome so `replies` stays in script order.
+    fn record_reply(&mut self, idx: usize, reply: Reply, at: SimTime) {
+        self.reordered.insert(idx, (reply, at));
+        let mut o = self.outcome.borrow_mut();
+        while let Some(entry) = self.reordered.remove(&self.flushed) {
+            o.replies.push(entry);
+            self.flushed += 1;
         }
     }
 
@@ -177,7 +231,7 @@ impl Tool {
                     o.connected_at = Some(sys.now());
                     o.created_lpm = created;
                 }
-                self.send_step(sys);
+                self.pump(sys);
             }
             ChanProgress::Failed(e) => {
                 self.fail(sys, format!("cannot reach LPM: {e}"));
@@ -223,10 +277,13 @@ impl Program for Tool {
     fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
         if self.conn == Some(conn) {
             match Msg::from_bytes(&data) {
-                Ok(Msg::Resp { reply, .. }) => {
-                    self.outcome.borrow_mut().replies.push((reply, sys.now()));
-                    self.step += 1;
-                    self.send_step(sys);
+                Ok(Msg::Resp { id, reply, .. }) => {
+                    // Match the reply to its request by wire id; stale or
+                    // duplicate ids are ignored.
+                    if let Some(idx) = self.inflight.remove(&id) {
+                        self.record_reply(idx, reply, sys.now());
+                        self.pump(sys);
+                    }
                 }
                 Ok(other) => {
                     // Announcements etc. are not replies; ignore.
@@ -290,5 +347,24 @@ mod tests {
         );
         assert!(!handle.borrow().done);
         assert_eq!(tool.script.len(), 1);
+        assert_eq!(tool.pipeline, 1);
+    }
+
+    #[test]
+    fn out_of_order_replies_flush_in_script_order() {
+        let (tool, handle) = Tool::new(
+            UserCred::new(Uid(1), 2),
+            PpmConfig::default(),
+            vec![ToolStep::new("a", Op::Ping), ToolStep::new("b", Op::Ping)],
+        );
+        let mut tool = tool.with_pipeline(4);
+        assert_eq!(tool.pipeline, 4);
+        // Step 1's reply lands first: nothing flushes until step 0 arrives.
+        tool.record_reply(1, Reply::Ok, SimTime::from_millis(5));
+        assert!(handle.borrow().replies.is_empty());
+        tool.record_reply(0, Reply::Pong, SimTime::from_millis(9));
+        let o = handle.borrow();
+        assert!(matches!(o.replies[0].0, Reply::Pong));
+        assert!(matches!(o.replies[1].0, Reply::Ok));
     }
 }

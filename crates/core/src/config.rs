@@ -56,8 +56,20 @@ pub struct PpmConfig {
     pub bcast_timeout: SimDuration,
     /// Relay budget for directed requests.
     pub max_hops: u8,
-    /// Give up on a directed request after this long.
+    /// Give up on one attempt of a directed request after this long.
     pub req_timeout: SimDuration,
+    /// Total send attempts per directed request at its origin (1 = no
+    /// retry); retries reuse the same correlation id so receivers can
+    /// deduplicate.
+    pub req_attempts: u8,
+    /// Backoff before the first retry; doubles per attempt.
+    pub req_backoff: SimDuration,
+    /// End-to-end deadline stamped on origin requests; relays refuse
+    /// requests whose propagated deadline has passed.
+    pub req_deadline: SimDuration,
+    /// How much each relay hop shaves off the propagated deadline,
+    /// accounting for the return path the reply still has to travel.
+    pub deadline_decay: SimDuration,
 
     /// Retry interval while connecting to a booting daemon/LPM.
     pub connect_retry: SimDuration,
@@ -108,6 +120,10 @@ impl Default for PpmConfig {
             bcast_timeout: SimDuration::from_secs(10),
             max_hops: 8,
             req_timeout: SimDuration::from_secs(10),
+            req_attempts: 3,
+            req_backoff: SimDuration::from_millis(250),
+            req_deadline: SimDuration::from_secs(45),
+            deadline_decay: SimDuration::from_millis(20),
 
             connect_retry: SimDuration::from_micros(20_000),
             connect_attempts: 30,
@@ -134,6 +150,8 @@ impl PpmConfig {
             probe_interval: SimDuration::from_secs(2),
             reconnect_interval: SimDuration::from_millis(500),
             req_timeout: SimDuration::from_secs(3),
+            req_backoff: SimDuration::from_millis(100),
+            req_deadline: SimDuration::from_secs(10),
             bcast_timeout: SimDuration::from_secs(3),
             ..Default::default()
         }
@@ -190,6 +208,21 @@ mod tests {
         let slow = PpmConfig::default();
         assert!(fast.time_to_die < slow.time_to_die);
         assert_eq!(fast.handler_fork_cost, slow.handler_fork_cost);
+    }
+
+    #[test]
+    fn retry_budget_fits_inside_the_deadline() {
+        for c in [PpmConfig::default(), PpmConfig::fast_recovery()] {
+            assert!(c.req_attempts >= 1);
+            // Worst case: every attempt times out, plus the doubling
+            // backoffs between them, must fit under the deadline so the
+            // final verdict is Timeout, not a premature DeadlineExceeded.
+            let retries = u64::from(c.req_attempts) - 1;
+            let attempts_us = u64::from(c.req_attempts) * c.req_timeout.as_micros();
+            let backoff_us = c.req_backoff.as_micros() * ((1 << retries) - 1);
+            assert!(attempts_us + backoff_us <= c.req_deadline.as_micros());
+            assert!(c.deadline_decay < c.req_timeout);
+        }
     }
 
     #[test]

@@ -239,17 +239,15 @@ impl Genealogy {
         entries.sort_unstable_by_key(|n| n.pid);
         entries
             .into_iter()
-            .map(|n| {
-                ProcRecord {
-                    gpid: Gpid::new(self.host.clone(), n.pid),
-                    ppid: n.ppid,
-                    logical_parent: n.logical_parent.clone(),
-                    command: n.command.clone(),
-                    state: n.state,
-                    started_us: n.started_us,
-                    cpu_us: n.cpu_us,
-                    adopted: n.adopted,
-                }
+            .map(|n| ProcRecord {
+                gpid: Gpid::new(self.host.clone(), n.pid),
+                ppid: n.ppid,
+                logical_parent: n.logical_parent.clone(),
+                command: n.command.clone(),
+                state: n.state,
+                started_us: n.started_us,
+                cpu_us: n.cpu_us,
+                adopted: n.adopted,
             })
             .collect()
     }

@@ -275,6 +275,48 @@ impl PpmHarness {
         Ok(handle)
     }
 
+    /// Like [`PpmHarness::launch_tool`], but the tool keeps up to `window`
+    /// requests in flight on its LPM connection instead of running the
+    /// script in lock-step.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::UnknownUser`] / [`HarnessError::UnknownHost`].
+    pub fn launch_tool_pipelined(
+        &mut self,
+        host: &str,
+        uid: Uid,
+        script: Vec<ToolStep>,
+        window: usize,
+    ) -> Result<ToolHandle, HarnessError> {
+        let h = self.host(host)?;
+        let entry = self.entry(uid)?;
+        let (tool, handle) = Tool::new(entry.cred, entry.config.clone(), script);
+        let tool = tool.with_pipeline(window);
+        self.world
+            .spawn_user(h, uid, SpawnSpec::new("ppm-tool", Box::new(tool)))
+            .map_err(|e| HarnessError::Tool(e.to_string()))?;
+        Ok(handle)
+    }
+
+    /// Runs a pipelined tool script to completion (bounded by `wait`).
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Timeout`] if the tool does not finish, or the
+    /// launch errors of [`PpmHarness::launch_tool_pipelined`].
+    pub fn run_tool_pipelined(
+        &mut self,
+        host: &str,
+        uid: Uid,
+        script: Vec<ToolStep>,
+        window: usize,
+        wait: SimDuration,
+    ) -> Result<ToolOutcome, HarnessError> {
+        let handle = self.launch_tool_pipelined(host, uid, script, window)?;
+        self.await_tool(handle, wait)
+    }
+
     /// Runs a tool script to completion (bounded by `wait`), returning the
     /// outcome.
     ///
@@ -290,6 +332,14 @@ impl PpmHarness {
         wait: SimDuration,
     ) -> Result<ToolOutcome, HarnessError> {
         let handle = self.launch_tool(host, uid, script)?;
+        self.await_tool(handle, wait)
+    }
+
+    fn await_tool(
+        &mut self,
+        handle: ToolHandle,
+        wait: SimDuration,
+    ) -> Result<ToolOutcome, HarnessError> {
         let deadline = self.world.now() + wait;
         while self.world.now() < deadline {
             if handle.borrow().done {

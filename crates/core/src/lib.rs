@@ -18,6 +18,9 @@
 //! * [`genealogy`] / [`history`] / [`trigger_engine`] — the logical
 //!   process tree, event history, and history-dependent triggers.
 //! * [`handlers`] — the dispatcher/handler-process cost model (Section 6).
+//! * `rpc` — the unified RPC substrate: one correlation-keyed pending
+//!   table with deadlines, attempt budgets and idempotent dedup, shared
+//!   by all tool, sibling, broadcast and recovery request traffic.
 //! * [`client`] / [`harness`] — the tool library of Section 6 and a
 //!   synchronous driver for tests, examples and benchmarks.
 //!
@@ -54,6 +57,7 @@ pub mod history;
 pub mod locator;
 pub mod lpm;
 pub mod pmd;
+pub(crate) mod rpc;
 pub mod trigger_engine;
 pub mod users;
 

@@ -123,9 +123,7 @@ impl RouteCache {
             if self.map.len() >= self.cap && !self.map.contains_key(dest) {
                 return;
             }
-            self.map
-                .entry(dest.clone())
-                .or_insert_with(|| next.clone());
+            self.map.entry(dest.clone()).or_insert_with(|| next.clone());
         }
     }
 

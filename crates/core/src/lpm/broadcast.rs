@@ -25,7 +25,9 @@ use ppm_simnet::trace::TraceCategory;
 use ppm_simos::ids::ConnId;
 use ppm_simos::sys::Sys;
 
-use super::{BcastKey, BcastState, Lpm, ReplyTo, TimerPurpose};
+use crate::rpc::PendingRequest;
+
+use super::{BcastKey, BcastState, Lpm, ReplyTo, TimerKind};
 
 /// Which operations may be broadcast (`dest = "*"`).
 fn broadcastable(op: &Op) -> bool {
@@ -39,7 +41,7 @@ impl Lpm {
     /// Originates a broadcast for request `req_id` (whose dest is `"*"`).
     pub(crate) fn begin_broadcast(&mut self, sys: &mut Sys<'_>, req_id: u64) {
         let (user, op) = {
-            let r = &self.reqs[&req_id];
+            let r = self.rpc.get(req_id).expect("broadcast request exists");
             (r.user, r.op.clone())
         };
         if !broadcastable(&op) {
@@ -60,7 +62,7 @@ impl Lpm {
             self.auth.stamp_secret(),
         );
         let key = stamp.key();
-        self.seen.insert(key.clone(), now);
+        self.rpc.note_bcast(key.clone(), now);
         self.stats.bcasts_originated += 1;
 
         let forward_targets: Vec<String> = self.siblings.keys().cloned().collect();
@@ -108,10 +110,10 @@ impl Lpm {
             if let Some(b) = self.bcasts.get_mut(&key) {
                 b.forward_handler = Some(h);
             }
-            self.arm(sys, d, TimerPurpose::BcastForward(key.clone()));
+            self.arm(sys, d, TimerKind::BcastForward(key.clone()));
         }
         let timeout = self.cfg.bcast_timeout;
-        let tok = self.arm(sys, timeout, TimerPurpose::BcastTimeout(key.clone()));
+        let tok = self.arm(sys, timeout, TimerKind::BcastTimeout(key.clone()));
         if let Some(b) = self.bcasts.get_mut(&key) {
             b.timeout_token = Some(tok);
         }
@@ -128,7 +130,8 @@ impl Lpm {
     ) {
         let id = self.alloc_internal_id();
         let reply_to = ReplyTo::BcastLocal { key: key.clone() };
-        let mut req = super::ReqState {
+        let policy = self.retry_policy();
+        let mut req = PendingRequest {
             user,
             dest: self.host.clone(),
             op: op.clone(),
@@ -140,18 +143,25 @@ impl Lpm {
             route: Route::from_origin(self.host.clone()),
             timeout_token: None,
             spawn_pid: None,
+            // Local pseudo-request: never travels, never retries; the
+            // wave's own stamp and timeout govern it.
+            corr: (std::sync::Arc::from(self.host.as_str()), id),
+            deadline: None,
+            attempt: 0,
+            attempts_left: 0,
+            backoff: policy.backoff,
         };
         if with_handler {
             let (h, d) = self.acquire_handler(sys);
             req.handler = Some(h);
             req.phase = super::ReqPhase::HandlerForLocal;
-            self.reqs.insert(id, req);
-            self.arm(sys, d, TimerPurpose::ReqStep(id));
+            self.rpc.insert(id, req);
+            self.arm(sys, d, TimerKind::ReqStep(id));
         } else {
             let cost = self.op_cost(&op);
             let d = sys.scale_cost(cost);
-            self.reqs.insert(id, req);
-            self.arm(sys, d, TimerPurpose::ReqStep(id));
+            self.rpc.insert(id, req);
+            self.arm(sys, d, TimerKind::ReqStep(id));
         }
     }
 
@@ -175,7 +185,7 @@ impl Lpm {
             return;
         }
         let key = stamp.key();
-        if self.seen.contains_key(&key) || self.bcasts.contains_key(&key) {
+        if self.rpc.bcast_seen(&key) || self.bcasts.contains_key(&key) {
             // Old request within the retention window — or a wave still in
             // progress, which counts as seen regardless of the window.
             self.stats.bcasts_suppressed += 1;
@@ -187,7 +197,7 @@ impl Lpm {
             return;
         }
         let now = sys.now();
-        self.seen.insert(key.clone(), now);
+        self.rpc.note_bcast(key.clone(), now);
         self.stats.bcasts_forwarded += 1;
 
         // Graph cover: forward to every sibling except the sender and any
@@ -238,10 +248,10 @@ impl Lpm {
             if let Some(b) = self.bcasts.get_mut(&key) {
                 b.forward_handler = Some(h);
             }
-            self.arm(sys, d, TimerPurpose::BcastForward(key.clone()));
+            self.arm(sys, d, TimerKind::BcastForward(key.clone()));
         }
         let timeout = self.cfg.bcast_timeout;
-        let tok = self.arm(sys, timeout, TimerPurpose::BcastTimeout(key.clone()));
+        let tok = self.arm(sys, timeout, TimerKind::BcastTimeout(key.clone()));
         if let Some(b) = self.bcasts.get_mut(&key) {
             b.timeout_token = Some(tok);
         }
@@ -288,12 +298,7 @@ impl Lpm {
     }
 
     /// The local slice finished gathering.
-    pub(crate) fn bcast_local_complete(
-        &mut self,
-        sys: &mut Sys<'_>,
-        key: &BcastKey,
-        reply: Reply,
-    ) {
+    pub(crate) fn bcast_local_complete(&mut self, sys: &mut Sys<'_>, key: &BcastKey, reply: Reply) {
         let Some(b) = self.bcasts.get_mut(key) else {
             return;
         };
@@ -358,7 +363,7 @@ impl Lpm {
                 let ready = start + cost;
                 b.merge_free_at = ready;
                 let delay = ready.saturating_since(now);
-                self.arm(sys, delay, TimerPurpose::BcastMerge(key));
+                self.arm(sys, delay, TimerKind::BcastMerge(key));
             }
             Some(upstream) => {
                 // Relay upstream; a handler carries the relay.
@@ -371,7 +376,7 @@ impl Lpm {
                 let (h, d) = self.acquire_handler(sys);
                 let b = self.bcasts.get_mut(&key).expect("checked");
                 b.relay_queue.push((msg, Some(h), upstream));
-                self.arm(sys, d, TimerPurpose::BcastMerge(key));
+                self.arm(sys, d, TimerKind::BcastMerge(key));
             }
         }
     }
@@ -445,7 +450,7 @@ impl Lpm {
             // Originator: merge parts into the final reply.
             let b = self.bcasts.remove(key).expect("checked");
             if let Some(tok) = b.timeout_token {
-                self.timers.remove(&tok);
+                self.rpc.cancel(tok);
             }
             self.release_handler(sys, b.forward_handler);
             sys.trace(
@@ -466,7 +471,7 @@ impl Lpm {
             let timeout_token = b.timeout_token.take();
             let _ = self.send_msg(sys, upstream, &Msg::BcastDone { stamp });
             if let Some(tok) = timeout_token {
-                self.timers.remove(&tok);
+                self.rpc.cancel(tok);
             }
             self.release_handler(sys, forward_handler);
             self.release_handler(sys, respond_handler);

@@ -13,7 +13,7 @@ use ppm_simos::sys::Sys;
 
 use crate::locator::{ChanProgress, HelloIdentity, LpmChannel};
 
-use super::{BcastKey, ChanPurpose, ChannelSlot, ConnRole, Lpm, TimerPurpose};
+use super::{BcastKey, ChanPurpose, ChannelSlot, ConnRole, Lpm, TimerKind};
 
 /// Result of asking for a sibling connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +70,8 @@ impl Lpm {
             self.conns.insert(conn, ConnRole::Tool);
             self.ttl_deadline = None;
         } else {
-            self.conns.insert(conn, ConnRole::Sibling(host.as_str().into()));
+            self.conns
+                .insert(conn, ConnRole::Sibling(host.as_str().into()));
             self.siblings.entry(host.clone()).or_insert(conn);
             sys.trace(
                 TraceCategory::Lpm,
@@ -205,7 +206,7 @@ impl Lpm {
             }
             ChanProgress::RetryAfter(delay) => {
                 if self.chan_retry_armed.insert(host.to_string()) {
-                    self.arm(sys, delay, TimerPurpose::ChannelRetry(host.to_string()));
+                    self.arm(sys, delay, TimerKind::ChannelRetry(host.to_string()));
                 }
             }
             ChanProgress::Ready {
@@ -245,12 +246,7 @@ impl Lpm {
         for (msg, req_id) in queued {
             if self.send_msg(sys, conn, &msg).is_err() {
                 if let Some(id) = req_id {
-                    self.finish_with_error(
-                        sys,
-                        id,
-                        ppm_proto::msg::ErrCode::HostDown,
-                        "sibling channel broke during flush",
-                    );
+                    self.fail_request_transport(sys, id, "sibling channel broke during flush");
                 }
             } else if let Some(id) = req_id {
                 self.mark_sent(sys, id, conn);
@@ -264,11 +260,9 @@ impl Lpm {
         };
         for (msg, req_id) in queued {
             if let Some(id) = req_id {
-                let code = match err {
-                    SysError::HostDown => ppm_proto::msg::ErrCode::HostDown,
-                    _ => ppm_proto::msg::ErrCode::NoRoute,
-                };
-                self.finish_with_error(sys, id, code, &format!("cannot reach {host}: {err}"));
+                // Transport-level failure: origin requests with attempt
+                // budget left go into retry backoff instead of erroring.
+                self.fail_request_transport(sys, id, &format!("cannot reach {host}: {err}"));
             } else if let Msg::Bcast { stamp, .. } = msg {
                 // A broadcast child never came up: count it as done.
                 let key = stamp.key();
@@ -291,21 +285,11 @@ impl Lpm {
                     self.siblings.remove(host);
                 }
                 self.note(sys, format!("sibling channel to {host} lost"));
-                // Fail directed requests that were sent on this connection.
-                let mut victims: Vec<u64> = self
-                    .reqs
-                    .iter()
-                    .filter(|(_, r)| r.sent_conn == Some(conn))
-                    .map(|(&id, _)| id)
-                    .collect();
-                victims.sort_unstable();
-                for id in victims {
-                    self.finish_with_error(
-                        sys,
-                        id,
-                        ppm_proto::msg::ErrCode::HostDown,
-                        &format!("connection to {host} broke"),
-                    );
+                // Directed requests sent on this connection hit the retry
+                // machinery: origin-side requests with budget left re-send
+                // under the same correlation id; relays fail upstream.
+                for id in self.rpc.sent_on(conn) {
+                    self.fail_request_transport(sys, id, &format!("connection to {host} broke"));
                 }
                 // Broadcasts waiting on this child complete without it.
                 let keys: Vec<BcastKey> = self

@@ -15,7 +15,7 @@ use ppm_simos::sys::Sys;
 
 use crate::trigger_engine::TriggerEvent;
 
-use super::{Lpm, ReplyTo};
+use super::{requests::RequestCtx, Lpm, ReplyTo};
 
 impl Lpm {
     pub(crate) fn ingest_kernel_event(&mut self, sys: &mut Sys<'_>, msg: KernelMsg) {
@@ -43,7 +43,7 @@ impl Lpm {
                     .record(now, gpid.clone(), "exec", command.clone());
                 // A pending remote-creation request completes when its
                 // child reaches exec (the process exists and runs).
-                if let Some(req_id) = self.spawn_waits.remove(&pid.0) {
+                if let Some(req_id) = self.rpc.take_spawn_wait(pid.0) {
                     let reply = Reply::Spawned {
                         gpid: Gpid::new(self.host.clone(), pid.0),
                     };
@@ -81,7 +81,7 @@ impl Lpm {
                 self.history
                     .record(now, gpid.clone(), "exit", status.to_string());
                 // An unfinished spawn whose child died: report failure.
-                if let Some(req_id) = self.spawn_waits.remove(&pid.0) {
+                if let Some(req_id) = self.rpc.take_spawn_wait(pid.0) {
                     self.finish_with_error(
                         sys,
                         req_id,
@@ -206,6 +206,7 @@ impl Lpm {
                         },
                         ReplyTo::Internal,
                         self.cfg.max_hops,
+                        RequestCtx::origin(),
                     );
                 }
             }
@@ -240,6 +241,7 @@ impl Lpm {
                         },
                         ReplyTo::Internal,
                         self.cfg.max_hops,
+                        RequestCtx::origin(),
                     );
                 }
             }

@@ -51,6 +51,7 @@ use crate::genealogy::Genealogy;
 use crate::handlers::{HandlerId, HandlerPool};
 use crate::history::History;
 use crate::locator::{LpmChannel, PmdExchange, RouteCache};
+use crate::rpc::{ReplyTo, ReqPhase, RetryPolicy, RpcKey, RpcTable, TimerKind};
 use crate::trigger_engine::TriggerEngine;
 use crate::users::UserEntry;
 
@@ -85,62 +86,9 @@ pub(crate) struct ChannelSlot {
 }
 
 /// Deduplication key of one broadcast wave: `(origin host, origin seq)`.
-/// The origin is the stamp's shared `Arc<str>`, so keys clone by bumping
-/// a reference count rather than copying the host name on every hop.
-pub(crate) type BcastKey = (Arc<str>, u64);
-
-/// Where a finished request's reply goes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) enum ReplyTo {
-    /// A tool on a local connection; reply with the tool's own id.
-    Tool { conn: ConnId, external_id: u64 },
-    /// A sibling that sent us this request (to execute or relay).
-    Sibling {
-        conn: ConnId,
-        external_id: u64,
-        route_in: Route,
-    },
-    /// Self-originated (trigger action); log failures, drop successes.
-    Internal,
-    /// The local slice of a broadcast.
-    BcastLocal { key: BcastKey },
-}
-
-/// Pipeline stage of a request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum ReqPhase {
-    /// Classifying (dispatch cost running).
-    Dispatch,
-    /// Waiting for a handler before local execution.
-    HandlerForLocal,
-    /// Waiting for a handler before a remote send.
-    HandlerForRemote,
-    /// Operation cost running; effects apply when it fires.
-    OpCost,
-    /// Sent to a remote LPM; awaiting its `Resp`.
-    Sent,
-    /// Waiting for a sibling channel to come up.
-    AwaitChannel,
-    /// Spawn performed; awaiting the child's exec kernel event.
-    AwaitSpawn,
-    /// Delegated to the broadcast machinery.
-    BcastWait,
-}
-
-#[derive(Debug)]
-pub(crate) struct ReqState {
-    pub user: u32,
-    pub dest: String,
-    pub op: Op,
-    pub reply_to: ReplyTo,
-    pub phase: ReqPhase,
-    pub handler: Option<HandlerId>,
-    pub sent_conn: Option<ConnId>,
-    pub hops_left: u8,
-    pub route: Route,
-    pub timeout_token: Option<u64>,
-    pub spawn_pid: Option<u32>,
-}
+/// An alias of the RPC correlation key — broadcast stamps and directed
+/// requests share one dedup window in the [`RpcTable`].
+pub(crate) type BcastKey = RpcKey;
 
 /// State of one broadcast this LPM participates in.
 #[derive(Debug)]
@@ -183,32 +131,6 @@ pub(crate) struct BcastState {
     pub timeout_token: Option<u64>,
 }
 
-/// What an armed timer means when it fires.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) enum TimerPurpose {
-    Housekeeping,
-    /// Continue the staged pipeline of a request.
-    ReqStep(u64),
-    /// A directed request timed out.
-    ReqTimeout(u64),
-    /// Retry a channel (daemon booting).
-    ChannelRetry(String),
-    /// The forward handler of a broadcast is ready; send downstream.
-    BcastForward(BcastKey),
-    /// One merge slot finished; apply the next queued part.
-    BcastMerge(BcastKey),
-    /// Broadcast wave safety timeout.
-    BcastTimeout(BcastKey),
-    /// Recovery: probe higher-priority hosts.
-    Probe,
-    /// Recovery: retry the seek loop.
-    SeekRetry,
-    /// Recovery: orphan time-to-die expired.
-    TimeToDie,
-    /// Name-server CCS query retry (daemon booting).
-    NsRetry,
-}
-
 /// Recovery mode (Section 5).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum RecovMode {
@@ -240,6 +162,11 @@ pub struct LpmStats {
     pub route_cache_hits: u64,
     /// Hello authentication failures.
     pub auth_failures: u64,
+    /// Origin-side transport retries (re-sends of the same correlation id).
+    pub retries: u64,
+    /// Duplicate directed-request deliveries absorbed by the dedup window
+    /// (replayed cached replies and in-flight suppressions).
+    pub dups_suppressed: u64,
 }
 
 /// The LPM program.
@@ -260,12 +187,11 @@ pub struct Lpm {
     pub(crate) outbox: BTreeMap<String, Vec<(Msg, Option<u64>)>>,
     pub(crate) route_cache: RouteCache,
 
-    pub(crate) next_internal: u64,
-    pub(crate) reqs: HashMap<u64, ReqState>,
-    pub(crate) spawn_waits: HashMap<u32, u64>,
+    /// The unified RPC substrate: pending requests, correlation index,
+    /// dedup window, spawn waits and timer registry.
+    pub(crate) rpc: RpcTable,
 
     pub(crate) bcast_seq: u64,
-    pub(crate) seen: FastMap<BcastKey, SimTime>,
     pub(crate) bcasts: FastMap<BcastKey, BcastState>,
 
     pub(crate) tree: Genealogy,
@@ -288,9 +214,6 @@ pub struct Lpm {
     pub(crate) last_keepalive: SimTime,
     /// In-flight name-server CCS query (NameServer recovery policy).
     pub(crate) ns_query: Option<PmdExchange>,
-
-    pub(crate) next_token: u64,
-    pub(crate) timers: HashMap<u64, TimerPurpose>,
 
     pub(crate) stats: LpmStats,
 }
@@ -326,11 +249,8 @@ impl Lpm {
             chan_retry_armed: BTreeSet::new(),
             outbox: BTreeMap::new(),
             route_cache: RouteCache::default(),
-            next_internal: 0,
-            reqs: HashMap::new(),
-            spawn_waits: HashMap::new(),
+            rpc: RpcTable::new(),
             bcast_seq: 0,
-            seen: FastMap::default(),
             bcasts: FastMap::default(),
             tree: Genealogy::default(),
             history: History::new(entry.config.history_cap, entry.config.rusage_cap),
@@ -355,8 +275,6 @@ impl Lpm {
             orphan_deadline: None,
             last_keepalive: SimTime::ZERO,
             ns_query: None,
-            next_token: 1,
-            timers: HashMap::new(),
             stats: LpmStats::default(),
         }
     }
@@ -368,12 +286,16 @@ impl Lpm {
 
     // ---- small shared helpers -------------------------------------------
 
-    pub(crate) fn arm(&mut self, sys: &mut Sys<'_>, d: SimDuration, purpose: TimerPurpose) -> u64 {
-        let token = self.next_token;
-        self.next_token += 1;
-        self.timers.insert(token, purpose);
-        sys.set_timer(d, token);
-        token
+    pub(crate) fn arm(&mut self, sys: &mut Sys<'_>, d: SimDuration, kind: TimerKind) -> u64 {
+        self.rpc.arm(sys, d, kind)
+    }
+
+    /// The transport-retry policy for origin-side requests.
+    pub(crate) fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            attempts: self.cfg.req_attempts.max(1),
+            backoff: self.cfg.req_backoff,
+        }
     }
 
     pub(crate) fn send_msg(
@@ -386,7 +308,7 @@ impl Lpm {
     }
 
     pub(crate) fn alloc_internal_id(&mut self) -> u64 {
-        self.next_internal += 1;
+        let seq = self.rpc.next_seq();
         // Globally unique: salt the counter with the host name so relayed
         // ids from different originators cannot collide.
         let mut salt: u64 = 0xCBF2_9CE4_8422_2325;
@@ -394,7 +316,7 @@ impl Lpm {
             salt ^= b as u64;
             salt = salt.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        (salt & 0xFFFF_FFFF) << 32 | self.next_internal
+        (salt & 0xFFFF_FFFF) << 32 | seq
     }
 
     /// Acquires a handler; hand-offs serialize through the dispatcher.
@@ -433,14 +355,13 @@ impl Lpm {
     fn housekeeping(&mut self, sys: &mut Sys<'_>) {
         let now = sys.now();
         self.pool.reap_idle(now);
-        // Broadcast stamp retention window.
+        // Shared retention window: broadcast stamps and cached replies of
+        // executed sibling requests age out together.
         let window = self.cfg.bcast_window;
-        let before = self.seen.len();
-        self.seen.retain(|_, at| now.saturating_since(*at) < window);
-        let purged = before - self.seen.len();
+        let purged = self.rpc.purge_dedup(now, window);
         if purged > 0 {
-            // A purged stamp is no longer recognized: a replayed copy of
-            // that wave would be reprocessed from scratch.
+            // A purged entry is no longer recognized: a replayed copy of
+            // that wave or request would be reprocessed from scratch.
             sys.trace(
                 TraceCategory::Broadcast,
                 format!("stamp window purge {purged}"),
@@ -452,7 +373,7 @@ impl Lpm {
         self.ttl_check(sys, now);
         self.recovery_housekeeping(sys);
         let interval = self.cfg.housekeeping_interval;
-        self.arm(sys, interval, TimerPurpose::Housekeeping);
+        self.arm(sys, interval, TimerKind::Housekeeping);
     }
 
     fn ttl_check(&mut self, sys: &mut Sys<'_>, now: SimTime) {
@@ -462,7 +383,7 @@ impl Lpm {
             || have_tools
             || ccs_hold
             || !self.bcasts.is_empty()
-            || self.reqs.values().any(|r| r.phase != ReqPhase::BcastWait);
+            || self.rpc.any_active();
         if active {
             self.ttl_deadline = None;
             return;
@@ -530,7 +451,7 @@ impl Program for Lpm {
             self.begin_ns_query(sys, None);
         }
         let interval = self.cfg.housekeeping_interval;
-        self.arm(sys, interval, TimerPurpose::Housekeeping);
+        self.arm(sys, interval, TimerKind::Housekeeping);
         self.note(
             sys,
             format!(
@@ -597,21 +518,22 @@ impl Program for Lpm {
     }
 
     fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
-        let Some(purpose) = self.timers.remove(&token) else {
+        let Some(kind) = self.rpc.take_timer(token) else {
             return; // cancelled
         };
-        match purpose {
-            TimerPurpose::Housekeeping => self.housekeeping(sys),
-            TimerPurpose::ReqStep(id) => self.req_step(sys, id),
-            TimerPurpose::ReqTimeout(id) => self.req_timeout(sys, id),
-            TimerPurpose::ChannelRetry(host) => self.channel_retry(sys, &host),
-            TimerPurpose::BcastForward(key) => self.bcast_forward_ready(sys, &key),
-            TimerPurpose::BcastMerge(key) => self.bcast_merge_slot(sys, &key),
-            TimerPurpose::BcastTimeout(key) => self.bcast_timeout(sys, &key),
-            TimerPurpose::Probe => self.probe_tick(sys),
-            TimerPurpose::SeekRetry => self.seek_retry(sys),
-            TimerPurpose::TimeToDie => self.time_to_die(sys),
-            TimerPurpose::NsRetry => self.ns_retry(sys),
+        match kind {
+            TimerKind::Housekeeping => self.housekeeping(sys),
+            TimerKind::ReqStep(id) => self.req_step(sys, id),
+            TimerKind::ReqTimeout(id) => self.req_timeout(sys, id),
+            TimerKind::ReqRetry(id) => self.req_retry(sys, id),
+            TimerKind::ChannelRetry(host) => self.channel_retry(sys, &host),
+            TimerKind::BcastForward(key) => self.bcast_forward_ready(sys, &key),
+            TimerKind::BcastMerge(key) => self.bcast_merge_slot(sys, &key),
+            TimerKind::BcastTimeout(key) => self.bcast_timeout(sys, &key),
+            TimerKind::Probe => self.probe_tick(sys),
+            TimerKind::SeekRetry => self.seek_retry(sys),
+            TimerKind::TimeToDie => self.time_to_die(sys),
+            TimerKind::NsRetry => self.ns_retry(sys),
         }
     }
 
@@ -698,10 +620,7 @@ mod tests {
         route.push("farther");
         l.learn_route(&route);
         assert_eq!(l.route_cache.get("far"), Some("mid"));
-        assert_eq!(
-            l.route_cache.get("farther"),
-            Some("mid")
-        );
+        assert_eq!(l.route_cache.get("farther"), Some("mid"));
         assert!(
             !l.route_cache.contains_key("mid"),
             "direct neighbours are not cached"

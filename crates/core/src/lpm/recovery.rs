@@ -21,7 +21,7 @@ use crate::config::RecoveryPolicy;
 use crate::locator::{PmdExchange, PmdProgress};
 use ppm_simos::program::ConnEvent;
 
-use super::{ChanPurpose, Lpm, RecovMode, TimerPurpose};
+use super::{ChanPurpose, Lpm, RecovMode, TimerKind};
 
 impl Lpm {
     // ---- CCS view management ------------------------------------------------
@@ -78,7 +78,7 @@ impl Lpm {
         if acting_ccs && !top_priority && !self.probe_armed {
             self.probe_armed = true;
             let d = self.cfg.probe_interval;
-            self.arm(sys, d, TimerPurpose::Probe);
+            self.arm(sys, d, TimerKind::Probe);
         }
     }
 
@@ -199,7 +199,7 @@ impl Lpm {
         match progress {
             PmdProgress::Pending => {}
             PmdProgress::RetryAfter(d) => {
-                self.arm(sys, d, TimerPurpose::NsRetry);
+                self.arm(sys, d, TimerKind::NsRetry);
             }
             PmdProgress::Answer(ppm_proto::msg::Msg::CcsInfo { ccs, epoch, .. }) => {
                 self.ns_query = None;
@@ -344,10 +344,10 @@ impl Lpm {
         if !self.ttd_armed {
             self.ttd_armed = true;
             let remaining = deadline.saturating_since(now);
-            self.arm(sys, remaining, TimerPurpose::TimeToDie);
+            self.arm(sys, remaining, TimerKind::TimeToDie);
         }
         let retry = self.cfg.reconnect_interval;
-        self.arm(sys, retry, TimerPurpose::SeekRetry);
+        self.arm(sys, retry, TimerKind::SeekRetry);
     }
 
     /// Contact with a healthy sibling or the CCS ends orphanhood: "a LPM
@@ -385,7 +385,7 @@ impl Lpm {
         if sys.now() < deadline {
             let remaining = deadline.saturating_since(sys.now());
             self.ttd_armed = true;
-            self.arm(sys, remaining, TimerPurpose::TimeToDie);
+            self.arm(sys, remaining, TimerKind::TimeToDie);
             return;
         }
         self.note_recovery(

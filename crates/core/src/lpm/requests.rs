@@ -1,9 +1,16 @@
 //! The request pipeline: dispatch, handler hand-off, local execution,
-//! remote forwarding, replies and timeouts.
+//! remote forwarding, replies, retries and timeouts.
+//!
+//! All per-request bookkeeping lives in the LPM's [`crate::rpc::RpcTable`];
+//! this module drives it. Directed requests keep their correlation key
+//! `(origin, origin id)` across relays and retries: relays forward the
+//! origin's wire id and extend the origin's route rather than starting
+//! fresh, which is what makes end-to-end dedup and full-route learning
+//! possible.
 
 use ppm_proto::msg::{ControlAction, ErrCode, Msg, Op, Reply};
 use ppm_proto::types::{FileRecord, Gpid, Route};
-use ppm_simnet::time::SimDuration;
+use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simos::events::TraceFlags;
 use ppm_simos::fd::FdKind;
 use ppm_simos::ids::{ConnId, Pid};
@@ -12,7 +19,52 @@ use ppm_simos::signal::Signal;
 use ppm_simos::sys::Sys;
 use ppm_simos::workload::Worker;
 
-use super::{conns::SiblingStatus, Lpm, ReplyTo, ReqPhase, ReqState, TimerPurpose};
+use crate::rpc::{fmt_key, DupVerdict, PendingRequest, RpcKey, TransportVerdict};
+
+use super::{conns::SiblingStatus, Lpm, ReplyTo, ReqPhase, TimerKind};
+
+/// How a request enters the pipeline: as a fresh origin request (this LPM
+/// is responsible for end-to-end retry) or as a relay/execution of a
+/// request originated elsewhere (correlation identity comes off the wire).
+pub(crate) struct RequestCtx {
+    /// Correlation key; `None` allocates a fresh `(self, id)` origin key.
+    pub corr: Option<RpcKey>,
+    /// Absolute deadline already attached to the request. Origins without
+    /// one are stamped with the configured `req_deadline`.
+    pub deadline: Option<SimTime>,
+    /// Zero-based attempt counter off the wire.
+    pub attempt: u8,
+    /// Route the request has travelled so far (origin-first, ending at
+    /// this host); `None` starts a fresh route here.
+    pub route: Option<Route>,
+}
+
+impl RequestCtx {
+    /// A request originated by this LPM (tool or internal).
+    pub(crate) fn origin() -> Self {
+        RequestCtx {
+            corr: None,
+            deadline: None,
+            attempt: 0,
+            route: None,
+        }
+    }
+
+    /// A request received from a sibling for relay or execution.
+    pub(crate) fn relayed(
+        corr: RpcKey,
+        deadline: Option<SimTime>,
+        attempt: u8,
+        route: Route,
+    ) -> Self {
+        RequestCtx {
+            corr: Some(corr),
+            deadline,
+            attempt,
+            route: Some(route),
+        }
+    }
+}
 
 impl Lpm {
     // ---- entry points -------------------------------------------------------
@@ -27,12 +79,18 @@ impl Lpm {
                 op,
                 route: _,
                 hops_left,
+                deadline_us,
+                attempt: _,
             } => {
                 let reply_to = ReplyTo::Tool {
                     conn,
                     external_id: id,
                 };
-                self.begin_request(sys, user, dest, op, reply_to, hops_left);
+                let mut ctx = RequestCtx::origin();
+                if deadline_us > 0 {
+                    ctx.deadline = Some(SimTime::from_micros(deadline_us));
+                }
+                self.begin_request(sys, user, dest, op, reply_to, hops_left, ctx);
             }
             other => {
                 self.note(
@@ -61,38 +119,21 @@ impl Lpm {
                 op,
                 route,
                 hops_left,
+                deadline_us,
+                attempt,
             } => {
-                let mut route_in = route;
-                route_in.push(self.host.clone());
-                let reply_to = ReplyTo::Sibling {
+                self.ingest_sibling_req(
+                    sys,
                     conn,
-                    external_id: id,
-                    route_in,
-                };
-                if hops_left == 0 && dest != self.host && dest != "*" {
-                    // Refuse immediately: relay budget exhausted and the
-                    // request is not for us.
-                    let id_int = self.alloc_internal_id();
-                    self.reqs.insert(
-                        id_int,
-                        ReqState {
-                            user,
-                            dest,
-                            op,
-                            reply_to,
-                            phase: ReqPhase::Dispatch,
-                            handler: None,
-                            sent_conn: None,
-                            hops_left: 0,
-                            route: Route::from_origin(self.host.clone()),
-                            timeout_token: None,
-                            spawn_pid: None,
-                        },
-                    );
-                    self.finish_with_error(sys, id_int, ErrCode::NoRoute, "hop budget exhausted");
-                    return;
-                }
-                self.begin_request(sys, user, dest, op, reply_to, hops_left.saturating_sub(1));
+                    id,
+                    user,
+                    dest,
+                    op,
+                    route,
+                    hops_left,
+                    deadline_us,
+                    attempt,
+                );
             }
             Msg::Resp { id, reply, route } => self.handle_resp(sys, id, reply, route),
             Msg::Bcast {
@@ -134,9 +175,154 @@ impl Lpm {
         }
     }
 
+    /// A directed request off a sibling connection: dedup against the
+    /// correlation table, refuse exhausted or expired requests without
+    /// allocating table state, then enter the pipeline.
+    #[allow(clippy::too_many_arguments)]
+    fn ingest_sibling_req(
+        &mut self,
+        sys: &mut Sys<'_>,
+        conn: ConnId,
+        id: u64,
+        user: u32,
+        dest: String,
+        op: Op,
+        route: Route,
+        hops_left: u8,
+        deadline_us: u64,
+        attempt: u8,
+    ) {
+        let origin: std::sync::Arc<str> = match route.origin() {
+            Some(o) => std::sync::Arc::from(o),
+            None => std::sync::Arc::from(self.host.as_str()),
+        };
+        let corr: RpcKey = (origin, id);
+        let mut route_in = route.clone();
+        route_in.push(self.host.clone());
+
+        // Idempotent dedup: a retried delivery of a request we already
+        // hold (or already executed) must not run twice.
+        match self.rpc.dup_verdict(&corr) {
+            DupVerdict::InFlight(local_id) => {
+                let is_relay = self
+                    .rpc
+                    .get(local_id)
+                    .is_some_and(|r| matches!(r.reply_to, ReplyTo::Sibling { .. }));
+                if is_relay {
+                    // Redirect the eventual reply to the retry's path.
+                    if let Some(r) = self.rpc.get_mut(local_id) {
+                        r.reply_to = ReplyTo::Sibling {
+                            conn,
+                            external_id: id,
+                            route_in: route_in.clone(),
+                        };
+                    }
+                    self.stats.dups_suppressed += 1;
+                    self.note(
+                        sys,
+                        format!(
+                            "duplicate request {} suppressed (in flight)",
+                            fmt_key(&corr)
+                        ),
+                    );
+                } else {
+                    // Our own origin request came back to us: routing loop.
+                    self.refuse(sys, conn, id, route_in, ErrCode::NoRoute, "routing loop");
+                }
+                return;
+            }
+            DupVerdict::Replay { reply, route } => {
+                self.stats.dups_suppressed += 1;
+                self.note(
+                    sys,
+                    format!("replaying cached reply for {}", fmt_key(&corr)),
+                );
+                // Replay with the cached route: the original responder's
+                // full path, so the origin still learns it from a retry.
+                let msg = Msg::Resp { id, reply, route };
+                let _ = self.send_msg(sys, conn, &msg);
+                return;
+            }
+            DupVerdict::New => {}
+        }
+
+        if hops_left == 0 && dest != self.host && dest != "*" {
+            // Refuse immediately: relay budget exhausted and the request
+            // is not for us. No table state is allocated for refusals.
+            self.refuse(
+                sys,
+                conn,
+                id,
+                route_in,
+                ErrCode::NoRoute,
+                "hop budget exhausted",
+            );
+            return;
+        }
+
+        // Deadline propagation: decay by one hop in lockstep with the
+        // hops_left decrement, and refuse what has already expired.
+        let deadline = if deadline_us > 0 {
+            let decayed = deadline_us.saturating_sub(self.cfg.deadline_decay.as_micros());
+            if decayed <= sys.now().as_micros() {
+                self.refuse(
+                    sys,
+                    conn,
+                    id,
+                    route_in,
+                    ErrCode::DeadlineExceeded,
+                    "deadline expired in flight",
+                );
+                return;
+            }
+            Some(SimTime::from_micros(decayed))
+        } else {
+            None
+        };
+
+        let reply_to = ReplyTo::Sibling {
+            conn,
+            external_id: id,
+            route_in: route_in.clone(),
+        };
+        let ctx = RequestCtx::relayed(corr, deadline, attempt, route_in);
+        self.begin_request(
+            sys,
+            user,
+            dest,
+            op,
+            reply_to,
+            hops_left.saturating_sub(1),
+            ctx,
+        );
+    }
+
+    /// Sends an error `Resp` straight back on `conn` without allocating
+    /// any table state (hop-budget and deadline refusals).
+    pub(crate) fn refuse(
+        &mut self,
+        sys: &mut Sys<'_>,
+        conn: ConnId,
+        external_id: u64,
+        route: Route,
+        code: ErrCode,
+        detail: &str,
+    ) {
+        let msg = Msg::Resp {
+            id: external_id,
+            reply: Reply::Err {
+                code,
+                detail: detail.to_string(),
+            },
+            route,
+        };
+        let _ = self.send_msg(sys, conn, &msg);
+    }
+
     // ---- pipeline -------------------------------------------------------------
 
     /// Enters a request into the staged pipeline.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn begin_request(
         &mut self,
         sys: &mut Sys<'_>,
@@ -145,13 +331,28 @@ impl Lpm {
         op: Op,
         reply_to: ReplyTo,
         hops_left: u8,
+        ctx: RequestCtx,
     ) {
         self.stats.requests += 1;
         let id = self.alloc_internal_id();
-        let route = Route::from_origin(self.host.clone());
-        self.reqs.insert(
+        let policy = self.retry_policy();
+        let origin_side = reply_to.is_origin();
+        let corr = ctx
+            .corr
+            .unwrap_or_else(|| (std::sync::Arc::from(self.host.as_str()), id));
+        let deadline = match ctx.deadline {
+            Some(d) => Some(d),
+            // Only requests we originate get the default end-to-end
+            // deadline; broadcast slices and relays carry what arrived.
+            None if origin_side => Some(sys.now() + self.cfg.req_deadline),
+            None => None,
+        };
+        let route = ctx
+            .route
+            .unwrap_or_else(|| Route::from_origin(self.host.clone()));
+        self.rpc.insert(
             id,
-            ReqState {
+            PendingRequest {
                 user,
                 dest,
                 op,
@@ -163,31 +364,37 @@ impl Lpm {
                 route,
                 timeout_token: None,
                 spawn_pid: None,
+                corr,
+                deadline,
+                attempt: ctx.attempt,
+                attempts_left: if origin_side { policy.retries() } else { 0 },
+                backoff: policy.backoff,
             },
         );
         let d = sys.scale_cost(self.cfg.dispatch_cost);
-        self.arm(sys, d, TimerPurpose::ReqStep(id));
+        self.arm(sys, d, TimerKind::ReqStep(id));
     }
 
     /// A `ReqStep` timer fired: advance the pipeline.
     pub(crate) fn req_step(&mut self, sys: &mut Sys<'_>, id: u64) {
-        let Some(req) = self.reqs.get(&id) else {
+        let Some(req) = self.rpc.get(id) else {
             return;
         };
         match req.phase {
             ReqPhase::Dispatch => self.route_request(sys, id),
             ReqPhase::HandlerForLocal => {
-                let cost = self.op_cost(&self.reqs[&id].op);
+                let cost = self.op_cost(&self.rpc.get(id).expect("checked above").op);
                 let d = sys.scale_cost(cost);
-                if let Some(r) = self.reqs.get_mut(&id) {
+                if let Some(r) = self.rpc.get_mut(id) {
                     r.phase = ReqPhase::OpCost;
                 }
-                self.arm(sys, d, TimerPurpose::ReqStep(id));
+                self.arm(sys, d, TimerKind::ReqStep(id));
             }
             ReqPhase::HandlerForRemote => self.send_remote(sys, id),
             ReqPhase::OpCost => self.exec_local(sys, id),
             ReqPhase::Sent
             | ReqPhase::AwaitChannel
+            | ReqPhase::RetryWait
             | ReqPhase::AwaitSpawn
             | ReqPhase::BcastWait => {
                 // Spurious (stale timer); the request advances on messages.
@@ -198,14 +405,14 @@ impl Lpm {
     /// After dispatch: local, broadcast, or remote?
     fn route_request(&mut self, sys: &mut Sys<'_>, id: u64) {
         let (dest, from_sibling) = {
-            let r = &self.reqs[&id];
+            let r = self.rpc.get(id).expect("routed request exists");
             (
                 r.dest.clone(),
                 matches!(r.reply_to, ReplyTo::Sibling { .. }),
             )
         };
         if dest == "*" {
-            if let Some(r) = self.reqs.get_mut(&id) {
+            if let Some(r) = self.rpc.get_mut(id) {
                 r.phase = ReqPhase::BcastWait;
             }
             self.begin_broadcast(sys, id);
@@ -213,30 +420,30 @@ impl Lpm {
             if from_sibling {
                 // Requests from siblings are handed to a handler process.
                 let (h, delay) = self.acquire_handler(sys);
-                if let Some(r) = self.reqs.get_mut(&id) {
+                if let Some(r) = self.rpc.get_mut(id) {
                     r.handler = Some(h);
                     r.phase = ReqPhase::HandlerForLocal;
                 }
-                self.arm(sys, delay, TimerPurpose::ReqStep(id));
+                self.arm(sys, delay, TimerKind::ReqStep(id));
             } else {
-                let cost = self.op_cost(&self.reqs[&id].op);
+                let cost = self.op_cost(&self.rpc.get(id).expect("checked above").op);
                 let d = sys.scale_cost(cost);
-                if let Some(r) = self.reqs.get_mut(&id) {
+                if let Some(r) = self.rpc.get_mut(id) {
                     r.phase = ReqPhase::OpCost;
                 }
-                self.arm(sys, d, TimerPurpose::ReqStep(id));
+                self.arm(sys, d, TimerKind::ReqStep(id));
             }
         } else {
             // Remote: a handler carries the exchange and blocks on it.
-            if matches!(self.reqs[&id].reply_to, ReplyTo::Sibling { .. }) {
+            if from_sibling {
                 self.stats.relays += 1;
             }
             let (h, delay) = self.acquire_handler(sys);
-            if let Some(r) = self.reqs.get_mut(&id) {
+            if let Some(r) = self.rpc.get_mut(id) {
                 r.handler = Some(h);
                 r.phase = ReqPhase::HandlerForRemote;
             }
-            self.arm(sys, delay, TimerPurpose::ReqStep(id));
+            self.arm(sys, delay, TimerKind::ReqStep(id));
         }
     }
 
@@ -260,7 +467,12 @@ impl Lpm {
     // ---- remote sends -----------------------------------------------------------
 
     fn send_remote(&mut self, sys: &mut Sys<'_>, id: u64) {
-        let dest = self.reqs[&id].dest.clone();
+        let dest = self
+            .rpc
+            .get(id)
+            .expect("sending request exists")
+            .dest
+            .clone();
         // Direct sibling connection?
         if let Some(&conn) = self.siblings.get(&dest) {
             self.forward_req(sys, id, conn);
@@ -282,7 +494,7 @@ impl Lpm {
             SiblingStatus::Pending => {
                 let msg = self.req_wire_msg(id);
                 self.outbox.entry(dest).or_default().push((msg, Some(id)));
-                if let Some(r) = self.reqs.get_mut(&id) {
+                if let Some(r) = self.rpc.get_mut(id) {
                     r.phase = ReqPhase::AwaitChannel;
                 }
             }
@@ -292,17 +504,23 @@ impl Lpm {
         }
     }
 
+    /// The wire form of a pending request. The correlation id — not the
+    /// local table id — goes on the wire, and the route extends the
+    /// origin's accumulated route, so the request keeps one identity
+    /// end-to-end.
     fn req_wire_msg(&self, id: u64) -> Msg {
-        let r = &self.reqs[&id];
+        let r = self.rpc.get(id).expect("wire msg of live request");
         let mut route = r.route.clone();
         route.push(self.host.clone());
         Msg::Req {
-            id,
+            id: r.corr.1,
             user: r.user,
             dest: r.dest.clone(),
             op: r.op.clone(),
             route,
             hops_left: r.hops_left,
+            deadline_us: r.deadline.map_or(0, SimTime::as_micros),
+            attempt: r.attempt,
         }
     }
 
@@ -311,29 +529,52 @@ impl Lpm {
         match self.send_msg(sys, conn, &msg) {
             Ok(()) => self.mark_sent(sys, id, conn),
             Err(e) => {
-                self.finish_with_error(sys, id, ErrCode::HostDown, &format!("send failed: {e}"));
+                // A synchronous send error means the connection is dead
+                // even if the kernel's closed notification has not fired
+                // yet. Reap it now so retries rebuild the channel instead
+                // of burning their budget on the same corpse.
+                self.on_conn_closed(sys, conn);
+                self.fail_request_transport(sys, id, &format!("send failed: {e}"));
             }
         }
     }
 
-    /// Records that a request went out on `conn` and arms its timeout.
+    /// Records that a request went out on `conn` and arms its per-attempt
+    /// timer (clipped to the remaining deadline, so an expiring request
+    /// fails as `DeadlineExceeded` rather than idling a full timeout).
     pub(crate) fn mark_sent(&mut self, sys: &mut Sys<'_>, id: u64, conn: ConnId) {
-        let timeout = self.cfg.req_timeout;
-        let token = self.arm(sys, timeout, TimerPurpose::ReqTimeout(id));
-        if let Some(r) = self.reqs.get_mut(&id) {
+        let now = sys.now();
+        let mut timeout = self.cfg.req_timeout;
+        if let Some(r) = self.rpc.get(id) {
+            if let Some(d) = r.deadline {
+                timeout = timeout.min(d.saturating_since(now));
+            }
+        }
+        let token = self.arm(sys, timeout, TimerKind::ReqTimeout(id));
+        if let Some(r) = self.rpc.get_mut(id) {
             r.phase = ReqPhase::Sent;
             r.sent_conn = Some(conn);
             r.timeout_token = Some(token);
         }
     }
 
-    /// A `Resp` arrived for a request we sent (or relayed).
+    /// A `Resp` arrived for a request we sent (or relayed), addressed by
+    /// its correlation key `(route origin, wire id)`.
     fn handle_resp(&mut self, sys: &mut Sys<'_>, id: u64, reply: Reply, route: Route) {
-        if !self.reqs.contains_key(&id) {
-            return; // timed out or duplicate
-        }
+        let Some(origin) = route.origin() else {
+            return;
+        };
+        let key: RpcKey = (std::sync::Arc::from(origin), id);
+        let Some(local_id) = self.rpc.resolve(&key) else {
+            return; // timed out, refused or duplicate
+        };
+        // A reply settles the request in any remote phase — including a
+        // late first-attempt reply arriving during a retry backoff (the
+        // parked `ReqRetry` timer then fires on a dead id, a no-op).
         self.learn_route(&route);
-        self.finish_req(sys, id, reply);
+        // Relays pass the responder's fuller route upstream so the origin
+        // learns the whole path, not just its first hop.
+        self.finish_req_via(sys, local_id, reply, Some(route));
     }
 
     /// Route learning: a reply's source-destination route teaches us the
@@ -346,18 +587,85 @@ impl Lpm {
         self.route_cache.learn(route, &self.host);
     }
 
-    /// A directed request timed out.
-    pub(crate) fn req_timeout(&mut self, sys: &mut Sys<'_>, id: u64) {
-        if self.reqs.contains_key(&id) {
-            self.finish_with_error(sys, id, ErrCode::Timeout, "no response");
+    // ---- retries and timeouts ---------------------------------------------------
+
+    /// A transport failure (connection loss, channel failure, send error)
+    /// hit an in-flight request. Origin-side requests with budget left
+    /// retry with backoff under the same correlation id; everything else
+    /// fails upstream.
+    pub(crate) fn fail_request_transport(&mut self, sys: &mut Sys<'_>, id: u64, detail: &str) {
+        let now = sys.now();
+        let Some(r) = self.rpc.get_mut(id) else {
+            return;
+        };
+        let token = r.timeout_token.take();
+        let verdict = r.retry_verdict(now, false);
+        if let Some(tok) = token {
+            self.rpc.cancel(tok);
         }
+        match verdict {
+            TransportVerdict::Retry { delay } => self.schedule_retry(sys, id, delay, detail),
+            TransportVerdict::Fail(code) => self.finish_with_error(sys, id, code, detail),
+        }
+    }
+
+    /// A directed request's per-attempt timer expired.
+    pub(crate) fn req_timeout(&mut self, sys: &mut Sys<'_>, id: u64) {
+        let now = sys.now();
+        let Some(r) = self.rpc.get_mut(id) else {
+            return;
+        };
+        r.timeout_token = None;
+        match r.retry_verdict(now, true) {
+            TransportVerdict::Retry { delay } => self.schedule_retry(sys, id, delay, "no response"),
+            TransportVerdict::Fail(ErrCode::DeadlineExceeded) => {
+                self.finish_with_error(sys, id, ErrCode::DeadlineExceeded, "deadline exceeded")
+            }
+            TransportVerdict::Fail(_) => {
+                self.finish_with_error(sys, id, ErrCode::Timeout, "no response")
+            }
+        }
+    }
+
+    /// Parks a request for its backoff delay before the next attempt.
+    fn schedule_retry(&mut self, sys: &mut Sys<'_>, id: u64, delay: SimDuration, why: &str) {
+        self.stats.retries += 1;
+        let (key, attempt) = {
+            let r = self.rpc.get_mut(id).expect("retrying request exists");
+            r.phase = ReqPhase::RetryWait;
+            r.sent_conn = None;
+            (fmt_key(&r.corr), r.attempt)
+        };
+        self.note(
+            sys,
+            format!("request {key} retry attempt {attempt} in {delay} ({why})"),
+        );
+        self.arm(sys, delay, TimerKind::ReqRetry(id));
+    }
+
+    /// A retry backoff elapsed: re-send under the same correlation id.
+    /// The handler acquired for the first attempt is still held.
+    pub(crate) fn req_retry(&mut self, sys: &mut Sys<'_>, id: u64) {
+        let Some(r) = self.rpc.get_mut(id) else {
+            return;
+        };
+        if r.phase != ReqPhase::RetryWait {
+            return;
+        }
+        r.phase = ReqPhase::HandlerForRemote;
+        self.send_remote(sys, id);
     }
 
     // ---- local execution ----------------------------------------------------------
 
     /// Op-cost elapsed: apply the operation's effects.
     fn exec_local(&mut self, sys: &mut Sys<'_>, id: u64) {
-        let op = self.reqs[&id].op.clone();
+        let op = self
+            .rpc
+            .get(id)
+            .expect("executing request exists")
+            .op
+            .clone();
         let reply = match op {
             Op::Ping => Some(Reply::Pong),
             Op::Status => Some(self.status_reply(sys)),
@@ -430,7 +738,7 @@ impl Lpm {
             Some(reply) => self.finish_req(sys, id, reply),
             None => {
                 // Spawn: reply deferred until the child's exec event.
-                if let Some(r) = self.reqs.get_mut(&id) {
+                if let Some(r) = self.rpc.get_mut(id) {
                     r.phase = ReqPhase::AwaitSpawn;
                 }
             }
@@ -530,8 +838,8 @@ impl Lpm {
             "create",
             format!("spawned {command} for request"),
         );
-        self.spawn_waits.insert(pid.0, id);
-        if let Some(r) = self.reqs.get_mut(&id) {
+        self.rpc.add_spawn_wait(pid.0, id);
+        if let Some(r) = self.rpc.get_mut(id) {
             r.spawn_pid = Some(pid.0);
         }
         None
@@ -615,14 +923,24 @@ impl Lpm {
 
     /// Completes a request with a reply, releasing its resources.
     pub(crate) fn finish_req(&mut self, sys: &mut Sys<'_>, id: u64, reply: Reply) {
-        let Some(req) = self.reqs.remove(&id) else {
+        self.finish_req_via(sys, id, reply, None);
+    }
+
+    /// Completes a request; `resp_route` (when a downstream `Resp`
+    /// supplied one) replaces the locally recorded route in the reply
+    /// sent upstream, so origins see whole paths.
+    fn finish_req_via(
+        &mut self,
+        sys: &mut Sys<'_>,
+        id: u64,
+        reply: Reply,
+        resp_route: Option<Route>,
+    ) {
+        let Some(req) = self.rpc.remove(id) else {
             return;
         };
         if let Some(tok) = req.timeout_token {
-            self.timers.remove(&tok);
-        }
-        if let Some(pid) = req.spawn_pid {
-            self.spawn_waits.remove(&pid);
+            self.rpc.cancel(tok);
         }
         // A relay's respond handler blocks until the node's whole wave
         // participation completes ("handler processes may block while
@@ -642,7 +960,7 @@ impl Lpm {
                 let msg = Msg::Resp {
                     id: external_id,
                     reply,
-                    route: req.route,
+                    route: resp_route.unwrap_or(req.route),
                 };
                 let _ = self.send_msg(sys, conn, &msg);
             }
@@ -651,10 +969,16 @@ impl Lpm {
                 external_id,
                 route_in,
             } => {
+                let route = resp_route.unwrap_or(route_in);
+                // Idempotent dedup: park the reply in the retention
+                // window so a retried delivery of the same correlation
+                // id is answered without re-execution.
+                self.rpc
+                    .note_done(req.corr, sys.now(), reply.clone(), route.clone());
                 let msg = Msg::Resp {
                     id: external_id,
                     reply,
-                    route: route_in,
+                    route,
                 };
                 let _ = self.send_msg(sys, conn, &msg);
             }

@@ -1,0 +1,393 @@
+//! The correlation-keyed pending-request table.
+//!
+//! One instance lives inside each LPM and owns every piece of per-request
+//! bookkeeping: the pending map (keyed by local id), the correlation
+//! index (keyed by `(origin, origin id)`), the shared dedup window, the
+//! spawn-wait map, and the timer registry. The LPM submodules drive it;
+//! nothing else in the crate reaches into its maps directly.
+
+use std::collections::HashMap;
+
+use ppm_proto::msg::{ErrCode, Reply};
+use ppm_proto::types::Route;
+use ppm_simnet::hashx::FastMap;
+use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_simos::sys::Sys;
+
+use super::{DedupEntry, PendingRequest, ReqPhase, RpcKey, TimerKind};
+
+/// Decision after a transport failure or per-attempt timeout on an
+/// origin-side request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TransportVerdict {
+    /// Budget left: re-send the same correlation id after `delay`.
+    Retry { delay: SimDuration },
+    /// Budget exhausted (or deadline passed): fail with this code.
+    Fail(ErrCode),
+}
+
+/// Classification of an arriving sibling request against the table.
+#[derive(Debug)]
+pub(crate) enum DupVerdict {
+    /// Never seen: process normally.
+    New,
+    /// The same correlation id is still in flight here (a retry overtook
+    /// the original's reply); local id of the live entry.
+    InFlight(u64),
+    /// Already executed here; replay the cached reply without running the
+    /// operation again.
+    Replay { reply: Reply, route: Route },
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct RpcTable {
+    /// Local-id allocator (the LPM salts it with the host name).
+    next_seq: u64,
+    pending: HashMap<u64, PendingRequest>,
+    /// Correlation index: `(origin, origin id)` → local id.
+    corr: FastMap<RpcKey, u64>,
+    /// Shared retention window: broadcast stamps and executed sibling
+    /// requests, purged together by `bcast_window`.
+    dedup: FastMap<RpcKey, DedupEntry>,
+    /// Spawned-but-not-yet-exec'd pid → local request id.
+    spawn_waits: HashMap<u32, u64>,
+    next_token: u64,
+    timers: HashMap<u64, TimerKind>,
+}
+
+impl RpcTable {
+    pub(crate) fn new() -> Self {
+        RpcTable {
+            next_token: 1,
+            ..Default::default()
+        }
+    }
+
+    // ---- ids -------------------------------------------------------------
+
+    /// Next raw sequence number; the caller salts it into a global id.
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    // ---- pending map -----------------------------------------------------
+
+    /// Inserts a request and indexes its correlation key.
+    pub(crate) fn insert(&mut self, id: u64, req: PendingRequest) {
+        self.corr.insert(req.corr.clone(), id);
+        self.pending.insert(id, req);
+    }
+
+    pub(crate) fn get(&self, id: u64) -> Option<&PendingRequest> {
+        self.pending.get(&id)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: u64) -> Option<&mut PendingRequest> {
+        self.pending.get_mut(&id)
+    }
+
+    /// Removes a request, its correlation index entry, and any spawn wait
+    /// pointing at it.
+    pub(crate) fn remove(&mut self, id: u64) -> Option<PendingRequest> {
+        let req = self.pending.remove(&id)?;
+        if self.corr.get(&req.corr) == Some(&id) {
+            self.corr.remove(&req.corr);
+        }
+        if let Some(pid) = req.spawn_pid {
+            self.spawn_waits.remove(&pid);
+        }
+        Some(req)
+    }
+
+    /// Local id of the in-flight request with this correlation key.
+    pub(crate) fn resolve(&self, key: &RpcKey) -> Option<u64> {
+        self.corr.get(key).copied()
+    }
+
+    /// Local ids whose request was last sent on `conn` (stable order).
+    pub(crate) fn sent_on(&self, conn: ppm_simos::ids::ConnId) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, r)| r.sent_conn == Some(conn))
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether any request outside the broadcast machinery is pending
+    /// (keeps the LPM alive past its idle TTL).
+    pub(crate) fn any_active(&self) -> bool {
+        self.pending
+            .values()
+            .any(|r| r.phase != ReqPhase::BcastWait)
+    }
+
+    // ---- duplicate suppression -------------------------------------------
+
+    /// Classifies an arriving sibling request by correlation key.
+    pub(crate) fn dup_verdict(&self, key: &RpcKey) -> DupVerdict {
+        if let Some(&id) = self.corr.get(key) {
+            return DupVerdict::InFlight(id);
+        }
+        if let Some(DedupEntry::Done { reply, route, .. }) = self.dedup.get(key) {
+            return DupVerdict::Replay {
+                reply: reply.clone(),
+                route: route.clone(),
+            };
+        }
+        DupVerdict::New
+    }
+
+    /// Records a broadcast stamp in the retention window.
+    pub(crate) fn note_bcast(&mut self, key: RpcKey, at: SimTime) {
+        self.dedup.insert(key, DedupEntry::Bcast { at });
+    }
+
+    /// Whether a broadcast stamp is inside the retention window.
+    pub(crate) fn bcast_seen(&self, key: &RpcKey) -> bool {
+        matches!(self.dedup.get(key), Some(DedupEntry::Bcast { .. }))
+    }
+
+    /// Caches the reply of an executed sibling request so a retried
+    /// delivery is answered without re-execution.
+    pub(crate) fn note_done(&mut self, key: RpcKey, at: SimTime, reply: Reply, route: Route) {
+        self.dedup
+            .insert(key, DedupEntry::Done { at, reply, route });
+    }
+
+    /// Drops dedup entries older than `window`; returns how many went.
+    pub(crate) fn purge_dedup(&mut self, now: SimTime, window: SimDuration) -> usize {
+        let before = self.dedup.len();
+        self.dedup
+            .retain(|_, e| now.saturating_since(e.at()) < window);
+        before - self.dedup.len()
+    }
+
+    // ---- spawn waits -----------------------------------------------------
+
+    pub(crate) fn add_spawn_wait(&mut self, pid: u32, id: u64) {
+        self.spawn_waits.insert(pid, id);
+    }
+
+    pub(crate) fn take_spawn_wait(&mut self, pid: u32) -> Option<u64> {
+        self.spawn_waits.remove(&pid)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn peek_spawn_wait(&self, pid: u32) -> Option<u64> {
+        self.spawn_waits.get(&pid).copied()
+    }
+
+    // ---- timers ----------------------------------------------------------
+
+    /// Arms a timer and records what it means.
+    pub(crate) fn arm(&mut self, sys: &mut Sys<'_>, d: SimDuration, kind: TimerKind) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.timers.insert(token, kind);
+        sys.set_timer(d, token);
+        token
+    }
+
+    /// Forgets an armed timer (a later fire becomes a no-op).
+    pub(crate) fn cancel(&mut self, token: u64) {
+        self.timers.remove(&token);
+    }
+
+    /// Consumes a fired timer's meaning, if still armed.
+    pub(crate) fn take_timer(&mut self, token: u64) -> Option<TimerKind> {
+        self.timers.remove(&token)
+    }
+}
+
+impl PendingRequest {
+    /// Whether the request's absolute deadline has passed.
+    pub(crate) fn past_deadline(&self, now: SimTime) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// Decides what to do after a transport failure (`timed_out: false`)
+    /// or a per-attempt timeout (`timed_out: true`). Granting a retry
+    /// consumes one attempt and doubles the backoff; only origin-side
+    /// requests ever retry — relays propagate the failure upstream.
+    pub(crate) fn retry_verdict(&mut self, now: SimTime, timed_out: bool) -> TransportVerdict {
+        if self.past_deadline(now) {
+            return TransportVerdict::Fail(ErrCode::DeadlineExceeded);
+        }
+        if self.reply_to.is_origin() && self.attempts_left > 0 {
+            self.attempts_left -= 1;
+            self.attempt = self.attempt.saturating_add(1);
+            let delay = self.backoff;
+            self.backoff = SimDuration::from_micros(self.backoff.as_micros().saturating_mul(2));
+            return TransportVerdict::Retry { delay };
+        }
+        TransportVerdict::Fail(if timed_out {
+            ErrCode::Timeout
+        } else {
+            ErrCode::HostDown
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ReplyTo;
+    use super::*;
+    use ppm_proto::msg::Op;
+    use std::sync::Arc;
+
+    fn req(corr: RpcKey, reply_to: ReplyTo) -> PendingRequest {
+        PendingRequest {
+            user: 100,
+            dest: "far".into(),
+            op: Op::Ping,
+            reply_to,
+            phase: ReqPhase::Sent,
+            handler: None,
+            sent_conn: None,
+            hops_left: 8,
+            route: Route::from_origin("here"),
+            timeout_token: None,
+            spawn_pid: None,
+            corr,
+            deadline: None,
+            attempt: 0,
+            attempts_left: 2,
+            backoff: SimDuration::from_millis(250),
+        }
+    }
+
+    #[test]
+    fn correlation_index_tracks_insert_and_remove() {
+        let mut t = RpcTable::new();
+        let key: RpcKey = (Arc::from("here"), 7);
+        t.insert(7, req(key.clone(), ReplyTo::Internal));
+        assert_eq!(t.resolve(&key), Some(7));
+        matches!(t.dup_verdict(&key), DupVerdict::InFlight(7));
+        t.remove(7);
+        assert_eq!(t.resolve(&key), None);
+        assert!(matches!(t.dup_verdict(&key), DupVerdict::New));
+    }
+
+    #[test]
+    fn done_entries_replay_and_age_out() {
+        let mut t = RpcTable::new();
+        let key: RpcKey = (Arc::from("far"), 9);
+        let at = SimTime::from_micros(1_000_000);
+        t.note_done(key.clone(), at, Reply::Pong, Route::from_origin("far"));
+        match t.dup_verdict(&key) {
+            DupVerdict::Replay { reply, .. } => assert_eq!(reply, Reply::Pong),
+            v => panic!("expected replay, got {v:?}"),
+        }
+        // Inside the window: kept. Past it: purged.
+        let window = SimDuration::from_secs(60);
+        assert_eq!(t.purge_dedup(SimTime::from_micros(2_000_000), window), 0);
+        let purged = t.purge_dedup(at + SimDuration::from_secs(61), window);
+        assert_eq!(purged, 1);
+        assert!(matches!(t.dup_verdict(&key), DupVerdict::New));
+    }
+
+    #[test]
+    fn bcast_and_done_entries_share_the_window() {
+        let mut t = RpcTable::new();
+        let b: RpcKey = (Arc::from("a"), 1);
+        let d: RpcKey = (Arc::from("b"), 2);
+        t.note_bcast(b.clone(), SimTime::ZERO);
+        t.note_done(
+            d,
+            SimTime::from_micros(500),
+            Reply::Pong,
+            Route::from_origin("b"),
+        );
+        assert!(t.bcast_seen(&b));
+        let purged = t.purge_dedup(SimTime::from_micros(2_000_000), SimDuration::from_millis(1));
+        assert_eq!(purged, 2);
+        assert!(!t.bcast_seen(&b));
+    }
+
+    #[test]
+    fn retry_verdict_consumes_budget_then_fails() {
+        let now = SimTime::from_micros(1_000);
+        let mut r = req((Arc::from("here"), 1), ReplyTo::Internal);
+        let v1 = r.retry_verdict(now, false);
+        assert_eq!(
+            v1,
+            TransportVerdict::Retry {
+                delay: SimDuration::from_millis(250)
+            }
+        );
+        assert_eq!(r.attempt, 1);
+        let v2 = r.retry_verdict(now, false);
+        assert_eq!(
+            v2,
+            TransportVerdict::Retry {
+                delay: SimDuration::from_millis(500)
+            }
+        );
+        assert_eq!(
+            r.retry_verdict(now, false),
+            TransportVerdict::Fail(ErrCode::HostDown)
+        );
+        assert_eq!(
+            r.retry_verdict(now, true),
+            TransportVerdict::Fail(ErrCode::Timeout)
+        );
+    }
+
+    #[test]
+    fn relays_never_retry() {
+        let now = SimTime::from_micros(1_000);
+        let mut r = req(
+            (Arc::from("orig"), 1),
+            ReplyTo::Sibling {
+                conn: ppm_simos::ids::ConnId(3),
+                external_id: 1,
+                route_in: Route::from_origin("orig"),
+            },
+        );
+        assert_eq!(
+            r.retry_verdict(now, false),
+            TransportVerdict::Fail(ErrCode::HostDown)
+        );
+        assert_eq!(r.attempts_left, 2, "budget untouched for relays");
+    }
+
+    #[test]
+    fn deadline_overrides_budget() {
+        let mut r = req((Arc::from("here"), 1), ReplyTo::Internal);
+        r.deadline = Some(SimTime::from_micros(500));
+        assert_eq!(
+            r.retry_verdict(SimTime::from_micros(600), true),
+            TransportVerdict::Fail(ErrCode::DeadlineExceeded)
+        );
+        assert_eq!(r.attempts_left, 2);
+    }
+
+    #[test]
+    fn timers_round_trip_through_the_registry() {
+        // `arm` needs a live Sys; cancel/take are exercised standalone.
+        let mut t = RpcTable::new();
+        t.timers.insert(5, TimerKind::ReqRetry(42));
+        assert_eq!(t.take_timer(5), Some(TimerKind::ReqRetry(42)));
+        assert_eq!(t.take_timer(5), None);
+        t.timers.insert(6, TimerKind::Probe);
+        t.cancel(6);
+        assert_eq!(t.take_timer(6), None);
+    }
+
+    #[test]
+    fn spawn_waits_follow_request_removal() {
+        let mut t = RpcTable::new();
+        let key: RpcKey = (Arc::from("here"), 3);
+        let mut r = req(key, ReplyTo::Internal);
+        r.spawn_pid = Some(77);
+        t.insert(3, r);
+        t.add_spawn_wait(77, 3);
+        assert_eq!(t.peek_spawn_wait(77), Some(3));
+        t.remove(3);
+        assert_eq!(t.take_spawn_wait(77), None, "removal clears the wait");
+    }
+}

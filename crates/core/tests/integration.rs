@@ -813,7 +813,10 @@ fn cpu_threshold_trigger_fires_end_to_end() {
     // threshold is evaluated against the event's process, so the action
     // fires only once the hog's accounted CPU crosses 200 ms.
     let spec = TriggerSpec {
-        action: TriggerAction::Signal { target: hog_gpid.clone(), signal: 9 },
+        action: TriggerAction::Signal {
+            target: hog_gpid.clone(),
+            signal: 9,
+        },
         ..spec
     };
     ppm.run_tool(
@@ -825,8 +828,10 @@ fn cpu_threshold_trigger_fires_end_to_end() {
     .unwrap();
 
     // Poke both processes so kernel events (with CPU accounting) flow.
-    ppm.control("calder", USER, &modest_gpid, ControlAction::Stop).unwrap();
-    ppm.control("calder", USER, &modest_gpid, ControlAction::Background).unwrap();
+    ppm.control("calder", USER, &modest_gpid, ControlAction::Stop)
+        .unwrap();
+    ppm.control("calder", USER, &modest_gpid, ControlAction::Background)
+        .unwrap();
     // The stop's own signal event can already fire the trigger, in which
     // case the follow-up control races with the kill — tolerate that.
     let _ = ppm.control("calder", USER, &hog_gpid, ControlAction::Stop);
@@ -841,7 +846,10 @@ fn cpu_threshold_trigger_fires_end_to_end() {
         .get(ppm_simos::ids::Pid(hog_gpid.pid))
         .unwrap()
         .is_alive();
-    assert!(!hog_alive, "the hog crossed the CPU threshold and was killed");
+    assert!(
+        !hog_alive,
+        "the hog crossed the CPU threshold and was killed"
+    );
     // The modest job survives its own signals (its CPU stays under).
     let modest_state = ppm
         .world()

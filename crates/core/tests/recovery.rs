@@ -560,7 +560,8 @@ fn ccs_with_siblings_does_not_expire_by_ttl() {
         .build();
     // home is the CCS; it manages no local processes of its own, but its
     // sibling on work holds a long-lived job.
-    ppm.spawn_remote("home", USER, "work", "long-job", None, None).unwrap();
+    ppm.spawn_remote("home", USER, "work", "long-job", None, None)
+        .unwrap();
     ppm.run_for(SimDuration::from_secs(60));
 
     let home = ppm.host("home").unwrap();

@@ -684,7 +684,10 @@ mod tests {
                 Ok(S(dec.str()?))
             }
         }
-        let items: Vec<S> = ["a", "bb", "ccc"].iter().map(|s| S(s.to_string())).collect();
+        let items: Vec<S> = ["a", "bb", "ccc"]
+            .iter()
+            .map(|s| S(s.to_string()))
+            .collect();
         let bytes = encode_batch(&items);
         let back: Vec<S> = decode_batch(&bytes).unwrap();
         assert_eq!(back.len(), 3);

@@ -26,6 +26,8 @@
 //!     op: Op::Control { pid: 42, action: ControlAction::Stop },
 //!     route: Route::from_origin("ucbvax"),
 //!     hops_left: 8,
+//!     deadline_us: 0,
+//!     attempt: 0,
 //! };
 //! let bytes = msg.to_bytes();
 //! assert_eq!(Msg::from_bytes(&bytes)?, msg);

@@ -77,6 +77,10 @@ pub enum ErrCode {
     NotFound,
     /// Internal failure in the manager.
     Internal,
+    /// The request's propagated deadline expired while it was in flight
+    /// (distinct from [`ErrCode::Timeout`], which means the local timer
+    /// fired with no reply).
+    DeadlineExceeded,
 }
 
 impl Wire for ErrCode {
@@ -90,6 +94,7 @@ impl Wire for ErrCode {
             ErrCode::BadRequest => 5,
             ErrCode::NotFound => 6,
             ErrCode::Internal => 7,
+            ErrCode::DeadlineExceeded => 8,
         };
         enc.u8(tag);
     }
@@ -104,6 +109,7 @@ impl Wire for ErrCode {
             5 => ErrCode::BadRequest,
             6 => ErrCode::NotFound,
             7 => ErrCode::Internal,
+            8 => ErrCode::DeadlineExceeded,
             tag => {
                 return Err(CodecError::BadTag {
                     what: "ErrCode",
@@ -600,6 +606,13 @@ pub enum Msg {
         route: Route,
         /// Remaining relay budget.
         hops_left: u8,
+        /// Absolute deadline (simulated µs since epoch); `0` means none.
+        /// Relays decay it in lockstep with `hops_left` and refuse
+        /// expired requests with [`ErrCode::DeadlineExceeded`].
+        deadline_us: u64,
+        /// Zero-based attempt counter; retries reuse the same `id` so
+        /// receivers can deduplicate on `(origin, id)`.
+        attempt: u8,
     },
     /// Reply to [`Msg::Req`], relayed back along the reverse route.
     Resp {
@@ -775,6 +788,8 @@ impl Wire for Msg {
                 op,
                 route,
                 hops_left,
+                deadline_us,
+                attempt,
             } => {
                 enc.u8(6);
                 enc.u64(*id);
@@ -783,6 +798,8 @@ impl Wire for Msg {
                 op.encode(enc);
                 route.encode(enc);
                 enc.u8(*hops_left);
+                enc.u64(*deadline_us);
+                enc.u8(*attempt);
             }
             Msg::Resp { id, reply, route } => {
                 enc.u8(7);
@@ -885,6 +902,8 @@ impl Wire for Msg {
                 op: Op::decode(dec)?,
                 route: Route::decode(dec)?,
                 hops_left: dec.u8()?,
+                deadline_us: dec.u64()?,
+                attempt: dec.u8()?,
             },
             7 => Msg::Resp {
                 id: dec.u64()?,
@@ -977,6 +996,8 @@ mod tests {
                 },
                 route: route.clone(),
                 hops_left: 4,
+                deadline_us: 30_000_000,
+                attempt: 1,
             },
             Msg::Resp {
                 id: 9,
@@ -1185,8 +1206,24 @@ mod tests {
             },
             route,
             hops_left: 8,
+            deadline_us: 30_000_000,
+            attempt: 0,
         };
         let n = m.wire_len();
         assert!(n < 200, "routed control request is {n} bytes");
+    }
+
+    #[test]
+    fn deadline_exceeded_is_distinct_from_timeout() {
+        // Both codes roundtrip and stay distinguishable on the wire, so
+        // callers can tell "expired in flight" from "no reply in time".
+        for code in [ErrCode::DeadlineExceeded, ErrCode::Timeout] {
+            let b = code.to_bytes();
+            assert_eq!(ErrCode::from_bytes(&b).unwrap(), code);
+        }
+        assert_ne!(
+            ErrCode::DeadlineExceeded.to_bytes(),
+            ErrCode::Timeout.to_bytes()
+        );
     }
 }

@@ -173,6 +173,7 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
         Just(ErrCode::BadRequest),
         Just(ErrCode::NotFound),
         Just(ErrCode::Internal),
+        Just(ErrCode::DeadlineExceeded),
     ];
     prop_oneof![
         Just(Reply::Ok),
@@ -268,16 +269,22 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             arb_name(),
             arb_op(),
             arb_route(),
+            any::<u8>(),
+            any::<u64>(),
             any::<u8>()
         )
-            .prop_map(|(id, user, dest, op, route, hops_left)| Msg::Req {
-                id,
-                user,
-                dest,
-                op,
-                route,
-                hops_left
-            }),
+            .prop_map(
+                |(id, user, dest, op, route, hops_left, deadline_us, attempt)| Msg::Req {
+                    id,
+                    user,
+                    dest,
+                    op,
+                    route,
+                    hops_left,
+                    deadline_us,
+                    attempt
+                }
+            ),
         (any::<u64>(), arb_reply(), arb_route()).prop_map(|(id, reply, route)| Msg::Resp {
             id,
             reply,

@@ -251,8 +251,10 @@ impl<'a> Sys<'a> {
             p.rusage.msgs_received += 1;
             p.rusage.bytes_received += bytes as u64;
         }
-        self.core
-            .emit_kernel_event(key.0, crate::events::KernelEvent::MsgReceived { pid: key.1, bytes });
+        self.core.emit_kernel_event(
+            key.0,
+            crate::events::KernelEvent::MsgReceived { pid: key.1, bytes },
+        );
     }
 
     // ---- timers ----------------------------------------------------------

@@ -496,12 +496,20 @@ fn events_to_stopped_processes_are_deferred_until_continue() {
         Uid(1),
         SpawnSpec::new(
             "rec",
-            Box::new(Recorder { target: b, port: Port(9), log, send_burst: 5 }),
+            Box::new(Recorder {
+                target: b,
+                port: Port(9),
+                log,
+                send_burst: 5,
+            }),
         ),
     )
     .unwrap();
     w.run_for(SimDuration::from_secs(2));
-    assert!(handled.borrow().is_empty(), "stopped process handles nothing");
+    assert!(
+        handled.borrow().is_empty(),
+        "stopped process handles nothing"
+    );
 
     // Continue: the queued messages are handled, in order.
     w.post_signal(Uid(1), (b, server), Signal::Cont).unwrap();
@@ -534,7 +542,12 @@ fn busy_processes_queue_events_behind_their_work() {
         Uid(1),
         SpawnSpec::new(
             "rec",
-            Box::new(Recorder { target: b, port: Port(9), log, send_burst: 4 }),
+            Box::new(Recorder {
+                target: b,
+                port: Port(9),
+                log,
+                send_burst: 4,
+            }),
         ),
     )
     .unwrap();
@@ -542,7 +555,10 @@ fn busy_processes_queue_events_behind_their_work() {
     // costs 100 ms of CPU, so by 600 ms at most three are handled.
     w.run_for(SimDuration::from_millis(300));
     let n_early = handled.borrow().len();
-    assert!((1..4).contains(&n_early), "burst serialized: {n_early} handled early");
+    assert!(
+        (1..4).contains(&n_early),
+        "burst serialized: {n_early} handled early"
+    );
     w.run_for(SimDuration::from_secs(2));
     assert_eq!(*handled.borrow(), vec![0, 1, 2, 3], "all handled, in order");
 }
@@ -574,13 +590,21 @@ fn deferred_deliveries_are_accounted_exactly_once() {
         Uid(1),
         SpawnSpec::new(
             "rec",
-            Box::new(Recorder { target: b, port: Port(9), log, send_burst: 4 }),
+            Box::new(Recorder {
+                target: b,
+                port: Port(9),
+                log,
+                send_burst: 4,
+            }),
         ),
     )
     .unwrap();
     w.run_for(SimDuration::from_secs(3));
     assert_eq!(handled.borrow().len(), 4);
     let p = w.core().kernel(b).get(server).unwrap();
-    assert_eq!(p.rusage.msgs_received, 4, "each message accounted exactly once");
+    assert_eq!(
+        p.rusage.msgs_received, 4,
+        "each message accounted exactly once"
+    );
     assert_eq!(p.rusage.bytes_received, 4 * 16);
 }

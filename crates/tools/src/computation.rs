@@ -7,9 +7,11 @@
 //! (via a distributed snapshot and the assembled forest), then deliver a
 //! control action to each member through the PPM.
 
+use ppm_core::client::ToolStep;
 use ppm_core::harness::{HarnessError, PpmHarness};
-use ppm_proto::msg::ControlAction;
+use ppm_proto::msg::{ControlAction, ErrCode, Op, Reply};
 use ppm_proto::types::{Gpid, WireProcState};
+use ppm_simnet::time::SimDuration;
 use ppm_simos::ids::Uid;
 
 use crate::forest::Forest;
@@ -76,15 +78,38 @@ pub fn signal_computation(
     action: ControlAction,
 ) -> Result<usize, HarnessError> {
     let sites = locate(ppm, from_host, uid, root)?;
+    if sites.members.is_empty() {
+        return Ok(0);
+    }
+    // One tool delivers the whole interrupt wave: all control requests go
+    // out pipelined on a single LPM connection instead of one tool run
+    // per member.
+    let script: Vec<ToolStep> = sites
+        .members
+        .iter()
+        .map(|m| ToolStep::new(m.host.clone(), Op::Control { pid: m.pid, action }))
+        .collect();
+    let window = script.len();
+    let wait = SimDuration::from_secs(60);
+    let outcome = ppm.run_tool_pipelined(from_host, uid, script, window, wait)?;
+    if let Some(err) = outcome.error {
+        return Err(HarnessError::Tool(err));
+    }
     let mut delivered = 0;
-    for member in &sites.members {
-        match ppm.control(from_host, uid, member, action) {
-            Ok(()) => delivered += 1,
-            Err(HarnessError::Lpm(ref s)) if s.contains("NoSuchProcess") => {
+    for (i, member) in sites.members.iter().enumerate() {
+        match outcome.reply(i) {
+            Some(Reply::Ok) => delivered += 1,
+            Some(Reply::Err {
+                code: ErrCode::NoSuchProcess,
+                ..
+            }) => {
                 // Raced with the process's own exit; consistent with the
                 // paper's on-demand, best-effort administration.
             }
-            Err(e) => return Err(e),
+            Some(Reply::Err { code, detail }) => {
+                return Err(HarnessError::Lpm(format!("{code:?}: {detail} ({member})")));
+            }
+            _ => return Err(HarnessError::UnexpectedReply),
         }
     }
     Ok(delivered)

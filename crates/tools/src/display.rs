@@ -5,8 +5,10 @@
 
 use std::fmt::Write as _;
 
+use ppm_core::client::ToolStep;
 use ppm_core::harness::{HarnessError, PpmHarness};
-use ppm_proto::msg::Reply;
+use ppm_proto::msg::{Op, Reply};
+use ppm_simnet::time::SimDuration;
 use ppm_simos::ids::Uid;
 
 use crate::forest::Forest;
@@ -33,6 +35,10 @@ pub struct HostStatus {
 /// Collects per-host status for every host in the network, tolerating
 /// unreachable ones (they appear with `reachable = false`).
 ///
+/// All the status requests go out through one tool with a pipeline
+/// window covering the whole host list, so slow hosts are probed
+/// concurrently instead of serializing the dashboard.
+///
 /// # Errors
 ///
 /// Only infrastructure failures (tool could not run at all) propagate.
@@ -48,10 +54,22 @@ pub fn gather_status(
         .host_ids()
         .map(|h| ppm.world().core().host_name(h).to_string())
         .collect();
+    let script: Vec<ToolStep> = hosts
+        .iter()
+        .map(|h| ToolStep::new(h.clone(), Op::Status))
+        .collect();
+    let window = script.len().max(1);
+    // Tolerate a partial outcome (e.g. the tool hit its own deadline):
+    // hosts without a reply simply show as unreachable.
+    let outcome = match ppm.run_tool_pipelined(from_host, uid, script, window, WAIT) {
+        Ok(outcome) => outcome,
+        Err(HarnessError::Timeout) => return Ok(hosts.iter().map(|h| dark_row(h)).collect()),
+        Err(e) => return Err(e),
+    };
     let mut rows = Vec::new();
-    for host in hosts {
-        match ppm.status(from_host, uid, &host) {
-            Ok(Reply::Status {
+    for (i, queried) in hosts.iter().enumerate() {
+        match outcome.reply(i) {
+            Some(Reply::Status {
                 host,
                 load_milli,
                 managed,
@@ -60,33 +78,34 @@ pub fn gather_status(
                 epoch,
             }) => {
                 rows.push(HostStatus {
-                    host,
-                    load_milli,
-                    managed,
-                    siblings,
-                    ccs,
-                    epoch,
+                    host: host.clone(),
+                    load_milli: *load_milli,
+                    managed: *managed,
+                    siblings: siblings.clone(),
+                    ccs: ccs.clone(),
+                    epoch: *epoch,
                     reachable: true,
                 });
             }
-            Ok(_)
-            | Err(HarnessError::Lpm(_))
-            | Err(HarnessError::Tool(_))
-            | Err(HarnessError::Timeout) => {
-                rows.push(HostStatus {
-                    host: host.clone(),
-                    load_milli: 0,
-                    managed: 0,
-                    siblings: Vec::new(),
-                    ccs: String::new(),
-                    epoch: 0,
-                    reachable: false,
-                });
-            }
-            Err(e) => return Err(e),
+            _ => rows.push(dark_row(queried)),
         }
     }
     Ok(rows)
+}
+
+/// Wait budget for the dashboard sweep.
+const WAIT: SimDuration = SimDuration::from_secs(60);
+
+fn dark_row(host: &str) -> HostStatus {
+    HostStatus {
+        host: host.to_string(),
+        load_milli: 0,
+        managed: 0,
+        siblings: Vec::new(),
+        ccs: String::new(),
+        epoch: 0,
+        reachable: false,
+    }
 }
 
 /// Renders the full dashboard: status table plus computation forest.

@@ -25,7 +25,9 @@ fn harness() -> PpmHarness {
 #[test]
 fn snapshot_tool_verbs_drive_remote_processes() {
     let mut ppm = harness();
-    let g = ppm.spawn_remote("a", USER, "b", "victim", None, None).unwrap();
+    let g = ppm
+        .spawn_remote("a", USER, "b", "victim", None, None)
+        .unwrap();
     let b = ppm.host("b").unwrap();
     let pid = Pid(g.pid);
     let state = |ppm: &PpmHarness| ppm.world().core().kernel(b).get(pid).unwrap().state;
@@ -56,7 +58,9 @@ fn snapshot_tool_verbs_drive_remote_processes() {
 #[test]
 fn computation_locate_tracks_membership_changes() {
     let mut ppm = harness();
-    let root = ppm.spawn_remote("a", USER, "a", "root", None, None).unwrap();
+    let root = ppm
+        .spawn_remote("a", USER, "a", "root", None, None)
+        .unwrap();
     let w1 = ppm
         .spawn_remote("a", USER, "b", "w1", Some(root.clone()), None)
         .unwrap();
@@ -86,7 +90,8 @@ fn computation_locate_tracks_membership_changes() {
 fn dashboard_reflects_load_and_management_counts() {
     let mut ppm = harness();
     for i in 0..3 {
-        ppm.spawn_remote("a", USER, "b", &format!("job{i}"), None, None).unwrap();
+        ppm.spawn_remote("a", USER, "b", &format!("job{i}"), None, None)
+            .unwrap();
     }
     let rows = display::gather_status(&mut ppm, "a", USER).unwrap();
     let b_row = rows.iter().find(|r| r.host == "b").unwrap();

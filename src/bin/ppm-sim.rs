@@ -2,13 +2,26 @@
 //!
 //! ```console
 //! $ cargo run --bin ppm-sim -- scenarios/demo.ppm
+//! $ cargo run --bin ppm-sim -- --trace scenarios/demo.ppm
 //! ```
+//!
+//! `--trace` appends the full simulation trace after the scenario output.
+//! The world is seeded, so two runs of the same scenario produce
+//! identical traces — CI diffs them as a determinism gate.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: ppm-sim <scenario-file>");
+    let mut trace = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--trace" => trace = true,
+            _ => path = Some(arg),
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: ppm-sim [--trace] <scenario-file>");
         eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
         return ExitCode::FAILURE;
     };
@@ -28,8 +41,11 @@ fn main() -> ExitCode {
     };
     let mut out = String::new();
     match ppm::scenario::execute(&scenario, &mut out) {
-        Ok(_) => {
+        Ok(ppm) => {
             print!("{out}");
+            if trace {
+                print!("{}", ppm.world().core().trace().render(None));
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -16,9 +16,11 @@ fn demo_scenario_parses_and_executes() {
 
 #[test]
 fn nameserver_scenario_parses_and_executes() {
-    let text =
-        std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/nameserver.ppm"))
-            .expect("scenarios/nameserver.ppm exists");
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/nameserver.ppm"
+    ))
+    .expect("scenarios/nameserver.ppm exists");
     let sc = ppm::scenario::parse(&text).expect("nameserver parses");
     let mut out = String::new();
     ppm::scenario::execute(&sc, &mut out).expect("nameserver executes");
