@@ -1,51 +1,84 @@
-//! Emits `BENCH_PR1.json`: median ns/op for each optimised hot path and
-//! its bench-local seed copy, measured in the same process and run.
+//! Emits `BENCH_PR3.json`: median ns/op for each optimised hot path and
+//! its bench-local seed copy, measured in the same process and run. The
+//! three pairs recorded in the checked-in `BENCH_PR1.json` are
+//! re-measured and reported alongside the aggregation-PR pairs, and the
+//! PR 1 medians are carried into the output so the history is not
+//! overwritten.
 //!
-//! Usage: `cargo run --release -p ppm-bench --bin emit_bench`
-//! (from the repository root; the file is written to the working
-//! directory).
+//! Usage:
+//!
+//! * `cargo run --release -p ppm-bench --bin emit_bench`
+//!   (from the repository root; `BENCH_PR3.json` is written to the
+//!   working directory)
+//! * `... --bin emit_bench -- --gate`
+//!   re-measures every pair and exits non-zero if any workload regressed
+//!   more than [`GATE_TOLERANCE_PCT`] against the checked-in
+//!   `BENCH_PR3.json` — the CI perf-regression smoke gate.
+//!
+//! Absolute nanoseconds are not comparable across machines (or even
+//! across runs on a loaded CI box), so the gate normalises each
+//! workload by its bench-local seed copy measured in the same run: what
+//! is compared against the checked-in JSON is the optimised/seed median
+//! ratio, which only moves when the optimised code itself changes.
 
 use std::time::Instant;
 
 use ppm_bench::hotpath;
 
-/// Samples per benchmark; the median is reported.
+/// Sampling epochs per pair; the median is reported. Each epoch times
+/// the optimised and seed sides back to back, so slow machine drift
+/// (frequency scaling, CI throttling) hits both sides of an epoch
+/// equally and cancels out of the per-epoch ratio.
 const SAMPLES: usize = 15;
 
 /// Runs `work` until it has consumed roughly this much wall time per
 /// sample, so fast workloads are timed over many iterations.
 const TARGET_SAMPLE_MS: u128 = 25;
 
-/// Median ns per call of `work`, over [`SAMPLES`] samples.
-fn median_ns(work: &mut dyn FnMut() -> u64) -> f64 {
-    // Calibrate: how many calls fill one sample?
-    let mut sink = 0u64;
+/// How much a workload's optimised/seed ratio may regress against the
+/// checked-in ratio before the gate fails. Generous because CI machines
+/// are noisy; real regressions from the structural changes this guards
+/// against are integer factors, not percents.
+const GATE_TOLERANCE_PCT: f64 = 10.0;
+
+/// The checked-in results the gate compares against.
+const BASELINE_JSON: &str = "BENCH_PR3.json";
+
+/// The PR 1 results carried into the emitted file's `previous` section.
+const PR1_JSON: &str = "BENCH_PR1.json";
+
+/// How many calls of `work` fill roughly one sampling epoch.
+fn calibrate(work: &mut dyn FnMut() -> u64, sink: &mut u64) -> u64 {
     let start = Instant::now();
     let mut calls = 0u64;
     while start.elapsed().as_millis() < TARGET_SAMPLE_MS / 5 {
-        sink = sink.wrapping_add(work());
+        *sink = sink.wrapping_add(work());
         calls += 1;
     }
-    let per_sample = calls.max(1) * 5;
+    calls.max(1) * 5
+}
 
-    let mut samples: Vec<f64> = (0..SAMPLES)
-        .map(|_| {
-            let t = Instant::now();
-            for _ in 0..per_sample {
-                sink = sink.wrapping_add(work());
-            }
-            t.elapsed().as_nanos() as f64 / per_sample as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    std::hint::black_box(sink);
-    samples[samples.len() / 2]
+/// Median ns per call over one side of an epoch.
+fn time_side(work: &mut dyn FnMut() -> u64, calls: u64, sink: &mut u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..calls {
+        *sink = sink.wrapping_add(work());
+    }
+    t.elapsed().as_nanos() as f64 / calls as f64
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    v[v.len() / 2]
 }
 
 struct Pair {
     name: &'static str,
     new_ns: f64,
     seed_ns: f64,
+    /// Median of the per-epoch optimised/seed ratios — the
+    /// machine-independent quantity the gate compares.
+    ratio: f64,
 }
 
 impl Pair {
@@ -54,35 +87,128 @@ impl Pair {
     }
 }
 
-fn main() {
-    let msgs = hotpath::fanout_msgs(32);
-    let pairs = [
-        Pair {
-            name: "engine_hotpath",
-            new_ns: median_ns(&mut || hotpath::engine_new(4_000)),
-            seed_ns: median_ns(&mut || hotpath::engine_seed(4_000)),
-        },
-        Pair {
-            name: "codec_roundtrip",
-            new_ns: median_ns(&mut || hotpath::codec_new(&msgs)),
-            seed_ns: median_ns(&mut || hotpath::codec_seed(&msgs)),
-        },
-        Pair {
-            name: "genealogy_scale",
-            new_ns: median_ns(&mut || hotpath::genealogy_new(1_000)),
-            seed_ns: median_ns(&mut || hotpath::genealogy_seed(1_000)),
-        },
-    ];
+/// Measures one optimised/seed pair in interleaved epochs.
+fn measure_pair(
+    name: &'static str,
+    new: &mut dyn FnMut() -> u64,
+    seed: &mut dyn FnMut() -> u64,
+) -> Pair {
+    let mut sink = 0u64;
+    let new_calls = calibrate(new, &mut sink);
+    let seed_calls = calibrate(seed, &mut sink);
+    let mut new_s = Vec::with_capacity(SAMPLES);
+    let mut seed_s = Vec::with_capacity(SAMPLES);
+    let mut ratio_s = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let n = time_side(new, new_calls, &mut sink);
+        let s = time_side(seed, seed_calls, &mut sink);
+        new_s.push(n);
+        seed_s.push(s);
+        ratio_s.push(n / s);
+    }
+    std::hint::black_box(sink);
+    Pair {
+        name,
+        new_ns: median(new_s),
+        seed_ns: median(seed_s),
+        ratio: median(ratio_s),
+    }
+}
 
+/// Measures every pair, PR 1's three and this PR's two.
+fn measure_all() -> Vec<Pair> {
+    let msgs = hotpath::fanout_msgs(32);
+    vec![
+        measure_pair(
+            "engine_hotpath",
+            &mut || hotpath::engine_new(4_000),
+            &mut || hotpath::engine_seed(4_000),
+        ),
+        measure_pair(
+            "codec_roundtrip",
+            &mut || hotpath::codec_new(&msgs),
+            &mut || hotpath::codec_seed(&msgs),
+        ),
+        measure_pair(
+            "genealogy_scale",
+            &mut || hotpath::genealogy_new(1_000),
+            &mut || hotpath::genealogy_seed(1_000),
+        ),
+        measure_pair(
+            "gather_chain32",
+            &mut || hotpath::gather_new(32),
+            &mut || hotpath::gather_seed(32),
+        ),
+        // The wheel's baseline is the PR 1 indexed heap driven with the
+        // identical retransmit workload.
+        measure_pair(
+            "timer_wheel_retransmit",
+            &mut || hotpath::wheel_retransmit(4_000),
+            &mut || hotpath::engine_new(4_000),
+        ),
+    ]
+}
+
+/// Extracts `"<field>": <number>` for `bench` from the hand-written JSON
+/// this tool emits (and PR 1 emitted).
+fn json_field(json: &str, bench: &str, field: &str) -> Option<f64> {
+    let obj = &json[json.find(&format!("\"{bench}\""))?..];
+    let val = &obj[obj.find(&format!("\"{field}\":"))? + field.len() + 3..];
+    let num: String = val
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    num.parse().ok()
+}
+
+/// CI smoke gate: fail on a >[`GATE_TOLERANCE_PCT`] regression of any
+/// workload's optimised/seed ratio against the checked-in numbers.
+fn gate() -> ! {
+    let baseline = std::fs::read_to_string(BASELINE_JSON)
+        .unwrap_or_else(|e| panic!("read {BASELINE_JSON}: {e}"));
+    let mut failed = false;
+    for p in measure_all() {
+        let Some(prev_ratio) = json_field(&baseline, p.name, "ratio") else {
+            println!("{:22} missing from {BASELINE_JSON}; skipped", p.name);
+            continue;
+        };
+        let delta_pct = (p.ratio / prev_ratio - 1.0) * 100.0;
+        let verdict = if delta_pct > GATE_TOLERANCE_PCT {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:22} new/seed {:>5.3}  checked-in {:>5.3}  ({:+.1}%)  {}",
+            p.name, p.ratio, prev_ratio, delta_pct, verdict,
+        );
+    }
+    if failed {
+        println!("perf gate FAILED: a workload regressed more than {GATE_TOLERANCE_PCT}% against {BASELINE_JSON}");
+        std::process::exit(1);
+    }
+    println!("perf gate passed (tolerance {GATE_TOLERANCE_PCT}%)");
+    std::process::exit(0);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--gate") {
+        gate();
+    }
+
+    let pairs = measure_all();
     let mut json = String::from("{\n  \"benches\": {\n");
     for (i, p) in pairs.iter().enumerate() {
         let comma = if i + 1 < pairs.len() { "," } else { "" };
         json.push_str(&format!(
             "    \"{}\": {{ \"new_median_ns\": {:.0}, \"seed_median_ns\": {:.0}, \
-             \"improvement_pct\": {:.1} }}{}\n",
+             \"ratio\": {:.4}, \"improvement_pct\": {:.1} }}{}\n",
             p.name,
             p.new_ns,
             p.seed_ns,
+            p.ratio,
             p.improvement_pct(),
             comma,
         ));
@@ -94,10 +220,29 @@ fn main() {
             p.improvement_pct(),
         );
     }
+    json.push_str("  },\n  \"previous\": {\n");
+    if let Ok(pr1) = std::fs::read_to_string(PR1_JSON) {
+        let carried: Vec<String> = ["engine_hotpath", "codec_roundtrip", "genealogy_scale"]
+            .iter()
+            .filter_map(|name| {
+                let new = json_field(&pr1, name, "new_median_ns")?;
+                let seed = json_field(&pr1, name, "seed_median_ns")?;
+                Some(format!(
+                    "    \"{name}\": {{ \"new_median_ns\": {new:.0}, \"seed_median_ns\": {seed:.0} }}"
+                ))
+            })
+            .collect();
+        json.push_str(&carried.join(",\n"));
+        json.push('\n');
+    }
     json.push_str("  },\n  \"samples\": ");
     json.push_str(&SAMPLES.to_string());
-    json.push_str(",\n  \"note\": \"median ns per workload call; seed_* are bench-local copies of the pre-PR implementations, measured in the same run\"\n}\n");
+    json.push_str(
+        ",\n  \"note\": \"median ns per workload call; seed_* are bench-local copies of \
+         the pre-PR implementations, measured in the same run; timer_wheel_retransmit's \
+         seed is the PR 1 indexed heap; previous carries the checked-in PR 1 medians\"\n}\n",
+    );
 
-    std::fs::write("BENCH_PR1.json", &json).expect("write BENCH_PR1.json");
-    println!("wrote BENCH_PR1.json");
+    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
+    println!("wrote BENCH_PR3.json");
 }

@@ -14,15 +14,27 @@
 //!   a cascade worklist ([`seed_genealogy`] preserves the scan/fixed-point
 //!   versions).
 //!
+//! The in-network-aggregation PR added two more pairs:
+//!
+//! * **gather** — a chain snapshot-sweep went from one `Msg::BcastResp`
+//!   per host, decoded and re-encoded at every relay hop (O(hosts²)
+//!   record transits), to one spliced `Msg::BcastAgg` batch per edge
+//!   ([`gather_seed`] models the old per-hop path);
+//! * **wheel** — the RPC timer population moved from the indexed heap
+//!   to a hierarchical timer wheel ([`wheel_retransmit`] drives the
+//!   wheel with the exact workload [`engine_new`] runs on the heap).
+//!
 //! Each pair exposes a deterministic workload returning a checksum, so
 //! the benches can assert the optimised code computes the same thing the
 //! seed code did while timing both. `emit_bench` writes the measured
-//! medians to `BENCH_PR1.json`.
+//! medians to `BENCH_PR3.json` alongside the medians recorded in
+//! `BENCH_PR1.json`.
 
-use ppm_proto::codec::{encode_batch, frames, Wire};
-use ppm_proto::msg::{Msg, Op};
-use ppm_proto::types::{Route, Stamp};
-use ppm_simnet::engine::Engine;
+use bytes::Bytes;
+use ppm_proto::codec::{decode_batch, encode_batch, frames, Enc, Wire};
+use ppm_proto::msg::{BcastPart, Msg, Op, Reply};
+use ppm_proto::types::{Gpid, ProcRecord, Route, Stamp, WireProcState};
+use ppm_simnet::engine::{Engine, TimerWheel};
 use ppm_simnet::time::SimDuration;
 
 /// SplitMix64 step: the workloads' deterministic choice stream.
@@ -460,6 +472,162 @@ fn genealogy_drive<G: GenealogyOps>(g: &mut G, procs: usize) -> u64 {
     acc.wrapping_add(g.live() as u64)
 }
 
+/// The identical retransmit workload against the hierarchical timer
+/// wheel that replaced the heap for the RPC timer population.
+pub fn wheel_retransmit(steps: usize) -> u64 {
+    let mut e: TimerWheel<u64> = TimerWheel::new();
+    let mut rng = 7u64;
+    let mut acc = 0u64;
+    let mut window = Vec::with_capacity(ENGINE_WINDOW + 4);
+    for i in 0..steps {
+        for j in 0..3u64 {
+            window.push(e.schedule(
+                SimDuration::from_micros(mix(&mut rng) % 1_000),
+                i as u64 ^ (j << 56),
+            ));
+        }
+        if window.len() > ENGINE_WINDOW {
+            for _ in 0..2 {
+                let k = (mix(&mut rng) % window.len() as u64) as usize;
+                let id = window.swap_remove(k);
+                e.cancel(id);
+            }
+        }
+        if let Some((t, v)) = e.pop() {
+            acc = acc.wrapping_add(t.as_micros() ^ v);
+        }
+    }
+    while let Some((t, v)) = e.pop() {
+        acc = acc.wrapping_add(t.as_micros() ^ v);
+    }
+    acc
+}
+
+// ---- chain gather ----------------------------------------------------------
+
+/// Records each host contributes to the chain-sweep workloads.
+const PROCS_PER_HOST: usize = 4;
+
+/// One host's slice of the sweep: a snapshot reply with
+/// [`PROCS_PER_HOST`] records and the route back to the origin `h0`.
+fn sweep_part(depth: usize) -> BcastPart {
+    let host = format!("h{depth}");
+    let procs = (0..PROCS_PER_HOST)
+        .map(|p| ProcRecord {
+            gpid: Gpid::new(host.clone(), 100 + p as u32),
+            ppid: 1,
+            logical_parent: None,
+            command: format!("job-{depth}-{p}"),
+            state: WireProcState::Running,
+            started_us: 1_000 * depth as u64,
+            cpu_us: 10 * p as u64,
+            adopted: true,
+        })
+        .collect();
+    let mut route = Route::from_origin("h0");
+    for h in 1..=depth {
+        route.push(format!("h{h}"));
+    }
+    BcastPart {
+        host: host.clone(),
+        reply: Reply::Snapshot { host, procs },
+        route,
+    }
+}
+
+fn sweep_stamp() -> Stamp {
+    Stamp::signed("h0", 1, 1_000, 0xBEEF)
+}
+
+/// Folds the parts that reached the origin into a checksum. Summation is
+/// order-independent, so the aggregated and per-hop paths compare equal
+/// regardless of arrival order.
+fn sweep_checksum(parts: &[BcastPart]) -> u64 {
+    let mut acc = 0u64;
+    for part in parts {
+        acc = acc.wrapping_add(part.route.hops() as u64);
+        if let Reply::Snapshot { procs, .. } = &part.reply {
+            for r in procs {
+                acc = acc
+                    .wrapping_add(r.gpid.pid as u64)
+                    .wrapping_add(r.started_us)
+                    .wrapping_add(r.cpu_us)
+                    .wrapping_add(r.command.len() as u64);
+            }
+        }
+    }
+    acc
+}
+
+/// Pre-PR chain gather: every host on an `hosts`-host chain answers the
+/// sweep with its own `Msg::BcastResp`, and each relay on the way to the
+/// origin decodes and re-encodes the full message — the per-record
+/// transit work is quadratic in chain depth.
+pub fn gather_seed(hosts: usize) -> u64 {
+    let stamp = sweep_stamp();
+    let mut arrived = Vec::with_capacity(hosts.saturating_sub(1));
+    for depth in 1..hosts {
+        let part = sweep_part(depth);
+        let mut wire = Msg::BcastResp {
+            stamp: stamp.clone(),
+            host: part.host,
+            reply: part.reply,
+            route: part.route,
+        }
+        .to_bytes();
+        // One decode + re-encode per intermediate relay hop.
+        for _ in 1..depth {
+            let relayed = Msg::from_bytes(&wire).expect("relay decodes");
+            wire = relayed.to_bytes();
+        }
+        match Msg::from_bytes(&wire).expect("origin decodes") {
+            Msg::BcastResp {
+                host, reply, route, ..
+            } => arrived.push(BcastPart { host, reply, route }),
+            _ => unreachable!("workload only sends bcast responses"),
+        }
+    }
+    sweep_checksum(&arrived)
+}
+
+/// Aggregated chain gather: the deepest host starts a `Msg::BcastAgg`
+/// and every relay splices its own slice frame onto the batch
+/// byte-for-byte — each record crosses the chain once, inside a single
+/// aggregate the origin decodes in one pass.
+pub fn gather_new(hosts: usize) -> u64 {
+    let stamp = sweep_stamp();
+    let mut wire = Msg::BcastAgg {
+        stamp: stamp.clone(),
+        parts: encode_batch(&[sweep_part(hosts - 1)]),
+        missing: Vec::new(),
+    }
+    .to_bytes();
+    for depth in (1..hosts - 1).rev() {
+        let Ok(Msg::BcastAgg { parts, missing, .. }) = Msg::from_bytes(&wire) else {
+            unreachable!("workload only sends aggregates");
+        };
+        let count = u32::from_be_bytes(parts[..4].try_into().expect("count header")) + 1;
+        let mut enc = Enc::pooled();
+        enc.u32(count);
+        enc.frame(&sweep_part(depth));
+        let own = enc.into_bytes();
+        let mut buf = Vec::with_capacity(own.len() + parts.len() - 4);
+        buf.extend_from_slice(&own);
+        buf.extend_from_slice(&parts[4..]);
+        wire = Msg::BcastAgg {
+            stamp: stamp.clone(),
+            parts: Bytes::from(buf),
+            missing,
+        }
+        .to_bytes();
+    }
+    let Ok(Msg::BcastAgg { parts, .. }) = Msg::from_bytes(&wire) else {
+        unreachable!("workload only sends aggregates");
+    };
+    let arrived: Vec<BcastPart> = decode_batch(&parts).expect("origin decodes the batch");
+    sweep_checksum(&arrived)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -467,6 +635,17 @@ mod tests {
     #[test]
     fn engine_workloads_agree() {
         assert_eq!(engine_new(500), engine_seed(500));
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_the_retransmit_pattern() {
+        assert_eq!(wheel_retransmit(500), engine_new(500));
+    }
+
+    #[test]
+    fn gather_workloads_agree() {
+        assert_eq!(gather_new(9), gather_seed(9));
+        assert_eq!(gather_new(32), gather_seed(32));
     }
 
     #[test]

@@ -198,6 +198,20 @@ mod tests {
     }
 
     #[test]
+    fn paper_ordering_is_preserved() {
+        // Table 3's shape: each topology is strictly slower than the
+        // previous one (205 < 225 < 461 < 507). The gather-then-combine
+        // origin makes this deterministic: topology 4's third contributor
+        // costs a full extra merge slot at the tail even though its reply
+        // arrives early and in parallel.
+        let topos = topologies();
+        let t: Vec<f64> = topos.iter().map(|t| measure(t, 2, 1986).mean_ms).collect();
+        for w in t.windows(2) {
+            assert!(w[0] < w[1], "ordering violated: {t:?}");
+        }
+    }
+
+    #[test]
     fn snapshots_cover_all_remote_processes() {
         let topos = topologies();
         let c = measure(&topos[3], 1, 5);

@@ -379,7 +379,8 @@ impl PpmHarness {
     const WAIT: SimDuration = SimDuration::from_secs(60);
 
     /// Takes a snapshot: `dest` is a host name or `"*"` for the whole
-    /// computation.
+    /// computation. A partial result (unreachable hosts) is returned
+    /// as-is; callers who care use [`PpmHarness::snapshot_partial`].
     ///
     /// # Errors
     ///
@@ -390,8 +391,25 @@ impl PpmHarness {
         uid: Uid,
         dest: &str,
     ) -> Result<Vec<ProcRecord>, HarnessError> {
-        match self.one_reply(from_host, uid, dest, Op::Snapshot, Self::WAIT)? {
-            Reply::Snapshot { procs, .. } => Ok(procs),
+        Ok(self.snapshot_partial(from_host, uid, dest)?.0)
+    }
+
+    /// Takes a snapshot and reports which hosts, if any, never answered
+    /// the sweep (lost mid-gather or timed out as stragglers).
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn snapshot_partial(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+    ) -> Result<(Vec<ProcRecord>, Vec<String>), HarnessError> {
+        let reply = self.one_reply(from_host, uid, dest, Op::Snapshot, Self::WAIT)?;
+        let (inner, missing) = split_partial(reply);
+        match inner {
+            Reply::Snapshot { procs, .. } => Ok((procs, missing)),
             _ => Err(HarnessError::UnexpectedReply),
         }
     }
@@ -476,7 +494,8 @@ impl PpmHarness {
         dest: &str,
         pid: Option<u32>,
     ) -> Result<Vec<RusageRecord>, HarnessError> {
-        match self.one_reply(from_host, uid, dest, Op::Rusage { pid }, Self::WAIT)? {
+        let reply = self.one_reply(from_host, uid, dest, Op::Rusage { pid }, Self::WAIT)?;
+        match split_partial(reply).0 {
             Reply::Rusage { records } => Ok(records),
             _ => Err(HarnessError::UnexpectedReply),
         }
@@ -499,7 +518,8 @@ impl PpmHarness {
             since_us: since.as_micros(),
             max,
         };
-        match self.one_reply(from_host, uid, dest, op, Self::WAIT)? {
+        let reply = self.one_reply(from_host, uid, dest, op, Self::WAIT)?;
+        match split_partial(reply).0 {
             Reply::History { events } => Ok(events),
             _ => Err(HarnessError::UnexpectedReply),
         }
@@ -526,5 +546,14 @@ impl PpmHarness {
         dest: &str,
     ) -> Result<Reply, HarnessError> {
         self.one_reply(from_host, uid, dest, Op::Stats, Self::WAIT)
+    }
+}
+
+/// Unwraps a partial-result marker: the inner reply plus the hosts that
+/// never answered (empty for a complete result).
+fn split_partial(reply: Reply) -> (Reply, Vec<String>) {
+    match reply {
+        Reply::Partial { missing, inner } => (*inner, missing),
+        other => (other, Vec::new()),
     }
 }

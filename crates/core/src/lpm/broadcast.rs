@@ -8,17 +8,24 @@
 //! All data returned to the originator of a broadcast request includes the
 //! message's source-destination route."
 //!
-//! Implementation: a Chang-style echo wave. The originator sends the
-//! stamped request to all siblings; each first-time receiver answers with
-//! its local slice ([`Msg::BcastResp`]), forwards to its other siblings,
-//! relays their answers upstream, and sends [`Msg::BcastDone`] when its
-//! subtree is exhausted. Duplicates (identified by the signed stamp within
+//! Implementation: a Chang-style echo wave with in-network aggregation.
+//! The originator sends the stamped request to all siblings; each
+//! first-time receiver gathers its local slice, forwards to its other
+//! siblings, and folds every answer from its subtree — its own slice plus
+//! each child's aggregate — into one [`Msg::BcastAgg`] frame that travels
+//! its upstream edge exactly once, followed by [`Msg::BcastDone`] when the
+//! subtree is exhausted. Child aggregates are spliced byte-for-byte (the
+//! part frames are never re-decoded in transit), so a deep chain moves
+//! each record across each edge once instead of re-relaying every record
+//! at every hop. Lost children and straggler timeouts are recorded in the
+//! aggregate's `missing` list; the originator surfaces a non-empty list as
+//! [`Reply::Partial`]. Duplicates (identified by the signed stamp within
 //! the retention window) are answered with an immediate `BcastDone`.
 
 use std::collections::BTreeSet;
 
-use ppm_proto::codec::Wire;
-use ppm_proto::msg::{ErrCode, Msg, Op, Reply};
+use ppm_proto::codec::{decode_batch, Enc, Wire};
+use ppm_proto::msg::{BcastPart, ErrCode, Msg, Op, Reply};
 use ppm_proto::types::{Route, Stamp};
 use ppm_simnet::time::SimTime;
 use ppm_simnet::trace::TraceCategory;
@@ -81,9 +88,13 @@ impl Lpm {
             respond_handler: None,
             forward_targets,
             forwarded,
-            relay_queue: Vec::new(),
+            agg_buf: Vec::new(),
+            agg_count: 0,
+            agg_received: BTreeSet::new(),
+            missing: BTreeSet::new(),
             route_in: Route::from_origin(self.host.clone()),
             merge_queue: Vec::new(),
+            combine_started: false,
             merges_outstanding: 0,
             merge_free_at: SimTime::ZERO,
             timeout_token: None,
@@ -223,9 +234,13 @@ impl Lpm {
             respond_handler: None,
             forward_targets,
             forwarded,
-            relay_queue: Vec::new(),
+            agg_buf: Vec::new(),
+            agg_count: 0,
+            agg_received: BTreeSet::new(),
+            missing: BTreeSet::new(),
             route_in: route,
             merge_queue: Vec::new(),
+            combine_started: false,
             merges_outstanding: 0,
             merge_free_at: SimTime::ZERO,
             timeout_token: None,
@@ -310,16 +325,17 @@ impl Lpm {
         let b = self.bcasts.get_mut(key).expect("checked");
         match b.upstream {
             None => b.parts.push(reply),
-            Some(upstream) => {
+            Some(_) => {
+                // Relay: the local slice becomes the first part of the
+                // subtree's single upstream aggregate.
                 let mut route = b.route_in.clone();
                 route.push(self.host.clone());
-                let msg = Msg::BcastResp {
-                    stamp: b.stamp.clone(),
+                let part = BcastPart {
                     host: self.host.clone(),
                     reply,
                     route,
                 };
-                let _ = self.send_msg(sys, upstream, &msg);
+                push_part(&mut b.agg_buf, &mut b.agg_count, &part);
             }
         }
         self.maybe_complete(sys, key);
@@ -348,40 +364,116 @@ impl Lpm {
         };
         match b.upstream {
             None => {
-                // Originator: learn the route, then merge (merges serialize).
-                self.learn_route(&route);
-                let now = sys.now();
-                let cost = sys.scale_cost(self.cfg.merge_cost);
-                let b = self.bcasts.get_mut(&key).expect("checked");
-                b.merge_queue.push((resp_host, reply, route));
-                b.merges_outstanding += 1;
-                let start = if b.merge_free_at > now {
-                    b.merge_free_at
-                } else {
-                    now
-                };
-                let ready = start + cost;
-                b.merge_free_at = ready;
-                let delay = ready.saturating_since(now);
-                self.arm(sys, delay, TimerKind::BcastMerge(key));
+                // Originator: queue the part for the combine phase.
+                self.queue_part(sys, &key, resp_host, reply, route);
             }
-            Some(upstream) => {
-                // Relay upstream; a handler carries the relay.
-                let msg = Msg::BcastResp {
-                    stamp,
+            Some(_) => {
+                // Relay: fold the single-part answer into the subtree
+                // aggregate like any child contribution.
+                let b = self.bcasts.get_mut(&key).expect("checked");
+                let part = BcastPart {
                     host: resp_host,
                     reply,
                     route,
                 };
-                let (h, d) = self.acquire_handler(sys);
-                let b = self.bcasts.get_mut(&key).expect("checked");
-                b.relay_queue.push((msg, Some(h), upstream));
-                self.arm(sys, d, TimerKind::BcastMerge(key));
+                push_part(&mut b.agg_buf, &mut b.agg_count, &part);
             }
         }
     }
 
-    /// A merge (originator) or relay (intermediate) slot completed.
+    /// A child subtree's aggregated answers arrived in one frame.
+    pub(crate) fn handle_bcast_agg(
+        &mut self,
+        sys: &mut Sys<'_>,
+        from_host: &str,
+        stamp: Stamp,
+        parts: bytes::Bytes,
+        missing: Vec<String>,
+    ) {
+        let key = stamp.key();
+        let Some(b) = self.bcasts.get(&key) else {
+            return;
+        };
+        sys.trace(
+            TraceCategory::Broadcast,
+            format!(
+                "aggregate from {from_host} for {}#{} ({} missing)",
+                key.0,
+                key.1,
+                missing.len()
+            ),
+        );
+        match b.upstream {
+            None => {
+                // Originator: unpack the batch and queue each part for the
+                // combine phase (the per-part merge cost model is
+                // unchanged — only the transit cost collapsed).
+                let decoded: Vec<BcastPart> = match decode_batch(&parts) {
+                    Ok(ps) => ps,
+                    Err(e) => {
+                        self.note(sys, format!("bad aggregate from {from_host}: {e}"));
+                        Vec::new()
+                    }
+                };
+                for part in decoded {
+                    self.queue_part(sys, &key, part.host, part.reply, part.route);
+                }
+                let b = self.bcasts.get_mut(&key).expect("checked");
+                b.agg_received.insert(from_host.to_string());
+                b.missing.extend(missing);
+            }
+            Some(_) => {
+                // Relay: splice the child's frames onto ours byte-for-byte
+                // — the in-network aggregation fast path.
+                let b = self.bcasts.get_mut(&key).expect("checked");
+                append_batch(&mut b.agg_buf, &mut b.agg_count, &parts);
+                b.agg_received.insert(from_host.to_string());
+                b.missing.extend(missing);
+            }
+        }
+    }
+
+    /// Queues one gathered part at the originator. During the wave the
+    /// part just waits; once the combine phase has begun (a late
+    /// straggler after a timeout), it gets its serialized slot at once.
+    fn queue_part(
+        &mut self,
+        sys: &mut Sys<'_>,
+        key: &BcastKey,
+        host: String,
+        reply: Reply,
+        route: Route,
+    ) {
+        self.learn_route(&route);
+        let Some(b) = self.bcasts.get_mut(key) else {
+            return;
+        };
+        b.merge_queue.push((host, reply, route));
+        if b.combine_started {
+            self.schedule_merge_slot(sys, key);
+        }
+    }
+
+    /// Arms one serialized originator merge slot.
+    fn schedule_merge_slot(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
+        let now = sys.now();
+        let cost = sys.scale_cost(self.cfg.merge_cost);
+        let Some(b) = self.bcasts.get_mut(key) else {
+            return;
+        };
+        b.merges_outstanding += 1;
+        let start = if b.merge_free_at > now {
+            b.merge_free_at
+        } else {
+            now
+        };
+        let ready = start + cost;
+        b.merge_free_at = ready;
+        let delay = ready.saturating_since(now);
+        self.arm(sys, delay, TimerKind::BcastMerge(key.clone()));
+    }
+
+    /// An originator merge slot completed.
     pub(crate) fn bcast_merge_slot(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
         let Some(b) = self.bcasts.get_mut(key) else {
             return;
@@ -395,18 +487,25 @@ impl Lpm {
                 b.parts.push(reply);
             }
             self.maybe_complete(sys, key);
-        } else if !b.relay_queue.is_empty() {
-            let (msg, handler, upstream) = b.relay_queue.remove(0);
-            let _ = self.send_msg(sys, upstream, &msg);
-            self.release_handler(sys, handler);
-            self.maybe_complete(sys, key);
         }
     }
 
-    /// A child subtree reported completion (or its channel broke).
+    /// A child subtree reported completion.
     pub(crate) fn bcast_child_done(&mut self, sys: &mut Sys<'_>, key: &BcastKey, child: &str) {
         if let Some(b) = self.bcasts.get_mut(key) {
             b.pending_children.remove(child);
+        }
+        self.maybe_complete(sys, key);
+    }
+
+    /// A child's channel broke (or never came up): complete without it and
+    /// record the loss — unless its aggregate already arrived, in which
+    /// case its subtree's answers are all present.
+    pub(crate) fn bcast_child_lost(&mut self, sys: &mut Sys<'_>, key: &BcastKey, child: &str) {
+        if let Some(b) = self.bcasts.get_mut(key) {
+            if b.pending_children.remove(child) && !b.agg_received.contains(child) {
+                b.missing.insert(child.to_string());
+            }
         }
         self.maybe_complete(sys, key);
     }
@@ -417,14 +516,19 @@ impl Lpm {
             return;
         };
         if !b.pending_children.is_empty() || !b.forwarded {
-            let missing: Vec<String> = b.pending_children.iter().cloned().collect();
+            let stragglers: Vec<String> = b.pending_children.iter().cloned().collect();
+            for h in &stragglers {
+                if !b.agg_received.contains(h) {
+                    b.missing.insert(h.clone());
+                }
+            }
             b.pending_children.clear();
             b.forwarded = true;
             b.timeout_token = None;
             self.note(
                 sys,
                 format!(
-                    "broadcast {}#{} timed out waiting for {missing:?}",
+                    "broadcast {}#{} timed out waiting for {stragglers:?}",
                     key.0, key.1
                 ),
             );
@@ -437,17 +541,34 @@ impl Lpm {
         let Some(b) = self.bcasts.get(key) else {
             return;
         };
-        let quiesced = b.local_done
-            && b.forwarded
-            && b.pending_children.is_empty()
-            && b.merge_queue.is_empty()
-            && b.relay_queue.is_empty()
-            && b.merges_outstanding == 0;
+        let gathered = b.local_done && b.forwarded && b.pending_children.is_empty();
+        if !gathered {
+            return;
+        }
+        if b.upstream.is_none() && !b.combine_started {
+            // Gather-then-combine: the origin's serialized merge slots
+            // start only once the wave has quiesced, so every contributor
+            // pays a full slot at the tail — the Table 3 shape, where an
+            // extra answering host costs an extra merge even when its
+            // reply arrived early and in parallel.
+            let parts_waiting = b.merge_queue.len();
+            let b = self.bcasts.get_mut(key).expect("checked");
+            b.combine_started = true;
+            for _ in 0..parts_waiting {
+                self.schedule_merge_slot(sys, key);
+            }
+            if parts_waiting > 0 {
+                return;
+            }
+        }
+        let b = self.bcasts.get(key).expect("checked");
+        let quiesced = b.merge_queue.is_empty() && b.merges_outstanding == 0;
         if !quiesced {
             return;
         }
         if b.upstream.is_none() {
-            // Originator: merge parts into the final reply.
+            // Originator: merge parts into the final reply; a non-empty
+            // missing list marks the result as partial.
             let b = self.bcasts.remove(key).expect("checked");
             if let Some(tok) = b.timeout_token {
                 self.rpc.cancel(tok);
@@ -455,9 +576,23 @@ impl Lpm {
             self.release_handler(sys, b.forward_handler);
             sys.trace(
                 TraceCategory::Broadcast,
-                format!("finalize {}#{} with {} parts", key.0, key.1, b.parts.len()),
+                format!(
+                    "finalize {}#{} with {} parts ({} missing)",
+                    key.0,
+                    key.1,
+                    b.parts.len(),
+                    b.missing.len()
+                ),
             );
             let combined = combine(&b.op, b.parts);
+            let combined = if b.missing.is_empty() {
+                combined
+            } else {
+                Reply::Partial {
+                    missing: b.missing.into_iter().collect(),
+                    inner: Box::new(combined),
+                }
+            };
             if let Some(req_id) = b.reply_req {
                 self.finish_req(sys, req_id, combined);
             }
@@ -469,6 +604,17 @@ impl Lpm {
             let forward_handler = b.forward_handler.take();
             let respond_handler = b.respond_handler.take();
             let timeout_token = b.timeout_token.take();
+            // The whole subtree's answers leave in a single aggregated
+            // frame on this edge, then the wave-completion marker.
+            let mut parts = Vec::with_capacity(4 + b.agg_buf.len());
+            parts.extend_from_slice(&b.agg_count.to_be_bytes());
+            parts.append(&mut b.agg_buf);
+            let agg = Msg::BcastAgg {
+                stamp: stamp.clone(),
+                parts: bytes::Bytes::from(parts),
+                missing: b.missing.iter().cloned().collect(),
+            };
+            let _ = self.send_msg(sys, upstream, &agg);
             let _ = self.send_msg(sys, upstream, &Msg::BcastDone { stamp });
             if let Some(tok) = timeout_token {
                 self.rpc.cancel(tok);
@@ -478,6 +624,25 @@ impl Lpm {
             self.bcasts.remove(key);
         }
     }
+}
+
+/// Appends one part to a relay's aggregation buffer as a framed entry.
+fn push_part(buf: &mut Vec<u8>, count: &mut u32, part: &BcastPart) {
+    let mut enc = Enc::pooled();
+    enc.frame(part);
+    buf.extend_from_slice(&enc.into_bytes());
+    *count += 1;
+}
+
+/// Splices a child aggregate's frames (a batch minus its count header)
+/// onto ours byte-for-byte — no decode, no re-encode.
+fn append_batch(buf: &mut Vec<u8>, count: &mut u32, batch: &[u8]) {
+    if batch.len() < 4 {
+        return;
+    }
+    let n = u32::from_be_bytes(batch[..4].try_into().expect("4-byte header"));
+    buf.extend_from_slice(&batch[4..]);
+    *count += n;
 }
 
 /// Merges broadcast parts into one reply.

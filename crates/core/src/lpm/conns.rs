@@ -264,9 +264,10 @@ impl Lpm {
                 // budget left go into retry backoff instead of erroring.
                 self.fail_request_transport(sys, id, &format!("cannot reach {host}: {err}"));
             } else if let Msg::Bcast { stamp, .. } = msg {
-                // A broadcast child never came up: count it as done.
+                // A broadcast child never came up: complete without it and
+                // mark it missing.
                 let key = stamp.key();
-                self.bcast_child_done(sys, &key, host);
+                self.bcast_child_lost(sys, &key, host);
             }
         }
     }
@@ -291,7 +292,8 @@ impl Lpm {
                 for id in self.rpc.sent_on(conn) {
                     self.fail_request_transport(sys, id, &format!("connection to {host} broke"));
                 }
-                // Broadcasts waiting on this child complete without it.
+                // Broadcasts waiting on this child complete without it; the
+                // loss surfaces in the origin's partial-result marker.
                 let keys: Vec<BcastKey> = self
                     .bcasts
                     .iter()
@@ -299,7 +301,7 @@ impl Lpm {
                     .map(|(k, _)| k.clone())
                     .collect();
                 for key in keys {
-                    self.bcast_child_done(sys, &key, host);
+                    self.bcast_child_lost(sys, &key, host);
                 }
                 self.on_sibling_lost(sys, host);
             }

@@ -117,13 +117,28 @@ pub(crate) struct BcastState {
     pub forward_targets: Vec<String>,
     /// The downstream forward has been performed (or none was needed).
     pub forwarded: bool,
-    /// Upstream relays waiting for their handler slot:
-    /// `(message, handler, upstream conn)`.
-    pub relay_queue: Vec<(Msg, Option<HandlerId>, ConnId)>,
+    /// Relay-side aggregation: [`ppm_proto::msg::BcastPart`] frames
+    /// accumulated for the one upstream aggregate (batch body without its
+    /// count header). Child aggregates are spliced in byte-for-byte — no
+    /// decode, no re-encode — so each record crosses every edge once.
+    pub agg_buf: Vec<u8>,
+    /// Number of part frames in `agg_buf`.
+    pub agg_count: u32,
+    /// Direct children whose aggregate already arrived (a later
+    /// connection loss must not mark an answered subtree as missing).
+    pub agg_received: BTreeSet<String>,
+    /// Hosts of this subtree whose answers never arrived (lost children,
+    /// straggler timeouts). Travels upstream in the aggregate; at the
+    /// origin it becomes the [`Reply::Partial`] marker.
+    pub missing: BTreeSet<String>,
     /// Route the request had when it reached us.
     pub route_in: Route,
     /// Replies waiting for their merge slot (originator only).
     pub merge_queue: Vec<(String, Reply, Route)>,
+    /// Whether the originator's combine phase has begun: parts gather
+    /// during the wave and every serialized merge slot starts once the
+    /// wave quiesces, so each contributor costs a full slot at the tail.
+    pub combine_started: bool,
     /// Merge work in flight.
     pub merges_outstanding: u32,
     /// When merging can next start (serializes merge costs).

@@ -148,6 +148,11 @@ impl Lpm {
                 reply,
                 route,
             } => self.handle_bcast_resp(sys, conn, stamp, resp_host, reply, route),
+            Msg::BcastAgg {
+                stamp,
+                parts,
+                missing,
+            } => self.handle_bcast_agg(sys, host, stamp, parts, missing),
             Msg::BcastDone { stamp } => {
                 let key = stamp.key();
                 self.bcast_child_done(sys, &key, host);

@@ -6,7 +6,7 @@
 //! spawn-wait map, and the timer registry. The LPM submodules drive it;
 //! nothing else in the crate reaches into its maps directly.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use ppm_proto::msg::{ErrCode, Reply};
 use ppm_proto::types::Route;
@@ -15,6 +15,11 @@ use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simos::sys::Sys;
 
 use super::{DedupEntry, PendingRequest, ReqPhase, RpcKey, TimerKind};
+
+/// Width of one dedup expiry bucket, as a power of two of microseconds
+/// (2^20 µs ≈ 1.05 s — coarse enough that a busy window spans few
+/// buckets, fine enough that the boundary bucket re-scan stays small).
+const DEDUP_BUCKET_POW: u32 = 20;
 
 /// Decision after a transport failure or per-attempt timeout on an
 /// origin-side request.
@@ -49,6 +54,12 @@ pub(crate) struct RpcTable {
     /// Shared retention window: broadcast stamps and executed sibling
     /// requests, purged together by `bcast_window`.
     dedup: FastMap<RpcKey, DedupEntry>,
+    /// Expiry index over `dedup`: insertion-time bucket → keys inserted in
+    /// that bucket. Purge walks only the buckets at or before the cutoff
+    /// instead of scanning the whole window. References are lazy: a key
+    /// re-inserted with a fresh timestamp leaves its old reference behind,
+    /// which purge discards after checking the live entry.
+    dedup_buckets: BTreeMap<u64, Vec<RpcKey>>,
     /// Spawned-but-not-yet-exec'd pid → local request id.
     spawn_waits: HashMap<u32, u64>,
     next_token: u64,
@@ -143,6 +154,7 @@ impl RpcTable {
 
     /// Records a broadcast stamp in the retention window.
     pub(crate) fn note_bcast(&mut self, key: RpcKey, at: SimTime) {
+        self.index_dedup(key.clone(), at);
         self.dedup.insert(key, DedupEntry::Bcast { at });
     }
 
@@ -154,16 +166,61 @@ impl RpcTable {
     /// Caches the reply of an executed sibling request so a retried
     /// delivery is answered without re-execution.
     pub(crate) fn note_done(&mut self, key: RpcKey, at: SimTime, reply: Reply, route: Route) {
+        self.index_dedup(key.clone(), at);
         self.dedup
             .insert(key, DedupEntry::Done { at, reply, route });
     }
 
+    /// Files a key under its insertion-time expiry bucket.
+    fn index_dedup(&mut self, key: RpcKey, at: SimTime) {
+        self.dedup_buckets
+            .entry(at.as_micros() >> DEDUP_BUCKET_POW)
+            .or_default()
+            .push(key);
+    }
+
     /// Drops dedup entries older than `window`; returns how many went.
+    ///
+    /// Only buckets whose time range reaches the expiry cutoff are
+    /// visited, so a tick's cost is proportional to what actually expires
+    /// (plus at most one partially-expired boundary bucket), not to the
+    /// whole retention window.
     pub(crate) fn purge_dedup(&mut self, now: SimTime, window: SimDuration) -> usize {
-        let before = self.dedup.len();
-        self.dedup
-            .retain(|_, e| now.saturating_since(e.at()) < window);
-        before - self.dedup.len()
+        let now_us = now.as_micros();
+        let window_us = window.as_micros();
+        if now_us < window_us {
+            return 0;
+        }
+        let cutoff_us = now_us - window_us;
+        let cutoff_bucket = cutoff_us >> DEDUP_BUCKET_POW;
+        let ripe: Vec<u64> = self
+            .dedup_buckets
+            .range(..=cutoff_bucket)
+            .map(|(b, _)| *b)
+            .collect();
+        let mut purged = 0;
+        for b in ripe {
+            let refs = self.dedup_buckets.remove(&b).expect("listed bucket");
+            let mut keep = Vec::new();
+            for key in refs {
+                let Some(e) = self.dedup.get(&key) else {
+                    continue; // re-inserted and already purged via a newer ref
+                };
+                let at_us = e.at().as_micros();
+                if at_us <= cutoff_us {
+                    self.dedup.remove(&key);
+                    purged += 1;
+                } else if at_us >> DEDUP_BUCKET_POW == b {
+                    // Boundary bucket: not yet expired, stays indexed.
+                    keep.push(key);
+                }
+                // else: a fresh re-insertion owns a newer reference.
+            }
+            if !keep.is_empty() {
+                self.dedup_buckets.insert(b, keep);
+            }
+        }
+        purged
     }
 
     // ---- spawn waits -----------------------------------------------------
@@ -305,6 +362,57 @@ mod tests {
         assert!(t.bcast_seen(&b));
         let purged = t.purge_dedup(SimTime::from_micros(2_000_000), SimDuration::from_millis(1));
         assert_eq!(purged, 2);
+        assert!(!t.bcast_seen(&b));
+    }
+
+    #[test]
+    fn reinserted_dedup_keys_survive_purge_of_their_old_bucket() {
+        // A key noted again with a fresh timestamp leaves a stale
+        // reference in its old expiry bucket; purging that bucket must
+        // neither drop the live entry nor count it as purged.
+        let mut t = RpcTable::new();
+        let key: RpcKey = (Arc::from("far"), 4);
+        let window = SimDuration::from_secs(60);
+        t.note_done(
+            key.clone(),
+            SimTime::ZERO,
+            Reply::Pong,
+            Route::from_origin("far"),
+        );
+        t.note_done(
+            key.clone(),
+            SimTime::from_micros(50_000_000),
+            Reply::Ok,
+            Route::from_origin("far"),
+        );
+        // 61s: the t=0 insertion would have expired, but the entry was
+        // refreshed at t=50s and must stay.
+        assert_eq!(t.purge_dedup(SimTime::from_micros(61_000_000), window), 0);
+        assert!(matches!(t.dup_verdict(&key), DupVerdict::Replay { .. }));
+        // 111s: now the refreshed entry expires, exactly once.
+        assert_eq!(t.purge_dedup(SimTime::from_micros(111_000_000), window), 1);
+        assert!(matches!(t.dup_verdict(&key), DupVerdict::New));
+        assert_eq!(t.purge_dedup(SimTime::from_micros(200_000_000), window), 0);
+    }
+
+    #[test]
+    fn purge_handles_boundary_bucket_partially() {
+        // Two entries in the same ~1s bucket, straddling the cutoff: only
+        // the expired one goes, and the survivor expires on a later tick.
+        let mut t = RpcTable::new();
+        let a: RpcKey = (Arc::from("a"), 1);
+        let b: RpcKey = (Arc::from("b"), 2);
+        let window = SimDuration::from_secs(10);
+        t.note_bcast(a.clone(), SimTime::from_micros(1_000_100));
+        t.note_bcast(b.clone(), SimTime::from_micros(1_900_000));
+        assert_eq!(
+            t.purge_dedup(SimTime::from_micros(11_000_200), window),
+            1,
+            "only the older entry expired"
+        );
+        assert!(!t.bcast_seen(&a));
+        assert!(t.bcast_seen(&b));
+        assert_eq!(t.purge_dedup(SimTime::from_micros(11_900_001), window), 1);
         assert!(!t.bcast_seen(&b));
     }
 

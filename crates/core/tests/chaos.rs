@@ -272,3 +272,75 @@ fn chaos_is_deterministic() {
     };
     assert_eq!(clock(42), clock(42));
 }
+
+/// A relay that loses a child mid-gather still answers with a partial
+/// aggregate: the origin's sweep completes and marks exactly the
+/// unreachable hosts, with every reachable host's slice intact.
+#[test]
+fn relay_losing_a_child_mid_gather_yields_a_partial_aggregate() {
+    let chain = ["c0", "c1", "c2", "c3"];
+    let mut b = PpmHarness::builder().seed(0xBCA57);
+    for h in chain {
+        b = b.host(h, CpuClass::Vax780);
+    }
+    b = b.link("c0", "c1").link("c1", "c2").link("c2", "c3");
+    let mut ppm = b
+        .user(USER, 0xBCA57, &chain, PpmConfig::fast_recovery())
+        .build();
+
+    // Spawn each host's process from its chain predecessor so the
+    // on-demand sibling graph is the chain itself: c1 and c2 become true
+    // relays on the broadcast cover tree.
+    for i in 1..chain.len() {
+        ppm.spawn_remote(
+            chain[i - 1],
+            USER,
+            chain[i],
+            &format!("job-{}", chain[i]),
+            None,
+            None,
+        )
+        .expect("spawn succeeds on the healthy chain");
+    }
+    ppm.run_for(SimDuration::from_secs(1));
+
+    // Sever the c2–c3 edge just before the sweep. The sibling channel is
+    // still registered at c2, so the relay forwards the wave to c3 and
+    // waits — then the break surfaces mid-gather and c2 must fall back to
+    // a partial aggregate naming exactly its lost child.
+    let c2 = ppm.host("c2").unwrap();
+    let c3 = ppm.host("c3").unwrap();
+    ppm.world_mut()
+        .schedule_link(c2, c3, false, SimDuration::from_millis(1));
+    ppm.run_for(SimDuration::from_millis(50));
+
+    let (procs, missing) = ppm
+        .snapshot_partial("c0", USER, "*")
+        .expect("partial sweep still completes");
+    assert_eq!(
+        missing,
+        vec!["c3".to_string()],
+        "exactly the unreachable host is marked missing"
+    );
+    for h in ["c1", "c2"] {
+        assert!(
+            procs.iter().any(|p| p.gpid.host == h),
+            "reachable host {h} contributed its slice"
+        );
+    }
+    assert!(
+        procs.iter().all(|p| p.gpid.host != "c3"),
+        "no stale records from the lost subtree"
+    );
+
+    // A later sweep over the healed chain is complete again.
+    let h2 = ppm.host("c2").unwrap();
+    let h3 = ppm.host("c3").unwrap();
+    ppm.world_mut()
+        .schedule_link(h2, h3, true, SimDuration::from_millis(1));
+    ppm.run_for(SimDuration::from_secs(20));
+    let (_, missing) = ppm
+        .snapshot_partial("c0", USER, "*")
+        .expect("sweep after heal");
+    assert!(missing.is_empty(), "healed sweep is complete: {missing:?}");
+}

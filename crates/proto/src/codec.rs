@@ -204,6 +204,20 @@ impl Enc {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Writes a `u32` length-prefixed byte blob.
+    ///
+    /// Blobs carry nested pre-encoded payloads (aggregated reply batches),
+    /// so the length prefix is `u32` rather than the string codec's `u16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blob exceeds `u32::MAX` bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        let len = u32::try_from(b.len()).expect("protocol blob fits in u32");
+        self.u32(len);
+        self.buf.extend_from_slice(b);
+    }
+
     /// Writes an `Option` with a one-byte presence tag.
     pub fn opt<T>(&mut self, v: &Option<T>, f: impl FnOnce(&mut Self, &T)) {
         match v {
@@ -344,6 +358,17 @@ impl<'a> Dec<'a> {
     /// [`CodecError::Truncated`] or [`CodecError::BadUtf8`].
     pub fn str(&mut self) -> Result<String, CodecError> {
         self.str_ref().map(str::to_owned)
+    }
+
+    /// Reads a `u32` length-prefixed byte blob, borrowing it from the
+    /// input (the zero-copy mate of [`Enc::bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn bytes_ref(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
     }
 
     /// Reads an `Option`.

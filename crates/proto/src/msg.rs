@@ -403,6 +403,15 @@ pub enum Reply {
         /// CCS epoch (bumps on re-election).
         epoch: u64,
     },
+    /// A sweep result assembled without every host: `inner` carries what
+    /// was gathered, `missing` names the hosts whose slices never arrived
+    /// (straggler timeout or partition during the wave).
+    Partial {
+        /// Hosts whose contributions are absent from `inner`.
+        missing: Vec<String>,
+        /// The combined result of the hosts that did answer.
+        inner: Box<Reply>,
+    },
 }
 
 impl Reply {
@@ -483,6 +492,11 @@ impl Wire for Reply {
                 enc.str(ccs);
                 enc.u64(*epoch);
             }
+            Reply::Partial { missing, inner } => {
+                enc.u8(11);
+                enc.seq(missing, |e, s| e.str(s));
+                inner.encode(enc);
+            }
         }
     }
 
@@ -529,7 +543,40 @@ impl Wire for Reply {
                 auth_failures: dec.u64()?,
                 handlers: (dec.u64()?, dec.u64()?, dec.u64()?),
             },
+            11 => Reply::Partial {
+                missing: dec.seq(|d| d.str())?,
+                inner: Box::new(Reply::decode(dec)?),
+            },
             tag => return Err(CodecError::BadTag { what: "Reply", tag }),
+        })
+    }
+}
+
+/// One host's contribution inside a [`Msg::BcastAgg`] batch: what a
+/// [`Msg::BcastResp`] carries, minus the per-message stamp (the aggregate
+/// frame carries it once for the whole batch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcastPart {
+    /// Answering host.
+    pub host: String,
+    /// The host's reply.
+    pub reply: Reply,
+    /// Route the host's slice of the wave had taken.
+    pub route: Route,
+}
+
+impl Wire for BcastPart {
+    fn encode(&self, enc: &mut Enc) {
+        enc.str(&self.host);
+        self.reply.encode(enc);
+        self.route.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(BcastPart {
+            host: dec.str()?,
+            reply: Reply::decode(dec)?,
+            route: Route::decode(dec)?,
         })
     }
 }
@@ -652,6 +699,20 @@ pub enum Msg {
         /// Stamp of the completed request.
         stamp: Stamp,
     },
+    /// A relay's whole subtree of answers in one frame: in-network
+    /// aggregation of the echo wave. `parts` is a length-prefixed batch
+    /// (see [`crate::codec::encode_batch`]) of [`BcastPart`] frames;
+    /// relays concatenate child batches without re-encoding them, so a
+    /// chain of `n` hosts moves each record once instead of once per hop.
+    BcastAgg {
+        /// Stamp of the wave being answered.
+        stamp: Stamp,
+        /// Batch-framed [`BcastPart`]s from this subtree.
+        parts: bytes::Bytes,
+        /// Hosts of this subtree that never answered (lost children or
+        /// stragglers cut off by the wave timeout).
+        missing: Vec<String>,
+    },
 
     // ---- recovery (Section 5) ----------------------------------------------
     /// CCS announcement / adoption of a new coordinator.
@@ -719,6 +780,7 @@ impl Msg {
             Msg::Bcast { .. } => "bcast",
             Msg::BcastResp { .. } => "bcast-resp",
             Msg::BcastDone { .. } => "bcast-done",
+            Msg::BcastAgg { .. } => "bcast-agg",
             Msg::CcsAnnounce { .. } => "ccs-announce",
             Msg::Probe { .. } => "probe",
             Msg::ProbeAck { .. } => "probe-ack",
@@ -835,6 +897,16 @@ impl Wire for Msg {
                 enc.u8(10);
                 stamp.encode(enc);
             }
+            Msg::BcastAgg {
+                stamp,
+                parts,
+                missing,
+            } => {
+                enc.u8(16);
+                stamp.encode(enc);
+                enc.bytes(parts);
+                enc.seq(missing, |e, s| e.str(s));
+            }
             Msg::CcsAnnounce { user, ccs, epoch } => {
                 enc.u8(11);
                 enc.u32(*user);
@@ -949,6 +1021,11 @@ impl Wire for Msg {
                 ccs: dec.str()?,
                 epoch: dec.u64()?,
             },
+            16 => Msg::BcastAgg {
+                stamp: Stamp::decode(dec)?,
+                parts: bytes::Bytes::copy_from_slice(dec.bytes_ref()?),
+                missing: dec.seq(|d| d.str())?,
+            },
             tag => return Err(CodecError::BadTag { what: "Msg", tag }),
         })
     }
@@ -1027,6 +1104,22 @@ mod tests {
                     }],
                 },
                 route: route.clone(),
+            },
+            Msg::BcastAgg {
+                stamp: stamp.clone(),
+                parts: crate::codec::encode_batch(&[
+                    BcastPart {
+                        host: "b".into(),
+                        reply: Reply::Pong,
+                        route: route.clone(),
+                    },
+                    BcastPart {
+                        host: "c".into(),
+                        reply: Reply::Ok,
+                        route: route.clone(),
+                    },
+                ]),
+                missing: vec!["d".into()],
             },
             Msg::BcastDone { stamp },
             Msg::CcsAnnounce {
@@ -1156,11 +1249,50 @@ mod tests {
                 ccs: "home".into(),
                 epoch: 1,
             },
+            Reply::Partial {
+                missing: vec!["b".into(), "d".into()],
+                inner: Box::new(Reply::Snapshot {
+                    host: "*".into(),
+                    procs: vec![],
+                }),
+            },
         ];
         for r in replies {
             let b = r.to_bytes();
             assert_eq!(Reply::from_bytes(&b).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn bcast_agg_parts_decode_as_a_batch() {
+        // The aggregate's payload must survive the Msg roundtrip intact:
+        // relays concatenate these batches byte-for-byte.
+        let parts = vec![
+            BcastPart {
+                host: "b".into(),
+                reply: Reply::Snapshot {
+                    host: "b".into(),
+                    procs: vec![],
+                },
+                route: Route::from_origin("a"),
+            },
+            BcastPart {
+                host: "c".into(),
+                reply: Reply::Pong,
+                route: Route::from_origin("a"),
+            },
+        ];
+        let m = Msg::BcastAgg {
+            stamp: Stamp::signed("a", 1, 10, 3),
+            parts: crate::codec::encode_batch(&parts),
+            missing: vec![],
+        };
+        let b = m.to_bytes();
+        let Msg::BcastAgg { parts: wire, .. } = Msg::from_bytes(&b).unwrap() else {
+            panic!("wrong variant");
+        };
+        let decoded: Vec<BcastPart> = crate::codec::decode_batch(&wire).unwrap();
+        assert_eq!(decoded, parts);
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! `BinaryHeap`-based engine used, so event delivery order — and thus
 //! every simulation trace — is bit-for-bit identical.
 
-use crate::hashx::FastMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::hashx::{FastMap, FastSet};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier handed back by [`Engine::schedule`], usable to cancel the
@@ -269,6 +272,375 @@ impl<E> Engine<E> {
             self.pos.insert(self.heap[slot].seq, slot);
         }
         slot
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical timer wheel
+// ---------------------------------------------------------------------------
+
+/// Microsecond granularity of each wheel level, plus one extra entry for
+/// the span of the whole wheel (`64^LEVELS` µs ≈ 16.8 s).
+const WHEEL_POW: [u64; WHEEL_LEVELS + 1] = [1, 64, 4_096, 262_144, 16_777_216];
+
+/// Slots per level. 64 lets a whole level's occupancy live in one `u64`
+/// bitmask, so "find the earliest occupied slot" is a `trailing_zeros`.
+const WHEEL_SLOTS: usize = 64;
+
+/// Number of wheel levels. Level `l` buckets events at `64^l` µs
+/// granularity; everything past the top level's window waits in an
+/// overflow heap until the wheel advances far enough to admit it.
+const WHEEL_LEVELS: usize = 4;
+
+#[derive(Debug)]
+struct WheelEntry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+/// An overflow-heap entry, ordered by the same `(at, seq)` total order as
+/// the wheel proper. Only the key participates in comparisons.
+#[derive(Debug)]
+struct FarEntry<E>(WheelEntry<E>);
+
+impl<E> PartialEq for FarEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.0.at, self.0.seq) == (other.0.at, other.0.seq)
+    }
+}
+impl<E> Eq for FarEntry<E> {}
+impl<E> PartialOrd for FarEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for FarEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.0.at, self.0.seq).cmp(&(other.0.at, other.0.seq))
+    }
+}
+
+/// A deterministic discrete-event queue backed by a **hierarchical timer
+/// wheel**, with the same API and the same `(time, seq)` total order as
+/// [`Engine`] — the two are interchangeable and produce bit-identical
+/// event sequences.
+///
+/// # Why a wheel
+///
+/// The RPC layer arms a timer per send attempt plus housekeeping, TTL and
+/// retention timers, and cancels far more of them than it lets fire. On
+/// the indexed heap every cancel is an O(log n) removal that rewrites the
+/// position index along the sift path. Here a cancel is one hash-set
+/// removal: the entry simply stops being *alive*, and its slot storage is
+/// reclaimed lazily when the slot is next visited. Scheduling is O(1) —
+/// drop the event into the bucket covering its deadline — and firing
+/// advances along per-level 64-bit occupancy masks.
+///
+/// # Windows, not rotations
+///
+/// Each level holds one **absolute window** of time: level `l` covers the
+/// `64^(l+1)` µs window `win[l]`, divided into 64 slots of `64^l` µs.
+/// An event is filed at the lowest level whose current window contains
+/// its deadline; events beyond the top window wait in an overflow
+/// min-heap ("the heap retained for far-future events"). When level 0
+/// drains, the earliest occupied slot of the next occupied level is
+/// *cascaded* down one level, narrowing the window; when the whole wheel
+/// drains, the windows are rebased around the overflow heap's minimum and
+/// the heap's matching prefix migrates in. Keying windows by absolute
+/// position (rather than a rotating cursor) means a slot index comparison
+/// is always a time comparison, so the earliest-first scan is exact.
+///
+/// # Examples
+///
+/// ```
+/// use ppm_simnet::engine::TimerWheel;
+/// use ppm_simnet::time::{SimDuration, SimTime};
+///
+/// let mut wheel: TimerWheel<&str> = TimerWheel::new();
+/// wheel.schedule(SimDuration::from_millis(5), "later");
+/// let keep = wheel.schedule(SimDuration::from_millis(1), "sooner");
+/// let drop_ = wheel.schedule(SimDuration::from_secs(120), "far future");
+/// assert!(wheel.cancel(drop_));
+///
+/// let (t, ev) = wheel.pop().unwrap();
+/// assert_eq!((t, ev), (SimTime::from_millis(1), "sooner"));
+/// let _ = keep;
+/// ```
+#[derive(Debug)]
+pub struct TimerWheel<E> {
+    now: SimTime,
+    seq: u64,
+    processed: u64,
+    /// Current absolute window per level: every entry stored at level `l`
+    /// satisfies `at / WHEEL_POW[l + 1] == win[l]`.
+    win: [u64; WHEEL_LEVELS],
+    /// Per-level slot-occupancy bitmasks (bit `s` = slot `s` may hold
+    /// live entries; cleared lazily when a visit finds only dead ones).
+    occ: [u64; WHEEL_LEVELS],
+    /// `WHEEL_LEVELS * WHEEL_SLOTS` buckets, level-major.
+    slots: Vec<Vec<WheelEntry<E>>>,
+    /// Events past the top-level window, ordered by `(at, seq)`.
+    overflow: BinaryHeap<Reverse<FarEntry<E>>>,
+    /// Scheduled, not yet fired, not cancelled. Cancel is a removal here;
+    /// slot storage drops the corpse when it next visits the bucket.
+    alive: FastSet<u64>,
+}
+
+impl<E> Default for TimerWheel<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> TimerWheel<E> {
+    /// Creates an empty wheel at time zero.
+    pub fn new() -> Self {
+        let mut slots = Vec::with_capacity(WHEEL_LEVELS * WHEEL_SLOTS);
+        slots.resize_with(WHEEL_LEVELS * WHEEL_SLOTS, Vec::new);
+        TimerWheel {
+            now: SimTime::ZERO,
+            seq: 0,
+            processed: 0,
+            win: [0; WHEEL_LEVELS],
+            occ: [0; WHEEL_LEVELS],
+            slots,
+            overflow: BinaryHeap::new(),
+            alive: FastSet::default(),
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// popped event (or zero before any event fires).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events popped so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of live events currently pending. Cancelled events leave
+    /// the count immediately and are never counted.
+    pub fn pending(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedules `payload` at an absolute instant.
+    ///
+    /// Instants earlier than the current time are clamped to "now" so a
+    /// handler can never make time flow backwards.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.alive.insert(seq);
+        self.place(WheelEntry { at, seq, payload });
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event in O(1).
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.alive.remove(&id.0)
+    }
+
+    /// Timestamp of the next live event, if any.
+    ///
+    /// Reads the structure without moving any window (dead entries found
+    /// along the way are reclaimed), so interleaved peeks and schedules
+    /// cannot perturb placement.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        for l in 0..WHEEL_LEVELS {
+            let mut mask = self.occ[l];
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(t) = self.slot_min_time(l, s) {
+                    return Some(t);
+                }
+            }
+            // A level pins its window while occupied, so the earliest
+            // live slot of the lowest occupied level is the global min.
+        }
+        while let Some(Reverse(top)) = self.overflow.peek() {
+            if self.alive.contains(&top.0.seq) {
+                return Some(top.0.at);
+            }
+            self.overflow.pop();
+        }
+        None
+    }
+
+    /// Pops the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            // Level 0: fire the earliest live slot (one µs per slot, so
+            // every entry in it shares `at`; ties break by min seq).
+            let mut mask = self.occ[0];
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.clean_slot(0, s);
+                let bucket = &mut self.slots[s];
+                if bucket.is_empty() {
+                    continue;
+                }
+                let mut i = 0;
+                for j in 1..bucket.len() {
+                    if bucket[j].seq < bucket[i].seq {
+                        i = j;
+                    }
+                }
+                let e = bucket.swap_remove(i);
+                if bucket.is_empty() {
+                    self.occ[0] &= !(1u64 << s);
+                }
+                self.alive.remove(&e.seq);
+                debug_assert!(e.at >= self.now, "event queue time went backwards");
+                self.now = e.at;
+                self.processed += 1;
+                return Some((e.at, e.payload));
+            }
+            // Level 0 is dry: cascade the earliest live slot of the
+            // lowest occupied level down one level, narrowing its window.
+            if self.cascade_once() {
+                continue;
+            }
+            // Whole wheel is dry: rebase the windows around the overflow
+            // minimum and migrate the heap's matching prefix in.
+            while let Some(Reverse(top)) = self.overflow.peek() {
+                if self.alive.contains(&top.0.seq) {
+                    break;
+                }
+                self.overflow.pop();
+            }
+            let Reverse(top) = self.overflow.peek()?;
+            let m = top.0.at.as_micros();
+            for l in 0..WHEEL_LEVELS {
+                self.win[l] = m / WHEEL_POW[l + 1];
+            }
+            while let Some(Reverse(top)) = self.overflow.peek() {
+                if top.0.at.as_micros() / WHEEL_POW[WHEEL_LEVELS] != self.win[WHEEL_LEVELS - 1] {
+                    break;
+                }
+                let Reverse(FarEntry(e)) = self.overflow.pop().expect("peeked entry");
+                if self.alive.contains(&e.seq) {
+                    self.place(e);
+                }
+            }
+        }
+    }
+
+    /// Pops the next live event only if it fires at or before `horizon`.
+    pub fn pop_until(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Advances the clock to `at` without processing anything.
+    ///
+    /// Used at the end of a bounded run so `now()` reflects the horizon.
+    /// Instants in the past are ignored.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            self.now = at;
+        }
+    }
+
+    /// Sweeps cancelled entries out of every bucket and releases spare
+    /// capacity retained after a burst of scheduling.
+    pub fn compact(&mut self) {
+        for l in 0..WHEEL_LEVELS {
+            let mut mask = self.occ[l];
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.clean_slot(l, s);
+                let bucket = &mut self.slots[l * WHEEL_SLOTS + s];
+                if bucket.is_empty() {
+                    self.occ[l] &= !(1u64 << s);
+                }
+                bucket.shrink_to_fit();
+            }
+        }
+        let alive = &self.alive;
+        let mut far = std::mem::take(&mut self.overflow).into_vec();
+        far.retain(|Reverse(FarEntry(e))| alive.contains(&e.seq));
+        far.shrink_to_fit();
+        self.overflow = BinaryHeap::from(far);
+        self.alive.shrink_to_fit();
+    }
+
+    /// Files an entry at the lowest level whose current window contains
+    /// its deadline, or in the overflow heap past the top window.
+    fn place(&mut self, e: WheelEntry<E>) {
+        let at = e.at.as_micros();
+        for l in 0..WHEEL_LEVELS {
+            if at / WHEEL_POW[l + 1] == self.win[l] {
+                let s = ((at / WHEEL_POW[l]) % WHEEL_SLOTS as u64) as usize;
+                self.slots[l * WHEEL_SLOTS + s].push(e);
+                self.occ[l] |= 1u64 << s;
+                return;
+            }
+        }
+        self.overflow.push(Reverse(FarEntry(e)));
+    }
+
+    /// Drops cancelled entries from one bucket.
+    fn clean_slot(&mut self, level: usize, s: usize) {
+        let alive = &self.alive;
+        self.slots[level * WHEEL_SLOTS + s].retain(|e| alive.contains(&e.seq));
+    }
+
+    /// Moves the earliest live slot of the lowest occupied level down one
+    /// level. Returns `false` when the wheel holds no live entries.
+    fn cascade_once(&mut self) -> bool {
+        for l in 1..WHEEL_LEVELS {
+            let mut mask = self.occ[l];
+            while mask != 0 {
+                let s = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.clean_slot(l, s);
+                if self.slots[l * WHEEL_SLOTS + s].is_empty() {
+                    self.occ[l] &= !(1u64 << s);
+                    continue;
+                }
+                self.occ[l] &= !(1u64 << s);
+                self.win[l - 1] = self.win[l] * WHEEL_SLOTS as u64 + s as u64;
+                let entries = std::mem::take(&mut self.slots[l * WHEEL_SLOTS + s]);
+                for e in entries {
+                    let s2 = ((e.at.as_micros() / WHEEL_POW[l - 1]) % WHEEL_SLOTS as u64) as usize;
+                    self.slots[(l - 1) * WHEEL_SLOTS + s2].push(e);
+                    self.occ[l - 1] |= 1u64 << s2;
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Earliest live timestamp within one bucket, reclaiming dead
+    /// entries and the occupancy bit when the bucket turns out empty.
+    fn slot_min_time(&mut self, level: usize, s: usize) -> Option<SimTime> {
+        self.clean_slot(level, s);
+        let bucket = &self.slots[level * WHEEL_SLOTS + s];
+        match bucket.iter().map(|e| e.at).min() {
+            Some(t) => Some(t),
+            None => {
+                self.occ[level] &= !(1u64 << s);
+                None
+            }
+        }
     }
 }
 

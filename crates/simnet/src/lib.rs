@@ -37,7 +37,7 @@ pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Engine, EventId};
+pub use engine::{Engine, EventId, TimerWheel};
 pub use latency::LatencyModel;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

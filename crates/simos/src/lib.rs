@@ -41,6 +41,7 @@ pub mod process;
 pub mod program;
 pub mod signal;
 pub mod sys;
+pub mod wire;
 pub mod workload;
 pub mod world;
 

@@ -195,6 +195,22 @@ pub trait Program {
         let _ = (sys, msg);
     }
 
+    /// A coalesced batch of kernel event messages arrived in one wakeup.
+    /// The default unpacks the batch frame with the zero-copy iterator
+    /// and feeds each message to [`Program::on_kernel_event`] in queue
+    /// order; malformed frames are dropped.
+    fn on_kernel_batch(&mut self, sys: &mut Sys<'_>, data: Bytes) {
+        let Ok(iter) = ppm_proto::codec::frames(&data) else {
+            return;
+        };
+        for frame in iter {
+            let Ok(frame) = frame else { return };
+            if let Ok(msg) = <KernelMsg as ppm_proto::codec::Wire>::from_bytes(frame) {
+                self.on_kernel_event(sys, msg);
+            }
+        }
+    }
+
     /// A direct child of this process exited.
     fn on_child_exit(&mut self, sys: &mut Sys<'_>, child: Pid, status: ExitStatus) {
         let _ = (sys, child, status);

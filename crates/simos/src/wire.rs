@@ -1,0 +1,295 @@
+//! Wire encoding for kernel event messages.
+//!
+//! The kernel coalesces event messages headed for the same LPM wakeup
+//! into one batch frame (`[u32 count][u32 len][frame]...`, the protocol's
+//! standard batch layout). Each frame is one [`KernelMsg`]. The batch is
+//! decoded with the zero-copy frame iterator and the borrowed-str path,
+//! so a burst of fork/exec/exit events costs one delivery, not one per
+//! event.
+
+use ppm_proto::codec::{CodecError, Dec, Enc, Wire};
+use ppm_simnet::time::{SimDuration, SimTime};
+
+use crate::events::KernelEvent;
+use crate::ids::Pid;
+use crate::process::Rusage;
+use crate::program::KernelMsg;
+use crate::signal::{ExitStatus, Signal};
+
+fn enc_signal(enc: &mut Enc, s: Signal) {
+    enc.u8(s.number());
+}
+
+fn dec_signal(dec: &mut Dec<'_>) -> Result<Signal, CodecError> {
+    let n = dec.u8()?;
+    Signal::from_number(n).ok_or(CodecError::BadTag {
+        what: "signal",
+        tag: n,
+    })
+}
+
+fn enc_status(enc: &mut Enc, st: &ExitStatus) {
+    match st {
+        ExitStatus::Code(c) => {
+            enc.u8(0);
+            enc.i32(*c);
+        }
+        ExitStatus::Signaled(s) => {
+            enc.u8(1);
+            enc_signal(enc, *s);
+        }
+    }
+}
+
+fn dec_status(dec: &mut Dec<'_>) -> Result<ExitStatus, CodecError> {
+    match dec.u8()? {
+        0 => Ok(ExitStatus::Code(dec.i32()?)),
+        1 => Ok(ExitStatus::Signaled(dec_signal(dec)?)),
+        t => Err(CodecError::BadTag {
+            what: "exit status",
+            tag: t,
+        }),
+    }
+}
+
+fn enc_rusage(enc: &mut Enc, r: &Rusage) {
+    enc.u64(r.cpu.as_micros());
+    enc.u64(r.msgs_sent);
+    enc.u64(r.msgs_received);
+    enc.u64(r.bytes_sent);
+    enc.u64(r.bytes_received);
+    enc.u64(r.files_opened);
+    enc.u64(r.signals_received);
+    enc.u64(r.forks);
+}
+
+fn dec_rusage(dec: &mut Dec<'_>) -> Result<Rusage, CodecError> {
+    Ok(Rusage {
+        cpu: SimDuration::from_micros(dec.u64()?),
+        msgs_sent: dec.u64()?,
+        msgs_received: dec.u64()?,
+        bytes_sent: dec.u64()?,
+        bytes_received: dec.u64()?,
+        files_opened: dec.u64()?,
+        signals_received: dec.u64()?,
+        forks: dec.u64()?,
+    })
+}
+
+impl Wire for KernelEvent {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            KernelEvent::Fork { parent, child } => {
+                enc.u8(0);
+                enc.u32(parent.0);
+                enc.u32(child.0);
+            }
+            KernelEvent::Exec { pid, command } => {
+                enc.u8(1);
+                enc.u32(pid.0);
+                enc.str(command);
+            }
+            KernelEvent::Exit {
+                pid,
+                status,
+                rusage,
+            } => {
+                enc.u8(2);
+                enc.u32(pid.0);
+                enc_status(enc, status);
+                enc_rusage(enc, rusage);
+            }
+            KernelEvent::SignalDelivered { pid, signal } => {
+                enc.u8(3);
+                enc.u32(pid.0);
+                enc_signal(enc, *signal);
+            }
+            KernelEvent::Stopped { pid } => {
+                enc.u8(4);
+                enc.u32(pid.0);
+            }
+            KernelEvent::Continued { pid } => {
+                enc.u8(5);
+                enc.u32(pid.0);
+            }
+            KernelEvent::MsgSent { pid, bytes } => {
+                enc.u8(6);
+                enc.u32(pid.0);
+                enc.u64(*bytes as u64);
+            }
+            KernelEvent::MsgReceived { pid, bytes } => {
+                enc.u8(7);
+                enc.u32(pid.0);
+                enc.u64(*bytes as u64);
+            }
+            KernelEvent::FileOpened { pid, path } => {
+                enc.u8(8);
+                enc.u32(pid.0);
+                enc.str(path);
+            }
+            KernelEvent::FileClosed { pid, path } => {
+                enc.u8(9);
+                enc.u32(pid.0);
+                enc.str(path);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(match dec.u8()? {
+            0 => KernelEvent::Fork {
+                parent: Pid(dec.u32()?),
+                child: Pid(dec.u32()?),
+            },
+            1 => KernelEvent::Exec {
+                pid: Pid(dec.u32()?),
+                command: dec.str_ref()?.to_owned(),
+            },
+            2 => KernelEvent::Exit {
+                pid: Pid(dec.u32()?),
+                status: dec_status(dec)?,
+                rusage: dec_rusage(dec)?,
+            },
+            3 => KernelEvent::SignalDelivered {
+                pid: Pid(dec.u32()?),
+                signal: dec_signal(dec)?,
+            },
+            4 => KernelEvent::Stopped {
+                pid: Pid(dec.u32()?),
+            },
+            5 => KernelEvent::Continued {
+                pid: Pid(dec.u32()?),
+            },
+            6 => KernelEvent::MsgSent {
+                pid: Pid(dec.u32()?),
+                bytes: dec.u64()? as usize,
+            },
+            7 => KernelEvent::MsgReceived {
+                pid: Pid(dec.u32()?),
+                bytes: dec.u64()? as usize,
+            },
+            8 => KernelEvent::FileOpened {
+                pid: Pid(dec.u32()?),
+                path: dec.str_ref()?.to_owned(),
+            },
+            9 => KernelEvent::FileClosed {
+                pid: Pid(dec.u32()?),
+                path: dec.str_ref()?.to_owned(),
+            },
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "kernel event",
+                    tag: t,
+                })
+            }
+        })
+    }
+}
+
+impl Wire for KernelMsg {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u64(self.queued_at.as_micros());
+        self.event.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        let queued_at = SimTime::from_micros(dec.u64()?);
+        let event = KernelEvent::decode(dec)?;
+        Ok(KernelMsg { queued_at, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_proto::codec::{decode_batch, encode_batch};
+
+    fn sample_events() -> Vec<KernelEvent> {
+        vec![
+            KernelEvent::Fork {
+                parent: Pid(4),
+                child: Pid(9),
+            },
+            KernelEvent::Exec {
+                pid: Pid(9),
+                command: "simulate".into(),
+            },
+            KernelEvent::Exit {
+                pid: Pid(9),
+                status: ExitStatus::Signaled(Signal::Kill),
+                rusage: Rusage {
+                    cpu: SimDuration::from_micros(1234),
+                    msgs_sent: 1,
+                    msgs_received: 2,
+                    bytes_sent: 3,
+                    bytes_received: 4,
+                    files_opened: 5,
+                    signals_received: 6,
+                    forks: 7,
+                },
+            },
+            KernelEvent::SignalDelivered {
+                pid: Pid(9),
+                signal: Signal::Usr1,
+            },
+            KernelEvent::Stopped { pid: Pid(9) },
+            KernelEvent::Continued { pid: Pid(9) },
+            KernelEvent::MsgSent {
+                pid: Pid(9),
+                bytes: 112,
+            },
+            KernelEvent::MsgReceived {
+                pid: Pid(9),
+                bytes: 48,
+            },
+            KernelEvent::FileOpened {
+                pid: Pid(9),
+                path: "/tmp/x".into(),
+            },
+            KernelEvent::FileClosed {
+                pid: Pid(9),
+                path: "/tmp/x".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kernel_event_roundtrips() {
+        for ev in sample_events() {
+            let msg = KernelMsg {
+                event: ev.clone(),
+                queued_at: SimTime::from_micros(42),
+            };
+            let back = KernelMsg::from_bytes(&msg.to_bytes()).expect("roundtrip");
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn kernel_msgs_batch_roundtrips() {
+        let msgs: Vec<KernelMsg> = sample_events()
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| KernelMsg {
+                event,
+                queued_at: SimTime::from_micros(i as u64),
+            })
+            .collect();
+        let batch = encode_batch(&msgs);
+        let back: Vec<KernelMsg> = decode_batch(&batch).expect("batch roundtrip");
+        assert_eq!(back, msgs);
+    }
+
+    #[test]
+    fn garbage_does_not_decode() {
+        assert!(KernelMsg::from_bytes(&[0xFF; 6]).is_err());
+        let mut good = KernelMsg {
+            event: KernelEvent::Stopped { pid: Pid(1) },
+            queued_at: SimTime::ZERO,
+        }
+        .to_bytes()
+        .to_vec();
+        good[8] = 0xEE; // corrupt the event tag
+        assert!(KernelMsg::from_bytes(&good).is_err());
+    }
+}

@@ -14,7 +14,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use bytes::Bytes;
-use ppm_simnet::engine::Engine;
+use ppm_proto::codec::encode_batch;
+use ppm_simnet::engine::TimerWheel;
 use ppm_simnet::latency::LatencyModel;
 use ppm_simnet::rng::SimRng;
 use ppm_simnet::time::{SimDuration, SimTime};
@@ -72,9 +73,16 @@ pub(crate) enum SimEvent {
         conn: ConnId,
         to: ProcKey,
     },
-    KernelMsg {
+    /// Deliver the pending kernel-event batch for `to` (armed by the
+    /// first event of the batch; later events ride the same wakeup).
+    KernelFlush {
         to: ProcKey,
-        msg: KernelMsg,
+    },
+    /// A kernel-event batch already encoded, re-delivered after a busy or
+    /// stopped deferral.
+    KernelBatch {
+        to: ProcKey,
+        data: Bytes,
     },
     SignalDeliver {
         to: ProcKey,
@@ -95,7 +103,10 @@ pub(crate) enum SimEvent {
 /// [`Sys`]) operate on this; the [`World`] wrapper owns the programs and
 /// runs the loop.
 pub struct WorldCore {
-    pub(crate) engine: Engine<SimEvent>,
+    // A hierarchical timer wheel: the short-deadline RPC timer population
+    // (retransmits, handler slots, housekeeping) lands in the wheel arrays;
+    // far-future deadlines sit in its internal overflow heap.
+    pub(crate) engine: TimerWheel<SimEvent>,
     pub(crate) topo: Topology,
     pub(crate) latency: LatencyModel,
     pub(crate) rng: SimRng,
@@ -106,6 +117,10 @@ pub struct WorldCore {
     pub(crate) next_conn: u64,
     pub(crate) services: HashMap<String, ServiceEntry>,
     pub(crate) pending_programs: Vec<(ProcKey, Box<dyn Program>)>,
+    /// Kernel events coalescing toward the same LPM wakeup: the first
+    /// event schedules the flush; events queued before it ride along in
+    /// one batch frame.
+    pub(crate) pending_kernel: HashMap<ProcKey, Vec<KernelMsg>>,
 }
 
 impl WorldCore {
@@ -377,31 +392,50 @@ impl WorldCore {
         if !self.is_alive((host, tracer)) {
             return;
         }
-        let cpu = self.topo.spec(host).cpu;
-        let la = self.host(host).kernel.load_avg();
-        let base = self.latency.kernel_msg(cpu, la, ev.wire_size());
-        let jf = self.latency.jitter_fraction;
-        let delay = self.rng.jitter(base, jf);
+        let key = (host, tracer);
         let now = self.now();
-        self.tracef(
-            Some(host),
-            TraceCategory::Kernel,
-            format!(
-                "event {} pid {pid} -> lpm {tracer} ({} bytes, {delay})",
-                ev.kind(),
-                ev.wire_size()
-            ),
-        );
-        self.engine.schedule(
-            delay,
-            SimEvent::KernelMsg {
-                to: (host, tracer),
-                msg: KernelMsg {
-                    event: ev,
-                    queued_at: now,
-                },
-            },
-        );
+        let msg = KernelMsg {
+            event: ev,
+            queued_at: now,
+        };
+        let starts_batch = self
+            .pending_kernel
+            .get(&key)
+            .is_none_or(|pending| pending.is_empty());
+        if starts_batch {
+            // First event of the wakeup pays the Table 1 latency and arms
+            // the flush.
+            let cpu = self.topo.spec(host).cpu;
+            let la = self.host(host).kernel.load_avg();
+            let base = self.latency.kernel_msg(cpu, la, msg.event.wire_size());
+            let jf = self.latency.jitter_fraction;
+            let delay = self.rng.jitter(base, jf);
+            self.tracef(
+                Some(host),
+                TraceCategory::Kernel,
+                format!(
+                    "event {} pid {pid} -> lpm {tracer} ({} bytes, {delay})",
+                    msg.event.kind(),
+                    msg.event.wire_size()
+                ),
+            );
+            self.pending_kernel.entry(key).or_default().push(msg);
+            self.engine
+                .schedule(delay, SimEvent::KernelFlush { to: key });
+        } else {
+            // A flush toward this LPM is already in flight: coalesce into
+            // the same batch frame, one delivery for the burst.
+            self.tracef(
+                Some(host),
+                TraceCategory::Kernel,
+                format!(
+                    "event {} pid {pid} -> lpm {tracer} ({} bytes, batched)",
+                    msg.event.kind(),
+                    msg.event.wire_size()
+                ),
+            );
+            self.pending_kernel.entry(key).or_default().push(msg);
+        }
     }
 
     /// Posts a signal from `from_uid` to a process (local or remote host —
@@ -739,7 +773,7 @@ impl World {
     pub fn with_config(config: OsConfig, latency: LatencyModel, seed: u64) -> Self {
         World {
             core: WorldCore {
-                engine: Engine::new(),
+                engine: TimerWheel::new(),
                 topo: Topology::new(),
                 latency,
                 rng: SimRng::seed_from(seed),
@@ -750,6 +784,7 @@ impl World {
                 next_conn: 1,
                 services: HashMap::new(),
                 pending_programs: Vec::new(),
+                pending_kernel: HashMap::new(),
             },
             programs: HashMap::new(),
             deferred: HashMap::new(),
@@ -1028,12 +1063,33 @@ impl World {
                     p.on_conn_event(sys, conn, ConnEvent::Closed)
                 });
             }
-            SimEvent::KernelMsg { to, msg } => {
-                let resched = SimEvent::KernelMsg {
-                    to,
-                    msg: msg.clone(),
+            SimEvent::KernelFlush { to } => {
+                let Some(msgs) = self.core.pending_kernel.remove(&to) else {
+                    return;
                 };
-                self.with_program(to, Some(resched), |p, sys| p.on_kernel_event(sys, msg));
+                if msgs.is_empty() {
+                    return;
+                }
+                let data = encode_batch(&msgs);
+                if msgs.len() > 1 {
+                    self.core.tracef(
+                        Some(to.0),
+                        TraceCategory::Kernel,
+                        format!("flush {} coalesced event(s) -> lpm {}", msgs.len(), to.1),
+                    );
+                }
+                let resched = SimEvent::KernelBatch {
+                    to,
+                    data: data.clone(),
+                };
+                self.with_program(to, Some(resched), |p, sys| p.on_kernel_batch(sys, data));
+            }
+            SimEvent::KernelBatch { to, data } => {
+                let resched = SimEvent::KernelBatch {
+                    to,
+                    data: data.clone(),
+                };
+                self.with_program(to, Some(resched), |p, sys| p.on_kernel_batch(sys, data));
             }
             SimEvent::SignalDeliver { to, signal } => self.handle_signal(to, signal),
             SimEvent::ChildExit {

@@ -90,15 +90,25 @@ impl<'a> SnapshotTool<'a> {
         }
     }
 
-    /// Takes and renders a snapshot of `dest` (host name or `"*"`).
+    /// Takes and renders a snapshot of `dest` (host name or `"*"`). A
+    /// partial sweep (some hosts unreachable) renders a warning footer
+    /// naming the hosts whose slices are absent.
     ///
     /// # Errors
     ///
     /// Propagates harness/tool errors.
     pub fn show(&mut self, dest: &str) -> Result<String, HarnessError> {
-        let records = self.ppm.snapshot(&self.from_host, self.uid, dest)?;
+        let (records, missing) = self.ppm.snapshot_partial(&self.from_host, self.uid, dest)?;
         let title = format!("PPM snapshot of {dest} for {}", self.uid);
-        Ok(render(records, &title))
+        let mut out = render(records, &title);
+        if !missing.is_empty() {
+            let _ = writeln!(
+                out,
+                "! partial result: no answer from {}",
+                missing.join(", ")
+            );
+        }
+        Ok(out)
     }
 
     /// Stops a process.

@@ -3,39 +3,88 @@
 //! ```console
 //! $ cargo run --bin ppm-sim -- scenarios/demo.ppm
 //! $ cargo run --bin ppm-sim -- --trace scenarios/demo.ppm
+//! $ cargo run --bin ppm-sim -- --trace --hosts 24
 //! ```
 //!
 //! `--trace` appends the full simulation trace after the scenario output.
+//! `--hosts N` generates and runs a chain-topology scale scenario instead
+//! of reading a file: `N` hosts in a line, one process spawned onto each
+//! host from its chain predecessor, closed by a whole-network snapshot
+//! sweep the origin gathers across `N - 1` relay hops.
 //! The world is seeded, so two runs of the same scenario produce
 //! identical traces — CI diffs them as a determinism gate.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
+/// The generated `--hosts N` scale scenario: a chain where each host's
+/// worker is created from the previous host, so the sibling graph — and
+/// thus the broadcast cover tree — is the chain itself.
+fn chain_scenario(n: usize) -> String {
+    let mut s = String::from("seed 1986\n");
+    for i in 0..n {
+        let cpu = if i % 2 == 0 { "vax780" } else { "sun2" };
+        writeln!(s, "host h{i} {cpu}").expect("write to string");
+    }
+    for i in 1..n {
+        writeln!(s, "link h{} h{i}", i - 1).expect("write to string");
+    }
+    s.push_str("user 100 secret=0xBEEF recovery=h0,h1 fast\n\n");
+    s.push_str("at 0s spawn h0 100 h0 job-0 as w0\n");
+    for i in 1..n {
+        writeln!(
+            s,
+            "at {}ms spawn h{} 100 h{i} job-{i} as w{i}",
+            i * 200,
+            i - 1,
+        )
+        .expect("write to string");
+    }
+    writeln!(s, "at {}ms snapshot h0 100 *", n * 200 + 2_000).expect("write to string");
+    s.push_str("run 10s\n");
+    s
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ppm-sim [--trace] <scenario-file>");
+    eprintln!("       ppm-sim [--trace] --hosts <N>");
+    eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
     let mut trace = false;
-    let mut path = None;
-    for arg in std::env::args().skip(1) {
+    let mut hosts: Option<usize> = None;
+    let mut path: Option<String> = None;
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace = true,
+            "--hosts" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|n| *n >= 2) else {
+                    eprintln!("ppm-sim: --hosts needs a host count of at least 2");
+                    return ExitCode::FAILURE;
+                };
+                hosts = Some(n);
+            }
             _ => path = Some(arg),
         }
     }
-    let Some(path) = path else {
-        eprintln!("usage: ppm-sim [--trace] <scenario-file>");
-        eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
-        return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("ppm-sim: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
+    let (name, text) = match (hosts, path) {
+        (Some(n), None) => (format!("--hosts {n}"), chain_scenario(n)),
+        (None, Some(path)) => match std::fs::read_to_string(&path) {
+            Ok(t) => (path, t),
+            Err(e) => {
+                eprintln!("ppm-sim: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        _ => return usage(),
     };
     let scenario = match ppm::scenario::parse(&text) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("ppm-sim: {path}: {e}");
+            eprintln!("ppm-sim: {name}: {e}");
             return ExitCode::FAILURE;
         }
     };
@@ -50,7 +99,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             print!("{out}");
-            eprintln!("ppm-sim: {path}: {e}");
+            eprintln!("ppm-sim: {name}: {e}");
             ExitCode::FAILURE
         }
     }

@@ -693,7 +693,9 @@ macro_rules! prop_oneof {
 /// The glob-import module, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::prop;
-    pub use crate::{any, Just, BoxedStrategy, Strategy, TestCaseError, TestCaseResult, TestRng, Union};
+    pub use crate::{
+        any, BoxedStrategy, Just, Strategy, TestCaseError, TestCaseResult, TestRng, Union,
+    };
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
 }
 
