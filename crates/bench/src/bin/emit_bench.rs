@@ -1,25 +1,29 @@
-//! Emits `BENCH_PR3.json`: median ns/op for each optimised hot path and
+//! Emits `BENCH_PR4.json`: median ns/op for each optimised hot path and
 //! its bench-local seed copy, measured in the same process and run. The
-//! three pairs recorded in the checked-in `BENCH_PR1.json` are
-//! re-measured and reported alongside the aggregation-PR pairs, and the
-//! PR 1 medians are carried into the output so the history is not
-//! overwritten.
+//! pairs recorded in the checked-in `BENCH_PR3.json` are re-measured and
+//! reported alongside the observability-PR pair, and the PR 3 medians
+//! are carried into the output so the history is not overwritten.
 //!
 //! Usage:
 //!
 //! * `cargo run --release -p ppm-bench --bin emit_bench`
-//!   (from the repository root; `BENCH_PR3.json` is written to the
+//!   (from the repository root; `BENCH_PR4.json` is written to the
 //!   working directory)
 //! * `... --bin emit_bench -- --gate`
 //!   re-measures every pair and exits non-zero if any workload regressed
 //!   more than [`GATE_TOLERANCE_PCT`] against the checked-in
-//!   `BENCH_PR3.json` — the CI perf-regression smoke gate.
+//!   `BENCH_PR4.json` — the CI perf-regression smoke gate.
 //!
 //! Absolute nanoseconds are not comparable across machines (or even
 //! across runs on a loaded CI box), so the gate normalises each
 //! workload by its bench-local seed copy measured in the same run: what
 //! is compared against the checked-in JSON is the optimised/seed median
 //! ratio, which only moves when the optimised code itself changes.
+//!
+//! The `obs_overhead` pair gets one extra, *absolute* bound: its ratio
+//! is instrumented/plain — the cost of the metrics registry on the hot
+//! path — and must stay at or under [`OBS_OVERHEAD_MAX_RATIO`]
+//! regardless of what the checked-in file says.
 
 use std::time::Instant;
 
@@ -42,10 +46,15 @@ const TARGET_SAMPLE_MS: u128 = 25;
 const GATE_TOLERANCE_PCT: f64 = 10.0;
 
 /// The checked-in results the gate compares against.
-const BASELINE_JSON: &str = "BENCH_PR3.json";
+const BASELINE_JSON: &str = "BENCH_PR4.json";
 
-/// The PR 1 results carried into the emitted file's `previous` section.
-const PR1_JSON: &str = "BENCH_PR1.json";
+/// The PR 3 results carried into the emitted file's `previous` section.
+const PR3_JSON: &str = "BENCH_PR3.json";
+
+/// Hard ceiling on the `obs_overhead` instrumented/plain ratio: the
+/// observability layer may cost at most 5% on the hot path, on any
+/// machine, against any baseline.
+const OBS_OVERHEAD_MAX_RATIO: f64 = 1.05;
 
 /// How many calls of `work` fill roughly one sampling epoch.
 fn calibrate(work: &mut dyn FnMut() -> u64, sink: &mut u64) -> u64 {
@@ -146,6 +155,13 @@ fn measure_all() -> Vec<Pair> {
             &mut || hotpath::wheel_retransmit(4_000),
             &mut || hotpath::engine_new(4_000),
         ),
+        // Instrumented vs plain: this pair's ratio is the observability
+        // overhead itself, bounded absolutely by the gate.
+        measure_pair(
+            "obs_overhead",
+            &mut || hotpath::obs_instrumented(4_000),
+            &mut || hotpath::wheel_retransmit(4_000),
+        ),
     ]
 }
 
@@ -169,6 +185,15 @@ fn gate() -> ! {
         .unwrap_or_else(|e| panic!("read {BASELINE_JSON}: {e}"));
     let mut failed = false;
     for p in measure_all() {
+        if p.name == "obs_overhead" && p.ratio > OBS_OVERHEAD_MAX_RATIO {
+            failed = true;
+            println!(
+                "{:22} instrumented/plain {:>5.3}  exceeds the absolute \
+                 ceiling {OBS_OVERHEAD_MAX_RATIO}  REGRESSED",
+                p.name, p.ratio,
+            );
+            continue;
+        }
         let Some(prev_ratio) = json_field(&baseline, p.name, "ratio") else {
             println!("{:22} missing from {BASELINE_JSON}; skipped", p.name);
             continue;
@@ -221,17 +246,23 @@ fn main() {
         );
     }
     json.push_str("  },\n  \"previous\": {\n");
-    if let Ok(pr1) = std::fs::read_to_string(PR1_JSON) {
-        let carried: Vec<String> = ["engine_hotpath", "codec_roundtrip", "genealogy_scale"]
-            .iter()
-            .filter_map(|name| {
-                let new = json_field(&pr1, name, "new_median_ns")?;
-                let seed = json_field(&pr1, name, "seed_median_ns")?;
-                Some(format!(
-                    "    \"{name}\": {{ \"new_median_ns\": {new:.0}, \"seed_median_ns\": {seed:.0} }}"
-                ))
-            })
-            .collect();
+    if let Ok(pr3) = std::fs::read_to_string(PR3_JSON) {
+        let carried: Vec<String> = [
+            "engine_hotpath",
+            "codec_roundtrip",
+            "genealogy_scale",
+            "gather_chain32",
+            "timer_wheel_retransmit",
+        ]
+        .iter()
+        .filter_map(|name| {
+            let new = json_field(&pr3, name, "new_median_ns")?;
+            let seed = json_field(&pr3, name, "seed_median_ns")?;
+            Some(format!(
+                "    \"{name}\": {{ \"new_median_ns\": {new:.0}, \"seed_median_ns\": {seed:.0} }}"
+            ))
+        })
+        .collect();
         json.push_str(&carried.join(",\n"));
         json.push('\n');
     }
@@ -240,9 +271,11 @@ fn main() {
     json.push_str(
         ",\n  \"note\": \"median ns per workload call; seed_* are bench-local copies of \
          the pre-PR implementations, measured in the same run; timer_wheel_retransmit's \
-         seed is the PR 1 indexed heap; previous carries the checked-in PR 1 medians\"\n}\n",
+         seed is the PR 1 indexed heap; obs_overhead's seed is the plain wheel and its \
+         ratio is the observability overhead (absolute gate ceiling 1.05); previous \
+         carries the checked-in PR 3 medians\"\n}\n",
     );
 
-    std::fs::write("BENCH_PR3.json", &json).expect("write BENCH_PR3.json");
-    println!("wrote BENCH_PR3.json");
+    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
+    println!("wrote BENCH_PR4.json");
 }

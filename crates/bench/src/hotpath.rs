@@ -24,17 +24,28 @@
 //!   to a hierarchical timer wheel ([`wheel_retransmit`] drives the
 //!   wheel with the exact workload [`engine_new`] runs on the heap).
 //!
+//! The observability PR added one more pair:
+//!
+//! * **obs** — the wheel retransmit workload with the metrics registry's
+//!   hot-path cost layered on ([`obs_instrumented`]) against the plain
+//!   wheel ([`wheel_retransmit`]); its ratio *is* the observability
+//!   overhead, which the perf gate bounds absolutely.
+//!
 //! Each pair exposes a deterministic workload returning a checksum, so
 //! the benches can assert the optimised code computes the same thing the
 //! seed code did while timing both. `emit_bench` writes the measured
-//! medians to `BENCH_PR3.json` alongside the medians recorded in
-//! `BENCH_PR1.json`.
+//! medians to `BENCH_PR4.json` alongside the medians recorded by earlier
+//! PRs.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use bytes::Bytes;
 use ppm_proto::codec::{decode_batch, encode_batch, frames, Enc, Wire};
 use ppm_proto::msg::{BcastPart, Msg, Op, Reply};
 use ppm_proto::types::{Gpid, ProcRecord, Route, Stamp, WireProcState};
 use ppm_simnet::engine::{Engine, TimerWheel};
+use ppm_simnet::obs::{Registry, SpanLog};
 use ppm_simnet::time::SimDuration;
 
 /// SplitMix64 step: the workloads' deterministic choice stream.
@@ -503,6 +514,56 @@ pub fn wheel_retransmit(steps: usize) -> u64 {
     acc
 }
 
+/// The retransmit workload with the observability layer's hot-path cost
+/// layered on at the density the LPM pays it: a shared
+/// `Rc<RefCell<Registry>>` counter bump per step (one request entering
+/// the pipeline), a histogram record on the rare retry-shaped schedules
+/// (the LPM only records `rpc.backoff_us` when a retry is actually
+/// scheduled), and a disabled-span-log check per pop. The plain side is
+/// [`wheel_retransmit`]; the checksums must agree, and the instrumented /
+/// plain time ratio is the observability overhead the perf gate bounds.
+pub fn obs_instrumented(steps: usize) -> u64 {
+    let registry: Rc<RefCell<Registry>> = Rc::new(RefCell::new(Registry::new()));
+    let (requests, backoff_us) = {
+        let mut r = registry.borrow_mut();
+        (r.counter("rpc.requests"), r.hist("rpc.backoff_us"))
+    };
+    let spans = SpanLog::new();
+    let mut e: TimerWheel<u64> = TimerWheel::new();
+    let mut rng = 7u64;
+    let mut acc = 0u64;
+    let mut window = Vec::with_capacity(ENGINE_WINDOW + 4);
+    for i in 0..steps {
+        registry.borrow_mut().inc(requests);
+        for j in 0..3u64 {
+            let delay = mix(&mut rng) % 1_000;
+            if delay.is_multiple_of(61) {
+                registry.borrow_mut().record(backoff_us, delay);
+            }
+            window.push(e.schedule(SimDuration::from_micros(delay), i as u64 ^ (j << 56)));
+        }
+        if window.len() > ENGINE_WINDOW {
+            for _ in 0..2 {
+                let k = (mix(&mut rng) % window.len() as u64) as usize;
+                let id = window.swap_remove(k);
+                e.cancel(id);
+            }
+        }
+        if let Some((t, v)) = e.pop() {
+            // The guard every span call site pays while spans are off.
+            if spans.is_enabled() {
+                acc = acc.wrapping_add(1);
+            }
+            acc = acc.wrapping_add(t.as_micros() ^ v);
+        }
+    }
+    while let Some((t, v)) = e.pop() {
+        acc = acc.wrapping_add(t.as_micros() ^ v);
+    }
+    std::hint::black_box(registry.borrow().snapshot().len());
+    acc
+}
+
 // ---- chain gather ----------------------------------------------------------
 
 /// Records each host contributes to the chain-sweep workloads.
@@ -640,6 +701,11 @@ mod tests {
     #[test]
     fn wheel_matches_heap_on_the_retransmit_pattern() {
         assert_eq!(wheel_retransmit(500), engine_new(500));
+    }
+
+    #[test]
+    fn instrumented_wheel_matches_plain_wheel() {
+        assert_eq!(obs_instrumented(500), wheel_retransmit(500));
     }
 
     #[test]

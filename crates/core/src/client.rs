@@ -285,6 +285,21 @@ impl Program for Tool {
                         self.pump(sys);
                     }
                 }
+                Ok(Msg::MetricsSnapshot {
+                    id,
+                    host,
+                    at_us,
+                    rows,
+                    ..
+                }) => {
+                    // A registry pull's dedicated frame; fold it back into
+                    // the reply stream under its wire id.
+                    if let Some(idx) = self.inflight.remove(&id) {
+                        let reply = Reply::Metrics { host, at_us, rows };
+                        self.record_reply(idx, reply, sys.now());
+                        self.pump(sys);
+                    }
+                }
                 Ok(other) => {
                     // Announcements etc. are not replies; ignore.
                     let _ = other;

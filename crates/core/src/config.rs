@@ -64,6 +64,10 @@ pub struct PpmConfig {
     pub req_attempts: u8,
     /// Backoff before the first retry; doubles per attempt.
     pub req_backoff: SimDuration,
+    /// Ceiling on the doubling retry backoff. Without it a
+    /// long-partitioned origin's backoff doubles without bound and the
+    /// request ends up armed hours into simulated time.
+    pub req_backoff_max: SimDuration,
     /// End-to-end deadline stamped on origin requests; relays refuse
     /// requests whose propagated deadline has passed.
     pub req_deadline: SimDuration,
@@ -122,6 +126,7 @@ impl Default for PpmConfig {
             req_timeout: SimDuration::from_secs(10),
             req_attempts: 3,
             req_backoff: SimDuration::from_millis(250),
+            req_backoff_max: SimDuration::from_secs(10),
             req_deadline: SimDuration::from_secs(45),
             deadline_decay: SimDuration::from_millis(20),
 
@@ -151,6 +156,7 @@ impl PpmConfig {
             reconnect_interval: SimDuration::from_millis(500),
             req_timeout: SimDuration::from_secs(3),
             req_backoff: SimDuration::from_millis(100),
+            req_backoff_max: SimDuration::from_secs(2),
             req_deadline: SimDuration::from_secs(10),
             bcast_timeout: SimDuration::from_secs(3),
             ..Default::default()
@@ -219,9 +225,12 @@ mod tests {
             // final verdict is Timeout, not a premature DeadlineExceeded.
             let retries = u64::from(c.req_attempts) - 1;
             let attempts_us = u64::from(c.req_attempts) * c.req_timeout.as_micros();
-            let backoff_us = c.req_backoff.as_micros() * ((1 << retries) - 1);
+            let backoff_us: u64 = (0..retries)
+                .map(|i| (c.req_backoff.as_micros() << i).min(c.req_backoff_max.as_micros()))
+                .sum();
             assert!(attempts_us + backoff_us <= c.req_deadline.as_micros());
             assert!(c.deadline_decay < c.req_timeout);
+            assert!(c.req_backoff_max >= c.req_backoff);
         }
     }
 

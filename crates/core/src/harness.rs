@@ -10,8 +10,9 @@
 use std::rc::Rc;
 
 use ppm_proto::msg::{ControlAction, Op, Reply};
-use ppm_proto::types::{Gpid, HistoryRecord, ProcRecord, RusageRecord};
+use ppm_proto::types::{Gpid, HistoryRecord, MetricRow, ProcRecord, RusageRecord};
 use ppm_simnet::latency::LatencyModel;
+use ppm_simnet::obs::SpanEvent;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simnet::topology::{CpuClass, HostId, HostSpec};
 use ppm_simos::config::OsConfig;
@@ -546,6 +547,90 @@ impl PpmHarness {
         dest: &str,
     ) -> Result<Reply, HarnessError> {
         self.one_reply(from_host, uid, dest, Op::Stats, Self::WAIT)
+    }
+
+    /// Pulls a remote LPM's metrics registry over the wire
+    /// ([`Op::Metrics`]), returning the answering host, its sim-clock
+    /// timestamp, and the rows.
+    ///
+    /// # Errors
+    ///
+    /// Tool/LPM/timeout errors as [`HarnessError`].
+    pub fn metrics_pull(
+        &mut self,
+        from_host: &str,
+        uid: Uid,
+        dest: &str,
+    ) -> Result<(String, u64, Vec<MetricRow>), HarnessError> {
+        match self.one_reply(from_host, uid, dest, Op::Metrics, Self::WAIT)? {
+            Reply::Metrics { host, at_us, rows } => Ok((host, at_us, rows)),
+            _ => Err(HarnessError::UnexpectedReply),
+        }
+    }
+
+    /// Enables structured span recording. Off by default: span records
+    /// cost an allocation each, so benchmarks leave them disabled.
+    pub fn enable_spans(&mut self) {
+        self.world.core_mut().obs_mut().spans.set_enabled(true);
+    }
+
+    /// Host names indexed by `HostId`, for the span exporters.
+    pub fn host_names(&self) -> Vec<String> {
+        let core = self.world.core();
+        core.topology()
+            .host_ids()
+            .map(|id| core.host_name(id).to_string())
+            .collect()
+    }
+
+    /// Recorded span events (empty unless [`PpmHarness::enable_spans`]
+    /// was called before the activity of interest).
+    pub fn span_events(&self) -> &[SpanEvent] {
+        self.world.core().obs().spans.events()
+    }
+
+    /// Span events rendered as JSONL, one record per line.
+    pub fn spans_jsonl(&self) -> String {
+        crate::obs::spans_jsonl(self.span_events(), &self.host_names())
+    }
+
+    /// Span events rendered as a Chrome `trace_event` document.
+    pub fn spans_chrome(&self) -> String {
+        crate::obs::spans_chrome(self.span_events(), &self.host_names())
+    }
+
+    /// Every registry in the world as label-sorted sections: the world
+    /// section first (kernel event path plus the event-engine queue
+    /// statistics), then each registered LPM registry under its
+    /// `host/uid` label.
+    pub fn metrics_sections(&self) -> Vec<(String, Vec<MetricRow>)> {
+        let core = self.world.core();
+        let mut world_rows = crate::obs::rows(&core.obs().registry.snapshot());
+        let stats = core.engine_stats();
+        let row = |name: &str, kind: u8, value: i64| MetricRow {
+            name: name.to_string(),
+            kind,
+            value,
+            sum: 0,
+            buckets: Vec::new(),
+        };
+        world_rows.push(row("engine.schedules", 0, stats.schedules as i64));
+        world_rows.push(row("engine.cancels", 0, stats.cancels as i64));
+        world_rows.push(row("engine.fired", 0, stats.fired as i64));
+        world_rows.push(row("engine.pending", 1, stats.pending as i64));
+        world_rows.push(row("engine.overflow_peak", 1, stats.overflow_peak as i64));
+        world_rows.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut sections = vec![("world".to_string(), world_rows)];
+        for (label, snap) in core.obs().program_snapshots() {
+            sections.push((label, crate::obs::rows(&snap)));
+        }
+        sections
+    }
+
+    /// All metrics rendered as the stable text format behind
+    /// `ppm-sim --metrics`.
+    pub fn metrics_report(&self) -> String {
+        crate::obs::render_metrics(&self.metrics_sections())
     }
 }
 

@@ -56,6 +56,7 @@ pub mod harness;
 pub mod history;
 pub mod locator;
 pub mod lpm;
+pub mod obs;
 pub mod pmd;
 pub(crate) mod rpc;
 pub mod trigger_engine;

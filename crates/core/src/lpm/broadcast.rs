@@ -27,6 +27,7 @@ use std::collections::BTreeSet;
 use ppm_proto::codec::{decode_batch, Enc, Wire};
 use ppm_proto::msg::{BcastPart, ErrCode, Msg, Op, Reply};
 use ppm_proto::types::{Route, Stamp};
+use ppm_simnet::obs::SpanPhase;
 use ppm_simnet::time::SimTime;
 use ppm_simnet::trace::TraceCategory;
 use ppm_simos::ids::ConnId;
@@ -100,6 +101,9 @@ impl Lpm {
             timeout_token: None,
         };
         self.bcasts.insert(key.clone(), state);
+        if sys.spans_enabled() {
+            sys.span("bcast", format!("{}@{}", key.0, key.1), SpanPhase::Begin);
+        }
         sys.trace(
             TraceCategory::Broadcast,
             format!(
@@ -161,6 +165,7 @@ impl Lpm {
             attempt: 0,
             attempts_left: 0,
             backoff: policy.backoff,
+            backoff_max: policy.backoff_max,
         };
         if with_handler {
             let (h, d) = self.acquire_handler(sys);
@@ -246,6 +251,13 @@ impl Lpm {
             timeout_token: None,
         };
         self.bcasts.insert(key.clone(), state);
+        if sys.spans_enabled() {
+            sys.span(
+                "bcast.relay",
+                format!("{}@{}", key.0, key.1),
+                SpanPhase::Begin,
+            );
+        }
         sys.trace(
             TraceCategory::Broadcast,
             format!(
@@ -426,9 +438,12 @@ impl Lpm {
                 // Relay: splice the child's frames onto ours byte-for-byte
                 // — the in-network aggregation fast path.
                 let b = self.bcasts.get_mut(&key).expect("checked");
+                let before = b.agg_count;
                 append_batch(&mut b.agg_buf, &mut b.agg_count, &parts);
+                let spliced = u64::from(b.agg_count - before);
                 b.agg_received.insert(from_host.to_string());
                 b.missing.extend(missing);
+                self.obs.with(|r| r.add(self.obs.parts_spliced, spliced));
             }
         }
     }
@@ -584,10 +599,17 @@ impl Lpm {
                     b.missing.len()
                 ),
             );
+            if sys.spans_enabled() {
+                sys.span("bcast", format!("{}@{}", key.0, key.1), SpanPhase::End);
+            }
             let combined = combine(&b.op, b.parts);
             let combined = if b.missing.is_empty() {
                 combined
             } else {
+                self.obs.with(|r| {
+                    r.inc(self.obs.partial_flushes);
+                    r.add(self.obs.missing_hosts, b.missing.len() as u64);
+                });
                 Reply::Partial {
                     missing: b.missing.into_iter().collect(),
                     inner: Box::new(combined),
@@ -622,6 +644,13 @@ impl Lpm {
             self.release_handler(sys, forward_handler);
             self.release_handler(sys, respond_handler);
             self.bcasts.remove(key);
+            if sys.spans_enabled() {
+                sys.span(
+                    "bcast.relay",
+                    format!("{}@{}", key.0, key.1),
+                    SpanPhase::End,
+                );
+            }
         }
     }
 }

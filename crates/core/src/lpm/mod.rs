@@ -51,6 +51,7 @@ use crate::genealogy::Genealogy;
 use crate::handlers::{HandlerId, HandlerPool};
 use crate::history::History;
 use crate::locator::{LpmChannel, PmdExchange, RouteCache};
+use crate::obs::LpmObs;
 use crate::rpc::{ReplyTo, ReqPhase, RetryPolicy, RpcKey, RpcTable, TimerKind};
 use crate::trigger_engine::TriggerEngine;
 use crate::users::UserEntry;
@@ -230,7 +231,12 @@ pub struct Lpm {
     /// In-flight name-server CCS query (NameServer recovery policy).
     pub(crate) ns_query: Option<PmdExchange>,
 
+    /// When each outstanding recovery probe was sent, for RTT metrics.
+    pub(crate) probe_sent: BTreeMap<String, SimTime>,
+
     pub(crate) stats: LpmStats,
+    /// Shared metrics registry and pre-registered ids.
+    pub(crate) obs: LpmObs,
 }
 
 impl std::fmt::Debug for Lpm {
@@ -290,7 +296,9 @@ impl Lpm {
             orphan_deadline: None,
             last_keepalive: SimTime::ZERO,
             ns_query: None,
+            probe_sent: BTreeMap::new(),
             stats: LpmStats::default(),
+            obs: LpmObs::new(),
         }
     }
 
@@ -310,6 +318,7 @@ impl Lpm {
         RetryPolicy {
             attempts: self.cfg.req_attempts.max(1),
             backoff: self.cfg.req_backoff,
+            backoff_max: self.cfg.req_backoff_max.max(self.cfg.req_backoff),
         }
     }
 
@@ -448,6 +457,12 @@ impl Program for Lpm {
             return;
         }
         sys.register_kernel_socket();
+        // Expose the metrics registry to the world hub so harnesses and
+        // the CLI can sample it without simulated traffic.
+        sys.register_metrics(
+            format!("{}/{}", self.host, self.auth.uid()),
+            self.obs.registry.clone(),
+        );
         // Initial CCS: the top of the recovery list, or this host. Under
         // the name-server policy the authoritative answer comes from the
         // name server; this host stands in until it arrives.

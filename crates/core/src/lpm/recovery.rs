@@ -13,6 +13,7 @@
 
 use ppm_proto::msg::Msg;
 use ppm_proto::types::Gpid;
+use ppm_simnet::obs::SpanPhase;
 use ppm_simos::ids::Pid;
 use ppm_simos::signal::Signal;
 use ppm_simos::sys::Sys;
@@ -268,6 +269,7 @@ impl Lpm {
 
     fn adopt_candidate(&mut self, sys: &mut Sys<'_>, candidate: &str) {
         self.epoch += 1;
+        self.obs.with(|r| r.inc(self.obs.ccs_elections));
         self.ccs = candidate.to_string();
         self.recov = RecovMode::Normal;
         self.orphan_deadline = None;
@@ -282,6 +284,7 @@ impl Lpm {
     /// This LPM assumes the CCS role.
     pub(crate) fn become_ccs(&mut self, sys: &mut Sys<'_>) {
         self.epoch += 1;
+        self.obs.with(|r| r.inc(self.obs.ccs_elections));
         self.ccs = self.host.clone();
         self.recov = RecovMode::Normal;
         self.orphan_deadline = None;
@@ -333,6 +336,7 @@ impl Lpm {
             None => {
                 let deadline = now + ttd;
                 self.orphan_deadline = Some(deadline);
+                self.obs.with(|r| r.inc(self.obs.orphan_entries));
                 self.note_recovery(
                     sys,
                     format!("no recovery host reachable; time-to-die at {deadline}"),
@@ -432,6 +436,7 @@ impl Lpm {
                     user: self.auth.uid().0,
                     from: self.host.clone(),
                 };
+                self.note_probe_sent(sys, &host);
                 let _ = self.send_msg(sys, conn, &probe);
             } else {
                 let _ = self.start_channel_if_absent(sys, &host, ChanPurpose::Probe);
@@ -448,6 +453,14 @@ impl Lpm {
         ccs: &str,
         epoch: u64,
     ) {
+        if let Some(sent) = self.probe_sent.remove(from) {
+            let rtt = sys.now().saturating_since(sent);
+            self.obs
+                .with(|r| r.record(self.obs.probe_rtt_us, rtt.as_micros()));
+            if sys.spans_enabled() {
+                sys.span("probe", format!("{}>{from}", self.host), SpanPhase::End);
+            }
+        }
         self.consider_ccs(sys, ccs, epoch);
         // The probed host is alive; if it outranks the current CCS, it
         // resumes the coordinator role.
@@ -470,7 +483,20 @@ impl Lpm {
                     user: self.auth.uid().0,
                     from: self.host.clone(),
                 };
+                let ccs = self.ccs.clone();
+                self.note_probe_sent(sys, &ccs);
                 let _ = self.send_msg(sys, conn, &probe);
+            }
+        }
+    }
+
+    /// Stamps an outgoing probe for RTT measurement. An unanswered probe
+    /// keeps its original stamp so the eventual ack measures the full gap.
+    fn note_probe_sent(&mut self, sys: &mut Sys<'_>, host: &str) {
+        if !self.probe_sent.contains_key(host) {
+            self.probe_sent.insert(host.to_string(), sys.now());
+            if sys.spans_enabled() {
+                sys.span("probe", format!("{}>{host}", self.host), SpanPhase::Begin);
             }
         }
     }

@@ -10,6 +10,7 @@
 
 use ppm_proto::msg::{ControlAction, ErrCode, Msg, Op, Reply};
 use ppm_proto::types::{FileRecord, Gpid, Route};
+use ppm_simnet::obs::SpanPhase;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simos::events::TraceFlags;
 use ppm_simos::fd::FdKind;
@@ -223,6 +224,7 @@ impl Lpm {
                         };
                     }
                     self.stats.dups_suppressed += 1;
+                    self.obs.with(|r| r.inc(self.obs.dups_suppressed));
                     self.note(
                         sys,
                         format!(
@@ -238,6 +240,7 @@ impl Lpm {
             }
             DupVerdict::Replay { reply, route } => {
                 self.stats.dups_suppressed += 1;
+                self.obs.with(|r| r.inc(self.obs.dups_suppressed));
                 self.note(
                     sys,
                     format!("replaying cached reply for {}", fmt_key(&corr)),
@@ -270,6 +273,7 @@ impl Lpm {
         let deadline = if deadline_us > 0 {
             let decayed = deadline_us.saturating_sub(self.cfg.deadline_decay.as_micros());
             if decayed <= sys.now().as_micros() {
+                self.obs.with(|r| r.inc(self.obs.deadline_refused));
                 self.refuse(
                     sys,
                     conn,
@@ -339,12 +343,16 @@ impl Lpm {
         ctx: RequestCtx,
     ) {
         self.stats.requests += 1;
+        self.obs.with(|r| r.inc(self.obs.requests));
         let id = self.alloc_internal_id();
         let policy = self.retry_policy();
         let origin_side = reply_to.is_origin();
         let corr = ctx
             .corr
             .unwrap_or_else(|| (std::sync::Arc::from(self.host.as_str()), id));
+        if sys.spans_enabled() {
+            sys.span("req", fmt_key(&corr), SpanPhase::Begin);
+        }
         let deadline = match ctx.deadline {
             Some(d) => Some(d),
             // Only requests we originate get the default end-to-end
@@ -374,6 +382,7 @@ impl Lpm {
                 attempt: ctx.attempt,
                 attempts_left: if origin_side { policy.retries() } else { 0 },
                 backoff: policy.backoff,
+                backoff_max: policy.backoff_max,
             },
         );
         let d = sys.scale_cost(self.cfg.dispatch_cost);
@@ -635,6 +644,10 @@ impl Lpm {
     /// Parks a request for its backoff delay before the next attempt.
     fn schedule_retry(&mut self, sys: &mut Sys<'_>, id: u64, delay: SimDuration, why: &str) {
         self.stats.retries += 1;
+        self.obs.with(|r| {
+            r.inc(self.obs.retries);
+            r.record(self.obs.backoff_us, delay.as_micros());
+        });
         let (key, attempt) = {
             let r = self.rpc.get_mut(id).expect("retrying request exists");
             r.phase = ReqPhase::RetryWait;
@@ -738,6 +751,11 @@ impl Lpm {
                     handlers: (pool.forks, pool.reuses, pool.reaped),
                 })
             }
+            Op::Metrics => Some(Reply::Metrics {
+                host: self.host.clone(),
+                at_us: sys.now().as_micros(),
+                rows: self.obs.rows(),
+            }),
         };
         match reply {
             Some(reply) => self.finish_req(sys, id, reply),
@@ -944,6 +962,9 @@ impl Lpm {
         let Some(req) = self.rpc.remove(id) else {
             return;
         };
+        if sys.spans_enabled() {
+            sys.span("req", fmt_key(&req.corr), SpanPhase::End);
+        }
         if let Some(tok) = req.timeout_token {
             self.rpc.cancel(tok);
         }
@@ -962,10 +983,22 @@ impl Lpm {
         self.release_handler(sys, handler);
         match req.reply_to {
             ReplyTo::Tool { conn, external_id } => {
-                let msg = Msg::Resp {
-                    id: external_id,
-                    reply,
-                    route: resp_route.unwrap_or(req.route),
+                let route = resp_route.unwrap_or(req.route);
+                // Registry pulls get their own frame so tools stream them
+                // without unwrapping a generic response.
+                let msg = match reply {
+                    Reply::Metrics { host, at_us, rows } => Msg::MetricsSnapshot {
+                        id: external_id,
+                        host,
+                        at_us,
+                        rows,
+                        route,
+                    },
+                    reply => Msg::Resp {
+                        id: external_id,
+                        reply,
+                        route,
+                    },
                 };
                 let _ = self.send_msg(sys, conn, &msg);
             }

@@ -125,8 +125,11 @@ pub(crate) struct PendingRequest {
     pub attempt: u8,
     /// Remaining transport retries before the request fails for good.
     pub attempts_left: u8,
-    /// Delay before the next retry; doubles per attempt.
+    /// Delay before the next retry; doubles per attempt up to
+    /// `backoff_max`.
     pub backoff: SimDuration,
+    /// Ceiling the doubling backoff saturates at.
+    pub backoff_max: SimDuration,
 }
 
 /// What an armed timer means when it fires.
@@ -186,6 +189,8 @@ pub(crate) struct RetryPolicy {
     pub attempts: u8,
     /// First backoff delay; doubles per retry.
     pub backoff: SimDuration,
+    /// Ceiling the doubling backoff saturates at.
+    pub backoff_max: SimDuration,
 }
 
 impl RetryPolicy {
@@ -230,11 +235,13 @@ mod tests {
         let p = RetryPolicy {
             attempts: 3,
             backoff: SimDuration::from_millis(250),
+            backoff_max: SimDuration::from_secs(10),
         };
         assert_eq!(p.retries(), 2);
         let none = RetryPolicy {
             attempts: 0,
             backoff: SimDuration::from_millis(250),
+            backoff_max: SimDuration::from_secs(10),
         };
         assert_eq!(none.retries(), 0);
     }

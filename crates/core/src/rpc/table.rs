@@ -278,7 +278,14 @@ impl PendingRequest {
             self.attempts_left -= 1;
             self.attempt = self.attempt.saturating_add(1);
             let delay = self.backoff;
-            self.backoff = SimDuration::from_micros(self.backoff.as_micros().saturating_mul(2));
+            // Double toward the ceiling; without the clamp a
+            // long-partitioned origin ends up with multi-hour sim timers.
+            self.backoff = SimDuration::from_micros(
+                self.backoff
+                    .as_micros()
+                    .saturating_mul(2)
+                    .min(self.backoff_max.as_micros()),
+            );
             return TransportVerdict::Retry { delay };
         }
         TransportVerdict::Fail(if timed_out {
@@ -314,6 +321,7 @@ mod tests {
             attempt: 0,
             attempts_left: 2,
             backoff: SimDuration::from_millis(250),
+            backoff_max: SimDuration::from_secs(10),
         }
     }
 
@@ -442,6 +450,27 @@ mod tests {
         assert_eq!(
             r.retry_verdict(now, true),
             TransportVerdict::Fail(ErrCode::Timeout)
+        );
+    }
+
+    #[test]
+    fn retry_backoff_saturates_at_the_ceiling() {
+        // With a big budget the delay doubles 250ms → 500ms → 1s, then
+        // plateaus at the 1s ceiling instead of marching toward hours.
+        let now = SimTime::from_micros(1_000);
+        let mut r = req((Arc::from("here"), 1), ReplyTo::Internal);
+        r.attempts_left = 20;
+        r.backoff_max = SimDuration::from_secs(1);
+        let mut delays = Vec::new();
+        for _ in 0..6 {
+            match r.retry_verdict(now, false) {
+                TransportVerdict::Retry { delay } => delays.push(delay.as_micros()),
+                v => panic!("expected retry, got {v:?}"),
+            }
+        }
+        assert_eq!(
+            delays,
+            vec![250_000, 500_000, 1_000_000, 1_000_000, 1_000_000, 1_000_000]
         );
     }
 

@@ -187,6 +187,11 @@ impl Enc {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
+    /// Writes an `i64` big-endian.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
     /// Writes a bool as one byte.
     pub fn bool(&mut self, v: bool) {
         self.u8(v as u8);
@@ -325,6 +330,15 @@ impl<'a> Dec<'a> {
     /// [`CodecError::Truncated`].
     pub fn i32(&mut self) -> Result<i32, CodecError> {
         Ok(i32::from_be_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("len 8")))
     }
 
     /// Reads a bool (any nonzero byte is true).

@@ -11,7 +11,20 @@
 
 use crate::codec::{CodecError, Dec, Enc, Wire};
 use crate::triggers::TriggerSpec;
-use crate::types::{FileRecord, Gpid, HistoryRecord, ProcRecord, Route, RusageRecord, Stamp};
+use crate::types::{
+    FileRecord, Gpid, HistoryRecord, MetricRow, ProcRecord, Route, RusageRecord, Stamp,
+};
+
+/// Sorts and dedups a `missing`-hosts list for the wire: aggregate
+/// relays build these from per-hop sets and re-flushes, so the raw order
+/// (and cross-hop duplicates) is not canonical. Encoding always emits
+/// the normalized form, keeping same-seed runs byte-identical.
+fn canonical_missing(missing: &[String]) -> Vec<&str> {
+    let mut v: Vec<&str> = missing.iter().map(String::as_str).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
 
 /// Process-control verbs of the snapshot tool: "stop a process, execute it
 /// in the foreground, execute it in the background, kill it".
@@ -199,6 +212,10 @@ pub enum Op {
     /// Report the LPM's internal counters (requests, broadcasts, relays,
     /// handler pool activity) — introspection for tools and experiments.
     Stats,
+    /// Pull the LPM's observability registry: every counter, gauge and
+    /// histogram it keeps, answered with [`Reply::Metrics`] (delivered to
+    /// tools as [`Msg::MetricsSnapshot`]).
+    Metrics,
 }
 
 impl Op {
@@ -219,6 +236,7 @@ impl Op {
             Op::DelTrigger { .. } => "del-trigger",
             Op::ListTriggers => "list-triggers",
             Op::Stats => "stats",
+            Op::Metrics => "metrics",
         }
     }
 }
@@ -281,6 +299,7 @@ impl Wire for Op {
             }
             Op::ListTriggers => enc.u8(12),
             Op::Stats => enc.u8(13),
+            Op::Metrics => enc.u8(14),
         }
     }
 
@@ -322,6 +341,7 @@ impl Wire for Op {
             11 => Op::DelTrigger { id: dec.u32()? },
             12 => Op::ListTriggers,
             13 => Op::Stats,
+            14 => Op::Metrics,
             tag => return Err(CodecError::BadTag { what: "Op", tag }),
         })
     }
@@ -412,6 +432,15 @@ pub enum Reply {
         /// The combined result of the hosts that did answer.
         inner: Box<Reply>,
     },
+    /// [`Op::Metrics`] result: one LPM's observability registry.
+    Metrics {
+        /// Reporting host.
+        host: String,
+        /// Simulated instant the registry was sampled (µs).
+        at_us: u64,
+        /// Registry contents, sorted by name.
+        rows: Vec<MetricRow>,
+    },
 }
 
 impl Reply {
@@ -494,8 +523,14 @@ impl Wire for Reply {
             }
             Reply::Partial { missing, inner } => {
                 enc.u8(11);
-                enc.seq(missing, |e, s| e.str(s));
+                enc.seq(&canonical_missing(missing), |e, s| e.str(s));
                 inner.encode(enc);
+            }
+            Reply::Metrics { host, at_us, rows } => {
+                enc.u8(12);
+                enc.str(host);
+                enc.u64(*at_us);
+                enc.seq(rows, |e, r| r.encode(e));
             }
         }
     }
@@ -546,6 +581,11 @@ impl Wire for Reply {
             11 => Reply::Partial {
                 missing: dec.seq(|d| d.str())?,
                 inner: Box::new(Reply::decode(dec)?),
+            },
+            12 => Reply::Metrics {
+                host: dec.str()?,
+                at_us: dec.u64()?,
+                rows: dec.seq(MetricRow::decode)?,
             },
             tag => return Err(CodecError::BadTag { what: "Reply", tag }),
         })
@@ -710,8 +750,24 @@ pub enum Msg {
         /// Batch-framed [`BcastPart`]s from this subtree.
         parts: bytes::Bytes,
         /// Hosts of this subtree that never answered (lost children or
-        /// stragglers cut off by the wave timeout).
+        /// stragglers cut off by the wave timeout). Canonical on the
+        /// wire: encoding sorts and dedups.
         missing: Vec<String>,
+    },
+    /// A pulled observability registry on its way back to a tool — the
+    /// terminal form [`Reply::Metrics`] takes at the tool edge, keeping
+    /// the (potentially large) registry out of the generic `Resp` path.
+    MetricsSnapshot {
+        /// The tool's request id (as in [`Msg::Resp`]).
+        id: u64,
+        /// Reporting host.
+        host: String,
+        /// Simulated sample instant (µs).
+        at_us: u64,
+        /// Registry contents, sorted by name.
+        rows: Vec<MetricRow>,
+        /// Full source→destination route the request took.
+        route: Route,
     },
 
     // ---- recovery (Section 5) ----------------------------------------------
@@ -781,6 +837,7 @@ impl Msg {
             Msg::BcastResp { .. } => "bcast-resp",
             Msg::BcastDone { .. } => "bcast-done",
             Msg::BcastAgg { .. } => "bcast-agg",
+            Msg::MetricsSnapshot { .. } => "metrics-snapshot",
             Msg::CcsAnnounce { .. } => "ccs-announce",
             Msg::Probe { .. } => "probe",
             Msg::ProbeAck { .. } => "probe-ack",
@@ -905,7 +962,21 @@ impl Wire for Msg {
                 enc.u8(16);
                 stamp.encode(enc);
                 enc.bytes(parts);
-                enc.seq(missing, |e, s| e.str(s));
+                enc.seq(&canonical_missing(missing), |e, s| e.str(s));
+            }
+            Msg::MetricsSnapshot {
+                id,
+                host,
+                at_us,
+                rows,
+                route,
+            } => {
+                enc.u8(17);
+                enc.u64(*id);
+                enc.str(host);
+                enc.u64(*at_us);
+                enc.seq(rows, |e, r| r.encode(e));
+                route.encode(enc);
             }
             Msg::CcsAnnounce { user, ccs, epoch } => {
                 enc.u8(11);
@@ -1025,6 +1096,13 @@ impl Wire for Msg {
                 stamp: Stamp::decode(dec)?,
                 parts: bytes::Bytes::copy_from_slice(dec.bytes_ref()?),
                 missing: dec.seq(|d| d.str())?,
+            },
+            17 => Msg::MetricsSnapshot {
+                id: dec.u64()?,
+                host: dec.str()?,
+                at_us: dec.u64()?,
+                rows: dec.seq(MetricRow::decode)?,
+                route: Route::decode(dec)?,
             },
             tag => return Err(CodecError::BadTag { what: "Msg", tag }),
         })
@@ -1151,6 +1229,28 @@ mod tests {
                 ccs: "b".into(),
                 epoch: 4,
             },
+            Msg::MetricsSnapshot {
+                id: 12,
+                host: "b".into(),
+                at_us: 5_000_000,
+                rows: vec![
+                    MetricRow {
+                        name: "rpc.retries".into(),
+                        kind: 0,
+                        value: 3,
+                        sum: 0,
+                        buckets: vec![],
+                    },
+                    MetricRow {
+                        name: "recov.probe_rtt_us".into(),
+                        kind: 2,
+                        value: 2,
+                        sum: 9_000,
+                        buckets: vec![0, 0, 1, 1],
+                    },
+                ],
+                route: route.clone(),
+            },
         ]
     }
 
@@ -1198,6 +1298,7 @@ mod tests {
             Op::DelTrigger { id: 1 },
             Op::ListTriggers,
             Op::Stats,
+            Op::Metrics,
         ]
     }
 
@@ -1256,11 +1357,45 @@ mod tests {
                     procs: vec![],
                 }),
             },
+            Reply::Metrics {
+                host: "a".into(),
+                at_us: 42,
+                rows: vec![MetricRow {
+                    name: "bcast.partial_flushes".into(),
+                    kind: 1,
+                    value: -1,
+                    sum: 0,
+                    buckets: vec![],
+                }],
+            },
         ];
         for r in replies {
             let b = r.to_bytes();
             assert_eq!(Reply::from_bytes(&b).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn missing_lists_are_canonical_on_the_wire() {
+        // Unsorted, duplicated producers still encode one sorted list.
+        let m = Msg::BcastAgg {
+            stamp: Stamp::signed("a", 1, 10, 3),
+            parts: bytes::Bytes::new(),
+            missing: vec!["d".into(), "b".into(), "d".into(), "a".into()],
+        };
+        let Msg::BcastAgg { missing, .. } = Msg::from_bytes(&m.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(missing, vec!["a", "b", "d"]);
+
+        let r = Reply::Partial {
+            missing: vec!["z".into(), "b".into(), "b".into()],
+            inner: Box::new(Reply::Pong),
+        };
+        let Reply::Partial { missing, .. } = Reply::from_bytes(&r.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(missing, vec!["b", "z"]);
     }
 
     #[test]

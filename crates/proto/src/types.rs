@@ -398,6 +398,43 @@ impl Wire for FileRecord {
     }
 }
 
+/// One metric of an LPM's observability registry, as pulled over the wire
+/// by `Op::Metrics` / `Msg::MetricsSnapshot`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRow {
+    /// Registry name, e.g. `"rpc.retries"`.
+    pub name: String,
+    /// `0` counter, `1` gauge, `2` log2 histogram.
+    pub kind: u8,
+    /// Counter or gauge value; for histograms, the sample count.
+    pub value: i64,
+    /// Histogram sum (zero for counters and gauges).
+    pub sum: u64,
+    /// Histogram buckets, trimmed after the last occupied one (empty for
+    /// counters and gauges); bucket `i` counts values of bit length `i`.
+    pub buckets: Vec<u64>,
+}
+
+impl Wire for MetricRow {
+    fn encode(&self, enc: &mut Enc) {
+        enc.str(&self.name);
+        enc.u8(self.kind);
+        enc.i64(self.value);
+        enc.u64(self.sum);
+        enc.seq(&self.buckets, |e, b| e.u64(*b));
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, CodecError> {
+        Ok(MetricRow {
+            name: dec.str()?,
+            kind: dec.u8()?,
+            value: dec.i64()?,
+            sum: dec.u64()?,
+            buckets: dec.seq(|d| d.u64())?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -429,4 +429,36 @@ proptest! {
             prop_assert!(!forged.verify(secret));
         }
     }
+
+    /// `missing` lists are canonical on the wire: whatever order and
+    /// duplication the producer assembled, decoding yields the sorted,
+    /// deduplicated list — and re-encoding the decoded value is a fixed
+    /// point (byte-identical), so aggregates are reproducible run-to-run.
+    #[test]
+    fn missing_lists_canonicalize_at_encode(
+        stamp in arb_stamp(),
+        missing in prop::collection::vec(arb_name(), 0..8),
+    ) {
+        let mut expect = missing.clone();
+        expect.sort_unstable();
+        expect.dedup();
+
+        let agg = Msg::BcastAgg { stamp, parts: bytes::Bytes::new(), missing: missing.clone() };
+        let wire = agg.to_bytes();
+        let Msg::BcastAgg { missing: decoded, .. } = Msg::from_bytes(&wire).expect("decodes") else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(&decoded, &expect);
+        let reencoded = Msg::from_bytes(&wire).expect("decodes").to_bytes();
+        prop_assert_eq!(reencoded, wire);
+
+        let partial = Reply::Partial { missing, inner: Box::new(Reply::Pong) };
+        let wire = partial.to_bytes();
+        let Reply::Partial { missing: decoded, .. } = Reply::from_bytes(&wire).expect("decodes") else {
+            panic!("wrong variant");
+        };
+        prop_assert_eq!(&decoded, &expect);
+        let reencoded = Reply::from_bytes(&wire).expect("decodes").to_bytes();
+        prop_assert_eq!(reencoded, wire);
+    }
 }

@@ -33,6 +33,24 @@ use crate::time::{SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+/// Lifetime activity counters of an event queue, sampled into the
+/// observability registry (see `ppm_simnet::obs`) at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled so far.
+    pub schedules: u64,
+    /// Cancels that removed a live event.
+    pub cancels: u64,
+    /// Events popped so far.
+    pub fired: u64,
+    /// Live events currently pending.
+    pub pending: usize,
+    /// Entries currently waiting in the overflow heap (wheel only).
+    pub overflow_len: usize,
+    /// High-water mark of the overflow heap (wheel only).
+    pub overflow_peak: usize,
+}
+
 #[derive(Debug)]
 struct Scheduled<E> {
     at: SimTime,
@@ -79,6 +97,7 @@ pub struct Engine<E> {
     /// Live events only: sequence number → current heap slot.
     pos: FastMap<u64, usize>,
     processed: u64,
+    cancelled: u64,
 }
 
 impl<E> Default for Engine<E> {
@@ -96,6 +115,19 @@ impl<E> Engine<E> {
             heap: Vec::new(),
             pos: FastMap::default(),
             processed: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Lifetime activity counters (`seq` counts every schedule).
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            schedules: self.seq,
+            cancels: self.cancelled,
+            fired: self.processed,
+            pending: self.heap.len(),
+            overflow_len: 0,
+            overflow_peak: 0,
         }
     }
 
@@ -144,6 +176,7 @@ impl<E> Engine<E> {
         match self.pos.remove(&id.0) {
             Some(slot) => {
                 self.remove_slot(slot);
+                self.cancelled += 1;
                 true
             }
             None => false,
@@ -385,6 +418,8 @@ pub struct TimerWheel<E> {
     /// Scheduled, not yet fired, not cancelled. Cancel is a removal here;
     /// slot storage drops the corpse when it next visits the bucket.
     alive: FastSet<u64>,
+    cancelled: u64,
+    overflow_peak: usize,
 }
 
 impl<E> Default for TimerWheel<E> {
@@ -407,6 +442,22 @@ impl<E> TimerWheel<E> {
             slots,
             overflow: BinaryHeap::new(),
             alive: FastSet::default(),
+            cancelled: 0,
+            overflow_peak: 0,
+        }
+    }
+
+    /// Lifetime activity counters (`seq` counts every schedule). The
+    /// overflow length includes cancelled entries not yet reclaimed; the
+    /// peak tracks the heap's high-water mark.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            schedules: self.seq,
+            cancels: self.cancelled,
+            fired: self.processed,
+            pending: self.alive.len(),
+            overflow_len: self.overflow.len(),
+            overflow_peak: self.overflow_peak,
         }
     }
 
@@ -449,7 +500,9 @@ impl<E> TimerWheel<E> {
     ///
     /// Returns `true` if the event had not yet fired (or been cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.alive.remove(&id.0)
+        let hit = self.alive.remove(&id.0);
+        self.cancelled += u64::from(hit);
+        hit
     }
 
     /// Timestamp of the next live event, if any.
@@ -594,6 +647,7 @@ impl<E> TimerWheel<E> {
             }
         }
         self.overflow.push(Reverse(FarEntry(e)));
+        self.overflow_peak = self.overflow_peak.max(self.overflow.len());
     }
 
     /// Drops cancelled entries from one bucket.
@@ -791,5 +845,26 @@ mod tests {
         assert_eq!(e.pending(), 2);
         e.pop();
         assert_eq!(e.events_processed(), 1);
+    }
+
+    #[test]
+    fn queue_stats_count_schedules_cancels_and_overflow() {
+        let mut e: Engine<u8> = Engine::new();
+        let id = e.schedule(ms(1), 1);
+        e.schedule(ms(2), 2);
+        assert!(e.cancel(id));
+        assert!(!e.cancel(id), "double cancel is not counted");
+        e.pop();
+        let s = e.stats();
+        assert_eq!((s.schedules, s.cancels, s.fired, s.pending), (2, 1, 1, 0));
+
+        let mut w: TimerWheel<u8> = TimerWheel::new();
+        let id = w.schedule(ms(1), 1);
+        w.schedule(SimDuration::from_secs(120), 2); // beyond the top window
+        assert!(w.cancel(id));
+        let s = w.stats();
+        assert_eq!((s.schedules, s.cancels, s.fired), (2, 1, 0));
+        assert_eq!(s.overflow_peak, 1, "far-future entry hit the heap");
+        assert_eq!(s.pending, 1);
     }
 }

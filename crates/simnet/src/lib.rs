@@ -32,13 +32,15 @@
 pub mod engine;
 pub mod hashx;
 pub mod latency;
+pub mod obs;
 pub mod rng;
 pub mod time;
 pub mod topology;
 pub mod trace;
 
-pub use engine::{Engine, EventId, TimerWheel};
+pub use engine::{Engine, EventId, QueueStats, TimerWheel};
 pub use latency::LatencyModel;
+pub use obs::{Registry, SpanLog};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use topology::{CpuClass, HostId, HostSpec, Topology};

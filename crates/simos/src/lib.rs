@@ -37,6 +37,7 @@ pub mod ids;
 pub mod inetd;
 pub mod kernel;
 pub mod net;
+pub mod obs;
 pub mod process;
 pub mod program;
 pub mod signal;

@@ -1,0 +1,147 @@
+//! World-level observability: the kernel-path metrics registry, the span
+//! log, and the hub that collects per-program registries.
+//!
+//! Programs (LPMs) own their registries; at start they register a shared
+//! handle here via [`crate::sys::Sys::register_metrics`], so a harness or
+//! the CLI can sample every registry at end of run without generating
+//! simulated traffic. The world is single-threaded, so the handles are
+//! plain `Rc<RefCell<...>>`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ppm_simnet::obs::{CounterId, HistId, MetricSample, Registry, SpanLog};
+
+/// A shared handle to a program-owned metrics registry.
+pub type SharedRegistry = Rc<RefCell<Registry>>;
+
+/// The world's observability hub.
+pub struct ObsHub {
+    /// World-level metrics (the simulated kernel's event path).
+    pub registry: Registry,
+    /// Correlation-stamped span records from every host.
+    pub spans: SpanLog,
+    /// Program registries, keyed by a caller-chosen label (an LPM uses
+    /// `"host/uid"`). Re-registering a label replaces the handle, so a
+    /// restarted LPM shadows its predecessor.
+    registries: Vec<(String, SharedRegistry)>,
+    kernel_events: CounterId,
+    kernel_wakeups: CounterId,
+    kernel_batch_msgs: HistId,
+}
+
+impl Default for ObsHub {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsHub {
+    /// Creates the hub with the kernel-path metrics pre-registered.
+    pub fn new() -> Self {
+        let mut registry = Registry::new();
+        let kernel_events = registry.counter("kernel.events");
+        let kernel_wakeups = registry.counter("kernel.wakeups");
+        let kernel_batch_msgs = registry.hist("kernel.batch_msgs");
+        ObsHub {
+            registry,
+            spans: SpanLog::new(),
+            registries: Vec::new(),
+            kernel_events,
+            kernel_wakeups,
+            kernel_batch_msgs,
+        }
+    }
+
+    /// One kernel event emitted toward a tracer.
+    pub(crate) fn note_kernel_event(&mut self) {
+        self.registry.inc(self.kernel_events);
+    }
+
+    /// One LPM wakeup armed (first event of a batch).
+    pub(crate) fn note_kernel_wakeup(&mut self) {
+        self.registry.inc(self.kernel_wakeups);
+    }
+
+    /// One batch flushed with `n` coalesced messages.
+    pub(crate) fn note_kernel_batch(&mut self, n: usize) {
+        self.registry.record(self.kernel_batch_msgs, n as u64);
+    }
+
+    /// Registers (or replaces) a program registry under `label`.
+    pub fn register(&mut self, label: String, registry: SharedRegistry) {
+        if let Some(slot) = self.registries.iter_mut().find(|(l, _)| *l == label) {
+            slot.1 = registry;
+            return;
+        }
+        self.registries.push((label, registry));
+    }
+
+    /// Snapshots every registered program registry, sorted by label.
+    pub fn program_snapshots(&self) -> Vec<(String, Vec<MetricSample>)> {
+        let mut out: Vec<(String, Vec<MetricSample>)> = self
+            .registries
+            .iter()
+            .map(|(l, r)| (l.clone(), r.borrow().snapshot()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Snapshots one registered registry by label.
+    pub fn program_snapshot(&self, label: &str) -> Option<Vec<MetricSample>> {
+        self.registries
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, r)| r.borrow().snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_simnet::obs::MetricValue;
+
+    #[test]
+    fn hub_samples_registered_registries_sorted_by_label() {
+        let mut hub = ObsHub::new();
+        let a: SharedRegistry = Rc::new(RefCell::new(Registry::new()));
+        let c = a.borrow_mut().counter("x");
+        a.borrow_mut().inc(c);
+        let b: SharedRegistry = Rc::new(RefCell::new(Registry::new()));
+        hub.register("beta/1".into(), b);
+        hub.register("alpha/1".into(), a.clone());
+        let snaps = hub.program_snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, "alpha/1");
+        assert_eq!(snaps[0].1[0].value, MetricValue::Counter(1));
+        // Re-registering a label replaces the handle.
+        let fresh: SharedRegistry = Rc::new(RefCell::new(Registry::new()));
+        hub.register("alpha/1".into(), fresh);
+        assert!(hub.program_snapshot("alpha/1").unwrap().is_empty());
+        assert!(hub.program_snapshot("nope").is_none());
+    }
+
+    #[test]
+    fn kernel_path_counters_accumulate() {
+        let mut hub = ObsHub::new();
+        hub.note_kernel_event();
+        hub.note_kernel_event();
+        hub.note_kernel_wakeup();
+        hub.note_kernel_batch(2);
+        let snap = hub.registry.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|s| s.name == name)
+                .map(|s| s.value.clone())
+                .unwrap()
+        };
+        assert_eq!(get("kernel.events"), MetricValue::Counter(2));
+        assert_eq!(get("kernel.wakeups"), MetricValue::Counter(1));
+        let MetricValue::Hist(h) = get("kernel.batch_msgs") else {
+            panic!("expected hist");
+        };
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 2);
+    }
+}

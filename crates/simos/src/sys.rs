@@ -7,9 +7,12 @@
 
 use bytes::Bytes;
 use ppm_simnet::engine::EventId;
+use ppm_simnet::obs::SpanPhase;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simnet::topology::{CpuClass, HostId};
 use ppm_simnet::trace::TraceCategory;
+
+use crate::obs::SharedRegistry;
 
 use crate::events::TraceFlags;
 use crate::fd::{FdKind, OpenMode};
@@ -97,6 +100,33 @@ impl<'a> Sys<'a> {
     pub fn trace(&mut self, category: TraceCategory, text: impl Into<String>) {
         let host = self.key.0;
         self.core.tracef(Some(host), category, text.into());
+    }
+
+    /// Whether span recording is enabled — callers guard on this before
+    /// formatting correlation strings on hot paths.
+    pub fn spans_enabled(&self) -> bool {
+        self.core.obs.spans.is_enabled()
+    }
+
+    /// Records a correlation-stamped span event attributed to this host
+    /// (no-op unless span recording is enabled on the world).
+    pub fn span(&mut self, name: &'static str, corr: impl Into<String>, phase: SpanPhase) {
+        if !self.core.obs.spans.is_enabled() {
+            return;
+        }
+        let host = self.key.0;
+        let now = self.core.now();
+        self.core
+            .obs
+            .spans
+            .record(now, Some(host), name, corr, phase);
+    }
+
+    /// Registers a shared metrics registry with the world's observability
+    /// hub under `label`, so harnesses can sample it without simulated
+    /// traffic. Re-registering a label replaces the previous handle.
+    pub fn register_metrics(&mut self, label: impl Into<String>, registry: SharedRegistry) {
+        self.core.obs.register(label.into(), registry);
     }
 
     /// A uniformly distributed value in `[0, 1)` from the world RNG.

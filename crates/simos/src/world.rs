@@ -28,6 +28,7 @@ use crate::fd::FdKind;
 use crate::ids::{ConnId, Pid, Port, Uid};
 use crate::kernel::Kernel;
 use crate::net::{ConnState, Connection};
+use crate::obs::ObsHub;
 use crate::process::{ProcState, Process};
 use crate::program::{ConnEvent, KernelMsg, ProcKey, Program, SigAction, SpawnSpec, SysError};
 use crate::signal::{ExitStatus, Signal};
@@ -121,6 +122,8 @@ pub struct WorldCore {
     /// event schedules the flush; events queued before it ride along in
     /// one batch frame.
     pub(crate) pending_kernel: HashMap<ProcKey, Vec<KernelMsg>>,
+    /// Metrics, spans and the per-program registry hub.
+    pub(crate) obs: ObsHub,
 }
 
 impl WorldCore {
@@ -152,6 +155,21 @@ impl WorldCore {
     /// Mutable trace log (to toggle recording or clear).
     pub fn trace_mut(&mut self) -> &mut TraceLog {
         &mut self.trace
+    }
+
+    /// The observability hub: world metrics, spans, program registries.
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Mutable hub (to enable span recording or register a registry).
+    pub fn obs_mut(&mut self) -> &mut ObsHub {
+        &mut self.obs
+    }
+
+    /// Timer-queue statistics of the engine (occupancy, overflow depth).
+    pub fn engine_stats(&self) -> ppm_simnet::engine::QueueStats {
+        self.engine.stats()
     }
 
     /// The kernel of a host.
@@ -398,11 +416,13 @@ impl WorldCore {
             event: ev,
             queued_at: now,
         };
+        self.obs.note_kernel_event();
         let starts_batch = self
             .pending_kernel
             .get(&key)
             .is_none_or(|pending| pending.is_empty());
         if starts_batch {
+            self.obs.note_kernel_wakeup();
             // First event of the wakeup pays the Table 1 latency and arms
             // the flush.
             let cpu = self.topo.spec(host).cpu;
@@ -785,6 +805,7 @@ impl World {
                 services: HashMap::new(),
                 pending_programs: Vec::new(),
                 pending_kernel: HashMap::new(),
+                obs: ObsHub::new(),
             },
             programs: HashMap::new(),
             deferred: HashMap::new(),
@@ -1070,6 +1091,7 @@ impl World {
                 if msgs.is_empty() {
                     return;
                 }
+                self.core.obs.note_kernel_batch(msgs.len());
                 let data = encode_batch(&msgs);
                 if msgs.len() > 1 {
                     self.core.tracef(

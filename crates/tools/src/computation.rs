@@ -25,9 +25,17 @@ pub struct ComputationSites {
     pub members: Vec<Gpid>,
     /// The distinct hosts involved, sorted.
     pub hosts: Vec<String>,
+    /// Hosts the locating snapshot never heard from — members executing
+    /// there, if any, are unknown. Empty for a complete sweep.
+    pub unreachable: Vec<String>,
 }
 
 /// Locates the live members of the computation rooted at `root`.
+///
+/// A partial sweep (some hosts down or cut off) still succeeds: the
+/// members found are returned and the silent hosts are listed in
+/// [`ComputationSites::unreachable`] so the caller knows the answer may
+/// be incomplete.
 ///
 /// # Errors
 ///
@@ -39,7 +47,7 @@ pub fn locate(
     uid: Uid,
     root: &Gpid,
 ) -> Result<ComputationSites, HarnessError> {
-    let records = ppm.snapshot(from_host, uid, "*")?;
+    let (records, unreachable) = ppm.snapshot_partial(from_host, uid, "*")?;
     let forest = Forest::build(records);
     let mut members = Vec::new();
     if forest.get(root).is_some() {
@@ -57,6 +65,7 @@ pub fn locate(
         root: root.clone(),
         members,
         hosts,
+        unreachable,
     })
 }
 
@@ -65,7 +74,10 @@ pub fn locate(
 /// many members were signalled.
 ///
 /// Members that disappear between the locating snapshot and the delivery
-/// are skipped (their error is tolerated); other errors propagate.
+/// are skipped (their error is tolerated); other errors propagate. When
+/// the locating snapshot was partial, members on the unreachable hosts
+/// are unknown and therefore not signalled — use [`locate`] first if you
+/// need to know the sweep was complete.
 ///
 /// # Errors
 ///
@@ -223,6 +235,41 @@ mod tests {
         // A later locate returns no live members.
         let sites = locate(&mut ppm, "a", USER, &root).unwrap();
         assert!(sites.members.is_empty());
+    }
+
+    #[test]
+    fn locate_reports_unreachable_hosts() {
+        // Short request timers, default (slow) recovery: the severed host
+        // stays in the sibling membership, so the sweep runs partial.
+        let cfg = PpmConfig {
+            req_timeout: SimDuration::from_secs(1),
+            req_deadline: SimDuration::from_secs(3),
+            bcast_timeout: SimDuration::from_secs(2),
+            ..PpmConfig::default()
+        };
+        let mut ppm = PpmHarness::builder()
+            .host("a", CpuClass::Vax780)
+            .host("b", CpuClass::Vax750)
+            .link("a", "b")
+            .user(USER, 7, &["a"], cfg)
+            .build();
+        let root = ppm
+            .spawn_remote("a", USER, "a", "root", None, None)
+            .unwrap();
+        ppm.spawn_remote("a", USER, "b", "w1", Some(root.clone()), None)
+            .unwrap();
+        ppm.run_for(SimDuration::from_millis(100));
+        let a = ppm.host("a").unwrap();
+        let b = ppm.host("b").unwrap();
+        ppm.world_mut()
+            .schedule_link(a, b, false, SimDuration::from_millis(1));
+        ppm.run_for(SimDuration::from_millis(50));
+
+        let sites = locate(&mut ppm, "a", USER, &root).unwrap();
+        assert_eq!(sites.unreachable, vec!["b".to_string()]);
+        // The members that did answer are still reported.
+        assert!(sites.members.iter().any(|g| g.host == "a"));
+        assert!(sites.members.iter().all(|g| g.host != "b"));
     }
 
     #[test]

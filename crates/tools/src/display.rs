@@ -115,9 +115,22 @@ fn dark_row(host: &str) -> HostStatus {
 /// Propagates snapshot/tool failures.
 pub fn dashboard(ppm: &mut PpmHarness, from_host: &str, uid: Uid) -> Result<String, HarnessError> {
     let rows = gather_status(ppm, from_host, uid)?;
-    let records = ppm.snapshot(from_host, uid, "*")?;
+    let (records, missing) = ppm.snapshot_partial(from_host, uid, "*")?;
     let forest = Forest::build(records);
+    Ok(render_dashboard(from_host, uid, &rows, &forest, &missing))
+}
 
+/// Renders the dashboard from already-gathered pieces. `missing` lists
+/// hosts the snapshot sweep never heard from; a non-empty list is
+/// surfaced as a warning so a partial result is never mistaken for the
+/// whole picture.
+pub fn render_dashboard(
+    from_host: &str,
+    uid: Uid,
+    rows: &[HostStatus],
+    forest: &Forest,
+    missing: &[String],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "PPM display for {uid} (from {from_host})");
     let _ = writeln!(
@@ -125,7 +138,7 @@ pub fn dashboard(ppm: &mut PpmHarness, from_host: &str, uid: Uid) -> Result<Stri
         "{:<12} {:>6} {:>8}  {:<10} {:>5}  siblings",
         "host", "load", "managed", "ccs", "epoch"
     );
-    for r in &rows {
+    for r in rows {
         if r.reachable {
             let _ = writeln!(
                 out,
@@ -148,6 +161,13 @@ pub fn dashboard(ppm: &mut PpmHarness, from_host: &str, uid: Uid) -> Result<Stri
         forest.len(),
         forest.hosts().join(", ")
     );
+    if !missing.is_empty() {
+        let _ = writeln!(
+            out,
+            "  warning: snapshot incomplete, no answer from {}",
+            missing.join(", ")
+        );
+    }
     for root in forest.roots() {
         for (depth, node) in forest.walk(root) {
             let _ = writeln!(
@@ -161,7 +181,7 @@ pub fn dashboard(ppm: &mut PpmHarness, from_host: &str, uid: Uid) -> Result<Stri
             );
         }
     }
-    Ok(out)
+    out
 }
 
 #[cfg(test)]
@@ -194,6 +214,19 @@ mod tests {
         assert!(out.contains("master"));
         assert!(out.contains("1 tree(s)"));
         assert!(out.contains("2 process(es)"));
+    }
+
+    #[test]
+    fn render_warns_on_partial_snapshot() {
+        let rows = vec![dark_row("y")];
+        let forest = Forest::build(Vec::new());
+        let missing = vec!["y".to_string()];
+        let out = render_dashboard("x", USER, &rows, &forest, &missing);
+        assert!(out.contains("snapshot incomplete"), "{out}");
+        assert!(out.contains("no answer from y"), "{out}");
+        // A complete sweep renders no warning.
+        let out = render_dashboard("x", USER, &rows, &forest, &[]);
+        assert!(!out.contains("snapshot incomplete"), "{out}");
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! * [`ipc_tool`] — IPC activity tracing and analysis;
 //! * [`display`] — the one-call dashboard of the user's whole PPM;
 //! * [`computation`] — locate a distributed computation's execution sites
-//!   and broadcast software interrupts to every member.
+//!   and broadcast software interrupts to every member;
+//! * [`metrics`] — pull a live LPM's metrics registry over the wire.
 
 pub mod computation;
 pub mod display;
@@ -24,6 +25,7 @@ pub mod files_tool;
 pub mod forest;
 pub mod history_tool;
 pub mod ipc_tool;
+pub mod metrics;
 pub mod rusage_tool;
 pub mod snapshot;
 

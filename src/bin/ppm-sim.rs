@@ -11,8 +11,16 @@
 //! of reading a file: `N` hosts in a line, one process spawned onto each
 //! host from its chain predecessor, closed by a whole-network snapshot
 //! sweep the origin gathers across `N - 1` relay hops.
+//!
+//! `--metrics <path>` writes every metrics registry in the world (the
+//! kernel event path plus each LPM's counters) as stable text at end of
+//! run. `--spans <path>` enables structured trace spans, writes them as
+//! JSONL, and writes a Chrome `trace_event` rendering alongside at
+//! `<path>.chrome.json` (loadable in `chrome://tracing` / Perfetto).
+//!
 //! The world is seeded, so two runs of the same scenario produce
-//! identical traces — CI diffs them as a determinism gate.
+//! identical traces, metrics and span files — CI diffs them as a
+//! determinism gate.
 
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -46,8 +54,8 @@ fn chain_scenario(n: usize) -> String {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ppm-sim [--trace] <scenario-file>");
-    eprintln!("       ppm-sim [--trace] --hosts <N>");
+    eprintln!("usage: ppm-sim [--trace] [--metrics <path>] [--spans <path>] <scenario-file>");
+    eprintln!("       ppm-sim [--trace] [--metrics <path>] [--spans <path>] --hosts <N>");
     eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
     ExitCode::FAILURE
 }
@@ -57,6 +65,8 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut hosts: Option<usize> = None;
     let mut path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut spans_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace = true,
@@ -66,6 +76,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 hosts = Some(n);
+            }
+            "--metrics" => {
+                let Some(p) = args.next() else {
+                    eprintln!("ppm-sim: --metrics needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                metrics_path = Some(p);
+            }
+            "--spans" => {
+                let Some(p) = args.next() else {
+                    eprintln!("ppm-sim: --spans needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                spans_path = Some(p);
             }
             _ => path = Some(arg),
         }
@@ -89,11 +113,28 @@ fn main() -> ExitCode {
         }
     };
     let mut out = String::new();
-    match ppm::scenario::execute(&scenario, &mut out) {
+    match ppm::scenario::execute_observed(&scenario, &mut out, spans_path.is_some()) {
         Ok(ppm) => {
             print!("{out}");
             if trace {
                 print!("{}", ppm.world().core().trace().render(None));
+            }
+            if let Some(p) = metrics_path {
+                if let Err(e) = std::fs::write(&p, ppm.metrics_report()) {
+                    eprintln!("ppm-sim: cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            if let Some(p) = spans_path {
+                if let Err(e) = std::fs::write(&p, ppm.spans_jsonl()) {
+                    eprintln!("ppm-sim: cannot write {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                let chrome = format!("{p}.chrome.json");
+                if let Err(e) = std::fs::write(&chrome, ppm.spans_chrome()) {
+                    eprintln!("ppm-sim: cannot write {chrome}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             ExitCode::SUCCESS
         }

@@ -438,6 +438,17 @@ fn parse_action(tokens: &[&str], line: usize) -> Result<Action, ScenarioError> {
 ///
 /// [`ScenarioError`] naming the failing action's line.
 pub fn execute(sc: &Scenario, out: &mut dyn fmt::Write) -> Result<PpmHarness, ScenarioError> {
+    execute_observed(sc, out, false)
+}
+
+/// Like [`execute`], but optionally with structured span recording
+/// enabled from the first event (for `ppm-sim --spans`). Spans are off
+/// by default because each record costs an allocation.
+pub fn execute_observed(
+    sc: &Scenario,
+    out: &mut dyn fmt::Write,
+    spans: bool,
+) -> Result<PpmHarness, ScenarioError> {
     let mut builder = PpmHarness::builder().seed(sc.seed);
     for (name, cpu) in &sc.hosts {
         builder = builder.host(name.clone(), *cpu);
@@ -450,6 +461,9 @@ pub fn execute(sc: &Scenario, out: &mut dyn fmt::Write) -> Result<PpmHarness, Sc
         builder = builder.user(Uid(*uid), *secret, &rec, cfg.clone());
     }
     let mut ppm = builder.build();
+    if spans {
+        ppm.enable_spans();
+    }
     let mut bindings: HashMap<String, Gpid> = HashMap::new();
 
     let mut actions = sc.actions.clone();
