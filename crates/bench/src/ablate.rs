@@ -173,7 +173,10 @@ pub fn pmd_stable(stable_storage: bool, seed: u64) -> PmdStable {
         .seed(seed)
         .host("h0", CpuClass::Vax780)
         .user(USER, 0x1986, &["h0"], PpmConfig::default())
-        .pmd_options(PmdOptions { stable_storage })
+        .pmd_options(PmdOptions {
+            stable_storage,
+            ..PmdOptions::default()
+        })
         .build();
     ppm.spawn_remote("h0", USER, "h0", "job", None, None)
         .expect("spawn");

@@ -153,6 +153,14 @@ impl Genealogy {
         }
     }
 
+    /// Restores a node's logical-parent edge (sibling gossip after a
+    /// manager respawn); no-op for untracked pids.
+    pub fn set_logical_parent(&mut self, pid: u32, parent: Gpid) {
+        if let Some(n) = self.nodes.get_mut(&pid) {
+            n.logical_parent = Some(parent);
+        }
+    }
+
     /// Updates CPU usage.
     pub fn set_cpu(&mut self, pid: u32, cpu_us: u64) {
         if let Some(n) = self.nodes.get_mut(&pid) {

@@ -133,6 +133,19 @@ impl RouteCache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Evicts `host` as a destination and every entry routed *via* it.
+    /// Returns how many entries went.
+    ///
+    /// Called on an observed transport error (a crashed host or cut
+    /// link): without eviction, stale next-hops only age out wholesale,
+    /// so post-heal traffic would keep relaying into the dead hop
+    /// instead of re-learning a live route.
+    pub fn evict_via(&mut self, host: &str) -> usize {
+        let before = self.map.len();
+        self.map.retain(|dest, next| dest != host && next != host);
+        before - self.map.len()
+    }
 }
 
 /// Identity material the channel presents in its `Hello`.
@@ -613,6 +626,31 @@ mod tests {
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.counters(), (0, 0));
+    }
+
+    #[test]
+    fn route_cache_evicts_dest_and_via() {
+        let mut c = RouteCache::new(8);
+        // here → mid → {far, farther}; here → alt → elsewhere.
+        let mut r1 = Route::from_origin("here");
+        r1.push("mid");
+        r1.push("far");
+        r1.push("farther");
+        c.learn(&r1, "here");
+        let mut r2 = Route::from_origin("here");
+        r2.push("alt");
+        r2.push("elsewhere");
+        c.learn(&r2, "here");
+        assert_eq!(c.len(), 3);
+        // mid crashed: both entries routed via it go; the other stays.
+        assert_eq!(c.evict_via("mid"), 2);
+        assert!(!c.contains_key("far"));
+        assert!(!c.contains_key("farther"));
+        assert_eq!(c.get("elsewhere"), Some("alt"));
+        // Evicting a destination host drops its entry too.
+        assert_eq!(c.evict_via("elsewhere"), 1);
+        assert!(c.is_empty());
+        assert_eq!(c.evict_via("nowhere"), 0);
     }
 
     #[test]

@@ -209,7 +209,19 @@ impl Lpm {
                 TraceCategory::Broadcast,
                 format!("suppress duplicate {}#{} from {from_host}", key.0, key.1),
             );
-            let _ = self.send_msg(sys, conn, &Msg::BcastDone { stamp });
+            // A wire-duplicated wave on the upstream connection of a wave
+            // still in progress needs no answer: the real aggregate is
+            // coming on that very connection, and an eager `BcastDone`
+            // would make the parent finalize without it. Duplicates via
+            // an alternate graph path (or after completion) still get the
+            // marker so that parent stops waiting on this child.
+            let in_progress_upstream = self
+                .bcasts
+                .get(&key)
+                .is_some_and(|b| b.upstream == Some(conn));
+            if !in_progress_upstream {
+                let _ = self.send_msg(sys, conn, &Msg::BcastDone { stamp });
+            }
             return;
         }
         let now = sys.now();

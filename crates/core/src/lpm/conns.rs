@@ -88,6 +88,7 @@ impl Lpm {
         // Contact from a healthy sibling ends orphanhood.
         if !is_tool {
             self.recovered_contact(sys);
+            self.maybe_pull_forest(sys, conn);
         }
     }
 
@@ -225,6 +226,7 @@ impl Lpm {
                     format!("sibling channel to {host} ready (created={created})"),
                 );
                 self.recovered_contact(sys);
+                self.maybe_pull_forest(sys, conn);
                 self.flush_outbox(sys, host, conn);
                 self.channel_purpose_done(sys, host, slot.purpose, true);
             }
@@ -302,6 +304,15 @@ impl Lpm {
                     .collect();
                 for key in keys {
                     self.bcast_child_lost(sys, &key, host);
+                }
+                // Crash fallout: evict next-hops learned through the dead
+                // peer so post-heal traffic re-learns routes instead of
+                // bouncing off the broken hop. The dedup window is NOT
+                // purged here — a transient partition keeps the same peer
+                // incarnation, whose retries must still deduplicate.
+                let evicted = self.route_cache.evict_via(host);
+                if evicted > 0 {
+                    self.note(sys, format!("peer {host} down: evicted {evicted} route(s)"));
                 }
                 self.on_sibling_lost(sys, host);
             }

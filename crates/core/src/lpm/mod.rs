@@ -36,7 +36,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use ppm_proto::codec::Wire;
 use ppm_proto::msg::{Msg, Op, Reply};
-use ppm_proto::types::{Route, Stamp};
+use ppm_proto::types::{Gpid, Route, Stamp};
 use ppm_simnet::hashx::FastMap;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simnet::trace::TraceCategory;
@@ -194,6 +194,17 @@ pub struct Lpm {
     pub(crate) host: String,
     pub(crate) accept_port: Port,
     pub(crate) started_at: SimTime,
+    /// Crash instant of the predecessor this LPM replaces; pmd sets it
+    /// when respawning after a crash, and it drives re-adoption at start.
+    pub(crate) respawn_of: Option<SimTime>,
+    /// Re-adoption left survivors without their cross-host logical
+    /// edges; pull sibling gossip over each new sibling channel until
+    /// the forest is whole again.
+    pub(crate) rebuilding: bool,
+    /// Logical-parent edges of remote spawns observed at this LPM (as
+    /// origin or relay): dest host → local pid there → logical parent.
+    /// Served to respawned siblings rebuilding their forests.
+    pub(crate) remote_children: BTreeMap<String, BTreeMap<u32, Gpid>>,
 
     pub(crate) conns: HashMap<ConnId, ConnRole>,
     pub(crate) siblings: BTreeMap<String, ConnId>,
@@ -263,6 +274,9 @@ impl Lpm {
             host: String::new(),
             accept_port: lpm_port(entry.cred.uid),
             started_at: SimTime::ZERO,
+            respawn_of: None,
+            rebuilding: false,
+            remote_children: BTreeMap::new(),
             conns: HashMap::new(),
             siblings: BTreeMap::new(),
             channels: BTreeMap::new(),
@@ -300,6 +314,16 @@ impl Lpm {
             stats: LpmStats::default(),
             obs: LpmObs::new(),
         }
+    }
+
+    /// Creates an LPM replacing one that died in a crash at `crashed_at`
+    /// (pmd calls this when [`crate::pmd::PmdOptions::respawn_lpms`] is
+    /// on). At start it re-adopts surviving same-user processes and
+    /// rebuilds its genealogy forest.
+    pub fn respawned(entry: &UserEntry, crashed_at: SimTime) -> Self {
+        let mut lpm = Lpm::new(entry);
+        lpm.respawn_of = Some(crashed_at);
+        lpm
     }
 
     /// Cumulative counters.
@@ -492,6 +516,9 @@ impl Program for Lpm {
                 self.ccs
             ),
         );
+        if let Some(crashed_at) = self.respawn_of {
+            self.readopt_survivors(sys, crashed_at);
+        }
     }
 
     fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {

@@ -500,4 +500,182 @@ impl Lpm {
             }
         }
     }
+
+    // ---- crash respawn: re-adoption and forest gossip ------------------------
+
+    /// Respawn-mode start: adopt every surviving same-user process and
+    /// rebuild the local genealogy from kernel truth ("the LPM can regain
+    /// control of already-running processes via adoption"). Cross-host
+    /// logical edges are not recoverable locally; sibling gossip restores
+    /// them ([`Msg::ForestPull`]).
+    pub(crate) fn readopt_survivors(
+        &mut self,
+        sys: &mut Sys<'_>,
+        crashed_at: ppm_simnet::time::SimTime,
+    ) {
+        let me = sys.pid();
+        let flags = self.cfg.default_trace_flags;
+        let mut readopted = 0u64;
+        for info in sys.user_processes(sys.uid()) {
+            // Skip ourselves and any other manager; a dead predecessor's
+            // claim on a survivor lapses, so adoption takes over.
+            if info.pid == me || info.command.starts_with("lpm") {
+                continue;
+            }
+            if sys.adopt(info.pid, flags).is_err() {
+                continue;
+            }
+            // A survivor reparented to init lost its real parent to the
+            // crash; record ppid 0 ("parent lost") so such roots stay
+            // distinguishable from ordinary root spawns, which the tree
+            // records with ppid 1.
+            let ppid = if info.ppid.0 <= 1 { 0 } else { info.ppid.0 };
+            self.tree.track(
+                info.pid.0,
+                ppid,
+                None,
+                info.command.clone(),
+                info.started_at.as_micros(),
+                true,
+            );
+            self.tree.set_cpu(info.pid.0, info.rusage.cpu.as_micros());
+            // Survivors already executed; there will be no exec event.
+            self.tree
+                .set_state(info.pid.0, ppm_proto::types::WireProcState::Running);
+            readopted += 1;
+        }
+        let now = sys.now();
+        let mttr = now.saturating_since(crashed_at);
+        self.obs.with(|r| {
+            r.inc(self.obs.restarts);
+            r.add(self.obs.readopted, readopted);
+            r.record(self.obs.mttr_us, mttr.as_micros());
+        });
+        self.rebuilding = readopted > 0;
+        self.note_recovery(
+            sys,
+            format!("respawned LPM re-adopted {readopted} survivor(s), mttr {mttr}"),
+        );
+        if readopted > 0 {
+            self.history.record(
+                now,
+                Gpid::new(self.host.clone(), 0),
+                "readopt",
+                format!("{readopted} survivors after crash"),
+            );
+        }
+        // Rejoin the computation: the predecessor's sibling channels died
+        // with it, and nobody dials a host they believe is still up. The
+        // recovery-list walk (Section 5's trigger) reconnects us — and the
+        // first channel to come up carries the forest pull.
+        self.start_seek(sys);
+    }
+
+    /// Survivors whose place in the forest is unexplained: re-adopted,
+    /// alive, with the "parent lost" marker and no cross-host logical
+    /// edge. These are the forest roots the crash manufactured.
+    pub(crate) fn failure_roots(&self) -> Vec<u32> {
+        self.tree
+            .snapshot()
+            .iter()
+            .filter(|p| {
+                p.adopted
+                    && p.state != ppm_proto::types::WireProcState::Dead
+                    && p.logical_parent.is_none()
+                    && p.ppid == 0
+            })
+            .map(|p| p.gpid.pid)
+            .collect()
+    }
+
+    /// While rebuilding, ask a freshly connected sibling for the logical
+    /// parents of the survivors that still look like failure roots.
+    pub(crate) fn maybe_pull_forest(&mut self, sys: &mut Sys<'_>, conn: ppm_simos::ids::ConnId) {
+        if !self.rebuilding {
+            return;
+        }
+        let live = self.failure_roots();
+        if live.is_empty() {
+            self.rebuilding = false;
+            return;
+        }
+        let msg = Msg::ForestPull {
+            user: self.auth.uid().0,
+            host: self.host.clone(),
+            live,
+        };
+        let _ = self.send_msg(sys, conn, &msg);
+    }
+
+    /// A respawned sibling asked which of its survivors we know remote
+    /// parents for. Answer only with edges we actually recorded; silence
+    /// means we have nothing to contribute.
+    pub(crate) fn handle_forest_pull(
+        &mut self,
+        sys: &mut Sys<'_>,
+        conn: ppm_simos::ids::ConnId,
+        from: &str,
+        live: Vec<u32>,
+    ) {
+        // A pull proves the peer's LPM is a fresh incarnation: its
+        // correlation counter restarted, so stale dedup entries from its
+        // predecessor would wrongly suppress (and mis-answer) new ids.
+        let purged = self.rpc.purge_peer(from);
+        if purged > 0 {
+            self.note_recovery(
+                sys,
+                format!("peer {from} restarted: purged {purged} dedup entries"),
+            );
+        }
+        let edges: Vec<(u32, Gpid)> = match self.remote_children.get(from) {
+            Some(known) => live
+                .iter()
+                .filter_map(|pid| known.get(pid).map(|g| (*pid, g.clone())))
+                .collect(),
+            None => Vec::new(),
+        };
+        if edges.is_empty() {
+            return;
+        }
+        self.note_recovery(
+            sys,
+            format!("forest gossip: sending {} edge(s) to {from}", edges.len()),
+        );
+        let msg = Msg::ForestInfo {
+            user: self.auth.uid().0,
+            host: from.to_string(),
+            edges,
+        };
+        let _ = self.send_msg(sys, conn, &msg);
+    }
+
+    /// Sibling gossip answering our pull: graft the remembered logical
+    /// edges onto the rebuilt forest, undoing the crash's degeneration.
+    pub(crate) fn handle_forest_info(
+        &mut self,
+        sys: &mut Sys<'_>,
+        host: &str,
+        edges: Vec<(u32, Gpid)>,
+    ) {
+        if host != self.host {
+            return;
+        }
+        let mut applied = 0usize;
+        for (pid, parent) in edges {
+            let known = self
+                .tree
+                .get(pid)
+                .is_some_and(|n| n.logical_parent.is_none());
+            if known {
+                self.tree.set_logical_parent(pid, parent);
+                applied += 1;
+            }
+        }
+        if applied > 0 {
+            self.note_recovery(
+                sys,
+                format!("forest gossip restored {applied} logical edge(s)"),
+            );
+        }
+    }
 }

@@ -172,6 +172,16 @@ impl Lpm {
             Msg::ProbeAck { from, ccs, epoch } => {
                 self.handle_probe_ack(sys, &from, &ccs, epoch);
             }
+            Msg::ForestPull { live, .. } => {
+                self.handle_forest_pull(sys, conn, host, live);
+            }
+            Msg::ForestInfo {
+                host: info_host,
+                edges,
+                ..
+            } => {
+                self.handle_forest_info(sys, &info_host, edges);
+            }
             other => {
                 self.note(
                     sys,
@@ -962,6 +972,24 @@ impl Lpm {
         let Some(req) = self.rpc.remove(id) else {
             return;
         };
+        // Remember cross-host logical edges of spawns we saw succeed (as
+        // origin or relay): a respawned sibling pulls them back when it
+        // rebuilds its forest after a crash ([`Msg::ForestPull`]).
+        if let (
+            Op::Spawn {
+                logical_parent: Some(parent),
+                ..
+            },
+            Reply::Spawned { gpid },
+        ) = (&req.op, &reply)
+        {
+            if gpid.host != self.host {
+                let known = self.remote_children.entry(gpid.host.clone()).or_default();
+                if known.len() < 4096 {
+                    known.insert(gpid.pid, parent.clone());
+                }
+            }
+        }
         if sys.spans_enabled() {
             sys.span("req", fmt_key(&req.corr), SpanPhase::End);
         }

@@ -48,6 +48,12 @@ pub(crate) struct LpmObs {
     pub ccs_elections: CounterId,
     /// Round-trip time (µs) of recovery probes.
     pub probe_rtt_us: HistId,
+    /// Times this LPM started as a crash respawn (1 for a respawned LPM).
+    pub restarts: CounterId,
+    /// Surviving same-user processes re-adopted after a respawn.
+    pub readopted: CounterId,
+    /// Mean-time-to-recover (µs): crash stamp to respawned-LPM start.
+    pub mttr_us: HistId,
 }
 
 impl LpmObs {
@@ -65,6 +71,9 @@ impl LpmObs {
         let orphan_entries = r.counter("recov.orphan_entries");
         let ccs_elections = r.counter("recov.ccs_elections");
         let probe_rtt_us = r.hist("recov.probe_rtt_us");
+        let restarts = r.counter("lpm.restarts");
+        let readopted = r.counter("lpm.readopted");
+        let mttr_us = r.hist("lpm.mttr_us");
         drop(r);
         LpmObs {
             registry,
@@ -79,6 +88,9 @@ impl LpmObs {
             orphan_entries,
             ccs_elections,
             probe_rtt_us,
+            restarts,
+            readopted,
+            mttr_us,
         }
     }
 

@@ -16,9 +16,11 @@ use std::rc::Rc;
 use bytes::Bytes;
 use ppm_proto::codec::{Dec, Enc, Wire};
 use ppm_proto::msg::Msg;
+use ppm_simnet::time::SimTime;
 use ppm_simnet::trace::TraceCategory;
 use ppm_simos::ids::{ConnId, Pid, Port, Uid};
 use ppm_simos::program::{Program, SpawnSpec};
+use ppm_simos::signal::ExitStatus;
 use ppm_simos::sys::Sys;
 
 use crate::config::lpm_port;
@@ -36,6 +38,12 @@ pub struct PmdOptions {
     /// Persist the `user → LPM` registry to the host's stable storage so
     /// a pmd-only crash does not lose track of live LPMs.
     pub stable_storage: bool,
+    /// Respawn an LPM whose process died without exiting cleanly (host
+    /// crash, kill): the replacement re-adopts surviving same-user
+    /// processes and rebuilds its genealogy forest. Registered LPMs found
+    /// dead at restore time (a host crash/reboot) are respawned too,
+    /// which requires `stable_storage`.
+    pub respawn_lpms: bool,
 }
 
 /// The daemon program.
@@ -104,12 +112,16 @@ impl Pmd {
         };
         for (uid, pid, port) in entries {
             // Validate: pid must still be a live LPM process. Stale entries
-            // (e.g. written before a host crash) are dropped.
+            // (e.g. written before a host crash) are dropped — or, with
+            // respawn enabled, brought back so they can re-adopt.
             let live = sys
                 .proc_info(Pid(pid))
                 .is_some_and(|p| p.state.is_alive() && p.command.starts_with("lpm"));
             if live {
                 self.registry.insert(uid, (Pid(pid), Port(port)));
+            } else if self.options.respawn_lpms {
+                let crashed_at = crash_stamp(sys).unwrap_or_else(|| sys.now());
+                self.respawn_lpm(sys, uid, crashed_at);
             }
         }
         if !self.registry.is_empty() {
@@ -208,6 +220,32 @@ impl Pmd {
         );
         Some((port, true))
     }
+
+    /// Respawns a crashed user's LPM in crash-recovery mode: the
+    /// replacement re-adopts survivors and measures its recovery time
+    /// from `crashed_at`.
+    fn respawn_lpm(&mut self, sys: &mut Sys<'_>, user: u32, crashed_at: SimTime) -> Option<Pid> {
+        let entry = self.users.get(Uid(user))?.clone();
+        let port = lpm_port(Uid(user));
+        let program = Lpm::respawned(&entry, crashed_at);
+        let spec = SpawnSpec::new(format!("lpm-{user}"), Box::new(program));
+        let pid = sys.spawn_as(Uid(user), spec).ok()?;
+        self.registry.insert(user, (pid, port));
+        self.persist(sys);
+        sys.trace(
+            TraceCategory::Daemon,
+            format!("pmd: respawned LPM pid {pid} for uid {user} (accept {port})"),
+        );
+        Some(pid)
+    }
+}
+
+/// The host's crash stamp ([`ppm_simos::world::CRASHED_AT_KEY`]), if the
+/// host ever crashed: big-endian micros written at teardown time.
+fn crash_stamp(sys: &Sys<'_>) -> Option<SimTime> {
+    let raw = sys.stable_get(ppm_simos::world::CRASHED_AT_KEY)?;
+    let bytes: [u8; 8] = raw.as_ref().try_into().ok()?;
+    Some(SimTime::from_micros(u64::from_be_bytes(bytes)))
 }
 
 impl Program for Pmd {
@@ -248,6 +286,25 @@ impl Program for Pmd {
             _ => return, // not pmd protocol; drop
         };
         let _ = sys.send(conn, reply.to_bytes());
+    }
+
+    fn on_child_exit(&mut self, sys: &mut Sys<'_>, child: Pid, status: ExitStatus) {
+        if !self.options.respawn_lpms {
+            return;
+        }
+        // Clean exits (idle TTL, duplicate yield) are not crashes.
+        if !matches!(status, ExitStatus::Signaled(_)) {
+            return;
+        }
+        let Some((&user, _)) = self.registry.iter().find(|(_, &(pid, _))| pid == child) else {
+            return;
+        };
+        sys.trace(
+            TraceCategory::Daemon,
+            format!("pmd: LPM pid {child} for uid {user} died ({status:?}); respawning"),
+        );
+        let now = sys.now();
+        self.respawn_lpm(sys, user, now);
     }
 
     fn name(&self) -> &str {

@@ -223,6 +223,19 @@ impl RpcTable {
         purged
     }
 
+    /// Drops every dedup entry keyed to `origin`; returns how many went.
+    ///
+    /// Called when a peer's connection is torn down by a crash: a
+    /// restarted LPM allocates correlation ids from scratch, so cached
+    /// replies under its old ids would wrongly suppress (and mis-answer)
+    /// its fresh requests. Stale expiry-bucket references are left behind;
+    /// [`RpcTable::purge_dedup`] discards them when their bucket ripens.
+    pub(crate) fn purge_peer(&mut self, origin: &str) -> usize {
+        let before = self.dedup.len();
+        self.dedup.retain(|(host, _), _| host.as_ref() != origin);
+        before - self.dedup.len()
+    }
+
     // ---- spawn waits -----------------------------------------------------
 
     pub(crate) fn add_spawn_wait(&mut self, pid: u32, id: u64) {
@@ -371,6 +384,39 @@ mod tests {
         let purged = t.purge_dedup(SimTime::from_micros(2_000_000), SimDuration::from_millis(1));
         assert_eq!(purged, 2);
         assert!(!t.bcast_seen(&b));
+    }
+
+    #[test]
+    fn purge_peer_clears_only_that_origin() {
+        let mut t = RpcTable::new();
+        let a1: RpcKey = (Arc::from("a"), 1);
+        let a2: RpcKey = (Arc::from("a"), 2);
+        let b1: RpcKey = (Arc::from("b"), 1);
+        t.note_done(
+            a1.clone(),
+            SimTime::ZERO,
+            Reply::Pong,
+            Route::from_origin("a"),
+        );
+        t.note_bcast(a2.clone(), SimTime::ZERO);
+        t.note_done(
+            b1.clone(),
+            SimTime::ZERO,
+            Reply::Ok,
+            Route::from_origin("b"),
+        );
+        assert_eq!(t.purge_peer("a"), 2);
+        assert!(matches!(t.dup_verdict(&a1), DupVerdict::New));
+        assert!(!t.bcast_seen(&a2));
+        assert!(matches!(t.dup_verdict(&b1), DupVerdict::Replay { .. }));
+        // The stale bucket references left behind are discarded cleanly.
+        assert_eq!(
+            t.purge_dedup(
+                SimTime::from_micros(10_000_000),
+                SimDuration::from_millis(1)
+            ),
+            1
+        );
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! End-to-end crash/recovery under the scripted fault-injection
+//! subsystem.
+//!
+//! These tests exercise the full loop the paper's Section 5 sketches but
+//! never implemented: an LPM dies while its computation is live, the pmd
+//! respawns it, the replacement re-adopts the surviving processes, and
+//! sibling gossip rebuilds the logical (cross-host) edges of the
+//! genealogy forest that died with the old LPM's memory.
+
+use std::collections::BTreeSet;
+
+use ppm_core::config::PpmConfig;
+use ppm_core::harness::PpmHarness;
+use ppm_core::pmd::PmdOptions;
+use ppm_proto::types::{Gpid, WireProcState};
+use ppm_simnet::fault::FaultPlan;
+use ppm_simnet::time::SimDuration;
+use ppm_simnet::topology::CpuClass;
+use ppm_simos::ids::{Pid, Uid};
+use ppm_simos::signal::Signal;
+
+const USER: Uid = Uid(100);
+
+fn harness() -> PpmHarness {
+    PpmHarness::builder()
+        .seed(0xFA017)
+        .host("home", CpuClass::Vax780)
+        .host("work", CpuClass::Sun2)
+        .host("far", CpuClass::Sun2)
+        .link("home", "work")
+        .link("work", "far")
+        .pmd_options(PmdOptions {
+            stable_storage: true,
+            respawn_lpms: true,
+        })
+        .user(USER, 0xFA017, &["home", "work"], PpmConfig::fast_recovery())
+        .build()
+}
+
+/// The pid of the live LPM process on `host`, if any.
+fn lpm_pid(ppm: &PpmHarness, host: &str) -> Option<Pid> {
+    let h = ppm.world().core().host_by_name(host)?;
+    ppm.world()
+        .core()
+        .kernel(h)
+        .processes()
+        .find(|p| p.command.starts_with("lpm") && p.is_alive())
+        .map(|p| p.pid)
+}
+
+/// Adopted, live user processes on `host` as seen by a sweep from
+/// `from`: the forest's node set for that host.
+fn forest_nodes(ppm: &mut PpmHarness, from: &str, host: &str) -> BTreeSet<u32> {
+    ppm.snapshot(from, USER, "*")
+        .expect("snapshot")
+        .into_iter()
+        .filter(|p| p.gpid.host == host && p.adopted && p.state != WireProcState::Dead)
+        .map(|p| p.gpid.pid)
+        .collect()
+}
+
+/// Killing the LPM out from under a live computation: the pmd notices the
+/// unclean exit, respawns the LPM, and the replacement re-adopts every
+/// surviving process — the forest's node set is exactly the pre-crash
+/// live set, and the recovery metrics are visible in the registry.
+#[test]
+fn killed_lpm_is_respawned_and_readopts_survivors() {
+    let mut ppm = harness();
+
+    // A computation with live children on work, driven from home.
+    for i in 0..3 {
+        ppm.spawn_remote("home", USER, "work", &format!("job-{i}"), None, None)
+            .expect("spawn");
+    }
+    ppm.run_for(SimDuration::from_secs(1));
+    let before = forest_nodes(&mut ppm, "home", "work");
+    assert_eq!(before.len(), 3, "three live managed jobs before the crash");
+
+    // SIGKILL the LPM process itself; the jobs survive it.
+    let victim = lpm_pid(&ppm, "work").expect("work has an LPM");
+    let h = ppm.host("work").unwrap();
+    ppm.world_mut()
+        .post_signal(Uid::ROOT, (h, victim), Signal::Kill)
+        .expect("kill LPM");
+    ppm.run_for(SimDuration::from_secs(5));
+
+    // A replacement LPM exists and it is a different process.
+    let respawned = lpm_pid(&ppm, "work").expect("LPM was respawned");
+    assert_ne!(respawned, victim, "a fresh LPM process");
+
+    // The forest was reconstructed: same node set as before the crash.
+    let after = forest_nodes(&mut ppm, "home", "work");
+    assert_eq!(after, before, "re-adoption restored the forest node set");
+
+    // Recovery metrics are in the respawned LPM's registry section.
+    let report = ppm.metrics_report();
+    assert!(
+        report.contains("work/uid100 lpm.restarts 1"),
+        "one restart counted:\n{report}"
+    );
+    assert!(
+        report.contains("work/uid100 lpm.readopted 3"),
+        "three survivors re-adopted:\n{report}"
+    );
+    assert!(
+        report.contains("work/uid100 lpm.mttr_us count=1"),
+        "recovery time recorded"
+    );
+
+    // And the PPM still serves requests on the respawned LPM.
+    ppm.spawn_remote("home", USER, "work", "after", None, None)
+        .expect("respawned LPM serves spawns");
+}
+
+/// Logical (cross-host) parent edges live only in LPM memory, so they
+/// die with the killed LPM — and come back through sibling gossip: the
+/// respawned LPM pulls from the sibling that originated the spawns, which
+/// remembers the logical parent of every child it created remotely.
+#[test]
+fn sibling_gossip_rebuilds_logical_edges_after_lpm_death() {
+    let mut ppm = harness();
+
+    // A parent on home with two logical children on work.
+    let parent = ppm
+        .spawn_remote("home", USER, "home", "parent", None, None)
+        .expect("spawn parent");
+    let mut children = Vec::new();
+    for i in 0..2 {
+        let g = ppm
+            .spawn_remote(
+                "home",
+                USER,
+                "work",
+                &format!("child-{i}"),
+                Some(parent.clone()),
+                None,
+            )
+            .expect("spawn child");
+        children.push(g);
+    }
+    ppm.run_for(SimDuration::from_secs(1));
+
+    let edge_of = |procs: &[ppm_proto::types::ProcRecord], g: &Gpid| -> Option<Gpid> {
+        procs
+            .iter()
+            .find(|p| &p.gpid == g)
+            .and_then(|p| p.logical_parent.clone())
+    };
+    let procs = ppm.snapshot("home", USER, "*").expect("snapshot");
+    for c in &children {
+        assert_eq!(
+            edge_of(&procs, c).as_ref(),
+            Some(&parent),
+            "logical edge present before the crash"
+        );
+    }
+
+    // Kill work's LPM; its forest (and the logical edges) die with it.
+    let victim = lpm_pid(&ppm, "work").expect("work has an LPM");
+    let h = ppm.host("work").unwrap();
+    ppm.world_mut()
+        .post_signal(Uid::ROOT, (h, victim), Signal::Kill)
+        .expect("kill LPM");
+    ppm.run_for(SimDuration::from_secs(5));
+
+    // Traffic from home re-opens the sibling channel; the respawned LPM
+    // answers the hello with a forest pull and grafts the reply.
+    let procs = ppm
+        .snapshot("home", USER, "*")
+        .expect("post-crash snapshot");
+    ppm.run_for(SimDuration::from_secs(2));
+    for c in &children {
+        assert!(
+            procs.iter().any(|p| &p.gpid == c),
+            "child {c} was re-adopted"
+        );
+    }
+    let procs = ppm
+        .snapshot("home", USER, "*")
+        .expect("post-gossip snapshot");
+    for c in &children {
+        assert_eq!(
+            edge_of(&procs, c).as_ref(),
+            Some(&parent),
+            "sibling gossip restored the logical edge of {c}"
+        );
+    }
+}
+
+/// The same recovery driven end-to-end by a scripted plan: `kill work
+/// lpm` at 2 s. The subsystem (not the test) schedules the fault, and the
+/// faults.injected counter records it.
+#[test]
+fn scripted_kill_plan_drives_respawn() {
+    let mut ppm = harness();
+    for i in 0..2 {
+        ppm.spawn_remote("home", USER, "work", &format!("job-{i}"), None, None)
+            .expect("spawn");
+    }
+    let before = forest_nodes(&mut ppm, "home", "work");
+    let victim = lpm_pid(&ppm, "work").expect("work has an LPM");
+
+    let plan = FaultPlan::parse("at 2s kill work lpm\n").expect("plan parses");
+    ppm.world_mut()
+        .apply_fault_plan(&plan)
+        .expect("plan applies");
+    ppm.run_for(SimDuration::from_secs(10));
+
+    let respawned = lpm_pid(&ppm, "work").expect("LPM respawned");
+    assert_ne!(respawned, victim);
+    assert_eq!(forest_nodes(&mut ppm, "home", "work"), before);
+    assert!(
+        ppm.metrics_report().contains("faults.injected 1"),
+        "the scheduled fault was counted"
+    );
+}
+
+/// A scripted host crash with heal: the host reboots, inetd re-runs the
+/// pmd, the pmd's stable-storage registry names an LPM that died in the
+/// crash, and respawn brings the user's presence on that host back — new
+/// work lands there again.
+#[test]
+fn scripted_crash_restart_plan_recovers_the_host() {
+    let mut ppm = harness();
+    ppm.spawn_remote("home", USER, "work", "doomed", None, None)
+        .expect("spawn");
+    ppm.run_for(SimDuration::from_millis(500));
+
+    let plan = FaultPlan::parse(concat!(
+        "seed 11\n",
+        "at 1s crash work restart 2s\n",
+        "at 1s cut work far heal 4s\n",
+    ))
+    .expect("plan parses");
+    ppm.world_mut()
+        .apply_fault_plan(&plan)
+        .expect("plan applies");
+    ppm.run_for(SimDuration::from_secs(12));
+
+    // The host is back: a pmd answers and an LPM serves a new spawn.
+    let g = ppm
+        .spawn_remote("home", USER, "work", "reborn", None, None)
+        .expect("restarted host serves spawns");
+    assert_eq!(g.host, "work");
+    // The crash killed the old computation; the sweep must not report
+    // ghosts of it.
+    let nodes = forest_nodes(&mut ppm, "home", "work");
+    assert!(nodes.contains(&g.pid), "the new job is managed");
+    // The sugared plan expands to four scheduled faults: crash+restart
+    // and cut+heal.
+    let report = ppm.metrics_report();
+    assert!(report.contains("faults.injected 4"), "{report}");
+    assert!(report.contains("work/uid100 lpm.restarts 1"), "{report}");
+}
+
+/// Exactly-once under forced duplication: every wire message between
+/// home and work is delivered twice, yet each spawn executes once —
+/// the dedup window absorbs the duplicates.
+#[test]
+fn forced_duplication_preserves_exactly_once() {
+    let mut ppm = harness();
+    let plan = FaultPlan::parse("dup 1.0 from home to work\n").expect("plan parses");
+    ppm.world_mut()
+        .apply_fault_plan(&plan)
+        .expect("plan applies");
+
+    for i in 0..3 {
+        ppm.spawn_remote("home", USER, "work", &format!("once-{i}"), None, None)
+            .expect("spawn under duplication");
+    }
+    ppm.run_for(SimDuration::from_secs(2));
+
+    let procs = ppm.snapshot("home", USER, "*").expect("snapshot");
+    for i in 0..3 {
+        let name = format!("once-{i}");
+        assert_eq!(
+            procs
+                .iter()
+                .filter(|p| p.command == name && p.state != WireProcState::Dead)
+                .count(),
+            1,
+            "{name} executed exactly once despite duplicated delivery"
+        );
+    }
+}
+
+/// The same plan and seed replayed from scratch produce byte-identical
+/// metrics: the fault schedule is deterministic end to end.
+#[test]
+fn fault_runs_are_deterministic() {
+    let run = || {
+        let mut ppm = harness();
+        let plan = FaultPlan::parse(concat!(
+            "seed 7\n",
+            "at 1s kill work lpm\n",
+            "drop 0.2 from home to work after 500ms until 3s\n",
+            "delay 0.3 add 5ms\n",
+        ))
+        .expect("plan parses");
+        ppm.world_mut()
+            .apply_fault_plan(&plan)
+            .expect("plan applies");
+        for i in 0..2 {
+            let _ = ppm.spawn_remote("home", USER, "work", &format!("job-{i}"), None, None);
+        }
+        ppm.run_for(SimDuration::from_secs(8));
+        (ppm.now(), ppm.metrics_report())
+    };
+    let (t1, m1) = run();
+    let (t2, m2) = run();
+    assert_eq!(t1, t2, "same final clock");
+    assert_eq!(m1, m2, "byte-identical metrics");
+}

@@ -167,6 +167,7 @@ fn assignments_survive_pmd_crash_with_stable_storage() {
         .user(USER, 0x1986, &[], ns_config())
         .pmd_options(PmdOptions {
             stable_storage: true,
+            ..PmdOptions::default()
         })
         .build();
     ppm.spawn_remote("alpha", USER, "alpha", "j1", None, None)

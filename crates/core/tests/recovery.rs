@@ -346,6 +346,7 @@ fn pmd_crash_with_stable_storage_finds_existing_lpm() {
         .user(USER, SECRET, &["home"], PpmConfig::default())
         .pmd_options(PmdOptions {
             stable_storage: true,
+            ..PmdOptions::default()
         })
         .build();
     ppm.spawn_remote("home", USER, "home", "j", None, None)

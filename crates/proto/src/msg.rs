@@ -819,6 +819,31 @@ pub enum Msg {
         /// Assignment epoch.
         epoch: u64,
     },
+
+    // ---- adoption gossip (crash recovery) ----------------------------------
+    /// A respawned LPM asking a sibling which of its re-adopted local
+    /// processes the sibling knows remote parents for. `live` lists the
+    /// survivors' local pids on `host`.
+    ForestPull {
+        /// Acting user.
+        user: u32,
+        /// The respawned LPM's host.
+        host: String,
+        /// Local pids of the re-adopted survivors.
+        live: Vec<u32>,
+    },
+    /// The sibling's answer: logical-parent edges it recorded when it
+    /// originated remote spawns onto `host`. The respawned LPM grafts
+    /// these onto its rebuilt forest, undoing the degeneration the crash
+    /// caused.
+    ForestInfo {
+        /// Acting user.
+        user: u32,
+        /// The host the edges are for (the respawned LPM's host).
+        host: String,
+        /// `(local pid, remote logical parent)` pairs.
+        edges: Vec<(u32, Gpid)>,
+    },
 }
 
 impl Msg {
@@ -843,6 +868,8 @@ impl Msg {
             Msg::ProbeAck { .. } => "probe-ack",
             Msg::CcsQuery { .. } => "ccs-query",
             Msg::CcsInfo { .. } => "ccs-info",
+            Msg::ForestPull { .. } => "forest-pull",
+            Msg::ForestInfo { .. } => "forest-info",
         }
     }
 }
@@ -1011,6 +1038,21 @@ impl Wire for Msg {
                 enc.str(ccs);
                 enc.u64(*epoch);
             }
+            Msg::ForestPull { user, host, live } => {
+                enc.u8(18);
+                enc.u32(*user);
+                enc.str(host);
+                enc.seq(live, |e, p| e.u32(*p));
+            }
+            Msg::ForestInfo { user, host, edges } => {
+                enc.u8(19);
+                enc.u32(*user);
+                enc.str(host);
+                enc.seq(edges, |e, (pid, parent)| {
+                    e.u32(*pid);
+                    parent.encode(e);
+                });
+            }
         }
     }
 
@@ -1103,6 +1145,16 @@ impl Wire for Msg {
                 at_us: dec.u64()?,
                 rows: dec.seq(MetricRow::decode)?,
                 route: Route::decode(dec)?,
+            },
+            18 => Msg::ForestPull {
+                user: dec.u32()?,
+                host: dec.str()?,
+                live: dec.seq(|d| d.u32())?,
+            },
+            19 => Msg::ForestInfo {
+                user: dec.u32()?,
+                host: dec.str()?,
+                edges: dec.seq(|d| Ok((d.u32()?, Gpid::decode(d)?)))?,
             },
             tag => return Err(CodecError::BadTag { what: "Msg", tag }),
         })
@@ -1250,6 +1302,21 @@ mod tests {
                     },
                 ],
                 route: route.clone(),
+            },
+            Msg::ForestPull {
+                user: 100,
+                host: "b".into(),
+                live: vec![4, 9, 17],
+            },
+            Msg::ForestInfo {
+                user: 100,
+                host: "b".into(),
+                edges: vec![(9, Gpid::new("a", 3)), (17, Gpid::new("c", 5))],
+            },
+            Msg::ForestInfo {
+                user: 100,
+                host: "b".into(),
+                edges: vec![],
             },
         ]
     }

@@ -30,6 +30,7 @@
 //! ```
 
 pub mod engine;
+pub mod fault;
 pub mod hashx;
 pub mod latency;
 pub mod obs;

@@ -343,3 +343,101 @@ proptest! {
         }
     }
 }
+
+// ---- fault plans ------------------------------------------------------------
+
+use ppm_simnet::fault::{FaultEvent, FaultKind, FaultPlan, WireFaultKind, WireFaults, WireRule};
+
+fn arb_host() -> impl Strategy<Value = String> {
+    (0u8..5).prop_map(|i| ["calder", "kim", "ucbarpa", "ernie", "vangogh"][i as usize].to_string())
+}
+
+fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        arb_host().prop_map(|host| FaultKind::Crash { host }),
+        arb_host().prop_map(|host| FaultKind::Restart { host }),
+        (arb_host(), arb_host()).prop_map(|(a, b)| FaultKind::LinkDown { a, b }),
+        (arb_host(), arb_host()).prop_map(|(a, b)| FaultKind::LinkUp { a, b }),
+        (arb_host(), 0u8..3).prop_map(|(host, c)| FaultKind::Kill {
+            host,
+            command: ["lpm", "pmd", "worker"][c as usize].to_string(),
+        }),
+    ]
+}
+
+fn arb_wire_rule() -> impl Strategy<Value = WireRule> {
+    let kind = prop_oneof![
+        Just(WireFaultKind::Drop),
+        Just(WireFaultKind::Dup),
+        (1u64..10_000).prop_map(|us| WireFaultKind::Reorder {
+            skew: SimDuration::from_micros(us),
+        }),
+        (1u64..100_000).prop_map(|us| WireFaultKind::Delay {
+            extra: SimDuration::from_micros(us),
+        }),
+    ];
+    (
+        kind,
+        0u32..=1000,
+        prop::option::of(arb_host()),
+        prop::option::of(arb_host()),
+        prop::option::of(0u64..20_000_000),
+        prop::option::of(0u64..20_000_000),
+    )
+        .prop_map(|(kind, permille, from, to, after, until)| {
+            let mut rule = WireRule::new(kind, f64::from(permille) / 1000.0);
+            rule.from = from;
+            rule.to = to;
+            rule.after = after.map(SimTime::from_micros);
+            rule.until = until.map(SimTime::from_micros);
+            rule
+        })
+}
+
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        prop::collection::vec((0u64..60_000_000, arb_fault_kind()), 0..12),
+        prop::collection::vec(arb_wire_rule(), 0..6),
+    )
+        .prop_map(|(seed, events, wire)| FaultPlan {
+            seed,
+            events: events
+                .into_iter()
+                .map(|(at, kind)| FaultEvent {
+                    at: SimTime::from_micros(at),
+                    kind,
+                })
+                .collect(),
+            wire,
+        })
+}
+
+proptest! {
+    /// Satellite invariant: a plan survives an encode → parse roundtrip
+    /// exactly — every event, rule, scope and the seed.
+    #[test]
+    fn fault_plan_roundtrips(plan in arb_fault_plan()) {
+        let text = plan.encode();
+        let again = FaultPlan::parse(&text);
+        prop_assert_eq!(Ok(plan), again, "canonical text:\n{}", text);
+    }
+
+    /// Satellite invariant: the seeded drop/dup/reorder schedule is a
+    /// pure function of (seed, message sequence) — two generators built
+    /// from the same plan make byte-identical decisions over any traffic.
+    #[test]
+    fn wire_fault_schedule_is_deterministic(
+        plan in arb_fault_plan(),
+        traffic in prop::collection::vec((0u8..5, 0u8..5, 0u64..20_000_000), 0..300),
+    ) {
+        const HOSTS: [&str; 5] = ["calder", "kim", "ucbarpa", "ernie", "vangogh"];
+        let mut a = WireFaults::new(&plan);
+        let mut b = WireFaults::new(&plan);
+        for (f, t, at) in traffic {
+            let (from, to) = (HOSTS[f as usize], HOSTS[t as usize]);
+            let now = SimTime::from_micros(at);
+            prop_assert_eq!(a.decide(from, to, now), b.decide(from, to, now));
+        }
+    }
+}

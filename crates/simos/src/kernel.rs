@@ -174,8 +174,10 @@ impl Kernel {
     /// * [`SysError::NoSuchProcess`] — target not alive.
     /// * [`SysError::PermissionDenied`] — "the adoption operations fail if
     ///   the process and the PPM belong to different users".
-    /// * [`SysError::AlreadyTraced`] — a *different* manager already traces
-    ///   the target; re-adoption by the same manager just updates flags.
+    /// * [`SysError::AlreadyTraced`] — a *different, still-live* manager
+    ///   already traces the target; re-adoption by the same manager just
+    ///   updates flags, and a dead manager's claim lapses so a respawned
+    ///   LPM can take over its predecessor's orphans.
     pub fn adopt(
         &mut self,
         target: Pid,
@@ -183,15 +185,20 @@ impl Kernel {
         tracer_uid: Uid,
         flags: TraceFlags,
     ) -> Result<(), SysError> {
+        // A tracer that has exited (or vanished in a reboot) no longer
+        // blocks adoption; its pid may even have been reused, so only a
+        // live holder counts.
+        let prior = self.get(target).and_then(|p| p.tracer);
+        let holder_live = prior.is_some_and(|t| self.procs.get(&t).is_some_and(Process::is_alive));
         let p = self.live_mut(target)?;
         if p.uid != tracer_uid && !tracer_uid.is_root() {
             return Err(SysError::PermissionDenied);
         }
-        match p.tracer {
-            Some(t) if t != tracer => Err(SysError::AlreadyTraced),
+        match prior {
+            Some(t) if t != tracer && holder_live => Err(SysError::AlreadyTraced),
             _ => {
-                p.tracer = Some(tracer);
                 p.trace_flags = flags;
+                p.tracer = Some(tracer);
                 Ok(())
             }
         }
@@ -353,6 +360,19 @@ mod tests {
         );
         k.adopt(target, lpm1, Uid(100), TraceFlags::ALL).unwrap();
         assert_eq!(k.get(target).unwrap().trace_flags, TraceFlags::ALL);
+    }
+
+    #[test]
+    fn adopt_succeeds_when_prior_tracer_is_dead() {
+        let mut k = kern();
+        let target = add(&mut k, Pid::INIT, Uid(100), "job");
+        let lpm1 = add(&mut k, Pid::INIT, Uid(100), "lpm1");
+        k.adopt(target, lpm1, Uid(100), TraceFlags::PROC).unwrap();
+        k.finish_exit(lpm1, ExitStatus::Signaled(Signal::Kill), SimTime::ZERO);
+        // The dead manager's claim lapses: a respawned LPM takes over.
+        let lpm2 = add(&mut k, Pid::INIT, Uid(100), "lpm2");
+        k.adopt(target, lpm2, Uid(100), TraceFlags::ALL).unwrap();
+        assert_eq!(k.get(target).unwrap().tracer, Some(lpm2));
     }
 
     #[test]

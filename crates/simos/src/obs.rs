@@ -28,6 +28,7 @@ pub struct ObsHub {
     kernel_events: CounterId,
     kernel_wakeups: CounterId,
     kernel_batch_msgs: HistId,
+    faults_injected: CounterId,
 }
 
 impl Default for ObsHub {
@@ -43,6 +44,7 @@ impl ObsHub {
         let kernel_events = registry.counter("kernel.events");
         let kernel_wakeups = registry.counter("kernel.wakeups");
         let kernel_batch_msgs = registry.hist("kernel.batch_msgs");
+        let faults_injected = registry.counter("faults.injected");
         ObsHub {
             registry,
             spans: SpanLog::new(),
@@ -50,6 +52,7 @@ impl ObsHub {
             kernel_events,
             kernel_wakeups,
             kernel_batch_msgs,
+            faults_injected,
         }
     }
 
@@ -66,6 +69,12 @@ impl ObsHub {
     /// One batch flushed with `n` coalesced messages.
     pub(crate) fn note_kernel_batch(&mut self, n: usize) {
         self.registry.record(self.kernel_batch_msgs, n as u64);
+    }
+
+    /// `n` faults injected (plan events at install time, wire faults as
+    /// they fire).
+    pub(crate) fn note_faults(&mut self, n: u64) {
+        self.registry.add(self.faults_injected, n);
     }
 
     /// Registers (or replaces) a program registry under `label`.

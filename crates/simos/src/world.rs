@@ -16,6 +16,7 @@ use std::fmt;
 use bytes::Bytes;
 use ppm_proto::codec::encode_batch;
 use ppm_simnet::engine::TimerWheel;
+use ppm_simnet::fault::{FaultKind, FaultPlan, WireDecision, WireFaults};
 use ppm_simnet::latency::LatencyModel;
 use ppm_simnet::rng::SimRng;
 use ppm_simnet::time::{SimDuration, SimTime};
@@ -49,6 +50,9 @@ pub(crate) struct HostState {
     pub services: HashMap<String, Pid>,
     /// Simulated disk: survives process exits *and* host crashes.
     pub stable: HashMap<String, Bytes>,
+    /// Services running when the host crashed, name-sorted; a restart
+    /// re-runs them the way init re-runs /etc/rc after a power failure.
+    pub prev_services: Vec<String>,
 }
 
 /// Events flowing through the engine. Internal to the crate; programs see
@@ -98,6 +102,9 @@ pub(crate) enum SimEvent {
     HostCrash(HostId),
     HostRestart(HostId),
     LinkSet(HostId, HostId, bool),
+    /// Fault-plan kill: SIGKILL every live process on the host whose
+    /// command starts with the prefix.
+    KillCmd(HostId, String),
 }
 
 /// Everything in the world except the program objects. Syscalls (via
@@ -124,6 +131,9 @@ pub struct WorldCore {
     pub(crate) pending_kernel: HashMap<ProcKey, Vec<KernelMsg>>,
     /// Metrics, spans and the per-program registry hub.
     pub(crate) obs: ObsHub,
+    /// Probabilistic wire faults from an installed fault plan. `None`
+    /// (the default) leaves the send path untouched.
+    pub(crate) faults: Option<WireFaults>,
 }
 
 impl WorldCore {
@@ -650,6 +660,32 @@ impl WorldCore {
         let jf = self.latency.jitter_fraction;
         let base = self.latency.wire(hops, len);
         let delay = self.rng.jitter(base, jf);
+        // Fault-plan wire rules ride a dedicated RNG stream, so the
+        // latency jitter sequence above is identical with or without an
+        // installed plan.
+        let fate = match self.faults.as_mut() {
+            Some(f) => {
+                let now = self.engine.now();
+                let from_name = &self.topo.spec(from.0).name;
+                let to_name = &self.topo.spec(peer.0).name;
+                f.decide(from_name, to_name, now)
+            }
+            None => WireDecision::default(),
+        };
+        if fate.fired > 0 {
+            self.obs.note_faults(u64::from(fate.fired));
+        }
+        if fate.drop {
+            // Silent loss: the sender's write succeeded, nothing arrives,
+            // and recovery is up to the RPC retry machinery.
+            self.tracef(
+                Some(from.0),
+                TraceCategory::Net,
+                format!("fault: message on {conn} dropped"),
+            );
+            return Ok(());
+        }
+        let delay = SimDuration::from_micros(delay.as_micros() + fate.extra.as_micros());
         let c = self.conns.get_mut(&conn).expect("checked above");
         let dir = c.record_send(from, len);
         let mut arrival = self.engine.now() + delay;
@@ -657,6 +693,21 @@ impl WorldCore {
             arrival = c.next_arrival[dir];
         }
         c.next_arrival[dir] = arrival + SimDuration::from_micros(1);
+        if let Some(skew) = fate.reorder {
+            // Land past the slot without raising the FIFO floor, so later
+            // traffic in the same direction overtakes this message.
+            arrival += skew;
+        }
+        if fate.dup {
+            self.engine.schedule_at(
+                arrival + delay.max(SimDuration::from_micros(1)),
+                SimEvent::Deliver {
+                    conn,
+                    to: peer,
+                    data: data.clone(),
+                },
+            );
+        }
         self.engine.schedule_at(
             arrival,
             SimEvent::Deliver {
@@ -806,6 +857,7 @@ impl World {
                 pending_programs: Vec::new(),
                 pending_kernel: HashMap::new(),
                 obs: ObsHub::new(),
+                faults: None,
             },
             programs: HashMap::new(),
             deferred: HashMap::new(),
@@ -860,6 +912,7 @@ impl World {
             listeners: HashMap::new(),
             services: HashMap::new(),
             stable: HashMap::new(),
+            prev_services: Vec::new(),
         });
         self.boot_daemons(id);
         let tick = self.core.config.load_tick;
@@ -910,6 +963,75 @@ impl World {
         self.core
             .engine
             .schedule(delay, SimEvent::LinkSet(a, b, up));
+    }
+
+    /// Installs a fault plan: schedules its timed faults on the event
+    /// engine (plan times are absolute; past times fire immediately) and
+    /// arms its probabilistic wire rules on a dedicated RNG stream. Every
+    /// scheduled fault counts into the world's `faults.injected` counter
+    /// up front; wire faults count as they fire.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming any host the plan references but the
+    /// world does not have; nothing is scheduled in that case.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) -> Result<(), String> {
+        let resolve = |core: &WorldCore, name: &str| {
+            core.host_by_name(name)
+                .ok_or_else(|| format!("fault plan references unknown host {name:?}"))
+        };
+        // Validate every host first so a bad plan is all-or-nothing.
+        for ev in &plan.events {
+            match &ev.kind {
+                FaultKind::Crash { host }
+                | FaultKind::Restart { host }
+                | FaultKind::Kill { host, .. } => {
+                    resolve(&self.core, host)?;
+                }
+                FaultKind::LinkDown { a, b } | FaultKind::LinkUp { a, b } => {
+                    resolve(&self.core, a)?;
+                    resolve(&self.core, b)?;
+                }
+            }
+        }
+        let now = self.core.now();
+        for ev in &plan.events {
+            let delay = ev.at.saturating_since(now);
+            match &ev.kind {
+                FaultKind::Crash { host } => {
+                    let h = resolve(&self.core, host).expect("validated");
+                    self.schedule_crash(h, delay);
+                }
+                FaultKind::Restart { host } => {
+                    let h = resolve(&self.core, host).expect("validated");
+                    self.schedule_restart(h, delay);
+                }
+                FaultKind::LinkDown { a, b } => {
+                    let ha = resolve(&self.core, a).expect("validated");
+                    let hb = resolve(&self.core, b).expect("validated");
+                    self.schedule_link(ha, hb, false, delay);
+                }
+                FaultKind::LinkUp { a, b } => {
+                    let ha = resolve(&self.core, a).expect("validated");
+                    let hb = resolve(&self.core, b).expect("validated");
+                    self.schedule_link(ha, hb, true, delay);
+                }
+                FaultKind::Kill { host, command } => {
+                    let h = resolve(&self.core, host).expect("validated");
+                    self.core
+                        .engine
+                        .schedule(delay, SimEvent::KillCmd(h, command.clone()));
+                }
+            }
+        }
+        if !plan.events.is_empty() {
+            self.core.obs.note_faults(plan.events.len() as u64);
+        }
+        let wire = WireFaults::new(plan);
+        if !wire.is_empty() {
+            self.core.faults = Some(wire);
+        }
+        Ok(())
     }
 
     /// Sends a signal "from outside" (e.g. a test acting as the user at a
@@ -1135,6 +1257,26 @@ impl World {
             }
             SimEvent::HostCrash(host) => self.handle_crash(host),
             SimEvent::HostRestart(host) => self.handle_restart(host),
+            SimEvent::KillCmd(host, prefix) => {
+                if !self.core.host_up(host) {
+                    return;
+                }
+                let mut pids: Vec<Pid> = self.core.hosts[host.0 as usize]
+                    .kernel
+                    .processes()
+                    .filter(|p| p.is_alive() && p.command.starts_with(&prefix))
+                    .map(|p| p.pid)
+                    .collect();
+                pids.sort_unstable();
+                self.core.tracef(
+                    Some(host),
+                    TraceCategory::Kernel,
+                    format!("fault: kill {prefix}* ({} process(es))", pids.len()),
+                );
+                for pid in pids {
+                    let _ = self.core.post_signal(Uid::ROOT, (host, pid), Signal::Kill);
+                }
+            }
             SimEvent::LinkSet(a, b, up) => {
                 self.core.topo.set_link_up(a, b, up);
                 self.core.tracef(
@@ -1323,7 +1465,19 @@ impl World {
             }
         }
         // All local process activity ceases; nothing is notified locally.
+        // The crash instant and the running service set go to stable
+        // storage (the simulated disk survives the power failure): a
+        // restart re-runs the services, and a respawned daemon can read
+        // how long the host was dark.
+        let now = self.core.now();
         let hs = &mut self.core.hosts[host.0 as usize];
+        hs.stable.insert(
+            CRASHED_AT_KEY.to_string(),
+            Bytes::copy_from_slice(&now.as_micros().to_be_bytes()),
+        );
+        let mut names: Vec<String> = hs.services.keys().cloned().collect();
+        names.sort_unstable();
+        hs.prev_services = names;
         hs.listeners.clear();
         hs.services.clear();
         self.reap_dead_programs_on(host);
@@ -1353,10 +1507,22 @@ impl World {
         self.core
             .tracef(Some(host), TraceCategory::Net, "host restarted".to_string());
         self.boot_daemons(host);
+        // Re-run the services that were up at crash time (pmd comes back
+        // without waiting for traffic), the way init replays /etc/rc.
+        let names = std::mem::take(&mut self.core.hosts[host.0 as usize].prev_services);
+        for name in names {
+            let _ = self.core.spawn_service(host, &name);
+        }
+        self.drain_pending();
         let tick = self.core.config.load_tick;
         self.core.engine.schedule(tick, SimEvent::LoadTick(host));
     }
 }
+
+/// Stable-storage key under which a crash stamps the simulation time the
+/// host went dark (big-endian microseconds). Programs respawned after the
+/// restart read it to measure recovery time.
+pub const CRASHED_AT_KEY: &str = "os.crashed_at";
 
 #[cfg(test)]
 mod tests {

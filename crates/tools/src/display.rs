@@ -13,11 +13,36 @@ use ppm_simos::ids::Uid;
 
 use crate::forest::Forest;
 
+/// Host liveness as the simulation sees it: whether the host is powered
+/// and whether it has ever been power-cycled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Powered, never crashed.
+    Up,
+    /// Powered off (crashed, not yet restarted).
+    Down,
+    /// Powered, but rebooted at least once since the world started.
+    Restarted,
+}
+
+impl std::fmt::Display for Liveness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // pad, not write_str: honour width flags in table columns.
+        f.pad(match self {
+            Liveness::Up => "up",
+            Liveness::Down => "down",
+            Liveness::Restarted => "restarted",
+        })
+    }
+}
+
 /// One host's row of the dashboard.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HostStatus {
     /// Host name.
     pub host: String,
+    /// Power state.
+    pub liveness: Liveness,
     /// Load average × 1000.
     pub load_milli: u32,
     /// Managed live processes.
@@ -47,27 +72,38 @@ pub fn gather_status(
     from_host: &str,
     uid: Uid,
 ) -> Result<Vec<HostStatus>, HarnessError> {
-    let hosts: Vec<String> = ppm
-        .world()
-        .core()
+    let core = ppm.world().core();
+    let hosts: Vec<(String, Liveness)> = core
         .topology()
         .host_ids()
-        .map(|h| ppm.world().core().host_name(h).to_string())
+        .map(|h| {
+            let name = core.host_name(h).to_string();
+            let live = if !core.topology().is_up(h) {
+                Liveness::Down
+            } else if core.kernel(h).boot_count() > 1 {
+                Liveness::Restarted
+            } else {
+                Liveness::Up
+            };
+            (name, live)
+        })
         .collect();
     let script: Vec<ToolStep> = hosts
         .iter()
-        .map(|h| ToolStep::new(h.clone(), Op::Status))
+        .map(|(h, _)| ToolStep::new(h.clone(), Op::Status))
         .collect();
     let window = script.len().max(1);
     // Tolerate a partial outcome (e.g. the tool hit its own deadline):
     // hosts without a reply simply show as unreachable.
     let outcome = match ppm.run_tool_pipelined(from_host, uid, script, window, WAIT) {
         Ok(outcome) => outcome,
-        Err(HarnessError::Timeout) => return Ok(hosts.iter().map(|h| dark_row(h)).collect()),
+        Err(HarnessError::Timeout) => {
+            return Ok(hosts.iter().map(|(h, l)| dark_row(h, *l)).collect())
+        }
         Err(e) => return Err(e),
     };
     let mut rows = Vec::new();
-    for (i, queried) in hosts.iter().enumerate() {
+    for (i, (queried, live)) in hosts.iter().enumerate() {
         match outcome.reply(i) {
             Some(Reply::Status {
                 host,
@@ -79,6 +115,7 @@ pub fn gather_status(
             }) => {
                 rows.push(HostStatus {
                     host: host.clone(),
+                    liveness: *live,
                     load_milli: *load_milli,
                     managed: *managed,
                     siblings: siblings.clone(),
@@ -87,7 +124,7 @@ pub fn gather_status(
                     reachable: true,
                 });
             }
-            _ => rows.push(dark_row(queried)),
+            _ => rows.push(dark_row(queried, *live)),
         }
     }
     Ok(rows)
@@ -96,9 +133,10 @@ pub fn gather_status(
 /// Wait budget for the dashboard sweep.
 const WAIT: SimDuration = SimDuration::from_secs(60);
 
-fn dark_row(host: &str) -> HostStatus {
+fn dark_row(host: &str, liveness: Liveness) -> HostStatus {
     HostStatus {
         host: host.to_string(),
+        liveness,
         load_milli: 0,
         managed: 0,
         siblings: Vec::new(),
@@ -135,15 +173,16 @@ pub fn render_dashboard(
     let _ = writeln!(out, "PPM display for {uid} (from {from_host})");
     let _ = writeln!(
         out,
-        "{:<12} {:>6} {:>8}  {:<10} {:>5}  siblings",
-        "host", "load", "managed", "ccs", "epoch"
+        "{:<12} {:<10} {:>6} {:>8}  {:<10} {:>5}  siblings",
+        "host", "state", "load", "managed", "ccs", "epoch"
     );
     for r in rows {
         if r.reachable {
             let _ = writeln!(
                 out,
-                "{:<12} {:>6.2} {:>8}  {:<10} {:>5}  {}",
+                "{:<12} {:<10} {:>6.2} {:>8}  {:<10} {:>5}  {}",
                 r.host,
+                r.liveness,
                 r.load_milli as f64 / 1000.0,
                 r.managed,
                 r.ccs,
@@ -151,7 +190,11 @@ pub fn render_dashboard(
                 r.siblings.join(", ")
             );
         } else {
-            let _ = writeln!(out, "{:<12} {:>6}  (unreachable)", r.host, "-");
+            let _ = writeln!(
+                out,
+                "{:<12} {:<10} {:>6}  (unreachable)",
+                r.host, r.liveness, "-"
+            );
         }
     }
     let _ = writeln!(
@@ -168,18 +211,32 @@ pub fn render_dashboard(
             missing.join(", ")
         );
     }
+    let mut failure_roots = 0;
     for root in forest.roots() {
+        let failure = forest.is_failure_root(root);
+        failure_roots += usize::from(failure);
         for (depth, node) in forest.walk(root) {
             let _ = writeln!(
                 out,
                 "{}{} {} {} ({})",
                 "  ".repeat(depth + 1),
-                if depth == 0 { "*" } else { "-" },
+                match (depth, failure) {
+                    (0, true) => "!",
+                    (0, false) => "*",
+                    _ => "-",
+                },
                 node.record.gpid,
                 node.record.command,
                 node.record.state
             );
         }
+    }
+    if failure_roots > 0 {
+        let _ = writeln!(
+            out,
+            "  !: {failure_roots} root(s) created by a failure (re-adopted, \
+             logical parent unknown)"
+        );
     }
     out
 }
@@ -218,7 +275,7 @@ mod tests {
 
     #[test]
     fn render_warns_on_partial_snapshot() {
-        let rows = vec![dark_row("y")];
+        let rows = vec![dark_row("y", Liveness::Down)];
         let forest = Forest::build(Vec::new());
         let missing = vec!["y".to_string()];
         let out = render_dashboard("x", USER, &rows, &forest, &missing);
@@ -227,6 +284,54 @@ mod tests {
         // A complete sweep renders no warning.
         let out = render_dashboard("x", USER, &rows, &forest, &[]);
         assert!(!out.contains("snapshot incomplete"), "{out}");
+    }
+
+    #[test]
+    fn liveness_column_tracks_crash_and_restart() {
+        let mut ppm = PpmHarness::builder()
+            .host("x", CpuClass::Vax780)
+            .host("y", CpuClass::Vax750)
+            .link("x", "y")
+            .user(USER, 7, &["x"], PpmConfig::fast_recovery())
+            .build();
+        let y = ppm.host("y").unwrap();
+        ppm.world_mut()
+            .schedule_crash(y, SimDuration::from_millis(10));
+        ppm.run_for(SimDuration::from_secs(1));
+        let rows = gather_status(&mut ppm, "x", USER).unwrap();
+        let yrow = rows.iter().find(|r| r.host == "y").unwrap();
+        assert_eq!(yrow.liveness, Liveness::Down);
+
+        ppm.world_mut()
+            .schedule_restart(y, SimDuration::from_millis(10));
+        ppm.run_for(SimDuration::from_secs(2));
+        let rows = gather_status(&mut ppm, "x", USER).unwrap();
+        let yrow = rows.iter().find(|r| r.host == "y").unwrap();
+        assert_eq!(yrow.liveness, Liveness::Restarted);
+        let xrow = rows.iter().find(|r| r.host == "x").unwrap();
+        assert_eq!(xrow.liveness, Liveness::Up);
+    }
+
+    #[test]
+    fn failure_created_roots_are_marked() {
+        use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
+        let rec = |pid: u32, ppid: u32| ProcRecord {
+            gpid: Gpid::new("x", pid),
+            ppid,
+            logical_parent: None,
+            command: "job".into(),
+            state: WireProcState::Running,
+            started_us: 0,
+            cpu_us: 0,
+            adopted: true,
+        };
+        // pid 9: re-adopted survivor, real parent lost (ppid 0 marker);
+        // pid 10: normal root created by its LPM (pid 4).
+        let forest = Forest::build(vec![rec(9, 0), rec(10, 4)]);
+        let out = render_dashboard("x", USER, &[], &forest, &[]);
+        assert!(out.contains("! <x, 9>"), "{out}");
+        assert!(out.contains("* <x, 10>"), "{out}");
+        assert!(out.contains("1 root(s) created by a failure"), "{out}");
     }
 
     #[test]

@@ -110,6 +110,20 @@ impl Forest {
     }
 
     /// Root processes, sorted.
+    /// Whether `root` is a root a crash manufactured: a live process a
+    /// respawned LPM re-adopted with its real parent lost (recorded as
+    /// `ppid == 0`, while ordinary root spawns carry ppid 1) and no
+    /// cross-host logical edge. Its place in the forest is unexplained
+    /// until sibling gossip restores the logical parent.
+    pub fn is_failure_root(&self, root: &Gpid) -> bool {
+        self.get(root).is_some_and(|n| {
+            n.record.adopted
+                && n.record.ppid == 0
+                && n.record.logical_parent.is_none()
+                && n.record.state != ppm_proto::types::WireProcState::Dead
+        })
+    }
+
     pub fn roots(&self) -> &[Gpid] {
         &self.roots
     }

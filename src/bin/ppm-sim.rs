@@ -18,6 +18,12 @@
 //! JSONL, and writes a Chrome `trace_event` rendering alongside at
 //! `<path>.chrome.json` (loadable in `chrome://tracing` / Perfetto).
 //!
+//! `--faults <plan>` arms a scripted fault plan (see `ppm_simnet::fault`
+//! for the grammar): hosts crash and restart, LPMs are killed, links cut
+//! and heal, and the wire drops/duplicates/reorders with seeded
+//! probabilities. Fault runs enable pmd stable storage and LPM respawn
+//! so the system heals itself.
+//!
 //! The world is seeded, so two runs of the same scenario produce
 //! identical traces, metrics and span files — CI diffs them as a
 //! determinism gate.
@@ -54,9 +60,16 @@ fn chain_scenario(n: usize) -> String {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: ppm-sim [--trace] [--metrics <path>] [--spans <path>] <scenario-file>");
-    eprintln!("       ppm-sim [--trace] [--metrics <path>] [--spans <path>] --hosts <N>");
+    eprintln!(
+        "usage: ppm-sim [--trace] [--metrics <path>] [--spans <path>] [--faults <plan>] \
+         <scenario-file>"
+    );
+    eprintln!(
+        "       ppm-sim [--trace] [--metrics <path>] [--spans <path>] [--faults <plan>] \
+         --hosts <N>"
+    );
     eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
+    eprintln!("fault plans: see scenarios/*.fault and ppm_simnet::fault for the grammar");
     ExitCode::FAILURE
 }
 
@@ -67,9 +80,17 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut spans_path: Option<String> = None;
+    let mut faults_path: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace = true,
+            "--faults" => {
+                let Some(p) = args.next() else {
+                    eprintln!("ppm-sim: --faults needs a fault-plan path");
+                    return ExitCode::FAILURE;
+                };
+                faults_path = Some(p);
+            }
             "--hosts" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|n| *n >= 2) else {
                     eprintln!("ppm-sim: --hosts needs a host count of at least 2");
@@ -112,8 +133,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let plan = match faults_path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(t) => match ppm_simnet::fault::FaultPlan::parse(&t) {
+                Ok(plan) => Some(plan),
+                Err(e) => {
+                    eprintln!("ppm-sim: {p}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("ppm-sim: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     let mut out = String::new();
-    match ppm::scenario::execute_observed(&scenario, &mut out, spans_path.is_some()) {
+    let opts = ppm::scenario::ExecOptions {
+        spans: spans_path.is_some(),
+        faults: plan.as_ref(),
+    };
+    match ppm::scenario::execute_with(&scenario, &mut out, opts) {
         Ok(ppm) => {
             print!("{out}");
             if trace {

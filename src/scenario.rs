@@ -38,8 +38,10 @@ use std::fmt;
 
 use ppm_core::config::{PpmConfig, RecoveryPolicy};
 use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_core::pmd::PmdOptions;
 use ppm_proto::msg::ControlAction;
 use ppm_proto::types::Gpid;
+use ppm_simnet::fault::FaultPlan;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simnet::topology::CpuClass;
 use ppm_simos::events::TraceFlags;
@@ -449,7 +451,48 @@ pub fn execute_observed(
     out: &mut dyn fmt::Write,
     spans: bool,
 ) -> Result<PpmHarness, ScenarioError> {
+    execute_with(
+        sc,
+        out,
+        ExecOptions {
+            spans,
+            faults: None,
+        },
+    )
+}
+
+/// Execution knobs for [`execute_with`].
+#[derive(Debug, Default)]
+pub struct ExecOptions<'a> {
+    /// Record structured spans from the first event.
+    pub spans: bool,
+    /// A fault plan applied before the first action (`ppm-sim --faults`).
+    /// Enables pmd stable storage and LPM respawn, so the world can heal
+    /// from the faults the plan injects.
+    pub faults: Option<&'a FaultPlan>,
+}
+
+/// Like [`execute`], with all execution knobs explicit.
+///
+/// # Errors
+///
+/// [`ScenarioError`] naming the failing action's line, or (line 0) a
+/// fault plan referencing an unknown host.
+pub fn execute_with(
+    sc: &Scenario,
+    out: &mut dyn fmt::Write,
+    opts: ExecOptions<'_>,
+) -> Result<PpmHarness, ScenarioError> {
+    let ExecOptions { spans, faults } = opts;
     let mut builder = PpmHarness::builder().seed(sc.seed);
+    if faults.is_some() {
+        // A faulted run only makes sense if the system is allowed to
+        // recover: persist pmd registries and respawn dead LPMs.
+        builder = builder.pmd_options(PmdOptions {
+            stable_storage: true,
+            respawn_lpms: true,
+        });
+    }
     for (name, cpu) in &sc.hosts {
         builder = builder.host(name.clone(), *cpu);
     }
@@ -463,6 +506,18 @@ pub fn execute_observed(
     let mut ppm = builder.build();
     if spans {
         ppm.enable_spans();
+    }
+    if let Some(plan) = faults {
+        ppm.world_mut()
+            .apply_fault_plan(plan)
+            .map_err(|e| err(0, e))?;
+        let _ = writeln!(
+            out,
+            "--- fault plan armed: {} scheduled fault(s), {} wire rule(s), seed {}",
+            plan.events.len(),
+            plan.wire.len(),
+            plan.seed
+        );
     }
     let mut bindings: HashMap<String, Gpid> = HashMap::new();
 
