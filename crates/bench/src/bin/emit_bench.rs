@@ -1,18 +1,21 @@
-//! Emits `BENCH_PR4.json`: median ns/op for each optimised hot path and
+//! Emits `BENCH_PR6.json`: median ns/op for each optimised hot path and
 //! its bench-local seed copy, measured in the same process and run. The
-//! pairs recorded in the checked-in `BENCH_PR3.json` are re-measured and
-//! reported alongside the observability-PR pair, and the PR 3 medians
-//! are carried into the output so the history is not overwritten.
+//! pairs recorded in the checked-in `BENCH_PR4.json` are re-measured and
+//! reported alongside the new `multi_tenant_scale` pair (the sharded
+//! arena storm world vs a per-record-allocation baseline, which also
+//! reports absolute processes-tracked/sec and the process's peak RSS),
+//! and the PR 4 medians are carried into the output's `previous` section
+//! so the perf trajectory stays one file per PR.
 //!
 //! Usage:
 //!
 //! * `cargo run --release -p ppm-bench --bin emit_bench`
-//!   (from the repository root; `BENCH_PR4.json` is written to the
+//!   (from the repository root; `BENCH_PR6.json` is written to the
 //!   working directory)
 //! * `... --bin emit_bench -- --gate`
 //!   re-measures every pair and exits non-zero if any workload regressed
 //!   more than [`GATE_TOLERANCE_PCT`] against the checked-in
-//!   `BENCH_PR4.json` — the CI perf-regression smoke gate.
+//!   `BENCH_PR6.json` — the CI perf-regression smoke gate.
 //!
 //! Absolute nanoseconds are not comparable across machines (or even
 //! across runs on a loaded CI box), so the gate normalises each
@@ -27,7 +30,7 @@
 
 use std::time::Instant;
 
-use ppm_bench::hotpath;
+use ppm_bench::{hotpath, multi_tenant};
 
 /// Sampling epochs per pair; the median is reported. Each epoch times
 /// the optimised and seed sides back to back, so slow machine drift
@@ -46,10 +49,18 @@ const TARGET_SAMPLE_MS: u128 = 25;
 const GATE_TOLERANCE_PCT: f64 = 10.0;
 
 /// The checked-in results the gate compares against.
-const BASELINE_JSON: &str = "BENCH_PR4.json";
+const BASELINE_JSON: &str = "BENCH_PR6.json";
 
-/// The PR 3 results carried into the emitted file's `previous` section.
-const PR3_JSON: &str = "BENCH_PR3.json";
+/// The PR 4 results carried into the emitted file's `previous` section.
+const PR4_JSON: &str = "BENCH_PR4.json";
+
+/// `multi_tenant_scale` workload shape: users, hosts, storm seed, and
+/// forks per workload call. Sized so one call fits a sampling epoch
+/// while the live population still ramps into the thousands.
+const MT_USERS: u32 = 256;
+const MT_HOSTS: u16 = 8;
+const MT_SEED: u64 = 11;
+const MT_PROCS: u64 = 50_000;
 
 /// Hard ceiling on the `obs_overhead` instrumented/plain ratio: the
 /// observability layer may cost at most 5% on the hot path, on any
@@ -124,9 +135,11 @@ fn measure_pair(
     }
 }
 
-/// Measures every pair, PR 1's three and this PR's two.
+/// Measures every pair: PR 1's three, PR 3/4's two, and this PR's
+/// multi-tenant storm.
 fn measure_all() -> Vec<Pair> {
     let msgs = hotpath::fanout_msgs(32);
+    let mt_spec = multi_tenant::bench_spec(MT_USERS, MT_HOSTS, MT_SEED);
     vec![
         measure_pair(
             "engine_hotpath",
@@ -161,6 +174,14 @@ fn measure_all() -> Vec<Pair> {
             "obs_overhead",
             &mut || hotpath::obs_instrumented(4_000),
             &mut || hotpath::wheel_retransmit(4_000),
+        ),
+        // The multi-tenant storm: sharded arena world vs the
+        // per-record-allocation baseline over the identical seeded
+        // decision stream (digest-checked in the module tests).
+        measure_pair(
+            "multi_tenant_scale",
+            &mut || multi_tenant::tenant_new(mt_spec, MT_PROCS),
+            &mut || multi_tenant::tenant_seed(mt_spec, MT_PROCS),
         ),
     ]
 }
@@ -227,14 +248,26 @@ fn main() {
     let mut json = String::from("{\n  \"benches\": {\n");
     for (i, p) in pairs.iter().enumerate() {
         let comma = if i + 1 < pairs.len() { "," } else { "" };
+        // The scale pair also records its absolute throughput: forks
+        // per wall-clock second of the arena world's side.
+        let extras = if p.name == "multi_tenant_scale" {
+            let procs_per_sec = MT_PROCS as f64 / (p.new_ns * 1e-9);
+            format!(
+                ", \"users\": {MT_USERS}, \"hosts\": {MT_HOSTS}, \"procs_per_call\": {MT_PROCS}, \
+                 \"procs_per_sec\": {procs_per_sec:.0}"
+            )
+        } else {
+            String::new()
+        };
         json.push_str(&format!(
             "    \"{}\": {{ \"new_median_ns\": {:.0}, \"seed_median_ns\": {:.0}, \
-             \"ratio\": {:.4}, \"improvement_pct\": {:.1} }}{}\n",
+             \"ratio\": {:.4}, \"improvement_pct\": {:.1}{} }}{}\n",
             p.name,
             p.new_ns,
             p.seed_ns,
             p.ratio,
             p.improvement_pct(),
+            extras,
             comma,
         ));
         println!(
@@ -246,18 +279,19 @@ fn main() {
         );
     }
     json.push_str("  },\n  \"previous\": {\n");
-    if let Ok(pr3) = std::fs::read_to_string(PR3_JSON) {
+    if let Ok(pr4) = std::fs::read_to_string(PR4_JSON) {
         let carried: Vec<String> = [
             "engine_hotpath",
             "codec_roundtrip",
             "genealogy_scale",
             "gather_chain32",
             "timer_wheel_retransmit",
+            "obs_overhead",
         ]
         .iter()
         .filter_map(|name| {
-            let new = json_field(&pr3, name, "new_median_ns")?;
-            let seed = json_field(&pr3, name, "seed_median_ns")?;
+            let new = json_field(&pr4, name, "new_median_ns")?;
+            let seed = json_field(&pr4, name, "seed_median_ns")?;
             Some(format!(
                 "    \"{name}\": {{ \"new_median_ns\": {new:.0}, \"seed_median_ns\": {seed:.0} }}"
             ))
@@ -268,14 +302,20 @@ fn main() {
     }
     json.push_str("  },\n  \"samples\": ");
     json.push_str(&SAMPLES.to_string());
+    if let Some(kb) = multi_tenant::peak_rss_kb() {
+        json.push_str(&format!(",\n  \"peak_rss_kb\": {kb}"));
+    }
     json.push_str(
         ",\n  \"note\": \"median ns per workload call; seed_* are bench-local copies of \
          the pre-PR implementations, measured in the same run; timer_wheel_retransmit's \
          seed is the PR 1 indexed heap; obs_overhead's seed is the plain wheel and its \
-         ratio is the observability overhead (absolute gate ceiling 1.05); previous \
-         carries the checked-in PR 3 medians\"\n}\n",
+         ratio is the observability overhead (absolute gate ceiling 1.05); \
+         multi_tenant_scale's seed is a per-record-allocation map world running the \
+         identical storm (digest-checked) and procs_per_sec is its arena side's \
+         absolute fork throughput; peak_rss_kb is the bench process's VmHWM; previous \
+         carries the checked-in PR 4 medians\"\n}\n",
     );
 
-    std::fs::write("BENCH_PR4.json", &json).expect("write BENCH_PR4.json");
-    println!("wrote BENCH_PR4.json");
+    std::fs::write("BENCH_PR6.json", &json).expect("write BENCH_PR6.json");
+    println!("wrote BENCH_PR6.json");
 }

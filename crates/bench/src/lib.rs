@@ -8,6 +8,8 @@
 //! * [`figures`] — textual regenerations of Figures 1–5;
 //! * [`ablate`] — ablations of the design choices DESIGN.md calls out;
 //! * [`hotpath`] — paired new-vs-seed workloads for the optimised hot paths;
+//! * [`multi_tenant`] — the sharded-arena storm world vs a per-record
+//!   allocation baseline, digest-checked;
 //! * [`scale`] — the tens-of-nodes stress test the paper deferred.
 //!
 //! Every measurement is *simulated* milliseconds from the calibrated
@@ -16,6 +18,7 @@
 pub mod ablate;
 pub mod figures;
 pub mod hotpath;
+pub mod multi_tenant;
 pub mod scale;
 pub mod table1;
 pub mod table2;

@@ -59,6 +59,7 @@ pub mod lpm;
 pub mod obs;
 pub mod pmd;
 pub(crate) mod rpc;
+pub mod tenant;
 pub mod trigger_engine;
 pub mod users;
 
@@ -68,4 +69,5 @@ pub use config::{lpm_port, PpmConfig, PMD_PORT, PMD_SERVICE};
 pub use harness::{HarnessBuilder, HarnessError, PpmHarness};
 pub use lpm::{Lpm, LpmStats};
 pub use pmd::{Pmd, PmdOptions};
+pub use tenant::{ScaleReport, TenantWorld, UserShard};
 pub use users::{UserDirectory, UserEntry};

@@ -51,6 +51,10 @@ pub struct Pmd {
     users: Rc<UserDirectory>,
     options: PmdOptions,
     registry: HashMap<u32, (Pid, Port)>,
+    /// Reverse index of `registry`: LPM pid → owning uid. Keeps the
+    /// child-exit path (which arrives with only a pid) O(1) instead of a
+    /// scan over every registered user on the host.
+    lpm_pids: HashMap<Pid, u32>,
     /// Name-server role: per-user CCS assignment (Section 5 alternative).
     ccs_registry: HashMap<u32, (String, u64)>,
     port: Port,
@@ -74,10 +78,20 @@ impl Pmd {
             users,
             options,
             registry: HashMap::new(),
+            lpm_pids: HashMap::new(),
             ccs_registry: HashMap::new(),
             port,
             requests_served: 0,
         }
+    }
+
+    /// Records a user's LPM in the registry and the pid reverse index,
+    /// retiring the replaced pid's mapping if the user had one.
+    fn register(&mut self, user: u32, pid: Pid, port: Port) {
+        if let Some((old, _)) = self.registry.insert(user, (pid, port)) {
+            self.lpm_pids.remove(&old);
+        }
+        self.lpm_pids.insert(pid, user);
     }
 
     fn persist(&mut self, sys: &mut Sys<'_>) {
@@ -118,7 +132,7 @@ impl Pmd {
                 .proc_info(Pid(pid))
                 .is_some_and(|p| p.state.is_alive() && p.command.starts_with("lpm"));
             if live {
-                self.registry.insert(uid, (Pid(pid), Port(port)));
+                self.register(uid, Pid(pid), Port(port));
             } else if self.options.respawn_lpms {
                 let crashed_at = crash_stamp(sys).unwrap_or_else(|| sys.now());
                 self.respawn_lpm(sys, uid, crashed_at);
@@ -212,7 +226,7 @@ impl Pmd {
         let program = Lpm::new(&entry);
         let spec = SpawnSpec::new(format!("lpm-{user}"), Box::new(program));
         let pid = sys.spawn_as(Uid(user), spec).ok()?;
-        self.registry.insert(user, (pid, port));
+        self.register(user, pid, port);
         self.persist(sys);
         sys.trace(
             TraceCategory::Daemon,
@@ -230,7 +244,7 @@ impl Pmd {
         let program = Lpm::respawned(&entry, crashed_at);
         let spec = SpawnSpec::new(format!("lpm-{user}"), Box::new(program));
         let pid = sys.spawn_as(Uid(user), spec).ok()?;
-        self.registry.insert(user, (pid, port));
+        self.register(user, pid, port);
         self.persist(sys);
         sys.trace(
             TraceCategory::Daemon,
@@ -289,6 +303,14 @@ impl Program for Pmd {
     }
 
     fn on_child_exit(&mut self, sys: &mut Sys<'_>, child: Pid, status: ExitStatus) {
+        // O(1) pid → uid through the reverse index — a host carrying
+        // thousands of users must not rescan its whole registry per
+        // child exit. The dead pid leaves the index either way; the
+        // user's forward entry stays until a respawn or re-create
+        // replaces it (`live_lpm` validates against the kernel).
+        let Some(user) = self.lpm_pids.remove(&child) else {
+            return;
+        };
         if !self.options.respawn_lpms {
             return;
         }
@@ -296,9 +318,6 @@ impl Program for Pmd {
         if !matches!(status, ExitStatus::Signaled(_)) {
             return;
         }
-        let Some((&user, _)) = self.registry.iter().find(|(_, &(pid, _))| pid == child) else {
-            return;
-        };
         sys.trace(
             TraceCategory::Daemon,
             format!("pmd: LPM pid {child} for uid {user} died ({status:?}); respawning"),

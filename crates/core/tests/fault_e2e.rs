@@ -20,6 +20,7 @@ use ppm_simos::ids::{Pid, Uid};
 use ppm_simos::signal::Signal;
 
 const USER: Uid = Uid(100);
+const OTHER: Uid = Uid(200);
 
 fn harness() -> PpmHarness {
     PpmHarness::builder()
@@ -37,6 +38,29 @@ fn harness() -> PpmHarness {
         .build()
 }
 
+/// The same network with a second, unrelated tenant sharing every host.
+fn two_user_harness() -> PpmHarness {
+    PpmHarness::builder()
+        .seed(0xFA017)
+        .host("home", CpuClass::Vax780)
+        .host("work", CpuClass::Sun2)
+        .host("far", CpuClass::Sun2)
+        .link("home", "work")
+        .link("work", "far")
+        .pmd_options(PmdOptions {
+            stable_storage: true,
+            respawn_lpms: true,
+        })
+        .user(USER, 0xFA017, &["home", "work"], PpmConfig::fast_recovery())
+        .user(
+            OTHER,
+            0xFA200,
+            &["home", "work"],
+            PpmConfig::fast_recovery(),
+        )
+        .build()
+}
+
 /// The pid of the live LPM process on `host`, if any.
 fn lpm_pid(ppm: &PpmHarness, host: &str) -> Option<Pid> {
     let h = ppm.world().core().host_by_name(host)?;
@@ -45,6 +69,19 @@ fn lpm_pid(ppm: &PpmHarness, host: &str) -> Option<Pid> {
         .kernel(h)
         .processes()
         .find(|p| p.command.starts_with("lpm") && p.is_alive())
+        .map(|p| p.pid)
+}
+
+/// The pid of `uid`'s live LPM on `host` — the per-tenant variant for
+/// networks where several users keep LPMs on the same host.
+fn lpm_pid_of(ppm: &PpmHarness, host: &str, uid: Uid) -> Option<Pid> {
+    let h = ppm.world().core().host_by_name(host)?;
+    let name = format!("lpm-{}", uid.0);
+    ppm.world()
+        .core()
+        .kernel(h)
+        .processes()
+        .find(|p| p.command == name && p.is_alive())
         .map(|p| p.pid)
 }
 
@@ -282,6 +319,107 @@ fn forced_duplication_preserves_exactly_once() {
             "{name} executed exactly once despite duplicated delivery"
         );
     }
+}
+
+/// Two tenants on the same hosts: one user's sweep never observes the
+/// other's processes — before a crash, while one tenant's LPM is dead,
+/// and after the respawned LPM re-adopts its survivors. The crash of
+/// tenant A's LPM must also leave tenant B's LPM process untouched.
+#[test]
+fn tenant_isolation_holds_across_lpm_crash_and_readoption() {
+    let mut ppm = two_user_harness();
+
+    // Each tenant runs a distinctly named computation on work.
+    for i in 0..3 {
+        ppm.spawn_remote("home", USER, "work", &format!("alpha-{i}"), None, None)
+            .expect("spawn for USER");
+    }
+    for i in 0..2 {
+        ppm.spawn_remote("home", OTHER, "work", &format!("beta-{i}"), None, None)
+            .expect("spawn for OTHER");
+    }
+    ppm.run_for(SimDuration::from_secs(1));
+
+    let sweep = |ppm: &mut PpmHarness, uid: Uid| -> Vec<ppm_proto::types::ProcRecord> {
+        ppm.snapshot("home", uid, "*").expect("snapshot")
+    };
+    let disjoint = |ppm: &mut PpmHarness| {
+        let a = sweep(ppm, USER);
+        let b = sweep(ppm, OTHER);
+        assert!(
+            a.iter().all(|p| !p.command.starts_with("beta")),
+            "USER's sweep leaked OTHER's processes: {a:?}"
+        );
+        assert!(
+            b.iter().all(|p| !p.command.starts_with("alpha")),
+            "OTHER's sweep leaked USER's processes: {b:?}"
+        );
+        let apids: BTreeSet<u32> = a
+            .iter()
+            .filter(|p| p.gpid.host == "work")
+            .map(|p| p.gpid.pid)
+            .collect();
+        let bpids: BTreeSet<u32> = b
+            .iter()
+            .filter(|p| p.gpid.host == "work")
+            .map(|p| p.gpid.pid)
+            .collect();
+        assert!(apids.is_disjoint(&bpids), "tenants share pids on work");
+    };
+    disjoint(&mut ppm);
+
+    let user_before: BTreeSet<u32> = sweep(&mut ppm, USER)
+        .into_iter()
+        .filter(|p| p.gpid.host == "work" && p.adopted && p.state != WireProcState::Dead)
+        .map(|p| p.gpid.pid)
+        .collect();
+    assert_eq!(user_before.len(), 3);
+
+    // Kill USER's LPM on work; OTHER's LPM on the same host must survive.
+    let victim = lpm_pid_of(&ppm, "work", USER).expect("USER has an LPM on work");
+    let bystander = lpm_pid_of(&ppm, "work", OTHER).expect("OTHER has an LPM on work");
+    let h = ppm.host("work").unwrap();
+    ppm.world_mut()
+        .post_signal(Uid::ROOT, (h, victim), Signal::Kill)
+        .expect("kill USER's LPM");
+
+    // While USER's LPM is down, OTHER's view is unperturbed and clean.
+    ppm.run_for(SimDuration::from_millis(200));
+    let b = sweep(&mut ppm, OTHER);
+    assert_eq!(
+        b.iter()
+            .filter(|p| p.command.starts_with("beta") && p.state != WireProcState::Dead)
+            .count(),
+        2,
+        "OTHER's computation is intact mid-crash"
+    );
+    assert!(b.iter().all(|p| !p.command.starts_with("alpha")));
+
+    ppm.run_for(SimDuration::from_secs(5));
+
+    // USER's replacement LPM re-adopted exactly the pre-crash set.
+    let respawned = lpm_pid_of(&ppm, "work", USER).expect("USER's LPM respawned");
+    assert_ne!(respawned, victim);
+    assert_eq!(
+        lpm_pid_of(&ppm, "work", OTHER),
+        Some(bystander),
+        "OTHER's LPM was never restarted"
+    );
+    let user_after: BTreeSet<u32> = sweep(&mut ppm, USER)
+        .into_iter()
+        .filter(|p| p.gpid.host == "work" && p.adopted && p.state != WireProcState::Dead)
+        .map(|p| p.gpid.pid)
+        .collect();
+    assert_eq!(
+        user_after, user_before,
+        "re-adoption restored USER's forest"
+    );
+    disjoint(&mut ppm);
+
+    // The restart is attributed to USER's registry section only.
+    let report = ppm.metrics_report();
+    assert!(report.contains("work/uid100 lpm.restarts 1"), "{report}");
+    assert!(report.contains("work/uid200 lpm.restarts 0"), "{report}");
 }
 
 /// The same plan and seed replayed from scratch produce byte-identical

@@ -66,8 +66,8 @@ proptest! {
             // Invariant: every child reference points at a tracked node
             // whose ppid points back.
             for &pid in &pids {
-                if let Some(node) = g.get(pid) {
-                    for &c in &node.children {
+                if g.contains(pid) {
+                    for c in g.children(pid) {
                         let child = g.get(c);
                         prop_assert!(child.is_some(), "dangling child {c} of {pid}");
                         prop_assert_eq!(child.unwrap().ppid, pid);

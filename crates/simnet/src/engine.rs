@@ -7,16 +7,23 @@
 //!
 //! # Implementation
 //!
-//! The queue is an **index-tracked 4-ary min-heap**: a flat `Vec` ordered
-//! by `(time, seq)` plus a sequence-number → slot map kept in sync on
-//! every swap. The index makes [`Engine::cancel`] a true O(log n)
-//! removal — the event leaves the heap immediately instead of lingering
-//! as a tombstone until it surfaces — so [`Engine::pending`] is exact and
-//! [`Engine::pop`] never grinds through dead entries. Timer-heavy
-//! workloads (retransmit timers, TTL checks, handler timeouts) cancel far
-//! more events than they fire, which is what this layout is tuned for: a
-//! 4-ary heap halves the tree depth of a binary heap and keeps each
-//! node's children in one cache line's reach.
+//! The queue is an **index-tracked 4-ary min-heap** over a **generational
+//! slot arena**: a flat `Vec` ordered by `(time, seq)` whose entries each
+//! carry the index of a slot in a side arena, and the slot records where
+//! its entry currently sits in the heap. [`EventId`] packs
+//! `generation << 32 | slot`, so a cancel is two bounds-checked `Vec`
+//! reads (stale generations from fired or cancelled events simply miss)
+//! and every swap along a sift path costs one plain `Vec` write — no
+//! hashing anywhere on the schedule/cancel/pop path. Slots are recycled
+//! through a free list, so long runs settle into a working set the size
+//! of the pending window. The index makes [`Engine::cancel`] a true
+//! O(log n) removal — the event leaves the heap immediately instead of
+//! lingering as a tombstone until it surfaces — so [`Engine::pending`] is
+//! exact and [`Engine::pop`] never grinds through dead entries.
+//! Timer-heavy workloads (retransmit timers, TTL checks, handler
+//! timeouts) cancel far more events than they fire, which is what this
+//! layout is tuned for: a 4-ary heap halves the tree depth of a binary
+//! heap and keeps each node's children in one cache line's reach.
 //!
 //! Ordering is the same total order `(at, seq)` the previous
 //! `BinaryHeap`-based engine used, so event delivery order — and thus
@@ -25,11 +32,16 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::hashx::{FastMap, FastSet};
+use crate::hashx::FastSet;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier handed back by [`Engine::schedule`], usable to cancel the
 /// event before it fires.
+///
+/// Internally the [`Engine`] packs `generation << 32 | arena slot`; the
+/// [`TimerWheel`] stores its sequence number. Both are opaque: the only
+/// operation an id supports is being handed back to the queue it came
+/// from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
@@ -55,6 +67,8 @@ pub struct QueueStats {
 struct Scheduled<E> {
     at: SimTime,
     seq: u64,
+    /// Arena slot backing this entry's [`EventId`].
+    slot: u32,
     payload: E,
 }
 
@@ -64,6 +78,18 @@ impl<E> Scheduled<E> {
     fn key(&self) -> (SimTime, u64) {
         (self.at, self.seq)
     }
+}
+
+/// Arena-side record of one live event: which generation of the slot is
+/// current and where the entry sits in the heap. The generation advances
+/// every time the slot is retired (fire or cancel), so stale ids held by
+/// callers can never alias a recycled slot — short of 2^32 reuses of the
+/// same slot between a schedule and its cancel, which no bounded run
+/// approaches.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    gen: u32,
+    pos: u32,
 }
 
 /// Number of children per heap node. Four keeps sift-down comparisons
@@ -94,8 +120,11 @@ pub struct Engine<E> {
     seq: u64,
     /// 4-ary min-heap ordered by `(at, seq)`.
     heap: Vec<Scheduled<E>>,
-    /// Live events only: sequence number → current heap slot.
-    pos: FastMap<u64, usize>,
+    /// Generational slot arena: one entry per slot ever allocated, live
+    /// or free. Indexed by the low 32 bits of an [`EventId`].
+    slots: Vec<SlotMeta>,
+    /// Retired slots available for reuse, LIFO for cache warmth.
+    free: Vec<u32>,
     processed: u64,
     cancelled: u64,
 }
@@ -113,7 +142,8 @@ impl<E> Engine<E> {
             now: SimTime::ZERO,
             seq: 0,
             heap: Vec::new(),
-            pos: FastMap::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
             processed: 0,
             cancelled: 0,
         }
@@ -161,11 +191,24 @@ impl<E> Engine<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        let slot = self.heap.len();
-        self.heap.push(Scheduled { at, seq, payload });
-        self.pos.insert(seq, slot);
-        self.sift_up(slot);
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(SlotMeta { gen: 0, pos: 0 });
+                s
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(Scheduled {
+            at,
+            seq,
+            slot,
+            payload,
+        });
+        self.slots[slot as usize].pos = pos as u32;
+        self.sift_up(pos);
+        EventId(u64::from(self.slots[slot as usize].gen) << 32 | u64::from(slot))
     }
 
     /// Cancels a previously scheduled event, removing it from the queue
@@ -173,13 +216,19 @@ impl<E> Engine<E> {
     ///
     /// Returns `true` if the event had not yet fired (or been cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        match self.pos.remove(&id.0) {
-            Some(slot) => {
-                self.remove_slot(slot);
+        let slot = (id.0 & u64::from(u32::MAX)) as u32;
+        let gen = (id.0 >> 32) as u32;
+        match self.slots.get(slot as usize) {
+            // A matching generation means the slot has not been retired
+            // since this id was issued: the event is still pending.
+            Some(meta) if meta.gen == gen => {
+                let pos = meta.pos as usize;
+                self.retire(slot);
+                self.remove_at(pos);
                 self.cancelled += 1;
                 true
             }
-            None => false,
+            _ => false,
         }
     }
 
@@ -193,8 +242,9 @@ impl<E> Engine<E> {
         if self.heap.is_empty() {
             return None;
         }
-        let s = self.remove_slot(0);
-        self.pos.remove(&s.seq);
+        let slot = self.heap[0].slot;
+        self.retire(slot);
+        let s = self.remove_at(0);
         debug_assert!(s.at >= self.now, "event queue time went backwards");
         self.now = s.at;
         self.processed += 1;
@@ -226,60 +276,71 @@ impl<E> Engine<E> {
     /// the burst's memory without affecting pending events.
     pub fn compact(&mut self) {
         self.heap.shrink_to_fit();
-        self.pos.shrink_to_fit();
+        self.free.shrink_to_fit();
     }
 
-    /// Removes and returns the element at `slot`, restoring the heap
-    /// order around the hole. The caller maintains `pos` for the removed
-    /// element; this method fixes it for every element it moves.
-    fn remove_slot(&mut self, slot: usize) -> Scheduled<E> {
+    /// Retires `slot`: advances its generation (invalidating the issued
+    /// id) and returns it to the free list.
+    #[inline]
+    fn retire(&mut self, slot: u32) {
+        let meta = &mut self.slots[slot as usize];
+        meta.gen = meta.gen.wrapping_add(1);
+        self.free.push(slot);
+    }
+
+    /// Removes and returns the element at heap position `pos`, restoring
+    /// the heap order around the hole. The caller retires the removed
+    /// element's slot; this method fixes the arena position of every
+    /// element it moves.
+    fn remove_at(&mut self, pos: usize) -> Scheduled<E> {
         let last = self.heap.len() - 1;
-        if slot == last {
-            return self.heap.pop().expect("slot in bounds");
+        if pos == last {
+            return self.heap.pop().expect("pos in bounds");
         }
-        self.heap.swap(slot, last);
-        let removed = self.heap.pop().expect("slot in bounds");
-        self.pos.insert(self.heap[slot].seq, slot);
+        self.heap.swap(pos, last);
+        let removed = self.heap.pop().expect("pos in bounds");
+        self.slots[self.heap[pos].slot as usize].pos = pos as u32;
         // The swapped-in tail can be out of order in either direction
         // relative to its new neighborhood.
-        let slot = self.sift_down(slot);
-        self.sift_up(slot);
+        let pos = self.sift_down(pos);
+        self.sift_up(pos);
         removed
     }
 
-    /// Moves `slot` toward the root until its parent is no larger.
+    /// Moves the element at `pos` toward the root until its parent is no
+    /// larger.
     ///
     /// The sifted element's key is fixed for the whole walk, so it is read
     /// once; each displaced parent gets exactly one index write, and the
     /// sifted element one final write (none at all if it never moves).
-    fn sift_up(&mut self, slot: usize) -> usize {
-        let key = self.heap[slot].key();
-        let start = slot;
-        let mut slot = slot;
-        while slot > 0 {
-            let parent = (slot - 1) / ARITY;
+    fn sift_up(&mut self, pos: usize) -> usize {
+        let key = self.heap[pos].key();
+        let start = pos;
+        let mut pos = pos;
+        while pos > 0 {
+            let parent = (pos - 1) / ARITY;
             if key >= self.heap[parent].key() {
                 break;
             }
-            self.heap.swap(slot, parent);
-            // The displaced parent now sits at `slot`.
-            self.pos.insert(self.heap[slot].seq, slot);
-            slot = parent;
+            self.heap.swap(pos, parent);
+            // The displaced parent now sits at `pos`.
+            self.slots[self.heap[pos].slot as usize].pos = pos as u32;
+            pos = parent;
         }
-        if slot != start {
-            self.pos.insert(self.heap[slot].seq, slot);
+        if pos != start {
+            self.slots[self.heap[pos].slot as usize].pos = pos as u32;
         }
-        slot
+        pos
     }
 
-    /// Moves `slot` toward the leaves until no child is smaller. Same
-    /// index-write discipline as [`Engine::sift_up`].
-    fn sift_down(&mut self, slot: usize) -> usize {
-        let key = self.heap[slot].key();
-        let start = slot;
-        let mut slot = slot;
+    /// Moves the element at `pos` toward the leaves until no child is
+    /// smaller. Same index-write discipline as [`Engine::sift_up`].
+    fn sift_down(&mut self, pos: usize) -> usize {
+        let key = self.heap[pos].key();
+        let start = pos;
+        let mut pos = pos;
         loop {
-            let first_child = slot * ARITY + 1;
+            let first_child = pos * ARITY + 1;
             if first_child >= self.heap.len() {
                 break;
             }
@@ -296,15 +357,15 @@ impl<E> Engine<E> {
             if best_key >= key {
                 break;
             }
-            self.heap.swap(slot, best);
-            // The displaced child now sits at `slot`.
-            self.pos.insert(self.heap[slot].seq, slot);
-            slot = best;
+            self.heap.swap(pos, best);
+            // The displaced child now sits at `pos`.
+            self.slots[self.heap[pos].slot as usize].pos = pos as u32;
+            pos = best;
         }
-        if slot != start {
-            self.pos.insert(self.heap[slot].seq, slot);
+        if pos != start {
+            self.slots[self.heap[pos].slot as usize].pos = pos as u32;
         }
-        slot
+        pos
     }
 }
 
@@ -759,6 +820,18 @@ mod tests {
     }
 
     #[test]
+    fn stale_ids_never_alias_recycled_slots() {
+        let mut e: Engine<u8> = Engine::new();
+        let a = e.schedule(ms(1), 1);
+        assert_eq!(e.pop().map(|(_, v)| v), Some(1));
+        // The freed slot is recycled with a bumped generation.
+        let b = e.schedule(ms(2), 2);
+        assert!(!e.cancel(a), "stale id misses the recycled slot");
+        assert!(e.cancel(b), "fresh id still cancels");
+        assert_eq!(e.pending(), 0);
+    }
+
+    #[test]
     fn pending_excludes_cancelled() {
         let mut e: Engine<u32> = Engine::new();
         let ids: Vec<_> = (0..100).map(|i| e.schedule(ms(i % 13), i as u32)).collect();
@@ -790,7 +863,8 @@ mod tests {
         let mut last: Option<(SimTime, u64)> = None;
         let mut seen = 0;
         while let Some((t, i)) = e.pop() {
-            let key = (t, ids[i].0);
+            // Events were scheduled in index order, so index == seq.
+            let key = (t, i as u64);
             assert!(Some(key) > last, "pop order is strictly (time, seq)");
             last = Some(key);
             assert_ne!(i % 3, 1, "cancelled events never fire");

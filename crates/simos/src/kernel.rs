@@ -4,6 +4,7 @@
 //! [`crate::world::World`] drives it and turns its decisions into
 //! scheduled events.
 
+use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -21,9 +22,19 @@ use crate::signal::ExitStatus;
 pub const EXITED_RETENTION: usize = 512;
 
 /// One host's kernel state.
+///
+/// The process table is sharded by owner: alongside the global pid map,
+/// a per-uid index of live pids keeps every user-scoped question —
+/// `user_processes`, the LPM's recovery rescan, the pmd's per-user
+/// dispatch — proportional to that user's own processes rather than to
+/// the whole host's table. With thousands of users per host, the global
+/// scan the index replaces was the multi-tenant bottleneck.
 #[derive(Debug)]
 pub struct Kernel {
     procs: HashMap<Pid, Process>,
+    /// Live pids per owner, pid-ordered. Maintained on insert and exit;
+    /// a uid's entry is removed when its last live pid exits.
+    by_uid: HashMap<Uid, BTreeSet<Pid>>,
     exited_order: VecDeque<Pid>,
     next_pid: u32,
     load_avg: f64,
@@ -35,6 +46,7 @@ impl Kernel {
     pub fn new(now: SimTime) -> Self {
         let mut k = Kernel {
             procs: HashMap::new(),
+            by_uid: HashMap::new(),
             exited_order: VecDeque::new(),
             next_pid: 2,
             load_avg: 0.0,
@@ -42,6 +54,7 @@ impl Kernel {
         };
         let mut init = Process::new(Pid::INIT, Pid::INIT, Uid::ROOT, "init", now);
         init.state = ProcState::Running;
+        k.by_uid.entry(Uid::ROOT).or_default().insert(Pid::INIT);
         k.procs.insert(Pid::INIT, init);
         k
     }
@@ -75,6 +88,7 @@ impl Kernel {
     pub fn insert(&mut self, proc: Process) {
         let pid = proc.pid;
         let ppid = proc.ppid;
+        self.by_uid.entry(proc.uid).or_default().insert(pid);
         assert!(
             self.procs.insert(pid, proc).is_none(),
             "pid {pid} already in process table"
@@ -118,11 +132,14 @@ impl Kernel {
         pids.into_iter().map(move |pid| &self.procs[&pid])
     }
 
-    /// Live processes owned by `uid`, in pid order.
+    /// Live processes owned by `uid`, in pid order. Served from the
+    /// per-uid shard index: O(user's own processes), independent of how
+    /// many other tenants the host carries.
     pub fn user_processes(&self, uid: Uid) -> Vec<&Process> {
-        self.processes()
-            .filter(|p| p.uid == uid && p.is_alive())
-            .collect()
+        match self.by_uid.get(&uid) {
+            Some(pids) => pids.iter().map(|pid| &self.procs[pid]).collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Marks a process exited, detaches it from the run queue, reparents
@@ -135,13 +152,22 @@ impl Kernel {
     /// Panics if `pid` is not a live process (callers check first).
     pub fn finish_exit(&mut self, pid: Pid, status: ExitStatus, now: SimTime) -> Vec<Pid> {
         let children;
+        let uid;
         {
             let p = self.procs.get_mut(&pid).expect("exiting pid exists");
             assert!(p.is_alive(), "double exit of pid {pid}");
             p.state = ProcState::Exited(status);
             p.exited_at = Some(now);
             p.cpu_bound = false;
+            uid = p.uid;
             children = std::mem::take(&mut p.children);
+        }
+        // The exited pid leaves its owner's shard of the live index.
+        if let Some(pids) = self.by_uid.get_mut(&uid) {
+            pids.remove(&pid);
+            if pids.is_empty() {
+                self.by_uid.remove(&uid);
+            }
         }
         // Reparent live children to init.
         for &c in &children {
@@ -284,6 +310,24 @@ mod tests {
         k.finish_exit(c, ExitStatus::SUCCESS, SimTime::ZERO);
         let mine: Vec<Pid> = k.user_processes(Uid(100)).iter().map(|p| p.pid).collect();
         assert_eq!(mine, vec![a]);
+    }
+
+    #[test]
+    fn user_index_tracks_exits_and_reboot() {
+        let mut k = kern();
+        let a = add(&mut k, Pid::INIT, Uid(100), "a");
+        let b = add(&mut k, Pid::INIT, Uid(100), "b");
+        let c = add(&mut k, Pid::INIT, Uid(200), "c");
+        assert_eq!(k.user_processes(Uid(100)).len(), 2);
+        k.finish_exit(a, ExitStatus::SUCCESS, SimTime::ZERO);
+        let mine: Vec<Pid> = k.user_processes(Uid(100)).iter().map(|p| p.pid).collect();
+        assert_eq!(mine, vec![b], "exited pid left the shard");
+        k.finish_exit(b, ExitStatus::SUCCESS, SimTime::ZERO);
+        assert!(k.user_processes(Uid(100)).is_empty(), "empty shard drained");
+        assert_eq!(k.user_processes(Uid(200))[0].pid, c);
+        k.reboot(SimTime::from_secs(1));
+        assert!(k.user_processes(Uid(200)).is_empty(), "reboot wipes shards");
+        assert_eq!(k.user_processes(Uid::ROOT).len(), 1, "init re-indexed");
     }
 
     #[test]

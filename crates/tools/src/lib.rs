@@ -17,7 +17,8 @@
 //! * [`display`] — the one-call dashboard of the user's whole PPM;
 //! * [`computation`] — locate a distributed computation's execution sites
 //!   and broadcast software interrupts to every member;
-//! * [`metrics`] — pull a live LPM's metrics registry over the wire.
+//! * [`metrics`] — pull a live LPM's metrics registry over the wire;
+//! * [`tenant_view`] — per-user displays of the multi-tenant scale world.
 
 pub mod computation;
 pub mod display;
@@ -28,6 +29,7 @@ pub mod ipc_tool;
 pub mod metrics;
 pub mod rusage_tool;
 pub mod snapshot;
+pub mod tenant_view;
 
 pub use forest::{Forest, ForestNode};
 pub use snapshot::SnapshotTool;

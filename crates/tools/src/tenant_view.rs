@@ -1,0 +1,159 @@
+//! Per-tenant views of the multi-tenant scale world.
+//!
+//! The paper's display tools are *personal*: a user's snapshot shows that
+//! user's computation tree and nobody else's. At multi-tenant scale the
+//! same rule holds structurally — every renderer here takes one
+//! [`UserShard`] (or names one user of a [`TenantWorld`]), so a view of
+//! user A is built exclusively from A's arenas and can never observe
+//! user B's processes. The world-level summary aggregates only per-shard
+//! totals, never individual records.
+
+use std::fmt::Write as _;
+
+use ppm_core::tenant::{TenantWorld, UserShard};
+
+use crate::forest::Forest;
+
+/// Assembles one user's whole distributed forest — every host's arena
+/// slice of that shard, linked by local and cross-host logical edges.
+pub fn user_forest(shard: &UserShard) -> Forest {
+    Forest::build(shard.snapshot())
+}
+
+/// Renders one user's display: identity, per-host manager slots, and the
+/// shard's forest shape. Deterministic text, sorted by host.
+pub fn render_user(world: &TenantWorld, user: u32) -> String {
+    let shard = world.shard(user);
+    let forest = user_forest(shard);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} forked {} exited {} live {} tracked {}",
+        shard.uid(),
+        shard.forked,
+        shard.exited,
+        shard.live_total(),
+        shard.tracked_total()
+    );
+    for host in shard.lpm_hosts() {
+        let slot = shard.lpm(host).expect("listed host has a slot");
+        let tracked = shard.genealogy(host).map_or(0, |g| g.len());
+        let _ = writeln!(
+            out,
+            "  {} lpm pid {} port {} forks {} tracked {}",
+            world.host_name(host),
+            slot.pid,
+            slot.port,
+            slot.forks,
+            tracked
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  forest {} processes in {} trees on {} hosts",
+        forest.len(),
+        forest.tree_count(),
+        forest.hosts().len()
+    );
+    out
+}
+
+/// Renders the world's top-`n` users by fork count: the operator's view
+/// of where the storm's Zipf mass went. Aggregates per-shard totals only.
+pub fn render_top(world: &TenantWorld, n: usize) -> String {
+    let mut ranked: Vec<(u64, u32)> = world
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(rank, s)| (s.forked, rank as u32))
+        .collect();
+    ranked.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut out = String::from("rank uid forked exited live lpm_hosts\n");
+    for &(forked, rank) in ranked.iter().take(n) {
+        let shard = world.shard(rank);
+        let _ = writeln!(
+            out,
+            "{rank} {} {forked} {} {} {}",
+            shard.uid(),
+            shard.exited,
+            shard.live_total(),
+            shard.lpm_hosts().len()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppm_simos::workload::StormSpec;
+    use std::collections::BTreeSet;
+
+    fn small_world() -> TenantWorld {
+        let mut world = TenantWorld::new(StormSpec::new(8, 3, 21), 1_500);
+        world.run();
+        world
+    }
+
+    #[test]
+    fn a_users_view_never_shows_another_tenant() {
+        let world = small_world();
+        // Collect each shard's (host, pid) identities; any forest built
+        // for user A must draw only from A's set.
+        let owned: Vec<BTreeSet<(String, u32)>> = world
+            .shards()
+            .iter()
+            .map(|s| {
+                s.snapshot()
+                    .into_iter()
+                    .map(|r| (r.gpid.host.clone(), r.gpid.pid))
+                    .collect()
+            })
+            .collect();
+        for (user, mine) in owned.iter().enumerate() {
+            let forest = user_forest(world.shard(user as u32));
+            for root in forest.roots() {
+                for (_, node) in forest.walk(root) {
+                    let key = (node.record.gpid.host.clone(), node.record.gpid.pid);
+                    assert!(
+                        mine.contains(&key),
+                        "user {user}'s forest shows {} it does not own",
+                        node.record.gpid
+                    );
+                    for (other, theirs) in owned.iter().enumerate() {
+                        if other != user {
+                            assert!(
+                                !theirs.contains(&key),
+                                "{} visible to user {user} belongs to {other}",
+                                node.record.gpid
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(render_top(&a, 5), render_top(&b, 5));
+        for u in 0..8 {
+            assert_eq!(render_user(&a, u), render_user(&b, u));
+        }
+    }
+
+    #[test]
+    fn top_table_is_rank_ordered_by_forks() {
+        let world = small_world();
+        let table = render_top(&world, 8);
+        let forked: Vec<u64> = table
+            .lines()
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(2).unwrap().parse().unwrap())
+            .collect();
+        assert!(forked.windows(2).all(|w| w[0] >= w[1]), "sorted: {table}");
+        assert_eq!(forked.iter().sum::<u64>(), 1_500, "every fork attributed");
+    }
+}

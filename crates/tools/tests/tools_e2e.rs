@@ -12,6 +12,7 @@ use ppm_simos::ids::{Pid, Uid};
 use ppm_tools::{computation, display, SnapshotTool};
 
 const USER: Uid = Uid(100);
+const OTHER: Uid = Uid(200);
 
 fn harness() -> PpmHarness {
     PpmHarness::builder()
@@ -19,6 +20,16 @@ fn harness() -> PpmHarness {
         .host("b", CpuClass::Vax750)
         .link("a", "b")
         .user(USER, 0x70015, &["a"], PpmConfig::default())
+        .build()
+}
+
+fn two_user_harness() -> PpmHarness {
+    PpmHarness::builder()
+        .host("a", CpuClass::Vax780)
+        .host("b", CpuClass::Vax750)
+        .link("a", "b")
+        .user(USER, 0x70015, &["a"], PpmConfig::default())
+        .user(OTHER, 0x70200, &["a"], PpmConfig::default())
         .build()
 }
 
@@ -84,6 +95,55 @@ fn computation_locate_tracks_membership_changes() {
     let procs = ppm.snapshot("a", USER, "*").unwrap();
     let dead = procs.iter().find(|p| p.gpid == w1).expect("retained");
     assert_eq!(dead.state, WireProcState::Dead);
+}
+
+/// Every tool speaks for exactly one tenant: with two users running
+/// distinctly named computations on the same hosts, one user's
+/// dashboard, locator and snapshot display never surface the other's
+/// processes.
+#[test]
+fn display_and_locate_are_tenant_scoped() {
+    let mut ppm = two_user_harness();
+
+    // USER: a rooted computation spanning both hosts. OTHER: two
+    // stand-alone jobs on b.
+    let root = ppm
+        .spawn_remote("a", USER, "a", "alpha-root", None, None)
+        .unwrap();
+    for i in 0..2 {
+        ppm.spawn_remote(
+            "a",
+            USER,
+            "b",
+            &format!("alpha-{i}"),
+            Some(root.clone()),
+            None,
+        )
+        .unwrap();
+    }
+    for i in 0..2 {
+        ppm.spawn_remote("a", OTHER, "b", &format!("beta-{i}"), None, None)
+            .unwrap();
+    }
+
+    // The dashboard counts only the calling user's managed processes.
+    let rows = display::gather_status(&mut ppm, "a", USER).unwrap();
+    assert_eq!(rows.iter().find(|r| r.host == "b").unwrap().managed, 2);
+    let rows = display::gather_status(&mut ppm, "a", OTHER).unwrap();
+    assert_eq!(rows.iter().find(|r| r.host == "b").unwrap().managed, 2);
+
+    // Locating USER's computation finds USER's members only; the same
+    // root is invisible to OTHER's sweep.
+    let sites = computation::locate(&mut ppm, "a", USER, &root).unwrap();
+    assert_eq!(sites.members.len(), 3);
+    let sites = computation::locate(&mut ppm, "a", OTHER, &root).unwrap();
+    assert!(sites.members.is_empty(), "OTHER cannot locate USER's root");
+
+    // The snapshot display renders only the calling user's commands.
+    let art = SnapshotTool::new(&mut ppm, "a", USER).show("*").unwrap();
+    assert!(art.contains("alpha-root") && !art.contains("beta"), "{art}");
+    let art = SnapshotTool::new(&mut ppm, "a", OTHER).show("*").unwrap();
+    assert!(art.contains("beta-0") && !art.contains("alpha"), "{art}");
 }
 
 #[test]

@@ -12,6 +12,13 @@
 //! host from its chain predecessor, closed by a whole-network snapshot
 //! sweep the origin gathers across `N - 1` relay hops.
 //!
+//! `--users U --hosts N` runs the multi-tenant scale scenario instead: a
+//! seeded fork/exec/exit storm (`--seed S`, default 1986) of `--procs P`
+//! processes (default `U × 2000`) across `U` per-user shards on `N`
+//! hosts, driven by one discrete-event engine (see `ppm_core::tenant`).
+//! The report on stdout and the `--metrics` file are deterministic;
+//! wall-clock throughput goes to stderr.
+//!
 //! `--metrics <path>` writes every metrics registry in the world (the
 //! kernel event path plus each LPM's counters) as stable text at end of
 //! run. `--spans <path>` enables structured trace spans, writes them as
@@ -59,6 +66,61 @@ fn chain_scenario(n: usize) -> String {
     s
 }
 
+/// The `--users U --hosts N` multi-tenant storm: build a
+/// [`ppm_core::tenant::TenantWorld`], run it to the fork target, print
+/// the deterministic report, and (optionally) write the shard metrics.
+/// Wall-clock throughput is observational, so it goes to stderr where
+/// the determinism diff never sees it.
+fn run_scale(
+    users: u32,
+    hosts: u16,
+    seed: u64,
+    procs: Option<u64>,
+    metrics_path: Option<String>,
+) -> ExitCode {
+    use ppm_core::tenant::TenantWorld;
+    use ppm_simos::workload::StormSpec;
+
+    let mut spec = StormSpec::new(users, hosts, seed);
+    // Hold per-lane fork rates constant while the concurrent population
+    // scales with the user count (capped so lifetimes stay bounded):
+    // with U users the storm keeps roughly 40 × min(U, 256) processes
+    // live at once, which is what makes the peak-RSS exhibit meaningful.
+    spec.mean_lifetime_us = 40_000 * u64::from(users.min(256));
+    let procs = procs.unwrap_or_else(|| u64::from(users).saturating_mul(2_000));
+    let started = std::time::Instant::now();
+    let mut world = TenantWorld::new(spec, procs);
+    let report = world.run();
+    let elapsed = started.elapsed();
+    print!("{}", report.render());
+    let rate = report.procs as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "ppm-sim: {} processes across {} users on {} hosts in {:.2?} ({:.0} procs/sec)",
+        report.procs, report.users, report.hosts, elapsed, rate
+    );
+    // Peak RSS (VmHWM) covers the whole run including the world build;
+    // Linux-only, observational, stderr like the throughput line.
+    if let Some(kb) = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1)?.parse::<u64>().ok())
+        })
+    {
+        eprintln!("ppm-sim: peak rss {kb} kB");
+    }
+    if let Some(p) = metrics_path {
+        let rows = ppm_core::obs::rows(&world.metrics().snapshot());
+        let text = ppm_core::obs::render_metrics(&[("tenant".to_string(), rows)]);
+        if let Err(e) = std::fs::write(&p, text) {
+            eprintln!("ppm-sim: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ppm-sim [--trace] [--metrics <path>] [--spans <path>] [--faults <plan>] \
@@ -67,6 +129,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "       ppm-sim [--trace] [--metrics <path>] [--spans <path>] [--faults <plan>] \
          --hosts <N>"
+    );
+    eprintln!(
+        "       ppm-sim [--metrics <path>] --users <U> --hosts <N> [--seed <S>] [--procs <P>]"
     );
     eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
     eprintln!("fault plans: see scenarios/*.fault and ppm_simnet::fault for the grammar");
@@ -77,6 +142,9 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut trace = false;
     let mut hosts: Option<usize> = None;
+    let mut users: Option<u32> = None;
+    let mut seed: u64 = 1986;
+    let mut procs: Option<u64> = None;
     let mut path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
     let mut spans_path: Option<String> = None;
@@ -98,6 +166,27 @@ fn main() -> ExitCode {
                 };
                 hosts = Some(n);
             }
+            "--users" => {
+                let Some(u) = args.next().and_then(|v| v.parse().ok()).filter(|u| *u >= 1) else {
+                    eprintln!("ppm-sim: --users needs a user count of at least 1");
+                    return ExitCode::FAILURE;
+                };
+                users = Some(u);
+            }
+            "--seed" => {
+                let Some(s) = args.next().and_then(|v| v.parse().ok()) else {
+                    eprintln!("ppm-sim: --seed needs an integer");
+                    return ExitCode::FAILURE;
+                };
+                seed = s;
+            }
+            "--procs" => {
+                let Some(p) = args.next().and_then(|v| v.parse().ok()).filter(|p| *p >= 1) else {
+                    eprintln!("ppm-sim: --procs needs a process count of at least 1");
+                    return ExitCode::FAILURE;
+                };
+                procs = Some(p);
+            }
             "--metrics" => {
                 let Some(p) = args.next() else {
                     eprintln!("ppm-sim: --metrics needs an output path");
@@ -114,6 +203,13 @@ fn main() -> ExitCode {
             }
             _ => path = Some(arg),
         }
+    }
+    if let Some(users) = users {
+        let Some(hosts) = hosts.filter(|&n| n >= 2 && n <= u16::MAX as usize) else {
+            eprintln!("ppm-sim: --users needs --hosts (2 ..= 65535)");
+            return ExitCode::FAILURE;
+        };
+        return run_scale(users, hosts as u16, seed, procs, metrics_path);
     }
     let (name, text) = match (hosts, path) {
         (Some(n), None) => (format!("--hosts {n}"), chain_scenario(n)),
