@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::codec::Wire;
 use ppm_proto::msg::{ControlAction, Msg, Op};
 use ppm_proto::types::Route;

@@ -14,8 +14,8 @@
 
 use ppm_core::client::ToolStep;
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
 use ppm_core::pmd::PmdOptions;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::{ControlAction, Op, Reply};
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::CpuClass;

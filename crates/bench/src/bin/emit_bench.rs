@@ -20,8 +20,9 @@
 //! Absolute nanoseconds are not comparable across machines (or even
 //! across runs on a loaded CI box), so the gate normalises each
 //! workload by its bench-local seed copy measured in the same run: what
-//! is compared against the checked-in JSON is the optimised/seed median
-//! ratio, which only moves when the optimised code itself changes.
+//! is compared against the checked-in JSON is the optimised/seed ratio
+//! of best-epoch times, which only moves when the optimised code itself
+//! changes.
 //!
 //! The `obs_overhead` pair gets one extra, *absolute* bound: its ratio
 //! is instrumented/plain — the cost of the metrics registry on the hot
@@ -32,10 +33,10 @@ use std::time::Instant;
 
 use ppm_bench::{hotpath, multi_tenant};
 
-/// Sampling epochs per pair; the median is reported. Each epoch times
-/// the optimised and seed sides back to back, so slow machine drift
-/// (frequency scaling, CI throttling) hits both sides of an epoch
-/// equally and cancels out of the per-epoch ratio.
+/// Sampling epochs per pair; median ns are reported, best-epoch ns feed
+/// the gate ratio. Each epoch times the optimised and seed sides back to
+/// back, so slow machine drift (frequency scaling, CI throttling) hits
+/// both sides equally.
 const SAMPLES: usize = 15;
 
 /// Runs `work` until it has consumed roughly this much wall time per
@@ -47,6 +48,14 @@ const TARGET_SAMPLE_MS: u128 = 25;
 /// are noisy; real regressions from the structural changes this guards
 /// against are integer factors, not percents.
 const GATE_TOLERANCE_PCT: f64 = 10.0;
+
+/// Absolute slack added on top of the relative tolerance. For workloads
+/// whose optimised side is an order of magnitude faster than seed the
+/// ratio sits near zero (`genealogy_scale` ≈ 0.07), where ±10% relative
+/// is smaller than run-to-run scheduler noise; a flat floor keeps the
+/// gate conditioned across the whole ratio range while an integer-factor
+/// regression still fails by a mile.
+const GATE_ABS_SLACK: f64 = 0.02;
 
 /// The checked-in results the gate compares against.
 const BASELINE_JSON: &str = "BENCH_PR6.json";
@@ -92,12 +101,20 @@ fn median(mut v: Vec<f64>) -> f64 {
     v[v.len() / 2]
 }
 
+fn min_of(v: &[f64]) -> f64 {
+    v.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
 struct Pair {
     name: &'static str,
     new_ns: f64,
     seed_ns: f64,
-    /// Median of the per-epoch optimised/seed ratios — the
-    /// machine-independent quantity the gate compares.
+    /// Best-epoch optimised ns over best-epoch seed ns — the
+    /// machine-independent quantity the gate compares. Scheduler and
+    /// frequency noise only ever add time, so the per-side minimum is the
+    /// low-variance estimate of each implementation's true cost; a median
+    /// of per-epoch ratios wobbles several percent run to run, which the
+    /// gate's tolerance then has to absorb.
     ratio: f64,
 }
 
@@ -118,20 +135,17 @@ fn measure_pair(
     let seed_calls = calibrate(seed, &mut sink);
     let mut new_s = Vec::with_capacity(SAMPLES);
     let mut seed_s = Vec::with_capacity(SAMPLES);
-    let mut ratio_s = Vec::with_capacity(SAMPLES);
     for _ in 0..SAMPLES {
-        let n = time_side(new, new_calls, &mut sink);
-        let s = time_side(seed, seed_calls, &mut sink);
-        new_s.push(n);
-        seed_s.push(s);
-        ratio_s.push(n / s);
+        new_s.push(time_side(new, new_calls, &mut sink));
+        seed_s.push(time_side(seed, seed_calls, &mut sink));
     }
     std::hint::black_box(sink);
+    let ratio = min_of(&new_s) / min_of(&seed_s);
     Pair {
         name,
         new_ns: median(new_s),
         seed_ns: median(seed_s),
-        ratio: median(ratio_s),
+        ratio,
     }
 }
 
@@ -220,7 +234,8 @@ fn gate() -> ! {
             continue;
         };
         let delta_pct = (p.ratio / prev_ratio - 1.0) * 100.0;
-        let verdict = if delta_pct > GATE_TOLERANCE_PCT {
+        let allowed = prev_ratio * (1.0 + GATE_TOLERANCE_PCT / 100.0) + GATE_ABS_SLACK;
+        let verdict = if p.ratio > allowed {
             failed = true;
             "REGRESSED"
         } else {
@@ -232,10 +247,13 @@ fn gate() -> ! {
         );
     }
     if failed {
-        println!("perf gate FAILED: a workload regressed more than {GATE_TOLERANCE_PCT}% against {BASELINE_JSON}");
+        println!(
+            "perf gate FAILED: a workload regressed more than {GATE_TOLERANCE_PCT}% \
+             (+{GATE_ABS_SLACK} absolute slack) against {BASELINE_JSON}"
+        );
         std::process::exit(1);
     }
-    println!("perf gate passed (tolerance {GATE_TOLERANCE_PCT}%)");
+    println!("perf gate passed (tolerance {GATE_TOLERANCE_PCT}% + {GATE_ABS_SLACK} absolute)");
     std::process::exit(0);
 }
 
@@ -306,8 +324,9 @@ fn main() {
         json.push_str(&format!(",\n  \"peak_rss_kb\": {kb}"));
     }
     json.push_str(
-        ",\n  \"note\": \"median ns per workload call; seed_* are bench-local copies of \
-         the pre-PR implementations, measured in the same run; timer_wheel_retransmit's \
+        ",\n  \"note\": \"median ns per workload call, ratio is best-epoch new over \
+         best-epoch seed; seed_* are bench-local copies of \
+         the pre-PR implementations, measured in the same run;timer_wheel_retransmit's \
          seed is the PR 1 indexed heap; obs_overhead's seed is the plain wheel and its \
          ratio is the observability overhead (absolute gate ceiling 1.05); \
          multi_tenant_scale's seed is a per-record-allocation map world running the \

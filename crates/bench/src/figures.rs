@@ -11,7 +11,7 @@ use std::fmt::Write as _;
 
 use ppm_core::client::ToolStep;
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::{Op, Reply};
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::CpuClass;

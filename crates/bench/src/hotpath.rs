@@ -37,9 +37,6 @@
 //! medians to `BENCH_PR4.json` alongside the medians recorded by earlier
 //! PRs.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use bytes::Bytes;
 use ppm_proto::codec::{decode_batch, encode_batch, frames, Enc, Wire};
 use ppm_proto::msg::{BcastPart, Msg, Op, Reply};
@@ -515,30 +512,28 @@ pub fn wheel_retransmit(steps: usize) -> u64 {
 }
 
 /// The retransmit workload with the observability layer's hot-path cost
-/// layered on at the density the LPM pays it: a shared
-/// `Rc<RefCell<Registry>>` counter bump per step (one request entering
-/// the pipeline), a histogram record on the rare retry-shaped schedules
+/// layered on at the density the LPM pays it: a sealed `Arc<Registry>`
+/// relaxed-atomic counter bump per step (one request entering the
+/// pipeline), a histogram record on the rare retry-shaped schedules
 /// (the LPM only records `rpc.backoff_us` when a retry is actually
 /// scheduled), and a disabled-span-log check per pop. The plain side is
 /// [`wheel_retransmit`]; the checksums must agree, and the instrumented /
 /// plain time ratio is the observability overhead the perf gate bounds.
 pub fn obs_instrumented(steps: usize) -> u64 {
-    let registry: Rc<RefCell<Registry>> = Rc::new(RefCell::new(Registry::new()));
-    let (requests, backoff_us) = {
-        let mut r = registry.borrow_mut();
-        (r.counter("rpc.requests"), r.hist("rpc.backoff_us"))
-    };
+    let mut reg = Registry::new();
+    let (requests, backoff_us) = (reg.counter("rpc.requests"), reg.hist("rpc.backoff_us"));
+    let registry = reg.into_shared();
     let spans = SpanLog::new();
     let mut e: TimerWheel<u64> = TimerWheel::new();
     let mut rng = 7u64;
     let mut acc = 0u64;
     let mut window = Vec::with_capacity(ENGINE_WINDOW + 4);
     for i in 0..steps {
-        registry.borrow_mut().inc(requests);
+        registry.inc(requests);
         for j in 0..3u64 {
             let delay = mix(&mut rng) % 1_000;
             if delay.is_multiple_of(61) {
-                registry.borrow_mut().record(backoff_us, delay);
+                registry.record(backoff_us, delay);
             }
             window.push(e.schedule(SimDuration::from_micros(delay), i as u64 ^ (j << 56)));
         }
@@ -560,7 +555,7 @@ pub fn obs_instrumented(steps: usize) -> u64 {
     while let Some((t, v)) = e.pop() {
         acc = acc.wrapping_add(t.as_micros() ^ v);
     }
-    std::hint::black_box(registry.borrow().snapshot().len());
+    std::hint::black_box(registry.snapshot().len());
     acc
 }
 

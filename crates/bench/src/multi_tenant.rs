@@ -1,5 +1,5 @@
 //! The `multi_tenant_scale` pair: the sharded arena world of
-//! `ppm_core::tenant` against a bench-local per-record-allocation
+//! `ppm_harness::tenant` against a bench-local per-record-allocation
 //! baseline running the *identical* storm.
 //!
 //! The seed side is how the pre-PR code would have held this state: one
@@ -14,7 +14,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use ppm_core::tenant::{TenantWorld, UID_BASE};
+use ppm_harness::tenant::{TenantWorld, UID_BASE};
 use ppm_simos::workload::{Storm, StormSpec};
 
 /// Retention before a dead node may be swept, µs (mirrors the tenant

@@ -8,18 +8,17 @@
 //! emitter receives signals (112-byte messages, like the paper's
 //! reference).
 
+use ppm_runtime::sys::Sys;
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::{CpuClass, HostSpec};
 use ppm_simos::events::TraceFlags;
 use ppm_simos::ids::{Pid, Uid};
 use ppm_simos::program::{KernelMsg, Program, SpawnSpec};
 use ppm_simos::signal::Signal;
-use ppm_simos::sys::Sys;
 use ppm_simos::workload::DutyCycle;
 use ppm_simos::world::World;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Samples collected by the probe.
 #[derive(Debug, Default)]
@@ -31,14 +30,14 @@ pub struct Samples {
 /// A minimal LPM-like program measuring kernel message delivery.
 struct KernelMsgProbe {
     emitter: Option<Pid>,
-    samples: Rc<RefCell<Samples>>,
+    samples: Arc<Mutex<Samples>>,
     interval: SimDuration,
     rounds: u32,
     fired: u32,
 }
 
 impl Program for KernelMsgProbe {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         sys.register_kernel_socket();
         let pid = sys
             .spawn(SpawnSpec::inert("emitter"))
@@ -48,7 +47,7 @@ impl Program for KernelMsgProbe {
         sys.set_timer(self.interval, 0);
     }
 
-    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, _token: u64) {
         if self.fired >= self.rounds {
             return;
         }
@@ -60,10 +59,15 @@ impl Program for KernelMsgProbe {
         sys.set_timer(self.interval, 0);
     }
 
-    fn on_kernel_event(&mut self, sys: &mut Sys<'_>, msg: KernelMsg) {
+    fn on_kernel_batch(&mut self, sys: &mut dyn Sys, data: bytes::Bytes) {
+        ppm_proto::kernel_wire::for_each_kernel_msg(&data, |m| self.on_kernel_event(sys, m));
+    }
+
+    fn on_kernel_event(&mut self, sys: &mut dyn Sys, msg: KernelMsg) {
         let latency = sys.now().saturating_since(msg.queued_at);
         self.samples
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .latencies_us
             .push(latency.as_micros());
     }
@@ -111,10 +115,10 @@ pub fn measure_cell(cpu: CpuClass, la_target: f64, seed: u64) -> Cell {
     // Let the 60-second EWMA converge.
     world.run_for(SimDuration::from_secs(300));
 
-    let samples = Rc::new(RefCell::new(Samples::default()));
+    let samples = Arc::new(Mutex::new(Samples::default()));
     let probe = KernelMsgProbe {
         emitter: None,
-        samples: Rc::clone(&samples),
+        samples: Arc::clone(&samples),
         interval: SimDuration::from_millis(500),
         rounds: 120,
         fired: 0,
@@ -125,7 +129,7 @@ pub fn measure_cell(cpu: CpuClass, la_target: f64, seed: u64) -> Cell {
     world.run_for(SimDuration::from_secs(90));
 
     let load_avg = world.core().kernel(host).load_avg();
-    let s = samples.borrow();
+    let s = samples.lock().unwrap();
     let n = s.latencies_us.len();
     let mean_ms = if n == 0 {
         f64::NAN

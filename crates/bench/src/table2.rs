@@ -15,7 +15,7 @@
 
 use ppm_core::client::ToolStep;
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::{ControlAction, Op};
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::CpuClass;

@@ -11,7 +11,7 @@
 //! and the caller's claimed identity. Host-level masquerade is out of
 //! scope, exactly as in the paper.
 
-use ppm_simos::ids::Uid;
+use ppm_runtime::ids::Uid;
 
 /// Network-wide credentials of one user.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

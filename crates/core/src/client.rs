@@ -7,17 +7,16 @@
 //! plays a script of requests, records every reply with its timing into a
 //! shared [`ToolOutcome`], and exits.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use ppm_proto::codec::Wire;
 use ppm_proto::msg::{Msg, Op, Reply};
-use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simos::ids::ConnId;
-use ppm_simos::program::{ConnEvent, Program};
-use ppm_simos::sys::Sys;
+use ppm_runtime::ids::ConnId;
+use ppm_runtime::program::{ConnEvent, Program};
+use ppm_runtime::sys::Sys;
+use ppm_runtime::time::{SimDuration, SimTime};
 
 use crate::auth::UserCred;
 use crate::config::PpmConfig;
@@ -76,7 +75,7 @@ impl ToolOutcome {
 }
 
 /// Shared handle to a tool's outcome.
-pub type ToolHandle = Rc<RefCell<ToolOutcome>>;
+pub type ToolHandle = Arc<Mutex<ToolOutcome>>;
 
 /// A scripted PPM tool process.
 pub struct Tool {
@@ -118,12 +117,12 @@ const DEADLINE_TOKEN: u64 = 2;
 impl Tool {
     /// Creates a tool with a script; results land in the returned handle.
     pub fn new(cred: UserCred, cfg: PpmConfig, script: Vec<ToolStep>) -> (Self, ToolHandle) {
-        let outcome: ToolHandle = Rc::new(RefCell::new(ToolOutcome::default()));
+        let outcome: ToolHandle = Arc::new(Mutex::new(ToolOutcome::default()));
         let tool = Tool {
             cred,
             cfg,
             script,
-            outcome: Rc::clone(&outcome),
+            outcome: Arc::clone(&outcome),
             chan: None,
             conn: None,
             step: 0,
@@ -159,9 +158,9 @@ impl Tool {
         self
     }
 
-    fn fail(&mut self, sys: &mut Sys<'_>, why: String) {
+    fn fail(&mut self, sys: &mut dyn Sys, why: String) {
         {
-            let mut o = self.outcome.borrow_mut();
+            let mut o = self.outcome.lock().unwrap();
             o.error = Some(why);
             o.done = true;
         }
@@ -170,7 +169,7 @@ impl Tool {
 
     /// Sends script steps until the pipeline window is full, and exits
     /// once every step has been sent and answered.
-    fn pump(&mut self, sys: &mut Sys<'_>) {
+    fn pump(&mut self, sys: &mut dyn Sys) {
         let Some(conn) = self.conn else { return };
         while self.step < self.script.len() && self.inflight.len() < self.pipeline {
             let ToolStep { dest, op } = self.script[self.step].clone();
@@ -190,7 +189,7 @@ impl Tool {
                 attempt: 0,
             };
             self.inflight.insert(id, self.step);
-            self.outcome.borrow_mut().sent_at.push(sys.now());
+            self.outcome.lock().unwrap().sent_at.push(sys.now());
             self.step += 1;
             if sys.send(conn, msg.to_bytes()).is_err() {
                 self.fail(sys, "send to LPM failed".to_string());
@@ -199,7 +198,7 @@ impl Tool {
         }
         if self.step >= self.script.len() && self.inflight.is_empty() {
             {
-                let mut o = self.outcome.borrow_mut();
+                let mut o = self.outcome.lock().unwrap();
                 o.done = true;
             }
             let _ = sys.close(conn);
@@ -211,14 +210,14 @@ impl Tool {
     /// into the outcome so `replies` stays in script order.
     fn record_reply(&mut self, idx: usize, reply: Reply, at: SimTime) {
         self.reordered.insert(idx, (reply, at));
-        let mut o = self.outcome.borrow_mut();
+        let mut o = self.outcome.lock().unwrap();
         while let Some(entry) = self.reordered.remove(&self.flushed) {
             o.replies.push(entry);
             self.flushed += 1;
         }
     }
 
-    fn apply_progress(&mut self, sys: &mut Sys<'_>, progress: ChanProgress) {
+    fn apply_progress(&mut self, sys: &mut dyn Sys, progress: ChanProgress) {
         match progress {
             ChanProgress::Pending => {}
             ChanProgress::RetryAfter(d) => {
@@ -227,7 +226,7 @@ impl Tool {
             ChanProgress::Ready { conn, created, .. } => {
                 self.conn = Some(conn);
                 {
-                    let mut o = self.outcome.borrow_mut();
+                    let mut o = self.outcome.lock().unwrap();
                     o.connected_at = Some(sys.now());
                     o.created_lpm = created;
                 }
@@ -241,8 +240,8 @@ impl Tool {
 }
 
 impl Program for Tool {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
-        self.outcome.borrow_mut().started_at = Some(sys.now());
+    fn on_start(&mut self, sys: &mut dyn Sys) {
+        self.outcome.lock().unwrap().started_at = Some(sys.now());
         let deadline = self.deadline;
         sys.set_timer(deadline, DEADLINE_TOKEN);
         let identity = HelloIdentity {
@@ -259,9 +258,9 @@ impl Program for Tool {
         self.chan = Some(LpmChannel::start(sys, target, identity, retry, attempts));
     }
 
-    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+    fn on_conn_event(&mut self, sys: &mut dyn Sys, conn: ConnId, event: ConnEvent) {
         if self.conn == Some(conn) {
-            if matches!(event, ConnEvent::Closed) && !self.outcome.borrow().done {
+            if matches!(event, ConnEvent::Closed) && !self.outcome.lock().unwrap().done {
                 self.fail(sys, "LPM closed the connection".to_string());
             }
             return;
@@ -274,7 +273,7 @@ impl Program for Tool {
         }
     }
 
-    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+    fn on_message(&mut self, sys: &mut dyn Sys, conn: ConnId, data: Bytes) {
         if self.conn == Some(conn) {
             match Msg::from_bytes(&data) {
                 Ok(Msg::Resp { id, reply, .. }) => {
@@ -316,7 +315,7 @@ impl Program for Tool {
         }
     }
 
-    fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, token: u64) {
         match token {
             RETRY_TOKEN => {
                 if let Some(chan) = &mut self.chan {
@@ -326,7 +325,7 @@ impl Program for Tool {
                     }
                 }
             }
-            DEADLINE_TOKEN if !self.outcome.borrow().done => {
+            DEADLINE_TOKEN if !self.outcome.lock().unwrap().done => {
                 self.fail(sys, "tool deadline exceeded".to_string());
             }
             _ => {}
@@ -341,7 +340,7 @@ impl Program for Tool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppm_simos::ids::Uid;
+    use ppm_runtime::ids::Uid;
 
     #[test]
     fn outcome_elapsed_math() {
@@ -360,7 +359,7 @@ mod tests {
             PpmConfig::default(),
             vec![ToolStep::new("a", Op::Ping)],
         );
-        assert!(!handle.borrow().done);
+        assert!(!handle.lock().unwrap().done);
         assert_eq!(tool.script.len(), 1);
         assert_eq!(tool.pipeline, 1);
     }
@@ -376,9 +375,9 @@ mod tests {
         assert_eq!(tool.pipeline, 4);
         // Step 1's reply lands first: nothing flushes until step 0 arrives.
         tool.record_reply(1, Reply::Ok, SimTime::from_millis(5));
-        assert!(handle.borrow().replies.is_empty());
+        assert!(handle.lock().unwrap().replies.is_empty());
         tool.record_reply(0, Reply::Pong, SimTime::from_millis(9));
-        let o = handle.borrow();
+        let o = handle.lock().unwrap();
         assert!(matches!(o.replies[0].0, Reply::Pong));
         assert!(matches!(o.replies[1].0, Reply::Ok));
     }

@@ -1,7 +1,7 @@
 //! PPM tunables.
 
-use ppm_simnet::time::SimDuration;
-use ppm_simos::events::TraceFlags;
+use ppm_runtime::events::TraceFlags;
+use ppm_runtime::time::SimDuration;
 
 /// Constants governing LPM behaviour. CPU costs are nominal values for an
 //  idle VAX 11/780 and are scaled by host class and load at run time.
@@ -180,7 +180,7 @@ pub enum RecoveryPolicy {
 }
 
 /// Well-known port of the process manager daemon.
-pub const PMD_PORT: ppm_simos::ids::Port = ppm_simos::ids::Port(3);
+pub const PMD_PORT: ppm_runtime::ids::Port = ppm_runtime::ids::Port(3);
 
 /// Service name under which pmd is registered with inetd.
 pub const PMD_SERVICE: &str = "pmd";
@@ -190,14 +190,14 @@ pub const PMD_SERVICE: &str = "pmd";
 pub const LPM_PORT_BASE: u16 = 1000;
 
 /// The accept port of a user's LPM on any host.
-pub fn lpm_port(uid: ppm_simos::ids::Uid) -> ppm_simos::ids::Port {
-    ppm_simos::ids::Port(LPM_PORT_BASE.wrapping_add(uid.0 as u16))
+pub fn lpm_port(uid: ppm_runtime::ids::Uid) -> ppm_runtime::ids::Port {
+    ppm_runtime::ids::Port(LPM_PORT_BASE.wrapping_add(uid.0 as u16))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppm_simos::ids::Uid;
+    use ppm_runtime::ids::Uid;
 
     #[test]
     fn default_costs_are_ordered_sensibly() {

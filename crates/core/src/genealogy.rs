@@ -24,7 +24,7 @@
 //! processes cache-resident.
 
 use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
-use ppm_simnet::hashx::FastMap;
+use ppm_runtime::hashx::FastMap;
 
 /// Sentinel for "no slot" in the intrusive links.
 const NIL: u32 = u32::MAX;

@@ -10,7 +10,7 @@
 //! a fork when none is idle, or a cheap hand-off when one is. The
 //! fork-vs-reuse counters feed the ablation bench.
 
-use ppm_simnet::time::{SimDuration, SimTime};
+use ppm_runtime::time::{SimDuration, SimTime};
 
 /// Identifier of one handler process within an LPM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,7 +44,7 @@ pub struct PoolStats {
 ///
 /// ```
 /// use ppm_core::handlers::HandlerPool;
-/// use ppm_simnet::time::{SimDuration, SimTime};
+/// use ppm_runtime::time::{SimDuration, SimTime};
 ///
 /// let mut pool = HandlerPool::new(
 ///     SimDuration::from_millis(70), // fork

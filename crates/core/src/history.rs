@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use ppm_proto::types::{Gpid, HistoryRecord, RusageRecord};
-use ppm_simnet::time::SimTime;
+use ppm_runtime::time::SimTime;
 
 /// Bounded event log plus exited-process statistics.
 ///
@@ -17,7 +17,7 @@ use ppm_simnet::time::SimTime;
 /// ```
 /// use ppm_core::history::History;
 /// use ppm_proto::types::Gpid;
-/// use ppm_simnet::time::SimTime;
+/// use ppm_runtime::time::SimTime;
 ///
 /// let mut h = History::new(100, 10);
 /// h.record(SimTime::from_millis(5), Gpid::new("a", 9), "exec", "troff");

@@ -2,8 +2,10 @@
 //!
 //! A Rust reproduction of the PPM of Cabrera, Sechrest and Cáceres
 //! (*The Administration of Distributed Computations in a Networked
-//! Environment*, ICDCS 1986), running on the simulated networked Berkeley
-//! UNIX of `ppm-simos`.
+//! Environment*, ICDCS 1986). The whole stack is written against the
+//! backend-agnostic `ppm-runtime` traits, so the same LPM/pmd/tool code
+//! runs on the simulated networked Berkeley UNIX of `ppm-simos` **and**
+//! on real loopback TCP nodes via `ppm-realos`.
 //!
 //! The pieces, mapped to the paper:
 //!
@@ -21,30 +23,20 @@
 //! * `rpc` — the unified RPC substrate: one correlation-keyed pending
 //!   table with deadlines, attempt budgets and idempotent dedup, shared
 //!   by all tool, sibling, broadcast and recovery request traffic.
-//! * [`client`] / [`harness`] — the tool library of Section 6 and a
-//!   synchronous driver for tests, examples and benchmarks.
+//! * [`client`] — the tool library of Section 6. (The synchronous
+//!   sim-world driver for tests and benchmarks lives in `ppm-harness`.)
 //!
 //! ## Example
 //!
 //! ```
-//! use ppm_core::config::PpmConfig;
-//! use ppm_core::harness::PpmHarness;
-//! use ppm_simnet::topology::CpuClass;
-//! use ppm_simos::ids::Uid;
+//! use ppm_core::config::{lpm_port, PpmConfig};
+//! use ppm_runtime::ids::Uid;
 //!
-//! let mut ppm = PpmHarness::builder()
-//!     .host("calder", CpuClass::Vax780)
-//!     .host("ucbarpa", CpuClass::Vax750)
-//!     .link("calder", "ucbarpa")
-//!     .user(Uid(100), 0xBEEF, &["calder"], PpmConfig::default())
-//!     .build();
-//!
-//! // Create a remote process through the PPM and snapshot it.
-//! let gpid = ppm.spawn_remote("calder", Uid(100), "ucbarpa", "troff", None, None)?;
-//! assert_eq!(gpid.host, "ucbarpa");
-//! let procs = ppm.snapshot("calder", Uid(100), "*")?;
-//! assert!(procs.iter().any(|p| p.gpid == gpid));
-//! # Ok::<(), ppm_core::harness::HarnessError>(())
+//! // Protocol constants are backend-independent: a user's LPM listens on
+//! // the same well-known port in the simulation and on real nodes.
+//! let cfg = PpmConfig::default();
+//! assert_eq!(lpm_port(Uid(100)).0, 1100);
+//! assert!(cfg.handler_max >= 1);
 //! ```
 
 pub mod auth;
@@ -52,22 +44,18 @@ pub mod client;
 pub mod config;
 pub mod genealogy;
 pub mod handlers;
-pub mod harness;
 pub mod history;
 pub mod locator;
 pub mod lpm;
 pub mod obs;
 pub mod pmd;
 pub(crate) mod rpc;
-pub mod tenant;
 pub mod trigger_engine;
 pub mod users;
 
 pub use auth::{Authenticator, UserCred};
 pub use client::{Tool, ToolHandle, ToolOutcome, ToolStep};
 pub use config::{lpm_port, PpmConfig, PMD_PORT, PMD_SERVICE};
-pub use harness::{HarnessBuilder, HarnessError, PpmHarness};
 pub use lpm::{Lpm, LpmStats};
 pub use pmd::{Pmd, PmdOptions};
-pub use tenant::{ScaleReport, TenantWorld, UserShard};
 pub use users::{UserDirectory, UserEntry};

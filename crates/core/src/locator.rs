@@ -19,14 +19,14 @@ use bytes::Bytes;
 use ppm_proto::codec::Wire;
 use ppm_proto::msg::Msg;
 use ppm_proto::types::Route;
-use ppm_simnet::hashx::FastMap;
-use ppm_simnet::time::SimDuration;
-use ppm_simnet::topology::HostId;
-use ppm_simnet::trace::TraceCategory;
-use ppm_simos::ids::{ConnId, Port};
-use ppm_simos::inetd;
-use ppm_simos::program::{ConnEvent, SysError};
-use ppm_simos::sys::Sys;
+use ppm_runtime::hashx::FastMap;
+use ppm_runtime::ids::HostId;
+use ppm_runtime::ids::{ConnId, Port};
+use ppm_runtime::inetd;
+use ppm_runtime::program::{ConnEvent, SysError};
+use ppm_runtime::sys::Sys;
+use ppm_runtime::time::SimDuration;
+use ppm_runtime::trace::TraceCategory;
 
 use crate::config::PMD_SERVICE;
 
@@ -220,7 +220,7 @@ pub struct LpmChannel {
 impl LpmChannel {
     /// Starts the chain toward `target`.
     pub fn start(
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         target: HostId,
         identity: HelloIdentity,
         retry_delay: SimDuration,
@@ -262,7 +262,7 @@ impl LpmChannel {
         matches!(self.step, Step::Done | Step::Dead)
     }
 
-    fn connect_current(&mut self, sys: &mut Sys<'_>) {
+    fn connect_current(&mut self, sys: &mut dyn Sys) {
         let port = match self.step {
             Step::ToInetd => Port::INETD,
             Step::ToPmd => self.pmd_port.expect("pmd port known at ToPmd"),
@@ -276,7 +276,7 @@ impl LpmChannel {
     }
 
     /// Re-attempts the current step after a `RetryAfter`.
-    pub fn retry(&mut self, sys: &mut Sys<'_>) -> ChanProgress {
+    pub fn retry(&mut self, sys: &mut dyn Sys) -> ChanProgress {
         if self.is_terminal() {
             return ChanProgress::Failed(SysError::ConnectionClosed);
         }
@@ -303,7 +303,7 @@ impl LpmChannel {
     }
 
     /// Feeds a connection event for an owned connection.
-    pub fn on_conn_event(&mut self, sys: &mut Sys<'_>, ev: ConnEvent) -> ChanProgress {
+    pub fn on_conn_event(&mut self, sys: &mut dyn Sys, ev: ConnEvent) -> ChanProgress {
         match (self.step, ev) {
             (Step::ToInetd, ConnEvent::Established) => {
                 let conn = self.conn.expect("owned conn");
@@ -358,7 +358,7 @@ impl LpmChannel {
     }
 
     /// Feeds a message arriving on an owned connection.
-    pub fn on_message(&mut self, sys: &mut Sys<'_>, data: Bytes) -> ChanProgress {
+    pub fn on_message(&mut self, sys: &mut dyn Sys, data: Bytes) -> ChanProgress {
         match self.step {
             Step::AwaitPmdPort => {
                 let conn = self.conn.expect("owned conn");
@@ -458,7 +458,7 @@ pub struct PmdExchange {
 impl PmdExchange {
     /// Starts the exchange toward `target`'s pmd.
     pub fn start(
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         target: HostId,
         request: Msg,
         retry_delay: SimDuration,
@@ -492,7 +492,7 @@ impl PmdExchange {
         matches!(self.step, PmdStep::Done | PmdStep::Dead)
     }
 
-    fn connect_current(&mut self, sys: &mut Sys<'_>) {
+    fn connect_current(&mut self, sys: &mut dyn Sys) {
         let port = match self.step {
             PmdStep::ToInetd => Port::INETD,
             PmdStep::ToPmd => self.pmd_port.expect("port known"),
@@ -514,7 +514,7 @@ impl PmdExchange {
     }
 
     /// Re-attempts the current step.
-    pub fn retry(&mut self, sys: &mut Sys<'_>) -> PmdProgress {
+    pub fn retry(&mut self, sys: &mut dyn Sys) -> PmdProgress {
         if self.is_terminal() {
             return PmdProgress::Failed(SysError::ConnectionClosed);
         }
@@ -528,7 +528,7 @@ impl PmdExchange {
     }
 
     /// Feeds a connection event for an owned connection.
-    pub fn on_conn_event(&mut self, sys: &mut Sys<'_>, ev: ConnEvent) -> PmdProgress {
+    pub fn on_conn_event(&mut self, sys: &mut dyn Sys, ev: ConnEvent) -> PmdProgress {
         match (self.step, ev) {
             (PmdStep::ToInetd, ConnEvent::Established) => {
                 let conn = self.conn.expect("owned");
@@ -560,7 +560,7 @@ impl PmdExchange {
     }
 
     /// Feeds a message arriving on an owned connection.
-    pub fn on_message(&mut self, sys: &mut Sys<'_>, data: Bytes) -> PmdProgress {
+    pub fn on_message(&mut self, sys: &mut dyn Sys, data: Bytes) -> PmdProgress {
         match self.step {
             PmdStep::AwaitPort => match inetd::parse_reply(&data) {
                 Ok(port) => {

@@ -27,11 +27,11 @@ use std::collections::BTreeSet;
 use ppm_proto::codec::{decode_batch, Enc, Wire};
 use ppm_proto::msg::{BcastPart, ErrCode, Msg, Op, Reply};
 use ppm_proto::types::{Route, Stamp};
-use ppm_simnet::obs::SpanPhase;
-use ppm_simnet::time::SimTime;
-use ppm_simnet::trace::TraceCategory;
-use ppm_simos::ids::ConnId;
-use ppm_simos::sys::Sys;
+use ppm_runtime::ids::ConnId;
+use ppm_runtime::obs::SpanPhase;
+use ppm_runtime::sys::Sys;
+use ppm_runtime::time::SimTime;
+use ppm_runtime::trace::TraceCategory;
 
 use crate::rpc::PendingRequest;
 
@@ -47,7 +47,7 @@ fn broadcastable(op: &Op) -> bool {
 
 impl Lpm {
     /// Originates a broadcast for request `req_id` (whose dest is `"*"`).
-    pub(crate) fn begin_broadcast(&mut self, sys: &mut Sys<'_>, req_id: u64) {
+    pub(crate) fn begin_broadcast(&mut self, sys: &mut dyn Sys, req_id: u64) {
         let (user, op) = {
             let r = self.rpc.get(req_id).expect("broadcast request exists");
             (r.user, r.op.clone())
@@ -137,7 +137,7 @@ impl Lpm {
     /// Creates the internal sub-request that gathers this host's slice.
     fn begin_local_slice(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         key: &BcastKey,
         user: u32,
         op: Op,
@@ -185,7 +185,7 @@ impl Lpm {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn handle_bcast(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         conn: ConnId,
         from_host: &str,
         stamp: Stamp,
@@ -297,7 +297,7 @@ impl Lpm {
     }
 
     /// The forward handler is ready: send the wave downstream.
-    pub(crate) fn bcast_forward_ready(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
+    pub(crate) fn bcast_forward_ready(&mut self, sys: &mut dyn Sys, key: &BcastKey) {
         let Some(b) = self.bcasts.get(key) else {
             return;
         };
@@ -337,7 +337,7 @@ impl Lpm {
     }
 
     /// The local slice finished gathering.
-    pub(crate) fn bcast_local_complete(&mut self, sys: &mut Sys<'_>, key: &BcastKey, reply: Reply) {
+    pub(crate) fn bcast_local_complete(&mut self, sys: &mut dyn Sys, key: &BcastKey, reply: Reply) {
         let Some(b) = self.bcasts.get_mut(key) else {
             return;
         };
@@ -368,7 +368,7 @@ impl Lpm {
     /// A downstream host's answer arrived.
     pub(crate) fn handle_bcast_resp(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         _conn: ConnId,
         stamp: Stamp,
         resp_host: String,
@@ -408,7 +408,7 @@ impl Lpm {
     /// A child subtree's aggregated answers arrived in one frame.
     pub(crate) fn handle_bcast_agg(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         from_host: &str,
         stamp: Stamp,
         parts: bytes::Bytes,
@@ -465,7 +465,7 @@ impl Lpm {
     /// straggler after a timeout), it gets its serialized slot at once.
     fn queue_part(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         key: &BcastKey,
         host: String,
         reply: Reply,
@@ -482,7 +482,7 @@ impl Lpm {
     }
 
     /// Arms one serialized originator merge slot.
-    fn schedule_merge_slot(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
+    fn schedule_merge_slot(&mut self, sys: &mut dyn Sys, key: &BcastKey) {
         let now = sys.now();
         let cost = sys.scale_cost(self.cfg.merge_cost);
         let Some(b) = self.bcasts.get_mut(key) else {
@@ -501,7 +501,7 @@ impl Lpm {
     }
 
     /// An originator merge slot completed.
-    pub(crate) fn bcast_merge_slot(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
+    pub(crate) fn bcast_merge_slot(&mut self, sys: &mut dyn Sys, key: &BcastKey) {
         let Some(b) = self.bcasts.get_mut(key) else {
             return;
         };
@@ -518,7 +518,7 @@ impl Lpm {
     }
 
     /// A child subtree reported completion.
-    pub(crate) fn bcast_child_done(&mut self, sys: &mut Sys<'_>, key: &BcastKey, child: &str) {
+    pub(crate) fn bcast_child_done(&mut self, sys: &mut dyn Sys, key: &BcastKey, child: &str) {
         if let Some(b) = self.bcasts.get_mut(key) {
             b.pending_children.remove(child);
         }
@@ -528,7 +528,7 @@ impl Lpm {
     /// A child's channel broke (or never came up): complete without it and
     /// record the loss — unless its aggregate already arrived, in which
     /// case its subtree's answers are all present.
-    pub(crate) fn bcast_child_lost(&mut self, sys: &mut Sys<'_>, key: &BcastKey, child: &str) {
+    pub(crate) fn bcast_child_lost(&mut self, sys: &mut dyn Sys, key: &BcastKey, child: &str) {
         if let Some(b) = self.bcasts.get_mut(key) {
             if b.pending_children.remove(child) && !b.agg_received.contains(child) {
                 b.missing.insert(child.to_string());
@@ -538,7 +538,7 @@ impl Lpm {
     }
 
     /// The wave safety timeout fired.
-    pub(crate) fn bcast_timeout(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
+    pub(crate) fn bcast_timeout(&mut self, sys: &mut dyn Sys, key: &BcastKey) {
         let Some(b) = self.bcasts.get_mut(key) else {
             return;
         };
@@ -564,7 +564,7 @@ impl Lpm {
     }
 
     /// Checks whether this LPM's participation in the wave is complete.
-    fn maybe_complete(&mut self, sys: &mut Sys<'_>, key: &BcastKey) {
+    fn maybe_complete(&mut self, sys: &mut dyn Sys, key: &BcastKey) {
         let Some(b) = self.bcasts.get(key) else {
             return;
         };

@@ -6,10 +6,10 @@
 //! remote LPM when this is possible."
 
 use ppm_proto::msg::Msg;
-use ppm_simnet::trace::TraceCategory;
-use ppm_simos::ids::ConnId;
-use ppm_simos::program::{ConnEvent, SysError};
-use ppm_simos::sys::Sys;
+use ppm_runtime::ids::ConnId;
+use ppm_runtime::program::{ConnEvent, SysError};
+use ppm_runtime::sys::Sys;
+use ppm_runtime::trace::TraceCategory;
 
 use crate::locator::{ChanProgress, HelloIdentity, LpmChannel};
 
@@ -31,7 +31,7 @@ impl Lpm {
 
     /// First message on an accepted connection must be an authenticating
     /// `Hello` (Figure 3's "secure reliable communication channel").
-    pub(crate) fn handle_hello(&mut self, sys: &mut Sys<'_>, conn: ConnId, msg: Msg) {
+    pub(crate) fn handle_hello(&mut self, sys: &mut dyn Sys, conn: ConnId, msg: Msg) {
         let Msg::Hello {
             user,
             host,
@@ -96,7 +96,7 @@ impl Lpm {
 
     /// Ensures a sibling connection toward `host`, starting a channel if
     /// needed.
-    pub(crate) fn ensure_sibling(&mut self, sys: &mut Sys<'_>, host: &str) -> SiblingStatus {
+    pub(crate) fn ensure_sibling(&mut self, sys: &mut dyn Sys, host: &str) -> SiblingStatus {
         if let Some(&conn) = self.siblings.get(host) {
             return SiblingStatus::Connected(conn);
         }
@@ -113,7 +113,7 @@ impl Lpm {
     /// the host name does not resolve.
     pub(crate) fn start_channel(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         host: &str,
         purpose: ChanPurpose,
     ) -> bool {
@@ -140,7 +140,7 @@ impl Lpm {
     /// Routes a connection event that may belong to a channel.
     pub(crate) fn channel_conn_event(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         host: &str,
         conn: ConnId,
         event: ConnEvent,
@@ -160,7 +160,7 @@ impl Lpm {
     /// Routes a message that may belong to a channel.
     pub(crate) fn channel_message(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         host: &str,
         conn: ConnId,
         data: bytes::Bytes,
@@ -178,7 +178,7 @@ impl Lpm {
     }
 
     /// A `ChannelRetry` timer fired.
-    pub(crate) fn channel_retry(&mut self, sys: &mut Sys<'_>, host: &str) {
+    pub(crate) fn channel_retry(&mut self, sys: &mut dyn Sys, host: &str) {
         self.chan_retry_armed.remove(host);
         let Some(slot) = self.channels.get_mut(host) else {
             return;
@@ -200,7 +200,7 @@ impl Lpm {
         }
     }
 
-    fn apply_channel_progress(&mut self, sys: &mut Sys<'_>, host: &str, progress: ChanProgress) {
+    fn apply_channel_progress(&mut self, sys: &mut dyn Sys, host: &str, progress: ChanProgress) {
         match progress {
             ChanProgress::Pending => {
                 self.reindex_channel(host);
@@ -241,7 +241,7 @@ impl Lpm {
         }
     }
 
-    fn flush_outbox(&mut self, sys: &mut Sys<'_>, host: &str, conn: ConnId) {
+    fn flush_outbox(&mut self, sys: &mut dyn Sys, host: &str, conn: ConnId) {
         let Some(queued) = self.outbox.remove(host) else {
             return;
         };
@@ -256,7 +256,7 @@ impl Lpm {
         }
     }
 
-    fn fail_outbox(&mut self, sys: &mut Sys<'_>, host: &str, err: SysError) {
+    fn fail_outbox(&mut self, sys: &mut dyn Sys, host: &str, err: SysError) {
         let Some(queued) = self.outbox.remove(host) else {
             return;
         };
@@ -276,7 +276,7 @@ impl Lpm {
 
     // ---- connection loss ----------------------------------------------------
 
-    pub(crate) fn on_conn_closed(&mut self, sys: &mut Sys<'_>, conn: ConnId) {
+    pub(crate) fn on_conn_closed(&mut self, sys: &mut dyn Sys, conn: ConnId) {
         let Some(role) = self.conns.remove(&conn) else {
             return;
         };

@@ -7,18 +7,18 @@
 use ppm_proto::msg::Reply;
 use ppm_proto::triggers::TriggerAction;
 use ppm_proto::types::{Gpid, RusageRecord, WireProcState};
-use ppm_simos::events::KernelEvent;
-use ppm_simos::ids::Pid;
-use ppm_simos::program::KernelMsg;
-use ppm_simos::signal::{ExitStatus, Signal};
-use ppm_simos::sys::Sys;
+use ppm_runtime::events::KernelEvent;
+use ppm_runtime::ids::Pid;
+use ppm_runtime::program::KernelMsg;
+use ppm_runtime::signal::{ExitStatus, Signal};
+use ppm_runtime::sys::Sys;
 
 use crate::trigger_engine::TriggerEvent;
 
 use super::{requests::RequestCtx, Lpm, ReplyTo};
 
 impl Lpm {
-    pub(crate) fn ingest_kernel_event(&mut self, sys: &mut Sys<'_>, msg: KernelMsg) {
+    pub(crate) fn ingest_kernel_event(&mut self, sys: &mut dyn Sys, msg: KernelMsg) {
         let now = sys.now();
         let ev = msg.event;
         let pid = ev.pid().0;
@@ -139,7 +139,7 @@ impl Lpm {
 
     fn trigger_check(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         kind: &str,
         pid: u32,
     ) -> Vec<crate::trigger_engine::Firing> {
@@ -164,7 +164,7 @@ impl Lpm {
     /// by users to trigger process state changes."
     pub(crate) fn execute_trigger_action(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         trigger_id: u32,
         action: TriggerAction,
     ) {

@@ -37,13 +37,13 @@ use bytes::Bytes;
 use ppm_proto::codec::Wire;
 use ppm_proto::msg::{Msg, Op, Reply};
 use ppm_proto::types::{Gpid, Route, Stamp};
-use ppm_simnet::hashx::FastMap;
-use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simnet::trace::TraceCategory;
-use ppm_simos::ids::{ConnId, Port};
-use ppm_simos::program::{ConnEvent, KernelMsg, Program, SysError};
-use ppm_simos::signal::{ExitStatus, Signal};
-use ppm_simos::sys::Sys;
+use ppm_runtime::hashx::FastMap;
+use ppm_runtime::ids::{ConnId, Port};
+use ppm_runtime::program::{ConnEvent, KernelMsg, Program, SysError};
+use ppm_runtime::signal::{ExitStatus, Signal};
+use ppm_runtime::sys::Sys;
+use ppm_runtime::time::{SimDuration, SimTime};
+use ppm_runtime::trace::TraceCategory;
 
 use crate::auth::Authenticator;
 use crate::config::{lpm_port, PpmConfig};
@@ -333,7 +333,7 @@ impl Lpm {
 
     // ---- small shared helpers -------------------------------------------
 
-    pub(crate) fn arm(&mut self, sys: &mut Sys<'_>, d: SimDuration, kind: TimerKind) -> u64 {
+    pub(crate) fn arm(&mut self, sys: &mut dyn Sys, d: SimDuration, kind: TimerKind) -> u64 {
         self.rpc.arm(sys, d, kind)
     }
 
@@ -348,7 +348,7 @@ impl Lpm {
 
     pub(crate) fn send_msg(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         conn: ConnId,
         msg: &Msg,
     ) -> Result<(), SysError> {
@@ -369,7 +369,7 @@ impl Lpm {
 
     /// Acquires a handler; hand-offs serialize through the dispatcher.
     /// Returns the handler and the delay until it is ready for work.
-    pub(crate) fn acquire_handler(&mut self, sys: &mut Sys<'_>) -> (HandlerId, SimDuration) {
+    pub(crate) fn acquire_handler(&mut self, sys: &mut dyn Sys) -> (HandlerId, SimDuration) {
         let now = sys.now();
         let acq = self.pool.acquire(now);
         let base = if self.dispatcher_free_at > now {
@@ -385,22 +385,22 @@ impl Lpm {
         (acq.id, ready.saturating_since(now))
     }
 
-    pub(crate) fn release_handler(&mut self, sys: &mut Sys<'_>, handler: Option<HandlerId>) {
+    pub(crate) fn release_handler(&mut self, sys: &mut dyn Sys, handler: Option<HandlerId>) {
         if let Some(h) = handler {
             let now = sys.now();
             self.pool.release(h, now);
         }
     }
 
-    pub(crate) fn note(&mut self, sys: &mut Sys<'_>, text: String) {
+    pub(crate) fn note(&mut self, sys: &mut dyn Sys, text: String) {
         sys.trace(TraceCategory::Lpm, text);
     }
 
-    pub(crate) fn note_recovery(&mut self, sys: &mut Sys<'_>, text: String) {
+    pub(crate) fn note_recovery(&mut self, sys: &mut dyn Sys, text: String) {
         sys.trace(TraceCategory::Recovery, text);
     }
 
-    fn housekeeping(&mut self, sys: &mut Sys<'_>) {
+    fn housekeeping(&mut self, sys: &mut dyn Sys) {
         let now = sys.now();
         self.pool.reap_idle(now);
         // Shared retention window: broadcast stamps and cached replies of
@@ -424,7 +424,7 @@ impl Lpm {
         self.arm(sys, interval, TimerKind::Housekeeping);
     }
 
-    fn ttl_check(&mut self, sys: &mut Sys<'_>, now: SimTime) {
+    fn ttl_check(&mut self, sys: &mut dyn Sys, now: SimTime) {
         let have_tools = self.conns.values().any(|r| *r == ConnRole::Tool);
         let ccs_hold = self.ccs == self.host && !self.siblings.is_empty();
         let active = self.tree.live_count() > 0
@@ -449,7 +449,7 @@ impl Lpm {
         }
     }
 
-    pub(crate) fn shutdown(&mut self, sys: &mut Sys<'_>, code: i32) {
+    pub(crate) fn shutdown(&mut self, sys: &mut dyn Sys, code: i32) {
         let conns: Vec<ConnId> = self.conns.keys().copied().collect();
         let mut conns = conns;
         conns.sort_unstable();
@@ -461,7 +461,7 @@ impl Lpm {
 }
 
 impl Program for Lpm {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         self.host = sys.host_name().to_string();
         self.started_at = sys.now();
         self.tree = Genealogy::new(self.host.clone());
@@ -521,7 +521,7 @@ impl Program for Lpm {
         }
     }
 
-    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+    fn on_conn_event(&mut self, sys: &mut dyn Sys, conn: ConnId, event: ConnEvent) {
         // Channel-owned connections are routed to their state machines.
         if let Some(host) = self.chan_conns.get(&conn).cloned() {
             self.channel_conn_event(sys, &host, conn, event);
@@ -542,7 +542,7 @@ impl Program for Lpm {
         }
     }
 
-    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+    fn on_message(&mut self, sys: &mut dyn Sys, conn: ConnId, data: Bytes) {
         if let Some(host) = self.chan_conns.get(&conn).cloned() {
             self.channel_message(sys, &host, conn, data);
             return;
@@ -570,11 +570,17 @@ impl Program for Lpm {
         }
     }
 
-    fn on_kernel_event(&mut self, sys: &mut Sys<'_>, msg: KernelMsg) {
+    fn on_kernel_batch(&mut self, sys: &mut dyn Sys, data: bytes::Bytes) {
+        ppm_proto::kernel_wire::for_each_kernel_msg(&data, |msg| {
+            self.ingest_kernel_event(sys, msg);
+        });
+    }
+
+    fn on_kernel_event(&mut self, sys: &mut dyn Sys, msg: KernelMsg) {
         self.ingest_kernel_event(sys, msg);
     }
 
-    fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, token: u64) {
         let Some(kind) = self.rpc.take_timer(token) else {
             return; // cancelled
         };
@@ -594,17 +600,22 @@ impl Program for Lpm {
         }
     }
 
-    fn on_child_exit(&mut self, sys: &mut Sys<'_>, child: ppm_simos::ids::Pid, status: ExitStatus) {
+    fn on_child_exit(
+        &mut self,
+        sys: &mut dyn Sys,
+        child: ppm_runtime::ids::Pid,
+        status: ExitStatus,
+    ) {
         // Child exits also arrive as kernel Exit events (the LPM traces
         // its children); this hook only logs the reaping.
         let _ = (sys, child, status);
     }
 
-    fn on_signal(&mut self, sys: &mut Sys<'_>, signal: Signal) -> ppm_simos::program::SigAction {
+    fn on_signal(&mut self, sys: &mut dyn Sys, signal: Signal) -> ppm_runtime::program::SigAction {
         if signal == Signal::Term || signal == Signal::Hup {
             self.shutdown(sys, 1);
         }
-        ppm_simos::program::SigAction::Handled
+        ppm_runtime::program::SigAction::Handled
     }
 
     fn name(&self) -> &str {
@@ -618,7 +629,7 @@ mod tests {
     //! covered by the crate's integration suites.
     use super::*;
     use crate::auth::UserCred;
-    use ppm_simos::ids::Uid;
+    use ppm_runtime::ids::Uid;
 
     fn lpm() -> Lpm {
         let entry = UserEntry {

@@ -13,14 +13,14 @@
 
 use ppm_proto::msg::Msg;
 use ppm_proto::types::Gpid;
-use ppm_simnet::obs::SpanPhase;
-use ppm_simos::ids::Pid;
-use ppm_simos::signal::Signal;
-use ppm_simos::sys::Sys;
+use ppm_runtime::ids::Pid;
+use ppm_runtime::obs::SpanPhase;
+use ppm_runtime::signal::Signal;
+use ppm_runtime::sys::Sys;
 
 use crate::config::RecoveryPolicy;
 use crate::locator::{PmdExchange, PmdProgress};
-use ppm_simos::program::ConnEvent;
+use ppm_runtime::program::ConnEvent;
 
 use super::{ChanPurpose, Lpm, RecovMode, TimerKind};
 
@@ -29,7 +29,7 @@ impl Lpm {
 
     /// Considers adopting another LPM's CCS view. Higher epochs win; equal
     /// epochs prefer the higher-priority (earlier `.recovery`) host.
-    pub(crate) fn consider_ccs(&mut self, sys: &mut Sys<'_>, ccs: &str, epoch: u64) {
+    pub(crate) fn consider_ccs(&mut self, sys: &mut dyn Sys, ccs: &str, epoch: u64) {
         if ccs.is_empty() {
             return;
         }
@@ -55,7 +55,7 @@ impl Lpm {
             .unwrap_or(usize::MAX)
     }
 
-    fn after_ccs_change(&mut self, sys: &mut Sys<'_>) {
+    fn after_ccs_change(&mut self, sys: &mut dyn Sys) {
         // Leaving orphanhood if we were there.
         if matches!(
             self.recov,
@@ -68,7 +68,7 @@ impl Lpm {
         self.maybe_arm_probe(sys);
     }
 
-    fn maybe_arm_probe(&mut self, sys: &mut Sys<'_>) {
+    fn maybe_arm_probe(&mut self, sys: &mut dyn Sys) {
         if matches!(self.cfg.recovery_policy, RecoveryPolicy::NameServer { .. }) {
             // Assignments are stable until the name server reassigns;
             // there is no priority list to probe upward.
@@ -84,7 +84,7 @@ impl Lpm {
     }
 
     /// Announces the current CCS view on all sibling channels.
-    pub(crate) fn announce_ccs(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn announce_ccs(&mut self, sys: &mut dyn Sys) {
         let msg = Msg::CcsAnnounce {
             user: self.auth.uid().0,
             ccs: self.ccs.clone(),
@@ -99,7 +99,7 @@ impl Lpm {
     // ---- failure detection entry points --------------------------------------
 
     /// A sibling connection was lost: Section 5's trigger for recovery.
-    pub(crate) fn on_sibling_lost(&mut self, sys: &mut Sys<'_>, host: &str) {
+    pub(crate) fn on_sibling_lost(&mut self, sys: &mut dyn Sys, host: &str) {
         if matches!(self.recov, RecovMode::Seeking { .. }) {
             return; // already walking the list
         }
@@ -115,7 +115,7 @@ impl Lpm {
 
     fn start_channel_if_absent(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         host: &str,
         purpose: ChanPurpose,
     ) -> bool {
@@ -127,7 +127,7 @@ impl Lpm {
 
     /// Locates a new CCS: walks the `.recovery` list, or asks the name
     /// server, per the configured policy.
-    pub(crate) fn start_seek(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn start_seek(&mut self, sys: &mut dyn Sys) {
         match self.cfg.recovery_policy.clone() {
             RecoveryPolicy::RecoveryFile => {
                 self.recov = RecovMode::Seeking { rank: 0 };
@@ -144,7 +144,7 @@ impl Lpm {
     // ---- name-server CCS policy (Section 5 alternative) ---------------------
 
     /// Starts (or restarts) a CCS query toward the name server's pmd.
-    pub(crate) fn begin_ns_query(&mut self, sys: &mut Sys<'_>, dead: Option<String>) {
+    pub(crate) fn begin_ns_query(&mut self, sys: &mut dyn Sys, dead: Option<String>) {
         let RecoveryPolicy::NameServer { host } = self.cfg.recovery_policy.clone() else {
             return;
         };
@@ -164,7 +164,7 @@ impl Lpm {
     }
 
     /// Routes a connection event into the in-flight name-server exchange.
-    pub(crate) fn ns_conn_event(&mut self, sys: &mut Sys<'_>, ev: ConnEvent) {
+    pub(crate) fn ns_conn_event(&mut self, sys: &mut dyn Sys, ev: ConnEvent) {
         let Some(mut x) = self.ns_query.take() else {
             return;
         };
@@ -174,7 +174,7 @@ impl Lpm {
     }
 
     /// Routes a message into the in-flight name-server exchange.
-    pub(crate) fn ns_message(&mut self, sys: &mut Sys<'_>, data: bytes::Bytes) {
+    pub(crate) fn ns_message(&mut self, sys: &mut dyn Sys, data: bytes::Bytes) {
         let Some(mut x) = self.ns_query.take() else {
             return;
         };
@@ -184,7 +184,7 @@ impl Lpm {
     }
 
     /// The NsRetry timer fired.
-    pub(crate) fn ns_retry(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn ns_retry(&mut self, sys: &mut dyn Sys) {
         let Some(mut x) = self.ns_query.take() else {
             return;
         };
@@ -196,7 +196,7 @@ impl Lpm {
         self.apply_ns_progress(sys, progress);
     }
 
-    fn apply_ns_progress(&mut self, sys: &mut Sys<'_>, progress: PmdProgress) {
+    fn apply_ns_progress(&mut self, sys: &mut dyn Sys, progress: PmdProgress) {
         match progress {
             PmdProgress::Pending => {}
             PmdProgress::RetryAfter(d) => {
@@ -237,7 +237,7 @@ impl Lpm {
         }
     }
 
-    fn try_seek_candidate(&mut self, sys: &mut Sys<'_>) {
+    fn try_seek_candidate(&mut self, sys: &mut dyn Sys) {
         let RecovMode::Seeking { rank } = self.recov else {
             return;
         };
@@ -267,7 +267,7 @@ impl Lpm {
         }
     }
 
-    fn adopt_candidate(&mut self, sys: &mut Sys<'_>, candidate: &str) {
+    fn adopt_candidate(&mut self, sys: &mut dyn Sys, candidate: &str) {
         self.epoch += 1;
         self.obs.with(|r| r.inc(self.obs.ccs_elections));
         self.ccs = candidate.to_string();
@@ -282,7 +282,7 @@ impl Lpm {
     }
 
     /// This LPM assumes the CCS role.
-    pub(crate) fn become_ccs(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn become_ccs(&mut self, sys: &mut dyn Sys) {
         self.epoch += 1;
         self.obs.with(|r| r.inc(self.obs.ccs_elections));
         self.ccs = self.host.clone();
@@ -296,7 +296,7 @@ impl Lpm {
     /// Outcome of a channel started for recovery purposes.
     pub(crate) fn channel_purpose_done(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         host: &str,
         purpose: ChanPurpose,
         success: bool,
@@ -326,7 +326,7 @@ impl Lpm {
 
     // ---- orphanhood and time-to-die ------------------------------------------
 
-    fn enter_orphanhood(&mut self, sys: &mut Sys<'_>) {
+    fn enter_orphanhood(&mut self, sys: &mut dyn Sys) {
         let now = sys.now();
         let ttd = self.cfg.time_to_die;
         // The deadline is set once, when contact is first lost; failed
@@ -358,7 +358,7 @@ impl Lpm {
     /// not in contact with a CCS resumes the normal mode of operation if
     /// it manages to connect to the CCS at any future retry, or gets a
     /// communication request from a LPM in contact with a valid CCS."
-    pub(crate) fn recovered_contact(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn recovered_contact(&mut self, sys: &mut dyn Sys) {
         if matches!(self.recov, RecovMode::Orphan { .. }) {
             self.recov = RecovMode::Normal;
             self.note_recovery(
@@ -370,14 +370,14 @@ impl Lpm {
     }
 
     /// Periodic retry while orphaned.
-    pub(crate) fn seek_retry(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn seek_retry(&mut self, sys: &mut dyn Sys) {
         if matches!(self.recov, RecovMode::Orphan { .. }) {
             self.start_seek(sys);
         }
     }
 
     /// The time-to-die deadline fired.
-    pub(crate) fn time_to_die(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn time_to_die(&mut self, sys: &mut dyn Sys) {
         self.ttd_armed = false;
         // Still disconnected? (Seeking counts: the walk is failing.)
         let Some(deadline) = self.orphan_deadline else {
@@ -414,7 +414,7 @@ impl Lpm {
     }
 
     /// Low-frequency probe of higher-priority recovery hosts.
-    pub(crate) fn probe_tick(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn probe_tick(&mut self, sys: &mut dyn Sys) {
         self.probe_armed = false;
         if self.ccs != self.host {
             return; // no longer acting CCS
@@ -448,7 +448,7 @@ impl Lpm {
     /// A probed host answered.
     pub(crate) fn handle_probe_ack(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         from: &str,
         ccs: &str,
         epoch: u64,
@@ -472,7 +472,7 @@ impl Lpm {
     /// Housekeeping hook: keep the probe timer alive while acting CCS,
     /// and keepalive the CCS channel so partitions are discovered — a
     /// break is only observable on send, like TCP.
-    pub(crate) fn recovery_housekeeping(&mut self, sys: &mut Sys<'_>) {
+    pub(crate) fn recovery_housekeeping(&mut self, sys: &mut dyn Sys) {
         self.maybe_arm_probe(sys);
         let now = sys.now();
         let interval = self.cfg.probe_interval;
@@ -492,7 +492,7 @@ impl Lpm {
 
     /// Stamps an outgoing probe for RTT measurement. An unanswered probe
     /// keeps its original stamp so the eventual ack measures the full gap.
-    fn note_probe_sent(&mut self, sys: &mut Sys<'_>, host: &str) {
+    fn note_probe_sent(&mut self, sys: &mut dyn Sys, host: &str) {
         if !self.probe_sent.contains_key(host) {
             self.probe_sent.insert(host.to_string(), sys.now());
             if sys.spans_enabled() {
@@ -510,8 +510,8 @@ impl Lpm {
     /// them ([`Msg::ForestPull`]).
     pub(crate) fn readopt_survivors(
         &mut self,
-        sys: &mut Sys<'_>,
-        crashed_at: ppm_simnet::time::SimTime,
+        sys: &mut dyn Sys,
+        crashed_at: ppm_runtime::time::SimTime,
     ) {
         let me = sys.pid();
         let flags = self.cfg.default_trace_flags;
@@ -590,7 +590,7 @@ impl Lpm {
 
     /// While rebuilding, ask a freshly connected sibling for the logical
     /// parents of the survivors that still look like failure roots.
-    pub(crate) fn maybe_pull_forest(&mut self, sys: &mut Sys<'_>, conn: ppm_simos::ids::ConnId) {
+    pub(crate) fn maybe_pull_forest(&mut self, sys: &mut dyn Sys, conn: ppm_runtime::ids::ConnId) {
         if !self.rebuilding {
             return;
         }
@@ -612,8 +612,8 @@ impl Lpm {
     /// means we have nothing to contribute.
     pub(crate) fn handle_forest_pull(
         &mut self,
-        sys: &mut Sys<'_>,
-        conn: ppm_simos::ids::ConnId,
+        sys: &mut dyn Sys,
+        conn: ppm_runtime::ids::ConnId,
         from: &str,
         live: Vec<u32>,
     ) {
@@ -653,7 +653,7 @@ impl Lpm {
     /// edges onto the rebuilt forest, undoing the crash's degeneration.
     pub(crate) fn handle_forest_info(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         host: &str,
         edges: Vec<(u32, Gpid)>,
     ) {

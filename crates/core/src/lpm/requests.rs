@@ -10,15 +10,15 @@
 
 use ppm_proto::msg::{ControlAction, ErrCode, Msg, Op, Reply};
 use ppm_proto::types::{FileRecord, Gpid, Route};
-use ppm_simnet::obs::SpanPhase;
-use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simos::events::TraceFlags;
-use ppm_simos::fd::FdKind;
-use ppm_simos::ids::{ConnId, Pid};
-use ppm_simos::program::{SpawnSpec, SysError};
-use ppm_simos::signal::Signal;
-use ppm_simos::sys::Sys;
-use ppm_simos::workload::Worker;
+use ppm_runtime::events::TraceFlags;
+use ppm_runtime::fd::FdKind;
+use ppm_runtime::ids::{ConnId, Pid};
+use ppm_runtime::obs::SpanPhase;
+use ppm_runtime::program::{SpawnSpec, SysError};
+use ppm_runtime::signal::Signal;
+use ppm_runtime::sys::Sys;
+use ppm_runtime::time::{SimDuration, SimTime};
+use ppm_runtime::workload::Worker;
 
 use crate::rpc::{fmt_key, DupVerdict, PendingRequest, RpcKey, TransportVerdict};
 
@@ -71,7 +71,7 @@ impl Lpm {
     // ---- entry points -------------------------------------------------------
 
     /// A message arrived from an authenticated tool.
-    pub(crate) fn handle_tool_msg(&mut self, sys: &mut Sys<'_>, conn: ConnId, msg: Msg) {
+    pub(crate) fn handle_tool_msg(&mut self, sys: &mut dyn Sys, conn: ConnId, msg: Msg) {
         match msg {
             Msg::Req {
                 id,
@@ -105,7 +105,7 @@ impl Lpm {
     /// A message arrived from an authenticated sibling.
     pub(crate) fn handle_sibling_msg(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         conn: ConnId,
         host: &str,
         msg: Msg,
@@ -197,7 +197,7 @@ impl Lpm {
     #[allow(clippy::too_many_arguments)]
     fn ingest_sibling_req(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         conn: ConnId,
         id: u64,
         user: u32,
@@ -281,8 +281,9 @@ impl Lpm {
         // Deadline propagation: decay by one hop in lockstep with the
         // hops_left decrement, and refuse what has already expired.
         let deadline = if deadline_us > 0 {
-            let decayed = deadline_us.saturating_sub(self.cfg.deadline_decay.as_micros());
-            if decayed <= sys.now().as_micros() {
+            let decayed =
+                SimTime::from_micros(deadline_us).saturating_back(self.cfg.deadline_decay);
+            if decayed <= sys.now() {
                 self.obs.with(|r| r.inc(self.obs.deadline_refused));
                 self.refuse(
                     sys,
@@ -294,7 +295,7 @@ impl Lpm {
                 );
                 return;
             }
-            Some(SimTime::from_micros(decayed))
+            Some(decayed)
         } else {
             None
         };
@@ -320,7 +321,7 @@ impl Lpm {
     /// any table state (hop-budget and deadline refusals).
     pub(crate) fn refuse(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         conn: ConnId,
         external_id: u64,
         route: Route,
@@ -344,7 +345,7 @@ impl Lpm {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn begin_request(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         user: u32,
         dest: String,
         op: Op,
@@ -400,7 +401,7 @@ impl Lpm {
     }
 
     /// A `ReqStep` timer fired: advance the pipeline.
-    pub(crate) fn req_step(&mut self, sys: &mut Sys<'_>, id: u64) {
+    pub(crate) fn req_step(&mut self, sys: &mut dyn Sys, id: u64) {
         let Some(req) = self.rpc.get(id) else {
             return;
         };
@@ -427,7 +428,7 @@ impl Lpm {
     }
 
     /// After dispatch: local, broadcast, or remote?
-    fn route_request(&mut self, sys: &mut Sys<'_>, id: u64) {
+    fn route_request(&mut self, sys: &mut dyn Sys, id: u64) {
         let (dest, from_sibling) = {
             let r = self.rpc.get(id).expect("routed request exists");
             (
@@ -490,7 +491,7 @@ impl Lpm {
 
     // ---- remote sends -----------------------------------------------------------
 
-    fn send_remote(&mut self, sys: &mut Sys<'_>, id: u64) {
+    fn send_remote(&mut self, sys: &mut dyn Sys, id: u64) {
         let dest = self
             .rpc
             .get(id)
@@ -548,7 +549,7 @@ impl Lpm {
         }
     }
 
-    fn forward_req(&mut self, sys: &mut Sys<'_>, id: u64, conn: ConnId) {
+    fn forward_req(&mut self, sys: &mut dyn Sys, id: u64, conn: ConnId) {
         let msg = self.req_wire_msg(id);
         match self.send_msg(sys, conn, &msg) {
             Ok(()) => self.mark_sent(sys, id, conn),
@@ -566,7 +567,7 @@ impl Lpm {
     /// Records that a request went out on `conn` and arms its per-attempt
     /// timer (clipped to the remaining deadline, so an expiring request
     /// fails as `DeadlineExceeded` rather than idling a full timeout).
-    pub(crate) fn mark_sent(&mut self, sys: &mut Sys<'_>, id: u64, conn: ConnId) {
+    pub(crate) fn mark_sent(&mut self, sys: &mut dyn Sys, id: u64, conn: ConnId) {
         let now = sys.now();
         let mut timeout = self.cfg.req_timeout;
         if let Some(r) = self.rpc.get(id) {
@@ -584,7 +585,7 @@ impl Lpm {
 
     /// A `Resp` arrived for a request we sent (or relayed), addressed by
     /// its correlation key `(route origin, wire id)`.
-    fn handle_resp(&mut self, sys: &mut Sys<'_>, id: u64, reply: Reply, route: Route) {
+    fn handle_resp(&mut self, sys: &mut dyn Sys, id: u64, reply: Reply, route: Route) {
         let Some(origin) = route.origin() else {
             return;
         };
@@ -617,7 +618,7 @@ impl Lpm {
     /// hit an in-flight request. Origin-side requests with budget left
     /// retry with backoff under the same correlation id; everything else
     /// fails upstream.
-    pub(crate) fn fail_request_transport(&mut self, sys: &mut Sys<'_>, id: u64, detail: &str) {
+    pub(crate) fn fail_request_transport(&mut self, sys: &mut dyn Sys, id: u64, detail: &str) {
         let now = sys.now();
         let Some(r) = self.rpc.get_mut(id) else {
             return;
@@ -634,7 +635,7 @@ impl Lpm {
     }
 
     /// A directed request's per-attempt timer expired.
-    pub(crate) fn req_timeout(&mut self, sys: &mut Sys<'_>, id: u64) {
+    pub(crate) fn req_timeout(&mut self, sys: &mut dyn Sys, id: u64) {
         let now = sys.now();
         let Some(r) = self.rpc.get_mut(id) else {
             return;
@@ -652,7 +653,7 @@ impl Lpm {
     }
 
     /// Parks a request for its backoff delay before the next attempt.
-    fn schedule_retry(&mut self, sys: &mut Sys<'_>, id: u64, delay: SimDuration, why: &str) {
+    fn schedule_retry(&mut self, sys: &mut dyn Sys, id: u64, delay: SimDuration, why: &str) {
         self.stats.retries += 1;
         self.obs.with(|r| {
             r.inc(self.obs.retries);
@@ -673,7 +674,7 @@ impl Lpm {
 
     /// A retry backoff elapsed: re-send under the same correlation id.
     /// The handler acquired for the first attempt is still held.
-    pub(crate) fn req_retry(&mut self, sys: &mut Sys<'_>, id: u64) {
+    pub(crate) fn req_retry(&mut self, sys: &mut dyn Sys, id: u64) {
         let Some(r) = self.rpc.get_mut(id) else {
             return;
         };
@@ -687,7 +688,7 @@ impl Lpm {
     // ---- local execution ----------------------------------------------------------
 
     /// Op-cost elapsed: apply the operation's effects.
-    fn exec_local(&mut self, sys: &mut Sys<'_>, id: u64) {
+    fn exec_local(&mut self, sys: &mut dyn Sys, id: u64) {
         let op = self
             .rpc
             .get(id)
@@ -778,7 +779,7 @@ impl Lpm {
         }
     }
 
-    pub(crate) fn status_reply(&self, sys: &Sys<'_>) -> Reply {
+    pub(crate) fn status_reply(&self, sys: &dyn Sys) -> Reply {
         Reply::Status {
             host: self.host.clone(),
             load_milli: (sys.load_avg() * 1000.0) as u32,
@@ -789,7 +790,7 @@ impl Lpm {
         }
     }
 
-    fn do_control(&mut self, sys: &mut Sys<'_>, pid: u32, action: ControlAction) -> Reply {
+    fn do_control(&mut self, sys: &mut dyn Sys, pid: u32, action: ControlAction) -> Reply {
         let signal = match action {
             ControlAction::Stop => Signal::Stop,
             ControlAction::Foreground | ControlAction::Background => Signal::Cont,
@@ -829,7 +830,7 @@ impl Lpm {
     #[allow(clippy::too_many_arguments)]
     fn do_spawn(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         id: u64,
         command: String,
         logical_parent: Option<Gpid>,
@@ -878,7 +879,7 @@ impl Lpm {
         None
     }
 
-    fn do_adopt(&mut self, sys: &mut Sys<'_>, pid: u32, flags: u8) -> Reply {
+    fn do_adopt(&mut self, sys: &mut dyn Sys, pid: u32, flags: u8) -> Reply {
         let flags = TraceFlags::from_bits(flags);
         match sys.adopt(Pid(pid), flags) {
             Ok(()) => {}
@@ -928,7 +929,7 @@ impl Lpm {
         Reply::Ok
     }
 
-    fn do_open_files(&mut self, sys: &mut Sys<'_>, pid: u32) -> Reply {
+    fn do_open_files(&mut self, sys: &mut dyn Sys, pid: u32) -> Reply {
         match sys.open_fds(Pid(pid)) {
             Ok(entries) => Reply::Files {
                 entries: entries
@@ -955,7 +956,7 @@ impl Lpm {
     // ---- completion ------------------------------------------------------------
 
     /// Completes a request with a reply, releasing its resources.
-    pub(crate) fn finish_req(&mut self, sys: &mut Sys<'_>, id: u64, reply: Reply) {
+    pub(crate) fn finish_req(&mut self, sys: &mut dyn Sys, id: u64, reply: Reply) {
         self.finish_req_via(sys, id, reply, None);
     }
 
@@ -964,7 +965,7 @@ impl Lpm {
     /// sent upstream, so origins see whole paths.
     fn finish_req_via(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         id: u64,
         reply: Reply,
         resp_route: Option<Route>,
@@ -1068,7 +1069,7 @@ impl Lpm {
     /// Completes a request with an error.
     pub(crate) fn finish_with_error(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         id: u64,
         code: ErrCode,
         detail: &str,

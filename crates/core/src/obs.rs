@@ -1,9 +1,9 @@
 //! PPM observability: the LPM's metric set, wire conversion, and the
 //! exporters behind `ppm-sim --metrics` / `--spans`.
 //!
-//! Every LPM owns a [`ppm_simnet::obs::Registry`] behind a shared handle
-//! ([`LpmObs`]) and registers it with the world's
-//! [`ppm_simos::obs::ObsHub`] at start, so a harness samples every
+//! Every LPM owns a [`ppm_runtime::obs::Registry`] behind a shared handle
+//! ([`LpmObs`]) and registers it with the world's observability hub at
+//! start, so a harness samples every
 //! registry at end of run without generating simulated traffic. The same
 //! registry is what [`ppm_proto::msg::Op::Metrics`] snapshots remotely:
 //! [`rows`] converts samples into wire [`MetricRow`]s.
@@ -12,18 +12,16 @@
 //! same-seed run renders byte-identical metrics and span files (the CI
 //! determinism gate diffs them).
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::rc::Rc;
 
 use ppm_proto::types::MetricRow;
-use ppm_simnet::obs::{CounterId, HistId, MetricSample, MetricValue, SpanEvent, SpanPhase};
-use ppm_simos::obs::SharedRegistry;
+use ppm_runtime::obs::SharedRegistry;
+use ppm_runtime::obs::{CounterId, HistId, MetricSample, MetricValue, SpanEvent, SpanPhase};
 
 /// The LPM's registered metric set: ids into its shared registry.
 ///
-/// Hot-path updates go through [`LpmObs::with`], a `RefCell` borrow plus
-/// an array add.
+/// Hot-path updates go through [`LpmObs::with`], a relaxed atomic add
+/// into the sealed registry — no lock on either backend.
 pub(crate) struct LpmObs {
     pub registry: SharedRegistry,
     /// Requests entering the pipeline.
@@ -58,8 +56,7 @@ pub(crate) struct LpmObs {
 
 impl LpmObs {
     pub(crate) fn new() -> Self {
-        let registry: SharedRegistry = Rc::new(RefCell::new(Default::default()));
-        let mut r = registry.borrow_mut();
+        let mut r = ppm_runtime::obs::Registry::new();
         let requests = r.counter("rpc.requests");
         let retries = r.counter("rpc.retries");
         let dups_suppressed = r.counter("rpc.dups_suppressed");
@@ -74,9 +71,8 @@ impl LpmObs {
         let restarts = r.counter("lpm.restarts");
         let readopted = r.counter("lpm.readopted");
         let mttr_us = r.hist("lpm.mttr_us");
-        drop(r);
         LpmObs {
-            registry,
+            registry: r.into_shared(),
             requests,
             retries,
             dups_suppressed,
@@ -94,15 +90,15 @@ impl LpmObs {
         }
     }
 
-    /// Runs `f` with the registry borrowed mutably.
+    /// Runs `f` against the sealed registry (lock-free atomic updates).
     #[inline]
-    pub(crate) fn with<T>(&self, f: impl FnOnce(&mut ppm_simnet::obs::Registry) -> T) -> T {
-        f(&mut self.registry.borrow_mut())
+    pub(crate) fn with<T>(&self, f: impl FnOnce(&ppm_runtime::obs::Registry) -> T) -> T {
+        f(&self.registry)
     }
 
     /// Samples the registry into wire rows (name-sorted, deterministic).
     pub(crate) fn rows(&self) -> Vec<MetricRow> {
-        rows(&self.registry.borrow().snapshot())
+        rows(&self.registry.snapshot())
     }
 }
 
@@ -256,8 +252,8 @@ fn json_escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppm_simnet::time::SimTime;
-    use ppm_simnet::topology::HostId;
+    use ppm_runtime::ids::HostId;
+    use ppm_runtime::time::SimTime;
 
     #[test]
     fn lpm_obs_samples_to_trimmed_rows() {
@@ -265,8 +261,8 @@ mod tests {
         obs.with(|r| {
             let _ = r;
         });
-        obs.registry.borrow_mut().inc(obs.retries);
-        obs.registry.borrow_mut().record(obs.backoff_us, 250_000);
+        obs.registry.inc(obs.retries);
+        obs.registry.record(obs.backoff_us, 250_000);
         let rows = obs.rows();
         assert!(rows.iter().any(|r| r.name == "rpc.retries" && r.value == 1));
         let h = rows.iter().find(|r| r.name == "rpc.backoff_us").unwrap();

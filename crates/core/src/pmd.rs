@@ -11,17 +11,17 @@
 //! behind [`PmdOptions::stable_storage`] and ablated in `ppm-bench`.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use bytes::Bytes;
 use ppm_proto::codec::{Dec, Enc, Wire};
 use ppm_proto::msg::Msg;
-use ppm_simnet::time::SimTime;
-use ppm_simnet::trace::TraceCategory;
-use ppm_simos::ids::{ConnId, Pid, Port, Uid};
-use ppm_simos::program::{Program, SpawnSpec};
-use ppm_simos::signal::ExitStatus;
-use ppm_simos::sys::Sys;
+use ppm_runtime::ids::{ConnId, Pid, Port, Uid};
+use ppm_runtime::program::{Program, SpawnSpec};
+use ppm_runtime::signal::ExitStatus;
+use ppm_runtime::sys::Sys;
+use ppm_runtime::time::SimTime;
+use ppm_runtime::trace::TraceCategory;
 
 use crate::config::lpm_port;
 use crate::lpm::Lpm;
@@ -48,7 +48,7 @@ pub struct PmdOptions {
 
 /// The daemon program.
 pub struct Pmd {
-    users: Rc<UserDirectory>,
+    users: Arc<UserDirectory>,
     options: PmdOptions,
     registry: HashMap<u32, (Pid, Port)>,
     /// Reverse index of `registry`: LPM pid → owning uid. Keeps the
@@ -73,7 +73,7 @@ impl std::fmt::Debug for Pmd {
 
 impl Pmd {
     /// Creates a pmd that accepts on `port` and consults `users`.
-    pub fn new(users: Rc<UserDirectory>, port: Port, options: PmdOptions) -> Self {
+    pub fn new(users: Arc<UserDirectory>, port: Port, options: PmdOptions) -> Self {
         Pmd {
             users,
             options,
@@ -94,7 +94,7 @@ impl Pmd {
         self.lpm_pids.insert(pid, user);
     }
 
-    fn persist(&mut self, sys: &mut Sys<'_>) {
+    fn persist(&mut self, sys: &mut dyn Sys) {
         if !self.options.stable_storage {
             return;
         }
@@ -113,7 +113,7 @@ impl Pmd {
         sys.stable_put(REGISTRY_KEY, enc.into_bytes());
     }
 
-    fn restore(&mut self, sys: &mut Sys<'_>) {
+    fn restore(&mut self, sys: &mut dyn Sys) {
         if !self.options.stable_storage {
             return;
         }
@@ -149,7 +149,7 @@ impl Pmd {
         }
     }
 
-    fn persist_ccs(&mut self, sys: &mut Sys<'_>) {
+    fn persist_ccs(&mut self, sys: &mut dyn Sys) {
         if !self.options.stable_storage {
             return;
         }
@@ -168,7 +168,7 @@ impl Pmd {
         sys.stable_put(CCS_KEY, enc.into_bytes());
     }
 
-    fn restore_ccs(&mut self, sys: &mut Sys<'_>) {
+    fn restore_ccs(&mut self, sys: &mut dyn Sys) {
         if !self.options.stable_storage {
             return;
         }
@@ -188,7 +188,7 @@ impl Pmd {
     /// assignment at all, promotes the claimant.
     fn assign_ccs(
         &mut self,
-        sys: &mut Sys<'_>,
+        sys: &mut dyn Sys,
         user: u32,
         claimant: String,
         dead: Option<String>,
@@ -209,7 +209,7 @@ impl Pmd {
         self.ccs_registry.get(&user).cloned().expect("just ensured")
     }
 
-    fn live_lpm(&self, sys: &Sys<'_>, user: u32) -> Option<Port> {
+    fn live_lpm(&self, sys: &dyn Sys, user: u32) -> Option<Port> {
         let &(pid, port) = self.registry.get(&user)?;
         let alive = sys
             .proc_info(pid)
@@ -217,7 +217,7 @@ impl Pmd {
         alive.then_some(port)
     }
 
-    fn create_lpm(&mut self, sys: &mut Sys<'_>, user: u32) -> Option<(Port, bool)> {
+    fn create_lpm(&mut self, sys: &mut dyn Sys, user: u32) -> Option<(Port, bool)> {
         if let Some(port) = self.live_lpm(sys, user) {
             return Some((port, false));
         }
@@ -238,7 +238,7 @@ impl Pmd {
     /// Respawns a crashed user's LPM in crash-recovery mode: the
     /// replacement re-adopts survivors and measures its recovery time
     /// from `crashed_at`.
-    fn respawn_lpm(&mut self, sys: &mut Sys<'_>, user: u32, crashed_at: SimTime) -> Option<Pid> {
+    fn respawn_lpm(&mut self, sys: &mut dyn Sys, user: u32, crashed_at: SimTime) -> Option<Pid> {
         let entry = self.users.get(Uid(user))?.clone();
         let port = lpm_port(Uid(user));
         let program = Lpm::respawned(&entry, crashed_at);
@@ -254,23 +254,23 @@ impl Pmd {
     }
 }
 
-/// The host's crash stamp ([`ppm_simos::world::CRASHED_AT_KEY`]), if the
+/// The host's crash stamp ([`ppm_runtime::sys::CRASHED_AT_KEY`]), if the
 /// host ever crashed: big-endian micros written at teardown time.
-fn crash_stamp(sys: &Sys<'_>) -> Option<SimTime> {
-    let raw = sys.stable_get(ppm_simos::world::CRASHED_AT_KEY)?;
+fn crash_stamp(sys: &dyn Sys) -> Option<SimTime> {
+    let raw = sys.stable_get(ppm_runtime::sys::CRASHED_AT_KEY)?;
     let bytes: [u8; 8] = raw.as_ref().try_into().ok()?;
     Some(SimTime::from_micros(u64::from_be_bytes(bytes)))
 }
 
 impl Program for Pmd {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         sys.listen(self.port)
             .expect("pmd port free (inetd singleton)");
         self.restore(sys);
         self.restore_ccs(sys);
     }
 
-    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+    fn on_message(&mut self, sys: &mut dyn Sys, conn: ConnId, data: Bytes) {
         self.requests_served += 1;
         let reply = match Msg::from_bytes(&data) {
             Ok(Msg::CreateLpm { user }) => match self.create_lpm(sys, user) {
@@ -302,7 +302,7 @@ impl Program for Pmd {
         let _ = sys.send(conn, reply.to_bytes());
     }
 
-    fn on_child_exit(&mut self, sys: &mut Sys<'_>, child: Pid, status: ExitStatus) {
+    fn on_child_exit(&mut self, sys: &mut dyn Sys, child: Pid, status: ExitStatus) {
         // O(1) pid → uid through the reverse index — a host carrying
         // thousands of users must not rescan its whole registry per
         // child exit. The dead pid leaves the index either way; the

@@ -33,8 +33,8 @@ use std::sync::Arc;
 
 use ppm_proto::msg::{Op, Reply};
 use ppm_proto::types::Route;
-use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simos::ids::ConnId;
+use ppm_runtime::ids::ConnId;
+use ppm_runtime::time::{SimDuration, SimTime};
 
 use crate::handlers::HandlerId;
 

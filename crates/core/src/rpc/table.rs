@@ -10,9 +10,9 @@ use std::collections::{BTreeMap, HashMap};
 
 use ppm_proto::msg::{ErrCode, Reply};
 use ppm_proto::types::Route;
-use ppm_simnet::hashx::FastMap;
-use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simos::sys::Sys;
+use ppm_runtime::hashx::FastMap;
+use ppm_runtime::sys::Sys;
+use ppm_runtime::time::{SimDuration, SimTime};
 
 use super::{DedupEntry, PendingRequest, ReqPhase, RpcKey, TimerKind};
 
@@ -117,7 +117,7 @@ impl RpcTable {
     }
 
     /// Local ids whose request was last sent on `conn` (stable order).
-    pub(crate) fn sent_on(&self, conn: ppm_simos::ids::ConnId) -> Vec<u64> {
+    pub(crate) fn sent_on(&self, conn: ppm_runtime::ids::ConnId) -> Vec<u64> {
         let mut ids: Vec<u64> = self
             .pending
             .iter()
@@ -254,7 +254,7 @@ impl RpcTable {
     // ---- timers ----------------------------------------------------------
 
     /// Arms a timer and records what it means.
-    pub(crate) fn arm(&mut self, sys: &mut Sys<'_>, d: SimDuration, kind: TimerKind) -> u64 {
+    pub(crate) fn arm(&mut self, sys: &mut dyn Sys, d: SimDuration, kind: TimerKind) -> u64 {
         let token = self.next_token;
         self.next_token += 1;
         self.timers.insert(token, kind);
@@ -293,12 +293,7 @@ impl PendingRequest {
             let delay = self.backoff;
             // Double toward the ceiling; without the clamp a
             // long-partitioned origin ends up with multi-hour sim timers.
-            self.backoff = SimDuration::from_micros(
-                self.backoff
-                    .as_micros()
-                    .saturating_mul(2)
-                    .min(self.backoff_max.as_micros()),
-            );
+            self.backoff = self.backoff.saturating_mul(2).min(self.backoff_max);
             return TransportVerdict::Retry { delay };
         }
         TransportVerdict::Fail(if timed_out {
@@ -526,7 +521,7 @@ mod tests {
         let mut r = req(
             (Arc::from("orig"), 1),
             ReplyTo::Sibling {
-                conn: ppm_simos::ids::ConnId(3),
+                conn: ppm_runtime::ids::ConnId(3),
                 external_id: 1,
                 route_in: Route::from_origin("orig"),
             },

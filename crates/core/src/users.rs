@@ -8,9 +8,9 @@
 //! configuration.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
-use ppm_simos::ids::Uid;
+use ppm_runtime::ids::Uid;
 
 use crate::auth::UserCred;
 use crate::config::PpmConfig;
@@ -27,7 +27,7 @@ pub struct UserEntry {
 }
 
 /// The directory shared by all pmds and tools (single-threaded world, so
-/// an `Rc` clone per daemon is the sharing mechanism).
+/// an `Arc` clone per daemon is the sharing mechanism).
 #[derive(Debug, Default)]
 pub struct UserDirectory {
     users: HashMap<u32, UserEntry>,
@@ -60,8 +60,8 @@ impl UserDirectory {
     }
 
     /// Wraps the directory for sharing with daemon factories.
-    pub fn into_shared(self) -> Rc<UserDirectory> {
-        Rc::new(self)
+    pub fn into_shared(self) -> Arc<UserDirectory> {
+        Arc::new(self)
     }
 }
 

@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 
 use ppm_core::client::ToolStep;
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_harness::harness::{HarnessError, PpmHarness};
 use ppm_proto::msg::{ControlAction, Op};
 use ppm_proto::types::Gpid;
 use ppm_simnet::time::{SimDuration, SimTime};

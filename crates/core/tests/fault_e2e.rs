@@ -10,8 +10,8 @@
 use std::collections::BTreeSet;
 
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
 use ppm_core::pmd::PmdOptions;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::types::{Gpid, WireProcState};
 use ppm_simnet::fault::FaultPlan;
 use ppm_simnet::time::SimDuration;

@@ -5,7 +5,7 @@
 
 use ppm_core::client::ToolStep;
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_harness::harness::{HarnessError, PpmHarness};
 use ppm_proto::msg::{ControlAction, Op, Reply};
 use ppm_proto::triggers::{EventPattern, TriggerAction, TriggerSpec};
 use ppm_proto::types::{Gpid, WireProcState};
@@ -745,7 +745,7 @@ fn concurrent_tools_are_all_served() {
         .unwrap();
     ppm.run_for(SimDuration::from_secs(20));
     for (i, h) in [h1, h2, h3].iter().enumerate() {
-        let o = h.borrow().clone();
+        let o = h.lock().unwrap().clone();
         assert!(o.done, "tool {i} finished");
         assert!(o.error.is_none(), "tool {i}: {:?}", o.error);
         assert_eq!(o.replies.len(), 1, "tool {i}");

@@ -5,8 +5,8 @@
 //! network administrators."
 
 use ppm_core::config::{PpmConfig, RecoveryPolicy};
-use ppm_core::harness::PpmHarness;
 use ppm_core::pmd::PmdOptions;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::Reply;
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::CpuClass;

@@ -5,8 +5,8 @@
 
 use ppm_core::client::ToolStep;
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
 use ppm_core::pmd::PmdOptions;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::{ControlAction, Op, Reply};
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::CpuClass;
@@ -489,7 +489,7 @@ fn crash_mid_broadcast_still_completes_with_partial_results() {
         .schedule_crash(far, SimDuration::from_millis(120));
     ppm.run_for(SimDuration::from_secs(10));
 
-    let outcome = handle.borrow().clone();
+    let outcome = handle.lock().unwrap().clone();
     assert!(
         outcome.done,
         "snapshot completed despite the mid-wave crash"

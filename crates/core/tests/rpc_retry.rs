@@ -11,7 +11,7 @@
 
 use ppm_core::client::ToolStep;
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::{ErrCode, Op, Reply};
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::CpuClass;
@@ -151,7 +151,7 @@ fn lost_reply_is_replayed_from_the_dedup_cache_not_reexecuted() {
         .schedule_link(a, b, true, SimDuration::from_millis(1));
     ppm.run_for(SimDuration::from_secs(20));
 
-    let outcome = handle.borrow().clone();
+    let outcome = handle.lock().unwrap().clone();
     assert!(outcome.done, "tool finished after the retry");
     assert!(outcome.error.is_none(), "error: {:?}", outcome.error);
     assert!(
@@ -198,7 +198,7 @@ fn expired_deadline_is_refused_in_flight() {
         .unwrap();
     ppm.run_for(SimDuration::from_secs(10));
 
-    let outcome = handle.borrow().clone();
+    let outcome = handle.lock().unwrap().clone();
     assert!(outcome.done);
     assert!(
         matches!(

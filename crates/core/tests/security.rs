@@ -6,13 +6,13 @@ use bytes::Bytes;
 use ppm_core::auth::UserCred;
 use ppm_core::client::{Tool, ToolStep};
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::Op;
+use ppm_runtime::sys::Sys;
 use ppm_simnet::time::SimDuration;
 use ppm_simnet::topology::CpuClass;
 use ppm_simos::ids::{ConnId, Uid};
 use ppm_simos::program::{ConnEvent, Program, SpawnSpec};
-use ppm_simos::sys::Sys;
 
 const ALICE: Uid = Uid(100);
 const BOB: Uid = Uid(200);
@@ -49,7 +49,7 @@ fn masquerading_tool_with_wrong_secret_is_rejected() {
         .unwrap();
     ppm.run_for(SimDuration::from_secs(10));
 
-    let outcome = handle.borrow().clone();
+    let outcome = handle.lock().unwrap().clone();
     assert!(outcome.done);
     let err = outcome.error.expect("authentication must fail");
     assert!(err.contains("permission denied"), "{err}");
@@ -116,21 +116,21 @@ fn cross_user_control_is_denied_end_to_end() {
 struct GarbageSender {
     port: ppm_simos::ids::Port,
     conn: Option<ConnId>,
-    closed: std::rc::Rc<std::cell::Cell<bool>>,
+    closed: std::sync::Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl Program for GarbageSender {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         self.conn = sys.connect(sys.host(), self.port).ok();
     }
-    fn on_conn_event(&mut self, sys: &mut Sys<'_>, _conn: ConnId, event: ConnEvent) {
+    fn on_conn_event(&mut self, sys: &mut dyn Sys, _conn: ConnId, event: ConnEvent) {
         match event {
             ConnEvent::Established => {
                 let conn = self.conn.expect("connected");
                 let _ = sys.send(conn, Bytes::from_static(b"\xFF\xFFnot a hello"));
             }
             ConnEvent::Closed | ConnEvent::Failed(_) => {
-                self.closed.set(true);
+                self.closed.store(true, std::sync::atomic::Ordering::SeqCst);
                 sys.exit(0);
             }
             _ => {}
@@ -146,18 +146,21 @@ fn protocol_violation_before_hello_drops_the_channel() {
     let mut ppm = harness();
     ppm.spawn_remote("shared", ALICE, "shared", "job", None, None)
         .unwrap();
-    let closed = std::rc::Rc::new(std::cell::Cell::new(false));
+    let closed = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
     let prog = GarbageSender {
         port: ppm_core::config::lpm_port(ALICE),
         conn: None,
-        closed: std::rc::Rc::clone(&closed),
+        closed: std::sync::Arc::clone(&closed),
     };
     let host = ppm.host("shared").unwrap();
     ppm.world_mut()
         .spawn_user(host, BOB, SpawnSpec::new("garbage", Box::new(prog)))
         .unwrap();
     ppm.run_for(SimDuration::from_secs(5));
-    assert!(closed.get(), "LPM closed the unauthenticated channel");
+    assert!(
+        closed.load(std::sync::atomic::Ordering::SeqCst),
+        "LPM closed the unauthenticated channel"
+    );
 
     // The LPM is unharmed.
     let procs = ppm.snapshot("shared", ALICE, "shared").unwrap();
@@ -180,7 +183,7 @@ fn unknown_user_cannot_create_an_lpm() {
         .spawn_user(host, Uid(999), SpawnSpec::new("ghost-tool", Box::new(tool)))
         .unwrap();
     ppm.run_for(SimDuration::from_secs(10));
-    let outcome = handle.borrow().clone();
+    let outcome = handle.lock().unwrap().clone();
     assert!(outcome.done);
     assert!(outcome.error.is_some());
 }

@@ -7,7 +7,7 @@
 //! the terminal — everything it does goes through the same tools, daemons
 //! and protocols a real user of the paper's system would exercise.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ppm_proto::msg::{ControlAction, Op, Reply};
 use ppm_proto::types::{Gpid, HistoryRecord, MetricRow, ProcRecord, RusageRecord};
@@ -20,11 +20,11 @@ use ppm_simos::ids::{Pid, Uid};
 use ppm_simos::program::SpawnSpec;
 use ppm_simos::world::World;
 
-use crate::auth::UserCred;
-use crate::client::{Tool, ToolHandle, ToolOutcome, ToolStep};
-use crate::config::{PpmConfig, PMD_PORT, PMD_SERVICE};
-use crate::pmd::{Pmd, PmdOptions};
-use crate::users::{UserDirectory, UserEntry};
+use ppm_core::auth::UserCred;
+use ppm_core::client::{Tool, ToolHandle, ToolOutcome, ToolStep};
+use ppm_core::config::{PpmConfig, PMD_PORT, PMD_SERVICE};
+use ppm_core::pmd::{Pmd, PmdOptions};
+use ppm_core::users::{UserDirectory, UserEntry};
 
 /// Builder for a [`PpmHarness`].
 pub struct HarnessBuilder {
@@ -117,12 +117,14 @@ impl HarnessBuilder {
     pub fn build(self) -> PpmHarness {
         let mut world = World::with_config(self.os, self.latency, self.seed);
         let users = self.users.into_shared();
-        let pmd_users = Rc::clone(&users);
+        let pmd_users = Arc::clone(&users);
         let pmd_options = self.pmd_options;
         world.register_service(
             PMD_SERVICE,
             PMD_PORT,
-            Box::new(move |_host| Box::new(Pmd::new(Rc::clone(&pmd_users), PMD_PORT, pmd_options))),
+            Box::new(move |_host| {
+                Box::new(Pmd::new(Arc::clone(&pmd_users), PMD_PORT, pmd_options))
+            }),
         );
         let mut ids = Vec::new();
         for spec in self.hosts {
@@ -180,7 +182,7 @@ impl std::error::Error for HarnessError {}
 /// The assembled simulation plus conveniences.
 pub struct PpmHarness {
     world: World,
-    users: Rc<UserDirectory>,
+    users: Arc<UserDirectory>,
 }
 
 impl std::fmt::Debug for PpmHarness {
@@ -343,12 +345,12 @@ impl PpmHarness {
     ) -> Result<ToolOutcome, HarnessError> {
         let deadline = self.world.now() + wait;
         while self.world.now() < deadline {
-            if handle.borrow().done {
+            if handle.lock().unwrap().done {
                 break;
             }
             self.world.run_for(SimDuration::from_millis(20));
         }
-        let outcome = handle.borrow().clone();
+        let outcome = handle.lock().unwrap().clone();
         if !outcome.done {
             return Err(HarnessError::Timeout);
         }
@@ -591,12 +593,12 @@ impl PpmHarness {
 
     /// Span events rendered as JSONL, one record per line.
     pub fn spans_jsonl(&self) -> String {
-        crate::obs::spans_jsonl(self.span_events(), &self.host_names())
+        ppm_core::obs::spans_jsonl(self.span_events(), &self.host_names())
     }
 
     /// Span events rendered as a Chrome `trace_event` document.
     pub fn spans_chrome(&self) -> String {
-        crate::obs::spans_chrome(self.span_events(), &self.host_names())
+        ppm_core::obs::spans_chrome(self.span_events(), &self.host_names())
     }
 
     /// Every registry in the world as label-sorted sections: the world
@@ -605,7 +607,7 @@ impl PpmHarness {
     /// `host/uid` label.
     pub fn metrics_sections(&self) -> Vec<(String, Vec<MetricRow>)> {
         let core = self.world.core();
-        let mut world_rows = crate::obs::rows(&core.obs().registry.snapshot());
+        let mut world_rows = ppm_core::obs::rows(&core.obs().registry.snapshot());
         let stats = core.engine_stats();
         let row = |name: &str, kind: u8, value: i64| MetricRow {
             name: name.to_string(),
@@ -622,7 +624,7 @@ impl PpmHarness {
         world_rows.sort_by(|a, b| a.name.cmp(&b.name));
         let mut sections = vec![("world".to_string(), world_rows)];
         for (label, snap) in core.obs().program_snapshots() {
-            sections.push((label, crate::obs::rows(&snap)));
+            sections.push((label, ppm_core::obs::rows(&snap)));
         }
         sections
     }
@@ -630,7 +632,7 @@ impl PpmHarness {
     /// All metrics rendered as the stable text format behind
     /// `ppm-sim --metrics`.
     pub fn metrics_report(&self) -> String {
-        crate::obs::render_metrics(&self.metrics_sections())
+        ppm_core::obs::render_metrics(&self.metrics_sections())
     }
 }
 

@@ -1,0 +1,12 @@
+//! # ppm-harness — synchronous drivers for tests, scenarios, benchmarks
+//!
+//! Boots PPM worlds (currently the simulated backend), runs tools against
+//! them, and exports metrics. Split out of `ppm-core` so the protocol
+//! stack itself stays backend-agnostic: the harness is allowed to know
+//! about `ppm-simos` worlds and `ppm-simnet` engines, the core is not.
+
+pub mod harness;
+pub mod tenant;
+
+pub use harness::{HarnessBuilder, HarnessError, PpmHarness};
+pub use tenant::{ScaleReport, TenantWorld, UserShard};

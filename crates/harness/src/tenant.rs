@@ -25,8 +25,8 @@ use ppm_simnet::time::SimDuration;
 use ppm_simos::ids::{Port, Uid};
 use ppm_simos::workload::{Storm, StormFork, StormSpec};
 
-use crate::config::lpm_port;
-use crate::genealogy::Genealogy;
+use ppm_core::config::lpm_port;
+use ppm_core::genealogy::Genealogy;
 
 /// Uid of the first (most active) storm user; user rank `r` is
 /// `Uid(UID_BASE + r)`.
@@ -161,7 +161,7 @@ struct Meters {
 /// # Examples
 ///
 /// ```
-/// use ppm_core::tenant::TenantWorld;
+/// use ppm_harness::tenant::TenantWorld;
 /// use ppm_simos::workload::StormSpec;
 ///
 /// let spec = StormSpec::new(32, 4, 7);

@@ -7,14 +7,14 @@
 //! so a burst of fork/exec/exit events costs one delivery, not one per
 //! event.
 
-use ppm_proto::codec::{CodecError, Dec, Enc, Wire};
-use ppm_simnet::time::{SimDuration, SimTime};
+use crate::codec::{CodecError, Dec, Enc, Wire};
+use ppm_runtime::time::{SimDuration, SimTime};
 
-use crate::events::KernelEvent;
-use crate::ids::Pid;
-use crate::process::Rusage;
-use crate::program::KernelMsg;
-use crate::signal::{ExitStatus, Signal};
+use ppm_runtime::events::KernelEvent;
+use ppm_runtime::ids::Pid;
+use ppm_runtime::process::Rusage;
+use ppm_runtime::program::KernelMsg;
+use ppm_runtime::signal::{ExitStatus, Signal};
 
 fn enc_signal(enc: &mut Enc, s: Signal) {
     enc.u8(s.number());
@@ -199,10 +199,27 @@ impl Wire for KernelMsg {
     }
 }
 
+/// Decodes a coalesced kernel batch frame with the zero-copy iterator
+/// and feeds each message to `f` in queue order; malformed frames are
+/// dropped. Tracer programs (the LPM) call this from their
+/// `on_kernel_batch` override — the runtime layer's default ignores
+/// batches because the codec is a protocol-layer concern.
+pub fn for_each_kernel_msg(data: &[u8], mut f: impl FnMut(KernelMsg)) {
+    let Ok(iter) = crate::codec::frames(data) else {
+        return;
+    };
+    for frame in iter {
+        let Ok(frame) = frame else { return };
+        if let Ok(msg) = KernelMsg::from_bytes(frame) {
+            f(msg);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppm_proto::codec::{decode_batch, encode_batch};
+    use crate::codec::{decode_batch, encode_batch};
 
     fn sample_events() -> Vec<KernelEvent> {
         vec![

@@ -35,6 +35,7 @@
 //! ```
 
 pub mod codec;
+pub mod kernel_wire;
 pub mod msg;
 pub mod triggers;
 pub mod types;

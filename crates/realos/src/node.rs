@@ -1,0 +1,1131 @@
+//! One real node: an event-loop thread driving the same [`Program`]
+//! actors as the simulated kernel, over real sockets and a real clock.
+//!
+//! A node is the real-backend analogue of one simulated host. It owns a
+//! [`Kernel`] process table (shared with the sim backend — adoption,
+//! descendant tracing and exit bookkeeping are identical by
+//! construction), a map of live programs, its stream connections and
+//! listeners, stable storage, and a timer heap. The loop blocks on its
+//! event queue with `recv_timeout` against the next timer deadline, so
+//! timers fire without a dedicated timer thread.
+//!
+//! Programs run to completion on the node thread, one callback at a
+//! time — the same run-to-completion discipline the simulation enforces
+//! globally, here enforced per node (nodes run concurrently, which is
+//! exactly the concurrency the real system of the paper had between
+//! hosts). Syscalls made during a callback that must re-enter a program
+//! (spawn → `on_start`, kill → signal delivery, kernel event batches)
+//! are queued as deferred actions and drained after the callback
+//! returns, mirroring how the simulated world schedules follow-on
+//! events.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+
+use ppm_runtime::events::{KernelEvent, TraceFlags};
+use ppm_runtime::fd::{FdKind, OpenMode};
+use ppm_runtime::ids::{ConnId, CpuClass, Fd, HostId, Pid, Port, Uid};
+use ppm_runtime::kernel::Kernel;
+use ppm_runtime::obs::{SharedRegistry, SpanPhase};
+use ppm_runtime::process::{ProcInfo, ProcState, Process, Rusage};
+use ppm_runtime::program::{ConnEvent, KernelMsg, Program, SigAction, SpawnSpec, SysError};
+use ppm_runtime::signal::{ExitStatus, Signal};
+use ppm_runtime::sys::{Clock, Spawner, TimerDriver, TimerHandle, Transport};
+use ppm_runtime::time::{Micros, SimDuration};
+use ppm_runtime::trace::TraceCategory;
+
+use crate::clock::ClusterClock;
+use crate::net;
+use crate::rt::ClusterShared;
+
+/// Events arriving on a node's queue — from its own I/O threads, from
+/// peers' streams, and from the [`crate::rt::RealRuntime`] driver.
+pub enum NodeEvent {
+    /// A framed message arrived on an established connection.
+    Incoming {
+        /// Local connection id.
+        conn: ConnId,
+        /// The frame payload.
+        data: Bytes,
+    },
+    /// An outbound connect completed; the stream is live.
+    ConnUp {
+        /// Local connection id.
+        conn: ConnId,
+        /// The connected stream.
+        stream: TcpStream,
+    },
+    /// An outbound connect failed.
+    ConnFail {
+        /// Local connection id.
+        conn: ConnId,
+        /// Why.
+        error: SysError,
+    },
+    /// The remote end closed (EOF or error on the stream).
+    PeerClosed {
+        /// Local connection id.
+        conn: ConnId,
+    },
+    /// The acceptor took a new inbound connection on `port`.
+    AcceptedConn {
+        /// The logical port accepted on.
+        port: Port,
+        /// The connecting `<host, pid>`.
+        peer: (HostId, Pid),
+        /// The accepted stream (preamble already consumed).
+        stream: TcpStream,
+    },
+    /// Driver: spawn a user process (the facade's `spawn_user`).
+    SpawnUser {
+        /// Owner.
+        uid: Uid,
+        /// What to run.
+        spec: SpawnSpec,
+        /// Reply channel.
+        reply: Sender<Result<Pid, SysError>>,
+    },
+    /// Driver: post a signal with `from`'s credentials.
+    PostSignal {
+        /// Sender's uid (permission check).
+        from: Uid,
+        /// Target pid on this node.
+        target: Pid,
+        /// The signal.
+        signal: Signal,
+        /// Optional reply channel.
+        reply: Option<Sender<Result<(), SysError>>>,
+    },
+    /// Driver: is this pid alive?
+    IsAlive {
+        /// The pid.
+        pid: Pid,
+        /// Reply channel.
+        reply: Sender<bool>,
+    },
+    /// Driver: find `uid`'s live process whose command starts with a
+    /// prefix (how tests locate a user's LPM without sim introspection).
+    FindProc {
+        /// Owner to search under.
+        uid: Uid,
+        /// Command-name prefix.
+        prefix: String,
+        /// Reply channel.
+        reply: Sender<Option<Pid>>,
+    },
+    /// Driver: read a stable-storage record.
+    StableGet {
+        /// The key.
+        key: String,
+        /// Reply channel.
+        reply: Sender<Option<Bytes>>,
+    },
+    /// Driver: stop the node loop and tear down sockets.
+    Shutdown,
+}
+
+/// Work queued during a program callback, run after it returns.
+enum Deferred {
+    Start(Pid),
+    ConnEvt {
+        owner: Pid,
+        conn: ConnId,
+        event: ConnEvent,
+    },
+    Deliver {
+        owner: Pid,
+        conn: ConnId,
+        data: Bytes,
+    },
+    ChildExit {
+        parent: Pid,
+        child: Pid,
+        status: ExitStatus,
+    },
+    KernelFlush {
+        tracer: Pid,
+    },
+    Signal {
+        target: Pid,
+        signal: Signal,
+    },
+}
+
+enum RConnState {
+    /// Connector thread still working; sends are queued.
+    Connecting { queued: Vec<Bytes> },
+    /// Stream live; sends write through.
+    Up { stream: TcpStream },
+    /// Closed by either side.
+    Closed,
+}
+
+struct RConn {
+    owner: Pid,
+    state: RConnState,
+}
+
+struct RListener {
+    owner: Pid,
+    alive: Arc<AtomicBool>,
+}
+
+/// The state owned by one node's event-loop thread.
+pub struct NodeCore {
+    host: HostId,
+    name: String,
+    cpu: CpuClass,
+    clock: ClusterClock,
+    cluster: Arc<ClusterShared>,
+    tx: Sender<NodeEvent>,
+    kernel: Kernel,
+    programs: HashMap<Pid, Box<dyn Program>>,
+    conns: HashMap<ConnId, RConn>,
+    next_conn: u64,
+    listeners: HashMap<Port, RListener>,
+    services: HashMap<String, Pid>,
+    stable: HashMap<String, Bytes>,
+    pending_kernel: HashMap<Pid, Vec<KernelMsg>>,
+    actions: VecDeque<Deferred>,
+    timer_heap: BinaryHeap<Reverse<(u64, u64)>>,
+    timer_entries: HashMap<u64, (Pid, u64)>,
+    next_timer: u64,
+    rng: u64,
+}
+
+impl NodeCore {
+    /// Creates a node and queues its boot daemon (inetd) for start.
+    pub fn new(
+        host: HostId,
+        name: String,
+        cpu: CpuClass,
+        cluster: Arc<ClusterShared>,
+        tx: Sender<NodeEvent>,
+    ) -> Self {
+        let clock = ClusterClock::new(cluster.epoch);
+        let mut node = NodeCore {
+            host,
+            name,
+            cpu,
+            clock,
+            cluster,
+            tx,
+            kernel: Kernel::new(Micros::ZERO),
+            programs: HashMap::new(),
+            conns: HashMap::new(),
+            next_conn: 1,
+            listeners: HashMap::new(),
+            services: HashMap::new(),
+            stable: HashMap::new(),
+            pending_kernel: HashMap::new(),
+            actions: VecDeque::new(),
+            timer_heap: BinaryHeap::new(),
+            timer_entries: HashMap::new(),
+            next_timer: 1,
+            rng: 0x9E37_79B9_7F4A_7C15 ^ ((host.0 as u64) << 17 | 1),
+        };
+        let inetd = SpawnSpec::new("inetd", Box::new(ppm_runtime::inetd::Inetd::new()));
+        node.spawn_proc(Pid::INIT, Uid::ROOT, inetd)
+            .expect("boot inetd");
+        node
+    }
+
+    /// Runs the node loop until shutdown or the driver hangs up.
+    pub fn run(mut self, rx: Receiver<NodeEvent>) {
+        loop {
+            self.drain();
+            let ev = match self.next_timer_wait() {
+                Some(wait) => match rx.recv_timeout(wait) {
+                    Ok(ev) => Some(ev),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
+                None => match rx.recv() {
+                    Ok(ev) => Some(ev),
+                    Err(_) => break,
+                },
+            };
+            match ev {
+                Some(NodeEvent::Shutdown) => break,
+                Some(ev) => self.handle(ev),
+                None => self.fire_due_timers(),
+            }
+        }
+        self.teardown();
+    }
+
+    fn handle(&mut self, ev: NodeEvent) {
+        match ev {
+            NodeEvent::Incoming { conn, data } => {
+                let Some(c) = self.conns.get(&conn) else {
+                    return;
+                };
+                if matches!(c.state, RConnState::Closed) {
+                    return;
+                }
+                let owner = c.owner;
+                self.account_received(owner, data.len());
+                self.actions
+                    .push_back(Deferred::Deliver { owner, conn, data });
+            }
+            NodeEvent::ConnUp { conn, stream } => {
+                stream.set_nodelay(true).ok();
+                let Some(c) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let owner = c.owner;
+                let queued = match &mut c.state {
+                    RConnState::Connecting { queued } => std::mem::take(queued),
+                    _ => return,
+                };
+                let mut writer = stream.try_clone().expect("clone stream");
+                net::spawn_reader(conn, stream, self.tx.clone());
+                let mut broke = false;
+                for frame in &queued {
+                    if net::write_frame(&mut writer, frame).is_err() {
+                        broke = true;
+                        break;
+                    }
+                }
+                if broke {
+                    c.state = RConnState::Closed;
+                    self.actions.push_back(Deferred::ConnEvt {
+                        owner,
+                        conn,
+                        event: ConnEvent::Closed,
+                    });
+                    return;
+                }
+                c.state = RConnState::Up { stream: writer };
+                self.actions.push_back(Deferred::ConnEvt {
+                    owner,
+                    conn,
+                    event: ConnEvent::Established,
+                });
+            }
+            NodeEvent::ConnFail { conn, error } => {
+                let Some(c) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                let owner = c.owner;
+                c.state = RConnState::Closed;
+                self.actions.push_back(Deferred::ConnEvt {
+                    owner,
+                    conn,
+                    event: ConnEvent::Failed(error),
+                });
+            }
+            NodeEvent::PeerClosed { conn } => {
+                let Some(c) = self.conns.get_mut(&conn) else {
+                    return;
+                };
+                if matches!(c.state, RConnState::Closed) {
+                    return;
+                }
+                let owner = c.owner;
+                c.state = RConnState::Closed;
+                self.actions.push_back(Deferred::ConnEvt {
+                    owner,
+                    conn,
+                    event: ConnEvent::Closed,
+                });
+            }
+            NodeEvent::AcceptedConn { port, peer, stream } => {
+                let Some(l) = self.listeners.get(&port) else {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                };
+                let owner = l.owner;
+                if !self.is_alive(owner) {
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+                let conn = self.alloc_conn();
+                let writer = stream.try_clone().expect("clone stream");
+                net::spawn_reader(conn, stream, self.tx.clone());
+                self.conns.insert(
+                    conn,
+                    RConn {
+                        owner,
+                        state: RConnState::Up { stream: writer },
+                    },
+                );
+                if let Ok(p) = self.kernel.live_mut(owner) {
+                    p.fds.alloc(FdKind::Socket { conn });
+                }
+                self.actions.push_back(Deferred::ConnEvt {
+                    owner,
+                    conn,
+                    event: ConnEvent::Accepted { peer, port },
+                });
+            }
+            NodeEvent::SpawnUser { uid, spec, reply } => {
+                let _ = reply.send(self.spawn_proc(Pid::INIT, uid, spec));
+            }
+            NodeEvent::PostSignal {
+                from,
+                target,
+                signal,
+                reply,
+            } => {
+                let res = self.post_signal(from, target, signal);
+                if let Some(reply) = reply {
+                    let _ = reply.send(res);
+                }
+            }
+            NodeEvent::IsAlive { pid, reply } => {
+                let _ = reply.send(self.is_alive(pid));
+            }
+            NodeEvent::FindProc { uid, prefix, reply } => {
+                let found = self
+                    .kernel
+                    .user_processes(uid)
+                    .into_iter()
+                    .find(|p| p.command.starts_with(&prefix))
+                    .map(|p| p.pid);
+                let _ = reply.send(found);
+            }
+            NodeEvent::StableGet { key, reply } => {
+                let _ = reply.send(self.stable.get(&key).cloned());
+            }
+            NodeEvent::Shutdown => unreachable!("handled by the loop"),
+        }
+    }
+
+    // ---- time and timers -------------------------------------------------
+
+    fn now(&self) -> Micros {
+        self.clock.now()
+    }
+
+    fn next_timer_wait(&mut self) -> Option<Duration> {
+        loop {
+            let &Reverse((deadline, seq)) = self.timer_heap.peek()?;
+            if !self.timer_entries.contains_key(&seq) {
+                self.timer_heap.pop(); // cancelled; discard lazily
+                continue;
+            }
+            let now = self.now().as_micros();
+            return Some(Duration::from_micros(deadline.saturating_sub(now)));
+        }
+    }
+
+    fn fire_due_timers(&mut self) {
+        let now = self.now().as_micros();
+        while let Some(&Reverse((deadline, seq))) = self.timer_heap.peek() {
+            if deadline > now {
+                break;
+            }
+            self.timer_heap.pop();
+            let Some((pid, token)) = self.timer_entries.remove(&seq) else {
+                continue; // cancelled
+            };
+            self.with_program(pid, |prog, sys| prog.on_timer(sys, token));
+            self.drain();
+        }
+    }
+
+    // ---- deferred-action pump --------------------------------------------
+
+    fn drain(&mut self) {
+        while let Some(action) = self.actions.pop_front() {
+            match action {
+                Deferred::Start(pid) => self.do_start(pid),
+                Deferred::ConnEvt { owner, conn, event } => {
+                    self.with_program(owner, |prog, sys| prog.on_conn_event(sys, conn, event));
+                }
+                Deferred::Deliver { owner, conn, data } => {
+                    self.with_program(owner, |prog, sys| prog.on_message(sys, conn, data));
+                }
+                Deferred::ChildExit {
+                    parent,
+                    child,
+                    status,
+                } => {
+                    self.with_program(parent, |prog, sys| prog.on_child_exit(sys, child, status));
+                }
+                Deferred::KernelFlush { tracer } => self.do_kernel_flush(tracer),
+                Deferred::Signal { target, signal } => self.do_signal(target, signal),
+            }
+        }
+    }
+
+    fn do_start(&mut self, pid: Pid) {
+        let command = match self.kernel.get(pid) {
+            Some(p) if p.is_alive() => {
+                let cmd = p.command.clone();
+                self.kernel.get_mut(pid).expect("alive").state = ProcState::Running;
+                cmd
+            }
+            _ => return,
+        };
+        self.emit_kernel(KernelEvent::Exec { pid, command });
+        self.with_program(pid, |prog, sys| prog.on_start(sys));
+    }
+
+    fn do_kernel_flush(&mut self, tracer: Pid) {
+        let msgs = match self.pending_kernel.get_mut(&tracer) {
+            Some(v) if !v.is_empty() => std::mem::take(v),
+            _ => return,
+        };
+        if !self.is_alive(tracer) {
+            return;
+        }
+        let batch = ppm_proto::codec::encode_batch(&msgs);
+        self.with_program(tracer, |prog, sys| prog.on_kernel_batch(sys, batch));
+    }
+
+    fn do_signal(&mut self, target: Pid, signal: Signal) {
+        if !self.is_alive(target) {
+            return;
+        }
+        if let Ok(p) = self.kernel.live_mut(target) {
+            p.rusage.signals_received += 1;
+        }
+        self.emit_kernel(KernelEvent::SignalDelivered {
+            pid: target,
+            signal,
+        });
+        match signal {
+            Signal::Stop => {
+                if let Ok(p) = self.kernel.live_mut(target) {
+                    if p.state == ProcState::Running {
+                        p.state = ProcState::Stopped;
+                        self.emit_kernel(KernelEvent::Stopped { pid: target });
+                    }
+                }
+            }
+            Signal::Cont => {
+                let mut was_stopped = false;
+                if let Ok(p) = self.kernel.live_mut(target) {
+                    if p.state == ProcState::Stopped {
+                        p.state = ProcState::Running;
+                        was_stopped = true;
+                    }
+                }
+                if was_stopped {
+                    self.emit_kernel(KernelEvent::Continued { pid: target });
+                }
+            }
+            Signal::Kill => self.do_exit(target, ExitStatus::Signaled(Signal::Kill)),
+            other => {
+                let mut action = SigAction::Default;
+                self.with_program(target, |prog, sys| {
+                    action = prog.on_signal(sys, other);
+                });
+                if action == SigAction::Default && other.is_fatal_by_default() {
+                    self.do_exit(target, ExitStatus::Signaled(other));
+                }
+            }
+        }
+    }
+
+    // ---- process lifecycle -----------------------------------------------
+
+    fn is_alive(&self, pid: Pid) -> bool {
+        self.kernel.get(pid).is_some_and(Process::is_alive)
+    }
+
+    fn spawn_proc(&mut self, parent: Pid, uid: Uid, spec: SpawnSpec) -> Result<Pid, SysError> {
+        let now = self.now();
+        let pid = self.kernel.alloc_pid();
+        let mut proc = Process::new(pid, parent, uid, spec.command.clone(), now);
+        proc.cpu_bound = spec.cpu_bound;
+        // Descendants inherit their parent's tracer and flags, as in the
+        // simulated kernel ("Adoption allows the LPM to keep track of a
+        // process and its descendants").
+        let (tracer, flags, parent_traced) = match self.kernel.get(parent).filter(|p| p.is_alive())
+        {
+            Some(pp) => (pp.tracer, pp.trace_flags, pp.is_adopted()),
+            None => (None, TraceFlags::NONE, false),
+        };
+        proc.tracer = tracer;
+        proc.trace_flags = flags;
+        self.kernel.insert(proc);
+        if parent_traced {
+            self.emit_kernel(KernelEvent::Fork { parent, child: pid });
+        }
+        if let Some(program) = spec.program {
+            self.programs.insert(pid, program);
+        }
+        self.trace(
+            TraceCategory::Kernel,
+            format!("fork+exec pid {pid} ({}) by {parent}", spec.command),
+        );
+        self.actions.push_back(Deferred::Start(pid));
+        Ok(pid)
+    }
+
+    fn post_signal(&mut self, from: Uid, target: Pid, signal: Signal) -> Result<(), SysError> {
+        let p = self.kernel.live(target)?;
+        if p.uid != from && !from.is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        self.actions.push_back(Deferred::Signal { target, signal });
+        Ok(())
+    }
+
+    fn do_exit(&mut self, pid: Pid, status: ExitStatus) {
+        if !self.is_alive(pid) {
+            return;
+        }
+        let now = self.now();
+        let _orphans = self.kernel.finish_exit(pid, status, now);
+        let (rusage, ppid) = {
+            let p = self.kernel.get(pid).expect("just exited");
+            (p.rusage, p.ppid)
+        };
+        self.trace(TraceCategory::Kernel, format!("pid {pid} {status}"));
+        self.emit_kernel(KernelEvent::Exit {
+            pid,
+            status,
+            rusage,
+        });
+        // Unpublish and retire listeners the process owned: connects are
+        // refused until a respawn re-binds the logical port.
+        let dead_ports: Vec<Port> = self
+            .listeners
+            .iter()
+            .filter(|(_, l)| l.owner == pid)
+            .map(|(&port, _)| port)
+            .collect();
+        for port in dead_ports {
+            if let Some(l) = self.listeners.remove(&port) {
+                l.alive.store(false, Ordering::SeqCst);
+            }
+            self.cluster
+                .ports
+                .lock()
+                .unwrap()
+                .remove(&(self.host, port));
+        }
+        self.services.retain(|_, &mut owner| owner != pid);
+        // Shut down connections with this process as the local endpoint;
+        // the peer's reader thread sees EOF and reports Closed there.
+        let mut ids: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.owner == pid && !matches!(c.state, RConnState::Closed))
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(c) = self.conns.get_mut(&id) {
+                if let RConnState::Up { stream } = &c.state {
+                    let _ = stream.shutdown(Shutdown::Both);
+                }
+                c.state = RConnState::Closed;
+            }
+        }
+        self.programs.remove(&pid);
+        self.pending_kernel.remove(&pid);
+        self.timer_entries.retain(|_, (owner, _)| *owner != pid);
+        if ppid != pid && self.is_alive(ppid) {
+            self.actions.push_back(Deferred::ChildExit {
+                parent: ppid,
+                child: pid,
+                status,
+            });
+        }
+    }
+
+    // ---- kernel events ---------------------------------------------------
+
+    fn emit_kernel(&mut self, ev: KernelEvent) {
+        let pid = ev.pid();
+        let (tracer, flags) = match self.kernel.get(pid) {
+            Some(p) => (p.tracer, p.trace_flags),
+            None => return,
+        };
+        let Some(tracer) = tracer else { return };
+        if !flags.contains(ev.required_flag()) || tracer == pid || !self.is_alive(tracer) {
+            return;
+        }
+        let msg = KernelMsg {
+            event: ev,
+            queued_at: self.now(),
+        };
+        let starts_batch = self
+            .pending_kernel
+            .get(&tracer)
+            .is_none_or(|pending| pending.is_empty());
+        self.pending_kernel.entry(tracer).or_default().push(msg);
+        if starts_batch {
+            self.actions.push_back(Deferred::KernelFlush { tracer });
+        }
+    }
+
+    fn account_received(&mut self, owner: Pid, bytes: usize) {
+        if let Ok(p) = self.kernel.live_mut(owner) {
+            p.rusage.msgs_received += 1;
+            p.rusage.bytes_received += bytes as u64;
+        }
+        self.emit_kernel(KernelEvent::MsgReceived { pid: owner, bytes });
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    fn alloc_conn(&mut self) -> ConnId {
+        // Upper bits carry the host so conn ids never collide across the
+        // cluster in traces.
+        let id = ConnId(((self.host.0 as u64) << 40) | self.next_conn);
+        self.next_conn += 1;
+        id
+    }
+
+    fn trace(&self, category: TraceCategory, text: String) {
+        if self.cluster.trace_enabled {
+            let at = self.now();
+            eprintln!("[{at} {}] {category}: {text}", self.name);
+        }
+    }
+
+    fn with_program<F>(&mut self, pid: Pid, f: F)
+    where
+        F: FnOnce(&mut dyn Program, &mut dyn ppm_runtime::sys::Sys),
+    {
+        let Some(mut prog) = self.programs.remove(&pid) else {
+            return;
+        };
+        let uid = self.kernel.get(pid).map(|p| p.uid).unwrap_or(Uid::ROOT);
+        let requested_exit = {
+            let mut sys = RealSys {
+                node: self,
+                pid,
+                uid,
+                exit_code: None,
+            };
+            f(prog.as_mut(), &mut sys);
+            sys.exit_code
+        };
+        if self.is_alive(pid) {
+            self.programs.insert(pid, prog);
+        }
+        if let Some(code) = requested_exit {
+            self.do_exit(pid, ExitStatus::Code(code));
+        }
+    }
+
+    fn teardown(&mut self) {
+        for l in self.listeners.values() {
+            l.alive.store(false, Ordering::SeqCst);
+        }
+        for c in self.conns.values_mut() {
+            if let RConnState::Up { stream } = &c.state {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            c.state = RConnState::Closed;
+        }
+        let mut ports = self.cluster.ports.lock().unwrap();
+        ports.retain(|&(host, _), _| host != self.host);
+    }
+}
+
+/// The real syscall interface bound to one calling process.
+///
+/// Where [`ppm_simos::sys::Sys`] maps the trait contracts onto the
+/// discrete-event world, this maps them onto the node: timers go to the
+/// node heap, connections to loopback TCP, spawn/kill to the shared
+/// kernel process table.
+pub struct RealSys<'a> {
+    node: &'a mut NodeCore,
+    pid: Pid,
+    uid: Uid,
+    exit_code: Option<i32>,
+}
+
+impl Clock for RealSys<'_> {
+    fn now(&self) -> Micros {
+        self.node.now()
+    }
+}
+
+impl TimerDriver for RealSys<'_> {
+    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let seq = self.node.next_timer;
+        self.node.next_timer += 1;
+        let deadline = self.node.now().as_micros() + delay.as_micros();
+        self.node.timer_heap.push(Reverse((deadline, seq)));
+        self.node.timer_entries.insert(seq, (self.pid, token));
+        TimerHandle(seq)
+    }
+
+    fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.node.timer_entries.remove(&handle.0).is_some()
+    }
+}
+
+impl Transport for RealSys<'_> {
+    fn listen(&mut self, port: Port) -> Result<(), SysError> {
+        if self.node.listeners.contains_key(&port) {
+            return Err(SysError::PortInUse);
+        }
+        let listener =
+            TcpListener::bind(("127.0.0.1", 0)).map_err(|_| SysError::InvalidArgument)?;
+        let real = listener
+            .local_addr()
+            .map_err(|_| SysError::InvalidArgument)?
+            .port();
+        let alive = Arc::new(AtomicBool::new(true));
+        self.node
+            .cluster
+            .ports
+            .lock()
+            .unwrap()
+            .insert((self.node.host, port), real);
+        self.node.listeners.insert(
+            port,
+            RListener {
+                owner: self.pid,
+                alive: Arc::clone(&alive),
+            },
+        );
+        net::spawn_acceptor(
+            listener,
+            port,
+            alive,
+            Arc::clone(&self.node.cluster.shutdown),
+            self.node.tx.clone(),
+        );
+        if let Ok(p) = self.node.kernel.live_mut(self.pid) {
+            p.fds.alloc(FdKind::Listener { port });
+        }
+        self.node.trace(
+            TraceCategory::Net,
+            format!("pid {} listening on {port} (tcp {real})", self.pid),
+        );
+        Ok(())
+    }
+
+    fn connect(&mut self, host: HostId, port: Port) -> Result<ConnId, SysError> {
+        let known = self.node.cluster.hosts.read().unwrap().len() as u32;
+        if host.0 >= known {
+            return Err(SysError::NoSuchHost);
+        }
+        let conn = self.node.alloc_conn();
+        self.node.conns.insert(
+            conn,
+            RConn {
+                owner: self.pid,
+                state: RConnState::Connecting { queued: Vec::new() },
+            },
+        );
+        if let Ok(p) = self.node.kernel.live_mut(self.pid) {
+            p.fds.alloc(FdKind::Socket { conn });
+        }
+        net::spawn_connector(
+            conn,
+            (self.node.host, self.pid),
+            (host, port),
+            Arc::clone(&self.node.cluster.ports),
+            self.node.tx.clone(),
+        );
+        Ok(conn)
+    }
+
+    fn send_bytes(&mut self, conn: ConnId, data: Bytes) -> Result<(), SysError> {
+        let c = self
+            .node
+            .conns
+            .get_mut(&conn)
+            .ok_or(SysError::NotConnected)?;
+        if c.owner != self.pid {
+            return Err(SysError::NotConnected);
+        }
+        let len = data.len();
+        let mut closed_now = false;
+        match &mut c.state {
+            RConnState::Connecting { queued } => queued.push(data),
+            RConnState::Up { stream } => {
+                if net::write_frame(stream, &data).is_err() {
+                    closed_now = true;
+                }
+            }
+            RConnState::Closed => return Err(SysError::ConnectionClosed),
+        }
+        if closed_now {
+            c.state = RConnState::Closed;
+            let owner = c.owner;
+            self.node.actions.push_back(Deferred::ConnEvt {
+                owner,
+                conn,
+                event: ConnEvent::Closed,
+            });
+            return Err(SysError::ConnectionClosed);
+        }
+        if let Ok(p) = self.node.kernel.live_mut(self.pid) {
+            p.rusage.msgs_sent += 1;
+            p.rusage.bytes_sent += len as u64;
+        }
+        self.node.emit_kernel(KernelEvent::MsgSent {
+            pid: self.pid,
+            bytes: len,
+        });
+        Ok(())
+    }
+
+    fn close(&mut self, conn: ConnId) -> Result<(), SysError> {
+        let c = self
+            .node
+            .conns
+            .get_mut(&conn)
+            .ok_or(SysError::NotConnected)?;
+        if c.owner != self.pid {
+            return Err(SysError::NotConnected);
+        }
+        if let RConnState::Up { stream } = &c.state {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        c.state = RConnState::Closed;
+        if let Ok(p) = self.node.kernel.live_mut(self.pid) {
+            if let Some(fd) = p.fds.fd_for_conn(conn) {
+                p.fds.release(fd);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Spawner for RealSys<'_> {
+    fn spawn(&mut self, spec: SpawnSpec) -> Result<Pid, SysError> {
+        self.node.spawn_proc(self.pid, self.uid, spec)
+    }
+
+    fn spawn_as(&mut self, uid: Uid, spec: SpawnSpec) -> Result<Pid, SysError> {
+        if !self.uid.is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        self.node.spawn_proc(self.pid, uid, spec)
+    }
+
+    fn exit(&mut self, code: i32) {
+        self.exit_code = Some(code);
+    }
+
+    fn kill(&mut self, target: Pid, signal: Signal) -> Result<(), SysError> {
+        self.node.post_signal(self.uid, target, signal)
+    }
+
+    fn spawn_service(&mut self, name: &str) -> Result<(Pid, Port), SysError> {
+        if !self.uid.is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        if let Some(&pid) = self.node.services.get(name) {
+            if self.node.is_alive(pid) {
+                let port = self
+                    .node
+                    .cluster
+                    .service_port(name)
+                    .ok_or(SysError::UnknownService)?;
+                return Ok((pid, port));
+            }
+        }
+        let (port, program) = self
+            .node
+            .cluster
+            .make_service(name, self.node.host)
+            .ok_or(SysError::UnknownService)?;
+        let spec = SpawnSpec::new(name.to_string(), program);
+        let pid = self.node.spawn_proc(Pid::INIT, Uid::ROOT, spec)?;
+        self.node.services.insert(name.to_string(), pid);
+        self.node.trace(
+            TraceCategory::Daemon,
+            format!("service {name} started as pid {pid} (port {port})"),
+        );
+        Ok((pid, port))
+    }
+}
+
+impl ppm_runtime::sys::Sys for RealSys<'_> {
+    fn host(&self) -> HostId {
+        self.node.host
+    }
+
+    fn host_name(&self) -> &str {
+        &self.node.name
+    }
+
+    fn cpu_class(&self) -> CpuClass {
+        self.node.cpu
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn uid(&self) -> Uid {
+        self.uid
+    }
+
+    fn load_avg(&self) -> f64 {
+        self.node.kernel.load_avg()
+    }
+
+    fn resolve_host(&self, name: &str) -> Result<HostId, SysError> {
+        let hosts = self.node.cluster.hosts.read().unwrap();
+        hosts
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| HostId(i as u32))
+            .ok_or(SysError::NoSuchHost)
+    }
+
+    fn known_hosts(&self) -> Vec<String> {
+        let hosts = self.node.cluster.hosts.read().unwrap();
+        hosts.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    fn trace_str(&mut self, category: TraceCategory, text: String) {
+        self.node.trace(category, text);
+    }
+
+    fn spans_enabled(&self) -> bool {
+        false
+    }
+
+    fn span_str(&mut self, _name: &'static str, _corr: String, _phase: SpanPhase) {}
+
+    fn register_metrics_str(&mut self, label: String, registry: SharedRegistry) {
+        let mut obs = self.node.cluster.obs.lock().unwrap();
+        obs.retain(|(l, _)| *l != label);
+        obs.push((label, registry));
+    }
+
+    fn random_unit(&mut self) -> f64 {
+        // xorshift64*: deterministic per node, no RNG dependency.
+        let mut x = self.node.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.node.rng = x;
+        let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        bits as f64 / (1u64 << 53) as f64
+    }
+
+    fn adopt(&mut self, target: Pid, flags: TraceFlags) -> Result<(), SysError> {
+        self.node.kernel.adopt(target, self.pid, self.uid, flags)?;
+        self.node.trace(
+            TraceCategory::Lpm,
+            format!("adopted pid {target} with flags {flags}"),
+        );
+        Ok(())
+    }
+
+    fn register_kernel_socket(&mut self) -> Fd {
+        self.node
+            .kernel
+            .get_mut(self.pid)
+            .expect("caller is alive")
+            .fds
+            .alloc(FdKind::KernelSocket)
+    }
+
+    fn proc_info(&self, pid: Pid) -> Option<ProcInfo> {
+        self.node.kernel.get(pid).map(ProcInfo::from)
+    }
+
+    fn user_processes(&self, uid: Uid) -> Vec<ProcInfo> {
+        self.node
+            .kernel
+            .user_processes(uid)
+            .into_iter()
+            .map(ProcInfo::from)
+            .collect()
+    }
+
+    fn rusage_of(&self, pid: Pid) -> Option<Rusage> {
+        self.node.kernel.get(pid).map(|p| p.rusage)
+    }
+
+    fn set_cpu_bound(&mut self, yes: bool) {
+        if let Ok(p) = self.node.kernel.live_mut(self.pid) {
+            p.cpu_bound = yes;
+        }
+    }
+
+    fn scale_cost(&mut self, nominal: SimDuration) -> SimDuration {
+        // Real work already takes real time; the nominal cost passes
+        // through for protocol-level bookkeeping only.
+        nominal
+    }
+
+    fn consume_cpu(&mut self, nominal: SimDuration) -> SimDuration {
+        if let Ok(p) = self.node.kernel.live_mut(self.pid) {
+            p.rusage.cpu += nominal;
+        }
+        nominal
+    }
+
+    fn stable_put_kv(&mut self, key: String, value: Bytes) {
+        self.node.stable.insert(key, value);
+    }
+
+    fn stable_get(&self, key: &str) -> Option<Bytes> {
+        self.node.stable.get(key).cloned()
+    }
+
+    fn stable_del(&mut self, key: &str) {
+        self.node.stable.remove(key);
+    }
+
+    fn open_path(&mut self, path: String, mode: OpenMode) -> Fd {
+        let fd = {
+            let p = self
+                .node
+                .kernel
+                .live_mut(self.pid)
+                .expect("caller is alive");
+            p.rusage.files_opened += 1;
+            p.fds.alloc(FdKind::File {
+                path: path.clone(),
+                mode,
+            })
+        };
+        self.node.emit_kernel(KernelEvent::FileOpened {
+            pid: self.pid,
+            path,
+        });
+        fd
+    }
+
+    fn close_fd(&mut self, fd: Fd) -> Result<(), SysError> {
+        let released = {
+            let p = self
+                .node
+                .kernel
+                .live_mut(self.pid)
+                .map_err(|_| SysError::BadFileDescriptor)?;
+            p.fds.release(fd)
+        };
+        match released {
+            Some(FdKind::File { path, .. }) => {
+                self.node.emit_kernel(KernelEvent::FileClosed {
+                    pid: self.pid,
+                    path,
+                });
+                Ok(())
+            }
+            Some(FdKind::Socket { conn }) => {
+                let _ = Transport::close(self, conn);
+                Ok(())
+            }
+            Some(_) => Ok(()),
+            None => Err(SysError::BadFileDescriptor),
+        }
+    }
+
+    fn open_fds(&self, pid: Pid) -> Result<Vec<(Fd, FdKind)>, SysError> {
+        let p = self.node.kernel.live(pid)?;
+        if p.uid != self.uid && !self.uid.is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        Ok(p.fds.iter().map(|(fd, k)| (fd, k.clone())).collect())
+    }
+}

@@ -1,0 +1,253 @@
+//! [`RealRuntime`] — the real backend behind the
+//! [`ppm_runtime::rt::Runtime`] facade.
+//!
+//! One OS process hosts a whole cluster: each `add_host` boots a node
+//! thread (see [`crate::node`]) with its own kernel table, programs, and
+//! timer heap, and all nodes share loopback TCP, a monotonic clock epoch,
+//! the logical→real port map, and the service registry inetd draws from.
+//! The driver talks to nodes only through their event queues — queries
+//! (`is_alive`, `stable_get`) travel as events with reply channels, so
+//! node state needs no cross-thread locking.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+
+use ppm_runtime::ids::{CpuClass, HostId, Pid, Port, Uid};
+use ppm_runtime::obs::SharedRegistry;
+use ppm_runtime::program::{Program, SpawnSpec, SysError};
+use ppm_runtime::rt::Runtime;
+use ppm_runtime::signal::Signal;
+use ppm_runtime::time::{Micros, SimDuration};
+
+use crate::clock::ClusterClock;
+use crate::net::PortMap;
+use crate::node::{NodeCore, NodeEvent};
+
+/// Builds a service program instance for a host, on demand. `Send + Sync`
+/// because any node thread's inetd may ask for it.
+pub type ServiceFactory = Box<dyn Fn(HostId) -> Box<dyn Program> + Send + Sync>;
+
+/// How long driver queries wait for a node thread to answer before the
+/// node is presumed wedged.
+const QUERY_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// State shared by every node of one real cluster.
+pub struct ClusterShared {
+    /// The cluster clock epoch; all node clocks count from it.
+    pub epoch: Instant,
+    /// Host names and CPU classes, indexed by `HostId`.
+    pub hosts: RwLock<Vec<(String, CpuClass)>>,
+    /// Logical `(host, port)` → real loopback TCP port.
+    pub ports: PortMap,
+    /// Set once at teardown; acceptor threads exit when they see it.
+    pub shutdown: Arc<AtomicBool>,
+    /// Metrics registries published by programs (`register_metrics`),
+    /// labelled, latest registration per label winning.
+    pub obs: Mutex<Vec<(String, SharedRegistry)>>,
+    /// Mirrors the simulation's trace switch; entries go to stderr.
+    pub trace_enabled: bool,
+    services: Mutex<HashMap<String, (Port, ServiceFactory)>>,
+}
+
+impl ClusterShared {
+    fn new(trace_enabled: bool) -> Self {
+        ClusterShared {
+            epoch: Instant::now(),
+            hosts: RwLock::new(Vec::new()),
+            ports: Arc::new(Mutex::new(HashMap::new())),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            obs: Mutex::new(Vec::new()),
+            trace_enabled,
+            services: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The well-known port of a registered service.
+    pub fn service_port(&self, name: &str) -> Option<Port> {
+        self.services.lock().unwrap().get(name).map(|(p, _)| *p)
+    }
+
+    /// Instantiates a registered service's program for `host`.
+    pub fn make_service(&self, name: &str, host: HostId) -> Option<(Port, Box<dyn Program>)> {
+        let services = self.services.lock().unwrap();
+        let (port, factory) = services.get(name)?;
+        Some((*port, factory(host)))
+    }
+}
+
+struct NodeHandle {
+    tx: Sender<NodeEvent>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A real loopback cluster, seen through the backend facade.
+pub struct RealRuntime {
+    shared: Arc<ClusterShared>,
+    clock: ClusterClock,
+    nodes: Vec<NodeHandle>,
+}
+
+impl Default for RealRuntime {
+    fn default() -> Self {
+        RealRuntime::new()
+    }
+}
+
+impl RealRuntime {
+    /// A fresh cluster with no hosts. Tracing to stderr switches on when
+    /// the `PPM_REAL_TRACE` environment variable is set.
+    pub fn new() -> Self {
+        RealRuntime::with_trace(std::env::var_os("PPM_REAL_TRACE").is_some())
+    }
+
+    /// A fresh cluster with tracing explicitly on or off.
+    pub fn with_trace(trace_enabled: bool) -> Self {
+        let shared = Arc::new(ClusterShared::new(trace_enabled));
+        let clock = ClusterClock::new(shared.epoch);
+        RealRuntime {
+            shared,
+            clock,
+            nodes: Vec::new(),
+        }
+    }
+
+    /// The shared cluster state (metrics registries, port map).
+    pub fn shared(&self) -> &Arc<ClusterShared> {
+        &self.shared
+    }
+
+    /// Registers a service with inetd's registry on every host, as the
+    /// simulation's `World::register_service` does. Call before spawning
+    /// anything that asks inetd for `name`.
+    pub fn register_service(&mut self, name: &str, port: Port, factory: ServiceFactory) {
+        self.shared
+            .services
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), (port, factory));
+    }
+
+    /// Sends a signal to a process with `from`'s credentials — the
+    /// harness-side `kill(1)`, used by tests to SIGKILL an LPM.
+    ///
+    /// # Errors
+    ///
+    /// [`SysError::NoSuchProcess`], [`SysError::PermissionDenied`], or
+    /// [`SysError::HostDown`] when the node cannot be reached.
+    pub fn kill(
+        &self,
+        host: HostId,
+        from: Uid,
+        target: Pid,
+        signal: Signal,
+    ) -> Result<(), SysError> {
+        self.query(host, |reply| NodeEvent::PostSignal {
+            from,
+            target,
+            signal,
+            reply: Some(reply),
+        })
+        .unwrap_or(Err(SysError::HostDown))
+    }
+
+    /// Finds `uid`'s live process on `host` whose command starts with
+    /// `prefix` — enough for tests to locate a user's LPM or pmd.
+    pub fn find_proc(&self, host: HostId, uid: Uid, prefix: &str) -> Option<Pid> {
+        self.query(host, |reply| NodeEvent::FindProc {
+            uid,
+            prefix: prefix.to_string(),
+            reply,
+        })
+        .flatten()
+    }
+
+    fn query<T: Send + 'static>(
+        &self,
+        host: HostId,
+        make: impl FnOnce(Sender<T>) -> NodeEvent,
+    ) -> Option<T> {
+        let node = self.nodes.get(host.0 as usize)?;
+        let (tx, rx) = mpsc::channel();
+        node.tx.send(make(tx)).ok()?;
+        rx.recv_timeout(QUERY_TIMEOUT).ok()
+    }
+}
+
+impl Runtime for RealRuntime {
+    fn add_host(&mut self, name: &str, cpu: CpuClass) -> HostId {
+        let id = {
+            let mut hosts = self.shared.hosts.write().unwrap();
+            let id = HostId(hosts.len() as u32);
+            hosts.push((name.to_string(), cpu));
+            id
+        };
+        let (tx, rx) = mpsc::channel();
+        let core = NodeCore::new(
+            id,
+            name.to_string(),
+            cpu,
+            Arc::clone(&self.shared),
+            tx.clone(),
+        );
+        let join = std::thread::Builder::new()
+            .name(format!("ppm-node-{name}"))
+            .spawn(move || core.run(rx))
+            .expect("spawn node thread");
+        self.nodes.push(NodeHandle {
+            tx,
+            join: Some(join),
+        });
+        id
+    }
+
+    fn spawn_user(&mut self, host: HostId, uid: Uid, spec: SpawnSpec) -> Result<Pid, SysError> {
+        self.query(host, |reply| NodeEvent::SpawnUser { uid, spec, reply })
+            .unwrap_or(Err(SysError::HostDown))
+    }
+
+    fn run(&mut self, span: SimDuration) {
+        // The node threads are already running; letting the world "run"
+        // is simply letting wall-clock time pass.
+        std::thread::sleep(Duration::from_micros(span.as_micros()));
+    }
+
+    fn is_alive(&self, host: HostId, pid: Pid) -> bool {
+        self.query(host, |reply| NodeEvent::IsAlive { pid, reply })
+            .unwrap_or(false)
+    }
+
+    fn stable_get(&self, host: HostId, key: &str) -> Option<Bytes> {
+        self.query(host, |reply| NodeEvent::StableGet {
+            key: key.to_string(),
+            reply,
+        })
+        .flatten()
+    }
+
+    fn now(&self) -> Micros {
+        self.clock.now()
+    }
+}
+
+impl Drop for RealRuntime {
+    fn drop(&mut self) {
+        // Order matters: raise the shutdown flag first so acceptor loops
+        // stop, then stop the node loops (their teardown closes streams,
+        // which unblocks reader threads), then join.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for node in &self.nodes {
+            let _ = node.tx.send(NodeEvent::Shutdown);
+        }
+        for node in &mut self.nodes {
+            if let Some(join) = node.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}

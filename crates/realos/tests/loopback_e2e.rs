@@ -1,0 +1,236 @@
+//! Real-network end-to-end: the full PPM stack over loopback TCP.
+//!
+//! Three hosts, each a node thread with real sockets and the real clock,
+//! run the *same* `ppm-core` daemons and tools as the simulation: inetd
+//! brokers the pmd, the pmd spawns per-user LPMs, tools authenticate and
+//! script requests. The scenario mirrors the simulation's
+//! `killed_lpm_is_respawned_and_readopts_survivors` (fault_e2e): display,
+//! remote execution and locate all work over real TCP, then the work LPM
+//! is SIGKILLed out from under a live computation and the pmd respawn +
+//! forest re-adoption path recovers it.
+//!
+//! Gated behind `#[ignore]` because it boots real listeners and sleeps
+//! wall-clock time; run with `cargo test -p ppm-realos -- --ignored`
+//! (the CI `real-smoke` job does).
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppm_core::auth::UserCred;
+use ppm_core::client::{Tool, ToolOutcome, ToolStep};
+use ppm_core::config::{PpmConfig, PMD_PORT, PMD_SERVICE};
+use ppm_core::pmd::{Pmd, PmdOptions};
+use ppm_core::users::{UserDirectory, UserEntry};
+use ppm_proto::msg::{Op, Reply};
+use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
+use ppm_realos::RealRuntime;
+use ppm_runtime::ids::{CpuClass, HostId, Uid};
+use ppm_runtime::program::SpawnSpec;
+use ppm_runtime::rt::Runtime;
+use ppm_runtime::signal::Signal;
+
+const USER: Uid = Uid(100);
+const SECRET: u64 = 0xFA017;
+
+/// Per-tool wall-clock budget. Generous: the first tool pays for inetd →
+/// pmd → LPM creation, and CI machines can be slow.
+const TOOL_BUDGET: Duration = Duration::from_secs(30);
+
+struct Cluster {
+    rt: RealRuntime,
+    users: Arc<UserDirectory>,
+    home: HostId,
+    work: HostId,
+}
+
+fn boot() -> Cluster {
+    let mut users = UserDirectory::new();
+    users.insert(UserEntry {
+        cred: UserCred::new(USER, SECRET),
+        recovery: vec!["home".into(), "work".into()],
+        config: PpmConfig::fast_recovery(),
+    });
+    let users = users.into_shared();
+    let pmd_users = Arc::clone(&users);
+    let mut rt = RealRuntime::new();
+    rt.register_service(
+        PMD_SERVICE,
+        PMD_PORT,
+        Box::new(move |_host| {
+            Box::new(Pmd::new(
+                Arc::clone(&pmd_users),
+                PMD_PORT,
+                PmdOptions {
+                    stable_storage: true,
+                    respawn_lpms: true,
+                },
+            ))
+        }),
+    );
+    let home = rt.add_host("home", CpuClass::Vax780);
+    let work = rt.add_host("work", CpuClass::Sun2);
+    let _far = rt.add_host("far", CpuClass::Sun2);
+    Cluster {
+        rt,
+        users,
+        home,
+        work,
+    }
+}
+
+/// Runs a tool script from `from`, waiting (wall clock) for completion.
+fn run_tool(c: &mut Cluster, from: HostId, script: Vec<ToolStep>) -> ToolOutcome {
+    let entry = c.users.get(USER).expect("registered user");
+    let (tool, handle) = Tool::new(entry.cred, entry.config.clone(), script);
+    c.rt.spawn_user(from, USER, SpawnSpec::new("ppm-tool", Box::new(tool)))
+        .expect("spawn tool");
+    let deadline = Instant::now() + TOOL_BUDGET;
+    while Instant::now() < deadline {
+        if handle.lock().unwrap().done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let outcome = handle.lock().unwrap().clone();
+    assert!(outcome.done, "tool timed out; error={:?}", outcome.error);
+    outcome
+}
+
+/// Spawns `command` on `dest` from home, returning the new gpid.
+fn spawn_remote(c: &mut Cluster, dest: &str, command: &str, logical_parent: Option<Gpid>) -> Gpid {
+    let home = c.home;
+    let out = run_tool(
+        c,
+        home,
+        vec![ToolStep::new(
+            dest,
+            Op::Spawn {
+                command: command.to_string(),
+                logical_parent,
+                lifetime_us: None,
+                work_us: 0,
+                cpu_bound: false,
+            },
+        )],
+    );
+    assert!(out.error.is_none(), "spawn failed: {:?}", out.error);
+    match out.reply(0) {
+        Some(Reply::Spawned { gpid }) => gpid.clone(),
+        other => panic!("expected Spawned, got {other:?}"),
+    }
+}
+
+/// A whole-computation snapshot (`"*"` broadcast) taken from home.
+/// Partial results (a host's LPM down mid-sweep) are accepted — callers
+/// poll until the view they need appears.
+fn snapshot_all(c: &mut Cluster) -> Vec<ProcRecord> {
+    let home = c.home;
+    let out = run_tool(c, home, vec![ToolStep::new("*", Op::Snapshot)]);
+    assert!(out.error.is_none(), "snapshot failed: {:?}", out.error);
+    let reply = out.replies.into_iter().next().map(|(r, _)| r);
+    let reply = match reply {
+        Some(Reply::Partial { inner, .. }) => *inner,
+        Some(other) => other,
+        None => panic!("snapshot produced no reply"),
+    };
+    match reply {
+        Reply::Snapshot { procs, .. } => procs,
+        other => panic!("expected Snapshot, got {other:?}"),
+    }
+}
+
+/// Adopted, live user processes on `host`: the forest's node set there.
+fn forest_nodes(procs: &[ProcRecord], host: &str) -> BTreeSet<u32> {
+    procs
+        .iter()
+        .filter(|p| p.gpid.host == host && p.adopted && p.state != WireProcState::Dead)
+        .map(|p| p.gpid.pid)
+        .collect()
+}
+
+/// Locate: the execution sites of the computation rooted at `root` — the
+/// hosts running the root or any process whose logical parent is the root.
+fn computation_sites(procs: &[ProcRecord], root: &Gpid) -> BTreeSet<String> {
+    procs
+        .iter()
+        .filter(|p| p.state != WireProcState::Dead)
+        .filter(|p| p.gpid == *root || p.logical_parent.as_ref() == Some(root))
+        .map(|p| p.gpid.host.clone())
+        .collect()
+}
+
+#[test]
+#[ignore = "boots a real loopback TCP cluster; run with --ignored (CI real-smoke job)"]
+fn real_cluster_display_locate_exec_and_lpm_crash_recovery() {
+    let mut c = boot();
+
+    // Remote execution: a computation rooted on home with three jobs on
+    // work, spawned through home's LPM over real sockets. The first spawn
+    // walks the whole Figure-2 chain (inetd → pmd → fresh LPM) twice —
+    // once on home for the tool, once on work for the relay.
+    let root = spawn_remote(&mut c, "home", "root", None);
+    for i in 0..3 {
+        spawn_remote(&mut c, "work", &format!("job-{i}"), Some(root.clone()));
+    }
+
+    // Display: the distributed snapshot gathers every managed process.
+    let procs = snapshot_all(&mut c);
+    let before = forest_nodes(&procs, "work");
+    assert_eq!(
+        before.len(),
+        3,
+        "three live managed jobs on work: {procs:?}"
+    );
+    assert_eq!(
+        forest_nodes(&procs, "home").len(),
+        1,
+        "the root is managed on home"
+    );
+
+    // Locate: the computation executes on exactly {home, work}.
+    let sites = computation_sites(&procs, &root);
+    let expect: BTreeSet<String> = ["home", "work"].iter().map(|s| s.to_string()).collect();
+    assert_eq!(sites, expect, "computation sites");
+
+    // SIGKILL the work LPM out from under the live computation.
+    let victim =
+        c.rt.find_proc(c.work, USER, "lpm-")
+            .expect("work has an LPM");
+    c.rt.kill(c.work, Uid::ROOT, victim, Signal::Kill)
+        .expect("kill LPM");
+
+    // The pmd (the LPM's real parent) sees the unclean exit and respawns.
+    let respawn_deadline = Instant::now() + Duration::from_secs(20);
+    let respawned = loop {
+        match c.rt.find_proc(c.work, USER, "lpm-") {
+            Some(pid) if pid != victim => break pid,
+            _ => {
+                assert!(
+                    Instant::now() < respawn_deadline,
+                    "work LPM was not respawned within budget"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    };
+    assert_ne!(respawned, victim, "a fresh LPM process");
+
+    // Re-adoption restores the forest node set on work. Poll: the new
+    // LPM re-adopts from stable storage shortly after boot.
+    let readopt_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let procs = snapshot_all(&mut c);
+        if forest_nodes(&procs, "work") == before {
+            break;
+        }
+        assert!(
+            Instant::now() < readopt_deadline,
+            "re-adoption did not restore the forest; last view: {procs:?}"
+        );
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    // And the respawned LPM serves new requests.
+    spawn_remote(&mut c, "work", "after", None);
+}

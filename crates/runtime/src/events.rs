@@ -22,7 +22,7 @@ use crate::signal::{ExitStatus, Signal};
 /// # Examples
 ///
 /// ```
-/// use ppm_simos::events::TraceFlags;
+/// use ppm_runtime::events::TraceFlags;
 ///
 /// let f = TraceFlags::PROC | TraceFlags::SIGNALS;
 /// assert!(f.contains(TraceFlags::PROC));

@@ -16,7 +16,7 @@ use bytes::Bytes;
 use crate::ids::{ConnId, Port};
 use crate::program::{ConnEvent, Program, SysError};
 use crate::sys::Sys;
-use ppm_simnet::trace::TraceCategory;
+use crate::trace::TraceCategory;
 
 /// Reply status byte: success, port follows.
 pub const INETD_OK: u8 = 0;
@@ -56,11 +56,11 @@ impl Inetd {
 }
 
 impl Program for Inetd {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         sys.listen(Port::INETD).expect("inetd port free at boot");
     }
 
-    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+    fn on_message(&mut self, sys: &mut dyn Sys, conn: ConnId, data: Bytes) {
         let service = match std::str::from_utf8(&data) {
             Ok(s) => s.to_string(),
             Err(_) => {
@@ -87,7 +87,7 @@ impl Program for Inetd {
         }
     }
 
-    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+    fn on_conn_event(&mut self, sys: &mut dyn Sys, conn: ConnId, event: ConnEvent) {
         // inetd serves one request per connection; nothing to track.
         let _ = (sys, conn, event);
     }

@@ -1,14 +1,14 @@
 //! The per-host kernel: process table, adoption, load average.
 //!
 //! This is the pure (event-free) part of the simulated 4.3BSD kernel. The
-//! [`crate::world::World`] drives it and turns its decisions into
+//! the world driver drives it and turns its decisions into
 //! scheduled events.
 
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
-use ppm_simnet::time::SimTime;
+use crate::time::SimTime;
 
 use crate::events::TraceFlags;
 use crate::ids::{Pid, Uid};

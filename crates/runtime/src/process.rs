@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ppm_simnet::time::{SimDuration, SimTime};
+use crate::time::{SimDuration, SimTime};
 
 use crate::events::TraceFlags;
 use crate::fd::FdTable;

@@ -9,9 +9,9 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::ids::HostId;
+use crate::time::SimTime;
 use bytes::Bytes;
-use ppm_simnet::time::SimTime;
-use ppm_simnet::topology::HostId;
 
 use crate::events::KernelEvent;
 use crate::ids::{ConnId, Pid, Port};
@@ -162,63 +162,62 @@ impl SpawnSpec {
     }
 }
 
-/// The behaviour of a simulated process.
+/// The behaviour of a process, under either backend.
 ///
 /// All methods default to "ignore", so simple programs implement only what
-/// they need. Handlers run to completion at a single simulated instant;
-/// real elapsed work is modelled by calling [`Sys::consume_cpu`] or by
-/// scheduling timers.
-pub trait Program {
+/// they need. Handlers run to completion at a single instant of the
+/// backend's clock; real elapsed work is modelled by calling
+/// [`Sys::consume_cpu`] or by scheduling timers.
+///
+/// `Send` is required because the real backend runs each node's event
+/// loop on its own thread and programs are spawned across nodes; the
+/// simulation is single-threaded and simply never moves them.
+pub trait Program: Send {
     /// The process began execution (after its fork+exec delay).
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         let _ = sys;
     }
 
     /// A timer set via [`Sys::set_timer`] fired.
-    fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, token: u64) {
         let _ = (sys, token);
     }
 
     /// A message arrived on an established connection.
-    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+    fn on_message(&mut self, sys: &mut dyn Sys, conn: ConnId, data: Bytes) {
         let _ = (sys, conn, data);
     }
 
     /// A connection changed state.
-    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+    fn on_conn_event(&mut self, sys: &mut dyn Sys, conn: ConnId, event: ConnEvent) {
         let _ = (sys, conn, event);
     }
 
     /// The kernel reported an event about a process this program traces
     /// (only LPMs that registered a kernel socket receive these).
-    fn on_kernel_event(&mut self, sys: &mut Sys<'_>, msg: KernelMsg) {
+    fn on_kernel_event(&mut self, sys: &mut dyn Sys, msg: KernelMsg) {
         let _ = (sys, msg);
     }
 
-    /// A coalesced batch of kernel event messages arrived in one wakeup.
-    /// The default unpacks the batch frame with the zero-copy iterator
-    /// and feeds each message to [`Program::on_kernel_event`] in queue
-    /// order; malformed frames are dropped.
-    fn on_kernel_batch(&mut self, sys: &mut Sys<'_>, data: Bytes) {
-        let Ok(iter) = ppm_proto::codec::frames(&data) else {
-            return;
-        };
-        for frame in iter {
-            let Ok(frame) = frame else { return };
-            if let Ok(msg) = <KernelMsg as ppm_proto::codec::Wire>::from_bytes(frame) {
-                self.on_kernel_event(sys, msg);
-            }
-        }
+    /// A coalesced batch of kernel event messages arrived in one wakeup,
+    /// as one encoded frame sequence. Only programs that registered a
+    /// kernel socket receive batches. The default ignores the frame; a
+    /// tracer (the LPM) overrides this to decode each message with the
+    /// wire codec and feed it to [`Program::on_kernel_event`] in queue
+    /// order. (The decoding lives with the tracer because the codec is a
+    /// protocol-layer concern this runtime crate does not depend on.)
+    fn on_kernel_batch(&mut self, sys: &mut dyn Sys, data: Bytes) {
+        let _ = (sys, data);
     }
 
     /// A direct child of this process exited.
-    fn on_child_exit(&mut self, sys: &mut Sys<'_>, child: Pid, status: ExitStatus) {
+    fn on_child_exit(&mut self, sys: &mut dyn Sys, child: Pid, status: ExitStatus) {
         let _ = (sys, child, status);
     }
 
     /// A catchable signal was delivered. Returning [`SigAction::Default`]
     /// applies the default disposition (fatal signals terminate).
-    fn on_signal(&mut self, sys: &mut Sys<'_>, signal: Signal) -> SigAction {
+    fn on_signal(&mut self, sys: &mut dyn Sys, signal: Signal) -> SigAction {
         let _ = (sys, signal);
         SigAction::Default
     }

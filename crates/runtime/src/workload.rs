@@ -13,8 +13,8 @@
 
 use bytes::Bytes;
 
-use ppm_simnet::time::SimDuration;
-use ppm_simnet::topology::HostId;
+use crate::ids::HostId;
+use crate::time::SimDuration;
 
 use crate::ids::{ConnId, Port};
 use crate::program::{ConnEvent, Program, SpawnSpec};
@@ -45,7 +45,7 @@ impl DutyCycle {
 
     /// Phase length, dithered ±30% so populations of spinners do not
     /// phase-lock with the kernel's load sampler.
-    fn phase(&self, on: bool, sys: &mut Sys<'_>) -> SimDuration {
+    fn phase(&self, on: bool, sys: &mut dyn Sys) -> SimDuration {
         let nominal = if on {
             self.period.mul_f64(self.duty)
         } else {
@@ -56,14 +56,14 @@ impl DutyCycle {
 }
 
 impl Program for DutyCycle {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         self.on = true;
         sys.set_cpu_bound(true);
         let d = self.phase(true, sys);
         sys.set_timer(d, 0);
     }
 
-    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, _token: u64) {
         self.on = !self.on;
         sys.set_cpu_bound(self.on);
         let d = self.phase(self.on, sys);
@@ -98,14 +98,14 @@ impl Worker {
 }
 
 impl Program for Worker {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         if !self.work.is_zero() {
             sys.consume_cpu(self.work);
         }
         sys.set_timer(self.lifetime, 0);
     }
 
-    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, _token: u64) {
         sys.exit(self.exit_code);
     }
 
@@ -151,7 +151,7 @@ impl TreeSpawner {
 }
 
 impl Program for TreeSpawner {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         if self.depth > 0 {
             for i in 0..self.fanout {
                 let child = TreeSpawner::new(self.fanout, self.depth - 1, self.lifetime);
@@ -164,7 +164,7 @@ impl Program for TreeSpawner {
         sys.set_timer(self.lifetime, 0);
     }
 
-    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, _token: u64) {
         sys.exit(0);
     }
 
@@ -181,11 +181,11 @@ pub struct EchoServer {
 }
 
 impl Program for EchoServer {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         let _ = sys.listen(self.port);
     }
 
-    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, data: Bytes) {
+    fn on_message(&mut self, sys: &mut dyn Sys, conn: ConnId, data: Bytes) {
         let _ = sys.send(conn, data);
     }
 
@@ -236,7 +236,7 @@ impl Chatter {
     /// Sends the round's payload and arms a retransmit timer keyed to the
     /// current round; an echo advancing `done` stales the timer. A send
     /// that errors means the connection is already dead: exit.
-    fn send_round(&mut self, sys: &mut Sys<'_>, conn: ConnId) {
+    fn send_round(&mut self, sys: &mut dyn Sys, conn: ConnId) {
         let p = self.payload();
         if sys.send(conn, p).is_err() {
             sys.exit(1);
@@ -247,11 +247,11 @@ impl Chatter {
 }
 
 impl Program for Chatter {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         self.conn = sys.connect(self.server, self.port).ok();
     }
 
-    fn on_conn_event(&mut self, sys: &mut Sys<'_>, conn: ConnId, event: ConnEvent) {
+    fn on_conn_event(&mut self, sys: &mut dyn Sys, conn: ConnId, event: ConnEvent) {
         match event {
             ConnEvent::Established if Some(conn) == self.conn => self.send_round(sys, conn),
             ConnEvent::Failed(_) | ConnEvent::Closed => sys.exit(1),
@@ -259,7 +259,7 @@ impl Program for Chatter {
         }
     }
 
-    fn on_message(&mut self, sys: &mut Sys<'_>, conn: ConnId, _data: Bytes) {
+    fn on_message(&mut self, sys: &mut dyn Sys, conn: ConnId, _data: Bytes) {
         self.done += 1;
         if self.done >= self.rounds {
             let _ = sys.close(conn);
@@ -269,7 +269,7 @@ impl Program for Chatter {
         }
     }
 
-    fn on_timer(&mut self, sys: &mut Sys<'_>, token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, token: u64) {
         // Still waiting on the echo for the round this timer was armed in:
         // retransmit. A send over a dead path reports the breakage.
         if token == self.done as u64 {
@@ -358,7 +358,7 @@ pub struct StormFork {
 /// # Examples
 ///
 /// ```
-/// use ppm_simos::workload::{Storm, StormSpec};
+/// use ppm_runtime::workload::{Storm, StormSpec};
 ///
 /// let spec = StormSpec::new(100, 8, 7);
 /// let mut a = Storm::new(spec);
@@ -457,78 +457,11 @@ impl Storm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ids::Uid;
-    use crate::process::ProcState;
-    use crate::world::World;
-    use ppm_simnet::topology::{CpuClass, HostSpec};
 
-    fn world() -> (World, HostId, HostId) {
-        let mut w = World::new(99);
-        let a = w.add_host(HostSpec::new("a", CpuClass::Vax780));
-        let b = w.add_host(HostSpec::new("b", CpuClass::Vax750));
-        w.add_link(a, b);
-        (w, a, b)
-    }
-
-    #[test]
-    fn duty_cycle_pins_load_average() {
-        let (mut w, a, _) = world();
-        for _ in 0..3 {
-            w.spawn_user(
-                a,
-                Uid(1),
-                SpawnSpec::new(
-                    "spin",
-                    Box::new(DutyCycle::new(0.5, SimDuration::from_millis(200))),
-                ),
-            )
-            .unwrap();
-        }
-        w.run_for(SimDuration::from_secs(400));
-        let la = w.core().kernel(a).load_avg();
-        assert!(
-            (1.2..1.8).contains(&la),
-            "3 half-duty spinners ≈ 1.5, got {la}"
-        );
-    }
-
-    #[test]
-    fn worker_consumes_cpu_and_exits() {
-        let (mut w, a, _) = world();
-        let pid = w
-            .spawn_user(
-                a,
-                Uid(1),
-                SpawnSpec::new(
-                    "job",
-                    Box::new(Worker::new(
-                        SimDuration::from_millis(500),
-                        SimDuration::from_millis(40),
-                    )),
-                ),
-            )
-            .unwrap();
-        w.run_for(SimDuration::from_secs(2));
-        let p = w.core().kernel(a).get(pid).unwrap();
-        assert!(matches!(p.state, ProcState::Exited(_)));
-        assert!(p.rusage.cpu >= SimDuration::from_millis(30));
-    }
-
-    #[test]
-    fn tree_spawner_builds_full_tree() {
-        let (mut w, a, _) = world();
-        let spec = TreeSpawner::new(2, 2, SimDuration::from_secs(30));
-        assert_eq!(spec.total_nodes(), 7);
-        let root = w
-            .spawn_user(a, Uid(1), SpawnSpec::new("tree-root", Box::new(spec)))
-            .unwrap();
-        w.run_for(SimDuration::from_secs(5));
-        let kern = w.core().kernel(a);
-        let mine = kern.user_processes(Uid(1));
-        assert_eq!(mine.len(), 7, "root + 2 + 4 nodes alive");
-        // Genealogy: root has exactly two children.
-        assert_eq!(kern.get(root).unwrap().children.len(), 2);
-    }
+    // The workload programs themselves (DutyCycle, Worker, TreeSpawner,
+    // EchoServer/Chatter) need a world to run in; their behavioural tests
+    // live in `ppm-simos/tests/workload.rs`. Only the pure, world-free
+    // Storm decision stream is tested here.
 
     #[test]
     fn storm_is_replayable_and_zipf_skewed() {
@@ -572,36 +505,5 @@ mod tests {
         let f = Storm::new(spec).next_fork();
         assert_eq!(f.user, 0);
         assert_eq!(f.host, 0);
-    }
-
-    #[test]
-    fn chatter_and_echo_exchange_messages() {
-        let (mut w, a, b) = world();
-        w.spawn_user(
-            b,
-            Uid(1),
-            SpawnSpec::new("echod", Box::new(EchoServer { port: Port(40) })),
-        )
-        .unwrap();
-        w.run_for(SimDuration::from_millis(300));
-        let c = w
-            .spawn_user(
-                a,
-                Uid(1),
-                SpawnSpec::new("chat", Box::new(Chatter::new(b, Port(40), 100, 5))),
-            )
-            .unwrap();
-        w.run_for(SimDuration::from_secs(5));
-        let p = w.core().kernel(a).get(c).unwrap();
-        assert_eq!(
-            p.state,
-            ProcState::Exited(crate::signal::ExitStatus::Code(0))
-        );
-        assert_eq!(p.rusage.msgs_sent, 5);
-        assert_eq!(p.rusage.msgs_received, 5);
-        // Connection stats captured both directions.
-        let conn = w.core().connections().next().unwrap();
-        assert_eq!(conn.stats.msgs_to_server, 5);
-        assert_eq!(conn.stats.msgs_to_client, 5);
     }
 }

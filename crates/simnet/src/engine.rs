@@ -40,10 +40,24 @@ use crate::time::{SimDuration, SimTime};
 ///
 /// Internally the [`Engine`] packs `generation << 32 | arena slot`; the
 /// [`TimerWheel`] stores its sequence number. Both are opaque: the only
-/// operation an id supports is being handed back to the queue it came
-/// from.
+/// operations an id supports are being handed back to the queue it came
+/// from, or round-tripping through its raw `u64` (for embedding in a
+/// backend-neutral `ppm_runtime::sys::TimerHandle`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    /// The packed representation, for embedding in an opaque handle.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`EventId::raw`]. A value that did not come
+    /// from `raw` simply never matches a live event.
+    pub fn from_raw(raw: u64) -> Self {
+        EventId(raw)
+    }
+}
 
 /// Lifetime activity counters of an event queue, sampled into the
 /// observability registry (see `ppm_simnet::obs`) at snapshot time.

@@ -1,397 +1,7 @@
-//! Observability primitives: a metrics registry and a span log.
+//! Observability primitives (re-exported from the runtime layer).
 //!
-//! Both are deterministic by construction — they record only simulated
-//! time and values derived from simulation state, so a same-seed run
-//! produces byte-identical snapshots. Registration interns static names
-//! into dense indices; the hot-path operations ([`Registry::inc`],
-//! [`Registry::add`], [`Registry::set`], [`Registry::record`]) are a
-//! bounds-checked array access plus an integer add, cheap enough to stay
-//! enabled in benchmark runs (see `ppm-bench`'s `obs_overhead` workload).
-//!
-//! The span log mirrors [`crate::trace::TraceLog`]: correlation-stamped
-//! begin/end records that higher layers export as JSONL or a Chrome
-//! `trace_event` file. Spans reuse the RPC wire identity (`origin#id` for
-//! directed requests, `origin@seq` for broadcast waves), so one request
-//! can be followed hop-by-hop across hosts.
+//! Metrics and span logs moved to `ppm-runtime` so that programs record
+//! them identically under both backends. This module keeps the historical
+//! `ppm_simnet::obs` paths.
 
-use crate::time::SimTime;
-use crate::topology::HostId;
-
-/// Number of log2 histogram buckets. Bucket `i` (for `i >= 1`) counts
-/// values in `[2^(i-1), 2^i)`; bucket 0 counts zeros and ones. 40 buckets
-/// cover a microsecond-valued range up to ~2^39 µs ≈ 6.4 simulated days.
-pub const HIST_BUCKETS: usize = 40;
-
-/// Handle of a registered counter.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CounterId(u32);
-
-/// Handle of a registered gauge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct GaugeId(u32);
-
-/// Handle of a registered histogram.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct HistId(u32);
-
-/// A fixed-bucket log2 histogram: per-bucket counts plus total count and
-/// sum, enough to reconstruct a latency distribution without storing
-/// samples.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Hist {
-    /// Per-bucket counts; bucket `i` holds values with `bit_len(v) == i`.
-    pub buckets: [u64; HIST_BUCKETS],
-    /// Total recorded values.
-    pub count: u64,
-    /// Sum of recorded values (saturating).
-    pub sum: u64,
-}
-
-impl Default for Hist {
-    fn default() -> Self {
-        Hist {
-            buckets: [0; HIST_BUCKETS],
-            count: 0,
-            sum: 0,
-        }
-    }
-}
-
-impl Hist {
-    /// Bucket index of a value: its bit length, clamped to the top bucket.
-    #[inline]
-    pub fn bucket_of(v: u64) -> usize {
-        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
-    }
-
-    /// Records one value.
-    #[inline]
-    pub fn record(&mut self, v: u64) {
-        self.buckets[Self::bucket_of(v)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
-    }
-
-    /// Inclusive upper bound of a bucket (`2^i - 1`), for rendering.
-    pub fn bucket_limit(i: usize) -> u64 {
-        if i >= 64 {
-            u64::MAX
-        } else {
-            (1u64 << i) - 1
-        }
-    }
-}
-
-/// A snapshot value of one metric.
-///
-/// Snapshot-only type (one allocation per hist per export), so the
-/// boxed histogram costs nothing on the hot path while keeping the
-/// enum small for the common counter/gauge samples.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MetricValue {
-    /// Monotonic counter.
-    Counter(u64),
-    /// Point-in-time level.
-    Gauge(i64),
-    /// Log2 histogram.
-    Hist(Box<Hist>),
-}
-
-/// One metric in a snapshot.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MetricSample {
-    /// Interned metric name.
-    pub name: &'static str,
-    /// Value at snapshot time.
-    pub value: MetricValue,
-}
-
-/// A low-overhead metrics registry.
-///
-/// Metrics are registered once (typically at program start) under static
-/// names and updated through the returned dense ids; a snapshot walks the
-/// registry in sorted-name order so its rendering is reproducible.
-///
-/// # Examples
-///
-/// ```
-/// use ppm_simnet::obs::Registry;
-///
-/// let mut reg = Registry::new();
-/// let sends = reg.counter("net.sends");
-/// let rtt = reg.hist("net.rtt_us");
-/// reg.inc(sends);
-/// reg.record(rtt, 1_500);
-/// let snap = reg.snapshot();
-/// assert_eq!(snap.len(), 2);
-/// assert_eq!(snap[0].name, "net.rtt_us"); // sorted by name
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct Registry {
-    counters: Vec<(&'static str, u64)>,
-    gauges: Vec<(&'static str, i64)>,
-    hists: Vec<(&'static str, Hist)>,
-}
-
-impl Registry {
-    /// Creates an empty registry.
-    pub fn new() -> Self {
-        Registry::default()
-    }
-
-    /// Registers (or finds) a counter by name.
-    pub fn counter(&mut self, name: &'static str) -> CounterId {
-        if let Some(i) = self.counters.iter().position(|(n, _)| *n == name) {
-            return CounterId(i as u32);
-        }
-        self.counters.push((name, 0));
-        CounterId((self.counters.len() - 1) as u32)
-    }
-
-    /// Registers (or finds) a gauge by name.
-    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
-        if let Some(i) = self.gauges.iter().position(|(n, _)| *n == name) {
-            return GaugeId(i as u32);
-        }
-        self.gauges.push((name, 0));
-        GaugeId((self.gauges.len() - 1) as u32)
-    }
-
-    /// Registers (or finds) a histogram by name.
-    pub fn hist(&mut self, name: &'static str) -> HistId {
-        if let Some(i) = self.hists.iter().position(|(n, _)| *n == name) {
-            return HistId(i as u32);
-        }
-        self.hists.push((name, Hist::default()));
-        HistId((self.hists.len() - 1) as u32)
-    }
-
-    /// Increments a counter by one.
-    #[inline]
-    pub fn inc(&mut self, id: CounterId) {
-        self.counters[id.0 as usize].1 += 1;
-    }
-
-    /// Increments a counter by `n`.
-    #[inline]
-    pub fn add(&mut self, id: CounterId, n: u64) {
-        self.counters[id.0 as usize].1 += n;
-    }
-
-    /// Sets a gauge.
-    #[inline]
-    pub fn set(&mut self, id: GaugeId, v: i64) {
-        self.gauges[id.0 as usize].1 = v;
-    }
-
-    /// Raises a gauge to at least `v` (high-water mark).
-    #[inline]
-    pub fn set_max(&mut self, id: GaugeId, v: i64) {
-        let g = &mut self.gauges[id.0 as usize].1;
-        if v > *g {
-            *g = v;
-        }
-    }
-
-    /// Records one histogram value.
-    #[inline]
-    pub fn record(&mut self, id: HistId, v: u64) {
-        self.hists[id.0 as usize].1.record(v);
-    }
-
-    /// Current value of a counter (tests and snapshot plumbing).
-    pub fn counter_value(&self, id: CounterId) -> u64 {
-        self.counters[id.0 as usize].1
-    }
-
-    /// All metrics, sorted by name.
-    pub fn snapshot(&self) -> Vec<MetricSample> {
-        let mut out: Vec<MetricSample> =
-            Vec::with_capacity(self.counters.len() + self.gauges.len() + self.hists.len());
-        for (name, v) in &self.counters {
-            out.push(MetricSample {
-                name,
-                value: MetricValue::Counter(*v),
-            });
-        }
-        for (name, v) in &self.gauges {
-            out.push(MetricSample {
-                name,
-                value: MetricValue::Gauge(*v),
-            });
-        }
-        for (name, h) in &self.hists {
-            out.push(MetricSample {
-                name,
-                value: MetricValue::Hist(Box::new(h.clone())),
-            });
-        }
-        out.sort_by(|a, b| a.name.cmp(b.name));
-        out
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Structured spans
-// ---------------------------------------------------------------------------
-
-/// Whether a span record opens or closes the span.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SpanPhase {
-    /// The span opens at this instant.
-    Begin,
-    /// The span closes at this instant.
-    End,
-}
-
-/// One begin/end record of a correlation-stamped span.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SpanEvent {
-    /// Simulated instant of the record.
-    pub at: SimTime,
-    /// Host the record was emitted on, when host-local.
-    pub host: Option<HostId>,
-    /// Span kind, e.g. `"req"`, `"bcast.relay"`, `"probe"`.
-    pub name: &'static str,
-    /// Correlation identity shared by every record of the same logical
-    /// operation across hosts: the RPC wire key (`origin#id`) or the
-    /// broadcast stamp key (`origin@seq`).
-    pub corr: String,
-    /// Opens or closes.
-    pub phase: SpanPhase,
-}
-
-/// An append-only log of span records, disabled by default so untraced
-/// runs pay only a branch per emission.
-#[derive(Debug, Clone, Default)]
-pub struct SpanLog {
-    events: Vec<SpanEvent>,
-    enabled: bool,
-}
-
-impl SpanLog {
-    /// Creates a disabled log (records are dropped until enabled).
-    pub fn new() -> Self {
-        SpanLog::default()
-    }
-
-    /// Whether records are currently kept.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Enables or disables recording.
-    pub fn set_enabled(&mut self, enabled: bool) {
-        self.enabled = enabled;
-    }
-
-    /// Appends a record (no-op while disabled).
-    pub fn record(
-        &mut self,
-        at: SimTime,
-        host: Option<HostId>,
-        name: &'static str,
-        corr: impl Into<String>,
-        phase: SpanPhase,
-    ) {
-        if self.enabled {
-            self.events.push(SpanEvent {
-                at,
-                host,
-                name,
-                corr: corr.into(),
-                phase,
-            });
-        }
-    }
-
-    /// All recorded span events, in emission order.
-    pub fn events(&self) -> &[SpanEvent] {
-        &self.events
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn counters_gauges_hists_register_and_update() {
-        let mut r = Registry::new();
-        let c = r.counter("a.count");
-        let g = r.gauge("a.level");
-        let h = r.hist("a.dist");
-        r.inc(c);
-        r.add(c, 4);
-        r.set(g, -3);
-        r.set_max(g, 7);
-        r.set_max(g, 2);
-        r.record(h, 0);
-        r.record(h, 1);
-        r.record(h, 1024);
-        let snap = r.snapshot();
-        assert_eq!(
-            snap.iter().map(|s| s.name).collect::<Vec<_>>(),
-            vec!["a.count", "a.dist", "a.level"],
-            "snapshot is name-sorted"
-        );
-        assert_eq!(snap[0].value, MetricValue::Counter(5));
-        assert_eq!(snap[2].value, MetricValue::Gauge(7));
-        let MetricValue::Hist(h) = &snap[1].value else {
-            panic!("expected hist");
-        };
-        assert_eq!(h.count, 3);
-        assert_eq!(h.sum, 1025);
-        assert_eq!(h.buckets[0], 1, "zero lands in bucket 0");
-        assert_eq!(h.buckets[1], 1, "one lands in bucket 1");
-        assert_eq!(h.buckets[11], 1, "1024 has bit length 11");
-    }
-
-    #[test]
-    fn registration_is_idempotent() {
-        let mut r = Registry::new();
-        let a = r.counter("x");
-        let b = r.counter("x");
-        assert_eq!(a, b);
-        r.inc(a);
-        r.inc(b);
-        assert_eq!(r.counter_value(a), 2);
-        assert_eq!(r.snapshot().len(), 1);
-    }
-
-    #[test]
-    fn hist_buckets_are_log2() {
-        assert_eq!(Hist::bucket_of(0), 0);
-        assert_eq!(Hist::bucket_of(1), 1);
-        assert_eq!(Hist::bucket_of(2), 2);
-        assert_eq!(Hist::bucket_of(3), 2);
-        assert_eq!(Hist::bucket_of(4), 3);
-        assert_eq!(Hist::bucket_of(u64::MAX), HIST_BUCKETS - 1);
-        assert_eq!(Hist::bucket_limit(3), 7);
-    }
-
-    #[test]
-    fn span_log_is_disabled_by_default() {
-        let mut log = SpanLog::new();
-        log.record(SimTime::ZERO, None, "req", "a#1", SpanPhase::Begin);
-        assert!(log.events().is_empty());
-        log.set_enabled(true);
-        log.record(
-            SimTime::ZERO,
-            Some(HostId(2)),
-            "req",
-            "a#1",
-            SpanPhase::Begin,
-        );
-        log.record(
-            SimTime::from_millis(3),
-            Some(HostId(2)),
-            "req",
-            "a#1",
-            SpanPhase::End,
-        );
-        assert_eq!(log.events().len(), 2);
-        assert_eq!(log.events()[1].phase, SpanPhase::End);
-        assert_eq!(log.events()[0].corr, "a#1");
-    }
-}
+pub use ppm_runtime::obs::*;

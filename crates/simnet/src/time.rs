@@ -1,247 +1,7 @@
-//! Simulated time.
+//! Simulated time (re-exported from the runtime layer).
 //!
-//! All simulation time is expressed in integer **microseconds** since the
-//! start of the run. Using an integer representation keeps the simulation
-//! deterministic: there is no floating-point drift and event ordering is a
-//! total order over `(SimTime, sequence number)`.
+//! The canonical instant type is [`ppm_runtime::time::Micros`]; `SimTime`
+//! is its historical alias. This module keeps the `ppm_simnet::time`
+//! paths that simulation-side code has always used.
 
-use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
-
-/// An instant in simulated time, measured in microseconds from run start.
-///
-/// # Examples
-///
-/// ```
-/// use ppm_simnet::time::{SimTime, SimDuration};
-///
-/// let t = SimTime::ZERO + SimDuration::from_millis(5);
-/// assert_eq!(t.as_micros(), 5_000);
-/// assert_eq!(t.as_millis_f64(), 5.0);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimTime(u64);
-
-/// A span of simulated time, measured in microseconds.
-///
-/// # Examples
-///
-/// ```
-/// use ppm_simnet::time::SimDuration;
-///
-/// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
-/// assert_eq!(d.as_micros(), 2_500);
-/// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct SimDuration(u64);
-
-impl SimTime {
-    /// The start of the simulation.
-    pub const ZERO: SimTime = SimTime(0);
-
-    /// A time later than any time a simulation will reach in practice.
-    pub const FAR_FUTURE: SimTime = SimTime(u64::MAX / 4);
-
-    /// Creates a time from raw microseconds.
-    pub const fn from_micros(us: u64) -> Self {
-        SimTime(us)
-    }
-
-    /// Creates a time from milliseconds.
-    pub const fn from_millis(ms: u64) -> Self {
-        SimTime(ms * 1_000)
-    }
-
-    /// Creates a time from whole seconds.
-    pub const fn from_secs(s: u64) -> Self {
-        SimTime(s * 1_000_000)
-    }
-
-    /// This instant as raw microseconds.
-    pub const fn as_micros(self) -> u64 {
-        self.0
-    }
-
-    /// This instant as (possibly fractional) milliseconds.
-    pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1_000.0
-    }
-
-    /// This instant as (possibly fractional) seconds.
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000.0
-    }
-
-    /// The duration elapsed since `earlier`.
-    ///
-    /// Returns [`SimDuration::ZERO`] when `earlier` is in the future,
-    /// mirroring `std::time::Instant::saturating_duration_since`.
-    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.saturating_sub(earlier.0))
-    }
-}
-
-impl SimDuration {
-    /// The empty duration.
-    pub const ZERO: SimDuration = SimDuration(0);
-
-    /// Creates a duration from raw microseconds.
-    pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us)
-    }
-
-    /// Creates a duration from milliseconds.
-    pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
-    }
-
-    /// Creates a duration from whole seconds.
-    pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000)
-    }
-
-    /// Creates a duration from fractional milliseconds, rounding to the
-    /// nearest microsecond. Negative inputs clamp to zero.
-    pub fn from_millis_f64(ms: f64) -> Self {
-        if ms <= 0.0 {
-            SimDuration(0)
-        } else {
-            SimDuration((ms * 1_000.0).round() as u64)
-        }
-    }
-
-    /// This duration as raw microseconds.
-    pub const fn as_micros(self) -> u64 {
-        self.0
-    }
-
-    /// This duration as (possibly fractional) milliseconds.
-    pub fn as_millis_f64(self) -> f64 {
-        self.0 as f64 / 1_000.0
-    }
-
-    /// This duration as (possibly fractional) seconds.
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000.0
-    }
-
-    /// True when the duration is zero.
-    pub const fn is_zero(self) -> bool {
-        self.0 == 0
-    }
-
-    /// Multiplies the duration by a non-negative float, saturating at zero.
-    pub fn mul_f64(self, k: f64) -> Self {
-        if k <= 0.0 {
-            SimDuration(0)
-        } else {
-            SimDuration((self.0 as f64 * k).round() as u64)
-        }
-    }
-
-    /// Saturating duration subtraction.
-    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
-        SimDuration(self.0.saturating_sub(other.0))
-    }
-}
-
-impl Add<SimDuration> for SimTime {
-    type Output = SimTime;
-    fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
-    }
-}
-
-impl AddAssign<SimDuration> for SimTime {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
-    }
-}
-
-impl Sub<SimTime> for SimTime {
-    type Output = SimDuration;
-    /// # Panics
-    ///
-    /// Panics in debug builds if `rhs` is later than `self`.
-    fn sub(self, rhs: SimTime) -> SimDuration {
-        debug_assert!(self.0 >= rhs.0, "SimTime subtraction underflow");
-        SimDuration(self.0 - rhs.0)
-    }
-}
-
-impl Add<SimDuration> for SimDuration {
-    type Output = SimDuration;
-    fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
-    }
-}
-
-impl AddAssign<SimDuration> for SimDuration {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
-    }
-}
-
-impl fmt::Display for SimTime {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3}ms", self.as_millis_f64())
-    }
-}
-
-impl fmt::Display for SimDuration {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.3}ms", self.as_millis_f64())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn time_arithmetic_roundtrips() {
-        let t = SimTime::from_millis(10) + SimDuration::from_micros(250);
-        assert_eq!(t.as_micros(), 10_250);
-        assert_eq!(t - SimTime::from_millis(10), SimDuration::from_micros(250));
-    }
-
-    #[test]
-    fn duration_from_fractional_millis_rounds() {
-        assert_eq!(SimDuration::from_millis_f64(1.5).as_micros(), 1_500);
-        assert_eq!(SimDuration::from_millis_f64(0.0004).as_micros(), 0);
-        assert_eq!(SimDuration::from_millis_f64(-3.0), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn saturating_since_clamps_to_zero() {
-        let early = SimTime::from_millis(1);
-        let late = SimTime::from_millis(9);
-        assert_eq!(late.saturating_since(early), SimDuration::from_millis(8));
-        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn mul_f64_saturates_and_rounds() {
-        let d = SimDuration::from_millis(10);
-        assert_eq!(d.mul_f64(1.5), SimDuration::from_millis(15));
-        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
-    }
-
-    #[test]
-    fn display_formats_as_millis() {
-        assert_eq!(SimTime::from_micros(1_234).to_string(), "1.234ms");
-        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
-    }
-
-    #[test]
-    fn ordering_is_total() {
-        let mut v = [
-            SimTime::from_millis(3),
-            SimTime::ZERO,
-            SimTime::from_micros(1),
-        ];
-        v.sort();
-        assert_eq!(v[0], SimTime::ZERO);
-        assert_eq!(v[2], SimTime::from_millis(3));
-    }
-}
+pub use ppm_runtime::time::{Micros, SimDuration, SimTime};

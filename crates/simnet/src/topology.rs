@@ -8,60 +8,10 @@
 //! module models exactly those.
 
 use std::collections::{HashMap, VecDeque};
-use std::fmt;
 
-/// Index of a host within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct HostId(pub u32);
-
-impl fmt::Display for HostId {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "h{}", self.0)
-    }
-}
-
-/// CPU class of a host, after the three machine types of Table 1.
-///
-/// The class selects the constants of the load-dependent latency model in
-/// [`crate::latency`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum CpuClass {
-    /// DEC VAX 11/780 — the fastest machine in the paper's testbed.
-    #[default]
-    Vax780,
-    /// DEC VAX 11/750.
-    Vax750,
-    /// SUN II workstation — slowest, degrades fastest under load.
-    Sun2,
-}
-
-impl CpuClass {
-    /// All classes, in the column order of Table 1.
-    pub const ALL: [CpuClass; 3] = [CpuClass::Vax780, CpuClass::Vax750, CpuClass::Sun2];
-
-    /// Relative CPU speed factor (VAX 11/780 ≡ 1.0). Higher is faster.
-    ///
-    /// Derived from the paper's Table 1 light-load column: the SUN II takes
-    /// ~1.15× the VAX time on the same message, and degrades faster.
-    pub fn speed_factor(self) -> f64 {
-        match self {
-            CpuClass::Vax780 => 1.0,
-            CpuClass::Vax750 => 0.98,
-            CpuClass::Sun2 => 0.82,
-        }
-    }
-}
-
-impl fmt::Display for CpuClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            CpuClass::Vax780 => "VAX 11/780",
-            CpuClass::Vax750 => "VAX 11/750",
-            CpuClass::Sun2 => "SUN II",
-        };
-        f.write_str(s)
-    }
-}
+// Host identity and hardware class live in the backend-agnostic runtime
+// layer; re-exported here so simulation-side code keeps its paths.
+pub use ppm_runtime::ids::{CpuClass, HostId};
 
 /// Static description of one host.
 #[derive(Debug, Clone)]

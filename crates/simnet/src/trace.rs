@@ -1,258 +1,7 @@
-//! Structured simulation trace.
+//! Structured simulation trace (re-exported from the runtime layer).
 //!
-//! Every layer of the stack (kernel, network, daemons, LPMs, tools) can
-//! append timestamped entries to a shared [`TraceLog`]. The figure
-//! regenerators in `ppm-bench` replay these entries to print the message
-//! sequences of Figures 2–4, and tests assert on them to check protocol
-//! steps without reaching into private state.
+//! The trace vocabulary moved to `ppm-runtime` so that both the simulated
+//! and the real backend record entries the figure regenerators and tests
+//! can read. This module keeps the historical `ppm_simnet::trace` paths.
 
-use std::fmt;
-
-use crate::time::SimTime;
-use crate::topology::HostId;
-
-/// Coarse category of a trace entry, used for filtering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum TraceCategory {
-    /// Kernel activity: fork/exec/exit/signal, trace-flag events.
-    Kernel,
-    /// Network activity: connections, message deliveries, partitions.
-    Net,
-    /// Daemon activity: inetd and pmd.
-    Daemon,
-    /// LPM activity: dispatch, handlers, siblings, adoption.
-    Lpm,
-    /// Broadcast/graph-cover activity.
-    Broadcast,
-    /// Crash detection and recovery (CCS).
-    Recovery,
-    /// Tool requests and replies.
-    Tool,
-}
-
-impl fmt::Display for TraceCategory {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TraceCategory::Kernel => "kernel",
-            TraceCategory::Net => "net",
-            TraceCategory::Daemon => "daemon",
-            TraceCategory::Lpm => "lpm",
-            TraceCategory::Broadcast => "bcast",
-            TraceCategory::Recovery => "recov",
-            TraceCategory::Tool => "tool",
-        };
-        f.write_str(s)
-    }
-}
-
-/// One timestamped trace entry.
-#[derive(Debug, Clone, PartialEq)]
-pub struct TraceEntry {
-    /// When the entry was recorded.
-    pub at: SimTime,
-    /// Host the activity happened on, when host-local.
-    pub host: Option<HostId>,
-    /// Category for filtering.
-    pub category: TraceCategory,
-    /// Human-readable description.
-    pub text: String,
-}
-
-impl fmt::Display for TraceEntry {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.host {
-            Some(h) => write!(
-                f,
-                "[{:>12} {} {}] {}",
-                self.at.to_string(),
-                h,
-                self.category,
-                self.text
-            ),
-            None => write!(
-                f,
-                "[{:>12} -- {}] {}",
-                self.at.to_string(),
-                self.category,
-                self.text
-            ),
-        }
-    }
-}
-
-/// An append-only log of simulation activity.
-///
-/// Recording can be toggled off for long benchmark runs; entries are then
-/// dropped at negligible cost.
-///
-/// # Examples
-///
-/// ```
-/// use ppm_simnet::trace::{TraceCategory, TraceLog};
-/// use ppm_simnet::time::SimTime;
-///
-/// let mut log = TraceLog::new();
-/// log.record(SimTime::ZERO, None, TraceCategory::Net, "link up");
-/// assert_eq!(log.entries().len(), 1);
-/// assert_eq!(log.filtered(TraceCategory::Net).count(), 1);
-/// ```
-#[derive(Debug, Clone, Default)]
-pub struct TraceLog {
-    entries: Vec<TraceEntry>,
-    enabled: bool,
-}
-
-impl TraceLog {
-    /// Creates an empty, enabled log.
-    pub fn new() -> Self {
-        TraceLog {
-            entries: Vec::new(),
-            enabled: true,
-        }
-    }
-
-    /// Creates a disabled log that drops all entries.
-    pub fn disabled() -> Self {
-        TraceLog {
-            entries: Vec::new(),
-            enabled: false,
-        }
-    }
-
-    /// Whether entries are currently recorded.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Enables or disables recording.
-    pub fn set_enabled(&mut self, enabled: bool) {
-        self.enabled = enabled;
-    }
-
-    /// Appends an entry (no-op while disabled).
-    pub fn record(
-        &mut self,
-        at: SimTime,
-        host: Option<HostId>,
-        category: TraceCategory,
-        text: impl Into<String>,
-    ) {
-        if self.enabled {
-            self.entries.push(TraceEntry {
-                at,
-                host,
-                category,
-                text: text.into(),
-            });
-        }
-    }
-
-    /// All recorded entries, in order.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
-    }
-
-    /// Entries of one category, in order.
-    pub fn filtered(&self, category: TraceCategory) -> impl Iterator<Item = &TraceEntry> {
-        self.entries.iter().filter(move |e| e.category == category)
-    }
-
-    /// Entries whose text contains `needle`, in order.
-    pub fn grep<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
-        self.entries.iter().filter(move |e| e.text.contains(needle))
-    }
-
-    /// Drops all recorded entries.
-    pub fn clear(&mut self) {
-        self.entries.clear();
-    }
-
-    /// Renders the whole log (or one category) as display lines.
-    pub fn render(&self, category: Option<TraceCategory>) -> String {
-        let mut out = String::new();
-        for e in &self.entries {
-            if category.is_none_or(|c| c == e.category) {
-                out.push_str(&e.to_string());
-                out.push('\n');
-            }
-        }
-        out
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::topology::HostId;
-
-    #[test]
-    fn records_and_filters() {
-        let mut log = TraceLog::new();
-        log.record(
-            SimTime::from_millis(1),
-            Some(HostId(0)),
-            TraceCategory::Kernel,
-            "fork pid 2",
-        );
-        log.record(
-            SimTime::from_millis(2),
-            None,
-            TraceCategory::Net,
-            "deliver 112B",
-        );
-        log.record(
-            SimTime::from_millis(3),
-            Some(HostId(1)),
-            TraceCategory::Kernel,
-            "exit pid 2",
-        );
-        assert_eq!(log.entries().len(), 3);
-        assert_eq!(log.filtered(TraceCategory::Kernel).count(), 2);
-        assert_eq!(log.grep("pid 2").count(), 2);
-    }
-
-    #[test]
-    fn disabled_log_drops_entries() {
-        let mut log = TraceLog::disabled();
-        assert!(!log.is_enabled());
-        log.record(SimTime::ZERO, None, TraceCategory::Tool, "dropped");
-        assert!(log.entries().is_empty());
-        log.set_enabled(true);
-        log.record(SimTime::ZERO, None, TraceCategory::Tool, "kept");
-        assert_eq!(log.entries().len(), 1);
-    }
-
-    #[test]
-    fn render_includes_time_host_and_category() {
-        let mut log = TraceLog::new();
-        log.record(
-            SimTime::from_millis(7),
-            Some(HostId(3)),
-            TraceCategory::Daemon,
-            "pmd started",
-        );
-        let s = log.render(None);
-        assert!(s.contains("7.000ms"));
-        assert!(s.contains("h3"));
-        assert!(s.contains("daemon"));
-        assert!(s.contains("pmd started"));
-    }
-
-    #[test]
-    fn render_filters_by_category() {
-        let mut log = TraceLog::new();
-        log.record(SimTime::ZERO, None, TraceCategory::Net, "a");
-        log.record(SimTime::ZERO, None, TraceCategory::Lpm, "b");
-        let s = log.render(Some(TraceCategory::Lpm));
-        assert!(!s.contains("net"));
-        assert!(s.contains("b"));
-    }
-
-    #[test]
-    fn clear_empties_the_log() {
-        let mut log = TraceLog::new();
-        log.record(SimTime::ZERO, None, TraceCategory::Net, "x");
-        log.clear();
-        assert!(log.entries().is_empty());
-    }
-}
+pub use ppm_runtime::trace::{TraceCategory, TraceEntry, TraceLog};

@@ -31,20 +31,26 @@
 //! ```
 
 pub mod config;
-pub mod events;
-pub mod fd;
-pub mod ids;
-pub mod inetd;
-pub mod kernel;
 pub mod net;
 pub mod obs;
-pub mod process;
-pub mod program;
-pub mod signal;
+pub mod rt;
 pub mod sys;
-pub mod wire;
-pub mod workload;
 pub mod world;
+
+// The process model, actor trait and stock programs moved to the
+// backend-agnostic `ppm-runtime` layer (the real backend shares them);
+// the kernel wire codec moved next to the rest of the protocol in
+// `ppm-proto`. These shims keep the historical `ppm_simos::` paths.
+pub use ppm_proto::kernel_wire as wire;
+pub use ppm_runtime::events;
+pub use ppm_runtime::fd;
+pub use ppm_runtime::ids;
+pub use ppm_runtime::inetd;
+pub use ppm_runtime::kernel;
+pub use ppm_runtime::process;
+pub use ppm_runtime::program;
+pub use ppm_runtime::signal;
+pub use ppm_runtime::workload;
 
 pub use config::OsConfig;
 pub use events::{KernelEvent, TraceFlags};

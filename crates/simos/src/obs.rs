@@ -2,18 +2,13 @@
 //! log, and the hub that collects per-program registries.
 //!
 //! Programs (LPMs) own their registries; at start they register a shared
-//! handle here via [`crate::sys::Sys::register_metrics`], so a harness or
-//! the CLI can sample every registry at end of run without generating
-//! simulated traffic. The world is single-threaded, so the handles are
-//! plain `Rc<RefCell<...>>`.
+//! handle here via `register_metrics` on their syscall interface, so a
+//! harness or the CLI can sample every registry at end of run without
+//! generating simulated traffic. The handle type is the runtime layer's
+//! [`SharedRegistry`] (`Arc<Registry>`, shared with the real backend).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
-use ppm_simnet::obs::{CounterId, HistId, MetricSample, Registry, SpanLog};
-
-/// A shared handle to a program-owned metrics registry.
-pub type SharedRegistry = Rc<RefCell<Registry>>;
+pub use ppm_runtime::obs::SharedRegistry;
+use ppm_runtime::obs::{CounterId, HistId, MetricSample, Registry, SpanLog};
 
 /// The world's observability hub.
 pub struct ObsHub {
@@ -91,7 +86,7 @@ impl ObsHub {
         let mut out: Vec<(String, Vec<MetricSample>)> = self
             .registries
             .iter()
-            .map(|(l, r)| (l.clone(), r.borrow().snapshot()))
+            .map(|(l, r)| (l.clone(), r.snapshot()))
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
         out
@@ -102,22 +97,23 @@ impl ObsHub {
         self.registries
             .iter()
             .find(|(l, _)| l == label)
-            .map(|(_, r)| r.borrow().snapshot())
+            .map(|(_, r)| r.snapshot())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppm_simnet::obs::MetricValue;
+    use ppm_runtime::obs::MetricValue;
 
     #[test]
     fn hub_samples_registered_registries_sorted_by_label() {
         let mut hub = ObsHub::new();
-        let a: SharedRegistry = Rc::new(RefCell::new(Registry::new()));
-        let c = a.borrow_mut().counter("x");
-        a.borrow_mut().inc(c);
-        let b: SharedRegistry = Rc::new(RefCell::new(Registry::new()));
+        let mut reg = Registry::new();
+        let c = reg.counter("x");
+        let a: SharedRegistry = reg.into_shared();
+        a.inc(c);
+        let b: SharedRegistry = Registry::new().into_shared();
         hub.register("beta/1".into(), b);
         hub.register("alpha/1".into(), a.clone());
         let snaps = hub.program_snapshots();
@@ -125,7 +121,7 @@ mod tests {
         assert_eq!(snaps[0].0, "alpha/1");
         assert_eq!(snaps[0].1[0].value, MetricValue::Counter(1));
         // Re-registering a label replaces the handle.
-        let fresh: SharedRegistry = Rc::new(RefCell::new(Registry::new()));
+        let fresh: SharedRegistry = Registry::new().into_shared();
         hub.register("alpha/1".into(), fresh);
         assert!(hub.program_snapshot("alpha/1").unwrap().is_empty());
         assert!(hub.program_snapshot("nope").is_none());

@@ -1,32 +1,30 @@
-//! The syscall surface available to programs.
+//! The simulated backend of the [`ppm_runtime::sys::Sys`] syscall surface.
 //!
-//! A [`Sys`] is handed to every [`crate::program::Program`] callback. It
-//! identifies the calling process and exposes the simulated kernel's
-//! system calls — spawn/exit/kill/adopt, stream sockets, timers, files,
-//! CPU accounting — plus read-only introspection (`ps`-style queries).
+//! A [`Sys`] borrows the world core and identifies the calling process;
+//! the world constructs one around every [`ppm_runtime::Program`]
+//! callback. All behaviour — spawn/exit/kill/adopt, stream sockets,
+//! timers, files, CPU accounting, `ps`-style queries — is defined by the
+//! trait contracts in `ppm_runtime::sys`; this module maps them onto the
+//! discrete-event world.
 
 use bytes::Bytes;
+use ppm_runtime::obs::{SharedRegistry, SpanPhase};
+use ppm_runtime::sys::{Clock, Spawner, TimerDriver, TimerHandle, Transport};
 use ppm_simnet::engine::EventId;
-use ppm_simnet::obs::SpanPhase;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simnet::topology::{CpuClass, HostId};
 use ppm_simnet::trace::TraceCategory;
 
-use crate::obs::SharedRegistry;
+use ppm_runtime::events::TraceFlags;
+use ppm_runtime::fd::{FdKind, OpenMode};
+use ppm_runtime::ids::{ConnId, Fd, Pid, Port, Uid};
+use ppm_runtime::process::{ProcInfo, Rusage};
+use ppm_runtime::program::{ProcKey, SpawnSpec, SysError};
+use ppm_runtime::signal::{ExitStatus, Signal};
 
-use crate::events::TraceFlags;
-use crate::fd::{FdKind, OpenMode};
-use crate::ids::{ConnId, Fd, Pid, Port, Uid};
-use crate::process::{ProcInfo, Rusage};
-use crate::program::{ProcKey, SpawnSpec, SysError};
-use crate::signal::{ExitStatus, Signal};
 use crate::world::{SimEvent, WorldCore};
 
-/// Handle to a pending timer, usable to cancel it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TimerHandle(EventId);
-
-/// The syscall interface bound to one calling process.
+/// The simulated syscall interface bound to one calling process.
 pub struct Sys<'a> {
     core: &'a mut WorldCore,
     key: ProcKey,
@@ -37,35 +35,110 @@ impl<'a> Sys<'a> {
         Sys { core, key }
     }
 
-    // ---- identity and environment --------------------------------------
+    /// Accounts a received stream message against the caller and emits
+    /// the IPC kernel event if traced. Called by the world at actual
+    /// delivery time.
+    pub(crate) fn account_msg_received(&mut self, bytes: usize) {
+        let key = self.key;
+        if let Ok(p) = self.core.kernel_mut(key.0).live_mut(key.1) {
+            p.rusage.msgs_received += 1;
+            p.rusage.bytes_received += bytes as u64;
+        }
+        self.core.emit_kernel_event(
+            key.0,
+            ppm_runtime::events::KernelEvent::MsgReceived { pid: key.1, bytes },
+        );
+    }
+}
 
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
+impl Clock for Sys<'_> {
+    fn now(&self) -> SimTime {
         self.core.now()
     }
+}
 
-    /// The calling process's host.
-    pub fn host(&self) -> HostId {
+impl TimerDriver for Sys<'_> {
+    fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
+        let id = self
+            .core
+            .engine
+            .schedule(delay, SimEvent::Timer(self.key, token));
+        TimerHandle(id.raw())
+    }
+
+    fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
+        self.core.engine.cancel(EventId::from_raw(handle.0))
+    }
+}
+
+impl Transport for Sys<'_> {
+    fn listen(&mut self, port: Port) -> Result<(), SysError> {
+        self.core.listen(self.key, port)
+    }
+
+    fn connect(&mut self, host: HostId, port: Port) -> Result<ConnId, SysError> {
+        self.core.connect(self.key, host, port)
+    }
+
+    fn send_bytes(&mut self, conn: ConnId, data: Bytes) -> Result<(), SysError> {
+        self.core.send(self.key, conn, data)
+    }
+
+    fn close(&mut self, conn: ConnId) -> Result<(), SysError> {
+        self.core.close(self.key, conn)
+    }
+}
+
+impl Spawner for Sys<'_> {
+    fn spawn(&mut self, spec: SpawnSpec) -> Result<Pid, SysError> {
+        let uid = ppm_runtime::sys::Sys::uid(self);
+        self.core.spawn(self.key.0, self.key.1, uid, spec, None)
+    }
+
+    fn spawn_as(&mut self, uid: Uid, spec: SpawnSpec) -> Result<Pid, SysError> {
+        if !ppm_runtime::sys::Sys::uid(self).is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        self.core.spawn(self.key.0, self.key.1, uid, spec, None)
+    }
+
+    fn exit(&mut self, code: i32) {
+        self.core.do_exit(self.key, ExitStatus::Code(code));
+    }
+
+    fn kill(&mut self, target: Pid, signal: Signal) -> Result<(), SysError> {
+        let uid = ppm_runtime::sys::Sys::uid(self);
+        self.core.post_signal(uid, (self.key.0, target), signal)
+    }
+
+    fn spawn_service(&mut self, name: &str) -> Result<(Pid, Port), SysError> {
+        if !ppm_runtime::sys::Sys::uid(self).is_root() {
+            return Err(SysError::PermissionDenied);
+        }
+        self.core.spawn_service(self.key.0, name)
+    }
+}
+
+impl ppm_runtime::sys::Sys for Sys<'_> {
+    // ---- identity and environment --------------------------------------
+
+    fn host(&self) -> HostId {
         self.key.0
     }
 
-    /// The calling process's host name.
-    pub fn host_name(&self) -> &str {
+    fn host_name(&self) -> &str {
         self.core.host_name(self.key.0)
     }
 
-    /// The host's CPU class.
-    pub fn cpu_class(&self) -> CpuClass {
+    fn cpu_class(&self) -> CpuClass {
         self.core.topology().spec(self.key.0).cpu
     }
 
-    /// The calling process's pid.
-    pub fn pid(&self) -> Pid {
+    fn pid(&self) -> Pid {
         self.key.1
     }
 
-    /// The calling process's uid.
-    pub fn uid(&self) -> Uid {
+    fn uid(&self) -> Uid {
         self.core
             .kernel(self.key.0)
             .get(self.key.1)
@@ -73,22 +146,15 @@ impl<'a> Sys<'a> {
             .unwrap_or(Uid::ROOT)
     }
 
-    /// The host's current load average (`uptime`).
-    pub fn load_avg(&self) -> f64 {
+    fn load_avg(&self) -> f64 {
         self.core.kernel(self.key.0).load_avg()
     }
 
-    /// Resolves a host name to an id (the simulated name service).
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::NoSuchHost`] when the name is unknown.
-    pub fn resolve_host(&self, name: &str) -> Result<HostId, SysError> {
+    fn resolve_host(&self, name: &str) -> Result<HostId, SysError> {
         self.core.host_by_name(name).ok_or(SysError::NoSuchHost)
     }
 
-    /// All host names in the network (the simulated `/etc/hosts`).
-    pub fn known_hosts(&self) -> Vec<String> {
+    fn known_hosts(&self) -> Vec<String> {
         self.core
             .topology()
             .host_ids()
@@ -96,21 +162,16 @@ impl<'a> Sys<'a> {
             .collect()
     }
 
-    /// Records a trace entry attributed to this host.
-    pub fn trace(&mut self, category: TraceCategory, text: impl Into<String>) {
+    fn trace_str(&mut self, category: TraceCategory, text: String) {
         let host = self.key.0;
-        self.core.tracef(Some(host), category, text.into());
+        self.core.tracef(Some(host), category, text);
     }
 
-    /// Whether span recording is enabled — callers guard on this before
-    /// formatting correlation strings on hot paths.
-    pub fn spans_enabled(&self) -> bool {
+    fn spans_enabled(&self) -> bool {
         self.core.obs.spans.is_enabled()
     }
 
-    /// Records a correlation-stamped span event attributed to this host
-    /// (no-op unless span recording is enabled on the world).
-    pub fn span(&mut self, name: &'static str, corr: impl Into<String>, phase: SpanPhase) {
+    fn span_str(&mut self, name: &'static str, corr: String, phase: SpanPhase) {
         if !self.core.obs.spans.is_enabled() {
             return;
         }
@@ -122,92 +183,31 @@ impl<'a> Sys<'a> {
             .record(now, Some(host), name, corr, phase);
     }
 
-    /// Registers a shared metrics registry with the world's observability
-    /// hub under `label`, so harnesses can sample it without simulated
-    /// traffic. Re-registering a label replaces the previous handle.
-    pub fn register_metrics(&mut self, label: impl Into<String>, registry: SharedRegistry) {
-        self.core.obs.register(label.into(), registry);
+    fn register_metrics_str(&mut self, label: String, registry: SharedRegistry) {
+        self.core.obs.register(label, registry);
     }
 
-    /// A uniformly distributed value in `[0, 1)` from the world RNG.
-    pub fn random_unit(&mut self) -> f64 {
+    fn random_unit(&mut self) -> f64 {
         self.core.rng.unit_f64()
     }
 
     // ---- process management --------------------------------------------
 
-    /// Forks and execs a child of the calling process.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::HostDown`] (only during in-flight crash handling).
-    pub fn spawn(&mut self, spec: SpawnSpec) -> Result<Pid, SysError> {
-        let uid = self.uid();
-        self.core.spawn(self.key.0, self.key.1, uid, spec, None)
-    }
-
-    /// Forks and execs a child *owned by another user* — the setuid spawn
-    /// pmd uses to create a user's LPM. Root only.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::PermissionDenied`] for non-root callers.
-    pub fn spawn_as(&mut self, uid: Uid, spec: SpawnSpec) -> Result<Pid, SysError> {
-        if !self.uid().is_root() {
-            return Err(SysError::PermissionDenied);
-        }
-        self.core.spawn(self.key.0, self.key.1, uid, spec, None)
-    }
-
-    /// Terminates the calling process with `code`.
-    pub fn exit(&mut self, code: i32) {
-        self.core.do_exit(self.key, ExitStatus::Code(code));
-    }
-
-    /// Sends a signal to a process on this host, with the caller's
-    /// credentials.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::NoSuchProcess`] or [`SysError::PermissionDenied`].
-    pub fn kill(&mut self, target: Pid, signal: Signal) -> Result<(), SysError> {
-        let uid = self.uid();
-        self.core.post_signal(uid, (self.key.0, target), signal)
-    }
-
-    /// Adopts a process (the extended `ptrace` of Section 4): the caller
-    /// becomes its tracer and receives kernel events per `flags`, for the
-    /// target and all its future descendants.
-    ///
-    /// # Errors
-    ///
-    /// See [`crate::kernel::Kernel::adopt`].
-    pub fn adopt(&mut self, target: Pid, flags: TraceFlags) -> Result<(), SysError> {
-        let uid = self.uid();
+    fn adopt(&mut self, target: Pid, flags: TraceFlags) -> Result<(), SysError> {
+        let uid = ppm_runtime::sys::Sys::uid(self);
         let tracer = self.key.1;
         let host = self.key.0;
         self.core
             .kernel_mut(host)
             .adopt(target, tracer, uid, flags)?;
-        self.trace(
+        self.trace_str(
             TraceCategory::Lpm,
             format!("adopted pid {target} with flags {flags}"),
         );
         Ok(())
     }
 
-    /// Updates the tracing flags of an already-adopted process.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Sys::adopt`].
-    pub fn set_trace_flags(&mut self, target: Pid, flags: TraceFlags) -> Result<(), SysError> {
-        self.adopt(target, flags)
-    }
-
-    /// Allocates the kernel socket descriptor (LPMs call this once; see
-    /// Figure 4 of the paper).
-    pub fn register_kernel_socket(&mut self) -> Fd {
+    fn register_kernel_socket(&mut self) -> Fd {
         let key = self.key;
         let k = self.core.kernel_mut(key.0);
         k.get_mut(key.1)
@@ -216,13 +216,11 @@ impl<'a> Sys<'a> {
             .alloc(FdKind::KernelSocket)
     }
 
-    /// `ps`-style info about one process on this host (any state).
-    pub fn proc_info(&self, pid: Pid) -> Option<ProcInfo> {
+    fn proc_info(&self, pid: Pid) -> Option<ProcInfo> {
         self.core.kernel(self.key.0).get(pid).map(ProcInfo::from)
     }
 
-    /// Live processes of `uid` on this host, in pid order.
-    pub fn user_processes(&self, uid: Uid) -> Vec<ProcInfo> {
+    fn user_processes(&self, uid: Uid) -> Vec<ProcInfo> {
         self.core
             .kernel(self.key.0)
             .user_processes(uid)
@@ -231,32 +229,22 @@ impl<'a> Sys<'a> {
             .collect()
     }
 
-    /// Resource usage of a process on this host (live or recently exited).
-    pub fn rusage_of(&self, pid: Pid) -> Option<Rusage> {
+    fn rusage_of(&self, pid: Pid) -> Option<Rusage> {
         self.core.kernel(self.key.0).get(pid).map(|p| p.rusage)
     }
 
-    /// Marks the caller CPU-bound (contributes to the run queue while
-    /// running), or not.
-    pub fn set_cpu_bound(&mut self, yes: bool) {
+    fn set_cpu_bound(&mut self, yes: bool) {
         let key = self.key;
         if let Ok(p) = self.core.kernel_mut(key.0).live_mut(key.1) {
             p.cpu_bound = yes;
         }
     }
 
-    /// Scales a nominal (idle reference machine) CPU cost to this host's
-    /// class and current load, with jitter — without consuming it. Used by
-    /// programs that model their own internal concurrency (the LPM's
-    /// handler processes run in parallel with its dispatcher).
-    pub fn scale_cost(&mut self, nominal: SimDuration) -> SimDuration {
+    fn scale_cost(&mut self, nominal: SimDuration) -> SimDuration {
         self.core.scaled_cpu_cost(self.key.0, nominal)
     }
 
-    /// Consumes CPU: the process is busy for the scaled cost (events queue
-    /// behind it) and the cost is added to its rusage. Returns the scaled
-    /// elapsed time.
-    pub fn consume_cpu(&mut self, nominal: SimDuration) -> SimDuration {
+    fn consume_cpu(&mut self, nominal: SimDuration) -> SimDuration {
         let key = self.key;
         let scaled = self.core.scaled_cpu_cost(key.0, nominal);
         let now = self.core.now();
@@ -272,118 +260,24 @@ impl<'a> Sys<'a> {
         scaled
     }
 
-    /// Accounts a received stream message against the caller and emits
-    /// the IPC kernel event if traced. Called by the world at actual
-    /// delivery time.
-    pub(crate) fn account_msg_received(&mut self, bytes: usize) {
-        let key = self.key;
-        if let Ok(p) = self.core.kernel_mut(key.0).live_mut(key.1) {
-            p.rusage.msgs_received += 1;
-            p.rusage.bytes_received += bytes as u64;
-        }
-        self.core.emit_kernel_event(
-            key.0,
-            crate::events::KernelEvent::MsgReceived { pid: key.1, bytes },
-        );
+    // ---- stable storage ------------------------------------------------
+
+    fn stable_put_kv(&mut self, key: String, value: Bytes) {
+        self.core.stable_put(self.key.0, key, value);
     }
 
-    // ---- timers ----------------------------------------------------------
-
-    /// Arms a one-shot timer; `token` comes back in
-    /// [`crate::program::Program::on_timer`].
-    pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerHandle {
-        let id = self
-            .core
-            .engine
-            .schedule(delay, SimEvent::Timer(self.key, token));
-        TimerHandle(id)
-    }
-
-    /// Cancels a pending timer. Returns `false` if it already fired.
-    pub fn cancel_timer(&mut self, handle: TimerHandle) -> bool {
-        self.core.engine.cancel(handle.0)
-    }
-
-    // ---- networking ------------------------------------------------------
-
-    /// Binds a listener on `port`.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::PortInUse`].
-    pub fn listen(&mut self, port: Port) -> Result<(), SysError> {
-        self.core.listen(self.key, port)
-    }
-
-    /// Starts a connection to `host:port`. The outcome arrives later as a
-    /// [`crate::program::ConnEvent`].
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::NoSuchHost`] for an invalid host id.
-    pub fn connect(&mut self, host: HostId, port: Port) -> Result<ConnId, SysError> {
-        self.core.connect(self.key, host, port)
-    }
-
-    /// Sends bytes on an established connection.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::NotConnected`] or [`SysError::ConnectionClosed`].
-    pub fn send(&mut self, conn: ConnId, data: impl Into<Bytes>) -> Result<(), SysError> {
-        self.core.send(self.key, conn, data.into())
-    }
-
-    /// Closes a connection.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::NotConnected`] if the caller is not an endpoint.
-    pub fn close(&mut self, conn: ConnId) -> Result<(), SysError> {
-        self.core.close(self.key, conn)
-    }
-
-    /// Asks inetd's registry to ensure a service runs on this host.
-    /// Returns its pid and well-known port. Root only.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::PermissionDenied`] for non-root callers,
-    /// [`SysError::UnknownService`] for unregistered names.
-    pub fn spawn_service(&mut self, name: &str) -> Result<(Pid, Port), SysError> {
-        if !self.uid().is_root() {
-            return Err(SysError::PermissionDenied);
-        }
-        self.core.spawn_service(self.key.0, name)
-    }
-
-    // ---- stable storage ----------------------------------------------------
-
-    /// Writes a record to the host's stable storage (simulated disk).
-    /// Survives process exits and host crashes — the paper's suggested
-    /// hardening of pmd state ("could be stored in secondary (even
-    /// stable) storage so as to survive the daemon's possible failure
-    /// modes").
-    pub fn stable_put(&mut self, key: impl Into<String>, value: impl Into<Bytes>) {
-        self.core.stable_put(self.key.0, key.into(), value.into());
-    }
-
-    /// Reads a record from the host's stable storage.
-    pub fn stable_get(&self, key: &str) -> Option<Bytes> {
+    fn stable_get(&self, key: &str) -> Option<Bytes> {
         self.core.stable_get(self.key.0, key)
     }
 
-    /// Deletes a record from the host's stable storage.
-    pub fn stable_del(&mut self, key: &str) {
+    fn stable_del(&mut self, key: &str) {
         self.core.stable_del(self.key.0, key);
     }
 
     // ---- files -----------------------------------------------------------
 
-    /// Opens a (simulated) file.
-    pub fn open(&mut self, path: impl Into<String>, mode: OpenMode) -> Fd {
+    fn open_path(&mut self, path: String, mode: OpenMode) -> Fd {
         let key = self.key;
-        let path = path.into();
         let fd = {
             let p = self
                 .core
@@ -398,17 +292,12 @@ impl<'a> Sys<'a> {
         };
         self.core.emit_kernel_event(
             key.0,
-            crate::events::KernelEvent::FileOpened { pid: key.1, path },
+            ppm_runtime::events::KernelEvent::FileOpened { pid: key.1, path },
         );
         fd
     }
 
-    /// Closes a descriptor.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::BadFileDescriptor`].
-    pub fn close_fd(&mut self, fd: Fd) -> Result<(), SysError> {
+    fn close_fd(&mut self, fd: Fd) -> Result<(), SysError> {
         let key = self.key;
         let released = {
             let p = self
@@ -422,7 +311,7 @@ impl<'a> Sys<'a> {
             Some(FdKind::File { path, .. }) => {
                 self.core.emit_kernel_event(
                     key.0,
-                    crate::events::KernelEvent::FileClosed { pid: key.1, path },
+                    ppm_runtime::events::KernelEvent::FileClosed { pid: key.1, path },
                 );
                 Ok(())
             }
@@ -435,14 +324,8 @@ impl<'a> Sys<'a> {
         }
     }
 
-    /// The descriptor table of a same-user (or any, for root) process on
-    /// this host — the data for the planned files/fd display tools.
-    ///
-    /// # Errors
-    ///
-    /// [`SysError::NoSuchProcess`] or [`SysError::PermissionDenied`].
-    pub fn open_fds(&self, pid: Pid) -> Result<Vec<(Fd, FdKind)>, SysError> {
-        let me = self.uid();
+    fn open_fds(&self, pid: Pid) -> Result<Vec<(Fd, FdKind)>, SysError> {
+        let me = ppm_runtime::sys::Sys::uid(self);
         let p = self.core.kernel(self.key.0).live(pid)?;
         if p.uid != me && !me.is_root() {
             return Err(SysError::PermissionDenied);
@@ -457,13 +340,13 @@ mod tests {
     //! integration suites; here we only check the pieces with no event
     //! dependencies.
     use super::*;
-    use crate::program::{Program, SpawnSpec};
     use crate::world::World;
+    use ppm_runtime::program::Program;
     use ppm_simnet::topology::HostSpec;
 
     struct Probe;
     impl Program for Probe {
-        fn on_start(&mut self, sys: &mut Sys<'_>) {
+        fn on_start(&mut self, sys: &mut dyn ppm_runtime::sys::Sys) {
             assert_eq!(sys.host_name(), "a");
             assert!(sys.pid().0 > 1);
             assert_eq!(sys.uid(), Uid(7));

@@ -805,6 +805,12 @@ impl WorldCore {
     pub(crate) fn stable_del(&mut self, host: HostId, key: &str) {
         self.host_mut(host).stable.remove(key);
     }
+
+    /// Reads a host's stable-storage record (the facade's inspection
+    /// channel; see [`ppm_runtime::rt::Runtime::stable_get`]).
+    pub fn stable_get_pub(&self, host: HostId, key: &str) -> Option<Bytes> {
+        self.stable_get(host, key)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -1521,8 +1527,9 @@ impl World {
 
 /// Stable-storage key under which a crash stamps the simulation time the
 /// host went dark (big-endian microseconds). Programs respawned after the
-/// restart read it to measure recovery time.
-pub const CRASHED_AT_KEY: &str = "os.crashed_at";
+/// restart read it to measure recovery time. (Canonically defined in the
+/// runtime layer; both backends write it on their crash paths.)
+pub use ppm_runtime::sys::CRASHED_AT_KEY;
 
 #[cfg(test)]
 mod tests {

@@ -3,6 +3,7 @@
 //! deterministic replay.
 
 use bytes::Bytes;
+use ppm_runtime::sys::Sys;
 use ppm_simnet::time::{SimDuration, SimTime};
 use ppm_simnet::topology::{CpuClass, HostSpec};
 use ppm_simos::events::{KernelEvent, TraceFlags};
@@ -10,12 +11,10 @@ use ppm_simos::ids::{ConnId, Pid, Port, Uid};
 use ppm_simos::process::ProcState;
 use ppm_simos::program::{ConnEvent, KernelMsg, Program, SpawnSpec, SysError};
 use ppm_simos::signal::{ExitStatus, Signal};
-use ppm_simos::sys::Sys;
 use ppm_simos::workload::{Chatter, EchoServer};
 use ppm_simos::world::World;
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 fn two_hosts(
     seed: u64,
@@ -35,25 +34,25 @@ fn two_hosts(
 struct Recorder {
     target: ppm_simnet::topology::HostId,
     port: Port,
-    log: Rc<RefCell<Vec<String>>>,
+    log: Arc<Mutex<Vec<String>>>,
     send_burst: usize,
 }
 
 impl Program for Recorder {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         let conn = sys.connect(self.target, self.port).expect("connect starts");
-        self.log.borrow_mut().push(format!("connecting {conn}"));
+        self.log.lock().unwrap().push(format!("connecting {conn}"));
     }
-    fn on_conn_event(&mut self, sys: &mut Sys<'_>, _conn: ConnId, ev: ConnEvent) {
-        self.log.borrow_mut().push(format!("event {ev:?}"));
+    fn on_conn_event(&mut self, sys: &mut dyn Sys, _conn: ConnId, ev: ConnEvent) {
+        self.log.lock().unwrap().push(format!("event {ev:?}"));
         if matches!(ev, ConnEvent::Established) {
             for i in 0..self.send_burst {
                 let _ = sys.send(_conn, Bytes::from(vec![i as u8; 16]));
             }
         }
     }
-    fn on_message(&mut self, _sys: &mut Sys<'_>, _conn: ConnId, data: Bytes) {
-        self.log.borrow_mut().push(format!("msg {}", data[0]));
+    fn on_message(&mut self, _sys: &mut dyn Sys, _conn: ConnId, data: Bytes) {
+        self.log.lock().unwrap().push(format!("msg {}", data[0]));
     }
     fn name(&self) -> &str {
         "recorder"
@@ -70,7 +69,7 @@ fn stream_messages_arrive_in_order() {
     )
     .unwrap();
     w.run_for(SimDuration::from_millis(200));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -79,7 +78,7 @@ fn stream_messages_arrive_in_order() {
             Box::new(Recorder {
                 target: b,
                 port: Port(9),
-                log: Rc::clone(&log),
+                log: Arc::clone(&log),
                 send_burst: 10,
             }),
         ),
@@ -87,7 +86,8 @@ fn stream_messages_arrive_in_order() {
     .unwrap();
     w.run_for(SimDuration::from_secs(3));
     let msgs: Vec<String> = log
-        .borrow()
+        .lock()
+        .unwrap()
         .iter()
         .filter(|l| l.starts_with("msg"))
         .cloned()
@@ -101,7 +101,7 @@ fn stream_messages_arrive_in_order() {
 #[test]
 fn connect_to_missing_listener_is_refused() {
     let (mut w, a, b) = two_hosts(2);
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -110,7 +110,7 @@ fn connect_to_missing_listener_is_refused() {
             Box::new(Recorder {
                 target: b,
                 port: Port(77),
-                log: Rc::clone(&log),
+                log: Arc::clone(&log),
                 send_burst: 0,
             }),
         ),
@@ -118,7 +118,8 @@ fn connect_to_missing_listener_is_refused() {
     .unwrap();
     w.run_for(SimDuration::from_secs(2));
     assert!(
-        log.borrow()
+        log.lock()
+            .unwrap()
             .iter()
             .any(|l| l.contains("Failed(ConnectionRefused)")),
         "{log:?}"
@@ -130,7 +131,7 @@ fn connect_to_crashed_host_fails_with_host_down() {
     let (mut w, a, b) = two_hosts(3);
     w.schedule_crash(b, SimDuration::from_millis(1));
     w.run_for(SimDuration::from_millis(50));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -139,7 +140,7 @@ fn connect_to_crashed_host_fails_with_host_down() {
             Box::new(Recorder {
                 target: b,
                 port: Port(9),
-                log: Rc::clone(&log),
+                log: Arc::clone(&log),
                 send_burst: 0,
             }),
         ),
@@ -147,7 +148,10 @@ fn connect_to_crashed_host_fails_with_host_down() {
     .unwrap();
     w.run_for(SimDuration::from_secs(3));
     assert!(
-        log.borrow().iter().any(|l| l.contains("Failed(HostDown)")),
+        log.lock()
+            .unwrap()
+            .iter()
+            .any(|l| l.contains("Failed(HostDown)")),
         "{log:?}"
     );
 }
@@ -163,7 +167,7 @@ fn peer_exit_closes_the_connection() {
         )
         .unwrap();
     w.run_for(SimDuration::from_millis(200));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -172,7 +176,7 @@ fn peer_exit_closes_the_connection() {
             Box::new(Recorder {
                 target: b,
                 port: Port(9),
-                log: Rc::clone(&log),
+                log: Arc::clone(&log),
                 send_burst: 0,
             }),
         ),
@@ -182,7 +186,10 @@ fn peer_exit_closes_the_connection() {
     w.post_signal(Uid(1), (b, server), Signal::Kill).unwrap();
     w.run_for(SimDuration::from_secs(1));
     assert!(
-        log.borrow().iter().any(|l| l.contains("event Closed")),
+        log.lock()
+            .unwrap()
+            .iter()
+            .any(|l| l.contains("event Closed")),
         "{log:?}"
     );
 }
@@ -246,10 +253,10 @@ fn usr_signals_do_not_kill() {
 /// inheritance (adoption happens before the fork).
 struct Forker;
 impl Program for Forker {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         sys.set_timer(SimDuration::from_secs(1), 0);
     }
-    fn on_timer(&mut self, sys: &mut Sys<'_>, _token: u64) {
+    fn on_timer(&mut self, sys: &mut dyn Sys, _token: u64) {
         sys.spawn(SpawnSpec::inert("child")).unwrap();
     }
     fn name(&self) -> &str {
@@ -260,15 +267,21 @@ impl Program for Forker {
 /// Tracer that records kernel events and their delivery latencies.
 struct Tracer {
     target: Pid,
-    events: Rc<RefCell<Vec<String>>>,
+    events: Arc<Mutex<Vec<String>>>,
 }
 impl Program for Tracer {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         sys.register_kernel_socket();
         sys.adopt(self.target, TraceFlags::PROC).unwrap();
     }
-    fn on_kernel_event(&mut self, _sys: &mut Sys<'_>, msg: KernelMsg) {
-        self.events.borrow_mut().push(msg.event.kind().to_string());
+    fn on_kernel_event(&mut self, _sys: &mut dyn Sys, msg: KernelMsg) {
+        self.events
+            .lock()
+            .unwrap()
+            .push(msg.event.kind().to_string());
+    }
+    fn on_kernel_batch(&mut self, sys: &mut dyn Sys, data: bytes::Bytes) {
+        ppm_proto::kernel_wire::for_each_kernel_msg(&data, |m| self.on_kernel_event(sys, m));
     }
     fn name(&self) -> &str {
         "tracer"
@@ -278,16 +291,19 @@ impl Program for Tracer {
 /// Tracer variant that records delivery latency in microseconds.
 struct LatencyTracer {
     target: Pid,
-    latencies: Rc<RefCell<Vec<u64>>>,
+    latencies: Arc<Mutex<Vec<u64>>>,
 }
 impl Program for LatencyTracer {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         sys.register_kernel_socket();
         sys.adopt(self.target, TraceFlags::PROC).unwrap();
     }
-    fn on_kernel_event(&mut self, sys: &mut Sys<'_>, msg: KernelMsg) {
+    fn on_kernel_event(&mut self, sys: &mut dyn Sys, msg: KernelMsg) {
         let lat = sys.now().saturating_since(msg.queued_at).as_micros();
-        self.latencies.borrow_mut().push(lat);
+        self.latencies.lock().unwrap().push(lat);
+    }
+    fn on_kernel_batch(&mut self, sys: &mut dyn Sys, data: bytes::Bytes) {
+        ppm_proto::kernel_wire::for_each_kernel_msg(&data, |m| self.on_kernel_event(sys, m));
     }
     fn name(&self) -> &str {
         "lat-tracer"
@@ -302,7 +318,7 @@ fn trace_flags_are_inherited_by_descendants() {
     let forker = w
         .spawn_user(a, Uid(1), SpawnSpec::new("forker", Box::new(Forker)))
         .unwrap();
-    let events = Rc::new(RefCell::new(Vec::new()));
+    let events = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -310,13 +326,13 @@ fn trace_flags_are_inherited_by_descendants() {
             "tracer",
             Box::new(Tracer {
                 target: forker,
-                events: Rc::clone(&events),
+                events: Arc::clone(&events),
             }),
         ),
     )
     .unwrap();
     w.run_for(SimDuration::from_secs(3));
-    let evs = events.borrow().clone();
+    let evs = events.lock().unwrap().clone();
     assert!(evs.contains(&"fork".to_string()), "fork reported: {evs:?}");
     assert!(
         evs.contains(&"exec".to_string()),
@@ -332,7 +348,10 @@ fn trace_flags_are_inherited_by_descendants() {
         .expect("child exists");
     w.post_signal(Uid(1), (a, child), Signal::Kill).unwrap();
     w.run_for(SimDuration::from_secs(1));
-    assert!(events.borrow().contains(&"exit".to_string()), "{events:?}");
+    assert!(
+        events.lock().unwrap().contains(&"exit".to_string()),
+        "{events:?}"
+    );
 }
 
 #[test]
@@ -347,17 +366,17 @@ fn kernel_event_latency_grows_with_load() {
         }
         w.run_for(SimDuration::from_secs(300));
         let victim = w.spawn_user(h, Uid(1), SpawnSpec::inert("victim")).unwrap();
-        let latencies = Rc::new(RefCell::new(Vec::new()));
+        let latencies = Arc::new(Mutex::new(Vec::new()));
         let t = LatencyTracer {
             target: victim,
-            latencies: Rc::clone(&latencies),
+            latencies: Arc::clone(&latencies),
         };
         w.spawn_user(h, Uid(1), SpawnSpec::new("tracer", Box::new(t)))
             .unwrap();
         w.run_for(SimDuration::from_secs(1));
         w.post_signal(Uid(1), (h, victim), Signal::Kill).unwrap();
         w.run_for(SimDuration::from_secs(1));
-        let l = latencies.borrow();
+        let l = latencies.lock().unwrap();
         assert!(!l.is_empty(), "exit event delivered");
         l.iter().sum::<u64>() as f64 / l.len() as f64 / 1000.0
     };
@@ -409,23 +428,26 @@ fn exit_event_carries_final_rusage() {
     let victim = w.spawn_user(a, Uid(1), SpawnSpec::inert("v")).unwrap();
     struct ExitWatch {
         target: Pid,
-        cpu: Rc<RefCell<Vec<u64>>>,
+        cpu: Arc<Mutex<Vec<u64>>>,
     }
     impl Program for ExitWatch {
-        fn on_start(&mut self, sys: &mut Sys<'_>) {
+        fn on_start(&mut self, sys: &mut dyn Sys) {
             sys.register_kernel_socket();
             sys.adopt(self.target, TraceFlags::PROC).unwrap();
         }
-        fn on_kernel_event(&mut self, _sys: &mut Sys<'_>, msg: KernelMsg) {
+        fn on_kernel_event(&mut self, _sys: &mut dyn Sys, msg: KernelMsg) {
             if let KernelEvent::Exit { rusage, .. } = msg.event {
-                self.cpu.borrow_mut().push(rusage.cpu.as_micros());
+                self.cpu.lock().unwrap().push(rusage.cpu.as_micros());
             }
+        }
+        fn on_kernel_batch(&mut self, sys: &mut dyn Sys, data: bytes::Bytes) {
+            ppm_proto::kernel_wire::for_each_kernel_msg(&data, |m| self.on_kernel_event(sys, m));
         }
         fn name(&self) -> &str {
             "exitwatch"
         }
     }
-    let cpu = Rc::new(RefCell::new(Vec::new()));
+    let cpu = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -433,7 +455,7 @@ fn exit_event_carries_final_rusage() {
             "watch",
             Box::new(ExitWatch {
                 target: victim,
-                cpu: Rc::clone(&cpu),
+                cpu: Arc::clone(&cpu),
             }),
         ),
     )
@@ -441,23 +463,23 @@ fn exit_event_carries_final_rusage() {
     w.run_for(SimDuration::from_secs(1));
     w.post_signal(Uid(1), (a, victim), Signal::Kill).unwrap();
     w.run_for(SimDuration::from_secs(1));
-    assert_eq!(cpu.borrow().len(), 1, "exactly one exit report");
+    assert_eq!(cpu.lock().unwrap().len(), 1, "exactly one exit report");
 }
 
 /// Counts messages as they are handled, optionally burning CPU per
 /// message (to test busy-queueing).
 struct CountingServer {
     port: Port,
-    handled: Rc<RefCell<Vec<u8>>>,
+    handled: Arc<Mutex<Vec<u8>>>,
     work_per_msg: SimDuration,
 }
 
 impl Program for CountingServer {
-    fn on_start(&mut self, sys: &mut Sys<'_>) {
+    fn on_start(&mut self, sys: &mut dyn Sys) {
         sys.listen(self.port).unwrap();
     }
-    fn on_message(&mut self, sys: &mut Sys<'_>, _conn: ConnId, data: Bytes) {
-        self.handled.borrow_mut().push(data[0]);
+    fn on_message(&mut self, sys: &mut dyn Sys, _conn: ConnId, data: Bytes) {
+        self.handled.lock().unwrap().push(data[0]);
         if !self.work_per_msg.is_zero() {
             sys.consume_cpu(self.work_per_msg);
         }
@@ -470,7 +492,7 @@ impl Program for CountingServer {
 #[test]
 fn events_to_stopped_processes_are_deferred_until_continue() {
     let (mut w, a, b) = two_hosts(20);
-    let handled = Rc::new(RefCell::new(Vec::new()));
+    let handled = Arc::new(Mutex::new(Vec::new()));
     let server = w
         .spawn_user(
             b,
@@ -479,7 +501,7 @@ fn events_to_stopped_processes_are_deferred_until_continue() {
                 "countd",
                 Box::new(CountingServer {
                     port: Port(9),
-                    handled: Rc::clone(&handled),
+                    handled: Arc::clone(&handled),
                     work_per_msg: SimDuration::ZERO,
                 }),
             ),
@@ -490,7 +512,7 @@ fn events_to_stopped_processes_are_deferred_until_continue() {
     // Stop the server, then stream messages at it.
     w.post_signal(Uid(1), (b, server), Signal::Stop).unwrap();
     w.run_for(SimDuration::from_millis(100));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -507,20 +529,20 @@ fn events_to_stopped_processes_are_deferred_until_continue() {
     .unwrap();
     w.run_for(SimDuration::from_secs(2));
     assert!(
-        handled.borrow().is_empty(),
+        handled.lock().unwrap().is_empty(),
         "stopped process handles nothing"
     );
 
     // Continue: the queued messages are handled, in order.
     w.post_signal(Uid(1), (b, server), Signal::Cont).unwrap();
     w.run_for(SimDuration::from_secs(1));
-    assert_eq!(*handled.borrow(), vec![0, 1, 2, 3, 4]);
+    assert_eq!(*handled.lock().unwrap(), vec![0, 1, 2, 3, 4]);
 }
 
 #[test]
 fn busy_processes_queue_events_behind_their_work() {
     let (mut w, a, b) = two_hosts(21);
-    let handled = Rc::new(RefCell::new(Vec::new()));
+    let handled = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         b,
         Uid(1),
@@ -528,7 +550,7 @@ fn busy_processes_queue_events_behind_their_work() {
             "countd",
             Box::new(CountingServer {
                 port: Port(9),
-                handled: Rc::clone(&handled),
+                handled: Arc::clone(&handled),
                 // Each message costs 100 ms of CPU: a burst serializes.
                 work_per_msg: SimDuration::from_millis(100),
             }),
@@ -536,7 +558,7 @@ fn busy_processes_queue_events_behind_their_work() {
     )
     .unwrap();
     w.run_for(SimDuration::from_millis(300));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -554,13 +576,17 @@ fn busy_processes_queue_events_behind_their_work() {
     // The burst arrives ~355 ms in (spawn + connect + wire); each message
     // costs 100 ms of CPU, so by 600 ms at most three are handled.
     w.run_for(SimDuration::from_millis(300));
-    let n_early = handled.borrow().len();
+    let n_early = handled.lock().unwrap().len();
     assert!(
         (1..4).contains(&n_early),
         "burst serialized: {n_early} handled early"
     );
     w.run_for(SimDuration::from_secs(2));
-    assert_eq!(*handled.borrow(), vec![0, 1, 2, 3], "all handled, in order");
+    assert_eq!(
+        *handled.lock().unwrap(),
+        vec![0, 1, 2, 3],
+        "all handled, in order"
+    );
 }
 
 #[test]
@@ -568,7 +594,7 @@ fn deferred_deliveries_are_accounted_exactly_once() {
     // Regression: a message redelivered after busy-deferral must not
     // inflate msgs_received or duplicate the IPC kernel event.
     let (mut w, a, b) = two_hosts(22);
-    let handled = Rc::new(RefCell::new(Vec::new()));
+    let handled = Arc::new(Mutex::new(Vec::new()));
     let server = w
         .spawn_user(
             b,
@@ -577,14 +603,14 @@ fn deferred_deliveries_are_accounted_exactly_once() {
                 "countd",
                 Box::new(CountingServer {
                     port: Port(9),
-                    handled: Rc::clone(&handled),
+                    handled: Arc::clone(&handled),
                     work_per_msg: SimDuration::from_millis(100),
                 }),
             ),
         )
         .unwrap();
     w.run_for(SimDuration::from_millis(300));
-    let log = Rc::new(RefCell::new(Vec::new()));
+    let log = Arc::new(Mutex::new(Vec::new()));
     w.spawn_user(
         a,
         Uid(1),
@@ -600,7 +626,7 @@ fn deferred_deliveries_are_accounted_exactly_once() {
     )
     .unwrap();
     w.run_for(SimDuration::from_secs(3));
-    assert_eq!(handled.borrow().len(), 4);
+    assert_eq!(handled.lock().unwrap().len(), 4);
     let p = w.core().kernel(b).get(server).unwrap();
     assert_eq!(
         p.rusage.msgs_received, 4,

@@ -8,7 +8,7 @@
 //! control action to each member through the PPM.
 
 use ppm_core::client::ToolStep;
-use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_harness::harness::{HarnessError, PpmHarness};
 use ppm_proto::msg::{ControlAction, ErrCode, Op, Reply};
 use ppm_proto::types::{Gpid, WireProcState};
 use ppm_simnet::time::SimDuration;

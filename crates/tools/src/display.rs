@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 
 use ppm_core::client::ToolStep;
-use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_harness::harness::{HarnessError, PpmHarness};
 use ppm_proto::msg::{Op, Reply};
 use ppm_simnet::time::SimDuration;
 use ppm_simos::ids::Uid;

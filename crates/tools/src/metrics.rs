@@ -8,7 +8,7 @@
 //! arrives timestamped on the answering host's sim clock.
 
 use ppm_core::client::ToolStep;
-use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_harness::harness::{HarnessError, PpmHarness};
 use ppm_proto::msg::{Op, Reply};
 use ppm_proto::types::MetricRow;
 use ppm_simnet::time::SimDuration;

@@ -7,7 +7,7 @@
 
 use std::fmt::Write as _;
 
-use ppm_core::harness::{HarnessError, PpmHarness};
+use ppm_harness::harness::{HarnessError, PpmHarness};
 use ppm_proto::msg::ControlAction;
 use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
 use ppm_simos::ids::Uid;

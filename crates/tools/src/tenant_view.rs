@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-use ppm_core::tenant::{TenantWorld, UserShard};
+use ppm_harness::tenant::{TenantWorld, UserShard};
 
 use crate::forest::Forest;
 

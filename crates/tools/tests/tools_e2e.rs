@@ -3,7 +3,7 @@
 //! churn, and dashboard/IPC reports on real data.
 
 use ppm_core::config::PpmConfig;
-use ppm_core::harness::PpmHarness;
+use ppm_harness::harness::PpmHarness;
 use ppm_proto::msg::ControlAction;
 use ppm_proto::types::WireProcState;
 use ppm_simnet::time::SimDuration;

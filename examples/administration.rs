@@ -6,7 +6,7 @@
 //! Run with: `cargo run --example administration`
 
 use ppm::core::config::{PpmConfig, RecoveryPolicy};
-use ppm::core::harness::PpmHarness;
+use ppm::harness::harness::PpmHarness;
 use ppm::proto::msg::ControlAction;
 use ppm::simnet::time::SimDuration;
 use ppm::simnet::topology::CpuClass;

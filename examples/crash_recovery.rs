@@ -7,7 +7,7 @@
 //! Run with: `cargo run --example crash_recovery`
 
 use ppm::core::config::PpmConfig;
-use ppm::core::harness::PpmHarness;
+use ppm::harness::harness::PpmHarness;
 use ppm::proto::msg::Reply;
 use ppm::simnet::time::SimDuration;
 use ppm::simnet::topology::CpuClass;

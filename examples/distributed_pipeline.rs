@@ -9,7 +9,7 @@
 //! Run with: `cargo run --example distributed_pipeline`
 
 use ppm::core::config::PpmConfig;
-use ppm::core::harness::PpmHarness;
+use ppm::harness::harness::PpmHarness;
 use ppm::simnet::time::{SimDuration, SimTime};
 use ppm::simnet::topology::CpuClass;
 use ppm::simos::ids::Uid;

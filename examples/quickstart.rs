@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use ppm::core::config::PpmConfig;
-use ppm::core::harness::PpmHarness;
+use ppm::harness::harness::PpmHarness;
 use ppm::proto::msg::ControlAction;
 use ppm::proto::types::Gpid;
 use ppm::simnet::time::SimDuration;

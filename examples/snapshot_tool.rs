@@ -7,7 +7,7 @@
 
 use ppm::core::client::ToolStep;
 use ppm::core::config::PpmConfig;
-use ppm::core::harness::PpmHarness;
+use ppm::harness::harness::PpmHarness;
 use ppm::proto::msg::{Op, Reply};
 use ppm::proto::types::Gpid;
 use ppm::simnet::time::SimDuration;

@@ -1,0 +1,341 @@
+//! `ppm-real` — the PPM stack on the real backend: loopback TCP,
+//! monotonic clocks, thread-per-host nodes.
+//!
+//! ```console
+//! $ cargo run --bin ppm-real
+//! $ cargo run --bin ppm-real -- --hosts 5 --trace
+//! $ cargo run --bin ppm-real -- --no-kill --metrics /tmp/real.metrics
+//! ```
+//!
+//! Boots `--hosts N` (default 3) node threads sharing one loopback
+//! cluster, then drives the same `ppm-core` protocol stack the simulation
+//! runs — inetd brokers the pmd, pmds spawn per-user LPMs on demand, and
+//! scripted tools authenticate over real sockets:
+//!
+//! 1. **remote execution** — a computation rooted on `h0` with one job
+//!    spawned onto every other host;
+//! 2. **display** — a whole-network snapshot sweep gathered across LPMs;
+//! 3. **locate** — the computation's execution sites from that sweep;
+//! 4. **crash recovery** (skipped with `--no-kill`) — SIGKILL `h1`'s LPM
+//!    out from under its live jobs, then wait for the pmd respawn and
+//!    forest re-adoption path to restore the exact pre-crash node set.
+//!
+//! `--trace` mirrors the simulation's trace switch (to stderr), and
+//! `--metrics <path>` writes every registry published in the cluster.
+//! Everything is wall-clock real time; the CI `real-smoke` job runs this
+//! under a watchdog and checks the exit code.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ppm_core::auth::UserCred;
+use ppm_core::client::{Tool, ToolOutcome, ToolStep};
+use ppm_core::config::{PpmConfig, PMD_PORT, PMD_SERVICE};
+use ppm_core::pmd::{Pmd, PmdOptions};
+use ppm_core::users::{UserDirectory, UserEntry};
+use ppm_proto::msg::{Op, Reply};
+use ppm_proto::types::{Gpid, ProcRecord, WireProcState};
+use ppm_realos::RealRuntime;
+use ppm_runtime::ids::{CpuClass, HostId, Uid};
+use ppm_runtime::program::SpawnSpec;
+use ppm_runtime::rt::Runtime;
+use ppm_runtime::signal::Signal;
+
+const USER: Uid = Uid(100);
+const SECRET: u64 = 0x1986;
+const TOOL_BUDGET: Duration = Duration::from_secs(30);
+
+struct Cluster {
+    rt: RealRuntime,
+    users: Arc<UserDirectory>,
+    hosts: Vec<(String, HostId)>,
+}
+
+fn boot(n: usize, trace: bool) -> Cluster {
+    let names: Vec<String> = (0..n).map(|i| format!("h{i}")).collect();
+    let mut users = UserDirectory::new();
+    users.insert(UserEntry {
+        cred: UserCred::new(USER, SECRET),
+        recovery: names.iter().take(2).cloned().collect(),
+        config: PpmConfig::fast_recovery(),
+    });
+    let users = users.into_shared();
+    let pmd_users = Arc::clone(&users);
+    let mut rt = RealRuntime::with_trace(trace);
+    rt.register_service(
+        PMD_SERVICE,
+        PMD_PORT,
+        Box::new(move |_host| {
+            Box::new(Pmd::new(
+                Arc::clone(&pmd_users),
+                PMD_PORT,
+                PmdOptions {
+                    stable_storage: true,
+                    respawn_lpms: true,
+                },
+            ))
+        }),
+    );
+    let mut hosts = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let cpu = if i % 2 == 0 {
+            CpuClass::Vax780
+        } else {
+            CpuClass::Sun2
+        };
+        let id = rt.add_host(name, cpu);
+        hosts.push((name.clone(), id));
+    }
+    Cluster { rt, users, hosts }
+}
+
+fn run_tool(c: &mut Cluster, from: HostId, script: Vec<ToolStep>) -> Result<ToolOutcome, String> {
+    let entry = c.users.get(USER).expect("registered user");
+    let (tool, handle) = Tool::new(entry.cred, entry.config.clone(), script);
+    c.rt.spawn_user(from, USER, SpawnSpec::new("ppm-tool", Box::new(tool)))
+        .map_err(|e| format!("spawn tool: {e:?}"))?;
+    let deadline = Instant::now() + TOOL_BUDGET;
+    while Instant::now() < deadline {
+        if handle.lock().unwrap().done {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let outcome = handle.lock().unwrap().clone();
+    if !outcome.done {
+        return Err("tool timed out".to_string());
+    }
+    if let Some(err) = &outcome.error {
+        return Err(format!("tool failed: {err}"));
+    }
+    Ok(outcome)
+}
+
+fn spawn_remote(
+    c: &mut Cluster,
+    dest: &str,
+    command: &str,
+    logical_parent: Option<Gpid>,
+) -> Result<Gpid, String> {
+    let from = c.hosts[0].1;
+    let out = run_tool(
+        c,
+        from,
+        vec![ToolStep::new(
+            dest,
+            Op::Spawn {
+                command: command.to_string(),
+                logical_parent,
+                lifetime_us: None,
+                work_us: 0,
+                cpu_bound: false,
+            },
+        )],
+    )?;
+    match out.reply(0) {
+        Some(Reply::Spawned { gpid }) => Ok(gpid.clone()),
+        other => Err(format!("expected Spawned, got {other:?}")),
+    }
+}
+
+fn snapshot_all(c: &mut Cluster) -> Result<Vec<ProcRecord>, String> {
+    let from = c.hosts[0].1;
+    let out = run_tool(c, from, vec![ToolStep::new("*", Op::Snapshot)])?;
+    let reply = out.replies.into_iter().next().map(|(r, _)| r);
+    let reply = match reply {
+        Some(Reply::Partial { inner, .. }) => *inner,
+        Some(other) => other,
+        None => return Err("snapshot produced no reply".to_string()),
+    };
+    match reply {
+        Reply::Snapshot { procs, .. } => Ok(procs),
+        other => Err(format!("expected Snapshot, got {other:?}")),
+    }
+}
+
+/// Adopted, live pids of `USER` on `host` in a snapshot: the forest's
+/// node set for that host.
+fn forest_nodes(procs: &[ProcRecord], host: &str) -> Vec<u32> {
+    let mut pids: Vec<u32> = procs
+        .iter()
+        .filter(|p| p.gpid.host == host && p.adopted && p.state != WireProcState::Dead)
+        .map(|p| p.gpid.pid)
+        .collect();
+    pids.sort_unstable();
+    pids
+}
+
+fn demo(c: &mut Cluster, kill: bool) -> Result<(), String> {
+    let names: Vec<String> = c.hosts.iter().map(|(n, _)| n.clone()).collect();
+
+    // Remote execution: a computation rooted on h0, one job per peer.
+    let started = Instant::now();
+    let root = spawn_remote(c, &names[0], "root", None)?;
+    println!(
+        "exec    root {}:{} (first spawn walked inetd -> pmd -> LPM, {:.0?})",
+        root.host,
+        root.pid,
+        started.elapsed()
+    );
+    for name in &names[1..] {
+        let g = spawn_remote(c, name, &format!("job-{name}"), Some(root.clone()))?;
+        println!(
+            "exec    job {}:{} (logical parent {})",
+            g.host, g.pid, root.pid
+        );
+    }
+
+    // Display: the distributed snapshot sweep.
+    let procs = snapshot_all(c)?;
+    println!("display {} managed processes:", procs.len());
+    for name in &names {
+        let pids = forest_nodes(&procs, name);
+        println!("display   {name}: {pids:?}");
+    }
+
+    // Locate: hosts executing the computation rooted at `root`.
+    let mut sites: Vec<&str> = procs
+        .iter()
+        .filter(|p| p.state != WireProcState::Dead)
+        .filter(|p| p.gpid == root || p.logical_parent.as_ref() == Some(&root))
+        .map(|p| p.gpid.host.as_str())
+        .collect();
+    sites.sort_unstable();
+    sites.dedup();
+    println!("locate  computation {} runs on {sites:?}", root.pid);
+    if sites.len() != names.len() {
+        return Err(format!(
+            "locate expected all {} hosts, got {sites:?}",
+            names.len()
+        ));
+    }
+
+    if !kill {
+        return Ok(());
+    }
+
+    // Crash recovery: SIGKILL h1's LPM out from under its live jobs.
+    let (victim_host, victim_id) = (names[1].clone(), c.hosts[1].1);
+    let before = forest_nodes(&procs, &victim_host);
+    let victim =
+        c.rt.find_proc(victim_id, USER, "lpm-")
+            .ok_or_else(|| format!("{victim_host} has no LPM"))?;
+    c.rt.kill(victim_id, Uid::ROOT, victim, Signal::Kill)
+        .map_err(|e| format!("kill LPM: {e:?}"))?;
+    println!("kill    SIGKILL {victim_host} LPM (pid {})", victim.0);
+
+    let crashed = Instant::now();
+    let deadline = crashed + Duration::from_secs(20);
+    let respawned = loop {
+        match c.rt.find_proc(victim_id, USER, "lpm-") {
+            Some(pid) if pid != victim => break pid,
+            _ if Instant::now() >= deadline => {
+                return Err("LPM was not respawned within 20s".to_string())
+            }
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+    println!(
+        "respawn pmd restarted the LPM as pid {} after {:.0?}",
+        respawned.0,
+        crashed.elapsed()
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let procs = snapshot_all(c)?;
+        let after = forest_nodes(&procs, &victim_host);
+        if after == before {
+            println!(
+                "readopt forest node set restored {after:?} after {:.0?}",
+                crashed.elapsed()
+            );
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "re-adoption did not restore the forest: before={before:?} after={after:?}"
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(250));
+    }
+
+    // The respawned LPM serves new work.
+    let g = spawn_remote(c, &victim_host, "after", None)?;
+    println!("exec    job {}:{} on the respawned LPM", g.host, g.pid);
+    Ok(())
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: ppm-real [--hosts <N>] [--trace] [--no-kill] [--metrics <path>]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut hosts = 3usize;
+    let mut trace = false;
+    let mut kill = true;
+    let mut metrics_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => trace = true,
+            "--no-kill" => kill = false,
+            "--hosts" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|n| *n >= 2) else {
+                    eprintln!("ppm-real: --hosts needs a host count of at least 2");
+                    return ExitCode::FAILURE;
+                };
+                hosts = n;
+            }
+            "--metrics" => {
+                let Some(p) = args.next() else {
+                    eprintln!("ppm-real: --metrics needs an output path");
+                    return ExitCode::FAILURE;
+                };
+                metrics_path = Some(p);
+            }
+            _ => return usage(),
+        }
+    }
+
+    let started = Instant::now();
+    let mut cluster = boot(hosts, trace);
+    println!(
+        "boot    {hosts} hosts on loopback TCP, one node thread each (user {})",
+        USER.0
+    );
+    let result = demo(&mut cluster, kill);
+
+    if let Some(p) = metrics_path {
+        let sections: Vec<(String, Vec<ppm_proto::types::MetricRow>)> = cluster
+            .rt
+            .shared()
+            .obs
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(label, reg)| (label.clone(), ppm_core::obs::rows(&reg.snapshot())))
+            .collect();
+        let text = ppm_core::obs::render_metrics(&sections);
+        if let Err(e) = std::fs::write(&p, text) {
+            eprintln!("ppm-real: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    match result {
+        Ok(()) => {
+            println!(
+                "ok      real cluster demo complete in {:.0?}",
+                started.elapsed()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ppm-real: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! `--users U --hosts N` runs the multi-tenant scale scenario instead: a
 //! seeded fork/exec/exit storm (`--seed S`, default 1986) of `--procs P`
 //! processes (default `U × 2000`) across `U` per-user shards on `N`
-//! hosts, driven by one discrete-event engine (see `ppm_core::tenant`).
+//! hosts, driven by one discrete-event engine (see `ppm_harness::tenant`).
 //! The report on stdout and the `--metrics` file are deterministic;
 //! wall-clock throughput goes to stderr.
 //!
@@ -67,7 +67,7 @@ fn chain_scenario(n: usize) -> String {
 }
 
 /// The `--users U --hosts N` multi-tenant storm: build a
-/// [`ppm_core::tenant::TenantWorld`], run it to the fork target, print
+/// [`ppm_harness::tenant::TenantWorld`], run it to the fork target, print
 /// the deterministic report, and (optionally) write the shard metrics.
 /// Wall-clock throughput is observational, so it goes to stderr where
 /// the determinism diff never sees it.
@@ -78,7 +78,7 @@ fn run_scale(
     procs: Option<u64>,
     metrics_path: Option<String>,
 ) -> ExitCode {
-    use ppm_core::tenant::TenantWorld;
+    use ppm_harness::tenant::TenantWorld;
     use ppm_simos::workload::StormSpec;
 
     let mut spec = StormSpec::new(users, hosts, seed);

@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use ppm::core::config::PpmConfig;
-//! use ppm::core::harness::PpmHarness;
+//! use ppm::harness::harness::PpmHarness;
 //! use ppm::simnet::topology::CpuClass;
 //! use ppm::simos::ids::Uid;
 //!
@@ -36,13 +36,15 @@
 //! let gpid = ppm.spawn_remote("calder", Uid(100), "ucbarpa", "troff", None, None)?;
 //! let procs = ppm.snapshot("calder", Uid(100), "*")?;
 //! assert!(procs.iter().any(|p| p.gpid == gpid));
-//! # Ok::<(), ppm::core::harness::HarnessError>(())
+//! # Ok::<(), ppm::harness::harness::HarnessError>(())
 //! ```
 
 pub mod scenario;
 
 pub use ppm_core as core;
+pub use ppm_harness as harness;
 pub use ppm_proto as proto;
+pub use ppm_runtime as runtime;
 pub use ppm_simnet as simnet;
 pub use ppm_simos as simos;
 pub use ppm_tools as tools;

@@ -37,8 +37,8 @@ use std::collections::HashMap;
 use std::fmt;
 
 use ppm_core::config::{PpmConfig, RecoveryPolicy};
-use ppm_core::harness::{HarnessError, PpmHarness};
 use ppm_core::pmd::PmdOptions;
+use ppm_harness::harness::{HarnessError, PpmHarness};
 use ppm_proto::msg::ControlAction;
 use ppm_proto::types::Gpid;
 use ppm_simnet::fault::FaultPlan;

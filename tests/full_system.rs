@@ -5,7 +5,7 @@
 
 use ppm::core::client::ToolStep;
 use ppm::core::config::PpmConfig;
-use ppm::core::harness::PpmHarness;
+use ppm::harness::harness::PpmHarness;
 use ppm::proto::msg::{ControlAction, Op, Reply};
 use ppm::proto::triggers::{EventPattern, TriggerAction, TriggerSpec};
 use ppm::proto::types::WireProcState;
