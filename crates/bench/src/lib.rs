@@ -10,7 +10,11 @@
 //! * [`hotpath`] — paired new-vs-seed workloads for the optimised hot paths;
 //! * [`multi_tenant`] — the sharded-arena storm world vs a per-record
 //!   allocation baseline, digest-checked;
-//! * [`scale`] — the tens-of-nodes stress test the paper deferred.
+//! * [`scale`] — the tens-of-nodes stress test the paper deferred;
+//! * [`sweep`] — the parallel experiment harness: declarative grids of
+//!   (seed × scenario × fault plan × topology) fanned out over a
+//!   work-stealing worker pool, merged into a deterministic report
+//!   (see the `ppm-sweep` binary).
 //!
 //! Every measurement is *simulated* milliseconds from the calibrated
 //! substrate, directly comparable in shape to the paper's tables.
@@ -20,6 +24,7 @@ pub mod figures;
 pub mod hotpath;
 pub mod multi_tenant;
 pub mod scale;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;

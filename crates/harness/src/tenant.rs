@@ -201,6 +201,20 @@ fn mix(d: u64, v: u64) -> u64 {
     (d ^ v).wrapping_mul(0x100_0000_01b3)
 }
 
+/// The canonical `--users U --hosts N` storm spec: per-lane fork rates
+/// held constant while the concurrent population scales with the user
+/// count (capped so lifetimes stay bounded) — with `U` users the storm
+/// keeps roughly `40 × min(U, 256)` processes live at once, which is
+/// what makes the peak-RSS exhibit meaningful. `ppm-sim` and the
+/// `ppm-sweep` storm axis both build specs through this function, so a
+/// sweep cell and its repro command line replay the identical world.
+#[must_use]
+pub fn scale_spec(users: u32, hosts: u16, seed: u64) -> StormSpec {
+    let mut spec = StormSpec::new(users, hosts, seed);
+    spec.mean_lifetime_us = 40_000 * u64::from(users.min(256));
+    spec
+}
+
 impl TenantWorld {
     /// Builds a world that will apply `procs` forks of `spec`'s storm.
     pub fn new(spec: StormSpec, procs: u64) -> Self {

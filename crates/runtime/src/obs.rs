@@ -146,12 +146,11 @@ impl HistCells {
     fn record(&self, v: u64) {
         self.buckets[Hist::bucket_of(v)].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
-        // Saturating add needs a read-modify-write loop; histogram records
-        // are rare enough (retries, probes) that the loop never spins in
-        // practice.
-        let _ = self
-            .sum
-            .fetch_update(Relaxed, Relaxed, |s| Some(s.saturating_add(v)));
+        // A plain wrapping add, not a saturating CAS loop: recorded values
+        // are microsecond-scale latencies, so overflowing u64 would take
+        // ~10^13 years of simulated time. The snapshot still renders a
+        // saturating `Hist`.
+        self.sum.fetch_add(v, Relaxed);
     }
 
     fn load(&self) -> Hist {

@@ -32,7 +32,6 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::hashx::FastSet;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier handed back by [`Engine::schedule`], usable to cancel the
@@ -387,6 +386,95 @@ impl<E> Engine<E> {
 // Hierarchical timer wheel
 // ---------------------------------------------------------------------------
 
+/// Liveness ledger for wheel entries, keyed by the wheel's monotone
+/// schedule sequence number: a windowed bitset over `[base·64, ∞)`.
+///
+/// The wheel consults liveness on every pop, cascade and peek — one test
+/// per entry visited — and a hash set's probe sequence was the single
+/// hottest line of the retransmit profile. Sequence numbers are dense
+/// and monotone, and the span between the oldest live timer and the
+/// newest schedule is bounded by the event rate times the longest armed
+/// timer, so a deque of 64-bit words indexed by `seq / 64` makes
+/// insert/remove/contains one shift-and-mask each. The front word is
+/// popped as soon as it drains, keeping memory proportional to the live
+/// span rather than the cumulative schedule count.
+#[derive(Debug, Default)]
+struct SeqSet {
+    /// Word index of `words[0]`: bit `seq % 64` of
+    /// `words[seq / 64 - base]` says whether `seq` is live.
+    base: u64,
+    words: std::collections::VecDeque<u64>,
+    live: usize,
+}
+
+impl SeqSet {
+    /// Marks a freshly issued sequence number live. `seq` is monotone,
+    /// so it always lands at (or past) the back of the window.
+    #[inline]
+    fn insert(&mut self, seq: u64) {
+        let w = seq / 64;
+        if self.words.is_empty() {
+            self.base = w;
+        }
+        debug_assert!(w >= self.base, "sequence numbers are monotone");
+        let idx = (w - self.base) as usize;
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, 0);
+        }
+        self.words[idx] |= 1u64 << (seq % 64);
+        self.live += 1;
+    }
+
+    #[inline]
+    fn contains(&self, seq: u64) -> bool {
+        let w = seq / 64;
+        if w < self.base {
+            return false;
+        }
+        let idx = (w - self.base) as usize;
+        idx < self.words.len() && self.words[idx] & (1u64 << (seq % 64)) != 0
+    }
+
+    /// Clears a bit; returns whether it was set. Drained front words are
+    /// released so the window tracks the oldest live entry.
+    #[inline]
+    fn remove(&mut self, seq: u64) -> bool {
+        let w = seq / 64;
+        if w < self.base {
+            return false;
+        }
+        let idx = (w - self.base) as usize;
+        if idx >= self.words.len() {
+            return false;
+        }
+        let bit = 1u64 << (seq % 64);
+        if self.words[idx] & bit == 0 {
+            return false;
+        }
+        self.words[idx] &= !bit;
+        self.live -= 1;
+        if idx == 0 {
+            while self.words.front() == Some(&0) {
+                self.words.pop_front();
+                self.base += 1;
+            }
+        }
+        true
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn shrink_to_fit(&mut self) {
+        while self.words.back() == Some(&0) {
+            self.words.pop_back();
+        }
+        self.words.shrink_to_fit();
+    }
+}
+
 /// Microsecond granularity of each wheel level, plus one extra entry for
 /// the span of the whole wheel (`64^LEVELS` µs ≈ 16.8 s).
 const WHEEL_POW: [u64; WHEEL_LEVELS + 1] = [1, 64, 4_096, 262_144, 16_777_216];
@@ -490,9 +578,10 @@ pub struct TimerWheel<E> {
     slots: Vec<Vec<WheelEntry<E>>>,
     /// Events past the top-level window, ordered by `(at, seq)`.
     overflow: BinaryHeap<Reverse<FarEntry<E>>>,
-    /// Scheduled, not yet fired, not cancelled. Cancel is a removal here;
-    /// slot storage drops the corpse when it next visits the bucket.
-    alive: FastSet<u64>,
+    /// Scheduled, not yet fired, not cancelled. Cancel is a bit-clear
+    /// here; slot storage drops the corpse when it next visits the
+    /// bucket.
+    alive: SeqSet,
     cancelled: u64,
     overflow_peak: usize,
 }
@@ -516,7 +605,7 @@ impl<E> TimerWheel<E> {
             occ: [0; WHEEL_LEVELS],
             slots,
             overflow: BinaryHeap::new(),
-            alive: FastSet::default(),
+            alive: SeqSet::default(),
             cancelled: 0,
             overflow_peak: 0,
         }
@@ -575,7 +664,7 @@ impl<E> TimerWheel<E> {
     ///
     /// Returns `true` if the event had not yet fired (or been cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        let hit = self.alive.remove(&id.0);
+        let hit = self.alive.remove(id.0);
         self.cancelled += u64::from(hit);
         hit
     }
@@ -591,15 +680,27 @@ impl<E> TimerWheel<E> {
             while mask != 0 {
                 let s = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                if let Some(t) = self.slot_min_time(l, s) {
-                    return Some(t);
+                // Read-only scan for the earliest live entry; a bucket
+                // that turns out all-dead is reclaimed on the spot.
+                let alive = &self.alive;
+                let min = self.slots[l * WHEEL_SLOTS + s]
+                    .iter()
+                    .filter(|e| alive.contains(e.seq))
+                    .map(|e| e.at)
+                    .min();
+                match min {
+                    Some(t) => return Some(t),
+                    None => {
+                        self.slots[l * WHEEL_SLOTS + s].clear();
+                        self.occ[l] &= !(1u64 << s);
+                    }
                 }
             }
             // A level pins its window while occupied, so the earliest
             // live slot of the lowest occupied level is the global min.
         }
         while let Some(Reverse(top)) = self.overflow.peek() {
-            if self.alive.contains(&top.0.seq) {
+            if self.alive.contains(top.0.seq) {
                 return Some(top.0.at);
             }
             self.overflow.pop();
@@ -610,28 +711,42 @@ impl<E> TimerWheel<E> {
     /// Pops the next live event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         loop {
-            // Level 0: fire the earliest live slot (one µs per slot, so
-            // every entry in it shares `at`; ties break by min seq).
+            // Level 0: fire the earliest live slot. Slots are one µs
+            // wide, so every entry in a bucket shares `at`, and buckets
+            // hold their live entries in ascending `seq` order: `place`
+            // appends monotonically increasing sequence numbers, a
+            // cascade batch preserves its source slot's order, and a
+            // rebase migrates the overflow prefix in `(at, seq)` order —
+            // while a window is only ever repopulated after the level
+            // has fully drained. The first live entry is therefore the
+            // `(at, seq)` minimum, and the dead prefix in front of it is
+            // reclaimed in the same pass.
             let mut mask = self.occ[0];
             while mask != 0 {
                 let s = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                self.clean_slot(0, s);
                 let bucket = &mut self.slots[s];
-                if bucket.is_empty() {
+                let mut i = 0;
+                while i < bucket.len() && !self.alive.contains(bucket[i].seq) {
+                    i += 1;
+                }
+                if i == bucket.len() {
+                    bucket.clear();
+                    self.occ[0] &= !(1u64 << s);
                     continue;
                 }
-                let mut i = 0;
-                for j in 1..bucket.len() {
-                    if bucket[j].seq < bucket[i].seq {
-                        i = j;
-                    }
-                }
-                let e = bucket.swap_remove(i);
+                debug_assert!(
+                    bucket[i..]
+                        .iter()
+                        .filter(|e| self.alive.contains(e.seq))
+                        .all(|e| (e.at, e.seq) >= (bucket[i].at, bucket[i].seq)),
+                    "level-0 bucket lost its (at, seq) order"
+                );
+                let e = bucket.drain(..=i).next_back().expect("live entry");
                 if bucket.is_empty() {
                     self.occ[0] &= !(1u64 << s);
                 }
-                self.alive.remove(&e.seq);
+                self.alive.remove(e.seq);
                 debug_assert!(e.at >= self.now, "event queue time went backwards");
                 self.now = e.at;
                 self.processed += 1;
@@ -645,7 +760,7 @@ impl<E> TimerWheel<E> {
             // Whole wheel is dry: rebase the windows around the overflow
             // minimum and migrate the heap's matching prefix in.
             while let Some(Reverse(top)) = self.overflow.peek() {
-                if self.alive.contains(&top.0.seq) {
+                if self.alive.contains(top.0.seq) {
                     break;
                 }
                 self.overflow.pop();
@@ -660,7 +775,7 @@ impl<E> TimerWheel<E> {
                     break;
                 }
                 let Reverse(FarEntry(e)) = self.overflow.pop().expect("peeked entry");
-                if self.alive.contains(&e.seq) {
+                if self.alive.contains(e.seq) {
                     self.place(e);
                 }
             }
@@ -703,7 +818,7 @@ impl<E> TimerWheel<E> {
         }
         let alive = &self.alive;
         let mut far = std::mem::take(&mut self.overflow).into_vec();
-        far.retain(|Reverse(FarEntry(e))| alive.contains(&e.seq));
+        far.retain(|Reverse(FarEntry(e))| alive.contains(e.seq));
         far.shrink_to_fit();
         self.overflow = BinaryHeap::from(far);
         self.alive.shrink_to_fit();
@@ -728,7 +843,7 @@ impl<E> TimerWheel<E> {
     /// Drops cancelled entries from one bucket.
     fn clean_slot(&mut self, level: usize, s: usize) {
         let alive = &self.alive;
-        self.slots[level * WHEEL_SLOTS + s].retain(|e| alive.contains(&e.seq));
+        self.slots[level * WHEEL_SLOTS + s].retain(|e| alive.contains(e.seq));
     }
 
     /// Moves the earliest live slot of the lowest occupied level down one
@@ -739,15 +854,23 @@ impl<E> TimerWheel<E> {
             while mask != 0 {
                 let s = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
-                self.clean_slot(l, s);
-                if self.slots[l * WHEEL_SLOTS + s].is_empty() {
-                    self.occ[l] &= !(1u64 << s);
+                self.occ[l] &= !(1u64 << s);
+                let alive = &self.alive;
+                if !self.slots[l * WHEEL_SLOTS + s]
+                    .iter()
+                    .any(|e| alive.contains(e.seq))
+                {
+                    self.slots[l * WHEEL_SLOTS + s].clear();
                     continue;
                 }
-                self.occ[l] &= !(1u64 << s);
                 self.win[l - 1] = self.win[l] * WHEEL_SLOTS as u64 + s as u64;
+                // Distribute the batch in source order, dropping corpses
+                // on the way instead of paying a separate cleaning pass.
                 let entries = std::mem::take(&mut self.slots[l * WHEEL_SLOTS + s]);
                 for e in entries {
+                    if !self.alive.contains(e.seq) {
+                        continue;
+                    }
                     let s2 = ((e.at.as_micros() / WHEEL_POW[l - 1]) % WHEEL_SLOTS as u64) as usize;
                     self.slots[(l - 1) * WHEEL_SLOTS + s2].push(e);
                     self.occ[l - 1] |= 1u64 << s2;
@@ -756,20 +879,6 @@ impl<E> TimerWheel<E> {
             }
         }
         false
-    }
-
-    /// Earliest live timestamp within one bucket, reclaiming dead
-    /// entries and the occupancy bit when the bucket turns out empty.
-    fn slot_min_time(&mut self, level: usize, s: usize) -> Option<SimTime> {
-        self.clean_slot(level, s);
-        let bucket = &self.slots[level * WHEEL_SLOTS + s];
-        match bucket.iter().map(|e| e.at).min() {
-            Some(t) => Some(t),
-            None => {
-                self.occ[level] &= !(1u64 << s);
-                None
-            }
-        }
     }
 }
 

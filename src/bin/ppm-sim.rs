@@ -19,6 +19,16 @@
 //! The report on stdout and the `--metrics` file are deterministic;
 //! wall-clock throughput goes to stderr.
 //!
+//! `--seed S` also overrides a scenario file's (or the generated chain
+//! scenario's) `seed` statement — the knob the `ppm-sweep` harness turns
+//! to fan one scenario across a seed grid.
+//!
+//! `--digest` appends one `digest <16-hex>` line to stdout: the FNV-1a
+//! fold of the run's observable surface (scenario output + trace +
+//! metrics text, or the scale report + its metrics). The sweep harness
+//! computes cell digests over exactly the same strings, so a cell's
+//! digest can be re-checked by running its repro command line here.
+//!
 //! `--metrics <path>` writes every metrics registry in the world (the
 //! kernel event path plus each LPM's counters) as stable text at end of
 //! run. `--spans <path>` enables structured trace spans, writes them as
@@ -35,39 +45,11 @@
 //! identical traces, metrics and span files — CI diffs them as a
 //! determinism gate.
 
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
-/// The generated `--hosts N` scale scenario: a chain where each host's
-/// worker is created from the previous host, so the sibling graph — and
-/// thus the broadcast cover tree — is the chain itself.
-fn chain_scenario(n: usize) -> String {
-    let mut s = String::from("seed 1986\n");
-    for i in 0..n {
-        let cpu = if i % 2 == 0 { "vax780" } else { "sun2" };
-        writeln!(s, "host h{i} {cpu}").expect("write to string");
-    }
-    for i in 1..n {
-        writeln!(s, "link h{} h{i}", i - 1).expect("write to string");
-    }
-    s.push_str("user 100 secret=0xBEEF recovery=h0,h1 fast\n\n");
-    s.push_str("at 0s spawn h0 100 h0 job-0 as w0\n");
-    for i in 1..n {
-        writeln!(
-            s,
-            "at {}ms spawn h{} 100 h{i} job-{i} as w{i}",
-            i * 200,
-            i - 1,
-        )
-        .expect("write to string");
-    }
-    writeln!(s, "at {}ms snapshot h0 100 *", n * 200 + 2_000).expect("write to string");
-    s.push_str("run 10s\n");
-    s
-}
-
 /// The `--users U --hosts N` multi-tenant storm: build a
-/// [`ppm_harness::tenant::TenantWorld`], run it to the fork target, print
+/// [`ppm_harness::tenant::TenantWorld`] from the canonical
+/// [`ppm_harness::tenant::scale_spec`], run it to the fork target, print
 /// the deterministic report, and (optionally) write the shard metrics.
 /// Wall-clock throughput is observational, so it goes to stderr where
 /// the determinism diff never sees it.
@@ -77,22 +59,26 @@ fn run_scale(
     seed: u64,
     procs: Option<u64>,
     metrics_path: Option<String>,
+    digest: bool,
 ) -> ExitCode {
-    use ppm_harness::tenant::TenantWorld;
-    use ppm_simos::workload::StormSpec;
+    use ppm_harness::tenant::{scale_spec, TenantWorld};
 
-    let mut spec = StormSpec::new(users, hosts, seed);
-    // Hold per-lane fork rates constant while the concurrent population
-    // scales with the user count (capped so lifetimes stay bounded):
-    // with U users the storm keeps roughly 40 × min(U, 256) processes
-    // live at once, which is what makes the peak-RSS exhibit meaningful.
-    spec.mean_lifetime_us = 40_000 * u64::from(users.min(256));
+    let spec = scale_spec(users, hosts, seed);
     let procs = procs.unwrap_or_else(|| u64::from(users).saturating_mul(2_000));
     let started = std::time::Instant::now();
     let mut world = TenantWorld::new(spec, procs);
     let report = world.run();
     let elapsed = started.elapsed();
-    print!("{}", report.render());
+    let rendered = report.render();
+    print!("{rendered}");
+    let rows = ppm_core::obs::rows(&world.metrics().snapshot());
+    let text = ppm_core::obs::render_metrics(&[("tenant".to_string(), rows)]);
+    if digest {
+        println!(
+            "digest {}",
+            ppm::digest::hex(ppm::digest::fnv1a(&[&rendered, &text]))
+        );
+    }
     let rate = report.procs as f64 / elapsed.as_secs_f64().max(1e-9);
     eprintln!(
         "ppm-sim: {} processes across {} users on {} hosts in {:.2?} ({:.0} procs/sec)",
@@ -111,8 +97,6 @@ fn run_scale(
         eprintln!("ppm-sim: peak rss {kb} kB");
     }
     if let Some(p) = metrics_path {
-        let rows = ppm_core::obs::rows(&world.metrics().snapshot());
-        let text = ppm_core::obs::render_metrics(&[("tenant".to_string(), rows)]);
         if let Err(e) = std::fs::write(&p, text) {
             eprintln!("ppm-sim: cannot write {p}: {e}");
             return ExitCode::FAILURE;
@@ -123,27 +107,30 @@ fn run_scale(
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: ppm-sim [--trace] [--metrics <path>] [--spans <path>] [--faults <plan>] \
-         <scenario-file>"
+        "usage: ppm-sim [--trace] [--digest] [--seed <S>] [--metrics <path>] [--spans <path>] \
+         [--faults <plan>] <scenario-file>"
     );
     eprintln!(
-        "       ppm-sim [--trace] [--metrics <path>] [--spans <path>] [--faults <plan>] \
-         --hosts <N>"
+        "       ppm-sim [--trace] [--digest] [--seed <S>] [--metrics <path>] [--spans <path>] \
+         [--faults <plan>] --hosts <N>"
     );
     eprintln!(
-        "       ppm-sim [--metrics <path>] --users <U> --hosts <N> [--seed <S>] [--procs <P>]"
+        "       ppm-sim [--digest] [--metrics <path>] --users <U> --hosts <N> [--seed <S>] \
+         [--procs <P>]"
     );
     eprintln!("see scenarios/ for examples and src/scenario.rs for the grammar");
     eprintln!("fault plans: see scenarios/*.fault and ppm_simnet::fault for the grammar");
+    eprintln!("sweep grids: see scenarios/*.sweep and the ppm-sweep binary (ppm-bench)");
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut trace = false;
+    let mut digest = false;
     let mut hosts: Option<usize> = None;
     let mut users: Option<u32> = None;
-    let mut seed: u64 = 1986;
+    let mut seed: Option<u64> = None;
     let mut procs: Option<u64> = None;
     let mut path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
@@ -152,6 +139,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace = true,
+            "--digest" => digest = true,
             "--faults" => {
                 let Some(p) = args.next() else {
                     eprintln!("ppm-sim: --faults needs a fault-plan path");
@@ -178,7 +166,7 @@ fn main() -> ExitCode {
                     eprintln!("ppm-sim: --seed needs an integer");
                     return ExitCode::FAILURE;
                 };
-                seed = s;
+                seed = Some(s);
             }
             "--procs" => {
                 let Some(p) = args.next().and_then(|v| v.parse().ok()).filter(|p| *p >= 1) else {
@@ -209,10 +197,17 @@ fn main() -> ExitCode {
             eprintln!("ppm-sim: --users needs --hosts (2 ..= 65535)");
             return ExitCode::FAILURE;
         };
-        return run_scale(users, hosts as u16, seed, procs, metrics_path);
+        return run_scale(
+            users,
+            hosts as u16,
+            seed.unwrap_or(1986),
+            procs,
+            metrics_path,
+            digest,
+        );
     }
     let (name, text) = match (hosts, path) {
-        (Some(n), None) => (format!("--hosts {n}"), chain_scenario(n)),
+        (Some(n), None) => (format!("--hosts {n}"), ppm::scenario::chain_scenario(n)),
         (None, Some(path)) => match std::fs::read_to_string(&path) {
             Ok(t) => (path, t),
             Err(e) => {
@@ -222,13 +217,16 @@ fn main() -> ExitCode {
         },
         _ => return usage(),
     };
-    let scenario = match ppm::scenario::parse(&text) {
+    let mut scenario = match ppm::scenario::parse(&text) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("ppm-sim: {name}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(s) = seed {
+        scenario.seed = s;
+    }
     let plan = match faults_path {
         Some(p) => match std::fs::read_to_string(&p) {
             Ok(t) => match ppm_simnet::fault::FaultPlan::parse(&t) {
@@ -255,6 +253,14 @@ fn main() -> ExitCode {
             print!("{out}");
             if trace {
                 print!("{}", ppm.world().core().trace().render(None));
+            }
+            if digest {
+                let trace_text = ppm.world().core().trace().render(None);
+                let metrics_text = ppm.metrics_report();
+                println!(
+                    "digest {}",
+                    ppm::digest::hex(ppm::digest::fnv1a(&[&out, &trace_text, &metrics_text]))
+                );
             }
             if let Some(p) = metrics_path {
                 if let Err(e) = std::fs::write(&p, ppm.metrics_report()) {

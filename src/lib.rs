@@ -39,6 +39,7 @@
 //! # Ok::<(), ppm::harness::harness::HarnessError>(())
 //! ```
 
+pub mod digest;
 pub mod scenario;
 
 pub use ppm_core as core;

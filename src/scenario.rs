@@ -47,6 +47,38 @@ use ppm_simnet::topology::CpuClass;
 use ppm_simos::events::TraceFlags;
 use ppm_simos::ids::Uid;
 
+/// The generated `--hosts N` scale scenario: a chain where each host's
+/// worker is created from the previous host, so the sibling graph — and
+/// thus the broadcast cover tree — is the chain itself. Shared by
+/// `ppm-sim --hosts N` and the `ppm-sweep` chain axis, which must agree
+/// byte for byte for cell digests to be reproducible.
+#[must_use]
+pub fn chain_scenario(n: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("seed 1986\n");
+    for i in 0..n {
+        let cpu = if i % 2 == 0 { "vax780" } else { "sun2" };
+        writeln!(s, "host h{i} {cpu}").expect("write to string");
+    }
+    for i in 1..n {
+        writeln!(s, "link h{} h{i}", i - 1).expect("write to string");
+    }
+    s.push_str("user 100 secret=0xBEEF recovery=h0,h1 fast\n\n");
+    s.push_str("at 0s spawn h0 100 h0 job-0 as w0\n");
+    for i in 1..n {
+        writeln!(
+            s,
+            "at {}ms spawn h{} 100 h{i} job-{i} as w{i}",
+            i * 200,
+            i - 1,
+        )
+        .expect("write to string");
+    }
+    writeln!(s, "at {}ms snapshot h0 100 *", n * 200 + 2_000).expect("write to string");
+    s.push_str("run 10s\n");
+    s
+}
+
 /// A parse or execution failure, with the line it came from.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioError {
