@@ -44,6 +44,7 @@ fn bench_codec(c: &mut Criterion) {
         hops_left: 8,
         deadline_us: 45_000_000,
         attempt: 0,
+        boot: 0,
     };
     let bytes = msg.to_bytes();
     c.bench_function("codec_encode_control_req", |b| b.iter(|| msg.to_bytes()));

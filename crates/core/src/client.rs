@@ -187,6 +187,7 @@ impl Tool {
                 hops_left: self.cfg.max_hops,
                 deadline_us,
                 attempt: 0,
+                boot: 0,
             };
             self.inflight.insert(id, self.step);
             self.outcome.lock().unwrap().sent_at.push(sys.now());

@@ -161,6 +161,7 @@ impl Lpm {
             // Local pseudo-request: never travels, never retries; the
             // wave's own stamp and timeout govern it.
             corr: (std::sync::Arc::from(self.host.as_str()), id),
+            boot: self.boot_epoch(),
             deadline: None,
             attempt: 0,
             attempts_left: 0,

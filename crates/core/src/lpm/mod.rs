@@ -183,6 +183,10 @@ pub struct LpmStats {
     /// Duplicate directed-request deliveries absorbed by the dedup window
     /// (replayed cached replies and in-flight suppressions).
     pub dups_suppressed: u64,
+    /// Operations executed by this LPM's handlers (the exactly-once
+    /// observable: a retry or duplicate that slips past the dedup window
+    /// shows up here as an extra execution).
+    pub executed: u64,
 }
 
 /// The LPM program.
@@ -331,7 +335,36 @@ impl Lpm {
         self.stats
     }
 
+    // ---- model-checker observables --------------------------------------
+
+    /// The coordinator this LPM currently believes in, with the election
+    /// epoch that belief carries. The model checker's election-convergence
+    /// predicate compares these across live siblings at quiescence.
+    pub fn ccs_view(&self) -> (&str, u64) {
+        (&self.ccs, self.epoch)
+    }
+
+    /// Whether this LPM is still rebuilding its forest after a respawn.
+    pub fn is_rebuilding(&self) -> bool {
+        self.rebuilding
+    }
+
+    /// Re-adopted survivors whose place in the forest is still
+    /// unexplained (the crash-manufactured roots). The model checker's
+    /// no-orphan predicate requires this to reach zero at quiescence.
+    pub fn orphan_root_count(&self) -> usize {
+        self.failure_roots().len()
+    }
+
     // ---- small shared helpers -------------------------------------------
+
+    /// This incarnation's boot epoch: the start instant in µs, floored at
+    /// 1 so a live LPM never stamps the reserved "unstamped" value 0.
+    /// A respawn always boots strictly later than its predecessor, so
+    /// epochs order incarnations of the same host.
+    pub(crate) fn boot_epoch(&self) -> u64 {
+        self.started_at.as_micros().max(1)
+    }
 
     pub(crate) fn arm(&mut self, sys: &mut dyn Sys, d: SimDuration, kind: TimerKind) -> u64 {
         self.rpc.arm(sys, d, kind)
@@ -616,6 +649,45 @@ impl Program for Lpm {
             self.shutdown(sys, 1);
         }
         ppm_runtime::program::SigAction::Handled
+    }
+
+    fn state_digest(&self) -> u64 {
+        use std::hash::Hasher;
+        // Fold the state that steers future protocol behaviour; leave out
+        // monotonic diagnostics (stats, history) so behaviourally
+        // identical interleavings merge in the model checker.
+        let mut h = ppm_runtime::hashx::HashX::default();
+        h.write(self.host.as_bytes());
+        h.write(self.ccs.as_bytes());
+        h.write_u64(self.epoch);
+        h.write(format!("{:?}", self.recov).as_bytes());
+        h.write_u8(u8::from(self.rebuilding));
+        for s in self.siblings.keys() {
+            h.write(s.as_bytes());
+        }
+        h.write_u64(self.rpc.digest());
+        for rec in self.tree.snapshot() {
+            h.write(rec.gpid.host.as_bytes());
+            h.write_u32(rec.gpid.pid);
+            h.write_u32(rec.ppid);
+            h.write(format!("{:?}", rec.state).as_bytes());
+            h.write_u8(u8::from(rec.adopted));
+            if let Some(lp) = &rec.logical_parent {
+                h.write(lp.host.as_bytes());
+                h.write_u32(lp.pid);
+            }
+        }
+        for (host, kids) in &self.remote_children {
+            h.write(host.as_bytes());
+            h.write_u64(kids.len() as u64);
+        }
+        h.write_u64(self.bcasts.len() as u64);
+        h.write_u64(self.outbox.len() as u64);
+        h.finish()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 
     fn name(&self) -> &str {

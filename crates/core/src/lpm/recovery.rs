@@ -603,6 +603,10 @@ impl Lpm {
             user: self.auth.uid().0,
             host: self.host.clone(),
             live,
+            // Announce our incarnation so receivers fence the
+            // predecessor's correlation ids when they purge its dedup
+            // entries below.
+            boot: self.boot_epoch(),
         };
         let _ = self.send_msg(sys, conn, &msg);
     }
@@ -616,10 +620,15 @@ impl Lpm {
         conn: ppm_runtime::ids::ConnId,
         from: &str,
         live: Vec<u32>,
+        boot: u64,
     ) {
         // A pull proves the peer's LPM is a fresh incarnation: its
         // correlation counter restarted, so stale dedup entries from its
         // predecessor would wrongly suppress (and mis-answer) new ids.
+        // Fence the predecessor's boot epoch *before* purging: once the
+        // cached replies are gone, a late retry stamped by the dead
+        // incarnation must classify Stale, never New.
+        self.rpc.fence_origin(from, boot);
         let purged = self.rpc.purge_peer(from);
         if purged > 0 {
             self.note_recovery(
@@ -676,6 +685,15 @@ impl Lpm {
                 sys,
                 format!("forest gossip restored {applied} logical edge(s)"),
             );
+        }
+        // If the gossip explained every failure root, the rebuild is
+        // done *now*. Waiting for the next sibling connect to notice
+        // (via `maybe_pull_forest`) leaves the LPM rebuilding forever
+        // when the only sibling channel is already up — the model
+        // checker's `no-orphans` counterexample.
+        if self.rebuilding && self.failure_roots().is_empty() {
+            self.rebuilding = false;
+            self.note_recovery(sys, "forest rebuild complete".to_string());
         }
     }
 }

@@ -38,6 +38,10 @@ pub(crate) struct RequestCtx {
     /// Route the request has travelled so far (origin-first, ending at
     /// this host); `None` starts a fresh route here.
     pub route: Option<Route>,
+    /// Boot epoch stamped on the wire by the origin LPM incarnation
+    /// (0 = unstamped tool traffic). Origins overwrite this with their
+    /// own epoch; relays carry it unchanged.
+    pub boot: u64,
 }
 
 impl RequestCtx {
@@ -48,6 +52,7 @@ impl RequestCtx {
             deadline: None,
             attempt: 0,
             route: None,
+            boot: 0,
         }
     }
 
@@ -57,12 +62,14 @@ impl RequestCtx {
         deadline: Option<SimTime>,
         attempt: u8,
         route: Route,
+        boot: u64,
     ) -> Self {
         RequestCtx {
             corr: Some(corr),
             deadline,
             attempt,
             route: Some(route),
+            boot,
         }
     }
 }
@@ -82,6 +89,7 @@ impl Lpm {
                 hops_left,
                 deadline_us,
                 attempt: _,
+                boot: _,
             } => {
                 let reply_to = ReplyTo::Tool {
                     conn,
@@ -122,6 +130,7 @@ impl Lpm {
                 hops_left,
                 deadline_us,
                 attempt,
+                boot,
             } => {
                 self.ingest_sibling_req(
                     sys,
@@ -134,6 +143,7 @@ impl Lpm {
                     hops_left,
                     deadline_us,
                     attempt,
+                    boot,
                 );
             }
             Msg::Resp { id, reply, route } => self.handle_resp(sys, id, reply, route),
@@ -172,8 +182,8 @@ impl Lpm {
             Msg::ProbeAck { from, ccs, epoch } => {
                 self.handle_probe_ack(sys, &from, &ccs, epoch);
             }
-            Msg::ForestPull { live, .. } => {
-                self.handle_forest_pull(sys, conn, host, live);
+            Msg::ForestPull { live, boot, .. } => {
+                self.handle_forest_pull(sys, conn, host, live, boot);
             }
             Msg::ForestInfo {
                 host: info_host,
@@ -207,6 +217,7 @@ impl Lpm {
         hops_left: u8,
         deadline_us: u64,
         attempt: u8,
+        boot: u64,
     ) {
         let origin: std::sync::Arc<str> = match route.origin() {
             Some(o) => std::sync::Arc::from(o),
@@ -218,7 +229,7 @@ impl Lpm {
 
         // Idempotent dedup: a retried delivery of a request we already
         // hold (or already executed) must not run twice.
-        match self.rpc.dup_verdict(&corr) {
+        match self.rpc.dup_verdict(&corr, boot) {
             DupVerdict::InFlight(local_id) => {
                 let is_relay = self
                     .rpc
@@ -259,6 +270,30 @@ impl Lpm {
                 // full path, so the origin still learns it from a retry.
                 let msg = Msg::Resp { id, reply, route };
                 let _ = self.send_msg(sys, conn, &msg);
+                return;
+            }
+            DupVerdict::Stale => {
+                // The correlation id was stamped by a dead incarnation of
+                // its origin, and the respawn already purged any cached
+                // reply. Executing it now would be a second execution the
+                // dedup window can no longer prevent — refuse instead.
+                self.stats.dups_suppressed += 1;
+                self.obs.with(|r| r.inc(self.obs.dups_suppressed));
+                self.note(
+                    sys,
+                    format!(
+                        "refusing {} from dead incarnation (boot {boot})",
+                        fmt_key(&corr)
+                    ),
+                );
+                self.refuse(
+                    sys,
+                    conn,
+                    id,
+                    route_in,
+                    ErrCode::StaleEpoch,
+                    "correlation id from a dead incarnation",
+                );
                 return;
             }
             DupVerdict::New => {}
@@ -305,7 +340,7 @@ impl Lpm {
             external_id: id,
             route_in: route_in.clone(),
         };
-        let ctx = RequestCtx::relayed(corr, deadline, attempt, route_in);
+        let ctx = RequestCtx::relayed(corr, deadline, attempt, route_in, boot);
         self.begin_request(
             sys,
             user,
@@ -389,6 +424,13 @@ impl Lpm {
                 timeout_token: None,
                 spawn_pid: None,
                 corr,
+                // Origins stamp their own incarnation; relays carry the
+                // origin's stamp so executors can fence dead incarnations.
+                boot: if origin_side {
+                    self.boot_epoch()
+                } else {
+                    ctx.boot
+                },
                 deadline,
                 attempt: ctx.attempt,
                 attempts_left: if origin_side { policy.retries() } else { 0 },
@@ -492,6 +534,22 @@ impl Lpm {
     // ---- remote sends -----------------------------------------------------------
 
     fn send_remote(&mut self, sys: &mut dyn Sys, id: u64) {
+        // Deadline check at the send boundary: dispatch, handler and
+        // backoff delays all elapse between ingest and here, and a
+        // deadline that has decayed to exactly zero remaining budget
+        // must be refused, not forwarded to burn a sibling's dispatch
+        // slot before the inevitable failure.
+        let now = sys.now();
+        if self.rpc.get(id).is_some_and(|r| r.past_deadline(now)) {
+            self.obs.with(|r| r.inc(self.obs.deadline_refused));
+            self.finish_with_error(
+                sys,
+                id,
+                ErrCode::DeadlineExceeded,
+                "deadline expired before forward",
+            );
+            return;
+        }
         let dest = self
             .rpc
             .get(id)
@@ -507,9 +565,19 @@ impl Lpm {
         if self.cfg.route_learning {
             if let Some(next) = self.route_cache.lookup(&dest) {
                 if let Some(&conn) = self.siblings.get(next) {
-                    self.stats.route_cache_hits += 1;
-                    self.forward_req(sys, id, conn);
-                    return;
+                    // Validate the cached hop against link liveness: a
+                    // route learned during a brief heal can survive a
+                    // second cut (`evict_via` only fires on the closed
+                    // notification, which lags the cut), and sending into
+                    // it blackholes a whole retry cycle.
+                    if sys.conn_alive(conn) {
+                        self.stats.route_cache_hits += 1;
+                        self.forward_req(sys, id, conn);
+                        return;
+                    }
+                    let next = next.to_string();
+                    self.route_cache.evict_via(&next);
+                    self.note(sys, format!("route via {next} is dead; evicted"));
                 }
             }
         }
@@ -546,6 +614,7 @@ impl Lpm {
             hops_left: r.hops_left,
             deadline_us: r.deadline.map_or(0, SimTime::as_micros),
             attempt: r.attempt,
+            boot: r.boot,
         }
     }
 
@@ -689,6 +758,7 @@ impl Lpm {
 
     /// Op-cost elapsed: apply the operation's effects.
     fn exec_local(&mut self, sys: &mut dyn Sys, id: u64) {
+        self.stats.executed += 1;
         let op = self
             .rpc
             .get(id)

@@ -119,6 +119,11 @@ pub(crate) struct PendingRequest {
     pub spawn_pid: Option<u32>,
     /// Wire correlation identity, preserved across relays and retries.
     pub corr: RpcKey,
+    /// Boot epoch of the origin LPM incarnation that stamped `corr`
+    /// (start time in µs, never 0 for an LPM; 0 = unstamped tool
+    /// traffic). Relays carry it unchanged so executors can fence
+    /// correlation ids minted by dead incarnations.
+    pub boot: u64,
     /// Absolute deadline; refused/failed with `DeadlineExceeded` past it.
     pub deadline: Option<SimTime>,
     /// Zero-based attempt counter (carried on the wire for diagnosis).
@@ -182,6 +187,21 @@ impl DedupEntry {
     }
 }
 
+impl PendingRequest {
+    /// Whether the request's deadline budget is exhausted: the remaining
+    /// time at `now` is exactly zero (or the deadline already passed).
+    ///
+    /// The `== 0` case matters at relay hops: per-hop decay can land a
+    /// request on its deadline to the microsecond, and forwarding a
+    /// request with zero remaining budget only burns a sibling's
+    /// dispatch slot before the inevitable `DeadlineExceeded` — so it is
+    /// refused here, not just on underflow.
+    pub(crate) fn past_deadline(&self, now: SimTime) -> bool {
+        self.deadline
+            .is_some_and(|d| d.saturating_since(now) == SimDuration::ZERO)
+    }
+}
+
 /// Transport-retry policy, lifted from [`crate::config::PpmConfig`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct RetryPolicy {
@@ -228,6 +248,37 @@ mod tests {
             key: (Arc::from("a"), 1)
         }
         .is_origin());
+    }
+
+    #[test]
+    fn deadline_exhausted_at_exactly_zero_remaining() {
+        // The boundary case the relay path used to forward: remaining
+        // budget of exactly 0 µs counts as past-deadline.
+        let mut r = PendingRequest {
+            user: 100,
+            dest: "far".into(),
+            op: Op::Ping,
+            reply_to: ReplyTo::Internal,
+            phase: ReqPhase::Dispatch,
+            handler: None,
+            sent_conn: None,
+            hops_left: 8,
+            route: Route::from_origin("here"),
+            timeout_token: None,
+            spawn_pid: None,
+            corr: (Arc::from("here"), 1),
+            boot: 1,
+            deadline: Some(SimTime::from_micros(1_000)),
+            attempt: 0,
+            attempts_left: 2,
+            backoff: SimDuration::from_millis(250),
+            backoff_max: SimDuration::from_secs(10),
+        };
+        assert!(!r.past_deadline(SimTime::from_micros(999)));
+        assert!(r.past_deadline(SimTime::from_micros(1_000)), "== 0 budget");
+        assert!(r.past_deadline(SimTime::from_micros(1_001)));
+        r.deadline = None;
+        assert!(!r.past_deadline(SimTime::from_micros(u64::MAX / 8)));
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub(crate) enum DupVerdict {
     /// Already executed here; replay the cached reply without running the
     /// operation again.
     Replay { reply: Reply, route: Route },
+    /// The correlation id was stamped by a dead incarnation of its origin
+    /// (its boot epoch is older than the fence a respawn installed).
+    /// Replay-only territory: with no cached reply left, the request is
+    /// refused with [`ErrCode::StaleEpoch`] — never executed fresh.
+    Stale,
 }
 
 #[derive(Debug, Default)]
@@ -62,6 +67,12 @@ pub(crate) struct RpcTable {
     dedup_buckets: BTreeMap<u64, Vec<RpcKey>>,
     /// Spawned-but-not-yet-exec'd pid → local request id.
     spawn_waits: HashMap<u32, u64>,
+    /// Incarnation fence per origin host: the newest boot epoch a forest
+    /// pull has taught us. Requests stamped with an older (nonzero) boot
+    /// are from a dead incarnation and must never execute fresh — the
+    /// respawn purged that incarnation's dedup window, so nothing else
+    /// stops a late retry from re-executing.
+    fences: FastMap<std::sync::Arc<str>, u64>,
     next_token: u64,
     timers: HashMap<u64, TimerKind>,
 }
@@ -72,6 +83,57 @@ impl RpcTable {
             next_token: 1,
             ..Default::default()
         }
+    }
+
+    /// A deterministic fingerprint of the table's correlation state:
+    /// which requests are pending, which correlation ids are indexed,
+    /// what the dedup window retains and where the incarnation fences
+    /// stand. Instants and allocator counters are left out so the model
+    /// checker can merge interleavings that differ only in timing.
+    pub(crate) fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = ppm_runtime::hashx::HashX::default();
+        let mut ids: Vec<u64> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            h.write_u64(id);
+        }
+        let mut corr: Vec<(&RpcKey, &u64)> = self.corr.iter().collect();
+        corr.sort_unstable();
+        for ((origin, id), local) in corr {
+            h.write(origin.as_bytes());
+            h.write_u64(*id);
+            h.write_u64(*local);
+        }
+        let mut dedup: Vec<(&RpcKey, u8)> = self
+            .dedup
+            .iter()
+            .map(|(k, e)| {
+                let tag = match e {
+                    DedupEntry::Bcast { .. } => 1u8,
+                    DedupEntry::Done { .. } => 2u8,
+                };
+                (k, tag)
+            })
+            .collect();
+        dedup.sort_unstable();
+        for ((origin, id), tag) in dedup {
+            h.write(origin.as_bytes());
+            h.write_u64(*id);
+            h.write_u8(tag);
+        }
+        let mut fences: Vec<(&std::sync::Arc<str>, &u64)> = self.fences.iter().collect();
+        fences.sort_unstable();
+        for (origin, boot) in fences {
+            h.write(origin.as_bytes());
+            h.write_u64(*boot);
+        }
+        let mut waits: Vec<u32> = self.spawn_waits.keys().copied().collect();
+        waits.sort_unstable();
+        for pid in waits {
+            h.write_u32(pid);
+        }
+        h.finish()
     }
 
     // ---- ids -------------------------------------------------------------
@@ -138,8 +200,16 @@ impl RpcTable {
 
     // ---- duplicate suppression -------------------------------------------
 
-    /// Classifies an arriving sibling request by correlation key.
-    pub(crate) fn dup_verdict(&self, key: &RpcKey) -> DupVerdict {
+    /// Classifies an arriving sibling request by correlation key and the
+    /// boot epoch it was stamped with (0 = unstamped tool traffic, which
+    /// the fence never applies to).
+    ///
+    /// The fence check runs first: a cached reply may still replay for a
+    /// fenced id (harmless — the dead incarnation executed it), but the
+    /// moment the purge has dropped it, the verdict is `Stale`, not
+    /// `New`. Without the fence, a late retry from a dead incarnation
+    /// would re-execute after the respawn-triggered purge.
+    pub(crate) fn dup_verdict(&self, key: &RpcKey, boot: u64) -> DupVerdict {
         if let Some(&id) = self.corr.get(key) {
             return DupVerdict::InFlight(id);
         }
@@ -149,7 +219,21 @@ impl RpcTable {
                 route: route.clone(),
             };
         }
+        if boot != 0 && self.fences.get(&key.0).is_some_and(|&f| boot < f) {
+            return DupVerdict::Stale;
+        }
         DupVerdict::New
+    }
+
+    /// Raises the incarnation fence for `origin` to `boot` (monotonic:
+    /// an older pull never lowers it). Called when a respawned sibling's
+    /// forest pull announces its new boot epoch.
+    pub(crate) fn fence_origin(&mut self, origin: &str, boot: u64) {
+        if boot == 0 {
+            return;
+        }
+        let slot = self.fences.entry(std::sync::Arc::from(origin)).or_insert(0);
+        *slot = (*slot).max(boot);
     }
 
     /// Records a broadcast stamp in the retention window.
@@ -274,11 +358,6 @@ impl RpcTable {
 }
 
 impl PendingRequest {
-    /// Whether the request's absolute deadline has passed.
-    pub(crate) fn past_deadline(&self, now: SimTime) -> bool {
-        self.deadline.is_some_and(|d| now >= d)
-    }
-
     /// Decides what to do after a transport failure (`timed_out: false`)
     /// or a per-attempt timeout (`timed_out: true`). Granting a retry
     /// consumes one attempt and doubles the backoff; only origin-side
@@ -325,6 +404,7 @@ mod tests {
             timeout_token: None,
             spawn_pid: None,
             corr,
+            boot: 1,
             deadline: None,
             attempt: 0,
             attempts_left: 2,
@@ -339,10 +419,10 @@ mod tests {
         let key: RpcKey = (Arc::from("here"), 7);
         t.insert(7, req(key.clone(), ReplyTo::Internal));
         assert_eq!(t.resolve(&key), Some(7));
-        matches!(t.dup_verdict(&key), DupVerdict::InFlight(7));
+        matches!(t.dup_verdict(&key, 1), DupVerdict::InFlight(7));
         t.remove(7);
         assert_eq!(t.resolve(&key), None);
-        assert!(matches!(t.dup_verdict(&key), DupVerdict::New));
+        assert!(matches!(t.dup_verdict(&key, 1), DupVerdict::New));
     }
 
     #[test]
@@ -351,7 +431,7 @@ mod tests {
         let key: RpcKey = (Arc::from("far"), 9);
         let at = SimTime::from_micros(1_000_000);
         t.note_done(key.clone(), at, Reply::Pong, Route::from_origin("far"));
-        match t.dup_verdict(&key) {
+        match t.dup_verdict(&key, 1) {
             DupVerdict::Replay { reply, .. } => assert_eq!(reply, Reply::Pong),
             v => panic!("expected replay, got {v:?}"),
         }
@@ -360,7 +440,7 @@ mod tests {
         assert_eq!(t.purge_dedup(SimTime::from_micros(2_000_000), window), 0);
         let purged = t.purge_dedup(at + SimDuration::from_secs(61), window);
         assert_eq!(purged, 1);
-        assert!(matches!(t.dup_verdict(&key), DupVerdict::New));
+        assert!(matches!(t.dup_verdict(&key, 1), DupVerdict::New));
     }
 
     #[test]
@@ -401,9 +481,9 @@ mod tests {
             Route::from_origin("b"),
         );
         assert_eq!(t.purge_peer("a"), 2);
-        assert!(matches!(t.dup_verdict(&a1), DupVerdict::New));
+        assert!(matches!(t.dup_verdict(&a1, 1), DupVerdict::New));
         assert!(!t.bcast_seen(&a2));
-        assert!(matches!(t.dup_verdict(&b1), DupVerdict::Replay { .. }));
+        assert!(matches!(t.dup_verdict(&b1, 1), DupVerdict::Replay { .. }));
         // The stale bucket references left behind are discarded cleanly.
         assert_eq!(
             t.purge_dedup(
@@ -437,10 +517,10 @@ mod tests {
         // 61s: the t=0 insertion would have expired, but the entry was
         // refreshed at t=50s and must stay.
         assert_eq!(t.purge_dedup(SimTime::from_micros(61_000_000), window), 0);
-        assert!(matches!(t.dup_verdict(&key), DupVerdict::Replay { .. }));
+        assert!(matches!(t.dup_verdict(&key, 1), DupVerdict::Replay { .. }));
         // 111s: now the refreshed entry expires, exactly once.
         assert_eq!(t.purge_dedup(SimTime::from_micros(111_000_000), window), 1);
-        assert!(matches!(t.dup_verdict(&key), DupVerdict::New));
+        assert!(matches!(t.dup_verdict(&key, 1), DupVerdict::New));
         assert_eq!(t.purge_dedup(SimTime::from_micros(200_000_000), window), 0);
     }
 
@@ -463,6 +543,54 @@ mod tests {
         assert!(t.bcast_seen(&b));
         assert_eq!(t.purge_dedup(SimTime::from_micros(11_900_001), window), 1);
         assert!(!t.bcast_seen(&b));
+    }
+
+    #[test]
+    fn fenced_boot_epochs_are_replay_only() {
+        // A respawn purges the predecessor's dedup entries and fences its
+        // boot epoch. A late retry stamped by the dead incarnation must
+        // classify Stale (refused), never New (re-executed).
+        let mut t = RpcTable::new();
+        let key: RpcKey = (Arc::from("work"), 12);
+        t.note_done(
+            key.clone(),
+            SimTime::ZERO,
+            Reply::Pong,
+            Route::from_origin("work"),
+        );
+        t.fence_origin("work", 5_000_000);
+        // Cached reply still replays even though the id is fenced.
+        assert!(matches!(
+            t.dup_verdict(&key, 1_000_000),
+            DupVerdict::Replay { .. }
+        ));
+        t.purge_peer("work");
+        // Post-purge: the old incarnation's id is Stale, not New.
+        assert!(matches!(t.dup_verdict(&key, 1_000_000), DupVerdict::Stale));
+        // The new incarnation's own stamps pass the fence.
+        assert!(matches!(t.dup_verdict(&key, 5_000_000), DupVerdict::New));
+        // Unstamped tool traffic (boot 0) is never fenced.
+        assert!(matches!(t.dup_verdict(&key, 0), DupVerdict::New));
+    }
+
+    #[test]
+    fn fence_is_monotonic() {
+        let mut t = RpcTable::new();
+        t.fence_origin("work", 7_000_000);
+        t.fence_origin("work", 3_000_000); // reordered older pull
+        assert!(matches!(
+            t.dup_verdict(&(Arc::from("work"), 1), 3_000_000),
+            DupVerdict::Stale
+        ));
+        t.fence_origin("work", 0); // unstamped pull never lowers it
+        assert!(matches!(
+            t.dup_verdict(&(Arc::from("work"), 1), 6_999_999),
+            DupVerdict::Stale
+        ));
+        assert!(matches!(
+            t.dup_verdict(&(Arc::from("work"), 1), 7_000_000),
+            DupVerdict::New
+        ));
     }
 
     #[test]

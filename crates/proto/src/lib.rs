@@ -28,6 +28,7 @@
 //!     hops_left: 8,
 //!     deadline_us: 0,
 //!     attempt: 0,
+//!     boot: 0,
 //! };
 //! let bytes = msg.to_bytes();
 //! assert_eq!(Msg::from_bytes(&bytes)?, msg);

@@ -94,6 +94,12 @@ pub enum ErrCode {
     /// (distinct from [`ErrCode::Timeout`], which means the local timer
     /// fired with no reply).
     DeadlineExceeded,
+    /// The request carries a correlation id stamped by a dead LPM
+    /// incarnation (its boot epoch is older than the fence learned from
+    /// the respawn's [`Msg::ForestPull`]). Such requests are answered
+    /// replay-only — never executed fresh — because the predecessor's
+    /// dedup window was purged and re-execution could double-apply.
+    StaleEpoch,
 }
 
 impl Wire for ErrCode {
@@ -108,6 +114,7 @@ impl Wire for ErrCode {
             ErrCode::NotFound => 6,
             ErrCode::Internal => 7,
             ErrCode::DeadlineExceeded => 8,
+            ErrCode::StaleEpoch => 9,
         };
         enc.u8(tag);
     }
@@ -123,6 +130,7 @@ impl Wire for ErrCode {
             6 => ErrCode::NotFound,
             7 => ErrCode::Internal,
             8 => ErrCode::DeadlineExceeded,
+            9 => ErrCode::StaleEpoch,
             tag => {
                 return Err(CodecError::BadTag {
                     what: "ErrCode",
@@ -700,6 +708,13 @@ pub enum Msg {
         /// Zero-based attempt counter; retries reuse the same `id` so
         /// receivers can deduplicate on `(origin, id)`.
         attempt: u8,
+        /// Boot epoch of the origin LPM's incarnation (its start instant
+        /// in µs, never 0 for an LPM; `0` means unstamped, e.g. a tool).
+        /// Relays carry it unchanged. Executors that have learned a newer
+        /// epoch for the origin (via [`Msg::ForestPull`]) treat older
+        /// stamps as replay-only and refuse with [`ErrCode::StaleEpoch`]
+        /// instead of executing fresh.
+        boot: u64,
     },
     /// Reply to [`Msg::Req`], relayed back along the reverse route.
     Resp {
@@ -831,6 +846,11 @@ pub enum Msg {
         host: String,
         /// Local pids of the re-adopted survivors.
         live: Vec<u32>,
+        /// The respawned incarnation's boot epoch. Receivers fence the
+        /// predecessor's correlation ids at this value when they purge
+        /// its dedup entries, so a late in-flight retry stamped by the
+        /// dead incarnation can never re-execute.
+        boot: u64,
     },
     /// The sibling's answer: logical-parent edges it recorded when it
     /// originated remote spawns onto `host`. The respawned LPM grafts
@@ -936,6 +956,7 @@ impl Wire for Msg {
                 hops_left,
                 deadline_us,
                 attempt,
+                boot,
             } => {
                 enc.u8(6);
                 enc.u64(*id);
@@ -946,6 +967,7 @@ impl Wire for Msg {
                 enc.u8(*hops_left);
                 enc.u64(*deadline_us);
                 enc.u8(*attempt);
+                enc.u64(*boot);
             }
             Msg::Resp { id, reply, route } => {
                 enc.u8(7);
@@ -1038,11 +1060,17 @@ impl Wire for Msg {
                 enc.str(ccs);
                 enc.u64(*epoch);
             }
-            Msg::ForestPull { user, host, live } => {
+            Msg::ForestPull {
+                user,
+                host,
+                live,
+                boot,
+            } => {
                 enc.u8(18);
                 enc.u32(*user);
                 enc.str(host);
                 enc.seq(live, |e, p| e.u32(*p));
+                enc.u64(*boot);
             }
             Msg::ForestInfo { user, host, edges } => {
                 enc.u8(19);
@@ -1089,6 +1117,7 @@ impl Wire for Msg {
                 hops_left: dec.u8()?,
                 deadline_us: dec.u64()?,
                 attempt: dec.u8()?,
+                boot: dec.u64()?,
             },
             7 => Msg::Resp {
                 id: dec.u64()?,
@@ -1150,6 +1179,7 @@ impl Wire for Msg {
                 user: dec.u32()?,
                 host: dec.str()?,
                 live: dec.seq(|d| d.u32())?,
+                boot: dec.u64()?,
             },
             19 => Msg::ForestInfo {
                 user: dec.u32()?,
@@ -1205,6 +1235,7 @@ mod tests {
                 hops_left: 4,
                 deadline_us: 30_000_000,
                 attempt: 1,
+                boot: 1_500_000,
             },
             Msg::Resp {
                 id: 9,
@@ -1307,6 +1338,7 @@ mod tests {
                 user: 100,
                 host: "b".into(),
                 live: vec![4, 9, 17],
+                boot: 2_250_000,
             },
             Msg::ForestInfo {
                 user: 100,
@@ -1542,6 +1574,7 @@ mod tests {
             hops_left: 8,
             deadline_us: 30_000_000,
             attempt: 0,
+            boot: 1_000_000,
         };
         let n = m.wire_len();
         assert!(n < 200, "routed control request is {n} bytes");
@@ -1559,5 +1592,40 @@ mod tests {
             ErrCode::DeadlineExceeded.to_bytes(),
             ErrCode::Timeout.to_bytes()
         );
+    }
+
+    #[test]
+    fn boot_epochs_ride_requests_and_pulls() {
+        // The incarnation stamp survives the roundtrip on both carriers,
+        // and 0 (unstamped) is representable.
+        for boot in [0u64, 1, 7_500_000] {
+            let m = Msg::Req {
+                id: 3,
+                user: 100,
+                dest: "b".into(),
+                op: Op::Ping,
+                route: Route::from_origin("a"),
+                hops_left: 8,
+                deadline_us: 0,
+                attempt: 0,
+                boot,
+            };
+            let Msg::Req { boot: got, .. } = Msg::from_bytes(&m.to_bytes()).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert_eq!(got, boot);
+        }
+        let p = Msg::ForestPull {
+            user: 100,
+            host: "a".into(),
+            live: vec![2],
+            boot: 9_000_001,
+        };
+        let Msg::ForestPull { boot, .. } = Msg::from_bytes(&p.to_bytes()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(boot, 9_000_001);
+        let b = ErrCode::StaleEpoch.to_bytes();
+        assert_eq!(ErrCode::from_bytes(&b).unwrap(), ErrCode::StaleEpoch);
     }
 }

@@ -174,6 +174,7 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
         Just(ErrCode::NotFound),
         Just(ErrCode::Internal),
         Just(ErrCode::DeadlineExceeded),
+        Just(ErrCode::StaleEpoch),
     ];
     prop_oneof![
         Just(Reply::Ok),
@@ -271,10 +272,11 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
             arb_route(),
             any::<u8>(),
             any::<u64>(),
-            any::<u8>()
+            any::<u8>(),
+            any::<u64>()
         )
             .prop_map(
-                |(id, user, dest, op, route, hops_left, deadline_us, attempt)| Msg::Req {
+                |(id, user, dest, op, route, hops_left, deadline_us, attempt, boot)| Msg::Req {
                     id,
                     user,
                     dest,
@@ -282,7 +284,8 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                     route,
                     hops_left,
                     deadline_us,
-                    attempt
+                    attempt,
+                    boot
                 }
             ),
         (any::<u64>(), arb_reply(), arb_route()).prop_map(|(id, reply, route)| Msg::Resp {

@@ -222,6 +222,23 @@ pub trait Program: Send {
         SigAction::Default
     }
 
+    /// A deterministic fingerprint of this program's protocol-visible
+    /// state. State-space explorers (the model checker) fold these into a
+    /// world digest to recognize already-visited interleavings, so the
+    /// digest must exclude monotonic diagnostics (counters, histories)
+    /// that grow without changing future behaviour. Programs with no
+    /// protocol state keep the default.
+    fn state_digest(&self) -> u64 {
+        0
+    }
+
+    /// Read access to the concrete program for harness-side inspection
+    /// (the model checker's predicates downcast through this). Programs
+    /// opt in by returning `Some(self)`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
     /// Short name for diagnostics.
     fn name(&self) -> &str {
         "program"

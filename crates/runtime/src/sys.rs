@@ -92,6 +92,17 @@ pub trait Transport {
     /// [`SysError::NotConnected`] or [`SysError::ConnectionClosed`].
     fn send_bytes(&mut self, conn: ConnId, data: Bytes) -> Result<(), SysError>;
 
+    /// Whether a connection is believed deliverable right now: the
+    /// endpoints are up and the link between them is routable. Programs
+    /// use this to validate cached next-hops before committing a send to
+    /// them — a connection can look established while a fresh link cut
+    /// has not yet produced its closed notification. Backends without
+    /// that visibility (real TCP) report `true` and rely on send errors.
+    fn conn_alive(&self, conn: ConnId) -> bool {
+        let _ = conn;
+        true
+    }
+
     /// Closes a connection.
     ///
     /// # Errors

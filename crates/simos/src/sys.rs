@@ -84,6 +84,10 @@ impl Transport for Sys<'_> {
         self.core.send(self.key, conn, data)
     }
 
+    fn conn_alive(&self, conn: ConnId) -> bool {
+        self.core.conn_alive(self.key, conn)
+    }
+
     fn close(&mut self, conn: ConnId) -> Result<(), SysError> {
         self.core.close(self.key, conn)
     }

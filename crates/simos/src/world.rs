@@ -602,6 +602,23 @@ impl WorldCore {
         self.rng.jitter(d, jf)
     }
 
+    /// Whether a connection is deliverable right now: `from` is an
+    /// endpoint, the connection is established, and the link to the peer
+    /// is routable. Unlike [`WorldCore::send`], a dead route here is
+    /// reported immediately instead of succeeding locally and breaking
+    /// after the detection interval — this is the send-time liveness
+    /// check programs use to validate cached next-hops.
+    pub(crate) fn conn_alive(&self, from: ProcKey, conn: ConnId) -> bool {
+        let Some(c) = self.conns.get(&conn) else {
+            return false;
+        };
+        if !c.has_endpoint(from) || c.state != ConnState::Established {
+            return false;
+        }
+        let peer = c.peer_of(from).expect("endpoint checked");
+        matches!(self.route_state(from.0, peer.0), RouteState::Hops(_))
+    }
+
     /// Sends bytes on an established connection. Returns `Ok` when the
     /// local write succeeds (TCP semantics); breakage discovered later is
     /// reported via a `Closed` event.
