@@ -1,26 +1,30 @@
-//! Emits `BENCH_PR8.json`: median ns/op for each optimised hot path and
+//! Emits `BENCH_PR10.json`: median ns/op for each optimised hot path and
 //! its bench-local seed copy, measured in the same process and run. The
-//! pairs recorded in the checked-in `BENCH_PR6.json` are re-measured
-//! (this PR re-optimises `timer_wheel_retransmit`: bitset liveness and
-//! fused clean/select passes in the wheel), the PR 6 medians are carried
-//! into the output's `previous` section so the perf trajectory stays one
-//! file per PR, and a `sweep_scaling` section records the parallel
-//! experiment harness on the 64-run `scenarios/chaos_mttr.sweep` grid:
-//! runs/sec at 1 worker vs 8, with the two reports asserted
-//! byte-identical and the grid digest pinned. Wall-clock speedup is
-//! machine-dependent — `host_cpus` records how many cores the measuring
-//! box actually had (a 1-CPU container cannot show a parallel speedup,
-//! the report-equality assert still bites).
+//! pairs recorded in the checked-in `BENCH_PR8.json` are re-measured,
+//! the PR 8 medians are carried into the output's `previous` section so
+//! the perf trajectory stays one file per PR, and a `sweep_scaling`
+//! section records the parallel experiment harness on the 64-run
+//! `scenarios/chaos_mttr.sweep` grid: runs/sec at 1 worker vs 8, with
+//! the two reports asserted byte-identical and the grid digest pinned.
+//! Wall-clock speedup is machine-dependent — `host_cpus` records how
+//! many cores the measuring box actually had (a 1-CPU container cannot
+//! show a parallel speedup, the report-equality assert still bites).
+//!
+//! This PR adds the `netmodel_overhead` pair: the identical end-to-end
+//! workload on the flat wire vs under the full-mesh topology model.
+//! Its ratio is the network model's pricing tax and is bounded
+//! *absolutely* by [`NETMODEL_OVERHEAD_MAX_RATIO`], like
+//! `obs_overhead`'s ceiling.
 //!
 //! Usage:
 //!
 //! * `cargo run --release -p ppm-bench --bin emit_bench`
-//!   (from the repository root; `BENCH_PR8.json` is written to the
+//!   (from the repository root; `BENCH_PR10.json` is written to the
 //!   working directory)
 //! * `... --bin emit_bench -- --gate`
 //!   re-measures every pair and exits non-zero if any workload regressed
 //!   more than [`GATE_TOLERANCE_PCT`] against the checked-in
-//!   `BENCH_PR8.json` — the CI perf-regression smoke gate.
+//!   `BENCH_PR10.json` — the CI perf-regression smoke gate.
 //!
 //! Absolute nanoseconds are not comparable across machines (or even
 //! across runs on a loaded CI box), so the gate normalises each
@@ -36,7 +40,7 @@
 
 use std::time::Instant;
 
-use ppm_bench::{hotpath, multi_tenant, sweep};
+use ppm_bench::{hotpath, multi_tenant, netmodel, sweep};
 
 /// Sampling epochs per pair; median ns are reported, best-epoch ns feed
 /// the gate ratio. Each epoch times the optimised and seed sides back to
@@ -63,10 +67,10 @@ const GATE_TOLERANCE_PCT: f64 = 10.0;
 const GATE_ABS_SLACK: f64 = 0.02;
 
 /// The checked-in results the gate compares against.
-const BASELINE_JSON: &str = "BENCH_PR8.json";
+const BASELINE_JSON: &str = "BENCH_PR10.json";
 
-/// The PR 6 results carried into the emitted file's `previous` section.
-const PREV_JSON: &str = "BENCH_PR6.json";
+/// The PR 8 results carried into the emitted file's `previous` section.
+const PREV_JSON: &str = "BENCH_PR8.json";
 
 /// The sweep grid timed for the `sweep_scaling` section: 64 independent
 /// runs (2 scenarios x 2 fault plans x 16 seeds).
@@ -94,6 +98,14 @@ const MT_PROCS: u64 = 50_000;
 /// fraction of each step; the ceiling bounds the same ~65ns/step it
 /// always did.
 const OBS_OVERHEAD_MAX_RATIO: f64 = 1.12;
+
+/// Hard ceiling on the `netmodel_overhead` routed/flat ratio, on any
+/// machine, against any baseline: opting into the topology model may
+/// cost at most 5% of end-to-end wall time on an uncontended full mesh
+/// (where it prices every send identically to the flat law, so the
+/// whole ratio is pricing machinery — route lookup, fair-share
+/// ledgers, stats).
+const NETMODEL_OVERHEAD_MAX_RATIO: f64 = 1.05;
 
 /// How many calls of `work` fill roughly one sampling epoch.
 fn calibrate(work: &mut dyn FnMut() -> u64, sink: &mut u64) -> u64 {
@@ -216,6 +228,14 @@ fn measure_all() -> Vec<Pair> {
             &mut || multi_tenant::tenant_new(mt_spec, MT_PROCS),
             &mut || multi_tenant::tenant_seed(mt_spec, MT_PROCS),
         ),
+        // Routed vs flat: the same end-to-end workload with and without
+        // the full-mesh topology model — the pricing tax, bounded
+        // absolutely by the gate.
+        measure_pair(
+            "netmodel_overhead",
+            &mut || netmodel::routed_run(),
+            &mut || netmodel::flat_run(),
+        ),
     ]
 }
 
@@ -298,6 +318,15 @@ fn gate() -> ! {
             );
             continue;
         }
+        if p.name == "netmodel_overhead" && p.ratio > NETMODEL_OVERHEAD_MAX_RATIO {
+            failed = true;
+            println!(
+                "{:22} routed/flat {:>5.3}  exceeds the absolute \
+                 ceiling {NETMODEL_OVERHEAD_MAX_RATIO}  REGRESSED",
+                p.name, p.ratio,
+            );
+            continue;
+        }
         let Some(prev_ratio) = json_field(&baseline, p.name, "ratio") else {
             println!("{:22} missing from {BASELINE_JSON}; skipped", p.name);
             continue;
@@ -375,6 +404,7 @@ fn main() {
             "timer_wheel_retransmit",
             "obs_overhead",
             "multi_tenant_scale",
+            "netmodel_overhead",
         ]
         .iter()
         .filter_map(|name| {
@@ -426,13 +456,16 @@ fn main() {
          against the PR 8 wheel which is ~40% faster than the PR 6 denominator); \
          multi_tenant_scale's seed is a per-record-allocation map world running the \
          identical storm (digest-checked) and procs_per_sec is its arena side's \
-         absolute fork throughput; peak_rss_kb is the bench process's VmHWM; previous \
-         carries the checked-in PR 6 medians and ratios; sweep_scaling times the \
-         64-run chaos_mttr grid through the parallel sweep harness at 1 and 8 workers \
-         with the two reports asserted byte-identical (speedup is wall-clock and \
-         host_cpus-bound; report_digest pins every cell)\"\n}\n",
+         absolute fork throughput; netmodel_overhead's seed is the same end-to-end \
+         workload on the flat wire and its ratio is the full-mesh topology model's \
+         pricing tax (absolute gate ceiling 1.05); peak_rss_kb is the bench process's \
+         VmHWM; previous carries the checked-in PR 8 medians and ratios; \
+         sweep_scaling times the 64-run chaos_mttr grid through the parallel sweep \
+         harness at 1 and 8 workers with the two reports asserted byte-identical \
+         (speedup is wall-clock and host_cpus-bound; report_digest pins every \
+         cell)\"\n}\n",
     );
 
-    std::fs::write("BENCH_PR8.json", &json).expect("write BENCH_PR8.json");
-    println!("wrote BENCH_PR8.json");
+    std::fs::write("BENCH_PR10.json", &json).expect("write BENCH_PR10.json");
+    println!("wrote BENCH_PR10.json");
 }

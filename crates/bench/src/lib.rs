@@ -10,6 +10,8 @@
 //! * [`hotpath`] — paired new-vs-seed workloads for the optimised hot paths;
 //! * [`multi_tenant`] — the sharded-arena storm world vs a per-record
 //!   allocation baseline, digest-checked;
+//! * [`netmodel`] — the identical end-to-end workload on the flat wire
+//!   vs under the full-mesh topology model (the pricing tax);
 //! * [`scale`] — the tens-of-nodes stress test the paper deferred;
 //! * [`sweep`] — the parallel experiment harness: declarative grids of
 //!   (seed × scenario × fault plan × topology) fanned out over a
@@ -23,6 +25,7 @@ pub mod ablate;
 pub mod figures;
 pub mod hotpath;
 pub mod multi_tenant;
+pub mod netmodel;
 pub mod scale;
 pub mod sweep;
 pub mod table1;

@@ -1,0 +1,80 @@
+//! The `netmodel_overhead` workload pair: the identical end-to-end PPM
+//! workload run twice, once on the flat wire law and once with the
+//! full-mesh topology model installed. Full-mesh prices an uncontended
+//! send exactly like the flat model's one hop, so the pair's ratio is
+//! the *pricing machinery's* cost — route lookup, per-link fair-share
+//! ledgers, stats — on every delivery, not a change in simulated
+//! behaviour. The bench gate bounds it absolutely (see `emit_bench`):
+//! the network model must stay a ≤5% tax even for worlds that opt in.
+
+use ppm::core::config::PpmConfig;
+use ppm::harness::harness::PpmHarness;
+use ppm::simnet::topology::{CpuClass, NetSpec};
+use ppm::simos::ids::Uid;
+
+const HOSTS: [&str; 4] = ["n0", "n1", "n2", "n3"];
+const USER: Uid = Uid(100);
+
+/// One full workload: boot a 4-host world, fan a computation out over
+/// every host, and sweep six global snapshots through it — enough
+/// routed deliveries that per-send pricing, not the world build,
+/// dominates the call. Returns a checksum (records seen + simulated
+/// end time) so the optimiser keeps the run honest.
+fn world_run(routed: bool) -> u64 {
+    let mut b = PpmHarness::builder();
+    for h in HOSTS {
+        b = b.host(h, CpuClass::Vax780);
+    }
+    for (i, a) in HOSTS.iter().enumerate() {
+        for b2 in &HOSTS[i + 1..] {
+            b = b.link(*a, *b2);
+        }
+    }
+    b = b.user(USER, 0xBE, &["n0"], PpmConfig::default());
+    if routed {
+        let names: Vec<String> = HOSTS.iter().map(|s| (*s).to_string()).collect();
+        b = b.topology(NetSpec::preset("full-mesh", &names).expect("preset builds"));
+    }
+    let mut ppm = b.build();
+    let root = ppm
+        .spawn_remote("n0", USER, "n0", "master", None, None)
+        .expect("root spawns");
+    for h in &HOSTS[1..] {
+        ppm.spawn_remote("n0", USER, h, "worker", Some(root.clone()), None)
+            .expect("worker spawns");
+    }
+    let mut seen = 0u64;
+    for _ in 0..6 {
+        let (recs, missing) = ppm.snapshot_partial("n0", USER, "*").expect("snapshot");
+        assert!(missing.is_empty(), "all hosts answer");
+        seen += recs.len() as u64;
+    }
+    seen + ppm.now().as_micros()
+}
+
+/// The instrumented side: full-mesh model installed.
+#[must_use]
+pub fn routed_run() -> u64 {
+    world_run(true)
+}
+
+/// The plain side: flat wire law.
+#[must_use]
+pub fn flat_run() -> u64 {
+    world_run(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sides_do_the_same_work() {
+        // Same spawns, same snapshot record counts — only the wire
+        // pricing differs, so the checksums' record component agrees
+        // (timing components differ once contention prices in).
+        let flat = flat_run();
+        let routed = routed_run();
+        assert!(flat > 0 && routed > 0);
+    }
+}

@@ -23,13 +23,17 @@
 //! chain 12                      # variant: generated chain topology
 //! storm 8x4 procs=4000          # variant: U users x H hosts storm
 //! faults crash_heal.fault       # fault plan (grid-relative), or: faults none
+//! topology fat-tree             # net model: preset, spec file, or: topology none
 //! expect scenario complete      # substring the run output must contain
 //! expect-metric lpm.restarts    # substring the metrics text must contain
 //! ```
 //!
-//! Every `scenario`/`chain` variant runs under every fault plan; storm
-//! variants have no fault-plan hook and always run with `fault:none`.
-//! Each (variant, plan) pair runs once per seed. A run's digest is the
+//! Every `scenario`/`chain` variant runs under every fault plan and every
+//! topology; storm variants have no fault-plan or topology hook and
+//! always run with `fault:none` on the flat wire. Grids that never say
+//! `topology` keep their pre-netmodel ids and report bytes — the
+//! `net:<arg>` id segment appears only once the axis is declared.
+//! Each (variant, plan, topology) triple runs once per seed. A run's digest is the
 //! FNV-1a fold of exactly the strings `ppm-sim --digest` hashes, so any
 //! cell — failed or not — can be re-derived standalone from the repro
 //! command line carried in its result.
@@ -80,6 +84,31 @@ impl Plan {
     }
 }
 
+/// A topology axis point; `arg == None` is the flat wire (no net model).
+/// Presets carry only their name (they are instantiated over each
+/// variant's own host list at run time); spec files are preloaded like
+/// fault plans so workers never touch the filesystem.
+#[derive(Debug, Clone)]
+pub struct Topo {
+    pub label: String,
+    /// The preset name or path *as written* in the grid (repro lines).
+    pub arg: Option<String>,
+    pub repro_path: Option<String>,
+    /// Preloaded spec-file text (file-based topologies only).
+    pub text: Option<Arc<str>>,
+}
+
+impl Topo {
+    fn flat() -> Self {
+        Topo {
+            label: "net:flat".into(),
+            arg: None,
+            repro_path: None,
+            text: None,
+        }
+    }
+}
+
 /// A parsed sweep grid: the declared axes plus the pass predicates.
 #[derive(Debug, Clone)]
 pub struct Grid {
@@ -87,6 +116,9 @@ pub struct Grid {
     pub seeds: Vec<u64>,
     pub variants: Vec<Variant>,
     pub plans: Vec<Plan>,
+    /// Topology axis; empty means the axis was never declared (flat wire,
+    /// and the `net:` id segment is omitted for report-byte stability).
+    pub topos: Vec<Topo>,
     /// Substrings the run output (scenario output / storm report) must contain.
     pub expects: Vec<String>,
     /// Substrings the metrics text must contain.
@@ -100,6 +132,7 @@ pub struct RunSpec {
     pub id: String,
     pub variant: Variant,
     pub plan: Plan,
+    pub topo: Topo,
     pub seed: u64,
     pub expects: Vec<String>,
     pub expects_metric: Vec<String>,
@@ -133,6 +166,7 @@ impl Grid {
         let mut seeds = Vec::new();
         let mut variants = Vec::new();
         let mut plans = Vec::new();
+        let mut topos = Vec::new();
         let mut expects = Vec::new();
         let mut expects_metric = Vec::new();
         for (lno, raw) in text.lines().enumerate() {
@@ -218,6 +252,30 @@ impl Grid {
                         });
                     }
                 }
+                "topology" => {
+                    if rest == "none" {
+                        topos.push(Topo::flat());
+                    } else if ppm::simnet::topology::NetSpec::PRESETS.contains(&rest) {
+                        topos.push(Topo {
+                            label: format!("net:{rest}"),
+                            arg: Some(rest.to_string()),
+                            repro_path: None,
+                            text: None,
+                        });
+                    } else {
+                        let resolved = base.join(rest);
+                        let text = std::fs::read_to_string(&resolved)
+                            .map_err(|e| err(format!("cannot read {}: {e}", resolved.display())))?;
+                        ppm::simnet::topology::NetSpec::parse(&text)
+                            .map_err(|e| err(format!("{rest}: {e}")))?;
+                        topos.push(Topo {
+                            label: format!("net:{rest}"),
+                            arg: Some(rest.to_string()),
+                            repro_path: Some(resolved.display().to_string()),
+                            text: Some(text.into()),
+                        });
+                    }
+                }
                 "expect" => {
                     if rest.is_empty() {
                         return Err(err("expect needs a substring".into()));
@@ -248,6 +306,7 @@ impl Grid {
             seeds,
             variants,
             plans,
+            topos,
             expects,
             expects_metric,
         })
@@ -265,25 +324,41 @@ impl Grid {
     #[must_use]
     pub fn expand(&self) -> Vec<RunSpec> {
         let none = [Plan::none()];
+        let flat = [Topo::flat()];
         let mut specs = Vec::new();
         for v in &self.variants {
-            // Storms have no fault-plan hook: the storm world drives its
-            // engine directly, so only the no-faults plan applies.
-            let plans: &[Plan] = if matches!(v.kind, VariantKind::Storm { .. }) {
-                &none
+            // Storms have no fault-plan or topology hook: the storm world
+            // drives its engine directly, so only the no-faults plan on
+            // the flat wire applies.
+            let is_storm = matches!(v.kind, VariantKind::Storm { .. });
+            let plans: &[Plan] = if is_storm { &none } else { &self.plans };
+            let topos: &[Topo] = if is_storm || self.topos.is_empty() {
+                &flat
             } else {
-                &self.plans
+                &self.topos
             };
             for p in plans {
-                for &seed in &self.seeds {
-                    specs.push(RunSpec {
-                        id: format!("{}|{}|seed={seed}", v.label, p.label),
-                        variant: v.clone(),
-                        plan: p.clone(),
-                        seed,
-                        expects: self.expects.clone(),
-                        expects_metric: self.expects_metric.clone(),
-                    });
+                for t in topos {
+                    // The `net:` segment appears only when the grid
+                    // declares the axis, so pre-netmodel grids keep
+                    // their exact ids and report bytes. Storms pin
+                    // `net:flat`, mirroring their `fault:none` pin.
+                    let id = if self.topos.is_empty() {
+                        format!("{}|{}|seed=", v.label, p.label)
+                    } else {
+                        format!("{}|{}|{}|seed=", v.label, p.label, t.label)
+                    };
+                    for &seed in &self.seeds {
+                        specs.push(RunSpec {
+                            id: format!("{id}{seed}"),
+                            variant: v.clone(),
+                            plan: p.clone(),
+                            topo: t.clone(),
+                            seed,
+                            expects: self.expects.clone(),
+                            expects_metric: self.expects_metric.clone(),
+                        });
+                    }
                 }
             }
         }
@@ -326,6 +401,9 @@ impl RunSpec {
                 if let Some(p) = &self.plan.repro_path {
                     cmd.push_str(&format!(" --faults {p}"));
                 }
+                if let Some(t) = self.topo.repro_path.as_ref().or(self.topo.arg.as_ref()) {
+                    cmd.push_str(&format!(" --topology {t}"));
+                }
                 if let Some(p) = &self.variant.repro_path {
                     cmd.push_str(&format!(" {p}"));
                 }
@@ -334,6 +412,9 @@ impl RunSpec {
                 cmd.push_str(&format!(" --seed {}", self.seed));
                 if let Some(p) = &self.plan.repro_path {
                     cmd.push_str(&format!(" --faults {p}"));
+                }
+                if let Some(t) = self.topo.repro_path.as_ref().or(self.topo.arg.as_ref()) {
+                    cmd.push_str(&format!(" --topology {t}"));
                 }
                 cmd.push_str(&format!(" --hosts {hosts}"));
             }
@@ -437,9 +518,29 @@ fn run_scenario(
         .map(|t| ppm::simnet::fault::FaultPlan::parse(t).expect("plan validated at grid load"));
     let run = scenario.and_then(|mut sc| {
         sc.seed = spec.seed;
+        // File-based topologies were validated at grid load; presets are
+        // instantiated over this variant's own host list.
+        let topo = match (&spec.topo.text, &spec.topo.arg) {
+            (Some(t), _) => Some(
+                ppm::simnet::topology::NetSpec::parse(t).expect("topology validated at grid load"),
+            ),
+            (None, Some(name)) => {
+                let hosts: Vec<String> = sc.hosts.iter().map(|(n, _)| n.clone()).collect();
+                Some(
+                    ppm::simnet::topology::NetSpec::preset(name, &hosts).ok_or_else(|| {
+                        ppm::scenario::ScenarioError {
+                            line: 0,
+                            message: format!("preset {name:?} needs at least one host"),
+                        }
+                    })?,
+                )
+            }
+            (None, None) => None,
+        };
         let opts = ppm::scenario::ExecOptions {
             spans: false,
             faults: plan.as_ref(),
+            topology: topo.as_ref(),
         };
         ppm::scenario::execute_with(&sc, &mut out, opts)
     });
@@ -624,6 +725,7 @@ run 200ms
                 },
             ],
             plans: vec![Plan::none()],
+            topos: vec![],
             expects: vec![],
             expects_metric: vec![],
         }
@@ -692,6 +794,53 @@ expect-metric lpm.
                 "storm:2x2|fault:none|seed=4",
             ]
         );
+    }
+
+    #[test]
+    fn topology_axis_expands_and_reproduces() {
+        let text = "\
+sweep net
+seeds 5
+scenario mini.ppm
+storm 2x2
+topology none
+topology fat-tree
+";
+        // `scenario` reads from disk at parse time, so feed the grid a
+        // real file in a scratch dir.
+        let dir = std::env::temp_dir().join("ppm_sweep_topo_axis_test");
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        std::fs::write(dir.join("mini.ppm"), MINI_SCENARIO).expect("write scenario");
+        let g = Grid::parse(text, &dir).expect("parses");
+        assert_eq!(g.topos.len(), 2);
+        let specs = g.expand();
+        let ids: Vec<&str> = specs.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            vec![
+                "scenario:mini.ppm|fault:none|net:flat|seed=5",
+                "scenario:mini.ppm|fault:none|net:fat-tree|seed=5",
+                "storm:2x2|fault:none|net:flat|seed=5",
+            ]
+        );
+        assert!(
+            specs[1].repro().contains(" --topology fat-tree "),
+            "{}",
+            specs[1].repro()
+        );
+        assert!(!specs[0].repro().contains("--topology"));
+        // The routed cell runs and digests differently from the flat one.
+        let results = run_specs(&specs, 2);
+        assert!(results.iter().all(|r| r.failures.is_empty()), "{results:?}");
+        assert_ne!(results[0].digest, results[1].digest);
+    }
+
+    #[test]
+    fn undeclared_topology_axis_keeps_legacy_ids() {
+        let g = mini_grid();
+        let specs = g.expand();
+        assert!(specs.iter().all(|s| !s.id.contains("net:")), "ids changed");
+        assert!(specs.iter().all(|s| s.topo.arg.is_none()));
     }
 
     #[test]

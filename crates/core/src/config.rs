@@ -95,6 +95,12 @@ pub struct PpmConfig {
     /// Learn routes from broadcast replies ("allows quick routing of
     /// messages affecting processes in topologically distant hosts").
     pub route_learning: bool,
+    /// Splice broadcast replies in-network: a relay coalesces the parts
+    /// from its subtree into one aggregate frame before forwarding
+    /// upstream (the paper's reply-combining). When off, the relay
+    /// forwards each collected part as its own frame — leaf-direct-style
+    /// upstream traffic, the baseline of the congestion exhibit.
+    pub reply_splicing: bool,
     /// How the CCS is located during recovery.
     pub recovery_policy: RecoveryPolicy,
 }
@@ -140,6 +146,7 @@ impl Default for PpmConfig {
             rusage_cap: 1024,
             default_trace_flags: TraceFlags::ALL,
             route_learning: true,
+            reply_splicing: true,
             recovery_policy: RecoveryPolicy::RecoveryFile,
         }
     }

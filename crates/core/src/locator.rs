@@ -41,9 +41,18 @@ use crate::config::PMD_SERVICE;
 /// cannot grow it without bound. Entries are only dropped wholesale via
 /// [`RouteCache::clear`], never evicted one by one, which keeps lookups
 /// deterministic.
+/// One learned route: the next hop to relay through, plus the full hop
+/// path (`[me, next, ..., dest]`) it was learned from, kept so the cache
+/// can revalidate every leg when the world's reachability epoch moves.
+#[derive(Debug, Clone)]
+struct RouteEntry {
+    next: String,
+    path: Vec<String>,
+}
+
 #[derive(Debug, Clone)]
 pub struct RouteCache {
-    map: FastMap<String, String>,
+    map: FastMap<String, RouteEntry>,
     cap: usize,
     hits: u64,
     misses: u64,
@@ -69,9 +78,9 @@ impl RouteCache {
     /// Looks up the next hop toward `dest`, counting the hit or miss.
     pub fn lookup(&mut self, dest: &str) -> Option<&str> {
         match self.map.get(dest) {
-            Some(next) => {
+            Some(e) => {
                 self.hits += 1;
-                Some(next.as_str())
+                Some(e.next.as_str())
             }
             None => {
                 self.misses += 1;
@@ -82,7 +91,7 @@ impl RouteCache {
 
     /// Peeks at the next hop toward `dest` without touching the counters.
     pub fn get(&self, dest: &str) -> Option<&str> {
-        self.map.get(dest).map(String::as_str)
+        self.map.get(dest).map(|e| e.next.as_str())
     }
 
     /// Whether a next hop is known for `dest`.
@@ -119,11 +128,14 @@ impl RouteCache {
             return;
         }
         let next = &hops[1];
-        for dest in &hops[2..] {
+        for (i, dest) in hops.iter().enumerate().skip(2) {
             if self.map.len() >= self.cap && !self.map.contains_key(dest) {
                 return;
             }
-            self.map.entry(dest.clone()).or_insert_with(|| next.clone());
+            self.map.entry(dest.clone()).or_insert_with(|| RouteEntry {
+                next: next.clone(),
+                path: hops[..=i].to_vec(),
+            });
         }
     }
 
@@ -143,7 +155,24 @@ impl RouteCache {
     /// instead of re-learning a live route.
     pub fn evict_via(&mut self, host: &str) -> usize {
         let before = self.map.len();
-        self.map.retain(|dest, next| dest != host && next != host);
+        self.map.retain(|dest, e| dest != host && e.next != host);
+        before - self.map.len()
+    }
+
+    /// Revalidates every cached route against current reachability:
+    /// each leg of an entry's learned path is checked with `edge_up`,
+    /// and entries with any dead leg are evicted. Returns how many went.
+    ///
+    /// Called when the world's reachability epoch moves (link cut/heal,
+    /// named net-link cut, crash, restart). `evict_via` only fires on an
+    /// *observed* transport error, so before this check a fault-plan cut
+    /// that changed reachability mid-run left stale entries relaying into
+    /// the severed link until each one burned a retry cycle; healed links
+    /// re-learn naturally from the next reply route.
+    pub fn validate(&mut self, mut edge_up: impl FnMut(&str, &str) -> bool) -> usize {
+        let before = self.map.len();
+        self.map
+            .retain(|_, e| e.path.windows(2).all(|leg| edge_up(&leg[0], &leg[1])));
         before - self.map.len()
     }
 }

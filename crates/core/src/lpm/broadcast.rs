@@ -639,17 +639,56 @@ impl Lpm {
             let forward_handler = b.forward_handler.take();
             let respond_handler = b.respond_handler.take();
             let timeout_token = b.timeout_token.take();
-            // The whole subtree's answers leave in a single aggregated
-            // frame on this edge, then the wave-completion marker.
-            let mut parts = Vec::with_capacity(4 + b.agg_buf.len());
-            parts.extend_from_slice(&b.agg_count.to_be_bytes());
-            parts.append(&mut b.agg_buf);
-            let agg = Msg::BcastAgg {
-                stamp: stamp.clone(),
-                parts: bytes::Bytes::from(parts),
-                missing: b.missing.iter().cloned().collect(),
-            };
-            let _ = self.send_msg(sys, upstream, &agg);
+            let missing: Vec<String> = b.missing.iter().cloned().collect();
+            if self.cfg.reply_splicing {
+                // The whole subtree's answers leave in a single aggregated
+                // frame on this edge, then the wave-completion marker.
+                let mut parts = Vec::with_capacity(4 + b.agg_buf.len());
+                parts.extend_from_slice(&b.agg_count.to_be_bytes());
+                parts.append(&mut b.agg_buf);
+                let agg = Msg::BcastAgg {
+                    stamp: stamp.clone(),
+                    parts: bytes::Bytes::from(parts),
+                    missing,
+                };
+                let _ = self.send_msg(sys, upstream, &agg);
+            } else {
+                // Splicing off (the congestion exhibit's baseline): every
+                // collected part goes upstream as its own batch-of-one
+                // frame — leaf-direct-style traffic on every edge toward
+                // the originator — then one empty frame carries the
+                // missing list.
+                let mut batch = Vec::with_capacity(4 + b.agg_buf.len());
+                batch.extend_from_slice(&b.agg_count.to_be_bytes());
+                batch.append(&mut b.agg_buf);
+                let decoded: Vec<BcastPart> = decode_batch(&batch).unwrap_or_default();
+                for part in &decoded {
+                    let mut one = Vec::new();
+                    let mut count = 0u32;
+                    push_part(&mut one, &mut count, part);
+                    let mut framed = Vec::with_capacity(4 + one.len());
+                    framed.extend_from_slice(&count.to_be_bytes());
+                    framed.append(&mut one);
+                    let _ = self.send_msg(
+                        sys,
+                        upstream,
+                        &Msg::BcastAgg {
+                            stamp: stamp.clone(),
+                            parts: bytes::Bytes::from(framed),
+                            missing: Vec::new(),
+                        },
+                    );
+                }
+                let _ = self.send_msg(
+                    sys,
+                    upstream,
+                    &Msg::BcastAgg {
+                        stamp: stamp.clone(),
+                        parts: bytes::Bytes::from(0u32.to_be_bytes().to_vec()),
+                        missing,
+                    },
+                );
+            }
             let _ = self.send_msg(sys, upstream, &Msg::BcastDone { stamp });
             if let Some(tok) = timeout_token {
                 self.rpc.cancel(tok);

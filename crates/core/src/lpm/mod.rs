@@ -217,6 +217,10 @@ pub struct Lpm {
     pub(crate) chan_retry_armed: BTreeSet<String>,
     pub(crate) outbox: BTreeMap<String, Vec<(Msg, Option<u64>)>>,
     pub(crate) route_cache: RouteCache,
+    /// The last reachability epoch the route cache was validated at;
+    /// when `sys.net_epoch()` moves past it, cached routes with a dead
+    /// leg are evicted before the next lookup.
+    pub(crate) route_epoch: u64,
 
     /// The unified RPC substrate: pending requests, correlation index,
     /// dedup window, spawn waits and timer registry.
@@ -288,6 +292,7 @@ impl Lpm {
             chan_retry_armed: BTreeSet::new(),
             outbox: BTreeMap::new(),
             route_cache: RouteCache::default(),
+            route_epoch: 0,
             rpc: RpcTable::new(),
             bcast_seq: 0,
             bcasts: FastMap::default(),

@@ -563,6 +563,22 @@ impl Lpm {
         }
         // Learned route through an existing sibling?
         if self.cfg.route_learning {
+            // Reachability moved since the cache was last checked (a
+            // fault-plan cut, a crash, a heal): revalidate every leg of
+            // every cached path before trusting a lookup. Without this,
+            // entries learned before the cut keep relaying into the
+            // severed link until each one burns a full retry cycle.
+            let epoch = sys.net_epoch();
+            if epoch != self.route_epoch {
+                self.route_epoch = epoch;
+                let evicted = self.route_cache.validate(|a, b| sys.edge_up(a, b));
+                if evicted > 0 {
+                    self.note(
+                        sys,
+                        format!("reachability changed; {evicted} cached route(s) evicted"),
+                    );
+                }
+            }
             if let Some(next) = self.route_cache.lookup(&dest) {
                 if let Some(&conn) = self.siblings.get(next) {
                     // Validate the cached hop against link liveness: a

@@ -14,7 +14,7 @@ use ppm_proto::types::{Gpid, HistoryRecord, MetricRow, ProcRecord, RusageRecord}
 use ppm_simnet::latency::LatencyModel;
 use ppm_simnet::obs::SpanEvent;
 use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simnet::topology::{CpuClass, HostId, HostSpec};
+use ppm_simnet::topology::{CpuClass, HostId, HostSpec, NetSpec};
 use ppm_simos::config::OsConfig;
 use ppm_simos::ids::{Pid, Uid};
 use ppm_simos::program::SpawnSpec;
@@ -35,6 +35,7 @@ pub struct HarnessBuilder {
     hosts: Vec<HostSpec>,
     links: Vec<(String, String)>,
     users: UserDirectory,
+    topology: Option<NetSpec>,
 }
 
 impl Default for HarnessBuilder {
@@ -47,6 +48,7 @@ impl Default for HarnessBuilder {
             hosts: Vec::new(),
             links: Vec::new(),
             users: UserDirectory::new(),
+            topology: None,
         }
     }
 }
@@ -99,6 +101,17 @@ impl HarnessBuilder {
         self
     }
 
+    /// Installs a physical network model (see
+    /// [`ppm_simos::world::World::install_netmodel`]): deliveries are
+    /// priced over the topology's routes with per-link capacity and
+    /// contention instead of the flat wire law. Without this, the flat
+    /// model stays in force and runs are byte-identical to pre-netmodel
+    /// builds.
+    pub fn topology(mut self, spec: NetSpec) -> Self {
+        self.topology = Some(spec);
+        self
+    }
+
     /// Adds a user account with a `.recovery` list and PPM config.
     pub fn user(mut self, uid: Uid, secret: u64, recovery: &[&str], config: PpmConfig) -> Self {
         self.users.insert(UserEntry {
@@ -140,6 +153,11 @@ impl HarnessBuilder {
                 .host_by_name(&b)
                 .unwrap_or_else(|| panic!("link references unknown host {b:?}"));
             world.add_link(ai, bi);
+        }
+        if let Some(spec) = &self.topology {
+            world
+                .install_netmodel(spec)
+                .unwrap_or_else(|e| panic!("topology install failed: {e}"));
         }
         // Let daemons boot.
         world.run_for(SimDuration::from_millis(50));

@@ -103,6 +103,24 @@ pub trait Transport {
         true
     }
 
+    /// The network's reachability epoch: bumped whenever link or host
+    /// state changes (partition, heal, named-link cut, crash, restart).
+    /// Programs remember the last epoch they saw and revalidate cached
+    /// routes when it moves. Backends without topology visibility (real
+    /// TCP) never bump it.
+    fn net_epoch(&self) -> u64 {
+        0
+    }
+
+    /// Whether hosts `a` and `b` (by name) can currently exchange
+    /// traffic — the pairwise check route-cache revalidation runs over a
+    /// cached path's legs. Backends without a global view answer `true`
+    /// and rely on send errors instead.
+    fn edge_up(&self, a: &str, b: &str) -> bool {
+        let _ = (a, b);
+        true
+    }
+
     /// Closes a connection.
     ///
     /// # Errors

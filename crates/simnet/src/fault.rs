@@ -11,6 +11,7 @@
 //! seed 7
 //! at 2s crash calder restart 6s       # crash, heal 6s later
 //! at 3s cut calder kim heal 2s        # partition, heal 2s later
+//! at 4s cut link core:tor0-spine1     # cut a named netmodel link
 //! at 5s kill calder lpm               # SIGKILL by command prefix
 //! drop 0.05 from calder to kim after 1s until 9s
 //! dup 0.02
@@ -50,6 +51,11 @@ pub enum FaultKind {
     LinkDown { a: String, b: String },
     /// Heal the link between two hosts.
     LinkUp { a: String, b: String },
+    /// Cut a *named* netmodel link (`cut link <name>`); requires a
+    /// topology to be installed so the name can resolve.
+    NetLinkDown { link: String },
+    /// Heal a named netmodel link.
+    NetLinkUp { link: String },
     /// SIGKILL every live process on `host` whose command starts with
     /// `command` — the way a plan kills an LPM without taking the whole
     /// host down.
@@ -261,6 +267,12 @@ impl FaultPlan {
                 FaultKind::LinkUp { a, b } => {
                     let _ = writeln!(out, "at {at}us link-up {a} {b}");
                 }
+                FaultKind::NetLinkDown { link } => {
+                    let _ = writeln!(out, "at {at}us link-down link {link}");
+                }
+                FaultKind::NetLinkUp { link } => {
+                    let _ = writeln!(out, "at {at}us link-up link {link}");
+                }
                 FaultKind::Kill { host, command } => {
                     let _ = writeln!(out, "at {at}us kill {host} {command}");
                 }
@@ -342,6 +354,29 @@ fn parse_event(plan: &mut FaultPlan, tokens: &[&str], line: usize) -> Result<(),
             });
         }
         "cut" | "link-down" => {
+            // Sugar: `cut link NAME [heal DUR]` targets a named netmodel
+            // link instead of a host pair.
+            if tokens.get(2) == Some(&"link") {
+                let link = need(3, "a link name after `link`")?;
+                plan.events.push(FaultEvent {
+                    at,
+                    kind: FaultKind::NetLinkDown { link: link.clone() },
+                });
+                match tokens.get(4) {
+                    Some(&"heal") => {
+                        let d = parse_duration(&need(5, "a delay after `heal`")?, line)?;
+                        plan.events.push(FaultEvent {
+                            at: at + d,
+                            kind: FaultKind::NetLinkUp { link },
+                        });
+                    }
+                    Some(other) => {
+                        return Err(err(line, format!("unknown cut option {other:?}")));
+                    }
+                    None => {}
+                }
+                return Ok(());
+            }
             let a = need(2, "two hosts")?;
             let b = need(3, "two hosts")?;
             plan.events.push(FaultEvent {
@@ -367,6 +402,15 @@ fn parse_event(plan: &mut FaultPlan, tokens: &[&str], line: usize) -> Result<(),
             }
         }
         "link-up" | "heal" => {
+            if tokens.get(2) == Some(&"link") {
+                plan.events.push(FaultEvent {
+                    at,
+                    kind: FaultKind::NetLinkUp {
+                        link: need(3, "a link name after `link`")?,
+                    },
+                });
+                return Ok(());
+            }
             plan.events.push(FaultEvent {
                 at,
                 kind: FaultKind::LinkUp {
@@ -549,6 +593,39 @@ delay 0.5 add 40ms to kim
         assert_eq!(drop.to.as_deref(), Some("kim"));
         assert_eq!(drop.after, Some(SimTime::from_secs(1)));
         assert_eq!(drop.until, Some(SimTime::from_secs(9)));
+    }
+
+    #[test]
+    fn cut_link_sugar_targets_named_links() {
+        let plan = FaultPlan::parse(
+            "at 1s cut link core:tor0-spine1 heal 2s\nat 5s link-down link wan:h3\nat 6s heal link wan:h3",
+        )
+        .unwrap();
+        assert_eq!(
+            plan.events[0].kind,
+            FaultKind::NetLinkDown {
+                link: "core:tor0-spine1".into()
+            }
+        );
+        assert_eq!(
+            plan.events[1],
+            FaultEvent {
+                at: SimTime::from_secs(3),
+                kind: FaultKind::NetLinkUp {
+                    link: "core:tor0-spine1".into()
+                }
+            }
+        );
+        assert_eq!(
+            plan.events[3].kind,
+            FaultKind::NetLinkUp {
+                link: "wan:h3".into()
+            }
+        );
+        let again = FaultPlan::parse(&plan.encode()).unwrap();
+        assert_eq!(plan, again);
+        assert!(FaultPlan::parse("at 1s cut link").is_err());
+        assert!(FaultPlan::parse("at 1s cut link x frob").is_err());
     }
 
     #[test]

@@ -29,20 +29,25 @@
 //! assert_eq!(engine.pop().map(|(_, e)| e), Some("hello"));
 //! ```
 
+pub mod bandwidth;
 pub mod engine;
 pub mod fault;
 pub mod hashx;
 pub mod latency;
 pub mod obs;
 pub mod rng;
+pub mod routing;
 pub mod time;
 pub mod topology;
 pub mod trace;
 
+pub use bandwidth::{NetModel, Transfer};
 pub use engine::{Engine, EventId, QueueStats, TimerWheel};
 pub use latency::LatencyModel;
 pub use obs::{Registry, SpanLog};
 pub use rng::SimRng;
+pub use routing::RoutingTable;
 pub use time::{SimDuration, SimTime};
 pub use topology::{CpuClass, HostId, HostSpec, Topology};
+pub use topology::{NetGraph, NetSpec};
 pub use trace::{TraceCategory, TraceEntry, TraceLog};

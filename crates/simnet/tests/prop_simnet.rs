@@ -352,12 +352,20 @@ fn arb_host() -> impl Strategy<Value = String> {
     (0u8..5).prop_map(|i| ["calder", "kim", "ucbarpa", "ernie", "vangogh"][i as usize].to_string())
 }
 
+fn arb_link_name() -> impl Strategy<Value = String> {
+    (0u8..4).prop_map(|i| {
+        ["core:tor0-spine1", "edge:calder", "wan:kim", "mile:h7"][i as usize].to_string()
+    })
+}
+
 fn arb_fault_kind() -> impl Strategy<Value = FaultKind> {
     prop_oneof![
         arb_host().prop_map(|host| FaultKind::Crash { host }),
         arb_host().prop_map(|host| FaultKind::Restart { host }),
         (arb_host(), arb_host()).prop_map(|(a, b)| FaultKind::LinkDown { a, b }),
         (arb_host(), arb_host()).prop_map(|(a, b)| FaultKind::LinkUp { a, b }),
+        arb_link_name().prop_map(|link| FaultKind::NetLinkDown { link }),
+        arb_link_name().prop_map(|link| FaultKind::NetLinkUp { link }),
         (arb_host(), 0u8..3).prop_map(|(host, c)| FaultKind::Kill {
             host,
             command: ["lpm", "pmd", "worker"][c as usize].to_string(),
@@ -438,6 +446,130 @@ proptest! {
             let (from, to) = (HOSTS[f as usize], HOSTS[t as usize]);
             let now = SimTime::from_micros(at);
             prop_assert_eq!(a.decide(from, to, now), b.decide(from, to, now));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Netmodel routing: determinism and symmetry (PR 10 satellites).
+// ---------------------------------------------------------------------------
+
+use ppm_simnet::routing::RoutingTable;
+use ppm_simnet::topology::{NetGraph, NetLinkSpec, NetSpec};
+
+/// An arbitrary physical topology: `hosts` leaf hosts, `switches`
+/// internal nodes, and a random undirected edge set (plus a host chain so
+/// most pairs are reachable — unreachable pairs are also a valid case and
+/// still occur through the link up/down mask).
+fn arb_net() -> impl Strategy<Value = (NetSpec, Vec<String>, Vec<bool>)> {
+    (2usize..10, 0usize..4).prop_flat_map(|(hosts, switches)| {
+        let n = hosts + switches;
+        let max_edges = n * (n - 1) / 2;
+        (
+            Just(hosts),
+            Just(switches),
+            prop::collection::vec((0usize..n, 0usize..n), 0..max_edges.max(1)),
+            prop::collection::vec(any::<bool>(), n + max_edges),
+        )
+            .prop_map(|(hosts, switches, edges, mask)| {
+                let name_of = |i: usize| {
+                    if i < hosts {
+                        format!("h{i}")
+                    } else {
+                        format!("s{}", i - hosts)
+                    }
+                };
+                let host_names: Vec<String> = (0..hosts).map(|i| format!("h{i}")).collect();
+                let mut spec = NetSpec {
+                    name: "prop".into(),
+                    switches: (0..switches).map(|i| format!("s{i}")).collect(),
+                    links: Vec::new(),
+                };
+                let mut seen = std::collections::HashSet::new();
+                let mut push = |spec: &mut NetSpec, a: usize, b: usize| {
+                    let (a, b) = (a.min(b), a.max(b));
+                    if a == b || !seen.insert((a, b)) {
+                        return;
+                    }
+                    spec.links.push(NetLinkSpec {
+                        name: format!("l{a}-{b}"),
+                        a: name_of(a),
+                        b: name_of(b),
+                        cap_bps: 250_000,
+                        lat_us: 5_000,
+                        loss: 0.0,
+                        core: false,
+                    });
+                };
+                for w in 1..hosts {
+                    push(&mut spec, w - 1, w);
+                }
+                for (a, b) in edges {
+                    push(&mut spec, a, b);
+                }
+                (spec, host_names, mask)
+            })
+    })
+}
+
+/// Applies the up/down mask to hosts and links so the properties also
+/// cover degraded graphs.
+fn masked_graph(spec: &NetSpec, host_names: &[String], mask: &[bool]) -> NetGraph {
+    let mut g = NetGraph::build(spec, host_names).expect("spec is well-formed");
+    for (i, &up) in mask.iter().take(host_names.len()).enumerate() {
+        g.set_host_up(i as u32, up);
+    }
+    for (i, &up) in mask.iter().skip(host_names.len()).enumerate() {
+        if i < g.links.len() {
+            g.set_link_up(i as u32, up);
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Satellite invariant: the route table is a pure function of the
+    /// graph — two builds over the same (masked) topology serialize to
+    /// byte-identical tables.
+    #[test]
+    fn routing_table_is_deterministic(net in arb_net()) {
+        let (spec, hosts, mask) = net;
+        let g = masked_graph(&spec, &hosts, &mask);
+        let a = RoutingTable::build(&g).table_bytes();
+        let b = RoutingTable::build(&g).table_bytes();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Satellite invariant: on undirected links the route from b to a is
+    /// the exact reverse of the route from a to b (canonical unordered-
+    /// pair construction), and routes are consistent with reachability.
+    #[test]
+    fn routes_are_symmetric(net in arb_net()) {
+        let (spec, hosts, mask) = net;
+        let g = masked_graph(&spec, &hosts, &mask);
+        let t = RoutingTable::build(&g);
+        for a in 0..hosts.len() as u32 {
+            for b in 0..hosts.len() as u32 {
+                match (t.route(a, b), t.route(b, a)) {
+                    (Some((mut fn_, mut fl)), Some((rn, rl))) => {
+                        fn_.reverse();
+                        fl.reverse();
+                        prop_assert_eq!(&fn_, &rn, "{}->{} nodes", a, b);
+                        prop_assert_eq!(&fl, &rl, "{}->{} links", a, b);
+                        prop_assert!(t.reachable(a, b));
+                        // Every consecutive pair is really joined by the
+                        // named link, and the link is live.
+                        for (w, l) in rn.windows(2).zip(&rl) {
+                            let link = &g.links[*l as usize];
+                            prop_assert!(link.up);
+                            let (x, y) = (w[0].min(w[1]), w[0].max(w[1]));
+                            prop_assert_eq!((link.a.min(link.b), link.a.max(link.b)), (x, y));
+                        }
+                    }
+                    (None, None) => prop_assert!(!t.reachable(a, b)),
+                    (x, y) => prop_assert!(false, "asymmetric reachability: {:?} vs {:?}", x, y),
+                }
+            }
         }
     }
 }

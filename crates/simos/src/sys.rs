@@ -88,6 +88,17 @@ impl Transport for Sys<'_> {
         self.core.conn_alive(self.key, conn)
     }
 
+    fn net_epoch(&self) -> u64 {
+        self.core.net_epoch()
+    }
+
+    fn edge_up(&self, a: &str, b: &str) -> bool {
+        match (self.core.host_by_name(a), self.core.host_by_name(b)) {
+            (Some(ha), Some(hb)) => self.core.edge_up(ha, hb),
+            _ => false,
+        }
+    }
+
     fn close(&mut self, conn: ConnId) -> Result<(), SysError> {
         self.core.close(self.key, conn)
     }

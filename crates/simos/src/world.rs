@@ -15,12 +15,14 @@ use std::fmt;
 
 use bytes::Bytes;
 use ppm_proto::codec::encode_batch;
+use ppm_runtime::obs::{CounterId, HistId};
+use ppm_simnet::bandwidth::{NetModel, Transfer};
 use ppm_simnet::engine::TimerWheel;
 use ppm_simnet::fault::{FaultKind, FaultPlan, WireDecision, WireFaults};
 use ppm_simnet::latency::LatencyModel;
 use ppm_simnet::rng::SimRng;
 use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simnet::topology::{HostId, HostSpec, Topology};
+use ppm_simnet::topology::{HostId, HostSpec, NetSpec, Topology};
 use ppm_simnet::trace::{TraceCategory, TraceLog};
 
 use crate::config::OsConfig;
@@ -102,9 +104,27 @@ pub(crate) enum SimEvent {
     HostCrash(HostId),
     HostRestart(HostId),
     LinkSet(HostId, HostId, bool),
+    /// Fault-plan cut/heal of a *named* physical link in the installed
+    /// netmodel (the link index is resolved at plan-install time).
+    NetLinkSet(u32, bool),
     /// Fault-plan kill: SIGKILL every live process on the host whose
     /// command starts with the prefix.
     KillCmd(HostId, String),
+}
+
+/// Registry ids for the `net.*` metrics. Registered only when a netmodel
+/// is installed, so flat-mode metric output is byte-identical to worlds
+/// that predate the network model.
+pub(crate) struct NetObs {
+    bytes_on_link: CounterId,
+    link_queue_us: HistId,
+    congested_sends: CounterId,
+    routed_sends: CounterId,
+    drops: CounterId,
+    bisection_bytes: CounterId,
+    /// Last observed [`NetModel::bisection_bytes`], to turn the model's
+    /// cumulative count into registry increments.
+    prev_bisection: u64,
 }
 
 /// Everything in the world except the program objects. Syscalls (via
@@ -134,6 +154,20 @@ pub struct WorldCore {
     /// Probabilistic wire faults from an installed fault plan. `None`
     /// (the default) leaves the send path untouched.
     pub(crate) faults: Option<WireFaults>,
+    /// The bandwidth- and topology-aware network model. `None` (the
+    /// default) keeps the flat `hop_base + per_byte` wire law and its
+    /// exact RNG draw order — worlds without a topology are byte-for-byte
+    /// identical to pre-netmodel runs.
+    pub(crate) net: Option<NetModel>,
+    /// `net.*` metric ids, present iff `net` is.
+    pub(crate) net_obs: Option<NetObs>,
+    /// Bumped whenever reachability may have changed (link cut/heal,
+    /// named net-link cut/heal, host crash/restart). Programs compare it
+    /// against a remembered value to revalidate cached routes.
+    pub(crate) net_epoch: u64,
+    /// The world seed, kept so a late-installed netmodel can derive its
+    /// own loss stream from it.
+    pub(crate) seed: u64,
 }
 
 impl WorldCore {
@@ -180,6 +214,29 @@ impl WorldCore {
     /// Timer-queue statistics of the engine (occupancy, overflow depth).
     pub fn engine_stats(&self) -> ppm_simnet::engine::QueueStats {
         self.engine.stats()
+    }
+
+    /// The installed network model, if any.
+    pub fn net(&self) -> Option<&NetModel> {
+        self.net.as_ref()
+    }
+
+    /// The reachability epoch: bumped on every link cut/heal, named
+    /// net-link cut/heal, and host crash/restart.
+    pub fn net_epoch(&self) -> u64 {
+        self.net_epoch
+    }
+
+    /// Whether hosts `a` and `b` can currently exchange traffic — the
+    /// send-path reachability programs use to validate cached routes.
+    pub fn edge_up(&self, a: HostId, b: HostId) -> bool {
+        if !self.host_up(a) {
+            return false;
+        }
+        if a == b {
+            return true;
+        }
+        matches!(self.route_state(a, b), RouteState::Hops(_))
     }
 
     /// The kernel of a host.
@@ -557,7 +614,7 @@ impl WorldCore {
                     Some(&pid) => pid,
                     None => {
                         // RST: refused after one round trip.
-                        let rtt = self.rtt(hops, self.config.handshake_bytes);
+                        let rtt = self.rtt(hops, from.0, target, self.config.handshake_bytes);
                         let mut c = Connection::new(id, from, (target, Pid::INIT), port, now);
                         c.state = ConnState::Closed;
                         c.stats.closed_at = Some(now);
@@ -578,7 +635,7 @@ impl WorldCore {
                 if let Ok(p) = self.host_mut(from.0).kernel.live_mut(from.1) {
                     p.fds.alloc(FdKind::Socket { conn: id });
                 }
-                let rtt = self.rtt(hops, self.config.handshake_bytes);
+                let rtt = self.rtt(hops, from.0, target, self.config.handshake_bytes);
                 self.engine
                     .schedule(rtt, SimEvent::ConnEstablish { conn: id });
                 self.tracef(
@@ -595,11 +652,28 @@ impl WorldCore {
         }
     }
 
-    fn rtt(&mut self, hops: u32, bytes: usize) -> SimDuration {
-        let one_way = self.latency.wire(hops, bytes);
+    fn rtt(&mut self, hops: u32, a: HostId, b: HostId, bytes: usize) -> SimDuration {
+        let one_way = self.one_way(hops, a, b, bytes);
         let jf = self.latency.jitter_fraction;
         let d = SimDuration::from_micros(one_way.as_micros() * 2);
         self.rng.jitter(d, jf)
+    }
+
+    /// Uncontended one-way wire time between two hosts. Flat worlds use
+    /// the latency model's `hop_base + per_byte` law; routed worlds price
+    /// the canonical route (per-link latency + serialization) without
+    /// touching the contention ledgers — control traffic (handshakes,
+    /// closes) never perturbs congestion state. Local IPC (`hops == 0`)
+    /// always uses the flat law.
+    fn one_way(&self, hops: u32, a: HostId, b: HostId, bytes: usize) -> SimDuration {
+        if hops > 0 {
+            if let Some(net) = &self.net {
+                if let Some(us) = net.wire_uncontended(a.0, b.0, bytes as u64) {
+                    return SimDuration::from_micros(us);
+                }
+            }
+        }
+        self.latency.wire(hops, bytes)
     }
 
     /// Whether a connection is deliverable right now: `from` is an
@@ -675,7 +749,46 @@ impl WorldCore {
             }
         };
         let jf = self.latency.jitter_fraction;
-        let base = self.latency.wire(hops, len);
+        // Routed worlds price the transfer over the canonical route —
+        // per-link latency plus contention-scaled serialization — instead
+        // of the flat wire law. Local IPC always stays flat.
+        let now_us = self.engine.now().as_micros();
+        let routed = match &mut self.net {
+            Some(net) if hops > 0 => Some(net.transfer(from.0 .0, peer.0 .0, len as u64, now_us)),
+            _ => None,
+        };
+        let base = match routed {
+            None => self.latency.wire(hops, len),
+            Some(Transfer::Deliver {
+                total_us,
+                queue_us,
+                links,
+            }) => {
+                self.note_net_send(len as u64, queue_us, links);
+                SimDuration::from_micros(total_us)
+            }
+            Some(Transfer::Dropped) => {
+                // A lossy link ate it: the write succeeded locally,
+                // nothing arrives, recovery is up to the RPC retries.
+                self.note_net_drop();
+                self.tracef(
+                    Some(from.0),
+                    TraceCategory::Net,
+                    format!("net: message on {conn} dropped (lossy link)"),
+                );
+                return Ok(());
+            }
+            Some(Transfer::Unreachable) => {
+                // `route_state` consulted the same table just above, so
+                // this cannot fire today; handle it like any dead route.
+                let base = self.config.break_detection;
+                let delay = self.rng.jitter(base, self.config.cost_jitter);
+                self.mark_closed(conn);
+                self.engine
+                    .schedule(delay, SimEvent::ConnClosedNotify { conn, to: from });
+                return Ok(());
+            }
+        };
         let delay = self.rng.jitter(base, jf);
         // Fault-plan wire rules ride a dedicated RNG stream, so the
         // latency jitter sequence above is identical with or without an
@@ -754,7 +867,7 @@ impl WorldCore {
         self.mark_closed(conn);
         if let RouteState::Hops(hops) = self.route_state(from.0, peer.0) {
             let jf = self.latency.jitter_fraction;
-            let base = self.latency.wire(hops, 32);
+            let base = self.one_way(hops, from.0, peer.0, 32);
             let delay = self.rng.jitter(base, jf);
             let mut at = self.engine.now() + delay;
             if at < dir_floor {
@@ -777,12 +890,48 @@ impl WorldCore {
         if let Some(peer) = peer {
             if let RouteState::Hops(hops) = self.route_state(dead_end.0, peer.0) {
                 let jf = self.latency.jitter_fraction;
-                let base = self.latency.wire(hops, 32);
+                let base = self.one_way(hops, dead_end.0, peer.0, 32);
                 let delay = self.rng.jitter(base, jf);
                 self.engine
                     .schedule(delay, SimEvent::ConnClosedNotify { conn, to: peer });
             }
         }
+    }
+
+    /// Records one routed delivery into the `net.*` metrics.
+    fn note_net_send(&mut self, bytes: u64, queue_us: u64, links: u32) {
+        let Some(ids) = &mut self.net_obs else {
+            return;
+        };
+        self.obs
+            .registry
+            .add(ids.bytes_on_link, bytes * u64::from(links));
+        self.obs.registry.record(ids.link_queue_us, queue_us);
+        if queue_us > 0 {
+            self.obs.registry.inc(ids.congested_sends);
+        }
+        self.obs.registry.inc(ids.routed_sends);
+        let bis = self.net.as_ref().map_or(0, |n| n.bisection_bytes);
+        self.obs
+            .registry
+            .add(ids.bisection_bytes, bis - ids.prev_bisection);
+        ids.prev_bisection = bis;
+    }
+
+    /// Records one lossy-link drop into the `net.*` metrics. The bytes
+    /// still occupied the links up to the drop, so the bisection count is
+    /// synced here too.
+    fn note_net_drop(&mut self) {
+        let Some(ids) = &mut self.net_obs else {
+            return;
+        };
+        self.obs.registry.inc(ids.drops);
+        self.obs.registry.inc(ids.routed_sends);
+        let bis = self.net.as_ref().map_or(0, |n| n.bisection_bytes);
+        self.obs
+            .registry
+            .add(ids.bisection_bytes, bis - ids.prev_bisection);
+        ids.prev_bisection = bis;
     }
 
     pub(crate) fn mark_closed(&mut self, conn: ConnId) {
@@ -798,6 +947,14 @@ impl WorldCore {
     fn route_state(&self, a: HostId, b: HostId) -> RouteState {
         if !self.host_up(b) {
             return RouteState::HostDown;
+        }
+        // A netmodel can sever the *physical* path (e.g. a pod cut off
+        // the fat-tree core) even while the logical topology still lists
+        // the hosts as linked.
+        if let Some(net) = &self.net {
+            if a != b && !net.reachable(a.0, b.0) {
+                return RouteState::Unreachable;
+            }
         }
         match self.topo.hops(a, b) {
             Some(h) => RouteState::Hops(h),
@@ -881,6 +1038,10 @@ impl World {
                 pending_kernel: HashMap::new(),
                 obs: ObsHub::new(),
                 faults: None,
+                net: None,
+                net_obs: None,
+                net_epoch: 0,
+                seed,
             },
             programs: HashMap::new(),
             deferred: HashMap::new(),
@@ -957,6 +1118,50 @@ impl World {
         self.core.topo.add_link(a, b);
     }
 
+    /// Installs the bandwidth- and topology-aware network model. Call
+    /// after every host has been added: the spec's links are resolved
+    /// against the world's host names (in host-id order). From here on,
+    /// remote deliveries are priced over the canonical route — per-link
+    /// latency plus fair-share serialization — instead of the flat wire
+    /// law, and the `net.*` metrics are registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec/graph error message (unknown endpoint, name
+    /// collision); the world is unchanged in that case.
+    pub fn install_netmodel(&mut self, spec: &NetSpec) -> Result<(), String> {
+        let host_names: Vec<String> = self
+            .core
+            .topo
+            .host_ids()
+            .map(|h| self.core.topo.spec(h).name.clone())
+            .collect();
+        let net = NetModel::build(spec, &host_names, self.core.seed)?;
+        let reg = &mut self.core.obs.registry;
+        self.core.net_obs = Some(NetObs {
+            bytes_on_link: reg.counter("net.bytes_on_link"),
+            link_queue_us: reg.hist("net.link_queue_us"),
+            congested_sends: reg.counter("net.congested_sends"),
+            routed_sends: reg.counter("net.routed_sends"),
+            drops: reg.counter("net.drops"),
+            bisection_bytes: reg.counter("net.bisection_bytes"),
+            prev_bisection: 0,
+        });
+        self.core.tracef(
+            None,
+            TraceCategory::Net,
+            format!(
+                "netmodel {} installed ({} hosts, {} switches, {} links)",
+                net.name,
+                host_names.len(),
+                net.graph.node_names.len() - host_names.len(),
+                net.graph.links.len(),
+            ),
+        );
+        self.core.net = Some(net);
+        Ok(())
+    }
+
     /// Spawns a user process (as if from a login shell) with `Pid::INIT`
     /// as parent. Returns the pid.
     ///
@@ -1015,6 +1220,19 @@ impl World {
                     resolve(&self.core, a)?;
                     resolve(&self.core, b)?;
                 }
+                FaultKind::NetLinkDown { link } | FaultKind::NetLinkUp { link } => {
+                    match &self.core.net {
+                        Some(net) if net.graph.link_by_name(link).is_some() => {}
+                        Some(_) => {
+                            return Err(format!("fault plan references unknown net link {link:?}"));
+                        }
+                        None => {
+                            return Err(format!(
+                                "fault plan cuts net link {link:?} but no topology model is installed"
+                            ));
+                        }
+                    }
+                }
             }
         }
         let now = self.core.now();
@@ -1038,6 +1256,18 @@ impl World {
                     let ha = resolve(&self.core, a).expect("validated");
                     let hb = resolve(&self.core, b).expect("validated");
                     self.schedule_link(ha, hb, true, delay);
+                }
+                FaultKind::NetLinkDown { link } | FaultKind::NetLinkUp { link } => {
+                    let idx = self
+                        .core
+                        .net
+                        .as_ref()
+                        .and_then(|n| n.graph.link_by_name(link))
+                        .expect("validated");
+                    let up = matches!(&ev.kind, FaultKind::NetLinkUp { .. });
+                    self.core
+                        .engine
+                        .schedule(delay, SimEvent::NetLinkSet(idx, up));
                 }
                 FaultKind::Kill { host, command } => {
                     let h = resolve(&self.core, host).expect("validated");
@@ -1302,6 +1532,7 @@ impl World {
             }
             SimEvent::LinkSet(a, b, up) => {
                 self.core.topo.set_link_up(a, b, up);
+                self.core.net_epoch += 1;
                 self.core.tracef(
                     None,
                     TraceCategory::Net,
@@ -1311,6 +1542,19 @@ impl World {
                         self.core.host_name(b),
                         if up { "up" } else { "down" }
                     ),
+                );
+            }
+            SimEvent::NetLinkSet(idx, up) => {
+                let Some(net) = self.core.net.as_mut() else {
+                    return;
+                };
+                net.set_link_up(idx, up);
+                let name = net.graph.links[idx as usize].name.clone();
+                self.core.net_epoch += 1;
+                self.core.tracef(
+                    None,
+                    TraceCategory::Net,
+                    format!("net link {name} {}", if up { "up" } else { "down" }),
                 );
             }
         }
@@ -1329,7 +1573,12 @@ impl World {
         let still_listening = self.core.host_up(server.0)
             && self.core.hosts[server.0 .0 as usize].listeners.get(&port) == Some(&server.1)
             && self.core.is_alive(server);
-        let routed = self.core.topo.hops(client.0, server.0).is_some();
+        let routed = self.core.topo.hops(client.0, server.0).is_some()
+            && self
+                .core
+                .net
+                .as_ref()
+                .is_none_or(|n| n.reachable(client.0 .0, server.0 .0));
         if !still_listening || !routed {
             self.core.mark_closed(conn);
             let reason = if routed {
@@ -1455,6 +1704,10 @@ impl World {
             return;
         }
         self.core.topo.set_host_up(host, false);
+        if let Some(net) = self.core.net.as_mut() {
+            net.set_host_up(host.0, false);
+        }
+        self.core.net_epoch += 1;
         self.core
             .tracef(Some(host), TraceCategory::Net, "host crashed".to_string());
         // Break all connections touching the host; survivors learn after
@@ -1525,6 +1778,10 @@ impl World {
             return;
         }
         self.core.topo.set_host_up(host, true);
+        if let Some(net) = self.core.net.as_mut() {
+            net.set_host_up(host.0, true);
+        }
+        self.core.net_epoch += 1;
         let now = self.core.now();
         self.core.hosts[host.0 as usize].kernel.reboot(now);
         self.core

@@ -146,7 +146,9 @@ fn dark_row(host: &str, liveness: Liveness) -> HostStatus {
     }
 }
 
-/// Renders the full dashboard: status table plus computation forest.
+/// Renders the full dashboard: status table plus computation forest,
+/// plus the per-link network section when a topology model is installed
+/// (flat-wire worlds render exactly the pre-netmodel bytes).
 ///
 /// # Errors
 ///
@@ -155,7 +157,94 @@ pub fn dashboard(ppm: &mut PpmHarness, from_host: &str, uid: Uid) -> Result<Stri
     let rows = gather_status(ppm, from_host, uid)?;
     let (records, missing) = ppm.snapshot_partial(from_host, uid, "*")?;
     let forest = Forest::build(records);
-    Ok(render_dashboard(from_host, uid, &rows, &forest, &missing))
+    let mut out = render_dashboard(from_host, uid, &rows, &forest, &missing);
+    if let Some((name, links)) = net_rows(ppm) {
+        out.push_str(&render_net(&name, &links, NET_TOP_LINKS));
+    }
+    Ok(out)
+}
+
+/// How many of the busiest links the dashboard's network section shows.
+pub const NET_TOP_LINKS: usize = 8;
+
+/// One link's row of the dashboard's network section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetLinkRow {
+    /// Link name as declared in the topology spec.
+    pub name: String,
+    /// Total bytes admitted.
+    pub bytes: u64,
+    /// Transfers admitted.
+    pub sends: u64,
+    /// Transfers that saw at least one in-flight competitor.
+    pub congested: u64,
+    /// Total queueing penalty accrued, µs.
+    pub queue_us: u64,
+    /// Counts toward bisection bandwidth (`core` flag in the spec).
+    pub core: bool,
+    /// Administratively up (not cut by a fault plan).
+    pub up: bool,
+}
+
+/// Per-link traffic rows, busiest first (ties keep declaration order),
+/// or `None` when the world runs the flat wire law (no net model).
+#[must_use]
+pub fn net_rows(ppm: &PpmHarness) -> Option<(String, Vec<NetLinkRow>)> {
+    let net = ppm.world().core().net()?;
+    let mut rows: Vec<NetLinkRow> = net
+        .graph
+        .links
+        .iter()
+        .zip(net.link_stats())
+        .map(|(l, (name, s))| NetLinkRow {
+            name: name.to_string(),
+            bytes: s.bytes,
+            sends: s.sends,
+            congested: s.congested,
+            queue_us: s.queue_us,
+            core: l.core,
+            up: l.up,
+        })
+        .collect();
+    rows.sort_by_key(|r| std::cmp::Reverse(r.bytes));
+    Some((net.name.clone(), rows))
+}
+
+/// Renders the network section: totals plus the `max` busiest links.
+#[must_use]
+pub fn render_net(name: &str, rows: &[NetLinkRow], max: usize) -> String {
+    let mut out = String::new();
+    let sends: u64 = rows.iter().map(|r| r.sends).sum();
+    let congested: u64 = rows.iter().map(|r| r.congested).sum();
+    let bisection: u64 = rows.iter().filter(|r| r.core).map(|r| r.bytes).sum();
+    let _ = writeln!(
+        out,
+        "\nnetwork {name}: {} link(s), {sends} traversal(s), {congested} congested, \
+         {bisection} bisection byte(s)",
+        rows.len(),
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:>9} {:>7} {:>9} {:>9}",
+        "link", "bytes", "sends", "congested", "queue_ms"
+    );
+    for r in rows.iter().take(max) {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>9} {:>7} {:>9} {:>9.2}{}{}",
+            r.name,
+            r.bytes,
+            r.sends,
+            r.congested,
+            r.queue_us as f64 / 1000.0,
+            if r.core { "  core" } else { "" },
+            if r.up { "" } else { "  DOWN" },
+        );
+    }
+    if rows.len() > max {
+        let _ = writeln!(out, "  ... and {} more link(s)", rows.len() - max);
+    }
+    out
 }
 
 /// Renders the dashboard from already-gathered pieces. `missing` lists
@@ -332,6 +421,60 @@ mod tests {
         assert!(out.contains("! <x, 9>"), "{out}");
         assert!(out.contains("* <x, 10>"), "{out}");
         assert!(out.contains("1 root(s) created by a failure"), "{out}");
+    }
+
+    #[test]
+    fn network_section_appears_only_with_a_topology_model() {
+        use ppm_simnet::topology::NetSpec;
+        let build = |topo: Option<NetSpec>| {
+            let mut b = PpmHarness::builder()
+                .host("x", CpuClass::Vax780)
+                .host("y", CpuClass::Vax750)
+                .link("x", "y")
+                .user(USER, 7, &["x"], PpmConfig::default());
+            if let Some(t) = topo {
+                b = b.topology(t);
+            }
+            b.build()
+        };
+        let mut flat = build(None);
+        flat.spawn_remote("x", USER, "y", "w", None, None).unwrap();
+        let out = dashboard(&mut flat, "x", USER).unwrap();
+        assert!(!out.contains("network "), "{out}");
+        assert!(net_rows(&flat).is_none());
+
+        let spec = NetSpec::preset("full-mesh", &["x".into(), "y".into()]).unwrap();
+        let mut routed = build(Some(spec));
+        routed
+            .spawn_remote("x", USER, "y", "w", None, None)
+            .unwrap();
+        let out = dashboard(&mut routed, "x", USER).unwrap();
+        assert!(out.contains("network full-mesh: 1 link(s)"), "{out}");
+        assert!(out.contains("queue_ms"), "{out}");
+        let (_, rows) = net_rows(&routed).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].bytes > 0, "spawn traffic crossed the link");
+        assert!(rows[0].up);
+    }
+
+    #[test]
+    fn net_section_sorts_busiest_first_and_truncates() {
+        let row = |name: &str, bytes: u64, core: bool| NetLinkRow {
+            name: name.into(),
+            bytes,
+            sends: 1,
+            congested: 0,
+            queue_us: 1500,
+            core,
+            up: bytes != 7,
+        };
+        let rows = vec![row("b", 99, true), row("a", 10, false), row("c", 7, false)];
+        let out = render_net("t", &rows, 2);
+        assert!(out.contains("3 link(s), 3 traversal(s)"), "{out}");
+        assert!(out.contains("99 bisection byte(s)"), "{out}");
+        assert!(out.contains("core"), "{out}");
+        assert!(out.contains("... and 1 more link(s)"), "{out}");
+        assert!(!out.contains("c "), "truncated row rendered: {out}");
     }
 
     #[test]

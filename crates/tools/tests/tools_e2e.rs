@@ -160,3 +160,42 @@ fn dashboard_reflects_load_and_management_counts() {
     let a_row = rows.iter().find(|r| r.host == "a").unwrap();
     assert!(a_row.siblings.contains(&"b".to_string()));
 }
+
+#[test]
+fn dashboard_network_section_tracks_link_traffic_and_cuts() {
+    use ppm_simnet::fault::FaultPlan;
+    use ppm_simnet::topology::NetSpec;
+    let hosts: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+    let spec = NetSpec::preset("wan-hub", &hosts).unwrap();
+    let mut ppm = PpmHarness::builder()
+        .host("a", CpuClass::Vax780)
+        .host("b", CpuClass::Vax750)
+        .host("c", CpuClass::Vax750)
+        .link("a", "b")
+        .link("a", "c")
+        .link("b", "c")
+        .user(USER, 0x70015, &["a"], PpmConfig::default())
+        .topology(spec)
+        .build();
+    ppm.spawn_remote("a", USER, "b", "job", None, None).unwrap();
+    ppm.spawn_remote("a", USER, "c", "job", None, None).unwrap();
+
+    let out = display::dashboard(&mut ppm, "a", USER).unwrap();
+    assert!(out.contains("network wan-hub"), "{out}");
+    let (name, links) = display::net_rows(&ppm).unwrap();
+    assert_eq!(name, "wan-hub");
+    // Every host hangs off the hub, and both spawns moved real bytes.
+    assert_eq!(links.len(), 3);
+    assert!(links.iter().all(|l| l.up));
+    assert!(links[0].bytes > 0, "busiest link saw traffic: {links:?}");
+
+    // Cut a spoke mid-run; the dashboard marks it DOWN.
+    let plan = FaultPlan::parse("at 10ms cut link wan:c\n").unwrap();
+    ppm.world_mut().apply_fault_plan(&plan).unwrap();
+    ppm.run_for(SimDuration::from_millis(50));
+    let (_, links) = display::net_rows(&ppm).unwrap();
+    let cut = links.iter().find(|l| l.name == "wan:c").unwrap();
+    assert!(!cut.up, "cut link reported down: {links:?}");
+    let out = display::render_net("wan-hub", &links, display::NET_TOP_LINKS);
+    assert!(out.contains("DOWN"), "{out}");
+}

@@ -35,6 +35,16 @@
 //! JSONL, and writes a Chrome `trace_event` rendering alongside at
 //! `<path>.chrome.json` (loadable in `chrome://tracing` / Perfetto).
 //!
+//! `--topology <preset|file>` installs the bandwidth- and topology-aware
+//! network model before the run: `full-mesh`, `fat-tree`, `wan-hub` or
+//! `last-mile` build a preset over the scenario's hosts, anything else is
+//! read as a topology spec file (grammar in `ppm_simnet::topology`).
+//! Deliveries are then priced over the installed routes — per-link
+//! latency plus fair-share serialization under contention — and the
+//! `net.*` metrics appear in `--metrics` output. Without the flag the
+//! flat wire law is in force and output is byte-identical to pre-netmodel
+//! builds.
+//!
 //! `--faults <plan>` arms a scripted fault plan (see `ppm_simnet::fault`
 //! for the grammar): hosts crash and restart, LPMs are killed, links cut
 //! and heal, and the wire drops/duplicates/reorders with seeded
@@ -108,11 +118,11 @@ fn run_scale(
 fn usage() -> ExitCode {
     eprintln!(
         "usage: ppm-sim [--trace] [--digest] [--seed <S>] [--metrics <path>] [--spans <path>] \
-         [--faults <plan>] <scenario-file>"
+         [--faults <plan>] [--topology <preset|file>] <scenario-file>"
     );
     eprintln!(
         "       ppm-sim [--trace] [--digest] [--seed <S>] [--metrics <path>] [--spans <path>] \
-         [--faults <plan>] --hosts <N>"
+         [--faults <plan>] [--topology <preset|file>] --hosts <N>"
     );
     eprintln!(
         "       ppm-sim [--digest] [--metrics <path>] --users <U> --hosts <N> [--seed <S>] \
@@ -136,6 +146,7 @@ fn main() -> ExitCode {
     let mut metrics_path: Option<String> = None;
     let mut spans_path: Option<String> = None;
     let mut faults_path: Option<String> = None;
+    let mut topology_arg: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--trace" => trace = true,
@@ -146,6 +157,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 };
                 faults_path = Some(p);
+            }
+            "--topology" => {
+                let Some(t) = args.next() else {
+                    eprintln!(
+                        "ppm-sim: --topology needs a preset ({}) or a spec file",
+                        ppm_simnet::topology::NetSpec::PRESETS.join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                };
+                topology_arg = Some(t);
             }
             "--hosts" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()).filter(|n| *n >= 2) else {
@@ -197,6 +218,10 @@ fn main() -> ExitCode {
             eprintln!("ppm-sim: --users needs --hosts (2 ..= 65535)");
             return ExitCode::FAILURE;
         };
+        if topology_arg.is_some() {
+            eprintln!("ppm-sim: --topology is not supported with --users (storm mode)");
+            return ExitCode::FAILURE;
+        }
         return run_scale(
             users,
             hosts as u16,
@@ -243,10 +268,24 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    let topology = match topology_arg {
+        Some(arg) => {
+            let host_names: Vec<String> = scenario.hosts.iter().map(|(n, _)| n.clone()).collect();
+            match ppm::scenario::resolve_topology(&arg, &host_names) {
+                Ok(spec) => Some(spec),
+                Err(e) => {
+                    eprintln!("ppm-sim: --topology {arg}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
     let mut out = String::new();
     let opts = ppm::scenario::ExecOptions {
         spans: spans_path.is_some(),
         faults: plan.as_ref(),
+        topology: topology.as_ref(),
     };
     match ppm::scenario::execute_with(&scenario, &mut out, opts) {
         Ok(ppm) => {

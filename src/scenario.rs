@@ -43,7 +43,7 @@ use ppm_proto::msg::ControlAction;
 use ppm_proto::types::Gpid;
 use ppm_simnet::fault::FaultPlan;
 use ppm_simnet::time::{SimDuration, SimTime};
-use ppm_simnet::topology::CpuClass;
+use ppm_simnet::topology::{CpuClass, NetGraph, NetSpec};
 use ppm_simos::events::TraceFlags;
 use ppm_simos::ids::Uid;
 
@@ -312,8 +312,12 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                         };
                     } else if *t == "fast" {
                         let policy = cfg.recovery_policy.clone();
+                        let splicing = cfg.reply_splicing;
                         cfg = PpmConfig::fast_recovery();
                         cfg.recovery_policy = policy;
+                        cfg.reply_splicing = splicing;
+                    } else if *t == "noagg" {
+                        cfg.reply_splicing = false;
                     } else {
                         return Err(err(line, format!("unknown user option {t:?}")));
                     }
@@ -464,6 +468,25 @@ fn parse_action(tokens: &[&str], line: usize) -> Result<Action, ScenarioError> {
     }
 }
 
+/// Resolves a `--topology` argument against a scenario's host list: a
+/// preset name (`full-mesh`, `fat-tree`, `wan-hub`, `last-mile`) builds
+/// the corresponding [`NetSpec`] over the hosts; anything else is read as
+/// a topology spec file (see `ppm_simnet::topology::NetSpec::parse` for
+/// the grammar).
+///
+/// # Errors
+///
+/// A message naming the unreadable file or the spec parse error.
+pub fn resolve_topology(arg: &str, hosts: &[String]) -> Result<NetSpec, String> {
+    if NetSpec::PRESETS.contains(&arg) {
+        return NetSpec::preset(arg, hosts)
+            .ok_or_else(|| format!("preset {arg:?} needs at least one host"));
+    }
+    let text =
+        std::fs::read_to_string(arg).map_err(|e| format!("cannot read topology {arg}: {e}"))?;
+    NetSpec::parse(&text)
+}
+
 /// Executes a parsed scenario, writing tool output through `out`.
 ///
 /// Returns the harness for post-run inspection.
@@ -489,6 +512,7 @@ pub fn execute_observed(
         ExecOptions {
             spans,
             faults: None,
+            topology: None,
         },
     )
 }
@@ -502,6 +526,10 @@ pub struct ExecOptions<'a> {
     /// Enables pmd stable storage and LPM respawn, so the world can heal
     /// from the faults the plan injects.
     pub faults: Option<&'a FaultPlan>,
+    /// A physical network model installed before the first action
+    /// (`ppm-sim --topology`): deliveries are priced over its routes with
+    /// per-link capacity and contention instead of the flat wire law.
+    pub topology: Option<&'a NetSpec>,
 }
 
 /// Like [`execute`], with all execution knobs explicit.
@@ -515,8 +543,20 @@ pub fn execute_with(
     out: &mut dyn fmt::Write,
     opts: ExecOptions<'_>,
 ) -> Result<PpmHarness, ScenarioError> {
-    let ExecOptions { spans, faults } = opts;
+    let ExecOptions {
+        spans,
+        faults,
+        topology,
+    } = opts;
     let mut builder = PpmHarness::builder().seed(sc.seed);
+    if let Some(spec) = topology {
+        // Dry-run the graph build so a bad spec (unknown endpoint, name
+        // collision with a host) surfaces as a scenario error instead of
+        // a harness panic.
+        let host_names: Vec<String> = sc.hosts.iter().map(|(n, _)| n.clone()).collect();
+        NetGraph::build(spec, &host_names).map_err(|e| err(0, e))?;
+        builder = builder.topology(spec.clone());
+    }
     if faults.is_some() {
         // A faulted run only makes sense if the system is allowed to
         // recover: persist pmd registries and respawn dead LPMs.
